@@ -1,0 +1,101 @@
+//! Ablation — fine-tuning Case 1 vs Case 2 (Fig. 5's trade-off, measured).
+//!
+//! Case 1 retrains all layers for ~10 epochs; Case 2 freezes everything
+//! but the last two layers and needs hundreds of epochs to match, in
+//! exchange for a much smaller per-timestep artifact. This binary measures
+//! all three axes: quality (SNR), fine-tune wall-clock, and checkpoint
+//! bytes.
+
+use fillvoid_core::experiment::format_table;
+use fillvoid_core::metrics::snr_db;
+use fillvoid_core::pipeline::{FcnnPipeline, FineTuneCase, FineTuneSpec};
+use fv_bench::{db, secs, ExpOpts};
+use fv_nn::serialize;
+use fv_sampling::{FieldSampler, ImportanceSampler};
+use fv_sims::DatasetSpec;
+use std::time::Instant;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let spec = DatasetSpec::by_name("isabel").expect("isabel is registered");
+    let sim = opts.build(spec);
+    let config = opts.pipeline_config();
+    let t_new = sim.num_timesteps() / 2;
+    let field_new = sim.timestep(t_new);
+    let sampler = ImportanceSampler::new(config.sampler);
+    let cloud = sampler.sample(&field_new, 0.03, opts.seed);
+
+    eprintln!("[ablation-finetune] pretraining at t=0 ...");
+    let pretrained = FcnnPipeline::train(&sim.timestep(0), &config, opts.seed).unwrap();
+
+    // Epoch budgets proportional to the paper's 10 vs 300-500.
+    let case2_epochs = (config.trainer.epochs * 4).max(40);
+    let specs = [
+        ("frozen", None),
+        (
+            "case1",
+            Some(FineTuneSpec {
+                case: FineTuneCase::FullNetwork,
+                epochs: 10,
+                learning_rate: 1e-3,
+                seed: opts.seed,
+            }),
+        ),
+        (
+            "case2",
+            Some(FineTuneSpec {
+                case: FineTuneCase::LastTwoLayers,
+                epochs: case2_epochs,
+                learning_rate: 1e-3,
+                seed: opts.seed,
+            }),
+        ),
+    ];
+
+    println!("# Ablation — fine-tuning modes, isabel t=0 -> t={t_new} at 3% sampling");
+    let mut table = Vec::new();
+    for (label, ft) in specs {
+        let mut model = pretrained.clone();
+        let (elapsed, artifact_bytes) = match &ft {
+            None => (0.0, full_size(&model)),
+            Some(spec) => {
+                let start = Instant::now();
+                model.fine_tune(&field_new, spec).unwrap();
+                let elapsed = start.elapsed().as_secs_f64();
+                let bytes = match spec.case {
+                    FineTuneCase::FullNetwork => full_size(&model),
+                    FineTuneCase::LastTwoLayers => {
+                        // Per-timestep artifact = just the trainable tail.
+                        let mut m = model.mlp().clone();
+                        m.freeze_all_but_last(2);
+                        let mut buf = Vec::new();
+                        serialize::save_partial(&m, &mut buf).unwrap();
+                        buf.len()
+                    }
+                };
+                (elapsed, bytes)
+            }
+        };
+        let recon = model.reconstruct(&cloud, field_new.grid()).unwrap();
+        table.push(vec![
+            label.to_string(),
+            db(snr_db(&field_new, &recon)),
+            secs(elapsed),
+            artifact_bytes.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        format_table(
+            &["mode", "snr_db", "finetune_s", "artifact_bytes"],
+            &table
+        )
+    );
+    println!("# paper: case1 ~10 epochs; case2 needs 300-500 epochs but stores only the last two layers");
+}
+
+fn full_size(model: &FcnnPipeline) -> usize {
+    let mut buf = Vec::new();
+    serialize::write_model(model.mlp(), &mut buf).unwrap();
+    buf.len()
+}

@@ -1,0 +1,56 @@
+//! Ablation (beyond the paper): number of nearest sampled points `k` in
+//! the feature vector.
+//!
+//! The paper fixes `k = 5` (a `[1×23]` feature). This sweep varies `k`
+//! to show the quality/feature-width trade-off around that choice.
+
+use fillvoid_core::experiment::{format_table, variant_series};
+use fillvoid_core::features::FeatureConfig;
+use fillvoid_core::pipeline::PipelineConfig;
+use fv_bench::{db, pct, secs, ExpOpts};
+use fv_sims::DatasetSpec;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let spec = DatasetSpec::by_name("isabel").expect("isabel is registered");
+    let sim = opts.build(spec);
+    let field = sim.timestep(sim.num_timesteps() / 2);
+    let base = opts.pipeline_config();
+    let test_fractions = opts.fraction_axis();
+
+    let ks = [2usize, 3, 5, 8, 12];
+    let mut series = Vec::new();
+    for &k in &ks {
+        let config = PipelineConfig {
+            features: FeatureConfig { k, ..base.features },
+            ..base.clone()
+        };
+        eprintln!("[ablation-k] k = {k} ...");
+        series.push(
+            variant_series(&field, &format!("k={k}"), &config, &test_fractions, opts.seed)
+                .unwrap(),
+        );
+    }
+
+    println!("# Ablation — neighbors per void location (isabel, feature width = 4k+3)");
+    let mut table = Vec::new();
+    for (i, &f) in test_fractions.iter().enumerate() {
+        let mut row = vec![pct(f)];
+        for s in &series {
+            row.push(db(s.points[i].1));
+        }
+        table.push(row);
+    }
+    let labels: Vec<String> = ks.iter().map(|k| format!("k={k}")).collect();
+    let mut header: Vec<&str> = vec!["sampling"];
+    header.extend(labels.iter().map(|s| s.as_str()));
+    print!("{}", format_table(&header, &table));
+    println!(
+        "# training seconds: {}",
+        series
+            .iter()
+            .map(|s| format!("{} -> {}", s.label, secs(s.train_seconds)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,461 @@
+//! Run the full experiment suite in one process.
+//!
+//! Equivalent to running every `exp_*` binary in sequence, but linked once —
+//! the convenient path for regenerating EXPERIMENTS.md on slow hosts (each
+//! standalone binary pays a full thin-LTO link). Sections are labelled with
+//! the figure/table they regenerate.
+
+use fillvoid_core::ensemble::EnsemblePipeline;
+use fillvoid_core::experiment::{
+    format_table, hidden_layer_sweep, method_sweep, variant_series, FcnnReconstructor,
+};
+use fillvoid_core::features::FeatureConfig;
+use fillvoid_core::metrics::snr_db;
+use fillvoid_core::pipeline::{FcnnPipeline, FineTuneCase, FineTuneSpec, PipelineConfig, TrainCorpus};
+use fillvoid_core::timesteps::{baseline_replay, replay, ReplayConfig};
+use fillvoid_core::upscale::{upscale_study, UpscaleConfig};
+use fv_bench::{db, pct, secs, ExpOpts};
+use fv_interp::linear::LinearReconstructor;
+use fv_interp::natural::NaturalNeighborReconstructor;
+use fv_interp::nearest::NearestReconstructor;
+use fv_interp::shepard::ShepardReconstructor;
+use fv_interp::Reconstructor;
+use fv_sampling::{FieldSampler, ImportanceSampler};
+use fv_sims::DatasetSpec;
+use std::time::Instant;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let wall = Instant::now();
+    fig06(&opts);
+    fig07(&opts);
+    fig08(&opts);
+    fig09_and_10(&opts);
+    fig11_and_12(&opts);
+    fig13(&opts);
+    fig14_and_table2(&opts);
+    table1(&opts);
+    ablation_sampler(&opts);
+    ablation_finetune(&opts);
+    ext_uncertainty(&opts);
+    eprintln!("[exp_all] total wall time {:.1}s", wall.elapsed().as_secs_f64());
+}
+
+fn isabel_field(opts: &ExpOpts) -> (Box<dyn fv_sims::Simulation>, fv_field::ScalarField) {
+    let spec = DatasetSpec::by_name("isabel").expect("registered");
+    let sim = opts.build(spec);
+    let field = sim.timestep(sim.num_timesteps() / 2);
+    (sim, field)
+}
+
+fn fig06(opts: &ExpOpts) {
+    let (_, field) = isabel_field(opts);
+    let ladder = [512usize, 256, 128, 64, 16, 8, 8, 8, 8];
+    let rows = hidden_layer_sweep(
+        &field,
+        &ladder,
+        &[1, 3, 5, 7, 9],
+        &opts.pipeline_config(),
+        &[0.03],
+        opts.seed,
+    )
+    .expect("fig06");
+    println!("\n# Fig. 6 — SNR vs hidden layers (isabel {:?}, 3%)", field.grid().dims());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.depth.to_string(), db(r.snr), secs(r.train_seconds)])
+        .collect();
+    print!("{}", format_table(&["hidden_layers", "snr_db", "train_s"], &table));
+}
+
+fn fig07(opts: &ExpOpts) {
+    let (_, field) = isabel_field(opts);
+    let base = opts.pipeline_config();
+    let fr = opts.fraction_axis();
+    let variants = [
+        ("1%", TrainCorpus::Single(0.01)),
+        ("5%", TrainCorpus::Single(0.05)),
+        ("1%+5%", TrainCorpus::Union(vec![0.01, 0.05])),
+    ];
+    let mut series = Vec::new();
+    for (label, corpus) in variants {
+        let cfg = PipelineConfig { corpus, ..base.clone() };
+        series.push(variant_series(&field, label, &cfg, &fr, opts.seed).expect("fig07"));
+    }
+    println!("\n# Fig. 7 — training corpus: SNR vs test sampling % (isabel)");
+    let mut table = Vec::new();
+    for (i, &f) in fr.iter().enumerate() {
+        table.push(vec![
+            pct(f),
+            db(series[0].points[i].1),
+            db(series[1].points[i].1),
+            db(series[2].points[i].1),
+        ]);
+    }
+    print!("{}", format_table(&["test_sampling", "train_1%", "train_5%", "train_1%+5%"], &table));
+}
+
+fn fig08(opts: &ExpOpts) {
+    let (_, field) = isabel_field(opts);
+    let base = opts.pipeline_config();
+    let fr = opts.fraction_axis();
+    let with = variant_series(&field, "grad", &base, &fr, opts.seed).expect("fig08");
+    let cfg = PipelineConfig {
+        features: FeatureConfig {
+            predict_gradients: false,
+            ..base.features
+        },
+        ..base.clone()
+    };
+    let without = variant_series(&field, "nograd", &cfg, &fr, opts.seed).expect("fig08");
+    println!("\n# Fig. 8 — gradient supervision (isabel)");
+    let table: Vec<Vec<String>> = fr
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| vec![pct(f), db(with.points[i].1), db(without.points[i].1)])
+        .collect();
+    print!("{}", format_table(&["sampling", "with_gradient", "without_gradient"], &table));
+}
+
+fn fig09_and_10(opts: &ExpOpts) {
+    let fr = opts.fraction_axis();
+    for spec in opts.datasets() {
+        let sim = opts.build(spec);
+        let field = sim.timestep(sim.num_timesteps() / 2);
+        let config = opts.pipeline_config();
+        eprintln!("[fig09/10] training FCNN on {} ...", spec.name);
+        let pipeline = FcnnPipeline::train(&field, &config, opts.seed).expect("train");
+        let fcnn = FcnnReconstructor::new(&pipeline);
+        let linear_seq = LinearReconstructor::sequential();
+        let linear = LinearReconstructor::parallel();
+        let natural = NaturalNeighborReconstructor;
+        let shepard = ShepardReconstructor::default();
+        let nearest = NearestReconstructor;
+        let methods: Vec<&dyn Reconstructor> =
+            vec![&fcnn, &linear_seq, &linear, &natural, &shepard, &nearest];
+        let rows = method_sweep(&field, &methods, &fr, config.sampler, opts.seed);
+        let names: Vec<String> = methods.iter().map(|m| m.name().to_string()).collect();
+
+        for (title, fig10) in [("Fig. 9 — SNR (dB)", false), ("Fig. 10 — time (s)", true)] {
+            println!(
+                "\n# {title} by method × sampling %, dataset = {} {:?}",
+                spec.name,
+                field.grid().dims()
+            );
+            let mut table = Vec::new();
+            for &f in &fr {
+                let mut row = vec![pct(f)];
+                for name in &names {
+                    let cell = rows
+                        .iter()
+                        .find(|r| r.fraction == f && &r.method == name)
+                        .map(|r| if fig10 { secs(r.seconds) } else { db(r.snr) })
+                        .unwrap_or_else(|| "?".into());
+                    row.push(cell);
+                }
+                table.push(row);
+            }
+            let mut header: Vec<&str> = vec!["sampling"];
+            header.extend(names.iter().map(|s| s.as_str()));
+            print!("{}", format_table(&header, &table));
+        }
+    }
+}
+
+fn fig11_and_12(opts: &ExpOpts) {
+    let spec = DatasetSpec::by_name("isabel").expect("registered");
+    let sim = opts.build(spec);
+    let n = sim.num_timesteps();
+    let stride = 3;
+    let timesteps: Vec<usize> = (0..n).step_by(stride).collect();
+    let config = opts.pipeline_config();
+    eprintln!("[fig11] pretraining Pf00 / Pf{:02} ...", n / 2);
+    let model_a = FcnnPipeline::train(&sim.timestep(0), &config, opts.seed).expect("train a");
+    let model_b = FcnnPipeline::train(&sim.timestep(n / 2), &config, opts.seed ^ 1).expect("train b");
+    let frozen_cfg = ReplayConfig {
+        fraction: 0.03,
+        fine_tune: None,
+        seed: opts.seed,
+        sampler: config.sampler,
+    };
+    let tuned_cfg = ReplayConfig {
+        fine_tune: Some(FineTuneSpec::case1()),
+        ..frozen_cfg.clone()
+    };
+    let linear = LinearReconstructor::default();
+    let base = baseline_replay(sim.as_ref(), &linear, &timesteps, &frozen_cfg);
+    let fa = replay(sim.as_ref(), &mut model_a.clone(), &timesteps, &frozen_cfg).unwrap();
+    let fb = replay(sim.as_ref(), &mut model_b.clone(), &timesteps, &frozen_cfg).unwrap();
+    let mut tuned_model = model_a.clone();
+    let ta = replay(sim.as_ref(), &mut tuned_model, &timesteps, &tuned_cfg).unwrap();
+    let tb = replay(sim.as_ref(), &mut model_b.clone(), &timesteps, &tuned_cfg).unwrap();
+
+    println!("\n# Fig. 11 — SNR across isabel timesteps at 3% (grid {:?})", sim.grid().dims());
+    let header = ["t", "linear", "pf_first", "pf_mid", "tune_first", "tune_mid"];
+    let table: Vec<Vec<String>> = timesteps
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            vec![
+                t.to_string(),
+                db(base[i].snr),
+                db(fa[i].snr),
+                db(fb[i].snr),
+                db(ta[i].snr),
+                db(tb[i].snr),
+            ]
+        })
+        .collect();
+    print!("{}", format_table(&header, &table));
+
+    // Fig. 12: loss curves — pretraining vs the last fine-tune of model A.
+    let h = tuned_model.history();
+    let pre = &model_a.history().epoch_loss;
+    let ft = &h.epoch_loss[h.epoch_loss.len().saturating_sub(10)..];
+    println!("\n# Fig. 12 — loss: full training (first/last) vs fine-tuning (first/last)");
+    println!(
+        "full_training: epoch0 {:.6} -> final {:.6} ({} epochs)",
+        pre.first().unwrap(),
+        pre.last().unwrap(),
+        pre.len()
+    );
+    println!(
+        "fine_tune:     epoch0 {:.6} -> final {:.6} ({} epochs, warm start)",
+        ft.first().unwrap(),
+        ft.last().unwrap(),
+        ft.len()
+    );
+}
+
+fn fig13(opts: &ExpOpts) {
+    let spec = DatasetSpec::by_name("isabel").expect("registered");
+    let sim = opts.build(spec);
+    let config = UpscaleConfig {
+        t: sim.num_timesteps() / 2,
+        refine: 2,
+        domain_shift: [125.0, -60.0, 0.0],
+        fractions: opts.fraction_axis(),
+        fine_tune_epochs: 10,
+        pipeline: opts.pipeline_config(),
+        seed: opts.seed,
+    };
+    eprintln!("[fig13] upscale study ...");
+    let study = upscale_study(sim.as_ref(), &config).expect("fig13");
+    println!(
+        "\n# Fig. 13b — upscaling to {:?} (shifted domain) from {:?}",
+        study.high_grid.dims(),
+        sim.grid().dims()
+    );
+    let table: Vec<Vec<String>> = study
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                pct(r.fraction),
+                db(r.snr_linear),
+                db(r.snr_full),
+                db(r.snr_transferred),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        format_table(&["sampling", "linear", "fcnn_full_hires", "fcnn_lowres_tuned"], &table)
+    );
+}
+
+fn fig14_and_table2(opts: &ExpOpts) {
+    let (_, field) = isabel_field(opts);
+    let base = opts.pipeline_config();
+    let fr = opts.fraction_axis();
+    let mut series = Vec::new();
+    for keep in [1.0f64, 0.5, 0.25] {
+        let cfg = PipelineConfig {
+            train_row_fraction: keep,
+            ..base.clone()
+        };
+        let label = format!("{}%", (keep * 100.0) as u32);
+        series.push(variant_series(&field, &label, &cfg, &fr, opts.seed).expect("fig14"));
+    }
+    println!("\n# Fig. 14 — SNR vs training-row fraction (isabel)");
+    let mut table = Vec::new();
+    for (i, &f) in fr.iter().enumerate() {
+        table.push(vec![
+            pct(f),
+            db(series[0].points[i].1),
+            db(series[1].points[i].1),
+            db(series[2].points[i].1),
+        ]);
+    }
+    print!("{}", format_table(&["sampling", "rows_100%", "rows_50%", "rows_25%"], &table));
+
+    println!("\n# Table II — training time vs rows kept ({} epochs)", base.trainer.epochs);
+    let t0 = series[0].train_seconds;
+    let table: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                secs(s.train_seconds),
+                format!("{:.2}x", s.train_seconds / t0),
+            ]
+        })
+        .collect();
+    print!("{}", format_table(&["rows_kept", "train_s", "relative"], &table));
+    println!("# paper: 100% -> 533s, 50% -> 275s (0.52x), 25% -> 161s (0.30x)");
+}
+
+fn table1(opts: &ExpOpts) {
+    let config = opts.pipeline_config();
+    println!("\n# Table I — training time, {} epochs (scale {:?})", config.trainer.epochs, opts.scale);
+    let mut table = Vec::new();
+    for spec in opts.datasets() {
+        let sim = opts.build(spec);
+        let field = sim.timestep(sim.num_timesteps() / 2);
+        eprintln!("[table1] {} {:?} ...", spec.name, field.grid().dims());
+        let start = Instant::now();
+        let _ = FcnnPipeline::train(&field, &config, opts.seed).expect("train");
+        let d = field.grid().dims();
+        table.push(vec![
+            spec.name.to_string(),
+            format!("{}x{}x{}", d[0], d[1], d[2]),
+            secs(start.elapsed().as_secs_f64()),
+        ]);
+        if spec.name == "isabel" {
+            let hi_grid = field.grid().refined(2).expect("refine");
+            let hi = sim.timestep_on(sim.num_timesteps() / 2, hi_grid);
+            eprintln!("[table1] isabel-hi {:?} ...", hi.grid().dims());
+            let start = Instant::now();
+            let _ = FcnnPipeline::train(&hi, &config, opts.seed).expect("train");
+            let dh = hi.grid().dims();
+            table.push(vec![
+                "isabel-hi".into(),
+                format!("{}x{}x{}", dh[0], dh[1], dh[2]),
+                secs(start.elapsed().as_secs_f64()),
+            ]);
+        }
+    }
+    print!("{}", format_table(&["dataset", "resolution", "train_s"], &table));
+    println!("# paper (500 epochs, GPU node): isabel 533s, isabel-hi 3737s, combustion 829s, ionization 5522s");
+}
+
+fn ablation_sampler(opts: &ExpOpts) {
+    use fv_sampling::{RandomSampler, RegularSampler, StratifiedSampler, ValueStratifiedSampler};
+    let (_, field) = isabel_field(opts);
+    let linear = LinearReconstructor::default();
+    let importance = ImportanceSampler::default();
+    let random = RandomSampler;
+    let strat = StratifiedSampler::default();
+    let vstrat = ValueStratifiedSampler::default();
+    let regular = RegularSampler;
+    let samplers: Vec<&dyn FieldSampler> = vec![&importance, &random, &strat, &vstrat, &regular];
+    println!("\n# Ablation — sampler choice (linear reconstruction, isabel)");
+    let mut table = Vec::new();
+    for &f in &opts.fraction_axis() {
+        let mut row = vec![pct(f)];
+        for s in &samplers {
+            let cloud = s.sample(&field, f, opts.seed);
+            let cell = match linear.reconstruct(&cloud, field.grid()) {
+                Ok(r) => db(snr_db(&field, &r)),
+                Err(_) => "n/a".into(),
+            };
+            row.push(cell);
+        }
+        table.push(row);
+    }
+    print!(
+        "{}",
+        format_table(
+            &["sampling", "importance", "random", "stratified", "value-strat", "regular"],
+            &table
+        )
+    );
+}
+
+fn ablation_finetune(opts: &ExpOpts) {
+    let spec = DatasetSpec::by_name("isabel").expect("registered");
+    let sim = opts.build(spec);
+    let config = opts.pipeline_config();
+    let t_new = sim.num_timesteps() / 2;
+    let field_new = sim.timestep(t_new);
+    let cloud = ImportanceSampler::new(config.sampler).sample(&field_new, 0.03, opts.seed);
+    eprintln!("[ablation-finetune] pretraining ...");
+    let pretrained = FcnnPipeline::train(&sim.timestep(0), &config, opts.seed).expect("train");
+    let case2_epochs = (config.trainer.epochs * 4).max(40);
+    println!("\n# Ablation — fine-tuning modes (isabel t=0 -> t={t_new}, 3%)");
+    let mut table = Vec::new();
+    for (label, spec_ft) in [
+        ("frozen", None),
+        (
+            "case1",
+            Some(FineTuneSpec {
+                case: FineTuneCase::FullNetwork,
+                epochs: 10,
+                learning_rate: 1e-3,
+                seed: opts.seed,
+            }),
+        ),
+        (
+            "case2",
+            Some(FineTuneSpec {
+                case: FineTuneCase::LastTwoLayers,
+                epochs: case2_epochs,
+                learning_rate: 1e-3,
+                seed: opts.seed,
+            }),
+        ),
+    ] {
+        let mut model = pretrained.clone();
+        let elapsed = match &spec_ft {
+            None => 0.0,
+            Some(s) => {
+                let start = Instant::now();
+                model.fine_tune(&field_new, s).unwrap();
+                start.elapsed().as_secs_f64()
+            }
+        };
+        let recon = model.reconstruct(&cloud, field_new.grid()).unwrap();
+        table.push(vec![
+            label.to_string(),
+            db(snr_db(&field_new, &recon)),
+            secs(elapsed),
+        ]);
+    }
+    print!("{}", format_table(&["mode", "snr_db", "finetune_s"], &table));
+}
+
+fn ext_uncertainty(opts: &ExpOpts) {
+    let (_, field) = isabel_field(opts);
+    let config = opts.pipeline_config();
+    eprintln!("[uncertainty] training 5-member ensemble ...");
+    let ens = EnsemblePipeline::train(&field, &config, 5, opts.seed).expect("ensemble");
+    let cloud = ImportanceSampler::new(config.sampler).sample(&field, 0.01, opts.seed);
+    let ur = ens.reconstruct(&cloud, field.grid()).expect("reconstruct");
+    println!("\n# Extension — deep-ensemble uncertainty (isabel, 1%, E = 5)");
+    println!("ensemble-mean SNR: {} dB", db(snr_db(&field, &ur.mean)));
+    let mut order: Vec<usize> = (0..field.len()).collect();
+    order.sort_by(|&a, &b| {
+        ur.std_dev.values()[a]
+            .partial_cmp(&ur.std_dev.values()[b])
+            .unwrap()
+    });
+    let q = field.len() / 4;
+    let mut table = Vec::new();
+    for qi in 0..4 {
+        let lo = qi * q;
+        let hi = if qi == 3 { field.len() } else { (qi + 1) * q };
+        let idx = &order[lo..hi];
+        let mae: f64 = idx
+            .iter()
+            .map(|&i| (field.values()[i] - ur.mean.values()[i]).abs() as f64)
+            .sum::<f64>()
+            / idx.len() as f64;
+        let mstd: f64 =
+            idx.iter().map(|&i| ur.std_dev.values()[i] as f64).sum::<f64>() / idx.len() as f64;
+        table.push(vec![format!("Q{}", qi + 1), format!("{mstd:.4}"), format!("{mae:.4}")]);
+    }
+    print!(
+        "{}",
+        format_table(&["uncertainty_quartile", "mean_std", "actual_mae"], &table)
+    );
+}

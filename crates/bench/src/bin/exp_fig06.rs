@@ -1,0 +1,56 @@
+//! Fig. 6 — reconstruction SNR vs number of hidden layers (Isabel).
+//!
+//! The paper sweeps 1–9 hidden layers at a 3% sampling rate and finds a
+//! quality peak at five (≈28 dB) with both the too-shallow (1 layer,
+//! ≈20 dB) and too-deep (9 layers, ≈25 dB) ends lower. Expect the same
+//! inverted-U shape here; absolute dB values differ on the surrogate data.
+
+use fillvoid_core::experiment::{format_table, hidden_layer_sweep};
+use fv_bench::{db, secs, ExpOpts};
+use fv_sims::DatasetSpec;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let spec = DatasetSpec::by_name("isabel").expect("isabel is registered");
+    let sim = opts.build(spec);
+    // Mid-run timestep, like the paper's single-timestep studies.
+    let field = sim.timestep(sim.num_timesteps() / 2);
+
+    let base = opts.pipeline_config();
+    // Depth d uses the first d rungs of the paper's width ladder, padded
+    // with 8-wide layers beyond five (the paper's deep variants).
+    let ladder = [512usize, 256, 128, 64, 16, 8, 8, 8, 8];
+    let depths = [1usize, 3, 5, 7, 9];
+    let rows = hidden_layer_sweep(
+        &field,
+        &ladder,
+        &depths,
+        &base,
+        &[0.03],
+        opts.seed,
+    )
+    .expect("sweep");
+
+    println!("# Fig. 6 — SNR vs hidden layer count (isabel, 3% sampling)");
+    println!("# scale: {:?}, grid: {:?}", opts.scale, field.grid().dims());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.depth.to_string(),
+                db(r.snr),
+                secs(r.train_seconds),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        format_table(&["hidden_layers", "snr_db", "train_s"], &table)
+    );
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.snr.partial_cmp(&b.snr).unwrap())
+        .expect("non-empty");
+    println!("# best depth: {} ({} dB)", best.depth, db(best.snr));
+}

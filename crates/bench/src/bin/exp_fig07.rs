@@ -1,0 +1,52 @@
+//! Fig. 7 — effect of the training sampling percentage (Isabel).
+//!
+//! Three models: trained on 1% voids only, on 5% voids only, and on the
+//! 1%+5% union. The paper finds the 1%-model flat-lining at high test
+//! rates, the 5%-model weak at low rates, and the union model good across
+//! the whole axis — which is why the union is the production choice.
+
+use fillvoid_core::experiment::{format_table, variant_series};
+use fillvoid_core::pipeline::{PipelineConfig, TrainCorpus};
+use fv_bench::{db, pct, ExpOpts};
+use fv_sims::DatasetSpec;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let spec = DatasetSpec::by_name("isabel").expect("isabel is registered");
+    let sim = opts.build(spec);
+    let field = sim.timestep(sim.num_timesteps() / 2);
+    let base = opts.pipeline_config();
+    let test_fractions = opts.fraction_axis();
+
+    let variants = [
+        ("1%", TrainCorpus::Single(0.01)),
+        ("5%", TrainCorpus::Single(0.05)),
+        ("1%+5%", TrainCorpus::Union(vec![0.01, 0.05])),
+    ];
+    let mut series = Vec::new();
+    for (label, corpus) in variants {
+        let config = PipelineConfig {
+            corpus,
+            ..base.clone()
+        };
+        series.push(
+            variant_series(&field, label, &config, &test_fractions, opts.seed)
+                .expect("variant trains"),
+        );
+    }
+
+    println!("# Fig. 7 — SNR vs test sampling % for different training corpora (isabel)");
+    println!("# scale: {:?}, grid: {:?}", opts.scale, field.grid().dims());
+    let mut table = Vec::new();
+    for (i, &f) in test_fractions.iter().enumerate() {
+        let mut row = vec![pct(f)];
+        for s in &series {
+            row.push(db(s.points[i].1));
+        }
+        table.push(row);
+    }
+    print!(
+        "{}",
+        format_table(&["test_sampling", "train_1%", "train_5%", "train_1%+5%"], &table)
+    );
+}

@@ -1,0 +1,65 @@
+//! Fig. 8 — gradient supervision ablation (Isabel).
+//!
+//! Identical pipelines except for the output layer: `[value, gx, gy, gz]`
+//! vs `[value]` alone. The paper finds the gradient-supervised network
+//! consistently above the scalar-only one across the sampling axis.
+
+use fillvoid_core::experiment::{format_table, variant_series};
+use fillvoid_core::features::FeatureConfig;
+use fillvoid_core::pipeline::PipelineConfig;
+use fv_bench::{db, pct, ExpOpts};
+use fv_sims::DatasetSpec;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let spec = DatasetSpec::by_name("isabel").expect("isabel is registered");
+    let sim = opts.build(spec);
+    let field = sim.timestep(sim.num_timesteps() / 2);
+    let base = opts.pipeline_config();
+    let test_fractions = opts.fraction_axis();
+
+    let with_grad = variant_series(&field, "with-gradient", &base, &test_fractions, opts.seed)
+        .expect("trains");
+    let no_grad_cfg = PipelineConfig {
+        features: FeatureConfig {
+            predict_gradients: false,
+            ..base.features
+        },
+        ..base.clone()
+    };
+    let without_grad = variant_series(
+        &field,
+        "without-gradient",
+        &no_grad_cfg,
+        &test_fractions,
+        opts.seed,
+    )
+    .expect("trains");
+
+    println!("# Fig. 8 — SNR with vs without gradients in the output layer (isabel)");
+    println!("# scale: {:?}, grid: {:?}", opts.scale, field.grid().dims());
+    let table: Vec<Vec<String>> = test_fractions
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            vec![
+                pct(f),
+                db(with_grad.points[i].1),
+                db(without_grad.points[i].1),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        format_table(&["sampling", "with_gradient", "without_gradient"], &table)
+    );
+    let wins = test_fractions
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| with_grad.points[*i].1 > without_grad.points[*i].1)
+        .count();
+    println!(
+        "# gradient supervision wins at {wins}/{} sampling rates",
+        test_fractions.len()
+    );
+}

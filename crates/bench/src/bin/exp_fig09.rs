@@ -1,0 +1,66 @@
+//! Fig. 9 — reconstruction quality (SNR) for FCNN vs the classical
+//! methods at 0.1%–5% sampling, on all three datasets.
+//!
+//! Expected shape (paper): quality rises with sampling rate for every
+//! method; FCNN generally leads; linear and natural-neighbor are close
+//! (linear pulling ahead at higher rates); Shepard and nearest trail.
+
+use fillvoid_core::experiment::{method_sweep, format_table, FcnnReconstructor};
+use fillvoid_core::pipeline::FcnnPipeline;
+use fv_bench::{db, pct, ExpOpts};
+use fv_interp::{classical_methods, Reconstructor};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let fractions = opts.fraction_axis();
+
+    for spec in opts.datasets() {
+        let sim = opts.build(spec);
+        let field = sim.timestep(sim.num_timesteps() / 2);
+        let config = opts.pipeline_config();
+        eprintln!("[fig09] training FCNN on {} ...", spec.name);
+        let pipeline = FcnnPipeline::train(&field, &config, opts.seed).expect("training");
+        let fcnn = FcnnReconstructor::new(&pipeline);
+
+        let classical = classical_methods();
+        let mut methods: Vec<&dyn Reconstructor> = vec![&fcnn];
+        methods.extend(classical.iter().map(|m| m.as_ref()));
+
+        let rows = method_sweep(&field, &methods, &fractions, config.sampler, opts.seed);
+        let method_names: Vec<String> = methods.iter().map(|m| m.name().to_string()).collect();
+
+        println!(
+            "# Fig. 9 — SNR (dB) by method and sampling %, dataset = {} {:?}",
+            spec.name,
+            field.grid().dims()
+        );
+        let mut table = Vec::new();
+        for &f in &fractions {
+            let mut row = vec![pct(f)];
+            for name in &method_names {
+                let cell = rows
+                    .iter()
+                    .find(|r| r.fraction == f && &r.method == name)
+                    .map(|r| db(r.snr))
+                    .unwrap_or_else(|| "?".into());
+                row.push(cell);
+            }
+            table.push(row);
+        }
+        let mut header: Vec<&str> = vec!["sampling"];
+        header.extend(method_names.iter().map(|s| s.as_str()));
+        print!("{}", format_table(&header, &table));
+        println!();
+
+        if let Some(base) = &opts.csv {
+            let path = base.with_file_name(format!(
+                "{}-{}.csv",
+                base.file_stem().and_then(|s| s.to_str()).unwrap_or("fig09"),
+                spec.name
+            ));
+            let file = std::fs::File::create(&path).expect("create csv");
+            fillvoid_core::report::method_rows_csv(&rows, file).expect("write csv");
+            eprintln!("[fig09] wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 10 — reconstruction wall-clock time by method and sampling %.
+//!
+//! Includes both the naive sequential Delaunay-linear path and the
+//! parallel one (the paper's Python vs CGAL+OpenMP contrast). Expected
+//! shape: FCNN reconstruction time is flat in the sampling rate (constant
+//! work per grid node once trained), nearest is fastest, sequential linear
+//! grows worst with rate and data size. Training time is *excluded*, as in
+//! the paper (it is amortized; see Table I).
+
+use fillvoid_core::experiment::{format_table, method_sweep, FcnnReconstructor};
+use fillvoid_core::pipeline::FcnnPipeline;
+use fv_bench::{pct, secs, ExpOpts};
+use fv_interp::linear::LinearReconstructor;
+use fv_interp::natural::NaturalNeighborReconstructor;
+use fv_interp::nearest::NearestReconstructor;
+use fv_interp::shepard::ShepardReconstructor;
+use fv_interp::Reconstructor;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let fractions = opts.fraction_axis();
+
+    for spec in opts.datasets() {
+        let sim = opts.build(spec);
+        let field = sim.timestep(sim.num_timesteps() / 2);
+        let config = opts.pipeline_config();
+        eprintln!("[fig10] training FCNN on {} ...", spec.name);
+        let pipeline = FcnnPipeline::train(&field, &config, opts.seed).expect("training");
+        let fcnn = FcnnReconstructor::new(&pipeline);
+        let linear_seq = LinearReconstructor::sequential();
+        let linear_par = LinearReconstructor::parallel();
+        let natural = NaturalNeighborReconstructor;
+        let shepard = ShepardReconstructor::default();
+        let nearest = NearestReconstructor;
+        let methods: Vec<&dyn Reconstructor> =
+            vec![&fcnn, &linear_seq, &linear_par, &natural, &shepard, &nearest];
+
+        let rows = method_sweep(&field, &methods, &fractions, config.sampler, opts.seed);
+        let names: Vec<String> = methods.iter().map(|m| m.name().to_string()).collect();
+
+        println!(
+            "# Fig. 10 — reconstruction time (s) by method and sampling %, dataset = {} {:?}",
+            spec.name,
+            field.grid().dims()
+        );
+        let mut table = Vec::new();
+        for &f in &fractions {
+            let mut row = vec![pct(f)];
+            for name in &names {
+                let cell = rows
+                    .iter()
+                    .find(|r| r.fraction == f && &r.method == name)
+                    .map(|r| secs(r.seconds))
+                    .unwrap_or_else(|| "?".into());
+                row.push(cell);
+            }
+            table.push(row);
+        }
+        let mut header: Vec<&str> = vec!["sampling"];
+        header.extend(names.iter().map(|s| s.as_str()));
+        print!("{}", format_table(&header, &table));
+        println!();
+    }
+}

@@ -1,0 +1,100 @@
+//! Fig. 11 — SNR across the Isabel run at 3% sampling.
+//!
+//! Five curves, as in the paper: the Delaunay-linear baseline; two frozen
+//! models pretrained at the first timestep (Pf01) and at the middle of the
+//! run (Pf25); and the same two models given ~10 epochs of Case-1
+//! fine-tuning at every step. Expected shape: frozen models peak at their
+//! pretraining step and decay away from it; fine-tuned models track the
+//! data and stay above linear everywhere.
+
+use fillvoid_core::experiment::format_table;
+use fillvoid_core::pipeline::{FcnnPipeline, FineTuneSpec};
+use fillvoid_core::timesteps::{baseline_replay, replay, ReplayConfig};
+use fv_bench::{db, ExpOpts};
+use fv_interp::linear::LinearReconstructor;
+use fv_sims::DatasetSpec;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let spec = DatasetSpec::by_name("isabel").expect("isabel is registered");
+    let sim = opts.build(spec);
+    let n_steps = sim.num_timesteps();
+    // Evaluate every 3rd step at tiny/small scale to keep single-core runs
+    // interactive; every step at --medium and --full.
+    let stride = match opts.scale {
+        fv_sims::Scale::Tiny | fv_sims::Scale::Small => 3,
+        _ => 1,
+    };
+    let timesteps: Vec<usize> = (0..n_steps).step_by(stride).collect();
+    let fraction = 0.03;
+    let config = opts.pipeline_config();
+    let pretrain_a = 0;
+    let pretrain_b = n_steps / 2;
+
+    eprintln!("[fig11] pretraining Pf{pretrain_a:02} and Pf{pretrain_b:02} ...");
+    let model_a = FcnnPipeline::train(&sim.timestep(pretrain_a), &config, opts.seed).unwrap();
+    let model_b = FcnnPipeline::train(&sim.timestep(pretrain_b), &config, opts.seed ^ 1).unwrap();
+
+    let frozen_cfg = ReplayConfig {
+        fraction,
+        fine_tune: None,
+        seed: opts.seed,
+        sampler: config.sampler,
+    };
+    let tuned_cfg = ReplayConfig {
+        fine_tune: Some(FineTuneSpec::case1()),
+        ..frozen_cfg.clone()
+    };
+
+    let linear = LinearReconstructor::default();
+    let base = baseline_replay(sim.as_ref(), &linear, &timesteps, &frozen_cfg);
+    let frozen_a = replay(sim.as_ref(), &mut model_a.clone(), &timesteps, &frozen_cfg).unwrap();
+    let frozen_b = replay(sim.as_ref(), &mut model_b.clone(), &timesteps, &frozen_cfg).unwrap();
+    let tuned_a = replay(sim.as_ref(), &mut model_a.clone(), &timesteps, &tuned_cfg).unwrap();
+    let tuned_b = replay(sim.as_ref(), &mut model_b.clone(), &timesteps, &tuned_cfg).unwrap();
+
+    println!(
+        "# Fig. 11 — SNR (dB) across {} timesteps of isabel at 3% sampling (grid {:?})",
+        timesteps.len(),
+        sim.grid().dims()
+    );
+    let header = [
+        "t",
+        "linear",
+        "fcnn_pf_first",
+        "fcnn_pf_mid",
+        "finetune_first",
+        "finetune_mid",
+    ];
+    let table: Vec<Vec<String>> = timesteps
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            vec![
+                t.to_string(),
+                db(base[i].snr),
+                db(frozen_a[i].snr),
+                db(frozen_b[i].snr),
+                db(tuned_a[i].snr),
+                db(tuned_b[i].snr),
+            ]
+        })
+        .collect();
+    print!("{}", format_table(&header, &table));
+
+    if let Some(path) = &opts.csv {
+        let file = std::fs::File::create(path).expect("create csv");
+        fillvoid_core::report::replay_rows_csv(
+            &[
+                ("linear", base.as_slice()),
+                ("fcnn_pf_first", frozen_a.as_slice()),
+                ("fcnn_pf_mid", frozen_b.as_slice()),
+                ("finetune_first", tuned_a.as_slice()),
+                ("finetune_mid", tuned_b.as_slice()),
+            ],
+            file,
+        )
+        .expect("write csv");
+        eprintln!("[fig11] wrote {}", path.display());
+    }
+}

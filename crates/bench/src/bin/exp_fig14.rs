@@ -1,0 +1,53 @@
+//! Fig. 14 — effect of training-set subsampling on reconstruction quality.
+//!
+//! The paper trains on 100%, 50% and 25% of the 1%+5% training rows and
+//! finds the quality loss negligible while training time drops almost
+//! linearly (Table II). This binary prints the SNR series; `exp_table2`
+//! prints the timing side.
+
+use fillvoid_core::experiment::{format_table, variant_series};
+use fillvoid_core::pipeline::PipelineConfig;
+use fv_bench::{db, pct, ExpOpts};
+use fv_sims::DatasetSpec;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let spec = DatasetSpec::by_name("isabel").expect("isabel is registered");
+    let sim = opts.build(spec);
+    let field = sim.timestep(sim.num_timesteps() / 2);
+    let base = opts.pipeline_config();
+    let test_fractions = opts.fraction_axis();
+
+    let mut series = Vec::new();
+    for keep in [1.0f64, 0.5, 0.25] {
+        let config = PipelineConfig {
+            train_row_fraction: keep,
+            ..base.clone()
+        };
+        let label = format!("{}% rows", (keep * 100.0) as u32);
+        eprintln!("[fig14] training with {label} ...");
+        series.push(
+            variant_series(&field, &label, &config, &test_fractions, opts.seed)
+                .expect("variant trains"),
+        );
+    }
+
+    println!("# Fig. 14 — SNR when training on a fraction of the training rows (isabel)");
+    println!("# scale: {:?}, grid: {:?}", opts.scale, field.grid().dims());
+    let mut table = Vec::new();
+    for (i, &f) in test_fractions.iter().enumerate() {
+        let mut row = vec![pct(f)];
+        for s in &series {
+            row.push(db(s.points[i].1));
+        }
+        table.push(row);
+    }
+    print!(
+        "{}",
+        format_table(&["sampling", "100%_rows", "50%_rows", "25%_rows"], &table)
+    );
+    println!(
+        "# training seconds: 100% = {:.2}, 50% = {:.2}, 25% = {:.2}",
+        series[0].train_seconds, series[1].train_seconds, series[2].train_seconds
+    );
+}

@@ -1,0 +1,55 @@
+//! Figs. 2–3 — qualitative comparison renders.
+//!
+//! Writes greyscale PGM slices (plus CSV) of the ground truth and of the
+//! FCNN, Delaunay-linear and natural-neighbor reconstructions at 1%
+//! sampling, for the combustion and ionization datasets — the paper's two
+//! qualitative figures. Output lands in `target/exp_qualitative/`.
+
+use fillvoid_core::experiment::FcnnReconstructor;
+use fillvoid_core::metrics::snr_db;
+use fillvoid_core::pipeline::FcnnPipeline;
+use fillvoid_core::render::save_slice_pgm;
+use fv_bench::{db, ExpOpts};
+use fv_interp::linear::LinearReconstructor;
+use fv_interp::natural::NaturalNeighborReconstructor;
+use fv_interp::Reconstructor;
+use fv_sampling::{FieldSampler, ImportanceSampler};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let out_dir = std::path::Path::new("target/exp_qualitative");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+
+    for spec in opts.datasets() {
+        if spec.name == "isabel" && opts.dataset.is_none() {
+            continue; // the paper's qualitative figures use the other two
+        }
+        let sim = opts.build(spec);
+        let field = sim.timestep(sim.num_timesteps() / 2);
+        let plane = field.grid().dims()[2] / 2;
+        let config = opts.pipeline_config();
+        eprintln!("[qualitative] training FCNN on {} ...", spec.name);
+        let pipeline = FcnnPipeline::train(&field, &config, opts.seed).expect("training");
+        let fcnn = FcnnReconstructor::new(&pipeline);
+        let sampler = ImportanceSampler::new(config.sampler);
+        let cloud = sampler.sample(&field, 0.01, opts.seed);
+
+        save_slice_pgm(&field, plane, out_dir.join(format!("{}_truth.pgm", spec.name)))
+            .expect("write truth");
+        println!("# {} (1% sampling, z-slice {plane})", spec.name);
+        let linear = LinearReconstructor::default();
+        let natural = NaturalNeighborReconstructor;
+        let methods: Vec<&dyn Reconstructor> = vec![&fcnn, &linear, &natural];
+        for method in methods {
+            let recon = method.reconstruct(&cloud, field.grid()).expect("reconstruct");
+            let path = out_dir.join(format!("{}_{}.pgm", spec.name, method.name()));
+            save_slice_pgm(&recon, plane, &path).expect("write slice");
+            println!(
+                "  {:>8}: SNR {} dB -> {}",
+                method.name(),
+                db(snr_db(&field, &recon)),
+                path.display()
+            );
+        }
+    }
+}

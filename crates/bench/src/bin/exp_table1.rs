@@ -1,0 +1,59 @@
+//! Table I — training time for the different datasets and resolutions.
+//!
+//! The paper reports 500-epoch training times (Isabel 250²×50: 533 s;
+//! Isabel 500²×100: 3737 s; Combustion: 829 s; Ionization: 5522 s on a
+//! 64-core + 2×A100 node). We re-measure on this host at the selected
+//! scale; the *ratios* between rows are the reproducible shape (time
+//! scales with void count, i.e. with grid size).
+
+use fillvoid_core::experiment::format_table;
+use fillvoid_core::pipeline::FcnnPipeline;
+use fv_bench::{secs, ExpOpts};
+use std::time::Instant;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let config = opts.pipeline_config();
+
+    println!(
+        "# Table I — training time for {} epochs (scale {:?})",
+        config.trainer.epochs, opts.scale
+    );
+    let mut table = Vec::new();
+    // The paper's four rows: the three datasets plus high-res Isabel.
+    for spec in opts.datasets() {
+        let sim = opts.build(spec);
+        let field = sim.timestep(sim.num_timesteps() / 2);
+        eprintln!("[table1] training on {} {:?} ...", spec.name, field.grid().dims());
+        let start = Instant::now();
+        let _ = FcnnPipeline::train(&field, &config, opts.seed).expect("training");
+        let elapsed = start.elapsed().as_secs_f64();
+        let d = field.grid().dims();
+        table.push(vec![
+            spec.name.to_string(),
+            format!("{}x{}x{}", d[0], d[1], d[2]),
+            secs(elapsed),
+        ]);
+
+        if spec.name == "isabel" {
+            // High-resolution Isabel row (2x per dimension).
+            let high_grid = field.grid().refined(2).expect("refine");
+            let high = sim.timestep_on(sim.num_timesteps() / 2, high_grid);
+            eprintln!("[table1] training on isabel-hi {:?} ...", high.grid().dims());
+            let start = Instant::now();
+            let _ = FcnnPipeline::train(&high, &config, opts.seed).expect("training");
+            let elapsed_hi = start.elapsed().as_secs_f64();
+            let dh = high.grid().dims();
+            table.push(vec![
+                "isabel-hi".to_string(),
+                format!("{}x{}x{}", dh[0], dh[1], dh[2]),
+                secs(elapsed_hi),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        format_table(&["dataset", "resolution", "train_s"], &table)
+    );
+    println!("# paper (500 epochs, GPU node): isabel 533s, isabel-hi 3737s, combustion 829s, ionization 5522s");
+}

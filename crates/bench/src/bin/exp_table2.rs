@@ -1,0 +1,56 @@
+//! Table II — effect of training-row subsampling on training time
+//! (Isabel).
+//!
+//! Paper rows (500 epochs): 100% → 533 s, 50% → 275 s, 25% → 161 s. The
+//! reproducible shape is the near-linear drop in time with kept rows;
+//! Fig. 14 (see `exp_fig14`) shows the corresponding — negligible —
+//! quality cost.
+
+use fillvoid_core::experiment::format_table;
+use fillvoid_core::pipeline::{FcnnPipeline, PipelineConfig};
+use fv_bench::{secs, ExpOpts};
+use fv_sims::DatasetSpec;
+use std::time::Instant;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let spec = DatasetSpec::by_name("isabel").expect("isabel is registered");
+    let sim = opts.build(spec);
+    let field = sim.timestep(sim.num_timesteps() / 2);
+    let base = opts.pipeline_config();
+
+    println!(
+        "# Table II — training time vs %% of training rows (isabel {:?}, {} epochs)",
+        field.grid().dims(),
+        base.trainer.epochs
+    );
+    let mut table = Vec::new();
+    let mut reference = None;
+    for keep in [1.0f64, 0.5, 0.25] {
+        let config = PipelineConfig {
+            train_row_fraction: keep,
+            ..base.clone()
+        };
+        eprintln!("[table2] training with {}% of rows ...", (keep * 100.0) as u32);
+        let start = Instant::now();
+        let _ = FcnnPipeline::train(&field, &config, opts.seed).expect("training");
+        let elapsed = start.elapsed().as_secs_f64();
+        let rel = match reference {
+            None => {
+                reference = Some(elapsed);
+                1.0
+            }
+            Some(r) => elapsed / r,
+        };
+        table.push(vec![
+            format!("{}%", (keep * 100.0) as u32),
+            secs(elapsed),
+            format!("{rel:.2}x"),
+        ]);
+    }
+    print!(
+        "{}",
+        format_table(&["rows_kept", "train_s", "relative"], &table)
+    );
+    println!("# paper (500 epochs): 100% -> 533s, 50% -> 275s (0.52x), 25% -> 161s (0.30x)");
+}

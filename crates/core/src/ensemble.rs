@@ -1,0 +1,205 @@
+//! Uncertainty-aware reconstruction via deep ensembles — the paper's
+//! future-work item (3) in Sec. V, implemented.
+//!
+//! An [`EnsemblePipeline`] trains `E` independent FCNNs that differ only
+//! in their initialization/shuffling seeds (the standard deep-ensembles
+//! recipe of Lakshminarayanan et al.). Reconstruction returns both the
+//! ensemble-mean field and a per-voxel standard-deviation field — a
+//! practical error proxy: where the members disagree, the reconstruction
+//! is untrustworthy (typically far from any sample, or across a feature
+//! the sampling missed).
+
+use crate::error::CoreError;
+use crate::pipeline::{FcnnPipeline, FineTuneSpec, PipelineConfig};
+use fv_field::{Grid3, ScalarField};
+use fv_sampling::PointCloud;
+
+/// A reconstruction with a per-voxel uncertainty estimate.
+#[derive(Debug, Clone)]
+pub struct UncertainReconstruction {
+    /// Ensemble-mean reconstruction.
+    pub mean: ScalarField,
+    /// Per-voxel standard deviation across ensemble members.
+    pub std_dev: ScalarField,
+}
+
+/// An ensemble of independently trained reconstruction pipelines.
+#[derive(Debug, Clone)]
+pub struct EnsemblePipeline {
+    members: Vec<FcnnPipeline>,
+}
+
+impl EnsemblePipeline {
+    /// Train `size` members on the same timestep with decorrelated seeds.
+    pub fn train(
+        field: &ScalarField,
+        config: &PipelineConfig,
+        size: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if size == 0 {
+            return Err(CoreError::BadConfig("ensemble size must be >= 1".into()));
+        }
+        let mut members = Vec::with_capacity(size);
+        for e in 0..size {
+            let member_seed = seed ^ ((e as u64 + 1).wrapping_mul(0x9E37_79B9));
+            members.push(FcnnPipeline::train(field, config, member_seed)?);
+        }
+        Ok(Self { members })
+    }
+
+    /// Number of ensemble members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Borrow the members (e.g. to persist them individually).
+    pub fn members(&self) -> &[FcnnPipeline] {
+        &self.members
+    }
+
+    /// Fine-tune every member on a new timestep.
+    pub fn fine_tune(
+        &mut self,
+        field: &ScalarField,
+        spec: &FineTuneSpec,
+    ) -> Result<(), CoreError> {
+        for (e, member) in self.members.iter_mut().enumerate() {
+            let mut member_spec = spec.clone();
+            member_spec.seed ^= e as u64;
+            member.fine_tune(field, &member_spec)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstruct with uncertainty: mean and standard deviation across
+    /// members at every grid node.
+    ///
+    /// At nodes that were *sampled* (when `target` matches the cloud's
+    /// grid), every member reproduces the stored value exactly, so the
+    /// standard deviation there is zero — the uncertainty map highlights
+    /// void regions only, as it should.
+    pub fn reconstruct(
+        &self,
+        cloud: &PointCloud,
+        target: &Grid3,
+    ) -> Result<UncertainReconstruction, CoreError> {
+        let reconstructions: Vec<ScalarField> = self
+            .members
+            .iter()
+            .map(|m| m.reconstruct(cloud, target))
+            .collect::<Result<_, _>>()?;
+        let n = target.num_points();
+        let e = reconstructions.len() as f64;
+        let mut mean = vec![0.0f64; n];
+        for r in &reconstructions {
+            for (acc, &v) in mean.iter_mut().zip(r.values()) {
+                *acc += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= e;
+        }
+        let mut var = vec![0.0f64; n];
+        for r in &reconstructions {
+            for ((acc, &v), &m) in var.iter_mut().zip(r.values()).zip(mean.iter()) {
+                let d = v as f64 - m;
+                *acc += d * d;
+            }
+        }
+        let std_dev: Vec<f32> = var.iter().map(|&s| ((s / e).sqrt()) as f32).collect();
+        let mean: Vec<f32> = mean.into_iter().map(|m| m as f32).collect();
+        Ok(UncertainReconstruction {
+            mean: ScalarField::from_vec(*target, mean)?,
+            std_dev: ScalarField::from_vec(*target, std_dev)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_sampling::{FieldSampler, ImportanceSampler};
+
+    fn field() -> ScalarField {
+        let g = Grid3::new([12, 12, 6]).unwrap();
+        ScalarField::from_world_fn(g, |p| ((p[0] * 0.5).sin() + 0.2 * p[1]) as f32)
+    }
+
+    fn config() -> PipelineConfig {
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.trainer.epochs = 8;
+        cfg
+    }
+
+    #[test]
+    fn rejects_empty_ensemble() {
+        assert!(matches!(
+            EnsemblePipeline::train(&field(), &config(), 0, 1),
+            Err(CoreError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn members_differ_and_mean_is_reasonable() {
+        let f = field();
+        let ens = EnsemblePipeline::train(&f, &config(), 3, 7).unwrap();
+        assert_eq!(ens.size(), 3);
+        // members trained with different seeds have different weights
+        assert_ne!(ens.members()[0].mlp(), ens.members()[1].mlp());
+
+        let cloud = ImportanceSampler::default().sample(&f, 0.05, 2);
+        let ur = ens.reconstruct(&cloud, f.grid()).unwrap();
+        assert_eq!(ur.mean.len(), f.len());
+        assert_eq!(ur.std_dev.len(), f.len());
+        assert!(ur.std_dev.values().iter().all(|&s| s >= 0.0 && s.is_finite()));
+    }
+
+    #[test]
+    fn sampled_nodes_have_zero_uncertainty() {
+        let f = field();
+        let ens = EnsemblePipeline::train(&f, &config(), 2, 3).unwrap();
+        let cloud = ImportanceSampler::default().sample(&f, 0.05, 5);
+        let ur = ens.reconstruct(&cloud, f.grid()).unwrap();
+        for &idx in cloud.indices() {
+            assert_eq!(ur.std_dev.values()[idx], 0.0, "sampled node {idx}");
+            assert_eq!(ur.mean.values()[idx], f.values()[idx]);
+        }
+        // but *some* void node carries nonzero uncertainty
+        let max_std = ur.std_dev.values().iter().cloned().fold(0.0f32, f32::max);
+        assert!(max_std > 0.0);
+    }
+
+    #[test]
+    fn single_member_ensemble_matches_pipeline() {
+        let f = field();
+        let cfg = config();
+        let ens = EnsemblePipeline::train(&f, &cfg, 1, 11).unwrap();
+        let cloud = ImportanceSampler::default().sample(&f, 0.05, 1);
+        let ur = ens.reconstruct(&cloud, f.grid()).unwrap();
+        // std of a single member is identically zero
+        assert!(ur.std_dev.values().iter().all(|&s| s == 0.0));
+        let direct = ens.members()[0].reconstruct(&cloud, f.grid()).unwrap();
+        for (a, b) in ur.mean.values().iter().zip(direct.values()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fine_tune_updates_all_members() {
+        let f = field();
+        let mut ens = EnsemblePipeline::train(&f, &config(), 2, 5).unwrap();
+        let before: Vec<_> = ens.members().iter().map(|m| m.mlp().clone()).collect();
+        ens.fine_tune(
+            &f,
+            &FineTuneSpec {
+                epochs: 2,
+                ..FineTuneSpec::case1()
+            },
+        )
+        .unwrap();
+        for (b, m) in before.iter().zip(ens.members()) {
+            assert_ne!(b, m.mlp(), "member not updated");
+        }
+    }
+}

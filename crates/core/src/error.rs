@@ -1,0 +1,66 @@
+//! Error type for the reconstruction pipeline.
+
+use std::fmt;
+
+/// Errors from the FCNN reconstruction pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A field-layer failure (grid mismatch, I/O, ...).
+    Field(fv_field::FieldError),
+    /// A network-layer failure (widths, training, serialization).
+    Nn(fv_nn::NnError),
+    /// The sampled cloud is empty.
+    EmptyCloud,
+    /// The sampling left no void locations to train on.
+    NoVoids,
+    /// Configuration rejected.
+    BadConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Field(e) => write!(f, "field error: {e}"),
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::EmptyCloud => write!(f, "sampled cloud is empty"),
+            CoreError::NoVoids => write!(f, "sampling kept every point; nothing to train on"),
+            CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Field(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fv_field::FieldError> for CoreError {
+    fn from(e: fv_field::FieldError) -> Self {
+        CoreError::Field(e)
+    }
+}
+
+impl From<fv_nn::NnError> for CoreError {
+    fn from(e: fv_nn::NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: CoreError = fv_nn::NnError::EmptyNetwork.into();
+        assert!(e.to_string().contains("network"));
+        assert!(CoreError::EmptyCloud.to_string().contains("empty"));
+        assert!(CoreError::NoVoids.to_string().contains("void") || CoreError::NoVoids.to_string().contains("train"));
+        assert!(CoreError::BadConfig("k=0".into()).to_string().contains("k=0"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Feature engineering: the paper's `[1×23]` input and `[1×4]` target
+//! vectors (Sec. III-D, Fig. 4).
+//!
+//! For each void location, the `k = 5` nearest sampled points are found
+//! with a k-d tree; the feature vector concatenates, for each neighbor,
+//! its unit-frame coordinates and normalized scalar value (`k×4` entries),
+//! followed by the void location's own unit coordinates (3 entries) —
+//! `5·4 + 3 = 23`. The training target is the normalized scalar at the
+//! void plus its three dimensionless gradient components (`1 + 3 = 4`);
+//! dropping the gradients reproduces the "no gradient" ablation of Fig. 8.
+
+use crate::normalize::{CoordFrame, ValueNorm};
+use fv_field::gradient::GradientField;
+use fv_field::{Grid3, ScalarField};
+use fv_linalg::Matrix;
+use fv_sampling::PointCloud;
+use fv_spatial::KdTree;
+use rayon::prelude::*;
+
+/// Feature-extraction configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureConfig {
+    /// Number of nearest sampled points per void location (paper: 5).
+    pub k: usize,
+    /// Express neighbor coordinates relative to the void location instead
+    /// of absolutely (ablation; the paper uses absolute coordinates).
+    pub relative_coords: bool,
+    /// Supervise on gradients in addition to the scalar (paper: true;
+    /// `false` reproduces Fig. 8's "without gradient" curve).
+    pub predict_gradients: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            relative_coords: false,
+            predict_gradients: true,
+        }
+    }
+}
+
+impl FeatureConfig {
+    /// Width of the input vector: `k·4 + 3`.
+    pub fn input_width(&self) -> usize {
+        self.k * 4 + 3
+    }
+
+    /// Width of the target vector: 4 with gradients, 1 without.
+    pub fn target_width(&self) -> usize {
+        if self.predict_gradients {
+            4
+        } else {
+            1
+        }
+    }
+}
+
+/// A reusable feature extractor bound to one sampled cloud.
+///
+/// Holds the cloud's k-d tree so repeated extractions (training set build,
+/// then full-grid reconstruction) share the index.
+pub struct FeatureExtractor<'a> {
+    cloud: &'a PointCloud,
+    tree: KdTree,
+    config: FeatureConfig,
+    values: &'a [f32],
+}
+
+impl<'a> FeatureExtractor<'a> {
+    /// Build the extractor (constructs the k-d tree).
+    pub fn new(cloud: &'a PointCloud, config: FeatureConfig) -> Self {
+        Self {
+            tree: KdTree::build(cloud.positions()),
+            values: cloud.values(),
+            cloud,
+            config,
+        }
+    }
+
+    /// The bound configuration.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Feature matrix for a set of query positions expressed as linear
+    /// indices of `grid`. Rows align with `queries`.
+    ///
+    /// `frame` must be the unit frame of `grid`; `values` the value
+    /// normalization fitted on the *training* data.
+    pub fn features_for(
+        &self,
+        grid: &Grid3,
+        frame: &CoordFrame,
+        values: &ValueNorm,
+        queries: &[usize],
+    ) -> Matrix<f32> {
+        let width = self.config.input_width();
+        let k = self.config.k;
+        let relative = self.config.relative_coords;
+        let positions = self.cloud.positions();
+        let mut out = Matrix::zeros(queries.len(), width);
+        out.as_mut_slice()
+            .par_chunks_mut(width)
+            .zip(queries.par_iter())
+            .for_each(|(row, &qidx)| {
+                let p = grid.world_linear(qidx);
+                let up = frame.to_unit(p);
+                let neighbors = self.tree.k_nearest(positions, p, k);
+                // If the cloud has fewer than k points, repeat the last
+                // neighbor so the width stays fixed.
+                for slot in 0..k {
+                    let n = neighbors
+                        .get(slot)
+                        .or_else(|| neighbors.last())
+                        .expect("cloud checked non-empty at pipeline level");
+                    let un = frame.to_unit(positions[n.index]);
+                    let base = slot * 4;
+                    if relative {
+                        row[base] = un[0] - up[0];
+                        row[base + 1] = un[1] - up[1];
+                        row[base + 2] = un[2] - up[2];
+                    } else {
+                        row[base] = un[0];
+                        row[base + 1] = un[1];
+                        row[base + 2] = un[2];
+                    }
+                    row[base + 3] = values.normalize(self.values[n.index]);
+                }
+                row[k * 4] = up[0];
+                row[k * 4 + 1] = up[1];
+                row[k * 4 + 2] = up[2];
+            });
+        out
+    }
+}
+
+/// Build training targets for void locations from the ground-truth field
+/// (available in situ for the current timestep).
+pub fn training_targets(
+    field: &ScalarField,
+    frame: &CoordFrame,
+    values: &ValueNorm,
+    voids: &[usize],
+    config: &FeatureConfig,
+) -> Matrix<f32> {
+    let width = config.target_width();
+    let mut out = Matrix::zeros(voids.len(), width);
+    if config.predict_gradients {
+        let grads = GradientField::compute(field);
+        out.as_mut_slice()
+            .par_chunks_mut(width)
+            .zip(voids.par_iter())
+            .for_each(|(row, &idx)| {
+                row[0] = values.normalize(field.values()[idx]);
+                let g = grads.at_linear(idx);
+                for a in 0..3 {
+                    row[1 + a] = frame.gradient_to_unit(g[a], a, values);
+                }
+            });
+    } else {
+        out.as_mut_slice()
+            .par_chunks_mut(width)
+            .zip(voids.par_iter())
+            .for_each(|(row, &idx)| {
+                row[0] = values.normalize(field.values()[idx]);
+            });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_sampling::{FieldSampler, RandomSampler};
+
+    fn setup() -> (ScalarField, PointCloud) {
+        let g = Grid3::new([8, 8, 8]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[0] + 2.0 * p[1] + 3.0 * p[2]) as f32);
+        let cloud = RandomSampler.sample(&f, 0.1, 5);
+        (f, cloud)
+    }
+
+    #[test]
+    fn widths_match_paper() {
+        let cfg = FeatureConfig::default();
+        assert_eq!(cfg.input_width(), 23);
+        assert_eq!(cfg.target_width(), 4);
+        let no_grad = FeatureConfig {
+            predict_gradients: false,
+            ..cfg
+        };
+        assert_eq!(no_grad.target_width(), 1);
+        let k3 = FeatureConfig { k: 3, ..cfg };
+        assert_eq!(k3.input_width(), 15);
+    }
+
+    #[test]
+    fn feature_rows_have_expected_layout() {
+        let (f, cloud) = setup();
+        let cfg = FeatureConfig::default();
+        let frame = CoordFrame::of_grid(f.grid());
+        let vnorm = ValueNorm::fit(cloud.values());
+        let ex = FeatureExtractor::new(&cloud, cfg);
+        let voids = cloud.void_indices();
+        let feats = ex.features_for(f.grid(), &frame, &vnorm, &voids[..10]);
+        assert_eq!(feats.shape(), (10, 23));
+        for r in 0..10 {
+            let row = feats.row(r);
+            // all unit coordinates in [0, 1]
+            for slot in 0..5 {
+                for a in 0..3 {
+                    let c = row[slot * 4 + a];
+                    assert!((-0.01..=1.01).contains(&c), "coord {c}");
+                }
+                let v = row[slot * 4 + 3];
+                assert!((-0.01..=1.01).contains(&v), "value {v}");
+            }
+            // void coords are the query position in unit frame
+            let q = voids[r];
+            let uq = frame.to_unit(f.grid().world_linear(q));
+            assert!((row[20] - uq[0]).abs() < 1e-6);
+            assert!((row[21] - uq[1]).abs() < 1e-6);
+            assert!((row[22] - uq[2]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_is_first_slot() {
+        let (f, cloud) = setup();
+        let cfg = FeatureConfig::default();
+        let frame = CoordFrame::of_grid(f.grid());
+        let vnorm = ValueNorm::fit(cloud.values());
+        let ex = FeatureExtractor::new(&cloud, cfg);
+        // Query exactly at a sampled point: first neighbor must be itself.
+        let sample_idx = cloud.indices()[3];
+        let feats = ex.features_for(f.grid(), &frame, &vnorm, &[sample_idx]);
+        let row = feats.row(0);
+        let up = frame.to_unit(f.grid().world_linear(sample_idx));
+        assert!((row[0] - up[0]).abs() < 1e-6);
+        assert!((row[3] - vnorm.normalize(cloud.values()[3])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relative_coords_shift_neighbors() {
+        let (f, cloud) = setup();
+        let frame = CoordFrame::of_grid(f.grid());
+        let vnorm = ValueNorm::fit(cloud.values());
+        let absolute = FeatureExtractor::new(&cloud, FeatureConfig::default());
+        let relative = FeatureExtractor::new(
+            &cloud,
+            FeatureConfig {
+                relative_coords: true,
+                ..FeatureConfig::default()
+            },
+        );
+        let q = cloud.void_indices()[0];
+        let fa = absolute.features_for(f.grid(), &frame, &vnorm, &[q]);
+        let fr = relative.features_for(f.grid(), &frame, &vnorm, &[q]);
+        let uq = frame.to_unit(f.grid().world_linear(q));
+        for slot in 0..5 {
+            for a in 0..3 {
+                let abs_c = fa.row(0)[slot * 4 + a];
+                let rel_c = fr.row(0)[slot * 4 + a];
+                assert!((abs_c - uq[a] - rel_c).abs() < 1e-6);
+            }
+            // values identical
+            assert_eq!(fa.row(0)[slot * 4 + 3], fr.row(0)[slot * 4 + 3]);
+        }
+    }
+
+    #[test]
+    fn tiny_cloud_pads_neighbors() {
+        let g = Grid3::new([4, 4, 4]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| p[0] as f32);
+        let cloud = PointCloud::from_indices(&f, vec![0, 63]);
+        let cfg = FeatureConfig::default();
+        let ex = FeatureExtractor::new(&cloud, cfg);
+        let frame = CoordFrame::of_grid(&g);
+        let vnorm = ValueNorm::fit(cloud.values());
+        let feats = ex.features_for(&g, &frame, &vnorm, &[30]);
+        assert_eq!(feats.shape(), (1, 23));
+        // slots 2..5 repeat the second (last available) neighbor
+        let row = feats.row(0);
+        for slot in 2..5 {
+            for off in 0..4 {
+                assert_eq!(row[slot * 4 + off], row[1 * 4 + off]);
+            }
+        }
+    }
+
+    #[test]
+    fn targets_scalar_and_gradient() {
+        let (f, cloud) = setup();
+        let cfg = FeatureConfig::default();
+        let frame = CoordFrame::of_grid(f.grid());
+        let vnorm = ValueNorm::fit(f.values()); // full-range norm for clarity
+        let voids = cloud.void_indices();
+        let t = training_targets(&f, &frame, &vnorm, &voids[..6], &cfg);
+        assert_eq!(t.shape(), (6, 4));
+        // f = x + 2y + 3z on a 7-extent cube; value range = 42.
+        // unit-gradients: 1*7/42, 2*7/42, 3*7/42
+        for r in 0..6 {
+            let row = t.row(r);
+            assert!((row[1] - 7.0 / 42.0).abs() < 1e-3, "gx {}", row[1]);
+            assert!((row[2] - 14.0 / 42.0).abs() < 1e-3);
+            assert!((row[3] - 21.0 / 42.0).abs() < 1e-3);
+        }
+        let scalar_only = FeatureConfig {
+            predict_gradients: false,
+            ..cfg
+        };
+        let t1 = training_targets(&f, &frame, &vnorm, &voids[..6], &scalar_only);
+        assert_eq!(t1.shape(), (6, 1));
+        for r in 0..6 {
+            assert_eq!(t1.row(r)[0], t.row(r)[0]);
+        }
+    }
+}

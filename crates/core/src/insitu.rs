@@ -1,0 +1,227 @@
+//! An adaptive in-situ session driver — operationalizing the paper's
+//! "pretrain once, fine-tune as needed" recipe.
+//!
+//! The paper fine-tunes at *every* timestep (Fig. 11). In production the
+//! interesting question is *when* fine-tuning is actually needed: a
+//! slowly-evolving simulation can reuse one model for many steps. An
+//! [`InSituSession`] monitors the pretrained model's loss on a small probe
+//! of each incoming timestep and fine-tunes only when drift exceeds a
+//! threshold — trading a little quality headroom for most of the
+//! fine-tuning cost.
+
+use crate::error::CoreError;
+use crate::metrics::snr_db;
+use crate::pipeline::{build_training_set, FcnnPipeline, FineTuneSpec, PipelineConfig, TrainCorpus};
+use fv_field::ScalarField;
+use fv_nn::train::Trainer;
+use fv_sampling::{FieldSampler, ImportanceConfig, ImportanceSampler, PointCloud};
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct InSituConfig {
+    /// Storage budget per timestep.
+    pub fraction: f64,
+    /// Fine-tune recipe applied when drift triggers.
+    pub fine_tune: FineTuneSpec,
+    /// Fine-tune when the probe loss exceeds the best seen loss by this
+    /// relative factor (e.g. `0.5` = 50% worse). `None` fine-tunes every
+    /// step (the paper's Fig. 11 behaviour).
+    pub drift_threshold: Option<f32>,
+    /// Rows in the drift probe.
+    pub probe_rows: usize,
+    /// Also score each reconstruction against the ground truth (cheap at
+    /// experiment scale; off for production runs).
+    pub score: bool,
+    /// Sampler settings.
+    pub sampler: ImportanceConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for InSituConfig {
+    fn default() -> Self {
+        Self {
+            fraction: 0.03,
+            fine_tune: FineTuneSpec::case1(),
+            drift_threshold: Some(0.5),
+            probe_rows: 2048,
+            score: true,
+            sampler: ImportanceConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// What happened at one timestep of the session.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Timestep counter (increments per [`InSituSession::step`]).
+    pub step: usize,
+    /// Points retained by the sampler.
+    pub stored_points: usize,
+    /// Probe loss *before* any fine-tuning.
+    pub probe_loss: f32,
+    /// Whether the drift monitor triggered a fine-tune.
+    pub fine_tuned: bool,
+    /// Reconstruction SNR (dB), when scoring is enabled.
+    pub snr: Option<f64>,
+}
+
+/// A stateful pretrain-once, fine-tune-on-drift reconstruction session.
+#[derive(Debug, Clone)]
+pub struct InSituSession {
+    pipeline: FcnnPipeline,
+    config: InSituConfig,
+    best_probe_loss: f32,
+    step: usize,
+}
+
+impl InSituSession {
+    /// Start a session from a pretrained pipeline.
+    pub fn new(pipeline: FcnnPipeline, config: InSituConfig) -> Self {
+        Self {
+            pipeline,
+            config,
+            best_probe_loss: f32::INFINITY,
+            step: 0,
+        }
+    }
+
+    /// The current model.
+    pub fn pipeline(&self) -> &FcnnPipeline {
+        &self.pipeline
+    }
+
+    /// Ingest one timestep: sample it, decide whether to fine-tune,
+    /// reconstruct from the samples, and report.
+    ///
+    /// Returns the sampled cloud (the artifact that would be written to
+    /// storage), the reconstruction, and the step report.
+    pub fn step(
+        &mut self,
+        field: &ScalarField,
+    ) -> Result<(PointCloud, ScalarField, StepReport), CoreError> {
+        let t = self.step;
+        self.step += 1;
+        let sampler = ImportanceSampler::new(self.config.sampler);
+        let cloud = sampler.sample(field, self.config.fraction, self.config.seed ^ (t as u64) << 9);
+
+        // Drift probe: the current model's loss on a small sample of this
+        // timestep's would-be training rows.
+        let probe_cfg = PipelineConfig {
+            hidden: vec![1], // unused by build_training_set
+            features: *self.pipeline.feature_config(),
+            trainer: fv_nn::TrainerConfig::default(),
+            corpus: TrainCorpus::Single(self.config.fraction),
+            sampler: self.config.sampler,
+            train_row_fraction: 1.0,
+            prediction_batch: 8192,
+        };
+        let full_probe =
+            build_training_set(field, &probe_cfg, self.pipeline.value_norm(), self.config.seed ^ t as u64)?;
+        let probe = if full_probe.len() > self.config.probe_rows {
+            full_probe.subsample(
+                self.config.probe_rows as f64 / full_probe.len() as f64,
+                self.config.seed ^ 0xBEEF,
+            )
+        } else {
+            full_probe
+        };
+        let probe_loss = Trainer::default().evaluate(self.pipeline.mlp(), &probe)?;
+
+        let should_tune = match self.config.drift_threshold {
+            None => true,
+            Some(threshold) => {
+                !self.best_probe_loss.is_finite()
+                    || probe_loss > self.best_probe_loss * (1.0 + threshold)
+            }
+        };
+        if should_tune {
+            let mut spec = self.config.fine_tune.clone();
+            spec.seed ^= t as u64;
+            self.pipeline.fine_tune(field, &spec)?;
+        }
+        if probe_loss.is_finite() {
+            self.best_probe_loss = self.best_probe_loss.min(probe_loss);
+        }
+
+        let recon = self.pipeline.reconstruct(&cloud, field.grid())?;
+        let snr = self.config.score.then(|| snr_db(field, &recon));
+        let report = StepReport {
+            step: t,
+            stored_points: cloud.len(),
+            probe_loss,
+            fine_tuned: should_tune,
+            snr,
+        };
+        Ok((cloud, recon, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_sims::{Hurricane, Simulation};
+
+    fn session(drift: Option<f32>) -> (Hurricane, InSituSession) {
+        let sim = Hurricane::builder().resolution([14, 14, 6]).timesteps(10).build();
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.trainer.epochs = 8;
+        let pipeline = FcnnPipeline::train(&sim.timestep(0), &cfg, 3).unwrap();
+        let session = InSituSession::new(
+            pipeline,
+            InSituConfig {
+                fraction: 0.05,
+                drift_threshold: drift,
+                fine_tune: FineTuneSpec {
+                    epochs: 3,
+                    ..FineTuneSpec::case1()
+                },
+                probe_rows: 256,
+                ..Default::default()
+            },
+        );
+        (sim, session)
+    }
+
+    #[test]
+    fn always_tune_mode_tunes_every_step() {
+        let (sim, mut session) = session(None);
+        for t in 0..3 {
+            let (cloud, recon, report) = session.step(&sim.timestep(t)).unwrap();
+            assert_eq!(report.step, t);
+            assert!(report.fine_tuned);
+            assert!(report.probe_loss.is_finite());
+            assert!(report.snr.unwrap().is_finite());
+            assert_eq!(cloud.len(), recon.len() * 5 / 100 + usize::from(recon.len() * 5 % 100 != 0));
+        }
+    }
+
+    #[test]
+    fn high_threshold_skips_fine_tuning_on_static_data() {
+        let (sim, mut session) = session(Some(1000.0));
+        // Feed the SAME timestep repeatedly: after the first probe there is
+        // no drift, so no fine-tuning beyond what the threshold allows.
+        let field = sim.timestep(0);
+        let (_, _, first) = session.step(&field).unwrap();
+        // first step establishes the baseline (inf best -> tunes)
+        assert!(first.fine_tuned);
+        let (_, _, second) = session.step(&field).unwrap();
+        assert!(!second.fine_tuned, "static data must not re-trigger");
+    }
+
+    #[test]
+    fn drift_eventually_triggers_fine_tune() {
+        let (sim, mut session) = session(Some(0.05));
+        let mut tuned_after_first = false;
+        let _ = session.step(&sim.timestep(0)).unwrap();
+        for t in 1..6 {
+            let (_, _, report) = session.step(&sim.timestep(t * 1)).unwrap();
+            tuned_after_first |= report.fine_tuned;
+        }
+        assert!(
+            tuned_after_first,
+            "a drifting hurricane should exceed a 5% drift threshold"
+        );
+    }
+}

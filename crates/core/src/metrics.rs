@@ -1,0 +1,193 @@
+//! Reconstruction-quality metrics.
+//!
+//! The paper scores every reconstruction with the signal-to-noise ratio
+//!
+//! ```text
+//! SNR = 20 · log10(σ_raw / σ_noise)
+//! ```
+//!
+//! where `σ_raw` is the standard deviation of the original field and
+//! `σ_noise` the standard deviation of the error field (original −
+//! reconstruction). RMSE/MAE/PSNR are provided for the extended analyses.
+
+use fv_field::ScalarField;
+
+/// Signal-to-noise ratio in decibels, exactly as defined in Sec. IV.
+///
+/// Returns `f64::INFINITY` for a perfect reconstruction and `NaN` when the
+/// original field is constant (σ_raw = 0, SNR undefined).
+///
+/// # Panics
+/// Panics if the fields live on different grids.
+pub fn snr_db(original: &ScalarField, reconstruction: &ScalarField) -> f64 {
+    let noise = original
+        .difference(reconstruction)
+        .expect("SNR requires fields on the same grid");
+    let sigma_raw = original.std_dev();
+    let sigma_noise = noise.std_dev();
+    if sigma_raw == 0.0 {
+        return f64::NAN;
+    }
+    if sigma_noise == 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * (sigma_raw / sigma_noise).log10()
+}
+
+/// Root-mean-square error.
+pub fn rmse(original: &ScalarField, reconstruction: &ScalarField) -> f64 {
+    let noise = original
+        .difference(reconstruction)
+        .expect("RMSE requires fields on the same grid");
+    let n = noise.len().max(1) as f64;
+    let ss: f64 = noise
+        .values()
+        .chunks(4096)
+        .map(|c| c.iter().map(|&e| (e as f64) * (e as f64)).sum::<f64>())
+        .sum();
+    (ss / n).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(original: &ScalarField, reconstruction: &ScalarField) -> f64 {
+    let noise = original
+        .difference(reconstruction)
+        .expect("MAE requires fields on the same grid");
+    let n = noise.len().max(1) as f64;
+    let acc: f64 = noise
+        .values()
+        .chunks(4096)
+        .map(|c| c.iter().map(|&e| (e as f64).abs()).sum::<f64>())
+        .sum();
+    acc / n
+}
+
+/// Peak signal-to-noise ratio in decibels, using the original field's
+/// dynamic range as the peak.
+pub fn psnr_db(original: &ScalarField, reconstruction: &ScalarField) -> f64 {
+    let (lo, hi) = match original.min_max() {
+        Some(r) => r,
+        None => return f64::NAN,
+    };
+    let range = (hi - lo) as f64;
+    if range == 0.0 {
+        return f64::NAN;
+    }
+    let e = rmse(original, reconstruction);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * (range / e).log10()
+}
+
+/// Pearson correlation coefficient between original and reconstruction.
+///
+/// `1.0` means the reconstruction is an exact affine image of the truth;
+/// returns `NaN` when either field is constant.
+pub fn pearson(original: &ScalarField, reconstruction: &ScalarField) -> f64 {
+    assert_eq!(
+        original.grid(),
+        reconstruction.grid(),
+        "correlation requires fields on the same grid"
+    );
+    let ma = original.mean();
+    let mb = reconstruction.mean();
+    let mut cov = 0.0f64;
+    let mut va = 0.0f64;
+    let mut vb = 0.0f64;
+    for (&a, &b) in original.values().iter().zip(reconstruction.values()) {
+        let da = a as f64 - ma;
+        let db = b as f64 - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return f64::NAN;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_field::Grid3;
+
+    fn field(vals: &[f32]) -> ScalarField {
+        let g = Grid3::new([vals.len(), 1, 1]).unwrap();
+        ScalarField::from_vec(g, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn perfect_reconstruction_is_infinite_snr() {
+        let f = field(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(snr_db(&f, &f), f64::INFINITY);
+        assert_eq!(rmse(&f, &f), 0.0);
+        assert_eq!(mae(&f, &f), 0.0);
+        assert_eq!(psnr_db(&f, &f), f64::INFINITY);
+    }
+
+    #[test]
+    fn constant_original_is_nan_snr() {
+        let f = field(&[5.0; 4]);
+        let r = field(&[5.0, 5.1, 4.9, 5.0]);
+        assert!(snr_db(&f, &r).is_nan());
+        assert!(psnr_db(&f, &r).is_nan());
+    }
+
+    #[test]
+    fn snr_matches_hand_computation() {
+        // original: [0, 2] -> sigma = 1; noise: [0.1, -0.1] -> sigma = 0.1
+        let f = field(&[0.0, 2.0]);
+        let r = field(&[-0.1, 2.1]);
+        let snr = snr_db(&f, &r);
+        // f32 storage rounds 2.1 - 2.0, so allow a small tolerance
+        assert!((snr - 20.0).abs() < 1e-4, "snr {snr}");
+    }
+
+    #[test]
+    fn snr_decreases_with_more_noise() {
+        let f = field(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let small = field(&[0.01, 1.01, 1.99, 3.01, 3.99, 5.01]);
+        let large = field(&[0.3, 0.7, 2.3, 2.7, 4.3, 4.7]);
+        assert!(snr_db(&f, &small) > snr_db(&f, &large));
+    }
+
+    #[test]
+    fn rmse_and_mae_known_values() {
+        let f = field(&[0.0, 0.0, 0.0, 0.0]);
+        let r = field(&[1.0, -1.0, 1.0, -1.0]);
+        assert!((rmse(&f, &r) - 1.0).abs() < 1e-12);
+        assert!((mae(&f, &r) - 1.0).abs() < 1e-12);
+        let r2 = field(&[2.0, 0.0, 0.0, 0.0]);
+        assert!((rmse(&f, &r2) - 1.0).abs() < 1e-12);
+        assert!((mae(&f, &r2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_known_cases() {
+        let f = field(&[0.0, 1.0, 2.0, 3.0]);
+        // exact copy: r = 1
+        assert!((pearson(&f, &f) - 1.0).abs() < 1e-12);
+        // affine image: r = 1
+        let affine = field(&[10.0, 12.0, 14.0, 16.0]);
+        assert!((pearson(&f, &affine) - 1.0).abs() < 1e-12);
+        // anti-correlated: r = -1
+        let neg = field(&[3.0, 2.0, 1.0, 0.0]);
+        assert!((pearson(&f, &neg) + 1.0).abs() < 1e-12);
+        // constant reconstruction: undefined
+        let flat = field(&[5.0; 4]);
+        assert!(pearson(&f, &flat).is_nan());
+    }
+
+    #[test]
+    fn snr_is_bias_invariant_in_sigma_sense() {
+        // A constant offset contributes nothing to σ_noise, so SNR is
+        // infinite — this matches the paper's σ-based definition (as
+        // opposed to an RMSE-based one).
+        let f = field(&[0.0, 1.0, 2.0]);
+        let shifted = field(&[10.0, 11.0, 12.0]);
+        assert_eq!(snr_db(&f, &shifted), f64::INFINITY);
+        assert!(rmse(&f, &shifted) > 9.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! The normalization frame that makes one model work across sampling
+//! rates, resolutions and spatial domains.
+//!
+//! Feature coordinates are expressed in *unit-domain* coordinates
+//! (`(p - origin) / extent` of whichever grid is being reconstructed), and
+//! scalar values in the `[0, 1]` range of the *training* cloud. Gradients
+//! are scaled into the same dimensionless frame (`∂v̂/∂û = ∂v/∂u · extent /
+//! value_range`). Because the network only ever sees dimensionless inputs
+//! and outputs, a model trained on a 64³ grid over one physical domain
+//! transfers to a 128³ grid over a shifted domain (the paper's Experiment
+//! 3) with at most a brief fine-tune.
+
+use fv_field::Grid3;
+
+/// Value range of the training data, used to map scalars into `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueNorm {
+    /// Lower bound of the training values.
+    pub lo: f32,
+    /// Upper bound of the training values.
+    pub hi: f32,
+}
+
+impl ValueNorm {
+    /// Fit from a value slice; constant/empty data gets a unit range.
+    pub fn fit(values: &[f32]) -> Self {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if !(lo.is_finite() && hi.is_finite() && hi > lo) {
+            let base = if lo.is_finite() { lo } else { 0.0 };
+            return Self {
+                lo: base,
+                hi: base + 1.0,
+            };
+        }
+        Self { lo, hi }
+    }
+
+    /// Width of the range.
+    #[inline(always)]
+    pub fn span(&self) -> f32 {
+        self.hi - self.lo
+    }
+
+    /// Map a raw value into the normalized frame.
+    #[inline(always)]
+    pub fn normalize(&self, v: f32) -> f32 {
+        (v - self.lo) / self.span()
+    }
+
+    /// Map a normalized value back to raw units.
+    #[inline(always)]
+    pub fn denormalize(&self, v: f32) -> f32 {
+        v * self.span() + self.lo
+    }
+}
+
+/// Coordinate frame of one grid: maps world positions into `[0, 1]³`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoordFrame {
+    origin: [f64; 3],
+    inv_extent: [f64; 3],
+    extent: [f64; 3],
+}
+
+impl CoordFrame {
+    /// The unit frame of a grid's bounding box (singleton axes get unit
+    /// extent so the division is always defined).
+    pub fn of_grid(grid: &Grid3) -> Self {
+        let origin = grid.origin();
+        let mut extent = grid.extent();
+        for e in &mut extent {
+            if *e <= 0.0 {
+                *e = 1.0;
+            }
+        }
+        Self {
+            origin,
+            inv_extent: [1.0 / extent[0], 1.0 / extent[1], 1.0 / extent[2]],
+            extent,
+        }
+    }
+
+    /// World → unit coordinates.
+    #[inline(always)]
+    pub fn to_unit(&self, p: [f64; 3]) -> [f32; 3] {
+        [
+            ((p[0] - self.origin[0]) * self.inv_extent[0]) as f32,
+            ((p[1] - self.origin[1]) * self.inv_extent[1]) as f32,
+            ((p[2] - self.origin[2]) * self.inv_extent[2]) as f32,
+        ]
+    }
+
+    /// Physical extent per axis.
+    #[inline(always)]
+    pub fn extent(&self) -> [f64; 3] {
+        self.extent
+    }
+
+    /// Scale a world-space gradient component into the dimensionless frame.
+    #[inline(always)]
+    pub fn gradient_to_unit(&self, g: f32, axis: usize, values: &ValueNorm) -> f32 {
+        (g as f64 * self.extent[axis] / values.span() as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_norm_roundtrip() {
+        let n = ValueNorm::fit(&[2.0, 4.0, 10.0]);
+        assert_eq!(n.lo, 2.0);
+        assert_eq!(n.hi, 10.0);
+        assert_eq!(n.normalize(2.0), 0.0);
+        assert_eq!(n.normalize(10.0), 1.0);
+        let v = 7.3f32;
+        assert!((n.denormalize(n.normalize(v)) - v).abs() < 1e-5);
+    }
+
+    #[test]
+    fn value_norm_degenerate_inputs() {
+        let constant = ValueNorm::fit(&[3.0, 3.0]);
+        assert_eq!(constant.span(), 1.0);
+        assert_eq!(constant.normalize(3.0), 0.0);
+        let empty = ValueNorm::fit(&[]);
+        assert_eq!(empty.span(), 1.0);
+        let nan = ValueNorm::fit(&[f32::NAN]);
+        assert_eq!(nan.span(), 1.0);
+    }
+
+    #[test]
+    fn coord_frame_unit_mapping() {
+        let g = Grid3::with_geometry([5, 5, 5], [10.0, 0.0, -4.0], [0.5, 1.0, 2.0]).unwrap();
+        let f = CoordFrame::of_grid(&g);
+        let lo = f.to_unit([10.0, 0.0, -4.0]);
+        let hi = f.to_unit([12.0, 4.0, 4.0]);
+        for a in 0..3 {
+            assert!((lo[a] - 0.0).abs() < 1e-6);
+            assert!((hi[a] - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn coord_frame_singleton_axis() {
+        let g = Grid3::new([4, 4, 1]).unwrap();
+        let f = CoordFrame::of_grid(&g);
+        let u = f.to_unit([1.0, 2.0, 0.0]);
+        assert!(u[2].abs() < 1e-6);
+        assert_eq!(f.extent()[2], 1.0);
+    }
+
+    #[test]
+    fn different_domains_map_to_same_unit_frame() {
+        // The transfer property: corresponding points of two shifted/scaled
+        // grids receive identical unit coordinates.
+        let a = Grid3::spanning([10, 10, 10], [0.0; 3], [1.0; 3]).unwrap();
+        let b = Grid3::spanning([20, 20, 20], [100.0; 3], [104.0; 3]).unwrap();
+        let fa = CoordFrame::of_grid(&a);
+        let fb = CoordFrame::of_grid(&b);
+        // midpoints of both domains
+        let ua = fa.to_unit([0.5, 0.5, 0.5]);
+        let ub = fb.to_unit([102.0, 102.0, 102.0]);
+        for x in 0..3 {
+            assert!((ua[x] - ub[x]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_scaling() {
+        let g = Grid3::spanning([3, 3, 3], [0.0; 3], [2.0, 4.0, 8.0]).unwrap();
+        let f = CoordFrame::of_grid(&g);
+        let v = ValueNorm { lo: 0.0, hi: 10.0 };
+        // dv/dx = 5 in world units => dv̂/dû = 5 * 2 / 10 = 1
+        assert!((f.gradient_to_unit(5.0, 0, &v) - 1.0).abs() < 1e-6);
+        // axis 2 has extent 8 => 5 * 8 / 10 = 4
+        assert!((f.gradient_to_unit(5.0, 2, &v) - 4.0).abs() < 1e-6);
+    }
+}

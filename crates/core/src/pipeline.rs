@@ -1,0 +1,620 @@
+//! The FCNN reconstruction pipeline: pretraining, fine-tuning and batched
+//! reconstruction.
+//!
+//! [`FcnnPipeline::train`] implements the paper's training recipe
+//! (Sec. III-D/E): sample the current timestep at each fraction of the
+//! [`TrainCorpus`] (the "1%+5% model" uses both 1% and 5%), extract the
+//! 23-feature / 4-target rows at every void location, and fit the
+//! five-hidden-layer network with Adam. The trained pipeline then
+//! reconstructs *any* sampling of *any* grid over the same physics:
+//! different sampling percentages (Experiment 1), later timesteps with
+//! optional Case-1/Case-2 fine-tuning (Experiment 2), and higher
+//! resolutions over shifted domains (Experiment 3).
+
+use crate::error::CoreError;
+use crate::features::{training_targets, FeatureConfig, FeatureExtractor};
+use crate::normalize::{CoordFrame, ValueNorm};
+use fv_field::{Grid3, ScalarField};
+use fv_nn::data::Dataset;
+use fv_nn::serialize;
+use fv_nn::train::{History, Trainer, TrainerConfig};
+use fv_nn::Mlp;
+use fv_sampling::{FieldSampler, ImportanceConfig, ImportanceSampler, PointCloud};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Which sampled corpora the training set is built from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainCorpus {
+    /// Train on the voids of a single sampling fraction (Fig. 7's "1%" and
+    /// "5%" curves).
+    Single(f64),
+    /// Train on the union of several fractions (the paper's production
+    /// choice: `Union(vec![0.01, 0.05])`).
+    Union(Vec<f64>),
+}
+
+impl TrainCorpus {
+    /// The fractions to sample.
+    pub fn fractions(&self) -> Vec<f64> {
+        match self {
+            TrainCorpus::Single(f) => vec![*f],
+            TrainCorpus::Union(fs) => fs.clone(),
+        }
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Hidden-layer widths (paper: `[512, 256, 128, 64, 16]`, Fig. 5).
+    pub hidden: Vec<usize>,
+    /// Feature engineering knobs.
+    pub features: FeatureConfig,
+    /// Trainer hyper-parameters for pretraining.
+    pub trainer: TrainerConfig,
+    /// Sampling fractions the training set is built from.
+    pub corpus: TrainCorpus,
+    /// Importance-sampler configuration.
+    pub sampler: ImportanceConfig,
+    /// Random fraction of training rows to keep (Fig. 14 / Table II; 1.0
+    /// keeps everything).
+    pub train_row_fraction: f64,
+    /// Rows per forward pass during reconstruction.
+    pub prediction_batch: usize,
+}
+
+impl PipelineConfig {
+    /// The paper's published configuration (500 epochs over the 1%+5%
+    /// union, 512–16 hidden stack). Heavy on CPU: use for `--full` runs.
+    pub fn paper() -> Self {
+        Self {
+            hidden: vec![512, 256, 128, 64, 16],
+            features: FeatureConfig::default(),
+            trainer: TrainerConfig {
+                epochs: 500,
+                batch_size: 256,
+                learning_rate: 1e-3,
+                seed: 0,
+                loss: fv_nn::loss::Loss::Mse,
+                ..Default::default()
+            },
+            corpus: TrainCorpus::Union(vec![0.01, 0.05]),
+            sampler: ImportanceConfig::default(),
+            train_row_fraction: 1.0,
+            prediction_batch: 16 * 1024,
+        }
+    }
+
+    /// Default benchmarking configuration: same shape as the paper's at a
+    /// width/epoch budget that finishes in seconds at `Scale::Small`.
+    pub fn bench_default() -> Self {
+        Self {
+            hidden: vec![128, 64, 32, 16],
+            trainer: TrainerConfig {
+                epochs: 60,
+                ..Self::paper().trainer
+            },
+            ..Self::paper()
+        }
+    }
+
+    /// Minimal configuration for unit tests.
+    pub fn small_for_tests() -> Self {
+        Self {
+            hidden: vec![24, 12],
+            trainer: TrainerConfig {
+                epochs: 15,
+                batch_size: 128,
+                learning_rate: 3e-3,
+                seed: 0,
+                loss: fv_nn::loss::Loss::Mse,
+                ..Default::default()
+            },
+            corpus: TrainCorpus::Union(vec![0.02, 0.05]),
+            features: FeatureConfig::default(),
+            sampler: ImportanceConfig::default(),
+            train_row_fraction: 1.0,
+            prediction_batch: 4096,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.hidden.is_empty() {
+            return Err(CoreError::BadConfig("no hidden layers".into()));
+        }
+        if self.features.k == 0 {
+            return Err(CoreError::BadConfig("k must be >= 1".into()));
+        }
+        let fracs = self.corpus.fractions();
+        if fracs.is_empty() {
+            return Err(CoreError::BadConfig("empty training corpus".into()));
+        }
+        if fracs.iter().any(|&f| !(0.0 < f && f <= 1.0)) {
+            return Err(CoreError::BadConfig(format!(
+                "fractions must be in (0, 1]: {fracs:?}"
+            )));
+        }
+        if !(0.0 < self.train_row_fraction && self.train_row_fraction <= 1.0) {
+            return Err(CoreError::BadConfig(
+                "train_row_fraction must be in (0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Fine-tuning mode (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FineTuneCase {
+    /// Case 1: all layers trainable; ~10 epochs suffice.
+    FullNetwork,
+    /// Case 2: only the last two layers trainable; needs 300–500 epochs
+    /// but the per-timestep artifact is just the tail.
+    LastTwoLayers,
+}
+
+/// Fine-tuning hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct FineTuneSpec {
+    /// Which layers train.
+    pub case: FineTuneCase,
+    /// Epoch budget (paper: ≈10 for Case 1, 300–500 for Case 2).
+    pub epochs: usize,
+    /// Learning rate (defaults to the paper's 1e-3).
+    pub learning_rate: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl FineTuneSpec {
+    /// The paper's Case-1 defaults (10 epochs, everything trainable).
+    pub fn case1() -> Self {
+        Self {
+            case: FineTuneCase::FullNetwork,
+            epochs: 10,
+            learning_rate: 1e-3,
+            seed: 0,
+        }
+    }
+
+    /// The paper's Case-2 defaults (400 epochs, last two layers).
+    pub fn case2() -> Self {
+        Self {
+            case: FineTuneCase::LastTwoLayers,
+            epochs: 400,
+            learning_rate: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained FCNN reconstructor.
+#[derive(Debug, Clone)]
+pub struct FcnnPipeline {
+    mlp: Mlp,
+    features: FeatureConfig,
+    value_norm: ValueNorm,
+    trainer: TrainerConfig,
+    corpus: TrainCorpus,
+    sampler: ImportanceConfig,
+    prediction_batch: usize,
+    history: History,
+}
+
+impl FcnnPipeline {
+    /// Pretrain on one timestep (the in-situ scenario: `field` is the only
+    /// full-resolution data that exists).
+    pub fn train(field: &ScalarField, config: &PipelineConfig, seed: u64) -> Result<Self, CoreError> {
+        config.validate()?;
+        let value_norm = ValueNorm::fit(field.values());
+        let data = build_training_set(field, config, &value_norm, seed)?;
+        let mut mlp = Mlp::regression(
+            config.features.input_width(),
+            &config.hidden,
+            config.features.target_width(),
+            seed,
+        );
+        let trainer = Trainer::new(TrainerConfig {
+            seed,
+            ..config.trainer.clone()
+        });
+        let history = trainer.fit(&mut mlp, &data)?;
+        Ok(Self {
+            mlp,
+            features: config.features,
+            value_norm,
+            trainer: config.trainer.clone(),
+            corpus: config.corpus.clone(),
+            sampler: config.sampler,
+            prediction_batch: config.prediction_batch.max(1),
+            history,
+        })
+    }
+
+    /// The trained network.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Training (and fine-tuning) loss history — Fig. 12's curves.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The value normalization fitted at pretraining time.
+    pub fn value_norm(&self) -> &ValueNorm {
+        &self.value_norm
+    }
+
+    /// The feature configuration in use.
+    pub fn feature_config(&self) -> &FeatureConfig {
+        &self.features
+    }
+
+    /// Fine-tune on a new timestep's full-resolution field.
+    ///
+    /// Returns this fine-tune's own loss history (also appended to
+    /// [`Self::history`]).
+    pub fn fine_tune(
+        &mut self,
+        field: &ScalarField,
+        spec: &FineTuneSpec,
+    ) -> Result<History, CoreError> {
+        match spec.case {
+            FineTuneCase::FullNetwork => self.mlp.unfreeze_all(),
+            FineTuneCase::LastTwoLayers => self.mlp.freeze_all_but_last(2),
+        }
+        let config = PipelineConfig {
+            hidden: vec![1], // unused by build_training_set
+            features: self.features,
+            trainer: self.trainer.clone(),
+            corpus: self.corpus.clone(),
+            sampler: self.sampler,
+            train_row_fraction: 1.0,
+            prediction_batch: self.prediction_batch,
+        };
+        let data = build_training_set(field, &config, &self.value_norm, spec.seed ^ 0xF17E)?;
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: spec.epochs,
+            learning_rate: spec.learning_rate,
+            seed: spec.seed,
+            ..self.trainer.clone()
+        });
+        let h = trainer.fit(&mut self.mlp, &data)?;
+        self.history.extend(&h);
+        // Leave the network fully trainable for subsequent calls.
+        self.mlp.unfreeze_all();
+        Ok(h)
+    }
+
+    /// Reconstruct a dense field on `target` from a sampled cloud.
+    ///
+    /// When `target` equals the cloud's source grid, sampled nodes keep
+    /// their exact stored values and only void locations are predicted;
+    /// on any other grid every node is predicted (Experiment 3).
+    pub fn reconstruct(
+        &self,
+        cloud: &PointCloud,
+        target: &Grid3,
+    ) -> Result<ScalarField, CoreError> {
+        if cloud.is_empty() {
+            return Err(CoreError::EmptyCloud);
+        }
+        let frame = CoordFrame::of_grid(target);
+        let extractor = FeatureExtractor::new(cloud, self.features);
+        let mut out = ScalarField::zeros(*target);
+
+        let same_grid = cloud.grid() == target;
+        let queries: Vec<usize> = if same_grid {
+            for (pos, &idx) in cloud.indices().iter().enumerate() {
+                out.values_mut()[idx] = cloud.values()[pos];
+            }
+            cloud.void_indices()
+        } else {
+            (0..target.num_points()).collect()
+        };
+
+        for chunk in queries.chunks(self.prediction_batch) {
+            let x = extractor.features_for(target, &frame, &self.value_norm, chunk);
+            let pred = self.mlp.forward(&x)?;
+            for (row, &idx) in chunk.iter().enumerate() {
+                out.values_mut()[idx] = self.value_norm.denormalize(pred[(row, 0)]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serialize the pipeline (model + normalization + feature config).
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), CoreError> {
+        w.write_all(b"FVPL").map_err(fv_nn::NnError::from)?;
+        w.write_all(&1u32.to_le_bytes()).map_err(fv_nn::NnError::from)?;
+        w.write_all(&(self.features.k as u32).to_le_bytes())
+            .map_err(fv_nn::NnError::from)?;
+        w.write_all(&[
+            u8::from(self.features.relative_coords),
+            u8::from(self.features.predict_gradients),
+        ])
+        .map_err(fv_nn::NnError::from)?;
+        w.write_all(&self.value_norm.lo.to_le_bytes())
+            .map_err(fv_nn::NnError::from)?;
+        w.write_all(&self.value_norm.hi.to_le_bytes())
+            .map_err(fv_nn::NnError::from)?;
+        serialize::write_model(&self.mlp, w)?;
+        Ok(())
+    }
+
+    /// Deserialize a pipeline saved with [`Self::write_to`].
+    pub fn read_from<R: Read>(mut r: R) -> Result<Self, CoreError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).map_err(fv_nn::NnError::from)?;
+        if &magic != b"FVPL" {
+            return Err(CoreError::Nn(fv_nn::NnError::Format(format!(
+                "bad pipeline magic {magic:?}"
+            ))));
+        }
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf).map_err(fv_nn::NnError::from)?;
+        let version = u32::from_le_bytes(u32buf);
+        if version != 1 {
+            return Err(CoreError::Nn(fv_nn::NnError::Format(format!(
+                "unsupported pipeline version {version}"
+            ))));
+        }
+        r.read_exact(&mut u32buf).map_err(fv_nn::NnError::from)?;
+        let k = u32::from_le_bytes(u32buf) as usize;
+        let mut flags = [0u8; 2];
+        r.read_exact(&mut flags).map_err(fv_nn::NnError::from)?;
+        let mut f32buf = [0u8; 4];
+        r.read_exact(&mut f32buf).map_err(fv_nn::NnError::from)?;
+        let lo = f32::from_le_bytes(f32buf);
+        r.read_exact(&mut f32buf).map_err(fv_nn::NnError::from)?;
+        let hi = f32::from_le_bytes(f32buf);
+        let mlp = serialize::read_model(r)?;
+        Ok(Self {
+            mlp,
+            features: FeatureConfig {
+                k,
+                relative_coords: flags[0] != 0,
+                predict_gradients: flags[1] != 0,
+            },
+            value_norm: ValueNorm { lo, hi },
+            trainer: TrainerConfig::default(),
+            corpus: TrainCorpus::Union(vec![0.01, 0.05]),
+            sampler: ImportanceConfig::default(),
+            prediction_batch: 16 * 1024,
+            history: History::default(),
+        })
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let f = std::fs::File::create(path).map_err(fv_nn::NnError::from)?;
+        self.write_to(std::io::BufWriter::new(f))
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let f = std::fs::File::open(path).map_err(fv_nn::NnError::from)?;
+        Self::read_from(std::io::BufReader::new(f))
+    }
+}
+
+/// Assemble the training dataset for one timestep under a configuration.
+///
+/// Public so experiment binaries can measure training-set construction in
+/// isolation.
+pub fn build_training_set(
+    field: &ScalarField,
+    config: &PipelineConfig,
+    value_norm: &ValueNorm,
+    seed: u64,
+) -> Result<Dataset, CoreError> {
+    let sampler = ImportanceSampler::new(config.sampler);
+    let frame = CoordFrame::of_grid(field.grid());
+    let mut combined: Option<Dataset> = None;
+    for (i, fraction) in config.corpus.fractions().into_iter().enumerate() {
+        let cloud = sampler.sample(field, fraction, seed.wrapping_add(i as u64 * 7919));
+        if cloud.is_empty() {
+            return Err(CoreError::EmptyCloud);
+        }
+        let voids = cloud.void_indices();
+        if voids.is_empty() {
+            return Err(CoreError::NoVoids);
+        }
+        let extractor = FeatureExtractor::new(&cloud, config.features);
+        let x = extractor.features_for(field.grid(), &frame, value_norm, &voids);
+        let y = training_targets(field, &frame, value_norm, &voids, &config.features);
+        let part = Dataset::new(x, y)?;
+        combined = Some(match combined {
+            None => part,
+            Some(acc) => acc.concat(&part)?,
+        });
+    }
+    let mut data = combined.expect("corpus validated non-empty");
+    if config.train_row_fraction < 1.0 {
+        data = data.subsample(config.train_row_fraction, seed ^ 0xF00D);
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_sampling::RandomSampler;
+
+    /// A smooth field a small network learns quickly.
+    fn smooth_field(dims: [usize; 3]) -> ScalarField {
+        let g = Grid3::new(dims).unwrap();
+        ScalarField::from_world_fn(g, |p| {
+            ((p[0] * 0.4).sin() + 0.3 * p[1] + (p[2] * 0.6).cos()) as f32
+        })
+    }
+
+    #[test]
+    fn config_validation() {
+        let f = smooth_field([6, 6, 6]);
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.hidden.clear();
+        assert!(matches!(
+            FcnnPipeline::train(&f, &cfg, 1),
+            Err(CoreError::BadConfig(_))
+        ));
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.corpus = TrainCorpus::Single(1.5);
+        assert!(FcnnPipeline::train(&f, &cfg, 1).is_err());
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.train_row_fraction = 0.0;
+        assert!(FcnnPipeline::train(&f, &cfg, 1).is_err());
+    }
+
+    #[test]
+    fn paper_config_shapes() {
+        let cfg = PipelineConfig::paper();
+        assert_eq!(cfg.hidden, vec![512, 256, 128, 64, 16]);
+        assert_eq!(cfg.trainer.epochs, 500);
+        assert_eq!(cfg.features.input_width(), 23);
+        assert_eq!(cfg.corpus.fractions(), vec![0.01, 0.05]);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reconstruction_beats_trivial() {
+        let f = smooth_field([12, 12, 8]);
+        let cfg = PipelineConfig::small_for_tests();
+        let pipeline = FcnnPipeline::train(&f, &cfg, 3).unwrap();
+        let h = pipeline.history();
+        assert!(h.epoch_loss.len() == cfg.trainer.epochs);
+        assert!(
+            h.final_loss().unwrap() < h.epoch_loss[0],
+            "loss did not decrease: {:?}",
+            h.epoch_loss
+        );
+
+        let cloud = RandomSampler.sample(&f, 0.05, 11);
+        let recon = pipeline.reconstruct(&cloud, f.grid()).unwrap();
+        // sampled nodes exact
+        for (pos, &idx) in cloud.indices().iter().enumerate() {
+            assert_eq!(recon.values()[idx], cloud.values()[pos]);
+        }
+        // better than predicting the mean everywhere
+        let mean_field = ScalarField::filled(*f.grid(), f.mean() as f32);
+        let snr_recon = crate::metrics::snr_db(&f, &recon);
+        let snr_mean = crate::metrics::snr_db(&f, &mean_field);
+        assert!(
+            snr_recon > snr_mean,
+            "FCNN {snr_recon} dB should beat constant-mean {snr_mean} dB"
+        );
+    }
+
+    #[test]
+    fn reconstruct_on_refined_grid() {
+        let f = smooth_field([10, 10, 6]);
+        let cfg = PipelineConfig::small_for_tests();
+        let pipeline = FcnnPipeline::train(&f, &cfg, 5).unwrap();
+        let cloud = RandomSampler.sample(&f, 0.05, 2);
+        let fine = f.grid().refined(2).unwrap();
+        let recon = pipeline.reconstruct(&cloud, &fine).unwrap();
+        assert_eq!(recon.len(), fine.num_points());
+        assert!(recon.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_cloud_rejected() {
+        let f = smooth_field([8, 8, 4]);
+        let cfg = PipelineConfig::small_for_tests();
+        let pipeline = FcnnPipeline::train(&f, &cfg, 1).unwrap();
+        let empty = PointCloud::from_indices(&f, vec![]);
+        assert!(matches!(
+            pipeline.reconstruct(&empty, f.grid()),
+            Err(CoreError::EmptyCloud)
+        ));
+    }
+
+    #[test]
+    fn fine_tune_case1_improves_on_drifted_field() {
+        let f0 = smooth_field([10, 10, 6]);
+        // drifted "later timestep": same structure, shifted phase
+        let g = *f0.grid();
+        let f1 = ScalarField::from_world_fn(g, |p| {
+            ((p[0] * 0.4 + 1.5).sin() + 0.3 * p[1] + (p[2] * 0.6 + 0.8).cos()) as f32
+        });
+        let cfg = PipelineConfig::small_for_tests();
+        let mut pipeline = FcnnPipeline::train(&f0, &cfg, 7).unwrap();
+        let cloud1 = RandomSampler.sample(&f1, 0.05, 9);
+
+        let stale = pipeline.reconstruct(&cloud1, f1.grid()).unwrap();
+        let snr_stale = crate::metrics::snr_db(&f1, &stale);
+
+        let spec = FineTuneSpec {
+            epochs: 10,
+            ..FineTuneSpec::case1()
+        };
+        let h = pipeline.fine_tune(&f1, &spec).unwrap();
+        assert_eq!(h.epoch_loss.len(), 10);
+        let tuned = pipeline.reconstruct(&cloud1, f1.grid()).unwrap();
+        let snr_tuned = crate::metrics::snr_db(&f1, &tuned);
+        assert!(
+            snr_tuned > snr_stale,
+            "fine-tuning should improve: {snr_stale} -> {snr_tuned}"
+        );
+    }
+
+    #[test]
+    fn fine_tune_case2_freezes_early_layers() {
+        let f = smooth_field([8, 8, 6]);
+        let cfg = PipelineConfig::small_for_tests();
+        let mut pipeline = FcnnPipeline::train(&f, &cfg, 2).unwrap();
+        let early_before = pipeline.mlp().layers()[0].weights.clone();
+        let spec = FineTuneSpec {
+            epochs: 3,
+            ..FineTuneSpec::case2()
+        };
+        pipeline.fine_tune(&f, &spec).unwrap();
+        assert_eq!(
+            pipeline.mlp().layers()[0].weights,
+            early_before,
+            "frozen layer moved"
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let f = smooth_field([8, 8, 4]);
+        let cfg = PipelineConfig::small_for_tests();
+        let pipeline = FcnnPipeline::train(&f, &cfg, 4).unwrap();
+        let mut buf = Vec::new();
+        pipeline.write_to(&mut buf).unwrap();
+        let restored = FcnnPipeline::read_from(buf.as_slice()).unwrap();
+        let cloud = RandomSampler.sample(&f, 0.05, 6);
+        let a = pipeline.reconstruct(&cloud, f.grid()).unwrap();
+        let b = restored.reconstruct(&cloud, f.grid()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_set_row_counts() {
+        let f = smooth_field([8, 8, 4]);
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.corpus = TrainCorpus::Single(0.1);
+        let vn = ValueNorm::fit(f.values());
+        let data = build_training_set(&f, &cfg, &vn, 1).unwrap();
+        let n = f.len();
+        let kept = (0.1f64 * n as f64).ceil() as usize;
+        assert_eq!(data.len(), n - kept);
+        assert_eq!(data.input_width(), 23);
+        assert_eq!(data.target_width(), 4);
+
+        cfg.train_row_fraction = 0.5;
+        let half = build_training_set(&f, &cfg, &vn, 1).unwrap();
+        assert_eq!(half.len(), (data.len() + 1) / 2);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let f = smooth_field([8, 8, 4]);
+        let cfg = PipelineConfig::small_for_tests();
+        let a = FcnnPipeline::train(&f, &cfg, 9).unwrap();
+        let b = FcnnPipeline::train(&f, &cfg, 9).unwrap();
+        assert_eq!(a.mlp(), b.mlp());
+    }
+}

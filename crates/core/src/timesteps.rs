@@ -1,0 +1,184 @@
+//! Experiment-2 workflows: reconstruction quality across a simulation run.
+//!
+//! The paper pretrains on one timestep and then asks how the model holds
+//! up on the other 47 (Fig. 11): frozen, it degrades as the hurricane
+//! drifts; with ~10 epochs of Case-1 fine-tuning per step it stays well
+//! above the Delaunay-linear baseline. [`replay`] drives exactly that
+//! in-situ loop — one timestep resident at a time — and records SNR per
+//! step.
+
+use crate::error::CoreError;
+use crate::metrics::snr_db;
+use crate::pipeline::{FcnnPipeline, FineTuneSpec};
+use fv_interp::Reconstructor;
+use fv_sampling::{FieldSampler, ImportanceConfig, ImportanceSampler};
+use fv_sims::Simulation;
+
+/// Configuration for an in-situ replay over timesteps.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Sampling fraction applied at every timestep (Fig. 11 uses 3%).
+    pub fraction: f64,
+    /// Fine-tune the model on each timestep before reconstructing it
+    /// (`None` = frozen pretrained model).
+    pub fine_tune: Option<FineTuneSpec>,
+    /// Sampler seed base (combined with the timestep index).
+    pub seed: u64,
+    /// Importance-sampler settings.
+    pub sampler: ImportanceConfig,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            fraction: 0.03,
+            fine_tune: None,
+            seed: 0,
+            sampler: ImportanceConfig::default(),
+        }
+    }
+}
+
+/// One timestep's outcome in a replay.
+#[derive(Debug, Clone)]
+pub struct ReplayRow {
+    /// Timestep index.
+    pub t: usize,
+    /// Reconstruction SNR (dB) against the ground-truth timestep.
+    pub snr: f64,
+    /// Final fine-tuning loss at this step, when fine-tuning ran.
+    pub fine_tune_loss: Option<f32>,
+}
+
+/// Replay a simulation through a (possibly fine-tuned) FCNN pipeline.
+///
+/// For each timestep: materialize the field, sample it, optionally
+/// fine-tune the pipeline on the field (in situ, the full data is present
+/// at that moment), reconstruct from the samples alone, and score.
+pub fn replay(
+    sim: &dyn Simulation,
+    pipeline: &mut FcnnPipeline,
+    timesteps: &[usize],
+    config: &ReplayConfig,
+) -> Result<Vec<ReplayRow>, CoreError> {
+    let sampler = ImportanceSampler::new(config.sampler);
+    let mut rows = Vec::with_capacity(timesteps.len());
+    for &t in timesteps {
+        let field = sim.timestep(t);
+        let cloud = sampler.sample(&field, config.fraction, config.seed ^ (t as u64) << 8);
+        let fine_tune_loss = match &config.fine_tune {
+            Some(spec) => {
+                let mut spec = spec.clone();
+                spec.seed ^= t as u64;
+                let h = pipeline.fine_tune(&field, &spec)?;
+                h.final_loss()
+            }
+            None => None,
+        };
+        let recon = pipeline.reconstruct(&cloud, field.grid())?;
+        rows.push(ReplayRow {
+            t,
+            snr: snr_db(&field, &recon),
+            fine_tune_loss,
+        });
+    }
+    Ok(rows)
+}
+
+/// SNR of a classical reconstructor across timesteps (Fig. 11's black
+/// baseline, typically [`fv_interp::linear::LinearReconstructor`]).
+pub fn baseline_replay(
+    sim: &dyn Simulation,
+    method: &dyn Reconstructor,
+    timesteps: &[usize],
+    config: &ReplayConfig,
+) -> Vec<ReplayRow> {
+    let sampler = ImportanceSampler::new(config.sampler);
+    timesteps
+        .iter()
+        .map(|&t| {
+            let field = sim.timestep(t);
+            let cloud = sampler.sample(&field, config.fraction, config.seed ^ (t as u64) << 8);
+            let snr = match method.reconstruct(&cloud, field.grid()) {
+                Ok(recon) => snr_db(&field, &recon),
+                Err(_) => f64::NAN,
+            };
+            ReplayRow {
+                t,
+                snr,
+                fine_tune_loss: None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use fv_sims::Hurricane;
+
+    fn tiny_sim() -> Hurricane {
+        Hurricane::builder().resolution([14, 14, 6]).timesteps(6).build()
+    }
+
+    #[test]
+    fn frozen_replay_produces_rows() {
+        let sim = tiny_sim();
+        let cfg = PipelineConfig::small_for_tests();
+        let mut pipeline = FcnnPipeline::train(&sim.timestep(0), &cfg, 1).unwrap();
+        let rows = replay(
+            &sim,
+            &mut pipeline,
+            &[0, 2, 5],
+            &ReplayConfig {
+                fraction: 0.05,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].t, 0);
+        assert!(rows.iter().all(|r| r.snr.is_finite()));
+        assert!(rows.iter().all(|r| r.fine_tune_loss.is_none()));
+    }
+
+    #[test]
+    fn finetuned_replay_records_losses() {
+        let sim = tiny_sim();
+        let cfg = PipelineConfig::small_for_tests();
+        let mut pipeline = FcnnPipeline::train(&sim.timestep(0), &cfg, 1).unwrap();
+        let rows = replay(
+            &sim,
+            &mut pipeline,
+            &[1, 3],
+            &ReplayConfig {
+                fraction: 0.05,
+                fine_tune: Some(FineTuneSpec {
+                    epochs: 2,
+                    ..FineTuneSpec::case1()
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(rows.iter().all(|r| r.fine_tune_loss.is_some()));
+    }
+
+    #[test]
+    fn baseline_replay_scores_linear() {
+        let sim = tiny_sim();
+        let method = fv_interp::linear::LinearReconstructor::default();
+        let rows = baseline_replay(
+            &sim,
+            &method,
+            &[0, 4],
+            &ReplayConfig {
+                fraction: 0.08,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.snr.is_finite()));
+    }
+}

@@ -1,0 +1,166 @@
+//! Experiment-3 workflow: cross-resolution (and cross-domain) transfer.
+//!
+//! The paper trains on Isabel at 250×250×50, then reconstructs samples
+//! taken from a 500×500×100 version whose spatial extent is shifted
+//! (Fig. 13a), comparing: the Delaunay-linear baseline, an FCNN fully
+//! trained on the high-resolution data, and the low-resolution FCNN
+//! fine-tuned for just 10 epochs. Because features live in each grid's
+//! unit frame (see [`crate::normalize`]), the low-res model transfers.
+
+use crate::error::CoreError;
+use crate::metrics::snr_db;
+use crate::pipeline::{FcnnPipeline, FineTuneSpec, PipelineConfig};
+use fv_field::{Grid3, ScalarField};
+use fv_interp::linear::LinearReconstructor;
+use fv_interp::Reconstructor;
+use fv_sampling::{FieldSampler, ImportanceSampler};
+use fv_sims::Simulation;
+
+/// One sampling fraction's outcome in the upscaling study (a row of the
+/// Fig. 13b series).
+#[derive(Debug, Clone)]
+pub struct UpscaleRow {
+    /// Sampling fraction of the high-resolution data.
+    pub fraction: f64,
+    /// Delaunay-linear baseline SNR (dB).
+    pub snr_linear: f64,
+    /// FCNN fully trained on the high-resolution timestep.
+    pub snr_full: f64,
+    /// Low-resolution FCNN after a brief Case-1 fine-tune on the
+    /// high-resolution timestep.
+    pub snr_transferred: f64,
+}
+
+/// Configuration for [`upscale_study`].
+#[derive(Debug, Clone)]
+pub struct UpscaleConfig {
+    /// Timestep to study.
+    pub t: usize,
+    /// Per-axis refinement factor (paper: 2 → 8× the points).
+    pub refine: usize,
+    /// World-space shift of the high-resolution domain (paper: the high-res
+    /// data "spans across different domains").
+    pub domain_shift: [f64; 3],
+    /// Sampling fractions to evaluate.
+    pub fractions: Vec<f64>,
+    /// Fine-tune budget for the transferred model (paper: 10 epochs).
+    pub fine_tune_epochs: usize,
+    /// Pipeline configuration for both models.
+    pub pipeline: PipelineConfig,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UpscaleConfig {
+    fn default() -> Self {
+        Self {
+            t: 0,
+            refine: 2,
+            domain_shift: [0.0; 3],
+            fractions: vec![0.005, 0.01, 0.02, 0.03, 0.05],
+            fine_tune_epochs: 10,
+            pipeline: PipelineConfig::bench_default(),
+            seed: 0,
+        }
+    }
+}
+
+/// The artifacts of an upscaling study, exposing both models for further
+/// inspection alongside the per-fraction rows.
+pub struct UpscaleStudy {
+    /// The high-resolution grid reconstructed onto.
+    pub high_grid: Grid3,
+    /// Ground-truth high-resolution field.
+    pub high_field: ScalarField,
+    /// FCNN fully trained on the high-resolution field.
+    pub full_model: FcnnPipeline,
+    /// Low-res-pretrained, briefly fine-tuned model.
+    pub transferred_model: FcnnPipeline,
+    /// Per-fraction SNR rows.
+    pub rows: Vec<UpscaleRow>,
+}
+
+/// Run the Experiment-3 workflow against a simulation.
+pub fn upscale_study(
+    sim: &dyn Simulation,
+    config: &UpscaleConfig,
+) -> Result<UpscaleStudy, CoreError> {
+    let low_field = sim.timestep(config.t);
+    let high_grid = low_field
+        .grid()
+        .refined(config.refine.max(1))?
+        .translated(config.domain_shift);
+    let high_field = sim.timestep_on(config.t, high_grid);
+
+    // Model A: full training on the high-resolution data (expensive).
+    let full_model = FcnnPipeline::train(&high_field, &config.pipeline, config.seed)?;
+
+    // Model B: pretrain on low-res, fine-tune briefly on high-res.
+    let mut transferred_model =
+        FcnnPipeline::train(&low_field, &config.pipeline, config.seed ^ 0xB00)?;
+    transferred_model.fine_tune(
+        &high_field,
+        &FineTuneSpec {
+            epochs: config.fine_tune_epochs,
+            seed: config.seed,
+            ..FineTuneSpec::case1()
+        },
+    )?;
+
+    let sampler = ImportanceSampler::new(config.pipeline.sampler);
+    let linear = LinearReconstructor::default();
+    let mut rows = Vec::with_capacity(config.fractions.len());
+    for (i, &fraction) in config.fractions.iter().enumerate() {
+        let cloud = sampler.sample(&high_field, fraction, config.seed ^ (i as u64 + 1) << 16);
+        let snr_linear = match linear.reconstruct(&cloud, &high_grid) {
+            Ok(r) => snr_db(&high_field, &r),
+            Err(_) => f64::NAN,
+        };
+        let snr_full = snr_db(&high_field, &full_model.reconstruct(&cloud, &high_grid)?);
+        let snr_transferred = snr_db(
+            &high_field,
+            &transferred_model.reconstruct(&cloud, &high_grid)?,
+        );
+        rows.push(UpscaleRow {
+            fraction,
+            snr_linear,
+            snr_full,
+            snr_transferred,
+        });
+    }
+    Ok(UpscaleStudy {
+        high_grid,
+        high_field,
+        full_model,
+        transferred_model,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_sims::Hurricane;
+
+    #[test]
+    fn upscale_study_produces_finite_rows() {
+        let sim = Hurricane::builder().resolution([10, 10, 5]).timesteps(4).build();
+        let config = UpscaleConfig {
+            fractions: vec![0.05],
+            fine_tune_epochs: 2,
+            pipeline: PipelineConfig::small_for_tests(),
+            domain_shift: [25.0, -10.0, 0.0],
+            ..Default::default()
+        };
+        let study = upscale_study(&sim, &config).unwrap();
+        assert_eq!(study.rows.len(), 1);
+        let row = &study.rows[0];
+        assert!(row.snr_linear.is_finite());
+        assert!(row.snr_full.is_finite());
+        assert!(row.snr_transferred.is_finite());
+        // high grid is refined 2x per axis and shifted
+        assert_eq!(study.high_grid.dims(), [19, 19, 9]);
+        assert_eq!(study.high_grid.origin()[0], 25.0);
+        assert_eq!(study.high_field.len(), study.high_grid.num_points());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for field construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by the field crate.
+#[derive(Debug)]
+pub enum FieldError {
+    /// Data length does not match the grid's point count.
+    DataLengthMismatch {
+        /// Points the grid expects.
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
+    /// A grid dimension was zero.
+    EmptyGrid {
+        /// The offending dimensions.
+        dims: [usize; 3],
+    },
+    /// Grid spacing must be positive and finite.
+    InvalidSpacing {
+        /// The offending spacing.
+        spacing: [f64; 3],
+    },
+    /// The two fields involved in an operation live on different grids.
+    GridMismatch,
+    /// An I/O failure while reading or writing a field.
+    Io(std::io::Error),
+    /// The on-disk data was malformed.
+    Format(String),
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::DataLengthMismatch { expected, actual } => write!(
+                f,
+                "data length mismatch: grid has {expected} points, data has {actual}"
+            ),
+            FieldError::EmptyGrid { dims } => {
+                write!(f, "grid has an empty dimension: {dims:?}")
+            }
+            FieldError::InvalidSpacing { spacing } => {
+                write!(f, "grid spacing must be positive and finite: {spacing:?}")
+            }
+            FieldError::GridMismatch => write!(f, "fields live on different grids"),
+            FieldError::Io(e) => write!(f, "i/o error: {e}"),
+            FieldError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FieldError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FieldError {
+    fn from(e: std::io::Error) -> Self {
+        FieldError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = FieldError::DataLengthMismatch {
+            expected: 8,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("8"));
+        assert!(FieldError::EmptyGrid { dims: [0, 1, 2] }
+            .to_string()
+            .contains("[0, 1, 2]"));
+        assert!(FieldError::GridMismatch.to_string().contains("different"));
+        let io = FieldError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(FieldError::Format("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Regular 3-D grid geometry: dimensions, origin, spacing, index math.
+
+use crate::error::FieldError;
+
+/// A regular (structured-points) 3-D grid.
+///
+/// Nodes live at `origin + [i,j,k] * spacing` for `0 <= i < nx` etc. The
+/// linear index is `i + nx * (j + ny * k)` — x fastest, matching VTK.
+///
+/// `origin`/`spacing` are the *world* (physical) coordinates. Keeping them
+/// explicit (rather than working in voxel units) is what lets a model trained
+/// on a low-resolution grid transfer to a higher-resolution grid spanning a
+/// different spatial domain (the paper's Experiment 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grid3 {
+    dims: [usize; 3],
+    origin: [f64; 3],
+    spacing: [f64; 3],
+}
+
+impl Grid3 {
+    /// A grid with the given dimensions, origin `(0,0,0)` and unit spacing.
+    pub fn new(dims: [usize; 3]) -> Result<Self, FieldError> {
+        Self::with_geometry(dims, [0.0; 3], [1.0; 3])
+    }
+
+    /// A grid with explicit physical origin and spacing.
+    pub fn with_geometry(
+        dims: [usize; 3],
+        origin: [f64; 3],
+        spacing: [f64; 3],
+    ) -> Result<Self, FieldError> {
+        if dims.iter().any(|&d| d == 0) {
+            return Err(FieldError::EmptyGrid { dims });
+        }
+        if spacing.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
+            return Err(FieldError::InvalidSpacing { spacing });
+        }
+        Ok(Self {
+            dims,
+            origin,
+            spacing,
+        })
+    }
+
+    /// A grid covering the world-space box `[lo, hi]` with `dims` nodes per
+    /// axis (node-centred: the first node sits at `lo`, the last at `hi`).
+    pub fn spanning(dims: [usize; 3], lo: [f64; 3], hi: [f64; 3]) -> Result<Self, FieldError> {
+        let mut spacing = [0.0; 3];
+        for a in 0..3 {
+            let n = dims[a];
+            spacing[a] = if n > 1 {
+                (hi[a] - lo[a]) / (n - 1) as f64
+            } else {
+                1.0
+            };
+        }
+        Self::with_geometry(dims, lo, spacing)
+    }
+
+    /// Grid dimensions `[nx, ny, nz]`.
+    #[inline(always)]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Physical origin of node `[0,0,0]`.
+    #[inline(always)]
+    pub fn origin(&self) -> [f64; 3] {
+        self.origin
+    }
+
+    /// Physical spacing between adjacent nodes per axis.
+    #[inline(always)]
+    pub fn spacing(&self) -> [f64; 3] {
+        self.spacing
+    }
+
+    /// Total number of grid nodes.
+    #[inline(always)]
+    pub fn num_points(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// World coordinate of the last node per axis.
+    pub fn max_corner(&self) -> [f64; 3] {
+        let mut c = [0.0; 3];
+        for a in 0..3 {
+            c[a] = self.origin[a] + (self.dims[a] - 1) as f64 * self.spacing[a];
+        }
+        c
+    }
+
+    /// Physical extent (max - origin) per axis.
+    pub fn extent(&self) -> [f64; 3] {
+        let hi = self.max_corner();
+        [
+            hi[0] - self.origin[0],
+            hi[1] - self.origin[1],
+            hi[2] - self.origin[2],
+        ]
+    }
+
+    /// Linearize an `[i, j, k]` node index.
+    #[inline(always)]
+    pub fn linear(&self, ijk: [usize; 3]) -> usize {
+        debug_assert!(self.contains(ijk), "{ijk:?} outside {:?}", self.dims);
+        ijk[0] + self.dims[0] * (ijk[1] + self.dims[1] * ijk[2])
+    }
+
+    /// Invert a linear index back to `[i, j, k]`.
+    #[inline(always)]
+    pub fn unlinear(&self, idx: usize) -> [usize; 3] {
+        debug_assert!(idx < self.num_points());
+        let i = idx % self.dims[0];
+        let rest = idx / self.dims[0];
+        let j = rest % self.dims[1];
+        let k = rest / self.dims[1];
+        [i, j, k]
+    }
+
+    /// Whether an `[i, j, k]` triple addresses a node of this grid.
+    #[inline(always)]
+    pub fn contains(&self, ijk: [usize; 3]) -> bool {
+        ijk[0] < self.dims[0] && ijk[1] < self.dims[1] && ijk[2] < self.dims[2]
+    }
+
+    /// World position of a node.
+    #[inline(always)]
+    pub fn world(&self, ijk: [usize; 3]) -> [f64; 3] {
+        [
+            self.origin[0] + ijk[0] as f64 * self.spacing[0],
+            self.origin[1] + ijk[1] as f64 * self.spacing[1],
+            self.origin[2] + ijk[2] as f64 * self.spacing[2],
+        ]
+    }
+
+    /// World position of a node given its linear index.
+    #[inline(always)]
+    pub fn world_linear(&self, idx: usize) -> [f64; 3] {
+        self.world(self.unlinear(idx))
+    }
+
+    /// Continuous (fractional) grid coordinates of a world position. Values
+    /// outside `[0, n-1]` mean the point lies outside the grid.
+    #[inline(always)]
+    pub fn to_grid_coords(&self, p: [f64; 3]) -> [f64; 3] {
+        [
+            (p[0] - self.origin[0]) / self.spacing[0],
+            (p[1] - self.origin[1]) / self.spacing[1],
+            (p[2] - self.origin[2]) / self.spacing[2],
+        ]
+    }
+
+    /// Nearest grid node to a world position, clamped into the grid.
+    pub fn nearest_node(&self, p: [f64; 3]) -> [usize; 3] {
+        let g = self.to_grid_coords(p);
+        let mut ijk = [0usize; 3];
+        for a in 0..3 {
+            let r = g[a].round();
+            ijk[a] = if r <= 0.0 {
+                0
+            } else {
+                (r as usize).min(self.dims[a] - 1)
+            };
+        }
+        ijk
+    }
+
+    /// Iterate over all `[i, j, k]` node indices in linear order.
+    pub fn iter_ijk(&self) -> impl Iterator<Item = [usize; 3]> + '_ {
+        let [nx, ny, nz] = self.dims;
+        (0..nz).flat_map(move |k| (0..ny).flat_map(move |j| (0..nx).map(move |i| [i, j, k])))
+    }
+
+    /// A grid with the same physical span but `factor`× the node count per
+    /// axis (each dimension becomes `(n-1)*factor + 1`). This is the grid the
+    /// paper reconstructs onto in Experiment 3 ("2× upscaled per dimension").
+    pub fn refined(&self, factor: usize) -> Result<Grid3, FieldError> {
+        let f = factor.max(1);
+        let mut dims = [0usize; 3];
+        let mut spacing = [0.0; 3];
+        for a in 0..3 {
+            dims[a] = if self.dims[a] > 1 {
+                (self.dims[a] - 1) * f + 1
+            } else {
+                1
+            };
+            spacing[a] = if self.dims[a] > 1 {
+                self.spacing[a] / f as f64
+            } else {
+                self.spacing[a]
+            };
+        }
+        Grid3::with_geometry(dims, self.origin, spacing)
+    }
+
+    /// The same grid translated so its origin moves by `delta` in world
+    /// space (used to test transfer across *different spatial domains*).
+    pub fn translated(&self, delta: [f64; 3]) -> Grid3 {
+        let mut g = *self;
+        for a in 0..3 {
+            g.origin[a] += delta[a];
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_grids() {
+        assert!(Grid3::new([0, 2, 2]).is_err());
+        assert!(Grid3::with_geometry([2, 2, 2], [0.0; 3], [0.0, 1.0, 1.0]).is_err());
+        assert!(Grid3::with_geometry([2, 2, 2], [0.0; 3], [f64::NAN, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn linear_roundtrip() {
+        let g = Grid3::new([4, 3, 2]).unwrap();
+        assert_eq!(g.num_points(), 24);
+        for idx in 0..g.num_points() {
+            assert_eq!(g.linear(g.unlinear(idx)), idx);
+        }
+        // x fastest
+        assert_eq!(g.linear([1, 0, 0]), 1);
+        assert_eq!(g.linear([0, 1, 0]), 4);
+        assert_eq!(g.linear([0, 0, 1]), 12);
+    }
+
+    #[test]
+    fn world_coordinates() {
+        let g = Grid3::with_geometry([3, 3, 3], [10.0, 0.0, -5.0], [0.5, 1.0, 2.0]).unwrap();
+        assert_eq!(g.world([2, 1, 1]), [11.0, 1.0, -3.0]);
+        assert_eq!(g.max_corner(), [11.0, 2.0, -1.0]);
+        assert_eq!(g.extent(), [1.0, 2.0, 4.0]);
+        let gc = g.to_grid_coords([10.5, 1.0, -4.0]);
+        assert!((gc[0] - 1.0).abs() < 1e-12);
+        assert!((gc[1] - 1.0).abs() < 1e-12);
+        assert!((gc[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spanning_places_endpoints() {
+        let g = Grid3::spanning([5, 2, 1], [0.0, 0.0, 0.0], [1.0, 3.0, 0.0]).unwrap();
+        assert_eq!(g.world([4, 1, 0]), [1.0, 3.0, 0.0]);
+        assert_eq!(g.spacing()[0], 0.25);
+        // singleton axis gets unit spacing
+        assert_eq!(g.spacing()[2], 1.0);
+    }
+
+    #[test]
+    fn nearest_node_clamps() {
+        let g = Grid3::new([4, 4, 4]).unwrap();
+        assert_eq!(g.nearest_node([-5.0, 1.4, 9.0]), [0, 1, 3]);
+        assert_eq!(g.nearest_node([2.6, 0.0, 0.49]), [3, 0, 0]);
+    }
+
+    #[test]
+    fn iter_matches_linear_order() {
+        let g = Grid3::new([3, 2, 2]).unwrap();
+        let order: Vec<usize> = g.iter_ijk().map(|ijk| g.linear(ijk)).collect();
+        assert_eq!(order, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn refined_preserves_span() {
+        let g = Grid3::spanning([5, 5, 3], [0.0; 3], [4.0, 4.0, 2.0]).unwrap();
+        let r = g.refined(2).unwrap();
+        assert_eq!(r.dims(), [9, 9, 5]);
+        assert_eq!(r.max_corner(), g.max_corner());
+        let s = Grid3::new([1, 2, 2]).unwrap().refined(3).unwrap();
+        assert_eq!(s.dims(), [1, 4, 4]);
+    }
+
+    #[test]
+    fn translated_moves_origin() {
+        let g = Grid3::new([2, 2, 2]).unwrap().translated([1.0, -2.0, 0.5]);
+        assert_eq!(g.origin(), [1.0, -2.0, 0.5]);
+        assert_eq!(g.dims(), [2, 2, 2]);
+    }
+}

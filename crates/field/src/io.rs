@@ -1,0 +1,271 @@
+//! Field persistence.
+//!
+//! Two formats:
+//!
+//! * **`fvf` binary** — a compact little-endian format for checkpoints and
+//!   test fixtures: magic, version, dims, origin, spacing, then raw `f32`
+//!   values. This replaces the paper's `.vti` files in our offline pipeline.
+//! * **Legacy VTK ASCII** (`STRUCTURED_POINTS`) — write-only, so
+//!   reconstructions can be eyeballed in ParaView/VisIt, mirroring the
+//!   paper's `.vti` outputs.
+
+use crate::error::FieldError;
+use crate::grid::Grid3;
+use crate::volume::ScalarField;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"FVF1";
+
+/// Write a field in the compact binary format.
+pub fn write_bin<W: Write>(field: &ScalarField, mut w: W) -> Result<(), FieldError> {
+    w.write_all(MAGIC)?;
+    let grid = field.grid();
+    for d in grid.dims() {
+        w.write_all(&(d as u64).to_le_bytes())?;
+    }
+    for o in grid.origin() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for s in grid.spacing() {
+        w.write_all(&s.to_le_bytes())?;
+    }
+    for &v in field.values() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Read a field from the compact binary format.
+pub fn read_bin<R: Read>(mut r: R) -> Result<ScalarField, FieldError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(FieldError::Format(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut dims = [0usize; 3];
+    for d in &mut dims {
+        r.read_exact(&mut u64buf)?;
+        let v = u64::from_le_bytes(u64buf);
+        *d = usize::try_from(v)
+            .map_err(|_| FieldError::Format(format!("dimension {v} too large")))?;
+    }
+    let mut origin = [0.0f64; 3];
+    for o in &mut origin {
+        r.read_exact(&mut u64buf)?;
+        *o = f64::from_le_bytes(u64buf);
+    }
+    let mut spacing = [0.0f64; 3];
+    for s in &mut spacing {
+        r.read_exact(&mut u64buf)?;
+        *s = f64::from_le_bytes(u64buf);
+    }
+    let grid = Grid3::with_geometry(dims, origin, spacing)?;
+    let n = grid.num_points();
+    // Guard against absurd headers before allocating.
+    if n > (1usize << 34) {
+        return Err(FieldError::Format(format!("refusing to allocate {n} points")));
+    }
+    let mut data = vec![0.0f32; n];
+    let mut f32buf = [0u8; 4];
+    for v in &mut data {
+        r.read_exact(&mut f32buf)?;
+        *v = f32::from_le_bytes(f32buf);
+    }
+    ScalarField::from_vec(grid, data)
+}
+
+/// Write a field to a file in the compact binary format.
+pub fn save(field: &ScalarField, path: impl AsRef<Path>) -> Result<(), FieldError> {
+    let f = std::fs::File::create(path)?;
+    write_bin(field, BufWriter::new(f))
+}
+
+/// Read a field from a file in the compact binary format.
+pub fn load(path: impl AsRef<Path>) -> Result<ScalarField, FieldError> {
+    let f = std::fs::File::open(path)?;
+    read_bin(BufReader::new(f))
+}
+
+/// Write a field as legacy-VTK ASCII `STRUCTURED_POINTS` with one scalar
+/// array named `name`.
+pub fn write_vtk_ascii<W: Write>(
+    field: &ScalarField,
+    name: &str,
+    w: W,
+) -> Result<(), FieldError> {
+    let mut w = BufWriter::new(w);
+    let grid = field.grid();
+    let [nx, ny, nz] = grid.dims();
+    let [ox, oy, oz] = grid.origin();
+    let [sx, sy, sz] = grid.spacing();
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "fillvoid reconstruction output")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET STRUCTURED_POINTS")?;
+    writeln!(w, "DIMENSIONS {nx} {ny} {nz}")?;
+    writeln!(w, "ORIGIN {ox} {oy} {oz}")?;
+    writeln!(w, "SPACING {sx} {sy} {sz}")?;
+    writeln!(w, "POINT_DATA {}", grid.num_points())?;
+    writeln!(w, "SCALARS {name} float 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for chunk in field.values().chunks(9) {
+        let line: Vec<String> = chunk.iter().map(|v| format!("{v}")).collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read back a legacy-VTK ASCII file written by [`write_vtk_ascii`].
+///
+/// This is intentionally a *minimal* parser for our own output (useful in
+/// round-trip tests and for re-ingesting reconstructions), not a general VTK
+/// reader.
+pub fn read_vtk_ascii<R: Read>(r: R) -> Result<ScalarField, FieldError> {
+    let reader = BufReader::new(r);
+    let mut dims: Option<[usize; 3]> = None;
+    let mut origin = [0.0f64; 3];
+    let mut spacing = [1.0f64; 3];
+    let mut values: Vec<f32> = Vec::new();
+    let mut in_data = false;
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if in_data {
+            for tok in t.split_ascii_whitespace() {
+                values.push(
+                    tok.parse::<f32>()
+                        .map_err(|e| FieldError::Format(format!("bad value {tok:?}: {e}")))?,
+                );
+            }
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("DIMENSIONS") {
+            dims = Some(parse_triple(rest)?);
+        } else if let Some(rest) = t.strip_prefix("ORIGIN") {
+            let v: [f64; 3] = parse_triple(rest)?;
+            origin = v;
+        } else if let Some(rest) = t.strip_prefix("SPACING") {
+            let v: [f64; 3] = parse_triple(rest)?;
+            spacing = v;
+        } else if t.starts_with("LOOKUP_TABLE") {
+            in_data = true;
+        }
+    }
+    let dims = dims.ok_or_else(|| FieldError::Format("missing DIMENSIONS".into()))?;
+    let grid = Grid3::with_geometry(dims, origin, spacing)?;
+    ScalarField::from_vec(grid, values)
+}
+
+fn parse_triple<T: std::str::FromStr>(s: &str) -> Result<[T; 3], FieldError>
+where
+    T::Err: std::fmt::Display,
+{
+    let mut it = s.split_ascii_whitespace();
+    let mut out: Vec<T> = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let tok = it
+            .next()
+            .ok_or_else(|| FieldError::Format(format!("expected 3 numbers in {s:?}")))?;
+        out.push(
+            tok.parse::<T>()
+                .map_err(|e| FieldError::Format(format!("bad number {tok:?}: {e}")))?,
+        );
+    }
+    let mut arr: [T; 3] = match out.try_into() {
+        Ok(a) => a,
+        Err(_) => unreachable!("length checked above"),
+    };
+    if it.next().is_some() {
+        return Err(FieldError::Format(format!("trailing tokens in {s:?}")));
+    }
+    // silence unused_mut on some toolchains
+    let _ = &mut arr;
+    Ok(arr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_field() -> ScalarField {
+        let g = Grid3::with_geometry([3, 2, 2], [1.0, 2.0, 3.0], [0.5, 1.5, 2.5]).unwrap();
+        ScalarField::from_vec(g, (0..12).map(|v| v as f32 * 0.25 - 1.0).collect()).unwrap()
+    }
+
+    #[test]
+    fn bin_roundtrip_is_exact() {
+        let f = sample_field();
+        let mut buf = Vec::new();
+        write_bin(&f, &mut buf).unwrap();
+        let g = read_bin(buf.as_slice()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn bin_rejects_bad_magic_and_truncation() {
+        let f = sample_field();
+        let mut buf = Vec::new();
+        write_bin(&f, &mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_bin(bad.as_slice()),
+            Err(FieldError::Format(_))
+        ));
+        let truncated = &buf[..buf.len() - 3];
+        assert!(matches!(read_bin(truncated), Err(FieldError::Io(_))));
+    }
+
+    #[test]
+    fn file_save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("fvf_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("field.fvf");
+        let f = sample_field();
+        save(&f, &path).unwrap();
+        let g = load(&path).unwrap();
+        assert_eq!(f, g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn vtk_roundtrip_preserves_values_and_geometry() {
+        let f = sample_field();
+        let mut buf = Vec::new();
+        write_vtk_ascii(&f, "pressure", &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("DIMENSIONS 3 2 2"));
+        assert!(text.contains("SCALARS pressure float 1"));
+        let g = read_vtk_ascii(buf.as_slice()).unwrap();
+        assert_eq!(g.grid().dims(), f.grid().dims());
+        assert_eq!(g.grid().origin(), f.grid().origin());
+        for (a, b) in f.values().iter().zip(g.values()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vtk_reader_rejects_garbage() {
+        assert!(read_vtk_ascii(&b"not a vtk file"[..]).is_err());
+        let missing_dims = b"# vtk\nx\nASCII\nLOOKUP_TABLE default\n1 2 3\n";
+        assert!(read_vtk_ascii(&missing_dims[..]).is_err());
+    }
+
+    #[test]
+    fn vtk_reader_rejects_wrong_count() {
+        let f = sample_field();
+        let mut buf = Vec::new();
+        write_vtk_ascii(&f, "v", &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("999.0\n"); // one extra value
+        assert!(read_vtk_ascii(text.as_bytes()).is_err());
+    }
+}

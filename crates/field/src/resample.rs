@@ -1,0 +1,176 @@
+//! Resampling between grid resolutions.
+//!
+//! Experiment 3 of the paper trains on a low-resolution dataset and
+//! reconstructs a 2×-per-dimension higher resolution of the *same physical
+//! domain* (optionally shifted). These helpers produce the reference fields
+//! for that experiment: trilinear sampling at arbitrary world positions,
+//! plus whole-grid down/up-sampling.
+
+use crate::error::FieldError;
+use crate::grid::Grid3;
+use crate::volume::ScalarField;
+use rayon::prelude::*;
+
+/// Trilinearly interpolate `field` at a world position.
+///
+/// Positions outside the grid are clamped to the boundary (constant
+/// extrapolation), which matches how visualization tools sample volumes.
+pub fn trilinear(field: &ScalarField, p: [f64; 3]) -> f32 {
+    let grid = field.grid();
+    let dims = grid.dims();
+    let g = grid.to_grid_coords(p);
+    let mut i0 = [0usize; 3];
+    let mut frac = [0.0f64; 3];
+    for a in 0..3 {
+        let max_idx = (dims[a] - 1) as f64;
+        let x = g[a].clamp(0.0, max_idx);
+        let f = x.floor();
+        i0[a] = f as usize;
+        // Keep the cell index in range when x lands exactly on the last node.
+        if i0[a] >= dims[a] - 1 && dims[a] > 1 {
+            i0[a] = dims[a] - 2;
+        }
+        frac[a] = if dims[a] > 1 { x - i0[a] as f64 } else { 0.0 };
+    }
+    let mut acc = 0.0f64;
+    for dz in 0..2usize {
+        let wz = if dz == 0 { 1.0 - frac[2] } else { frac[2] };
+        if wz == 0.0 && dims[2] > 1 {
+            continue;
+        }
+        for dy in 0..2usize {
+            let wy = if dy == 0 { 1.0 - frac[1] } else { frac[1] };
+            if wy == 0.0 && dims[1] > 1 {
+                continue;
+            }
+            for dx in 0..2usize {
+                let wx = if dx == 0 { 1.0 - frac[0] } else { frac[0] };
+                let w = wx * wy * wz;
+                if w == 0.0 {
+                    continue;
+                }
+                let ijk = [
+                    (i0[0] + dx).min(dims[0] - 1),
+                    (i0[1] + dy).min(dims[1] - 1),
+                    (i0[2] + dz).min(dims[2] - 1),
+                ];
+                acc += w * field.at(ijk) as f64;
+            }
+        }
+    }
+    acc as f32
+}
+
+/// Resample a field onto a different grid by trilinear interpolation
+/// (parallel over z-slabs of the target grid).
+pub fn resample(field: &ScalarField, target: Grid3) -> ScalarField {
+    ScalarField::from_world_fn(target, |p| trilinear(field, p))
+}
+
+/// Downsample by keeping every `factor`-th node per axis.
+///
+/// The result spans (up to rounding) the same physical domain with the
+/// spacing multiplied by `factor`.
+pub fn downsample(field: &ScalarField, factor: usize) -> Result<ScalarField, FieldError> {
+    let f = factor.max(1);
+    let grid = field.grid();
+    let dims = grid.dims();
+    let new_dims = [
+        (dims[0] + f - 1) / f,
+        (dims[1] + f - 1) / f,
+        (dims[2] + f - 1) / f,
+    ];
+    let spacing = grid.spacing();
+    let new_spacing = [
+        spacing[0] * f as f64,
+        spacing[1] * f as f64,
+        spacing[2] * f as f64,
+    ];
+    let new_grid = Grid3::with_geometry(new_dims, grid.origin(), new_spacing)?;
+    let [nx, ny, _] = new_dims;
+    let mut data = vec![0.0f32; new_grid.num_points()];
+    data.par_chunks_mut(nx * ny).enumerate().for_each(|(k, out)| {
+        for j in 0..ny {
+            for i in 0..nx {
+                out[i + nx * j] = field.at([i * f, j * f, k * f]);
+            }
+        }
+    });
+    ScalarField::from_vec(new_grid, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_field(dims: [usize; 3]) -> ScalarField {
+        let g = Grid3::new(dims).unwrap();
+        ScalarField::from_world_fn(g, |p| (p[0] + 2.0 * p[1] + 4.0 * p[2]) as f32)
+    }
+
+    #[test]
+    fn trilinear_exact_at_nodes() {
+        let f = linear_field([3, 3, 3]);
+        for ijk in f.grid().iter_ijk() {
+            let p = f.grid().world(ijk);
+            assert!((trilinear(&f, p) - f.at(ijk)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn trilinear_linear_precision() {
+        // Trilinear interpolation reproduces trilinear (here: affine)
+        // functions exactly at arbitrary interior points.
+        let f = linear_field([4, 4, 4]);
+        for p in [[0.5, 0.25, 0.75], [1.9, 2.1, 0.3], [2.999, 0.001, 1.5]] {
+            let expect = (p[0] + 2.0 * p[1] + 4.0 * p[2]) as f32;
+            assert!((trilinear(&f, p) - expect).abs() < 1e-4, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn trilinear_clamps_outside() {
+        let f = linear_field([3, 3, 3]);
+        let inside = trilinear(&f, [0.0, 1.0, 1.0]);
+        let outside = trilinear(&f, [-5.0, 1.0, 1.0]);
+        assert!((inside - outside).abs() < 1e-5);
+    }
+
+    #[test]
+    fn resample_identity_grid_is_identity() {
+        let f = linear_field([4, 3, 2]);
+        let r = resample(&f, *f.grid());
+        for (a, b) in f.values().iter().zip(r.values()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn resample_to_refined_grid_matches_function() {
+        let f = linear_field([4, 4, 4]);
+        let fine = f.grid().refined(2).unwrap();
+        let r = resample(&f, fine);
+        for ijk in fine.iter_ijk() {
+            let p = fine.world(ijk);
+            let expect = (p[0] + 2.0 * p[1] + 4.0 * p[2]) as f32;
+            assert!((r.at(ijk) - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn downsample_picks_every_kth() {
+        let f = linear_field([5, 5, 5]);
+        let d = downsample(&f, 2).unwrap();
+        assert_eq!(d.grid().dims(), [3, 3, 3]);
+        assert_eq!(d.grid().spacing(), [2.0, 2.0, 2.0]);
+        assert_eq!(d.at([1, 1, 1]), f.at([2, 2, 2]));
+        assert_eq!(d.at([2, 2, 2]), f.at([4, 4, 4]));
+    }
+
+    #[test]
+    fn downsample_factor_one_is_identity() {
+        let f = linear_field([3, 3, 3]);
+        let d = downsample(&f, 1).unwrap();
+        assert_eq!(d, f);
+    }
+}

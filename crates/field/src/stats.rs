@@ -1,0 +1,204 @@
+//! Value histograms and distribution statistics.
+//!
+//! The Biswas et al. sampler that the paper builds on assigns high importance
+//! to *rare* values: a point whose value falls in a sparsely-populated
+//! histogram bin is more likely to be kept. [`Histogram`] provides the
+//! binning and the derived rarity weights.
+
+use crate::volume::ScalarField;
+
+/// A fixed-width histogram over a closed value range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Build a histogram of `values` with `bins` equal-width bins spanning
+    /// the finite min..=max of the data. Non-finite values are ignored.
+    ///
+    /// Falls back to a single bin when the data is constant or empty.
+    pub fn from_values(values: &[f32], bins: usize) -> Self {
+        let bins = bins.max(1);
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                if v < lo {
+                    lo = v;
+                }
+                if v > hi {
+                    hi = v;
+                }
+            }
+        }
+        if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+            let n = values.iter().filter(|v| v.is_finite()).count() as u64;
+            return Self {
+                lo: if lo.is_finite() { lo } else { 0.0 },
+                hi: if hi.is_finite() { hi } else { 0.0 },
+                counts: vec![n],
+                total: n,
+            };
+        }
+        let mut counts = vec![0u64; bins];
+        let mut total = 0u64;
+        for &v in values {
+            if v.is_finite() {
+                let b = bin_index(v, lo, hi, bins);
+                counts[b] += 1;
+                total += 1;
+            }
+        }
+        Self {
+            lo,
+            hi,
+            counts,
+            total,
+        }
+    }
+
+    /// Histogram of a scalar field's values.
+    pub fn from_field(field: &ScalarField, bins: usize) -> Self {
+        Self::from_values(field.values(), bins)
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total counted (finite) values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Value range covered `(lo, hi)`.
+    pub fn range(&self) -> (f32, f32) {
+        (self.lo, self.hi)
+    }
+
+    /// Which bin a value falls into (values outside the range clamp to the
+    /// first/last bin).
+    pub fn bin_of(&self, v: f32) -> usize {
+        if self.counts.len() == 1 || self.hi <= self.lo {
+            return 0;
+        }
+        bin_index(v.clamp(self.lo, self.hi), self.lo, self.hi, self.counts.len())
+    }
+
+    /// Rarity weight of a value in `[0, 1]`: `1 - count(bin) / max_count`.
+    ///
+    /// Values in the fullest bin get weight 0, values in empty or
+    /// near-empty bins approach 1. This is the "value importance" criterion
+    /// of the multi-criteria sampler.
+    pub fn rarity(&self, v: f32) -> f32 {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 0.0;
+        }
+        1.0 - self.counts[self.bin_of(v)] as f32 / max as f32
+    }
+
+    /// Shannon entropy (bits) of the bin distribution; a scalar summary of
+    /// how spread out the values are.
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        self.counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+}
+
+#[inline(always)]
+fn bin_index(v: f32, lo: f32, hi: f32, bins: usize) -> usize {
+    let t = ((v - lo) / (hi - lo)) as f64;
+    ((t * bins as f64) as usize).min(bins - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_simple_distribution() {
+        let vals = [0.0f32, 0.1, 0.2, 0.9, 1.0];
+        let h = Histogram::from_values(&vals, 2);
+        assert_eq!(h.num_bins(), 2);
+        assert_eq!(h.counts(), &[3, 2]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.range(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn constant_data_single_bin() {
+        let h = Histogram::from_values(&[2.0f32; 10], 8);
+        assert_eq!(h.num_bins(), 1);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.bin_of(2.0), 0);
+        assert_eq!(h.rarity(2.0), 0.0);
+    }
+
+    #[test]
+    fn empty_and_non_finite_data() {
+        let h = Histogram::from_values(&[], 4);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.entropy_bits(), 0.0);
+        let h = Histogram::from_values(&[f32::NAN, f32::INFINITY], 4);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.rarity(1.0), 0.0);
+    }
+
+    #[test]
+    fn bin_of_clamps_out_of_range() {
+        let h = Histogram::from_values(&[0.0f32, 1.0], 4);
+        assert_eq!(h.bin_of(-100.0), 0);
+        assert_eq!(h.bin_of(100.0), 3);
+        // max value belongs to the last bin, not one past it
+        assert_eq!(h.bin_of(1.0), 3);
+    }
+
+    #[test]
+    fn rarity_prefers_sparse_bins() {
+        // 9 values near 0, 1 value near 1 => bin of the rare value is rarer.
+        let mut vals = vec![0.05f32; 9];
+        vals.push(0.95);
+        let h = Histogram::from_values(&vals, 2);
+        assert!(h.rarity(0.95) > h.rarity(0.05));
+        assert_eq!(h.rarity(0.05), 0.0);
+        assert!((h.rarity(0.95) - (1.0 - 1.0 / 9.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_of_uniform_and_point_mass() {
+        let uniform = Histogram::from_values(&[0.1f32, 0.3, 0.6, 0.9], 4);
+        assert!((uniform.entropy_bits() - 2.0).abs() < 1e-9);
+        let point = Histogram::from_values(&[0.1f32, 0.1, 0.1, 0.100001], 1);
+        assert!(point.entropy_bits() < 1e-9);
+    }
+
+    #[test]
+    fn from_field_matches_from_values() {
+        let g = crate::grid::Grid3::new([2, 2, 1]).unwrap();
+        let f = ScalarField::from_vec(g, vec![0.0, 0.5, 0.5, 1.0]).unwrap();
+        let a = Histogram::from_field(&f, 2);
+        let b = Histogram::from_values(f.values(), 2);
+        assert_eq!(a.counts(), b.counts());
+    }
+}

@@ -1,0 +1,306 @@
+//! The scalar-field container: one `f32` value per grid node.
+
+use crate::error::FieldError;
+use crate::grid::Grid3;
+use rayon::prelude::*;
+
+/// A scalar field on a regular grid.
+///
+/// This is the workspace's representation of one variable of one simulation
+/// timestep (e.g. Isabel's `pressure`). Values are `f32` (as stored by the
+/// simulations the paper targets); geometry is `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarField {
+    grid: Grid3,
+    data: Vec<f32>,
+}
+
+impl ScalarField {
+    /// A zero-filled field on `grid`.
+    pub fn zeros(grid: Grid3) -> Self {
+        Self {
+            data: vec![0.0; grid.num_points()],
+            grid,
+        }
+    }
+
+    /// A field filled with `value`.
+    pub fn filled(grid: Grid3, value: f32) -> Self {
+        Self {
+            data: vec![value; grid.num_points()],
+            grid,
+        }
+    }
+
+    /// Wrap an existing linearized data vector.
+    pub fn from_vec(grid: Grid3, data: Vec<f32>) -> Result<Self, FieldError> {
+        if data.len() != grid.num_points() {
+            return Err(FieldError::DataLengthMismatch {
+                expected: grid.num_points(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self { grid, data })
+    }
+
+    /// Evaluate `f(world_position)` at every node, in parallel over z-slabs.
+    ///
+    /// This is how the synthetic simulations materialize their timesteps.
+    pub fn from_world_fn(grid: Grid3, f: impl Fn([f64; 3]) -> f32 + Sync) -> Self {
+        let [nx, ny, _nz] = grid.dims();
+        let slab = nx * ny;
+        let mut data = vec![0.0f32; grid.num_points()];
+        data.par_chunks_mut(slab).enumerate().for_each(|(k, out)| {
+            for j in 0..ny {
+                for i in 0..nx {
+                    out[i + nx * j] = f(grid.world([i, j, k]));
+                }
+            }
+        });
+        Self { grid, data }
+    }
+
+    /// The grid this field lives on.
+    #[inline(always)]
+    pub fn grid(&self) -> &Grid3 {
+        &self.grid
+    }
+
+    /// Number of values (= grid nodes).
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the grid has no nodes (cannot happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the linearized values.
+    #[inline(always)]
+    pub fn values(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the linearized values.
+    #[inline(always)]
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the field, returning its values.
+    pub fn into_values(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at an `[i, j, k]` node.
+    #[inline(always)]
+    pub fn at(&self, ijk: [usize; 3]) -> f32 {
+        self.data[self.grid.linear(ijk)]
+    }
+
+    /// Set the value at an `[i, j, k]` node.
+    #[inline(always)]
+    pub fn set(&mut self, ijk: [usize; 3], v: f32) {
+        let idx = self.grid.linear(ijk);
+        self.data[idx] = v;
+    }
+
+    /// Minimum and maximum finite values; `None` if no finite value exists.
+    pub fn min_max(&self) -> Option<(f32, f32)> {
+        fv_linalg_min_max(&self.data)
+    }
+
+    /// Mean of all values.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        // Chunked fixed-order summation: deterministic and accurate.
+        let sum: f64 = self
+            .data
+            .chunks(4096)
+            .map(|c| c.iter().map(|&v| v as f64).sum::<f64>())
+            .sum();
+        sum / self.data.len() as f64
+    }
+
+    /// Population standard deviation of all values.
+    pub fn std_dev(&self) -> f64 {
+        if self.data.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let ss: f64 = self
+            .data
+            .chunks(4096)
+            .map(|c| {
+                c.iter()
+                    .map(|&v| {
+                        let d = v as f64 - m;
+                        d * d
+                    })
+                    .sum::<f64>()
+            })
+            .sum();
+        (ss / self.data.len() as f64).sqrt()
+    }
+
+    /// The element-wise difference `self - other` (the paper's "noise" field).
+    pub fn difference(&self, other: &ScalarField) -> Result<ScalarField, FieldError> {
+        if self.grid != other.grid {
+            return Err(FieldError::GridMismatch);
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Ok(ScalarField {
+            grid: self.grid,
+            data,
+        })
+    }
+
+    /// Map every value through `f`, in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        self.data.par_iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Linearly rescale values so the finite range maps onto `[0, 1]`.
+    /// A constant field maps to all zeros.
+    pub fn normalized(&self) -> ScalarField {
+        match self.min_max() {
+            Some((lo, hi)) if hi > lo => {
+                let inv = 1.0 / (hi - lo);
+                ScalarField {
+                    grid: self.grid,
+                    data: self.data.iter().map(|&v| (v - lo) * inv).collect(),
+                }
+            }
+            _ => ScalarField::zeros(self.grid),
+        }
+    }
+
+    /// Extract the 2-D slice `k = plane` as a row-major `(ny, nx)` vector —
+    /// used by the qualitative renders (Figs. 2–3 analogue).
+    pub fn slice_z(&self, plane: usize) -> Vec<f32> {
+        let [nx, ny, _] = self.grid.dims();
+        let mut out = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                out.push(self.at([i, j, plane]));
+            }
+        }
+        out
+    }
+}
+
+/// Finite-aware min/max over an `f32` slice.
+fn fv_linalg_min_max(data: &[f32]) -> Option<(f32, f32)> {
+    let mut it = data.iter().copied().filter(|v| v.is_finite());
+    let first = it.next()?;
+    let mut lo = first;
+    let mut hi = first;
+    for v in it {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(d: [usize; 3]) -> Grid3 {
+        Grid3::new(d).unwrap()
+    }
+
+    #[test]
+    fn constructors_validate_length() {
+        let g = grid([2, 2, 2]);
+        assert!(ScalarField::from_vec(g, vec![0.0; 7]).is_err());
+        assert!(ScalarField::from_vec(g, vec![0.0; 8]).is_ok());
+        assert_eq!(ScalarField::filled(g, 3.0).values()[5], 3.0);
+    }
+
+    #[test]
+    fn from_world_fn_evaluates_positions() {
+        let g = Grid3::with_geometry([3, 2, 2], [1.0, 0.0, 0.0], [2.0, 1.0, 1.0]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[0] + 10.0 * p[1] + 100.0 * p[2]) as f32);
+        assert_eq!(f.at([0, 0, 0]), 1.0);
+        assert_eq!(f.at([2, 0, 0]), 5.0);
+        assert_eq!(f.at([0, 1, 1]), 111.0);
+    }
+
+    #[test]
+    fn accessors_and_set() {
+        let mut f = ScalarField::zeros(grid([2, 2, 2]));
+        f.set([1, 1, 1], 9.0);
+        assert_eq!(f.at([1, 1, 1]), 9.0);
+        assert_eq!(f.len(), 8);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn statistics() {
+        let g = grid([2, 2, 1]);
+        let f = ScalarField::from_vec(g, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((f.mean() - 2.5).abs() < 1e-12);
+        let var = (1.5f64 * 1.5 + 0.5 * 0.5) * 2.0 / 4.0;
+        assert!((f.std_dev() - var.sqrt()).abs() < 1e-12);
+        assert_eq!(f.min_max(), Some((1.0, 4.0)));
+    }
+
+    #[test]
+    fn min_max_skips_non_finite() {
+        let g = grid([2, 2, 1]);
+        let f = ScalarField::from_vec(g, vec![f32::NAN, 2.0, f32::INFINITY, -1.0]).unwrap();
+        assert_eq!(f.min_max(), Some((-1.0, 2.0)));
+        let all_nan = ScalarField::from_vec(g, vec![f32::NAN; 4]).unwrap();
+        assert_eq!(all_nan.min_max(), None);
+    }
+
+    #[test]
+    fn difference_and_grid_mismatch() {
+        let g = grid([2, 1, 1]);
+        let a = ScalarField::from_vec(g, vec![3.0, 5.0]).unwrap();
+        let b = ScalarField::from_vec(g, vec![1.0, 1.0]).unwrap();
+        assert_eq!(a.difference(&b).unwrap().values(), &[2.0, 4.0]);
+        let other = ScalarField::zeros(grid([1, 2, 1]));
+        assert!(a.difference(&other).is_err());
+    }
+
+    #[test]
+    fn normalization() {
+        let g = grid([3, 1, 1]);
+        let f = ScalarField::from_vec(g, vec![-1.0, 0.0, 3.0]).unwrap();
+        let n = f.normalized();
+        assert_eq!(n.values(), &[0.0, 0.25, 1.0]);
+        let c = ScalarField::filled(g, 7.0).normalized();
+        assert_eq!(c.values(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn slice_extraction() {
+        let g = grid([2, 2, 2]);
+        let f = ScalarField::from_vec(g, (0..8).map(|v| v as f32).collect()).unwrap();
+        assert_eq!(f.slice_z(0), vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(f.slice_z(1), vec![4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let g = grid([2, 1, 1]);
+        let mut f = ScalarField::from_vec(g, vec![1.0, -2.0]).unwrap();
+        f.map_inplace(|v| v * v);
+        assert_eq!(f.values(), &[1.0, 4.0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type shared by the reconstruction methods.
+
+use std::fmt;
+
+/// Errors produced by reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The sampled cloud contains no points.
+    EmptyCloud,
+    /// Triangulation of the cloud failed.
+    Triangulation(String),
+    /// A per-query dense solve failed more often than the method tolerates.
+    SolveFailure {
+        /// Queries whose local system was singular.
+        failed: usize,
+        /// Total queries attempted.
+        total: usize,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::EmptyCloud => write!(f, "cannot reconstruct from an empty point cloud"),
+            InterpError::Triangulation(msg) => write!(f, "triangulation failed: {msg}"),
+            InterpError::SolveFailure { failed, total } => {
+                write!(f, "{failed}/{total} local solves failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(InterpError::EmptyCloud.to_string().contains("empty"));
+        assert!(InterpError::Triangulation("x".into()).to_string().contains("x"));
+        assert!(InterpError::SolveFailure { failed: 2, total: 9 }
+            .to_string()
+            .contains("2/9"));
+    }
+}

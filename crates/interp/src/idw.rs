@@ -1,0 +1,116 @@
+//! Plain inverse-distance weighting over a k-neighborhood.
+//!
+//! The unmodified Shepard scheme restricted to `k` neighbors: weights
+//! `1/d^p`. Included as an extra ablation baseline (the modified scheme in
+//! [`crate::shepard`] is the one the paper benchmarks).
+
+use crate::{InterpError, Reconstructor};
+use fv_field::{Grid3, ScalarField};
+use fv_sampling::PointCloud;
+use fv_spatial::KdTree;
+use rayon::prelude::*;
+
+/// Inverse-distance-weighting reconstructor.
+#[derive(Debug, Clone, Copy)]
+pub struct IdwReconstructor {
+    /// Neighborhood size per query.
+    pub k: usize,
+    /// Distance exponent (2 is the classical choice).
+    pub power: f64,
+}
+
+impl Default for IdwReconstructor {
+    fn default() -> Self {
+        Self { k: 8, power: 2.0 }
+    }
+}
+
+impl Reconstructor for IdwReconstructor {
+    fn name(&self) -> &'static str {
+        "idw"
+    }
+
+    fn reconstruct(
+        &self,
+        cloud: &PointCloud,
+        target: &Grid3,
+    ) -> Result<ScalarField, InterpError> {
+        if cloud.is_empty() {
+            return Err(InterpError::EmptyCloud);
+        }
+        let tree = KdTree::build(cloud.positions());
+        let positions = cloud.positions();
+        let values = cloud.values();
+        let k = self.k.max(1);
+        let half_power = self.power * 0.5;
+        let [nx, ny, _] = target.dims();
+        let slab = nx * ny;
+        let mut data = vec![0.0f32; target.num_points()];
+        data.par_chunks_mut(slab).enumerate().for_each(|(kz, out)| {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let p = target.world([i, j, kz]);
+                    let neighbors = tree.k_nearest(positions, p, k);
+                    let v = if neighbors[0].dist_sq < 1e-24 {
+                        values[neighbors[0].index] as f64
+                    } else {
+                        let mut wsum = 0.0;
+                        let mut acc = 0.0;
+                        for n in &neighbors {
+                            let w = n.dist_sq.powf(half_power).recip();
+                            wsum += w;
+                            acc += w * values[n.index] as f64;
+                        }
+                        acc / wsum
+                    };
+                    out[i + nx * j] = v as f32;
+                }
+            }
+        });
+        ScalarField::from_vec(*target, data)
+            .map_err(|e| InterpError::Triangulation(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_sampling::{FieldSampler, RandomSampler};
+
+    #[test]
+    fn exact_at_samples_and_bounded() {
+        let g = Grid3::new([8, 8, 8]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[0] * 0.5 - p[2]) as f32);
+        let cloud = RandomSampler.sample(&f, 0.1, 5);
+        let recon = IdwReconstructor::default().reconstruct(&cloud, &g).unwrap();
+        for (pos, &idx) in cloud.indices().iter().enumerate() {
+            assert!((recon.values()[idx] - cloud.values()[pos]).abs() < 1e-6);
+        }
+        let (lo, hi) = f.min_max().unwrap();
+        for &v in recon.values() {
+            assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_cloud_errors() {
+        let g = Grid3::new([2, 2, 2]).unwrap();
+        let f = ScalarField::zeros(g);
+        let cloud = PointCloud::from_indices(&f, vec![]);
+        assert!(IdwReconstructor::default().reconstruct(&cloud, &g).is_err());
+    }
+
+    #[test]
+    fn higher_power_sharpens_toward_nearest() {
+        let g = Grid3::new([8, 8, 8]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[0].powi(2)) as f32);
+        let cloud = RandomSampler.sample(&f, 0.1, 3);
+        let soft = IdwReconstructor { k: 8, power: 1.0 }.reconstruct(&cloud, &g).unwrap();
+        let sharp = IdwReconstructor { k: 8, power: 12.0 }.reconstruct(&cloud, &g).unwrap();
+        let nearest = crate::nearest::NearestReconstructor.reconstruct(&cloud, &g).unwrap();
+        let dist = |a: &ScalarField, b: &ScalarField| {
+            a.difference(b).unwrap().values().iter().map(|e| (e * e) as f64).sum::<f64>()
+        };
+        assert!(dist(&sharp, &nearest) < dist(&soft, &nearest));
+    }
+}

@@ -1,0 +1,64 @@
+//! # fv-interp
+//!
+//! Classical point-cloud → regular-grid reconstruction methods: the
+//! baselines of the paper's Section III-B, implemented from scratch on the
+//! `fv-spatial` substrates.
+//!
+//! | module | method | paper's verdict |
+//! |---|---|---|
+//! | [`linear`] | Delaunay piecewise-linear interpolation | best classical quality; slow sequentially, parallelized for Fig. 10 |
+//! | [`natural`] | discrete Sibson natural neighbor (Park et al. 2006) | competitive at low rates |
+//! | [`shepard`] | modified Shepard (Franke–Nielson local IDW) | consistently lower quality |
+//! | [`nearest`] | nearest-neighbor assignment | fast, blocky |
+//! | [`idw`] | plain inverse-distance weighting (extra baseline) | — |
+//! | [`rbf`] | local polyharmonic RBF | dismissed for cost (Sec. III-B); included for completeness |
+//!
+//! Every method implements [`Reconstructor`]: it consumes a sampled
+//! [`PointCloud`] and the *geometry* of a target grid and produces a dense
+//! [`ScalarField`]. All reconstructors parallelize their query loops over
+//! z-slabs of the target grid with Rayon.
+
+pub mod error;
+pub mod idw;
+pub mod linear;
+pub mod natural;
+pub mod nearest;
+pub mod rbf;
+pub mod shepard;
+
+pub use error::InterpError;
+
+use fv_field::{Grid3, ScalarField};
+use fv_sampling::PointCloud;
+
+/// A point-cloud-to-grid reconstruction method.
+pub trait Reconstructor: Send + Sync {
+    /// Short method name for experiment tables ("linear", "nearest", ...).
+    fn name(&self) -> &'static str;
+
+    /// Reconstruct a dense field on `target` from the sampled cloud.
+    fn reconstruct(&self, cloud: &PointCloud, target: &Grid3)
+        -> Result<ScalarField, InterpError>;
+}
+
+/// Instantiate the paper's default comparison set (Fig. 9): FCNN is added
+/// by the pipeline layer; this returns the four classical methods.
+pub fn classical_methods() -> Vec<Box<dyn Reconstructor>> {
+    vec![
+        Box::new(linear::LinearReconstructor::default()),
+        Box::new(natural::NaturalNeighborReconstructor::default()),
+        Box::new(shepard::ShepardReconstructor::default()),
+        Box::new(nearest::NearestReconstructor::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classical_set_has_expected_names() {
+        let names: Vec<&str> = classical_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["linear", "natural", "shepard", "nearest"]);
+    }
+}

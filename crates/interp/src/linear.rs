@@ -1,0 +1,197 @@
+//! Piecewise-linear interpolation over a Delaunay tetrahedralization —
+//! the paper's strongest classical baseline.
+//!
+//! Each grid node is located in the triangulation of the sampled points and
+//! its value is the barycentric blend of the containing tetrahedron's four
+//! sample values. Nodes outside the convex hull fall back to their nearest
+//! sample (SciPy `griddata(linear)` + nearest-fill, the combination the
+//! paper's Python pipeline uses).
+//!
+//! Two query paths mirror Fig. 10's two curves:
+//!
+//! * [`ExecutionMode::Sequential`] — one walk cursor marching through the
+//!   grid in linear order (the "naive Python" analogue);
+//! * [`ExecutionMode::Parallel`] — z-slabs fanned out over Rayon with one
+//!   cursor per slab (the "C++ CGAL + OpenMP" analogue).
+//!
+//! Both share the same triangulation build, so the Fig. 10 contrast
+//! isolates query-side parallelism exactly as the paper's did.
+
+use crate::{InterpError, Reconstructor};
+use fv_field::{Grid3, ScalarField};
+use fv_sampling::PointCloud;
+use fv_spatial::delaunay::WalkCursor;
+use fv_spatial::{Delaunay3, KdTree};
+use rayon::prelude::*;
+
+/// Query-side execution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Single-threaded scanline queries.
+    Sequential,
+    /// Rayon-parallel queries (default).
+    #[default]
+    Parallel,
+}
+
+/// Delaunay piecewise-linear reconstructor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearReconstructor {
+    /// Sequential vs parallel query loop.
+    pub mode: ExecutionMode,
+}
+
+impl LinearReconstructor {
+    /// The sequential ("naive") variant.
+    pub fn sequential() -> Self {
+        Self {
+            mode: ExecutionMode::Sequential,
+        }
+    }
+
+    /// The parallel variant.
+    pub fn parallel() -> Self {
+        Self {
+            mode: ExecutionMode::Parallel,
+        }
+    }
+}
+
+impl Reconstructor for LinearReconstructor {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            ExecutionMode::Sequential => "linear-seq",
+            ExecutionMode::Parallel => "linear",
+        }
+    }
+
+    fn reconstruct(
+        &self,
+        cloud: &PointCloud,
+        target: &Grid3,
+    ) -> Result<ScalarField, InterpError> {
+        if cloud.is_empty() {
+            return Err(InterpError::EmptyCloud);
+        }
+        let tri = Delaunay3::build(cloud.positions())
+            .map_err(|e| InterpError::Triangulation(e.to_string()))?;
+        let tree = KdTree::build(cloud.positions());
+        let positions = cloud.positions();
+        let values = cloud.values();
+
+        let [nx, ny, _] = target.dims();
+        let slab = nx * ny;
+        let mut data = vec![0.0f32; target.num_points()];
+
+        let fill_slab = |kz: usize, out: &mut [f32]| {
+            let mut cursor = WalkCursor::default();
+            for j in 0..ny {
+                for i in 0..nx {
+                    let p = target.world([i, j, kz]);
+                    let v = match tri.interpolate(p, values, &mut cursor) {
+                        Some(v) => v as f32,
+                        None => {
+                            // Outside the hull: nearest-sample extrapolation.
+                            let n = tree
+                                .nearest(positions, p)
+                                .expect("non-empty cloud");
+                            values[n.index]
+                        }
+                    };
+                    out[i + nx * j] = v;
+                }
+            }
+        };
+
+        match self.mode {
+            ExecutionMode::Sequential => {
+                for (kz, out) in data.chunks_mut(slab).enumerate() {
+                    fill_slab(kz, out);
+                }
+            }
+            ExecutionMode::Parallel => {
+                data.par_chunks_mut(slab)
+                    .enumerate()
+                    .for_each(|(kz, out)| fill_slab(kz, out));
+            }
+        }
+        ScalarField::from_vec(*target, data)
+            .map_err(|e| InterpError::Triangulation(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_sampling::{FieldSampler, ImportanceSampler, RandomSampler};
+
+    #[test]
+    fn empty_cloud_errors() {
+        let g = Grid3::new([2, 2, 2]).unwrap();
+        let f = ScalarField::zeros(g);
+        let cloud = PointCloud::from_indices(&f, vec![]);
+        assert!(LinearReconstructor::default().reconstruct(&cloud, &g).is_err());
+    }
+
+    #[test]
+    fn linear_field_reconstructs_nearly_exactly() {
+        // Piecewise-linear interpolation has linear precision: an affine
+        // field is reproduced everywhere inside the hull, and the hull
+        // fallback (nearest) only affects a thin boundary layer.
+        let g = Grid3::new([10, 10, 10]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (2.0 * p[0] - p[1] + 0.5 * p[2]) as f32);
+        let cloud = RandomSampler.sample(&f, 0.2, 3);
+        let recon = LinearReconstructor::default().reconstruct(&cloud, &g).unwrap();
+        let err = recon.difference(&f).unwrap();
+        // interior nodes should be essentially exact
+        let mut interior_max = 0.0f32;
+        for ijk in g.iter_ijk() {
+            let interior = ijk.iter().all(|&c| c >= 2 && c <= 7);
+            if interior {
+                interior_max = interior_max.max(err.at(ijk).abs());
+            }
+        }
+        assert!(interior_max < 0.3, "interior max err {interior_max}");
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let g = Grid3::new([9, 9, 9]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| ((p[0] * 0.7).sin() + p[1] * 0.1) as f32);
+        let cloud = ImportanceSampler::default().sample(&f, 0.15, 7);
+        let seq = LinearReconstructor::sequential().reconstruct(&cloud, &g).unwrap();
+        let par = LinearReconstructor::parallel().reconstruct(&cloud, &g).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn names_distinguish_modes() {
+        assert_eq!(LinearReconstructor::sequential().name(), "linear-seq");
+        assert_eq!(LinearReconstructor::parallel().name(), "linear");
+    }
+
+    #[test]
+    fn beats_nearest_on_smooth_field() {
+        let g = Grid3::new([12, 12, 12]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| {
+            ((p[0] * 0.5).sin() * (p[1] * 0.4).cos() + 0.2 * p[2]) as f32
+        });
+        let cloud = RandomSampler.sample(&f, 0.1, 13);
+        let lin = LinearReconstructor::default().reconstruct(&cloud, &g).unwrap();
+        let near = crate::nearest::NearestReconstructor.reconstruct(&cloud, &g).unwrap();
+        let sse = |r: &ScalarField| {
+            r.difference(&f).unwrap().values().iter().map(|e| (e * e) as f64).sum::<f64>()
+        };
+        assert!(sse(&lin) < sse(&near), "linear should beat nearest");
+    }
+
+    #[test]
+    fn few_points_fall_back_to_nearest_gracefully() {
+        let g = Grid3::new([5, 5, 5]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| p[0] as f32);
+        // 3 points cannot form a tetrahedron: everything is hull fallback.
+        let cloud = PointCloud::from_indices(&f, vec![0, 62, 124]);
+        let recon = LinearReconstructor::default().reconstruct(&cloud, &g).unwrap();
+        assert!(recon.values().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,228 @@
+//! Discrete Sibson (natural neighbor) interpolation, after Park et al.,
+//! "Discrete Sibson Interpolation" (IEEE TVCG 2006).
+//!
+//! Continuous Sibson interpolation weights each sample by the Voronoi
+//! volume a query point would "steal" from it upon insertion —
+//! prohibitively expensive to compute exactly in 3-D. The discrete
+//! formulation rasterizes instead: for every target-grid node `v`, let
+//! `d(v)` be the distance to its nearest sample and `s(v)` that sample's
+//! value. A query node `q` *steals* `v` exactly when `|q - v| < d(v)`, so
+//!
+//! ```text
+//! sibson(q) = mean over { v : |q - v| < d(v) } of s(v)
+//! ```
+//!
+//! Pass 1 (nearest-sample distance transform) is a parallel k-d-tree
+//! query. Pass 2 scatters each node's value into the ball of radius `d(v)`
+//! around it; threads accumulate into private (sum, count) buffers that are
+//! reduced pairwise, keeping the pass lock-free and deterministic.
+
+use crate::{InterpError, Reconstructor};
+use fv_field::{Grid3, ScalarField};
+use fv_sampling::PointCloud;
+use fv_spatial::KdTree;
+use rayon::prelude::*;
+
+/// Discrete natural-neighbor reconstructor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaturalNeighborReconstructor;
+
+impl Reconstructor for NaturalNeighborReconstructor {
+    fn name(&self) -> &'static str {
+        "natural"
+    }
+
+    fn reconstruct(
+        &self,
+        cloud: &PointCloud,
+        target: &Grid3,
+    ) -> Result<ScalarField, InterpError> {
+        if cloud.is_empty() {
+            return Err(InterpError::EmptyCloud);
+        }
+        let tree = KdTree::build(cloud.positions());
+        let positions = cloud.positions();
+        let values = cloud.values();
+        let grid = *target;
+        let n = grid.num_points();
+        let [nx, ny, nz] = grid.dims();
+        let spacing = grid.spacing();
+
+        // Pass 1: nearest sample distance + value per node.
+        let slab = nx * ny;
+        let nearest: Vec<(f64, f32)> = (0..n)
+            .into_par_iter()
+            .with_min_len(slab)
+            .map(|idx| {
+                let p = grid.world_linear(idx);
+                let nb = tree.nearest(positions, p).expect("non-empty cloud");
+                (nb.dist_sq, values[nb.index])
+            })
+            .collect();
+
+        // Pass 2: scatter into per-thread accumulators, then reduce.
+        let acc = (0..nz)
+            .into_par_iter()
+            .fold(
+                || (vec![0.0f64; n], vec![0u32; n]),
+                |(mut sum, mut cnt), kz| {
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            let v_idx = grid.linear([i, j, kz]);
+                            let (dist_sq, val) = nearest[v_idx];
+                            if dist_sq <= 0.0 {
+                                continue;
+                            }
+                            // Shrink the ball by a relative epsilon so that
+                            // boundary nodes (whose nearest sample *is* this
+                            // node's nearest sample at exactly distance d)
+                            // are never stolen due to round-off.
+                            let d2 = dist_sq * (1.0 - 1e-9);
+                            let d = dist_sq.sqrt();
+                            // Ball bounding box in index space.
+                            let r = [
+                                (d / spacing[0]).floor() as isize,
+                                (d / spacing[1]).floor() as isize,
+                                (d / spacing[2]).floor() as isize,
+                            ];
+                            let lo = [
+                                (i as isize - r[0]).max(0) as usize,
+                                (j as isize - r[1]).max(0) as usize,
+                                (kz as isize - r[2]).max(0) as usize,
+                            ];
+                            let hi = [
+                                (i + r[0] as usize).min(nx - 1),
+                                (j + r[1] as usize).min(ny - 1),
+                                (kz + r[2] as usize).min(nz - 1),
+                            ];
+                            for z in lo[2]..=hi[2] {
+                                let dz = (z as f64 - kz as f64) * spacing[2];
+                                let dz2 = dz * dz;
+                                if dz2 >= d2 {
+                                    continue;
+                                }
+                                for y in lo[1]..=hi[1] {
+                                    let dy = (y as f64 - j as f64) * spacing[1];
+                                    let dyz2 = dz2 + dy * dy;
+                                    if dyz2 >= d2 {
+                                        continue;
+                                    }
+                                    let row = grid.linear([lo[0], y, z]);
+                                    for x in lo[0]..=hi[0] {
+                                        let dx = (x as f64 - i as f64) * spacing[0];
+                                        if dyz2 + dx * dx < d2 {
+                                            let t = row + (x - lo[0]);
+                                            sum[t] += val as f64;
+                                            cnt[t] += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    (sum, cnt)
+                },
+            )
+            .reduce(
+                || (vec![0.0f64; n], vec![0u32; n]),
+                |(mut sa, mut ca), (sb, cb)| {
+                    for (a, b) in sa.iter_mut().zip(sb) {
+                        *a += b;
+                    }
+                    for (a, b) in ca.iter_mut().zip(cb) {
+                        *a += b;
+                    }
+                    (sa, ca)
+                },
+            );
+
+        let (sum, cnt) = acc;
+        let data: Vec<f32> = (0..n)
+            .into_par_iter()
+            .map(|idx| {
+                if cnt[idx] > 0 {
+                    (sum[idx] / cnt[idx] as f64) as f32
+                } else {
+                    // Uncovered node (exactly at a sample, or isolated):
+                    // nearest value is exact there.
+                    nearest[idx].1
+                }
+            })
+            .collect();
+        ScalarField::from_vec(grid, data).map_err(|e| InterpError::Triangulation(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_sampling::{FieldSampler, RandomSampler};
+
+    #[test]
+    fn empty_cloud_errors() {
+        let g = Grid3::new([2, 2, 2]).unwrap();
+        let f = ScalarField::zeros(g);
+        let cloud = PointCloud::from_indices(&f, vec![]);
+        assert!(NaturalNeighborReconstructor.reconstruct(&cloud, &g).is_err());
+    }
+
+    #[test]
+    fn constant_field_reconstructs_exactly() {
+        let g = Grid3::new([8, 8, 8]).unwrap();
+        let f = ScalarField::filled(g, 2.5);
+        let cloud = RandomSampler.sample(&f, 0.05, 3);
+        let recon = NaturalNeighborReconstructor.reconstruct(&cloud, &g).unwrap();
+        for &v in recon.values() {
+            assert!((v - 2.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn values_within_data_range() {
+        let g = Grid3::new([10, 10, 10]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| ((p[0] - p[1]) * 0.3).sin() as f32);
+        let (lo, hi) = f.min_max().unwrap();
+        let cloud = RandomSampler.sample(&f, 0.1, 9);
+        let recon = NaturalNeighborReconstructor.reconstruct(&cloud, &g).unwrap();
+        for &v in recon.values() {
+            assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+        }
+    }
+
+    #[test]
+    fn beats_nearest_on_smooth_field() {
+        let g = Grid3::new([12, 12, 12]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (0.5 * p[0] + 0.3 * p[1] - 0.2 * p[2]) as f32);
+        let cloud = RandomSampler.sample(&f, 0.06, 21);
+        let nat = NaturalNeighborReconstructor.reconstruct(&cloud, &g).unwrap();
+        let near = crate::nearest::NearestReconstructor.reconstruct(&cloud, &g).unwrap();
+        let sse = |r: &ScalarField| {
+            r.difference(&f).unwrap().values().iter().map(|e| (e * e) as f64).sum::<f64>()
+        };
+        assert!(sse(&nat) < sse(&near));
+    }
+
+    #[test]
+    fn exact_sample_nodes_keep_their_value() {
+        let g = Grid3::new([6, 6, 6]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[0] + 10.0 * p[1]) as f32);
+        let cloud = RandomSampler.sample(&f, 0.1, 5);
+        let recon = NaturalNeighborReconstructor.reconstruct(&cloud, &g).unwrap();
+        // Sampled nodes have d = ~0 after jitter-free kd queries, so they
+        // should reconstruct to within the averaging of their tiny ball.
+        for (pos, &idx) in cloud.indices().iter().enumerate() {
+            let got = recon.values()[idx];
+            let want = cloud.values()[pos];
+            assert!((got - want).abs() < 1.0, "idx {idx}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn anisotropic_spacing_supported() {
+        let g = Grid3::with_geometry([8, 8, 4], [0.0; 3], [1.0, 2.0, 4.0]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[2] * 0.5) as f32);
+        let cloud = RandomSampler.sample(&f, 0.2, 2);
+        let recon = NaturalNeighborReconstructor.reconstruct(&cloud, &g).unwrap();
+        assert!(recon.values().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,112 @@
+//! Nearest-neighbor reconstruction: every grid node takes the value of its
+//! closest sampled point.
+//!
+//! The fastest method in Fig. 10 and the lowest-quality one in Fig. 9 —
+//! piecewise-constant Voronoi cells give the reconstruction a blocky look
+//! and large errors across feature boundaries.
+
+use crate::{InterpError, Reconstructor};
+use fv_field::{Grid3, ScalarField};
+use fv_sampling::PointCloud;
+use fv_spatial::KdTree;
+use rayon::prelude::*;
+
+/// Nearest-neighbor reconstructor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NearestReconstructor;
+
+impl Reconstructor for NearestReconstructor {
+    fn name(&self) -> &'static str {
+        "nearest"
+    }
+
+    fn reconstruct(
+        &self,
+        cloud: &PointCloud,
+        target: &Grid3,
+    ) -> Result<ScalarField, InterpError> {
+        if cloud.is_empty() {
+            return Err(InterpError::EmptyCloud);
+        }
+        let tree = KdTree::build(cloud.positions());
+        let positions = cloud.positions();
+        let values = cloud.values();
+        let [nx, ny, _] = target.dims();
+        let slab = nx * ny;
+        let mut data = vec![0.0f32; target.num_points()];
+        data.par_chunks_mut(slab).enumerate().for_each(|(k, out)| {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let p = target.world([i, j, k]);
+                    let n = tree
+                        .nearest(positions, p)
+                        .expect("non-empty tree always yields a neighbor");
+                    out[i + nx * j] = values[n.index];
+                }
+            }
+        });
+        ScalarField::from_vec(*target, data)
+            .map_err(|e| InterpError::Triangulation(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_sampling::{FieldSampler, RandomSampler};
+
+    #[test]
+    fn empty_cloud_errors() {
+        let g = Grid3::new([2, 2, 2]).unwrap();
+        let f = ScalarField::zeros(g);
+        let cloud = PointCloud::from_indices(&f, vec![]);
+        assert!(matches!(
+            NearestReconstructor.reconstruct(&cloud, &g),
+            Err(InterpError::EmptyCloud)
+        ));
+    }
+
+    #[test]
+    fn sampled_nodes_are_reproduced_exactly() {
+        let g = Grid3::new([8, 8, 8]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[0] * 3.0 + p[1] - p[2]) as f32);
+        let cloud = RandomSampler.sample(&f, 0.1, 3);
+        let recon = NearestReconstructor.reconstruct(&cloud, &g).unwrap();
+        for (pos, &idx) in cloud.indices().iter().enumerate() {
+            assert_eq!(recon.values()[idx], cloud.values()[pos]);
+        }
+    }
+
+    #[test]
+    fn constant_field_reconstructs_exactly() {
+        let g = Grid3::new([6, 6, 6]).unwrap();
+        let f = ScalarField::filled(g, 5.5);
+        let cloud = RandomSampler.sample(&f, 0.05, 1);
+        let recon = NearestReconstructor.reconstruct(&cloud, &g).unwrap();
+        assert!(recon.values().iter().all(|&v| v == 5.5));
+    }
+
+    #[test]
+    fn single_sample_floods_the_grid() {
+        let g = Grid3::new([4, 4, 4]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| p[0] as f32);
+        let cloud = PointCloud::from_indices(&f, vec![33]);
+        let recon = NearestReconstructor.reconstruct(&cloud, &g).unwrap();
+        let expect = f.values()[33];
+        assert!(recon.values().iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn reconstructs_onto_a_different_grid() {
+        let g = Grid3::new([6, 6, 6]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| p[1] as f32);
+        let cloud = RandomSampler.sample(&f, 0.3, 9);
+        let fine = g.refined(2).unwrap();
+        let recon = NearestReconstructor.reconstruct(&cloud, &fine).unwrap();
+        assert_eq!(recon.len(), fine.num_points());
+        // values come from the sampled set
+        let set: std::collections::HashSet<u32> =
+            cloud.values().iter().map(|v| v.to_bits()).collect();
+        assert!(recon.values().iter().all(|v| set.contains(&v.to_bits())));
+    }
+}

@@ -1,0 +1,163 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! Used where the workspace solves SPD systems (e.g. Gaussian RBF Gram
+//! matrices with ridge regularization); roughly twice as fast as LU and a
+//! useful positive-definiteness check in itself.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Lower-triangular factor `L` with `A = L * L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky<T: Scalar> {
+    l: Matrix<T>,
+}
+
+impl<T: Scalar> Cholesky<T> {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed, not
+    /// checked. Returns [`LinalgError::NotPositiveDefinite`] when a diagonal
+    /// pivot is non-positive.
+    pub fn new(a: &Matrix<T>) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    let lik = l[(i, k)];
+                    let ljk = l[(j, k)];
+                    sum -= lik * ljk;
+                }
+                if i == j {
+                    if sum <= T::ZERO || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { row: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    let d = l[(j, j)];
+                    l[(i, j)] = sum / d;
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn factor(&self) -> &Matrix<T> {
+        &self.l
+    }
+
+    /// Solve `A x = b` via forward then backward substitution.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // L y = b
+        let mut x = b.to_vec();
+        for i in 0..n {
+            for j in 0..i {
+                let l = self.l[(i, j)];
+                let xj = x[j];
+                x[i] -= l * xj;
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        // L^T x = y
+        for i in (0..n).rev() {
+            for j in i + 1..n {
+                let l = self.l[(j, i)];
+                let xj = x[j];
+                x[i] -= l * xj;
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of the original matrix: `2 * sum(ln L_ii)`.
+    pub fn log_determinant(&self) -> T {
+        let mut acc = T::ZERO;
+        for i in 0..self.dim() {
+            acc += self.l[(i, i)].ln();
+        }
+        acc + acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix<f64> {
+        Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factors_classic_example() {
+        // Known factor: L = [[2,0,0],[6,1,0],[-8,5,3]]
+        let ch = Cholesky::new(&spd3()).unwrap();
+        let l = ch.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        assert!(Cholesky::new(&Matrix::<f64>::zeros(2, 3)).is_err());
+        let ch = Cholesky::new(&Matrix::<f64>::identity(2)).unwrap();
+        assert!(ch.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn log_determinant_matches_lu() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let det = crate::lu::LuDecomposition::new(&a).unwrap().determinant();
+        assert!((ch.log_determinant() - det.ln()).abs() < 1e-9);
+    }
+}

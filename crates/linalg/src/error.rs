@@ -1,0 +1,77 @@
+//! Error type for the linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by decompositions and solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left-hand side shape `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Right-hand side shape `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) at the given pivot.
+    Singular {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// Cholesky failed: the matrix is not positive definite at the given row.
+    NotPositiveDefinite {
+        /// Index of the failing diagonal entry.
+        row: usize,
+    },
+    /// A square matrix was required.
+    NotSquare {
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { row } => {
+                write!(f, "matrix is not positive definite at row {row}")
+            }
+            LinalgError::NotSquare { shape } => {
+                write!(f, "expected a square matrix, got {}x{}", shape.0, shape.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(LinalgError::Singular { pivot: 3 }.to_string().contains("3"));
+        assert!(LinalgError::NotPositiveDefinite { row: 1 }
+            .to_string()
+            .contains("positive definite"));
+        assert!(LinalgError::NotSquare { shape: (2, 3) }
+            .to_string()
+            .contains("2x3"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # fv-linalg
+//!
+//! A small, dependency-light dense linear-algebra substrate used by the
+//! `fillvoid` workspace.
+//!
+//! The neural-network stack (`fv-nn`) needs fast `f32` matrix products and
+//! element-wise kernels; the local radial-basis-function reconstructor
+//! (`fv-interp`) needs robust `f64` solves of small dense systems. Rather
+//! than pulling a large BLAS/LAPACK binding into an offline build, this crate
+//! implements exactly the kernels the workspace needs:
+//!
+//! * [`Matrix`] — a row-major dense matrix generic over [`Scalar`]
+//!   (`f32`/`f64`), with blocked and Rayon-parallel matrix multiplication.
+//! * [`lu::LuDecomposition`] — LU with partial pivoting, solve and
+//!   determinant.
+//! * [`cholesky::Cholesky`] — Cholesky factorization for symmetric positive
+//!   definite systems.
+//! * [`vector`] — slice kernels (dot, axpy, norms) shared by the other
+//!   modules.
+//!
+//! All kernels are deterministic: parallel reductions accumulate per-thread
+//! partials that are combined in a fixed order.
+
+pub mod cholesky;
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod scalar;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use scalar::Scalar;

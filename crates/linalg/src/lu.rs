@@ -1,0 +1,242 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Used by the local radial-basis-function reconstructor to solve small
+//! (≲ 32×32) dense systems with polynomial augmentation — those systems are
+//! symmetric but *not* positive definite, so Cholesky does not apply.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// A factorization `P * A = L * U` of a square matrix.
+///
+/// `L` is unit lower triangular, `U` upper triangular; both are packed into a
+/// single matrix. `perm[i]` gives the original row of `A` that ended up in
+/// factored row `i`.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition<T: Scalar> {
+    lu: Matrix<T>,
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 / -1), needed for the determinant.
+    perm_sign: T,
+}
+
+impl<T: Scalar> LuDecomposition<T> {
+    /// Factor `a`, consuming a copy of it.
+    ///
+    /// Returns [`LinalgError::Singular`] if a pivot column is numerically
+    /// zero (max |entry| ≤ `n * EPSILON * max_abs(a)`).
+    pub fn new(a: &Matrix<T>) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = T::ONE;
+        let tol = T::from_usize(n.max(1)) * T::EPSILON * a.max_abs();
+
+        for k in 0..n {
+            // Partial pivot: pick the row with the largest |entry| in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in k + 1..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= tol {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                swap_rows(&mut lu, k, pivot_row);
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in k + 1..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in k + 1..n {
+                    let u = lu[(k, c)];
+                    lu[(r, c)] -= factor * u;
+                }
+            }
+        }
+        Ok(Self {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution with the permuted right-hand side (L y = P b).
+        let mut x: Vec<T> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 0..n {
+            for j in 0..i {
+                let l = self.lu[(i, j)];
+                let xj = x[j];
+                x[i] -= l * xj;
+            }
+        }
+        // Back substitution (U x = y).
+        for i in (0..n).rev() {
+            for j in i + 1..n {
+                let u = self.lu[(i, j)];
+                let xj = x[j];
+                x[i] -= u * xj;
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> T {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Invert the original matrix (column-by-column solve).
+    pub fn inverse(&self) -> Result<Matrix<T>, LinalgError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![T::ZERO; n];
+        for c in 0..n {
+            e[c] = T::ONE;
+            let col = self.solve(&e)?;
+            for (r, v) in col.into_iter().enumerate() {
+                inv[(r, c)] = v;
+            }
+            e[c] = T::ZERO;
+        }
+        Ok(inv)
+    }
+}
+
+fn swap_rows<T: Scalar>(m: &mut Matrix<T>, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let cols = m.cols();
+    let data = m.as_mut_slice();
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let (head, tail) = data.split_at_mut(hi * cols);
+    head[lo * cols..(lo + 1) * cols].swap_with_slice(&mut tail[..cols]);
+}
+
+/// Convenience: solve `A x = b` in one call.
+pub fn solve<T: Scalar>(a: &Matrix<T>, b: &[T]) -> Result<Vec<T>, LinalgError> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(n: usize, vals: &[f64]) -> Matrix<f64> {
+        Matrix::from_vec(n, n, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let a = mat(2, &[2.0, 1.0, 1.0, 3.0]);
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = mat(2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_len() {
+        let a = mat(2, &[2.0, 0.0, 0.0, 2.0]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn determinant_with_pivoting() {
+        // Requires a row swap: det = -2.
+        let a = mat(2, &[0.0, 1.0, 2.0, 3.0]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_reconstructs_identity() {
+        let a = mat(3, &[4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]);
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((prod[(r, c)] - expect).abs() < 1e-10, "at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn random_well_conditioned_systems_solve_accurately() {
+        // Deterministic pseudo-random diagonally dominant systems.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n in [1usize, 2, 5, 12, 24] {
+            let mut a = Matrix::<f64>::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    a[(r, c)] = next();
+                }
+                a[(r, r)] += n as f64; // diagonal dominance => well conditioned
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| next()).collect();
+            let b = a.matvec(&x_true).unwrap();
+            let x = solve(&a, &b).unwrap();
+            for i in 0..n {
+                assert!((x[i] - x_true[i]).abs() < 1e-9, "n={n}, i={i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,617 @@
+//! Row-major dense matrix with blocked and parallel multiplication kernels.
+
+use crate::error::LinalgError;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Minimum number of rows in the output before `par_matmul` fans out to the
+/// Rayon pool; below this the parallel overhead dominates.
+const PAR_MIN_ROWS: usize = 32;
+
+/// A dense, row-major matrix over an [`Scalar`] element type.
+///
+/// The layout is `data[r * cols + c]`; rows are contiguous, which is what the
+/// inner `ikj` multiplication loop and the per-sample neural-network kernels
+/// want.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Create a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Create a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Create a matrix from a row-major data vector.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Create a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline(always)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the backing row-major storage.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing row-major storage.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its row-major storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow row `r` as a contiguous slice.
+    #[inline(always)]
+    pub fn row(&self, r: usize) -> &[T] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a contiguous slice.
+    #[inline(always)]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Return the transpose of this matrix.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(T) -> T + Sync) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, f: impl Fn(T) -> T) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// `self += other`, returning an error on shape mismatch.
+    pub fn add_assign_mat(&mut self, other: &Self) -> Result<(), LinalgError> {
+        self.zip_assign(other, "add_assign", |a, b| a + b)
+    }
+
+    /// `self -= other`, returning an error on shape mismatch.
+    pub fn sub_assign_mat(&mut self, other: &Self) -> Result<(), LinalgError> {
+        self.zip_assign(other, "sub_assign", |a, b| a - b)
+    }
+
+    /// `self += alpha * other` (matrix axpy).
+    pub fn axpy(&mut self, alpha: T, other: &Self) -> Result<(), LinalgError> {
+        self.zip_assign(other, "axpy", |a, b| a + alpha * b)
+    }
+
+    fn zip_assign(
+        &mut self,
+        other: &Self,
+        op: &'static str,
+        f: impl Fn(T, T) -> T,
+    ) -> Result<(), LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = f(*a, b);
+        }
+        Ok(())
+    }
+
+    /// Multiply every element by `alpha`.
+    pub fn scale(&mut self, alpha: T) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(T::ZERO);
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> T {
+        self.data
+            .iter()
+            .map(|&v| v * v)
+            .fold(T::ZERO, |a, b| a + b)
+            .sqrt()
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses a cache-friendly `ikj` loop over contiguous rows.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        matmul_rows(
+            out.data.as_mut_slice(),
+            &self.data,
+            &rhs.data,
+            self.cols,
+            rhs.cols,
+        );
+        Ok(out)
+    }
+
+    /// Parallel matrix product `self * rhs`, splitting output rows across the
+    /// Rayon pool. Falls back to the sequential kernel for small outputs.
+    pub fn par_matmul(&self, rhs: &Self) -> Result<Self, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "par_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if self.rows < PAR_MIN_ROWS {
+            return self.matmul(rhs);
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        let k = self.cols;
+        let n = rhs.cols;
+        let chunk = (self.rows / rayon::current_num_threads().max(1)).max(8);
+        out.data
+            .par_chunks_mut(chunk * n)
+            .zip(self.data.par_chunks(chunk * k))
+            .for_each(|(out_rows, lhs_rows)| {
+                matmul_rows(out_rows, lhs_rows, &rhs.data, k, n);
+            });
+        Ok(out)
+    }
+
+    /// Matrix product with the transpose of `rhs`: `self * rhs^T`.
+    ///
+    /// Both operands are walked along contiguous rows, which makes this the
+    /// preferred kernel for the neural-network backward pass.
+    pub fn matmul_transpose_b(&self, rhs: &Self) -> Result<Self, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transpose_b",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                *o = crate::vector::dot(a_row, b_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parallel `self * rhs^T`, fanning output rows across the Rayon pool.
+    /// Falls back to the sequential kernel for small batches.
+    pub fn par_matmul_transpose_b(&self, rhs: &Self) -> Result<Self, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "par_matmul_transpose_b",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if self.rows < PAR_MIN_ROWS {
+            return self.matmul_transpose_b(rhs);
+        }
+        let mut out = Self::zeros(self.rows, rhs.rows);
+        let k = self.cols;
+        let n = rhs.rows;
+        out.data
+            .par_chunks_mut(n)
+            .zip(self.data.par_chunks(k))
+            .for_each(|(out_row, a_row)| {
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &rhs.data[j * k..(j + 1) * k];
+                    *o = crate::vector::dot(a_row, b_row);
+                }
+            });
+        Ok(out)
+    }
+
+    /// Parallel `self^T * rhs`: row blocks are reduced through per-thread
+    /// accumulators, so the result is identical across thread counts up to
+    /// floating-point associativity of the fixed-order block reduction.
+    pub fn par_transpose_a_matmul(&self, rhs: &Self) -> Result<Self, LinalgError> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "par_transpose_a_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if self.rows < PAR_MIN_ROWS {
+            return self.transpose_a_matmul(rhs);
+        }
+        let ka = self.cols;
+        let kb = rhs.cols;
+        let chunk = (self.rows / rayon::current_num_threads().max(1)).max(8);
+        let partials: Vec<Matrix<T>> = self
+            .data
+            .par_chunks(chunk * ka)
+            .zip(rhs.data.par_chunks(chunk * kb))
+            .map(|(a_rows, b_rows)| {
+                let rows = a_rows.len() / ka.max(1);
+                let mut local = Matrix::zeros(ka, kb);
+                for i in 0..rows {
+                    let a_row = &a_rows[i * ka..(i + 1) * ka];
+                    let b_row = &b_rows[i * kb..(i + 1) * kb];
+                    for (r, &a) in a_row.iter().enumerate() {
+                        let out_row = &mut local.data[r * kb..(r + 1) * kb];
+                        crate::vector::axpy(a, b_row, out_row);
+                    }
+                }
+                local
+            })
+            .collect();
+        let mut out = Matrix::zeros(ka, kb);
+        for p in partials {
+            out.add_assign_mat(&p)?;
+        }
+        Ok(out)
+    }
+
+    /// Matrix product with the transpose of `self`: `self^T * rhs`.
+    pub fn transpose_a_matmul(&self, rhs: &Self) -> Result<Self, LinalgError> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "transpose_a_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Self::zeros(self.cols, rhs.cols);
+        // Accumulate rank-1 updates row by row; each pass touches contiguous
+        // memory in both inputs and the output.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let b_row = rhs.row(i);
+            for (r, &a) in a_row.iter().enumerate() {
+                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                crate::vector::axpy(a, b_row, out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[T]) -> Result<Vec<T>, LinalgError> {
+        if self.cols != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok(self
+            .rows_iter()
+            .map(|row| crate::vector::dot(row, x))
+            .collect())
+    }
+
+    /// Maximum absolute element, or zero for an empty matrix.
+    pub fn max_abs(&self) -> T {
+        self.data
+            .iter()
+            .fold(T::ZERO, |acc, &v| Scalar::max(acc, v.abs()))
+    }
+}
+
+/// Multiply a block of `lhs` rows (`lhs_rows.len() / k` of them) by the full
+/// `rhs` (`k x n`, row-major) into `out_rows`.
+///
+/// This is the shared sequential kernel behind [`Matrix::matmul`] and each
+/// parallel chunk of [`Matrix::par_matmul`].
+fn matmul_rows<T: Scalar>(out_rows: &mut [T], lhs_rows: &[T], rhs: &[T], k: usize, n: usize) {
+    debug_assert_eq!(lhs_rows.len() % k.max(1), 0);
+    debug_assert_eq!(rhs.len(), k * n);
+    let m = if k == 0 { 0 } else { lhs_rows.len() / k };
+    for i in 0..m {
+        let a_row = &lhs_rows[i * k..(i + 1) * k];
+        let out_row = &mut out_rows[i * n..(i + 1) * n];
+        for (p, &a) in a_row.iter().enumerate() {
+            let b_row = &rhs[p * n..(p + 1) * n];
+            crate::vector::axpy(a, b_row, out_row);
+        }
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+
+    #[inline(always)]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:?} ", self[(r, c)])?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, vals: &[f64]) -> Matrix<f64> {
+        Matrix::from_vec(rows, cols, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::<f32>::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 0.0);
+
+        let m = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f64);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 1)], 3.0);
+
+        assert!(Matrix::<f32>::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::<f64>::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn par_matmul_matches_sequential() {
+        let a = Matrix::from_fn(64, 37, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(37, 29, |r, c| ((r * 17 + c * 3) % 11) as f64 - 5.0);
+        let seq = a.matmul(&b).unwrap();
+        let par = a.par_matmul(&b).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(4, 2)], a[(2, 4)]);
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 6, |r, c| (r as f64 - c as f64) * 0.5);
+        let b = Matrix::from_fn(5, 6, |r, c| (r * c) as f64 * 0.25 + 1.0);
+        let fast = a.matmul_transpose_b(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn transpose_a_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_fn(6, 4, |r, c| (r + 2 * c) as f64);
+        let b = Matrix::from_fn(6, 3, |r, c| (r as f64) * 0.5 - c as f64);
+        let fast = a.transpose_a_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn par_matmul_transpose_b_matches_sequential() {
+        let a = Matrix::from_fn(80, 23, |r, c| ((r * 13 + c * 5) % 9) as f32 - 4.0);
+        let b = Matrix::from_fn(64, 23, |r, c| ((r * 7 + c * 11) % 5) as f32 * 0.5);
+        let seq = a.matmul_transpose_b(&b).unwrap();
+        let par = a.par_matmul_transpose_b(&b).unwrap();
+        assert_eq!(seq, par);
+        assert!(a.par_matmul_transpose_b(&Matrix::zeros(3, 7)).is_err());
+    }
+
+    #[test]
+    fn par_transpose_a_matmul_matches_sequential() {
+        let a = Matrix::from_fn(100, 16, |r, c| ((r + c * 3) % 7) as f64 - 3.0);
+        let b = Matrix::from_fn(100, 12, |r, c| ((r * 2 + c) % 5) as f64 * 0.25);
+        let seq = a.transpose_a_matmul(&b).unwrap();
+        let par = a.par_transpose_a_matmul(&b).unwrap();
+        for (s, p) in seq.as_slice().iter().zip(par.as_slice()) {
+            assert!((s - p).abs() < 1e-9);
+        }
+        assert!(a.par_transpose_a_matmul(&Matrix::zeros(3, 7)).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = mat(2, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0]);
+        let x = vec![2.0, 1.0, 0.0];
+        assert_eq!(a.matvec(&x).unwrap(), vec![2.0, 1.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = mat(2, 2, &[10.0, 20.0, 30.0, 40.0]);
+        a.add_assign_mat(&b).unwrap();
+        assert_eq!(a.as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+        a.sub_assign_mat(&b).unwrap();
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[6.0, 12.0, 18.0, 24.0]);
+        a.scale(0.0);
+        assert_eq!(a.max_abs(), 0.0);
+
+        let c = mat(1, 1, &[0.0]);
+        assert!(a.clone().add_assign_mat(&c).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let a = mat(1, 2, &[3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn map_and_fill() {
+        let mut a = mat(2, 2, &[1.0, -2.0, 3.0, -4.0]);
+        let b = a.map(|v| v.abs());
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        a.map_inplace(|v| v * 2.0);
+        assert_eq!(a.as_slice(), &[2.0, -4.0, 6.0, -8.0]);
+        a.fill_zero();
+        assert_eq!(a.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn zero_sized_matmul() {
+        let a = Matrix::<f64>::zeros(0, 3);
+        let b = Matrix::<f64>::zeros(3, 2);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (0, 2));
+        let a = Matrix::<f64>::zeros(2, 0);
+        let b = Matrix::<f64>::zeros(0, 2);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[0.0; 4]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Slice kernels: dot products, axpy, norms, reductions.
+//!
+//! These free functions are the innermost loops of the matrix kernels and of
+//! the neural-network forward/backward passes, so they are written to
+//! auto-vectorize: equal-length slices, no bounds checks in the hot loop, and
+//! a four-way unrolled accumulator for the dot product (which also gives a
+//! fixed, deterministic summation order).
+
+use crate::scalar::Scalar;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ; in release builds the
+/// shorter length wins (standard `zip` semantics) — callers in this workspace
+/// always pass equal lengths.
+#[inline]
+pub fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = T::ZERO;
+    let mut acc1 = T::ZERO;
+    let mut acc2 = T::ZERO;
+    let mut acc3 = T::ZERO;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc0 += a[j] * b[j];
+        acc1 += a[j + 1] * b[j + 1];
+        acc2 += a[j + 2] * b[j + 2];
+        acc3 += a[j + 3] * b[j + 3];
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for i in chunks * 4..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// `y += alpha * x` over equal-length slices.
+#[inline]
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2<T: Scalar>(a: &[T]) -> T {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn dist2_sq<T: Scalar>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = T::ZERO;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Arithmetic mean; zero for an empty slice.
+#[inline]
+pub fn mean<T: Scalar>(a: &[T]) -> T {
+    if a.is_empty() {
+        return T::ZERO;
+    }
+    let sum = a.iter().fold(T::ZERO, |acc, &v| acc + v);
+    sum / T::from_usize(a.len())
+}
+
+/// Population variance (divides by `n`); zero for slices shorter than 2.
+#[inline]
+pub fn variance<T: Scalar>(a: &[T]) -> T {
+    if a.len() < 2 {
+        return T::ZERO;
+    }
+    let m = mean(a);
+    let ss = a.iter().fold(T::ZERO, |acc, &v| {
+        let d = v - m;
+        acc + d * d
+    });
+    ss / T::from_usize(a.len())
+}
+
+/// Population standard deviation.
+#[inline]
+pub fn std_dev<T: Scalar>(a: &[T]) -> T {
+    variance(a).sqrt()
+}
+
+/// Element-wise scale in place.
+#[inline]
+pub fn scale<T: Scalar>(a: &mut [T], alpha: T) {
+    for v in a {
+        *v *= alpha;
+    }
+}
+
+/// `(min, max)` of a slice, ignoring non-finite values; `None` if no finite
+/// value exists.
+pub fn finite_min_max<T: Scalar>(a: &[T]) -> Option<(T, T)> {
+    let mut it = a.iter().copied().filter(|v| v.is_finite());
+    let first = it.next()?;
+    let mut lo = first;
+    let mut hi = first;
+    for v in it {
+        lo = Scalar::min(lo, v);
+        hi = Scalar::max(hi, v);
+    }
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f64> = (0..23).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let b: Vec<f64> = (0..23).map(|i| (i * i) as f64 * 0.1).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_short_slices() {
+        assert_eq!(dot::<f32>(&[], &[]), 0.0);
+        assert_eq!(dot(&[2.0f32], &[3.0]), 6.0);
+        assert_eq!(dot(&[1.0f64, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [10.0f32, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        assert_eq!(norm2(&[3.0f64, 4.0]), 5.0);
+        assert_eq!(dist2_sq(&[0.0f64, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn statistics() {
+        let a = [2.0f64, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&a) - 5.0).abs() < 1e-12);
+        assert!((variance(&a) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&a) - 2.0).abs() < 1e-12);
+        assert_eq!(mean::<f32>(&[]), 0.0);
+        assert_eq!(variance(&[1.0f32]), 0.0);
+    }
+
+    #[test]
+    fn min_max_ignores_non_finite() {
+        let a = [f64::NAN, 3.0, -1.0, f64::INFINITY, 2.0];
+        assert_eq!(finite_min_max(&a), Some((-1.0, 3.0)));
+        assert_eq!(finite_min_max::<f32>(&[f32::NAN]), None);
+        assert_eq!(finite_min_max::<f32>(&[]), None);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = [1.0f32, -2.0, 4.0];
+        scale(&mut a, -0.5);
+        assert_eq!(a, [-0.5, 1.0, -2.0]);
+    }
+}

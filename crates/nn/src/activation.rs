@@ -1,0 +1,130 @@
+//! Element-wise activation functions and their derivatives.
+
+/// Activation applied element-wise after a dense layer's affine map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `max(0, x)` — the paper's choice for all hidden layers.
+    Relu,
+    /// No nonlinearity — used for the regression output layer.
+    Identity,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// `max(alpha*x, x)` with fixed `alpha = 0.01`.
+    LeakyRelu,
+}
+
+impl Activation {
+    /// Apply the activation to one value.
+    #[inline(always)]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+            Activation::Tanh => x.tanh(),
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+        }
+    }
+
+    /// Derivative at a pre-activation value `x`.
+    ///
+    /// (The ReLU sub-gradient at 0 is taken as 0, the usual convention.)
+    #[inline(always)]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+        }
+    }
+
+    /// Stable id for serialization.
+    pub fn id(self) -> u8 {
+        match self {
+            Activation::Relu => 0,
+            Activation::Identity => 1,
+            Activation::Tanh => 2,
+            Activation::LeakyRelu => 3,
+        }
+    }
+
+    /// Inverse of [`Activation::id`].
+    pub fn from_id(id: u8) -> Option<Self> {
+        match id {
+            0 => Some(Activation::Relu),
+            1 => Some(Activation::Identity),
+            2 => Some(Activation::Tanh),
+            3 => Some(Activation::LeakyRelu),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_behaviour() {
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(2.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(-2.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+    }
+
+    #[test]
+    fn identity_behaviour() {
+        assert_eq!(Activation::Identity.apply(-7.5), -7.5);
+        assert_eq!(Activation::Identity.derivative(123.0), 1.0);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_finite_difference() {
+        let x = 0.37f32;
+        let h = 1e-3f32;
+        let fd = (Activation::Tanh.apply(x + h) - Activation::Tanh.apply(x - h)) / (2.0 * h);
+        assert!((Activation::Tanh.derivative(x) - fd).abs() < 1e-4);
+    }
+
+    #[test]
+    fn leaky_relu_slopes() {
+        assert_eq!(Activation::LeakyRelu.apply(-1.0), -0.01);
+        assert_eq!(Activation::LeakyRelu.derivative(-1.0), 0.01);
+        assert_eq!(Activation::LeakyRelu.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        for a in [
+            Activation::Relu,
+            Activation::Identity,
+            Activation::Tanh,
+            Activation::LeakyRelu,
+        ] {
+            assert_eq!(Activation::from_id(a.id()), Some(a));
+        }
+        assert_eq!(Activation::from_id(99), None);
+    }
+}

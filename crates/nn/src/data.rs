@@ -1,0 +1,278 @@
+//! Training datasets and feature standardization.
+
+use crate::error::NnError;
+use fv_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A supervised dataset: feature rows `x` and target rows `y`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    x: Matrix<f32>,
+    y: Matrix<f32>,
+}
+
+impl Dataset {
+    /// Wrap feature/target matrices, validating row counts.
+    pub fn new(x: Matrix<f32>, y: Matrix<f32>) -> Result<Self, NnError> {
+        if x.rows() != y.rows() {
+            return Err(NnError::BadDataset(format!(
+                "x has {} rows, y has {}",
+                x.rows(),
+                y.rows()
+            )));
+        }
+        if x.rows() == 0 {
+            return Err(NnError::BadDataset("dataset has no rows".into()));
+        }
+        Ok(Self { x, y })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// `true` if there are no rows (cannot happen via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// Feature width.
+    pub fn input_width(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Target width.
+    pub fn target_width(&self) -> usize {
+        self.y.cols()
+    }
+
+    /// Borrow the feature matrix.
+    pub fn x(&self) -> &Matrix<f32> {
+        &self.x
+    }
+
+    /// Borrow the target matrix.
+    pub fn y(&self) -> &Matrix<f32> {
+        &self.y
+    }
+
+    /// Gather a batch by row indices into new matrices.
+    pub fn gather(&self, rows: &[usize]) -> (Matrix<f32>, Matrix<f32>) {
+        let mut bx = Matrix::zeros(rows.len(), self.x.cols());
+        let mut by = Matrix::zeros(rows.len(), self.y.cols());
+        for (out_r, &src_r) in rows.iter().enumerate() {
+            bx.row_mut(out_r).copy_from_slice(self.x.row(src_r));
+            by.row_mut(out_r).copy_from_slice(self.y.row(src_r));
+        }
+        (bx, by)
+    }
+
+    /// Concatenate two datasets with matching widths (the paper's "1%+5%"
+    /// training corpus is the union of two sampled corpora).
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, NnError> {
+        if self.input_width() != other.input_width()
+            || self.target_width() != other.target_width()
+        {
+            return Err(NnError::BadDataset("concat width mismatch".into()));
+        }
+        let mut xs = self.x.as_slice().to_vec();
+        xs.extend_from_slice(other.x.as_slice());
+        let mut ys = self.y.as_slice().to_vec();
+        ys.extend_from_slice(other.y.as_slice());
+        let rows = self.len() + other.len();
+        Ok(Dataset {
+            x: Matrix::from_vec(rows, self.input_width(), xs).expect("len computed"),
+            y: Matrix::from_vec(rows, self.target_width(), ys).expect("len computed"),
+        })
+    }
+
+    /// Keep a random `fraction` of rows (at least 1) — the training-set
+    /// subsampling of Fig. 14 / Table II.
+    pub fn subsample(&self, fraction: f64, seed: u64) -> Dataset {
+        let k = ((fraction.clamp(0.0, 1.0) * self.len() as f64).round() as usize)
+            .clamp(1, self.len());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut rng);
+        order.truncate(k);
+        let (x, y) = self.gather(&order);
+        Dataset { x, y }
+    }
+
+    /// Split into `(train, validation)` with `val_fraction` rows held out.
+    pub fn split(&self, val_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let n = self.len();
+        let val = ((val_fraction.clamp(0.0, 1.0) * n as f64).round() as usize).clamp(1, n - 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let (val_rows, train_rows) = order.split_at(val);
+        let (vx, vy) = self.gather(val_rows);
+        let (tx, ty) = self.gather(train_rows);
+        (Dataset { x: tx, y: ty }, Dataset { x: vx, y: vy })
+    }
+}
+
+/// Per-column standardization `x -> (x - mean) / std`.
+///
+/// Fitted on the training corpus, applied to every query at inference —
+/// stored alongside the model so a checkpoint is self-contained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    /// Per-column means.
+    pub mean: Vec<f32>,
+    /// Per-column standard deviations (zero-variance columns get 1).
+    pub std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fit on the columns of `x`.
+    pub fn fit(x: &Matrix<f32>) -> Self {
+        let cols = x.cols();
+        let rows = x.rows().max(1);
+        let mut mean = vec![0.0f64; cols];
+        for r in 0..x.rows() {
+            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= rows as f64;
+        }
+        let mut var = vec![0.0f64; cols];
+        for r in 0..x.rows() {
+            for ((s, &v), &m) in var.iter_mut().zip(x.row(r)).zip(&mean) {
+                let d = v as f64 - m;
+                *s += d * d;
+            }
+        }
+        let std = var
+            .iter()
+            .map(|&s| {
+                let sd = (s / rows as f64).sqrt();
+                if sd > 1e-12 {
+                    sd as f32
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self {
+            mean: mean.into_iter().map(|m| m as f32).collect(),
+            std,
+        }
+    }
+
+    /// Number of columns this standardizer was fitted on.
+    pub fn width(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardize a matrix in place.
+    pub fn transform(&self, x: &mut Matrix<f32>) {
+        debug_assert_eq!(x.cols(), self.width());
+        for r in 0..x.rows() {
+            for ((v, &m), &s) in x.row_mut(r).iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
+            }
+        }
+    }
+
+    /// Undo the transform in place.
+    pub fn inverse_transform(&self, x: &mut Matrix<f32>) {
+        debug_assert_eq!(x.cols(), self.width());
+        for r in 0..x.rows() {
+            for ((v, &m), &s) in x.row_mut(r).iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = *v * s + m;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 3, |r, c| (r * 3 + c) as f32);
+        let y = Matrix::from_fn(n, 1, |r, _| r as f32);
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn new_validates() {
+        let x = Matrix::<f32>::zeros(3, 2);
+        let y = Matrix::<f32>::zeros(4, 1);
+        assert!(Dataset::new(x, y).is_err());
+        assert!(Dataset::new(Matrix::zeros(0, 2), Matrix::zeros(0, 1)).is_err());
+    }
+
+    #[test]
+    fn gather_extracts_rows() {
+        let d = dataset(5);
+        let (bx, by) = d.gather(&[4, 0]);
+        assert_eq!(bx.row(0), &[12.0, 13.0, 14.0]);
+        assert_eq!(bx.row(1), &[0.0, 1.0, 2.0]);
+        assert_eq!(by.as_slice(), &[4.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_appends_rows() {
+        let d = dataset(3).concat(&dataset(2)).unwrap();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.x().row(3), &[0.0, 1.0, 2.0]);
+        let wide = Dataset::new(Matrix::zeros(2, 4), Matrix::zeros(2, 1)).unwrap();
+        assert!(dataset(2).concat(&wide).is_err());
+    }
+
+    #[test]
+    fn subsample_counts() {
+        let d = dataset(100);
+        assert_eq!(d.subsample(0.5, 1).len(), 50);
+        assert_eq!(d.subsample(0.25, 1).len(), 25);
+        assert_eq!(d.subsample(0.0, 1).len(), 1);
+        assert_eq!(d.subsample(1.0, 1).len(), 100);
+        // deterministic
+        assert_eq!(
+            d.subsample(0.3, 7).x().as_slice(),
+            d.subsample(0.3, 7).x().as_slice()
+        );
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = dataset(10);
+        let (train, val) = d.split(0.2, 3);
+        assert_eq!(train.len(), 8);
+        assert_eq!(val.len(), 2);
+    }
+
+    #[test]
+    fn standardizer_roundtrip_and_stats() {
+        let x = Matrix::from_vec(4, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]).unwrap();
+        let s = Standardizer::fit(&x);
+        assert!((s.mean[0] - 2.5).abs() < 1e-6);
+        assert!((s.mean[1] - 25.0).abs() < 1e-6);
+        let mut t = x.clone();
+        s.transform(&mut t);
+        // standardized columns have mean ~0
+        let col_mean: f32 = (0..4).map(|r| t[(r, 0)]).sum::<f32>() / 4.0;
+        assert!(col_mean.abs() < 1e-6);
+        s.inverse_transform(&mut t);
+        for (a, b) in t.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_column_safe() {
+        let x = Matrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]).unwrap();
+        let s = Standardizer::fit(&x);
+        assert_eq!(s.std[0], 1.0);
+        let mut t = x.clone();
+        s.transform(&mut t);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

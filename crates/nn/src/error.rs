@@ -1,0 +1,77 @@
+//! Error type for network construction, training and serialization.
+
+use std::fmt;
+
+/// Errors from the neural-network stack.
+#[derive(Debug)]
+pub enum NnError {
+    /// Input feature width does not match the network's input layer.
+    InputWidthMismatch {
+        /// What the first layer expects.
+        expected: usize,
+        /// What the caller supplied.
+        actual: usize,
+    },
+    /// Target width does not match the network's output layer.
+    TargetWidthMismatch {
+        /// What the last layer produces.
+        expected: usize,
+        /// What the caller supplied.
+        actual: usize,
+    },
+    /// The dataset has no rows (or x/y row counts disagree).
+    BadDataset(String),
+    /// A network must have at least one layer.
+    EmptyNetwork,
+    /// Serialization I/O failure.
+    Io(std::io::Error),
+    /// Malformed checkpoint data.
+    Format(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InputWidthMismatch { expected, actual } => {
+                write!(f, "input width mismatch: network expects {expected}, got {actual}")
+            }
+            NnError::TargetWidthMismatch { expected, actual } => {
+                write!(f, "target width mismatch: network outputs {expected}, got {actual}")
+            }
+            NnError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+            NnError::EmptyNetwork => write!(f, "network has no layers"),
+            NnError::Io(e) => write!(f, "i/o error: {e}"),
+            NnError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NnError::InputWidthMismatch { expected: 23, actual: 7 }
+            .to_string()
+            .contains("23"));
+        assert!(NnError::EmptyNetwork.to_string().contains("no layers"));
+        assert!(NnError::BadDataset("empty".into()).to_string().contains("empty"));
+        assert!(NnError::Format("magic".into()).to_string().contains("magic"));
+    }
+}

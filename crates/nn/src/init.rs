@@ -1,0 +1,101 @@
+//! Weight initialization schemes.
+
+use fv_linalg::Matrix;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Initialization scheme for a dense layer's weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// He/Kaiming normal — `N(0, sqrt(2 / fan_in))`; pairs with ReLU.
+    HeNormal,
+    /// Xavier/Glorot uniform — `U(±sqrt(6 / (fan_in + fan_out)))`.
+    XavierUniform,
+    /// All zeros (used for biases and in tests).
+    Zeros,
+}
+
+impl Init {
+    /// Materialize a `[fan_out, fan_in]` weight matrix.
+    pub fn matrix(self, fan_out: usize, fan_in: usize, rng: &mut impl Rng) -> Matrix<f32> {
+        match self {
+            Init::Zeros => Matrix::zeros(fan_out, fan_in),
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f64).sqrt();
+                let normal = StandardNormal;
+                Matrix::from_fn(fan_out, fan_in, |_, _| {
+                    (normal.sample(rng) * std) as f32
+                })
+            }
+            Init::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+                Matrix::from_fn(fan_out, fan_in, |_, _| {
+                    (rng.gen_range(-limit..limit)) as f32
+                })
+            }
+        }
+    }
+}
+
+/// A Box–Muller standard normal, avoiding a dependency on `rand_distr`.
+struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 in (0,1] so ln is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let m = Init::Zeros.matrix(4, 3, &mut rng(1));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn he_normal_statistics() {
+        let fan_in = 256;
+        let m = Init::HeNormal.matrix(64, fan_in, &mut rng(2));
+        let vals = m.as_slice();
+        let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+        let var: f64 =
+            vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        let expected_var = 2.0 / fan_in as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!(
+            (var - expected_var).abs() < expected_var * 0.25,
+            "var {var} vs {expected_var}"
+        );
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let m = Init::XavierUniform.matrix(32, 32, &mut rng(3));
+        let limit = (6.0f64 / 64.0).sqrt() as f32;
+        for &v in m.as_slice() {
+            assert!(v.abs() <= limit);
+        }
+        // not all identical
+        let first = m.as_slice()[0];
+        assert!(m.as_slice().iter().any(|&v| v != first));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::HeNormal.matrix(8, 8, &mut rng(7));
+        let b = Init::HeNormal.matrix(8, 8, &mut rng(7));
+        assert_eq!(a, b);
+    }
+}

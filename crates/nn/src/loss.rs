@@ -1,0 +1,111 @@
+//! Loss functions over batched predictions.
+
+use fv_linalg::Matrix;
+
+/// A regression loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Loss {
+    /// Mean squared error — the paper's training loss.
+    #[default]
+    Mse,
+    /// Mean absolute error.
+    Mae,
+}
+
+impl Loss {
+    /// Scalar loss value averaged over all `batch × outputs` entries.
+    pub fn value(self, prediction: &Matrix<f32>, target: &Matrix<f32>) -> f32 {
+        debug_assert_eq!(prediction.shape(), target.shape());
+        let n = prediction.as_slice().len().max(1) as f64;
+        let acc: f64 = prediction
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| {
+                let d = (p - t) as f64;
+                match self {
+                    Loss::Mse => d * d,
+                    Loss::Mae => d.abs(),
+                }
+            })
+            .sum();
+        (acc / n) as f32
+    }
+
+    /// Gradient of the loss w.r.t. the prediction, same shape as the
+    /// prediction, already averaged (`1/n` folded in).
+    pub fn gradient(self, prediction: &Matrix<f32>, target: &Matrix<f32>) -> Matrix<f32> {
+        debug_assert_eq!(prediction.shape(), target.shape());
+        let n = prediction.as_slice().len().max(1) as f32;
+        let mut grad = prediction.clone();
+        for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+            let d = *g - t;
+            *g = match self {
+                Loss::Mse => 2.0 * d / n,
+                Loss::Mae => {
+                    if d > 0.0 {
+                        1.0 / n
+                    } else if d < 0.0 {
+                        -1.0 / n
+                    } else {
+                        0.0
+                    }
+                }
+            };
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix<f32> {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let p = m(1, 2, &[1.0, 3.0]);
+        let t = m(1, 2, &[0.0, 1.0]);
+        // ((1)^2 + (2)^2) / 2 = 2.5
+        assert!((Loss::Mse.value(&p, &t) - 2.5).abs() < 1e-6);
+        let g = Loss::Mse.gradient(&p, &t);
+        assert_eq!(g.as_slice(), &[1.0, 2.0]); // 2*d/n with n=2
+    }
+
+    #[test]
+    fn mae_value_and_gradient() {
+        let p = m(1, 3, &[1.0, -2.0, 0.0]);
+        let t = m(1, 3, &[0.0, 0.0, 0.0]);
+        assert!((Loss::Mae.value(&p, &t) - 1.0).abs() < 1e-6);
+        let g = Loss::Mae.gradient(&p, &t);
+        let third = 1.0 / 3.0;
+        assert!((g.as_slice()[0] - third).abs() < 1e-6);
+        assert!((g.as_slice()[1] + third).abs() < 1e-6);
+        assert_eq!(g.as_slice()[2], 0.0);
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero_loss_and_gradient() {
+        let p = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(Loss::Mse.value(&p, &p), 0.0);
+        assert!(Loss::Mse.gradient(&p, &p).as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let mut p = m(2, 2, &[0.3, -0.7, 1.2, 0.0]);
+        let t = m(2, 2, &[0.1, 0.1, 0.1, 0.1]);
+        let g = Loss::Mse.gradient(&p, &t);
+        let h = 1e-3;
+        let orig = p[(1, 0)];
+        p[(1, 0)] = orig + h;
+        let up = Loss::Mse.value(&p, &t);
+        p[(1, 0)] = orig - h;
+        let down = Loss::Mse.value(&p, &t);
+        let fd = (up - down) / (2.0 * h);
+        assert!((fd - g[(1, 0)]).abs() < 1e-3);
+    }
+}

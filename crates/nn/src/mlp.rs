@@ -1,0 +1,291 @@
+//! The multi-layer perceptron: a stack of dense layers.
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::init::Init;
+use crate::layer::{Dense, DenseGrads, ForwardCache};
+use fv_linalg::Matrix;
+use rand::SeedableRng;
+
+/// A fully connected feed-forward network.
+///
+/// The paper's reconstruction model is
+/// `Mlp::regression(23, &[512, 256, 128, 64, 16], 4, seed)`:
+/// ReLU hidden layers, a linear output head, He initialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build a ReLU regression network with a linear output layer.
+    pub fn regression(input: usize, hidden: &[usize], output: usize, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(hidden.len() + 1);
+        let mut prev = input;
+        for &h in hidden {
+            layers.push(Dense::new(prev, h, Activation::Relu, Init::HeNormal, &mut rng));
+            prev = h;
+        }
+        layers.push(Dense::new(
+            prev,
+            output,
+            Activation::Identity,
+            Init::XavierUniform,
+            &mut rng,
+        ));
+        Self { layers }
+    }
+
+    /// Wrap pre-built layers. Returns an error on an empty stack or
+    /// mismatched widths between consecutive layers.
+    pub fn from_layers(layers: Vec<Dense>) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::EmptyNetwork);
+        }
+        for w in layers.windows(2) {
+            if w[0].output_size() != w[1].input_size() {
+                return Err(NnError::BadDataset(format!(
+                    "layer widths disagree: {} -> {}",
+                    w[0].output_size(),
+                    w[1].input_size()
+                )));
+            }
+        }
+        Ok(Self { layers })
+    }
+
+    /// Input feature width.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].input_size()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().expect("non-empty").output_size()
+    }
+
+    /// Number of layers (hidden + output).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total learnable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Borrow the layer stack.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutably borrow the layer stack (used by optimizers and tests).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Mark every layer trainable (fine-tuning Case 1).
+    pub fn unfreeze_all(&mut self) {
+        for l in &mut self.layers {
+            l.trainable = true;
+        }
+    }
+
+    /// Freeze all layers except the last `n` (fine-tuning Case 2 uses
+    /// `n = 2`). `n` larger than the stack unfreezes everything.
+    pub fn freeze_all_but_last(&mut self, n: usize) {
+        let total = self.layers.len();
+        for (i, l) in self.layers.iter_mut().enumerate() {
+            l.trainable = i + n >= total;
+        }
+    }
+
+    /// Indices of trainable layers.
+    pub fn trainable_layers(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.trainable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Inference over a `[batch, input]` matrix.
+    pub fn forward(&self, x: &Matrix<f32>) -> Result<Matrix<f32>, NnError> {
+        if x.cols() != self.input_size() {
+            return Err(NnError::InputWidthMismatch {
+                expected: self.input_size(),
+                actual: x.cols(),
+            });
+        }
+        let mut cur = self.layers[0].infer(x);
+        for layer in &self.layers[1..] {
+            cur = layer.infer(&cur);
+        }
+        Ok(cur)
+    }
+
+    /// Convenience: predict a single feature vector.
+    pub fn predict_one(&self, features: &[f32]) -> Result<Vec<f32>, NnError> {
+        let x = Matrix::from_vec(1, features.len(), features.to_vec())
+            .expect("1 x n always matches");
+        Ok(self.forward(&x)?.into_vec())
+    }
+
+    /// Training forward pass: returns the output and per-layer caches.
+    pub fn forward_cached(
+        &self,
+        x: Matrix<f32>,
+    ) -> Result<(Matrix<f32>, Vec<ForwardCache>), NnError> {
+        if x.cols() != self.input_size() {
+            return Err(NnError::InputWidthMismatch {
+                expected: self.input_size(),
+                actual: x.cols(),
+            });
+        }
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut cur = x;
+        for layer in &self.layers {
+            let (out, cache) = layer.forward(cur);
+            caches.push(cache);
+            cur = out;
+        }
+        Ok((cur, caches))
+    }
+
+    /// Backward pass through the whole stack.
+    ///
+    /// `grad_output` is `dL/d(prediction)`. Returns per-layer parameter
+    /// gradients (aligned with `layers()`).
+    pub fn backward(
+        &self,
+        grad_output: Matrix<f32>,
+        caches: &[ForwardCache],
+    ) -> Vec<DenseGrads> {
+        debug_assert_eq!(caches.len(), self.layers.len());
+        let mut grads: Vec<Option<DenseGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut grad = grad_output;
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let (g, dx) = layer.backward(grad, &caches[i]);
+            grads[i] = Some(g);
+            grad = dx;
+        }
+        grads.into_iter().map(|g| g.expect("filled above")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_builder_shapes() {
+        let mlp = Mlp::regression(23, &[512, 256, 128, 64, 16], 4, 7);
+        assert_eq!(mlp.num_layers(), 6);
+        assert_eq!(mlp.input_size(), 23);
+        assert_eq!(mlp.output_size(), 4);
+        let expected = 23 * 512
+            + 512
+            + 512 * 256
+            + 256
+            + 256 * 128
+            + 128
+            + 128 * 64
+            + 64
+            + 64 * 16
+            + 16
+            + 16 * 4
+            + 4;
+        assert_eq!(mlp.num_params(), expected);
+        // hidden layers ReLU, head identity
+        assert_eq!(mlp.layers()[0].activation, Activation::Relu);
+        assert_eq!(mlp.layers()[5].activation, Activation::Identity);
+    }
+
+    #[test]
+    fn from_layers_validates() {
+        assert!(matches!(
+            Mlp::from_layers(vec![]),
+            Err(NnError::EmptyNetwork)
+        ));
+        let mlp = Mlp::regression(4, &[8], 2, 1);
+        let mut layers = mlp.layers().to_vec();
+        layers.swap(0, 1); // widths now disagree
+        assert!(Mlp::from_layers(layers).is_err());
+    }
+
+    #[test]
+    fn forward_checks_width() {
+        let mlp = Mlp::regression(4, &[8], 2, 1);
+        let bad = Matrix::<f32>::zeros(3, 5);
+        assert!(matches!(
+            mlp.forward(&bad),
+            Err(NnError::InputWidthMismatch { expected: 4, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn freezing_marks_layers() {
+        let mut mlp = Mlp::regression(4, &[8, 8, 8], 2, 1);
+        mlp.freeze_all_but_last(2);
+        assert_eq!(mlp.trainable_layers(), vec![2, 3]);
+        mlp.unfreeze_all();
+        assert_eq!(mlp.trainable_layers(), vec![0, 1, 2, 3]);
+        mlp.freeze_all_but_last(100);
+        assert_eq!(mlp.trainable_layers(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = Mlp::regression(6, &[16, 8], 3, 42);
+        let b = Mlp::regression(6, &[16, 8], 3, 42);
+        assert_eq!(a, b);
+        let c = Mlp::regression(6, &[16, 8], 3, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn predict_one_matches_forward() {
+        let mlp = Mlp::regression(3, &[8], 2, 5);
+        let f = [0.1f32, -0.5, 0.7];
+        let single = mlp.predict_one(&f).unwrap();
+        let x = Matrix::from_vec(1, 3, f.to_vec()).unwrap();
+        assert_eq!(single, mlp.forward(&x).unwrap().into_vec());
+    }
+
+    #[test]
+    fn full_stack_gradient_check() {
+        // End-to-end numerical gradient check for a small two-layer net.
+        let mut mlp = Mlp::regression(2, &[4], 1, 9);
+        let x = Matrix::from_vec(3, 2, vec![0.5, -0.1, 0.2, 0.8, -0.3, 0.4]).unwrap();
+        let y = Matrix::from_vec(3, 1, vec![1.0, -1.0, 0.5]).unwrap();
+        let loss = crate::loss::Loss::Mse;
+
+        let (pred, caches) = mlp.forward_cached(x.clone()).unwrap();
+        let grads = mlp.backward(loss.gradient(&pred, &y), &caches);
+
+        let h = 1e-3f32;
+        let eval = |m: &Mlp| loss.value(&m.forward(&x).unwrap(), &y);
+        for layer_idx in 0..2 {
+            let rows = mlp.layers()[layer_idx].weights.rows();
+            let cols = mlp.layers()[layer_idx].weights.cols();
+            for r in 0..rows.min(3) {
+                for c in 0..cols.min(2) {
+                    let orig = mlp.layers()[layer_idx].weights[(r, c)];
+                    mlp.layers_mut()[layer_idx].weights[(r, c)] = orig + h;
+                    let up = eval(&mlp);
+                    mlp.layers_mut()[layer_idx].weights[(r, c)] = orig - h;
+                    let down = eval(&mlp);
+                    mlp.layers_mut()[layer_idx].weights[(r, c)] = orig;
+                    let fd = (up - down) / (2.0 * h);
+                    let an = grads[layer_idx].weights[(r, c)];
+                    assert!(
+                        (fd - an).abs() < 5e-3,
+                        "layer {layer_idx} W[{r},{c}]: fd {fd} an {an}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! First-order optimizers with per-layer state.
+//!
+//! Both optimizers honor each layer's `trainable` flag: frozen layers
+//! receive no update and their optimizer state stays untouched, which is
+//! what makes fine-tuning Case 2 (train only the last two layers) a pure
+//! configuration change.
+
+use crate::layer::{Dense, DenseGrads};
+use fv_linalg::Matrix;
+
+/// A gradient-based parameter updater.
+pub trait Optimizer {
+    /// Apply one update step given per-layer gradients (aligned with
+    /// `layers`).
+    fn step(&mut self, layers: &mut [Dense], grads: &[DenseGrads]);
+
+    /// The base learning rate.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    velocity: Vec<(Matrix<f32>, Vec<f32>)>,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, layers: &mut [Dense], grads: &[DenseGrads]) {
+        debug_assert_eq!(layers.len(), grads.len());
+        if self.velocity.len() != layers.len() {
+            self.velocity = layers
+                .iter()
+                .map(|l| {
+                    (
+                        Matrix::zeros(l.weights.rows(), l.weights.cols()),
+                        vec![0.0; l.bias.len()],
+                    )
+                })
+                .collect();
+        }
+        for ((layer, grad), (vw, vb)) in layers
+            .iter_mut()
+            .zip(grads)
+            .zip(self.velocity.iter_mut())
+        {
+            if !layer.trainable {
+                continue;
+            }
+            if self.momentum > 0.0 {
+                vw.scale(self.momentum);
+                vw.axpy(1.0, &grad.weights).expect("shape fixed");
+                layer.weights.axpy(-self.lr, vw).expect("shape fixed");
+                for ((b, v), &g) in layer.bias.iter_mut().zip(vb.iter_mut()).zip(&grad.bias) {
+                    *v = self.momentum * *v + g;
+                    *b -= self.lr * *v;
+                }
+            } else {
+                layer
+                    .weights
+                    .axpy(-self.lr, &grad.weights)
+                    .expect("shape fixed");
+                for (b, &g) in layer.bias.iter_mut().zip(&grad.bias) {
+                    *b -= self.lr * g;
+                }
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba 2015) — the paper's optimizer, `lr = 1e-3`.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    t: u64,
+    state: Vec<AdamLayerState>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamLayerState {
+    mw: Matrix<f32>,
+    vw: Matrix<f32>,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+}
+
+impl Adam {
+    /// Adam with the paper's defaults (`lr = 1e-3`, β₁ = 0.9, β₂ = 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, layers: &mut [Dense], grads: &[DenseGrads]) {
+        debug_assert_eq!(layers.len(), grads.len());
+        if self.state.len() != layers.len() {
+            self.state = layers
+                .iter()
+                .map(|l| AdamLayerState {
+                    mw: Matrix::zeros(l.weights.rows(), l.weights.cols()),
+                    vw: Matrix::zeros(l.weights.rows(), l.weights.cols()),
+                    mb: vec![0.0; l.bias.len()],
+                    vb: vec![0.0; l.bias.len()],
+                })
+                .collect();
+        }
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+
+        for ((layer, grad), st) in layers.iter_mut().zip(grads).zip(self.state.iter_mut()) {
+            if !layer.trainable {
+                continue;
+            }
+            // Weights.
+            let w = layer.weights.as_mut_slice();
+            let g = grad.weights.as_slice();
+            let m = st.mw.as_mut_slice();
+            let v = st.vw.as_mut_slice();
+            for i in 0..w.len() {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                let mh = m[i] / bc1;
+                let vh = v[i] / bc2;
+                w[i] -= lr * mh / (vh.sqrt() + eps);
+            }
+            // Biases.
+            for i in 0..layer.bias.len() {
+                let gi = grad.bias[i];
+                st.mb[i] = b1 * st.mb[i] + (1.0 - b1) * gi;
+                st.vb[i] = b2 * st.vb[i] + (1.0 - b2) * gi * gi;
+                let mh = st.mb[i] / bc1;
+                let vh = st.vb[i] / bc2;
+                layer.bias[i] -= lr * mh / (vh.sqrt() + eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    /// One-parameter "network": y = w * x, loss = (w*1 - 0)^2 => grad = 2w.
+    fn quadratic_layer(w0: f32) -> Dense {
+        Dense {
+            weights: Matrix::from_vec(1, 1, vec![w0]).unwrap(),
+            bias: vec![0.0],
+            activation: Activation::Identity,
+            trainable: true,
+        }
+    }
+
+    fn grad_of(layers: &[Dense]) -> Vec<DenseGrads> {
+        layers
+            .iter()
+            .map(|l| DenseGrads {
+                weights: Matrix::from_vec(1, 1, vec![2.0 * l.weights[(0, 0)]]).unwrap(),
+                bias: vec![0.0],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut layers = vec![quadratic_layer(1.0)];
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..50 {
+            let g = grad_of(&layers);
+            opt.step(&mut layers, &g);
+        }
+        assert!(layers[0].weights[(0, 0)].abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |momentum: f32| {
+            let mut layers = vec![quadratic_layer(1.0)];
+            let mut opt = Sgd::new(0.01, momentum);
+            for _ in 0..30 {
+                let g = grad_of(&layers);
+                opt.step(&mut layers, &g);
+            }
+            layers[0].weights[(0, 0)].abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut layers = vec![quadratic_layer(3.0)];
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for step in 0..200 {
+            let g = grad_of(&layers);
+            opt.step(&mut layers, &g);
+            let w = layers[0].weights[(0, 0)].abs();
+            if step % 50 == 49 {
+                assert!(w < last, "not descending at step {step}");
+                last = w;
+            }
+        }
+        assert!(layers[0].weights[(0, 0)].abs() < 0.05);
+    }
+
+    #[test]
+    fn frozen_layers_do_not_move() {
+        let mut layers = vec![quadratic_layer(1.0), quadratic_layer(1.0)];
+        layers[0].trainable = false;
+        let mut opt = Adam::new(0.1);
+        for _ in 0..10 {
+            let g = grad_of(&layers);
+            opt.step(&mut layers, &g);
+        }
+        assert_eq!(layers[0].weights[(0, 0)], 1.0, "frozen layer moved");
+        assert_ne!(layers[1].weights[(0, 0)], 1.0, "trainable layer stuck");
+    }
+
+    #[test]
+    fn learning_rate_accessor() {
+        assert_eq!(Sgd::new(0.5, 0.0).learning_rate(), 0.5);
+        assert_eq!(Adam::new(0.001).learning_rate(), 0.001);
+    }
+}

@@ -1,0 +1,110 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains at a fixed `1e-3`, which remains the default
+//! ([`LrSchedule::Constant`]). Schedules are provided for the extended
+//! ablations: long 500-epoch pretraining runs benefit from decay, and the
+//! uncertainty ensembles use cosine annealing to decorrelate members.
+
+/// A per-epoch learning-rate policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate (the paper's setting).
+    Constant,
+    /// Multiply the rate by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epochs between decays (≥ 1).
+        every: usize,
+        /// Multiplicative factor per decay (0 < gamma ≤ 1).
+        gamma: f32,
+    },
+    /// Cosine annealing from the base rate down to `base * min_factor`
+    /// across the epoch budget.
+    Cosine {
+        /// Final rate as a fraction of the base rate.
+        min_factor: f32,
+    },
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant
+    }
+}
+
+impl LrSchedule {
+    /// Learning rate for `epoch` (0-based) out of `total_epochs`.
+    pub fn rate(&self, base: f32, epoch: usize, total_epochs: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every, gamma } => {
+                let steps = epoch / every.max(1);
+                base * gamma.clamp(0.0, 1.0).powi(steps as i32)
+            }
+            LrSchedule::Cosine { min_factor } => {
+                let min = base * min_factor.clamp(0.0, 1.0);
+                if total_epochs <= 1 {
+                    return base;
+                }
+                let t = epoch.min(total_epochs - 1) as f32 / (total_epochs - 1) as f32;
+                min + 0.5 * (base - min) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant;
+        for e in 0..10 {
+            assert_eq!(s.rate(1e-3, e, 10), 1e-3);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { every: 3, gamma: 0.5 };
+        assert_eq!(s.rate(1.0, 0, 10), 1.0);
+        assert_eq!(s.rate(1.0, 2, 10), 1.0);
+        assert_eq!(s.rate(1.0, 3, 10), 0.5);
+        assert_eq!(s.rate(1.0, 6, 10), 0.25);
+    }
+
+    #[test]
+    fn step_decay_guards_zero_every() {
+        let s = LrSchedule::StepDecay { every: 0, gamma: 0.5 };
+        assert_eq!(s.rate(1.0, 4, 10), 0.5f32.powi(4));
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine { min_factor: 0.1 };
+        let base = 2.0;
+        assert!((s.rate(base, 0, 11) - base).abs() < 1e-6);
+        assert!((s.rate(base, 10, 11) - 0.2).abs() < 1e-6);
+        // midpoint is the average
+        let mid = s.rate(base, 5, 11);
+        assert!((mid - 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = LrSchedule::Cosine { min_factor: 0.0 };
+        let mut last = f32::INFINITY;
+        for e in 0..20 {
+            let r = s.rate(1.0, e, 20);
+            assert!(r <= last + 1e-9);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn single_epoch_budget_is_safe() {
+        let s = LrSchedule::Cosine { min_factor: 0.5 };
+        assert_eq!(s.rate(1.0, 0, 1), 1.0);
+        assert_eq!(s.rate(1.0, 0, 0), 1.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Binary model checkpoints.
+//!
+//! A checkpoint is the artifact the paper's in-situ workflow "carries"
+//! between timesteps: either the whole model (fine-tuning Case 1) or — for
+//! Case 2, where earlier layers are frozen and shared — just the trailing
+//! trainable layers, written by [`save_partial`] and merged back with
+//! [`load_partial_into`].
+//!
+//! Format (little-endian): magic `FVNN`, version u32, layer count u32,
+//! then per layer: out u32, in u32, activation u8, trainable u8, weights
+//! (out·in f32), bias (out f32).
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::layer::Dense;
+use crate::mlp::Mlp;
+use fv_linalg::Matrix;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"FVNN";
+const VERSION: u32 = 1;
+
+/// Serialize a full model.
+pub fn write_model<W: Write>(mlp: &Mlp, w: W) -> Result<(), NnError> {
+    write_layers(mlp.layers(), w)
+}
+
+/// Serialize only the *trainable* tail of a model (fine-tuning Case 2's
+/// per-timestep artifact).
+pub fn save_partial<W: Write>(mlp: &Mlp, w: W) -> Result<(), NnError> {
+    let tail: Vec<Dense> = mlp
+        .layers()
+        .iter()
+        .filter(|l| l.trainable)
+        .cloned()
+        .collect();
+    write_layers(&tail, w)
+}
+
+fn write_layers<W: Write>(layers: &[Dense], w: W) -> Result<(), NnError> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(layers.len() as u32).to_le_bytes())?;
+    for layer in layers {
+        w.write_all(&(layer.output_size() as u32).to_le_bytes())?;
+        w.write_all(&(layer.input_size() as u32).to_le_bytes())?;
+        w.write_all(&[layer.activation.id(), u8::from(layer.trainable)])?;
+        for &v in layer.weights.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for &v in &layer.bias {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserialize a full model.
+pub fn read_model<R: Read>(r: R) -> Result<Mlp, NnError> {
+    let layers = read_layers(r)?;
+    Mlp::from_layers(layers)
+}
+
+/// Read a partial checkpoint and replace the trailing trainable layers of
+/// `mlp` with it. The layer shapes must match the current trainable tail.
+pub fn load_partial_into<R: Read>(mlp: &mut Mlp, r: R) -> Result<(), NnError> {
+    let tail = read_layers(r)?;
+    let trainable: Vec<usize> = mlp.trainable_layers();
+    if tail.len() != trainable.len() {
+        return Err(NnError::Format(format!(
+            "partial checkpoint has {} layers, model has {} trainable",
+            tail.len(),
+            trainable.len()
+        )));
+    }
+    for (slot, new_layer) in trainable.into_iter().zip(tail) {
+        let cur = &mlp.layers()[slot];
+        if cur.input_size() != new_layer.input_size()
+            || cur.output_size() != new_layer.output_size()
+        {
+            return Err(NnError::Format(format!(
+                "layer {slot} shape mismatch: {}x{} vs {}x{}",
+                cur.output_size(),
+                cur.input_size(),
+                new_layer.output_size(),
+                new_layer.input_size()
+            )));
+        }
+        mlp.layers_mut()[slot] = new_layer;
+    }
+    Ok(())
+}
+
+fn read_layers<R: Read>(r: R) -> Result<Vec<Dense>, NnError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(NnError::Format(format!("bad magic {magic:?}")));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(NnError::Format(format!("unsupported version {version}")));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count > 1024 {
+        return Err(NnError::Format(format!("implausible layer count {count}")));
+    }
+    let mut layers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let out = read_u32(&mut r)? as usize;
+        let inp = read_u32(&mut r)? as usize;
+        if out.checked_mul(inp).is_none() || out * inp > (1 << 30) {
+            return Err(NnError::Format(format!("implausible layer {out}x{inp}")));
+        }
+        let mut two = [0u8; 2];
+        r.read_exact(&mut two)?;
+        let activation = Activation::from_id(two[0])
+            .ok_or_else(|| NnError::Format(format!("unknown activation id {}", two[0])))?;
+        let trainable = two[1] != 0;
+        let mut wdata = vec![0.0f32; out * inp];
+        read_f32s(&mut r, &mut wdata)?;
+        let mut bias = vec![0.0f32; out];
+        read_f32s(&mut r, &mut bias)?;
+        layers.push(Dense {
+            weights: Matrix::from_vec(out, inp, wdata).expect("len computed"),
+            bias,
+            activation,
+            trainable,
+        });
+    }
+    Ok(layers)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, NnError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f32s<R: Read>(r: &mut R, out: &mut [f32]) -> Result<(), NnError> {
+    let mut buf = [0u8; 4];
+    for v in out {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(())
+}
+
+/// Save a model to a file.
+pub fn save(mlp: &Mlp, path: impl AsRef<Path>) -> Result<(), NnError> {
+    write_model(mlp, std::fs::File::create(path)?)
+}
+
+/// Load a model from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<Mlp, NnError> {
+    read_model(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let mlp = Mlp::regression(23, &[32, 16], 4, 11);
+        let mut buf = Vec::new();
+        write_model(&mlp, &mut buf).unwrap();
+        let restored = read_model(buf.as_slice()).unwrap();
+        assert_eq!(mlp, restored);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_truncation() {
+        let mlp = Mlp::regression(4, &[8], 2, 1);
+        let mut buf = Vec::new();
+        write_model(&mlp, &mut buf).unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_model(bad.as_slice()), Err(NnError::Format(_))));
+
+        let mut badv = buf.clone();
+        badv[4] = 99;
+        assert!(matches!(read_model(badv.as_slice()), Err(NnError::Format(_))));
+
+        let truncated = &buf[..buf.len() - 5];
+        assert!(matches!(read_model(truncated), Err(NnError::Io(_))));
+    }
+
+    #[test]
+    fn partial_checkpoint_roundtrip() {
+        // Pretrain a model, freeze all but last 2, save the tail, then
+        // restore the tail into a fresh copy of the pretrained base.
+        let mut donor = Mlp::regression(6, &[16, 12, 8], 2, 3);
+        donor.freeze_all_but_last(2);
+        // perturb the trainable tail so it differs from the base
+        for idx in donor.trainable_layers() {
+            donor.layers_mut()[idx].bias[0] = 42.0;
+        }
+        let mut tail_buf = Vec::new();
+        save_partial(&donor, &mut tail_buf).unwrap();
+        // tail checkpoint is much smaller than the full model
+        let mut full_buf = Vec::new();
+        write_model(&donor, &mut full_buf).unwrap();
+        assert!(tail_buf.len() < full_buf.len() / 2);
+
+        let mut receiver = Mlp::regression(6, &[16, 12, 8], 2, 3);
+        receiver.freeze_all_but_last(2);
+        load_partial_into(&mut receiver, tail_buf.as_slice()).unwrap();
+        assert_eq!(receiver, donor);
+    }
+
+    #[test]
+    fn partial_mismatch_is_rejected() {
+        let mut mlp = Mlp::regression(6, &[16, 12, 8], 2, 3);
+        mlp.freeze_all_but_last(1); // expects 1 trainable layer
+        let mut donor = Mlp::regression(6, &[16, 12, 8], 2, 3);
+        donor.freeze_all_but_last(2);
+        let mut buf = Vec::new();
+        save_partial(&donor, &mut buf).unwrap();
+        assert!(matches!(
+            load_partial_into(&mut mlp, buf.as_slice()),
+            Err(NnError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("fvnn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.fvnn");
+        let mlp = Mlp::regression(5, &[8], 3, 7);
+        save(&mlp, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), mlp);
+        std::fs::remove_file(&path).ok();
+    }
+}

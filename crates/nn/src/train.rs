@@ -1,0 +1,463 @@
+//! The minibatch training driver.
+//!
+//! One [`Trainer`] drives both regimes the paper uses:
+//!
+//! * **full (pre)training** — fresh network, hundreds of epochs
+//!   (Table I times 500);
+//! * **fine-tuning** — warm-started network, ~10 epochs with everything
+//!   trainable (Case 1) or 300–500 epochs with only the last two layers
+//!   trainable (Case 2). The freeze state lives on the [`Mlp`] itself, so
+//!   fine-tuning is `mlp.freeze_all_but_last(2)` + another `fit` call.
+//!
+//! Shuffling and batching are seeded; the loss history (Fig. 12) is
+//! recorded per epoch.
+
+use crate::data::Dataset;
+use crate::error::NnError;
+use crate::layer::DenseGrads;
+use crate::loss::Loss;
+use crate::mlp::Mlp;
+use crate::optim::{Adam, Optimizer};
+use crate::schedule::LrSchedule;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Trainer hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate (the paper uses 1e-3).
+    pub learning_rate: f32,
+    /// Shuffle seed (combined with the epoch index).
+    pub seed: u64,
+    /// Loss function.
+    pub loss: Loss,
+    /// Per-epoch learning-rate policy (default: the paper's constant rate).
+    pub schedule: LrSchedule,
+    /// Clip the global gradient norm to this value when set.
+    pub clip_grad_norm: Option<f32>,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 100,
+            batch_size: 256,
+            learning_rate: 1e-3,
+            seed: 0,
+            loss: Loss::Mse,
+            schedule: LrSchedule::Constant,
+            clip_grad_norm: None,
+        }
+    }
+}
+
+/// Early-stopping policy for [`Trainer::fit_with_validation`].
+#[derive(Debug, Clone, Copy)]
+pub struct EarlyStopping {
+    /// Epochs without improvement tolerated before stopping.
+    pub patience: usize,
+    /// Minimum validation-loss improvement that counts.
+    pub min_delta: f32,
+}
+
+impl Default for EarlyStopping {
+    fn default() -> Self {
+        Self {
+            patience: 10,
+            min_delta: 0.0,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Mean training loss of each epoch.
+    pub epoch_loss: Vec<f32>,
+    /// Validation loss per epoch (empty unless validation was supplied).
+    pub val_loss: Vec<f32>,
+    /// Learning rate used in each epoch.
+    pub learning_rates: Vec<f32>,
+    /// Whether early stopping triggered.
+    pub stopped_early: bool,
+}
+
+impl History {
+    /// Final epoch's loss, if any epochs ran.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_loss.last().copied()
+    }
+
+    /// Best (minimum) validation loss, if validation ran.
+    pub fn best_val_loss(&self) -> Option<f32> {
+        self.val_loss
+            .iter()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Append another history (e.g. fine-tuning after pretraining).
+    pub fn extend(&mut self, other: &History) {
+        self.epoch_loss.extend_from_slice(&other.epoch_loss);
+        self.val_loss.extend_from_slice(&other.val_loss);
+        self.learning_rates.extend_from_slice(&other.learning_rates);
+        self.stopped_early |= other.stopped_early;
+    }
+}
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`.
+fn clip_gradients(grads: &mut [DenseGrads], max_norm: f32) {
+    let mut sq = 0.0f64;
+    for g in grads.iter() {
+        sq += g
+            .weights
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>();
+        sq += g.bias.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            g.weights.scale(scale);
+            for b in &mut g.bias {
+                *b *= scale;
+            }
+        }
+    }
+}
+
+/// Minibatch gradient-descent driver.
+#[derive(Debug, Clone, Default)]
+pub struct Trainer {
+    /// Hyper-parameters.
+    pub config: TrainerConfig,
+}
+
+impl Trainer {
+    /// A trainer with the given configuration.
+    pub fn new(config: TrainerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Fit `mlp` on `data` with Adam, honoring layer freeze flags.
+    ///
+    /// Calling `fit` again continues from the current weights (warm start)
+    /// with fresh optimizer state — exactly the paper's fine-tuning setup.
+    pub fn fit(&self, mlp: &mut Mlp, data: &Dataset) -> Result<History, NnError> {
+        self.fit_impl(mlp, data, None, None)
+    }
+
+    /// Fit with a held-out validation set (and optional early stopping).
+    ///
+    /// The validation loss is evaluated after every epoch and recorded in
+    /// [`History::val_loss`]; with `early` set, training stops once the
+    /// validation loss has not improved by `min_delta` for `patience`
+    /// consecutive epochs.
+    pub fn fit_with_validation(
+        &self,
+        mlp: &mut Mlp,
+        train: &Dataset,
+        validation: &Dataset,
+        early: Option<EarlyStopping>,
+    ) -> Result<History, NnError> {
+        self.fit_impl(mlp, train, Some(validation), early)
+    }
+
+    fn fit_impl(
+        &self,
+        mlp: &mut Mlp,
+        data: &Dataset,
+        validation: Option<&Dataset>,
+        early: Option<EarlyStopping>,
+    ) -> Result<History, NnError> {
+        if data.input_width() != mlp.input_size() {
+            return Err(NnError::InputWidthMismatch {
+                expected: mlp.input_size(),
+                actual: data.input_width(),
+            });
+        }
+        if data.target_width() != mlp.output_size() {
+            return Err(NnError::TargetWidthMismatch {
+                expected: mlp.output_size(),
+                actual: data.target_width(),
+            });
+        }
+        let cfg = &self.config;
+        let mut optimizer = Adam::new(cfg.learning_rate);
+        let mut history = History::default();
+        let n = data.len();
+        let bs = cfg.batch_size.clamp(1, n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut best_val = f32::INFINITY;
+        let mut stale = 0usize;
+
+        for epoch in 0..cfg.epochs {
+            let lr = cfg.schedule.rate(cfg.learning_rate, epoch, cfg.epochs);
+            optimizer.lr = lr;
+            history.learning_rates.push(lr);
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37));
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for batch_rows in order.chunks(bs) {
+                let (bx, by) = data.gather(batch_rows);
+                let (pred, caches) = mlp.forward_cached(bx)?;
+                epoch_loss += cfg.loss.value(&pred, &by) as f64;
+                batches += 1;
+                let grad = cfg.loss.gradient(&pred, &by);
+                let mut grads = mlp.backward(grad, &caches);
+                if let Some(max_norm) = cfg.clip_grad_norm {
+                    clip_gradients(&mut grads, max_norm);
+                }
+                optimizer.step(mlp.layers_mut(), &grads);
+            }
+            history.epoch_loss.push((epoch_loss / batches.max(1) as f64) as f32);
+
+            if let Some(val) = validation {
+                let vl = self.evaluate(mlp, val)?;
+                history.val_loss.push(vl);
+                if let Some(stop) = early {
+                    if vl < best_val - stop.min_delta {
+                        best_val = vl;
+                        stale = 0;
+                    } else {
+                        stale += 1;
+                        if stale >= stop.patience {
+                            history.stopped_early = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(history)
+    }
+
+    /// Evaluate the loss on a dataset without updating weights.
+    pub fn evaluate(&self, mlp: &Mlp, data: &Dataset) -> Result<f32, NnError> {
+        let pred = mlp.forward(data.x())?;
+        Ok(self.config.loss.value(&pred, data.y()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_linalg::Matrix;
+
+    /// y = 2*x0 - x1 + 0.5, learnable by a tiny network.
+    fn toy_dataset(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 2, |r, c| {
+            let t = (r * 2 + c) as f32 * 0.618;
+            (t.sin() + t * 0.01) % 1.0
+        });
+        let y = Matrix::from_fn(n, 1, |r, _| 2.0 * x_val(&x, r, 0) - x_val(&x, r, 1) + 0.5);
+        Dataset::new(x, y).unwrap()
+    }
+
+    fn x_val(x: &Matrix<f32>, r: usize, c: usize) -> f32 {
+        x[(r, c)]
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = toy_dataset(512);
+        let mut mlp = Mlp::regression(2, &[16, 8], 1, 3);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 30,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            seed: 1,
+            loss: Loss::Mse,
+            ..Default::default()
+        });
+        let before = trainer.evaluate(&mlp, &data).unwrap();
+        let history = trainer.fit(&mut mlp, &data).unwrap();
+        let after = trainer.evaluate(&mlp, &data).unwrap();
+        assert_eq!(history.epoch_loss.len(), 30);
+        assert!(after < before * 0.2, "loss {before} -> {after}");
+        // history is broadly decreasing
+        assert!(history.epoch_loss[29] < history.epoch_loss[0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = toy_dataset(128);
+        let cfg = TrainerConfig {
+            epochs: 5,
+            ..Default::default()
+        };
+        let mut a = Mlp::regression(2, &[8], 1, 7);
+        let mut b = Mlp::regression(2, &[8], 1, 7);
+        Trainer::new(cfg.clone()).fit(&mut a, &data).unwrap();
+        Trainer::new(cfg).fit(&mut b, &data).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn width_mismatches_error() {
+        let data = toy_dataset(32);
+        let mut wrong_in = Mlp::regression(3, &[4], 1, 1);
+        assert!(matches!(
+            Trainer::default().fit(&mut wrong_in, &data),
+            Err(NnError::InputWidthMismatch { .. })
+        ));
+        let mut wrong_out = Mlp::regression(2, &[4], 2, 1);
+        assert!(matches!(
+            Trainer::default().fit(&mut wrong_out, &data),
+            Err(NnError::TargetWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn frozen_layers_unchanged_by_fit() {
+        let data = toy_dataset(128);
+        let mut mlp = Mlp::regression(2, &[8, 8, 8], 1, 5);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 3,
+            ..Default::default()
+        });
+        trainer.fit(&mut mlp, &data).unwrap(); // pretrain
+        mlp.freeze_all_but_last(2);
+        let frozen_before: Vec<_> = mlp.layers()[..2].to_vec();
+        trainer.fit(&mut mlp, &data).unwrap(); // fine-tune case 2
+        for (before, after) in frozen_before.iter().zip(mlp.layers()) {
+            assert_eq!(before.weights, after.weights, "frozen layer changed");
+        }
+        // trainable tail did change
+        assert!(mlp.layers()[2..].iter().any(|l| l.trainable));
+    }
+
+    #[test]
+    fn warm_start_continues_from_weights() {
+        let data = toy_dataset(256);
+        let mut mlp = Mlp::regression(2, &[16], 1, 9);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 10,
+            learning_rate: 5e-3,
+            ..Default::default()
+        });
+        trainer.fit(&mut mlp, &data).unwrap();
+        let mid = trainer.evaluate(&mlp, &data).unwrap();
+        let h2 = trainer.fit(&mut mlp, &data).unwrap();
+        // The continued run starts near where the first ended (same order of
+        // magnitude), not back at the random-init loss.
+        assert!(h2.epoch_loss[0] < mid * 10.0 + 1e-3);
+        let final_loss = trainer.evaluate(&mlp, &data).unwrap();
+        assert!(final_loss <= mid * 1.5);
+    }
+
+    #[test]
+    fn history_helpers() {
+        let mut h = History::default();
+        assert_eq!(h.final_loss(), None);
+        h.epoch_loss = vec![1.0, 0.5];
+        let mut h2 = History::default();
+        h2.epoch_loss = vec![0.25];
+        h.extend(&h2);
+        assert_eq!(h.final_loss(), Some(0.25));
+        assert_eq!(h.epoch_loss.len(), 3);
+    }
+
+    #[test]
+    fn cosine_schedule_is_recorded_in_history() {
+        let data = toy_dataset(64);
+        let mut mlp = Mlp::regression(2, &[8], 1, 3);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 5,
+            learning_rate: 1e-2,
+            schedule: crate::schedule::LrSchedule::Cosine { min_factor: 0.1 },
+            ..Default::default()
+        });
+        let h = trainer.fit(&mut mlp, &data).unwrap();
+        assert_eq!(h.learning_rates.len(), 5);
+        assert!((h.learning_rates[0] - 1e-2).abs() < 1e-9);
+        assert!(h.learning_rates[4] < h.learning_rates[0]);
+    }
+
+    #[test]
+    fn gradient_clipping_keeps_training_stable() {
+        // An absurdly large learning rate diverges without clipping; with a
+        // tight clip the weights stay finite.
+        let data = toy_dataset(128);
+        let mut clipped = Mlp::regression(2, &[16], 1, 5);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 10,
+            learning_rate: 0.5,
+            clip_grad_norm: Some(0.1),
+            ..Default::default()
+        });
+        trainer.fit(&mut clipped, &data).unwrap();
+        for layer in clipped.layers() {
+            assert!(layer.weights.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn clip_gradients_scales_norm() {
+        use fv_linalg::Matrix;
+        let mut grads = vec![DenseGrads {
+            weights: Matrix::from_vec(1, 2, vec![3.0, 0.0]).unwrap(),
+            bias: vec![4.0],
+        }];
+        clip_gradients(&mut grads, 1.0);
+        // original norm 5 -> scaled by 1/5
+        assert!((grads[0].weights[(0, 0)] - 0.6).abs() < 1e-6);
+        assert!((grads[0].bias[0] - 0.8).abs() < 1e-6);
+        // under the limit: unchanged
+        let mut small = vec![DenseGrads {
+            weights: Matrix::from_vec(1, 1, vec![0.1]).unwrap(),
+            bias: vec![0.0],
+        }];
+        clip_gradients(&mut small, 1.0);
+        assert_eq!(small[0].weights[(0, 0)], 0.1);
+    }
+
+    #[test]
+    fn validation_history_and_early_stopping() {
+        let data = toy_dataset(256);
+        let (train, val) = data.split(0.25, 1);
+        let mut mlp = Mlp::regression(2, &[16], 1, 9);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 50,
+            learning_rate: 5e-3,
+            ..Default::default()
+        });
+        let h = trainer
+            .fit_with_validation(
+                &mut mlp,
+                &train,
+                &val,
+                Some(EarlyStopping {
+                    patience: 3,
+                    min_delta: 0.0,
+                }),
+            )
+            .unwrap();
+        assert_eq!(h.val_loss.len(), h.epoch_loss.len());
+        assert!(h.best_val_loss().unwrap() <= h.val_loss[0]);
+        // either it ran to completion or stopped early with the flag set
+        assert!(h.epoch_loss.len() == 50 || h.stopped_early);
+    }
+
+    #[test]
+    fn batch_size_larger_than_dataset() {
+        let data = toy_dataset(16);
+        let mut mlp = Mlp::regression(2, &[4], 1, 2);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 2,
+            batch_size: 1000,
+            ..Default::default()
+        });
+        let h = trainer.fit(&mut mlp, &data).unwrap();
+        assert_eq!(h.epoch_loss.len(), 2);
+    }
+}

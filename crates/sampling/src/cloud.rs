@@ -1,0 +1,186 @@
+//! The sampled point cloud: the only artifact that survives data reduction.
+
+use fv_field::{FieldError, Grid3, ScalarField};
+use std::io::{BufWriter, Write};
+
+/// An unstructured set of retained `(position, value)` pairs plus the grid
+/// they came from.
+///
+/// This corresponds to the paper's `.vtp` (poly-data) files: after
+/// sampling, the spatial structure is gone — reconstruction receives only
+/// these scattered points and the *geometry* of the target grid (which is a
+/// handful of numbers, not data). The original grid indices are retained so
+/// tests and the trainer can partition nodes into *sampled points* and
+/// *void locations*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointCloud {
+    grid: Grid3,
+    /// Original linear grid index of each retained point, strictly
+    /// increasing.
+    indices: Vec<usize>,
+    /// World position of each retained point.
+    positions: Vec<[f64; 3]>,
+    /// Scalar value of each retained point.
+    values: Vec<f32>,
+}
+
+impl PointCloud {
+    /// Assemble a cloud from a field and the sorted linear indices of the
+    /// retained nodes.
+    ///
+    /// # Panics
+    /// Debug-asserts that `indices` is strictly increasing and in range.
+    pub fn from_indices(field: &ScalarField, mut indices: Vec<usize>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        let grid = *field.grid();
+        let positions = indices.iter().map(|&i| grid.world_linear(i)).collect();
+        let values = indices.iter().map(|&i| field.values()[i]).collect();
+        Self {
+            grid,
+            indices,
+            positions,
+            values,
+        }
+    }
+
+    /// The grid the samples were drawn from.
+    pub fn grid(&self) -> &Grid3 {
+        &self.grid
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` when no points were retained.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Fraction of the grid that was retained.
+    pub fn fraction(&self) -> f64 {
+        self.len() as f64 / self.grid.num_points() as f64
+    }
+
+    /// Sorted linear grid indices of the retained points.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// World positions of the retained points.
+    pub fn positions(&self) -> &[[f64; 3]] {
+        &self.positions
+    }
+
+    /// Scalar values of the retained points.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Boolean mask over grid nodes: `true` = retained.
+    pub fn sampled_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.grid.num_points()];
+        for &i in &self.indices {
+            mask[i] = true;
+        }
+        mask
+    }
+
+    /// Linear indices of the *void locations* — grid nodes the sampler
+    /// rejected. These are the points reconstruction must predict.
+    pub fn void_indices(&self) -> Vec<usize> {
+        let mask = self.sampled_mask();
+        (0..self.grid.num_points()).filter(|&i| !mask[i]).collect()
+    }
+
+    /// Write as legacy-VTK ASCII `POLYDATA` (the `.vtp` analogue) for
+    /// inspection in ParaView-like tools.
+    pub fn write_vtk_ascii<W: Write>(&self, name: &str, w: W) -> Result<(), FieldError> {
+        let mut w = BufWriter::new(w);
+        writeln!(w, "# vtk DataFile Version 3.0")?;
+        writeln!(w, "fillvoid sampled point cloud")?;
+        writeln!(w, "ASCII")?;
+        writeln!(w, "DATASET POLYDATA")?;
+        writeln!(w, "POINTS {} float", self.len())?;
+        for p in &self.positions {
+            writeln!(w, "{} {} {}", p[0], p[1], p[2])?;
+        }
+        writeln!(w, "POINT_DATA {}", self.len())?;
+        writeln!(w, "SCALARS {name} float 1")?;
+        writeln!(w, "LOOKUP_TABLE default")?;
+        for chunk in self.values.chunks(9) {
+            let line: Vec<String> = chunk.iter().map(|v| format!("{v}")).collect();
+            writeln!(w, "{}", line.join(" "))?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> ScalarField {
+        let g = Grid3::new([3, 2, 2]).unwrap();
+        ScalarField::from_vec(g, (0..12).map(|v| v as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn from_indices_collects_positions_and_values() {
+        let f = field();
+        let c = PointCloud::from_indices(&f, vec![0, 5, 11]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.values(), &[0.0, 5.0, 11.0]);
+        assert_eq!(c.positions()[0], [0.0, 0.0, 0.0]);
+        assert_eq!(c.positions()[2], [2.0, 1.0, 1.0]);
+        assert!((c.fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indices_are_sorted_and_deduped() {
+        let f = field();
+        let c = PointCloud::from_indices(&f, vec![5, 0, 5, 11, 0]);
+        assert_eq!(c.indices(), &[0, 5, 11]);
+    }
+
+    #[test]
+    fn mask_and_voids_partition_the_grid() {
+        let f = field();
+        let c = PointCloud::from_indices(&f, vec![1, 4, 7]);
+        let mask = c.sampled_mask();
+        let voids = c.void_indices();
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 3);
+        assert_eq!(voids.len(), 9);
+        for &v in &voids {
+            assert!(!mask[v]);
+        }
+        // union covers everything
+        let mut all: Vec<usize> = voids;
+        all.extend_from_slice(c.indices());
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vtk_output_has_expected_structure() {
+        let f = field();
+        let c = PointCloud::from_indices(&f, vec![0, 3]);
+        let mut buf = Vec::new();
+        c.write_vtk_ascii("pressure", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("DATASET POLYDATA"));
+        assert!(text.contains("POINTS 2 float"));
+        assert!(text.contains("SCALARS pressure float 1"));
+    }
+
+    #[test]
+    fn empty_cloud() {
+        let f = field();
+        let c = PointCloud::from_indices(&f, vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.void_indices().len(), 12);
+    }
+}

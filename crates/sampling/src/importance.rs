@@ -1,0 +1,249 @@
+//! Multi-criteria data-driven importance sampling (Biswas et al. 2020
+//! style).
+//!
+//! Each grid point gets an importance weight fusing two criteria:
+//!
+//! * **value rarity** — points whose scalar values fall in sparsely
+//!   populated histogram bins (the dataset's "interesting" values: the
+//!   hurricane eye's anomalously low pressure, the ionization shell's
+//!   anomalously high density);
+//! * **gradient magnitude** — points in high-gradient regions, where
+//!   reconstruction error would otherwise concentrate.
+//!
+//! A point's weight is `floor + α·rarity + β·gradient`, and the sampler
+//! retains exactly the budgeted number of points by weighted sampling
+//! without replacement (Efraimidis–Spirakis: keep the top-k keys
+//! `u_i^(1/w_i)` for per-point uniforms `u_i`). The floor term guarantees
+//! every point has nonzero retention probability, so smooth regions still
+//! receive sparse coverage — without it, the interpolators would have no
+//! support at all in featureless octants.
+
+use crate::{budget, cloud::PointCloud, FieldSampler};
+use fv_field::gradient::GradientField;
+use fv_field::stats::Histogram;
+use fv_field::ScalarField;
+use rayon::prelude::*;
+
+/// Tuning knobs for [`ImportanceSampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImportanceConfig {
+    /// Histogram bins for the rarity criterion.
+    pub bins: usize,
+    /// Weight of the value-rarity criterion.
+    pub alpha: f64,
+    /// Weight of the gradient-magnitude criterion.
+    pub beta: f64,
+    /// Baseline weight every point receives (must be > 0 for full support).
+    pub floor: f64,
+}
+
+impl Default for ImportanceConfig {
+    fn default() -> Self {
+        Self {
+            bins: 64,
+            alpha: 1.0,
+            beta: 1.0,
+            floor: 0.05,
+        }
+    }
+}
+
+/// The data-driven importance sampler. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImportanceSampler {
+    config: ImportanceConfig,
+}
+
+impl ImportanceSampler {
+    /// Create a sampler with the given configuration.
+    pub fn new(config: ImportanceConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ImportanceConfig {
+        &self.config
+    }
+
+    /// Compute the raw importance weight of every grid point.
+    pub fn weights(&self, field: &ScalarField) -> Vec<f64> {
+        let cfg = &self.config;
+        let hist = Histogram::from_field(field, cfg.bins);
+        let grads = GradientField::compute(field);
+        let mags = grads.magnitudes();
+        // Normalize gradient magnitudes to [0, 1].
+        let max_mag = mags
+            .iter()
+            .copied()
+            .filter(|m| m.is_finite())
+            .fold(0.0f32, f32::max)
+            .max(f32::MIN_POSITIVE);
+        field
+            .values()
+            .par_iter()
+            .zip(mags.par_iter())
+            .map(|(&v, &m)| {
+                let rarity = hist.rarity(v) as f64;
+                let grad = (m / max_mag) as f64;
+                cfg.floor + cfg.alpha * rarity + cfg.beta * grad
+            })
+            .collect()
+    }
+}
+
+impl FieldSampler for ImportanceSampler {
+    fn sample(&self, field: &ScalarField, fraction: f64, seed: u64) -> PointCloud {
+        let n = field.len();
+        let k = budget(fraction, n);
+        let weights = self.weights(field);
+
+        // Efraimidis–Spirakis keys: u^(1/w) with u ~ U(0,1). Computed from
+        // a per-point hash so the whole pass is parallel and deterministic.
+        // We keep the k *largest* keys. ln(u)/w is monotone in u^(1/w) and
+        // numerically friendlier.
+        let mut keyed: Vec<(f64, u32)> = (0..n as u32)
+            .into_par_iter()
+            .map(|i| {
+                let u = uniform_hash(i as u64, seed);
+                let w = weights[i as usize].max(1e-12);
+                (u.ln() / w, i)
+            })
+            .collect();
+        // Keys are negative; larger (closer to 0) = better. Select top-k.
+        if k < n {
+            keyed.select_nth_unstable_by(k - 1, |a, b| {
+                b.0.partial_cmp(&a.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            keyed.truncate(k);
+        }
+        let indices: Vec<usize> = keyed.into_iter().map(|(_, i)| i as usize).collect();
+        PointCloud::from_indices(field, indices)
+    }
+
+    fn name(&self) -> &'static str {
+        "importance"
+    }
+}
+
+/// Hash `(index, seed)` into a uniform in the open interval (0, 1).
+#[inline]
+fn uniform_hash(i: u64, seed: u64) -> f64 {
+    let mut h = i ^ seed.rotate_left(17) ^ 0xD6E8_FEB8_6659_FD93;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    // (0, 1): add 0.5 ulp-scale offset so ln(u) is finite.
+    ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_field::Grid3;
+
+    /// A field that is flat except for a small, rare, high-gradient bump.
+    fn bump_field() -> ScalarField {
+        let g = Grid3::new([16, 16, 16]).unwrap();
+        ScalarField::from_world_fn(g, |p| {
+            let dx = p[0] - 8.0;
+            let dy = p[1] - 8.0;
+            let dz = p[2] - 8.0;
+            let r2 = dx * dx + dy * dy + dz * dz;
+            (10.0 * (-r2 / 4.0).exp()) as f32
+        })
+    }
+
+    #[test]
+    fn exact_budget_and_uniqueness() {
+        let f = bump_field();
+        for frac in [0.001, 0.01, 0.05, 0.5] {
+            let c = ImportanceSampler::default().sample(&f, frac, 9);
+            assert_eq!(c.len(), budget(frac, 4096), "fraction {frac}");
+            let mut idx = c.indices().to_vec();
+            idx.dedup();
+            assert_eq!(idx.len(), c.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let f = bump_field();
+        let s = ImportanceSampler::default();
+        assert_eq!(s.sample(&f, 0.02, 5), s.sample(&f, 0.02, 5));
+        assert_ne!(
+            s.sample(&f, 0.02, 5).indices(),
+            s.sample(&f, 0.02, 6).indices()
+        );
+    }
+
+    #[test]
+    fn bump_is_oversampled_relative_to_flat_region() {
+        let f = bump_field();
+        let c = ImportanceSampler::default().sample(&f, 0.05, 3);
+        let grid = f.grid();
+        // Count samples within radius 4 of the bump centre vs a same-size
+        // ball in the flat corner.
+        let count_near = |center: [f64; 3]| {
+            c.indices()
+                .iter()
+                .filter(|&&i| {
+                    let p = grid.world_linear(i);
+                    let d2: f64 = (0..3).map(|a| (p[a] - center[a]).powi(2)).sum();
+                    d2 <= 16.0
+                })
+                .count()
+        };
+        let near_bump = count_near([8.0, 8.0, 8.0]);
+        let near_corner = count_near([2.0, 2.0, 2.0]);
+        assert!(
+            near_bump > 2 * near_corner.max(1),
+            "bump {near_bump} vs corner {near_corner}"
+        );
+    }
+
+    #[test]
+    fn floor_keeps_flat_regions_covered() {
+        let f = bump_field();
+        let c = ImportanceSampler::default().sample(&f, 0.05, 3);
+        let grid = f.grid();
+        // The flat outer shell must still get *some* samples.
+        let far = c
+            .indices()
+            .iter()
+            .filter(|&&i| {
+                let p = grid.world_linear(i);
+                let d2: f64 = (0..3).map(|a| (p[a] - 8.0).powi(2)).sum();
+                d2 > 36.0
+            })
+            .count();
+        assert!(far > 10, "flat region undersampled: {far}");
+    }
+
+    #[test]
+    fn constant_field_degrades_to_uniform() {
+        let g = Grid3::new([8, 8, 8]).unwrap();
+        let f = ScalarField::filled(g, 1.0);
+        let c = ImportanceSampler::default().sample(&f, 0.1, 1);
+        assert_eq!(c.len(), budget(0.1, 512));
+    }
+
+    #[test]
+    fn weights_are_positive_and_finite() {
+        let f = bump_field();
+        for w in ImportanceSampler::default().weights(&f) {
+            assert!(w.is_finite() && w > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_hash_in_open_interval() {
+        for i in 0..10_000u64 {
+            let u = uniform_hash(i, 42);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # fv-sampling
+//!
+//! In-situ data reduction by sub-sampling: turn a full-resolution
+//! [`ScalarField`] into a sparse [`PointCloud`] under a storage budget.
+//!
+//! The paper stores between 0.1% and 5% of each timestep's grid points,
+//! selected by the multi-criteria importance sampler of Biswas et al.
+//! (TVCG 2020): points with *rare values* (sparsely populated histogram
+//! bins) and *high gradient magnitudes* are preferentially retained, so
+//! features like a hurricane eye or an ionization shell survive 1000×
+//! reduction. [`importance::ImportanceSampler`] implements that scheme;
+//! [`random`], [`stratified`] and [`regular`] provide the classical
+//! baselines used in ablations.
+//!
+//! All samplers implement [`FieldSampler`] and honor the budget *exactly*
+//! (`⌈fraction · N⌉` points) via weighted sampling without replacement,
+//! mirroring the storage-constrained guarantee of the original method.
+//! Every sampler is deterministic given its seed.
+
+pub mod cloud;
+pub mod importance;
+pub mod random;
+pub mod regular;
+pub mod storage;
+pub mod stratified;
+pub mod value_stratified;
+
+pub use cloud::PointCloud;
+pub use importance::{ImportanceConfig, ImportanceSampler};
+pub use random::RandomSampler;
+pub use regular::RegularSampler;
+pub use stratified::StratifiedSampler;
+pub use value_stratified::ValueStratifiedSampler;
+
+use fv_field::ScalarField;
+
+/// A strategy for reducing a field to a point cloud under a storage budget.
+pub trait FieldSampler: Send + Sync {
+    /// Sample `fraction` (in `(0, 1]`) of the field's grid points.
+    ///
+    /// Implementations keep exactly `⌈fraction · N⌉` points (at least 1)
+    /// and are deterministic for a fixed `seed`.
+    fn sample(&self, field: &ScalarField, fraction: f64, seed: u64) -> PointCloud;
+
+    /// Short name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Number of points a sampler keeps for a given fraction and grid size.
+pub(crate) fn budget(fraction: f64, n: usize) -> usize {
+    let f = fraction.clamp(0.0, 1.0);
+    ((f * n as f64).ceil() as usize).clamp(1, n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_exact_and_clamped() {
+        assert_eq!(budget(0.01, 1000), 10);
+        assert_eq!(budget(0.001, 1000), 1);
+        assert_eq!(budget(0.0001, 1000), 1); // at least one point
+        assert_eq!(budget(1.0, 1000), 1000);
+        assert_eq!(budget(2.0, 1000), 1000); // clamped
+        assert_eq!(budget(0.015, 1000), 15);
+        assert_eq!(budget(0.0101, 1000), 11); // ceil
+    }
+}

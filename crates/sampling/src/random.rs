@@ -1,0 +1,77 @@
+//! Uniform random sampling without replacement — the classical baseline.
+
+use crate::{budget, cloud::PointCloud, FieldSampler};
+use fv_field::ScalarField;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+
+/// Uniform random sampler: every grid point is equally likely to survive.
+///
+/// This is what the data-driven sampler is measured against — it wastes
+/// budget on featureless regions and routinely misses small rare features
+/// at sub-1% rates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSampler;
+
+impl FieldSampler for RandomSampler {
+    fn sample(&self, field: &ScalarField, fraction: f64, seed: u64) -> PointCloud {
+        let n = field.len();
+        let k = budget(fraction, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let indices: Vec<usize> = index_sample(&mut rng, n, k).into_vec();
+        PointCloud::from_indices(field, indices)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_field::Grid3;
+
+    fn field() -> ScalarField {
+        let g = Grid3::new([10, 10, 10]).unwrap();
+        ScalarField::from_world_fn(g, |p| p[0] as f32)
+    }
+
+    #[test]
+    fn exact_budget() {
+        let f = field();
+        for frac in [0.001, 0.01, 0.05, 0.5, 1.0] {
+            let c = RandomSampler.sample(&f, frac, 7);
+            assert_eq!(c.len(), budget(frac, 1000), "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let f = field();
+        let a = RandomSampler.sample(&f, 0.05, 42);
+        let b = RandomSampler.sample(&f, 0.05, 42);
+        assert_eq!(a, b);
+        let c = RandomSampler.sample(&f, 0.05, 43);
+        assert_ne!(a.indices(), c.indices());
+    }
+
+    #[test]
+    fn indices_unique_and_in_range() {
+        let f = field();
+        let c = RandomSampler.sample(&f, 0.2, 1);
+        let mut seen = std::collections::HashSet::new();
+        for &i in c.indices() {
+            assert!(i < 1000);
+            assert!(seen.insert(i), "duplicate index {i}");
+        }
+    }
+
+    #[test]
+    fn full_fraction_keeps_everything() {
+        let f = field();
+        let c = RandomSampler.sample(&f, 1.0, 5);
+        assert_eq!(c.len(), 1000);
+        assert!(c.void_indices().is_empty());
+    }
+}

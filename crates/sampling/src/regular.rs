@@ -1,0 +1,66 @@
+//! Regular (strided) sampling — keep a uniform lattice of points.
+
+use crate::{budget, cloud::PointCloud, FieldSampler};
+use fv_field::ScalarField;
+
+/// Strided sampler: keeps every k-th node along a space-filling order so
+/// that exactly the budgeted number of points survives, approximating a
+/// uniform sub-lattice.
+///
+/// Deterministic and seed-independent; useful as the "dumbest possible"
+/// structured baseline and for building reproducible fixtures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegularSampler;
+
+impl FieldSampler for RegularSampler {
+    fn sample(&self, field: &ScalarField, fraction: f64, _seed: u64) -> PointCloud {
+        let n = field.len();
+        let k = budget(fraction, n);
+        // Spread k picks evenly over [0, n): index j -> floor(j * n / k).
+        let indices: Vec<usize> = (0..k).map(|j| j * n / k).collect();
+        PointCloud::from_indices(field, indices)
+    }
+
+    fn name(&self) -> &'static str {
+        "regular"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_field::Grid3;
+
+    fn field() -> ScalarField {
+        let g = Grid3::new([8, 8, 8]).unwrap();
+        ScalarField::from_world_fn(g, |p| (p[0] + p[1] + p[2]) as f32)
+    }
+
+    #[test]
+    fn exact_budget_and_unique() {
+        let f = field();
+        for frac in [0.002, 0.01, 0.1, 0.33, 1.0] {
+            let c = RegularSampler.sample(&f, frac, 0);
+            assert_eq!(c.len(), budget(frac, 512), "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn seed_has_no_effect() {
+        let f = field();
+        assert_eq!(
+            RegularSampler.sample(&f, 0.1, 1),
+            RegularSampler.sample(&f, 0.1, 999)
+        );
+    }
+
+    #[test]
+    fn spacing_is_roughly_even() {
+        let f = field();
+        let c = RegularSampler.sample(&f, 0.125, 0); // 64 of 512 -> stride 8
+        let idx = c.indices();
+        for w in idx.windows(2) {
+            assert_eq!(w[1] - w[0], 8);
+        }
+    }
+}

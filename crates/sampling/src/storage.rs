@@ -1,0 +1,115 @@
+//! Storage accounting: what sampling actually saves.
+//!
+//! The paper's motivation is the I/O gap — a timestep is worth storing
+//! only if the sampled representation is radically smaller than the raw
+//! grid. This module makes the bookkeeping explicit. A raw structured
+//! field needs only its values (`4·N` bytes; the geometry is implicit in
+//! the header), while an unstructured cloud must carry positions too —
+//! which is why the *effective* reduction is smaller than the sampling
+//! fraction suggests, and why index-based encodings matter.
+
+use crate::cloud::PointCloud;
+
+/// Per-point encodings a sampled cloud can be written with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloudEncoding {
+    /// Explicit `f32` xyz + `f32` value (the `.vtp`-style layout): 16 B/pt.
+    ExplicitPositions,
+    /// Linear grid index (`u32`) + `f32` value — positions are derivable
+    /// from the grid header: 8 B/pt.
+    GridIndices,
+    /// Bitmap of retained nodes (`N/8` bytes) + packed `f32` values.
+    Bitmap,
+}
+
+/// Storage summary for one sampled timestep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageReport {
+    /// Bytes of the raw full-resolution field (values only).
+    pub raw_bytes: usize,
+    /// Bytes of the sampled representation under the chosen encoding.
+    pub sampled_bytes: usize,
+    /// `raw_bytes / sampled_bytes`.
+    pub reduction_factor: f64,
+}
+
+/// Compute the storage report for a cloud under an encoding.
+pub fn report(cloud: &PointCloud, encoding: CloudEncoding) -> StorageReport {
+    let n_grid = cloud.grid().num_points();
+    let n = cloud.len();
+    let raw_bytes = 4 * n_grid;
+    let sampled_bytes = match encoding {
+        CloudEncoding::ExplicitPositions => 16 * n,
+        CloudEncoding::GridIndices => 8 * n,
+        CloudEncoding::Bitmap => n_grid.div_ceil(8) + 4 * n,
+    };
+    StorageReport {
+        raw_bytes,
+        sampled_bytes,
+        reduction_factor: raw_bytes as f64 / sampled_bytes.max(1) as f64,
+    }
+}
+
+/// The smallest of the supported encodings for this cloud.
+pub fn best_encoding(cloud: &PointCloud) -> (CloudEncoding, StorageReport) {
+    [
+        CloudEncoding::ExplicitPositions,
+        CloudEncoding::GridIndices,
+        CloudEncoding::Bitmap,
+    ]
+    .into_iter()
+    .map(|e| (e, report(cloud, e)))
+    .min_by_key(|(_, r)| r.sampled_bytes)
+    .expect("non-empty encoding list")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_field::{Grid3, ScalarField};
+
+    fn cloud(frac: f64) -> PointCloud {
+        let g = Grid3::new([20, 20, 20]).unwrap(); // 8000 nodes
+        let f = ScalarField::from_world_fn(g, |p| p[0] as f32);
+        let k = (8000.0 * frac) as usize;
+        PointCloud::from_indices(&f, (0..k).map(|i| i * (8000 / k.max(1))).collect())
+    }
+
+    #[test]
+    fn explicit_positions_cost_16_bytes_per_point() {
+        let c = cloud(0.01); // 80 points
+        let r = report(&c, CloudEncoding::ExplicitPositions);
+        assert_eq!(r.raw_bytes, 32_000);
+        assert_eq!(r.sampled_bytes, 16 * 80);
+        assert!((r.reduction_factor - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_indices_halve_the_explicit_cost() {
+        let c = cloud(0.01);
+        let explicit = report(&c, CloudEncoding::ExplicitPositions);
+        let indices = report(&c, CloudEncoding::GridIndices);
+        assert_eq!(indices.sampled_bytes * 2, explicit.sampled_bytes);
+    }
+
+    #[test]
+    fn bitmap_wins_at_high_fractions() {
+        // At 50% retention the bitmap's fixed N/8 bytes beat 4 B/point of
+        // index overhead.
+        let dense = cloud(0.5);
+        let (enc, _) = best_encoding(&dense);
+        assert_eq!(enc, CloudEncoding::Bitmap);
+        // At 0.1% the index encoding wins.
+        let sparse = cloud(0.001);
+        let (enc, _) = best_encoding(&sparse);
+        assert_eq!(enc, CloudEncoding::GridIndices);
+    }
+
+    #[test]
+    fn reduction_factor_tracks_fraction() {
+        let c = cloud(0.05);
+        let r = report(&c, CloudEncoding::GridIndices);
+        // 5% at 8 B/pt vs 4 B/pt raw => factor 10
+        assert!((r.reduction_factor - 10.0).abs() < 0.2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Value-stratified sampling (Su et al. 2013 style).
+//!
+//! Instead of stratifying over *space* (see [`crate::stratified`]), this
+//! sampler stratifies over the *value* distribution: the budget is split
+//! evenly across histogram bins, so rare value ranges are guaranteed
+//! representation — a cheaper precursor to the full multi-criteria
+//! importance sampler that the paper builds on, and a useful ablation
+//! point between `random` and `importance`.
+
+use crate::{budget, cloud::PointCloud, FieldSampler};
+use fv_field::stats::Histogram;
+use fv_field::ScalarField;
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Value-stratified sampler: equal budget per value-histogram bin.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueStratifiedSampler {
+    /// Number of value bins (strata).
+    pub bins: usize,
+}
+
+impl Default for ValueStratifiedSampler {
+    fn default() -> Self {
+        Self { bins: 32 }
+    }
+}
+
+impl FieldSampler for ValueStratifiedSampler {
+    fn sample(&self, field: &ScalarField, fraction: f64, seed: u64) -> PointCloud {
+        let n = field.len();
+        let k = budget(fraction, n);
+        let hist = Histogram::from_field(field, self.bins.max(1));
+        let bins = hist.num_bins();
+
+        // Bucket point indices by bin.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); bins];
+        for (i, &v) in field.values().iter().enumerate() {
+            if v.is_finite() {
+                members[hist.bin_of(v)].push(i);
+            }
+        }
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = Vec::with_capacity(k);
+        // Round-robin the budget across non-empty bins: strata with fewer
+        // points than their share are taken whole and their leftover budget
+        // spills to the remaining strata.
+        let mut remaining = k;
+        let mut open: Vec<usize> = (0..bins).filter(|&b| !members[b].is_empty()).collect();
+        while remaining > 0 && !open.is_empty() {
+            let share = (remaining / open.len()).max(1);
+            let mut next_open = Vec::with_capacity(open.len());
+            for &b in &open {
+                if remaining == 0 {
+                    break;
+                }
+                let take = share.min(remaining);
+                let bucket = &mut members[b];
+                if take >= bucket.len() {
+                    remaining -= bucket.len();
+                    indices.append(bucket);
+                } else {
+                    for pick in index_sample(&mut rng, bucket.len(), take) {
+                        indices.push(bucket[pick]);
+                    }
+                    // remove the chosen ones so a later spill pass doesn't
+                    // double-select: retain unchosen by swap-removal.
+                    let chosen: std::collections::HashSet<usize> =
+                        indices[indices.len() - take..].iter().copied().collect();
+                    bucket.retain(|i| !chosen.contains(i));
+                    remaining -= take;
+                    if !bucket.is_empty() {
+                        next_open.push(b);
+                    }
+                }
+            }
+            if next_open.len() == open.len() && share == 0 {
+                break; // cannot make progress
+            }
+            open = next_open;
+        }
+        // Degenerate spill (all strata exhausted early): uniform top-up.
+        if indices.len() < k {
+            let mut mask = vec![false; n];
+            for &i in &indices {
+                mask[i] = true;
+            }
+            let mut missing = k - indices.len();
+            while missing > 0 {
+                let cand = rng.gen_range(0..n);
+                if !mask[cand] {
+                    mask[cand] = true;
+                    indices.push(cand);
+                    missing -= 1;
+                }
+            }
+        }
+        indices.truncate(k);
+        PointCloud::from_indices(field, indices)
+    }
+
+    fn name(&self) -> &'static str {
+        "value-stratified"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_field::Grid3;
+
+    /// A field where 90% of values sit near 0 and 10% near 1.
+    fn skewed_field() -> ScalarField {
+        let g = Grid3::new([10, 10, 10]).unwrap();
+        ScalarField::from_world_fn(g, |p| if p[0] >= 9.0 { 1.0 } else { 0.01 * p[1] as f32 })
+    }
+
+    #[test]
+    fn exact_budget() {
+        let f = skewed_field();
+        for frac in [0.01, 0.05, 0.2, 1.0] {
+            let c = ValueStratifiedSampler::default().sample(&f, frac, 7);
+            assert_eq!(c.len(), budget(frac, 1000), "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = skewed_field();
+        let s = ValueStratifiedSampler::default();
+        assert_eq!(s.sample(&f, 0.05, 3), s.sample(&f, 0.05, 3));
+    }
+
+    #[test]
+    fn rare_values_are_overrepresented_vs_random() {
+        let f = skewed_field();
+        let frac = 0.05;
+        let stratified = ValueStratifiedSampler { bins: 8 }.sample(&f, frac, 1);
+        let rare_count = stratified
+            .values()
+            .iter()
+            .filter(|&&v| v > 0.5)
+            .count() as f64;
+        // Rare values are 10% of the data; equal-bin budgeting should lift
+        // their share well above that.
+        let share = rare_count / stratified.len() as f64;
+        assert!(share > 0.2, "rare-value share {share}");
+    }
+
+    #[test]
+    fn indices_unique() {
+        let f = skewed_field();
+        let c = ValueStratifiedSampler::default().sample(&f, 0.3, 9);
+        let mut idx = c.indices().to_vec();
+        idx.dedup();
+        assert_eq!(idx.len(), c.len());
+    }
+
+    #[test]
+    fn constant_field_still_fills_budget() {
+        let g = Grid3::new([6, 6, 6]).unwrap();
+        let f = ScalarField::filled(g, 2.0);
+        let c = ValueStratifiedSampler::default().sample(&f, 0.25, 4);
+        assert_eq!(c.len(), budget(0.25, 216));
+    }
+}

@@ -1,0 +1,212 @@
+//! Turbulent-combustion surrogate: a mixture-fraction jet with a flame sheet.
+//!
+//! Structural stand-in for the turbulent combustion `mixfrac` variable
+//! (240×360×60, 122 timesteps): `mixfrac` is a *bounded* scalar in `[0, 1]`
+//! — fuel-rich near the jet core, oxidizer far away — whose interesting
+//! region is the thin, wrinkled interface where the two mix (the flame
+//! sits near the stoichiometric value). The surrogate is a round jet along
+//! +y whose interface radius is wrinkled by advected multi-octave noise
+//! that intensifies downstream and flaps over time.
+
+use crate::noise::FbmNoise;
+use crate::Simulation;
+use fv_field::{Grid3, ScalarField};
+
+/// Configuration builder for [`Combustion`].
+#[derive(Debug, Clone)]
+pub struct CombustionBuilder {
+    resolution: [usize; 3],
+    timesteps: usize,
+    seed: u64,
+}
+
+impl Default for CombustionBuilder {
+    fn default() -> Self {
+        Self {
+            resolution: [48, 72, 12],
+            timesteps: 122,
+            seed: 0xF1AE,
+        }
+    }
+}
+
+impl CombustionBuilder {
+    /// Grid resolution `[nx, ny, nz]` (aspect mirrors 240×360×60).
+    pub fn resolution(mut self, r: [usize; 3]) -> Self {
+        self.resolution = r;
+        self
+    }
+
+    /// Number of timesteps (the paper's dataset has 122).
+    pub fn timesteps(mut self, t: usize) -> Self {
+        self.timesteps = t.max(1);
+        self
+    }
+
+    /// Seed for the turbulence.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Finalize the simulation.
+    pub fn build(self) -> Combustion {
+        Combustion {
+            grid: Grid3::spanning(self.resolution, [0.0; 3], DOMAIN)
+                .expect("resolution validated by builder"),
+            timesteps: self.timesteps,
+            wrinkle: FbmNoise::new(self.seed, 5, 5.0 / DOMAIN[0]).with_gain(0.55),
+            flap: FbmNoise::new(self.seed ^ 0xBEEF, 2, 1.2 / DOMAIN[1]),
+        }
+    }
+}
+
+/// Physical domain: 240 × 360 × 60 world units (4:6:1 aspect).
+const DOMAIN: [f64; 3] = [240.0, 360.0, 60.0];
+
+/// Jet nozzle radius at the inlet (y = 0).
+const NOZZLE_RADIUS: f64 = 18.0;
+/// Jet spreading rate (radius growth per unit downstream distance).
+const SPREAD: f64 = 0.16;
+/// Mixing-layer thickness (controls how sharp the flame sheet is).
+const LAYER_THICKNESS: f64 = 7.0;
+
+/// The combustion surrogate simulation. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Combustion {
+    grid: Grid3,
+    timesteps: usize,
+    wrinkle: FbmNoise,
+    flap: FbmNoise,
+}
+
+impl Combustion {
+    /// Start building a combustion run.
+    pub fn builder() -> CombustionBuilder {
+        CombustionBuilder::default()
+    }
+
+    fn tau(&self, t: usize) -> f64 {
+        if self.timesteps <= 1 {
+            0.0
+        } else {
+            t.min(self.timesteps - 1) as f64 / (self.timesteps - 1) as f64
+        }
+    }
+
+    /// Mixture fraction at a world position and normalized time, in `[0, 1]`.
+    pub fn mixfrac(&self, p: [f64; 3], tau: f64) -> f32 {
+        // Jet centreline flaps slowly in x and z as it goes downstream.
+        let downstream = p[1] / DOMAIN[1];
+        let cx = DOMAIN[0] * 0.5
+            + 24.0 * downstream * self.flap.at4([0.0, p[1], 0.0], tau * 8.0);
+        let cz = DOMAIN[2] * 0.5
+            + 8.0 * downstream * self.flap.at4([DOMAIN[0], p[1], 0.0], tau * 8.0 + 3.0);
+        let dx = p[0] - cx;
+        let dz = p[2] - cz;
+        let r = (dx * dx + dz * dz).sqrt();
+
+        // Interface radius grows downstream and is wrinkled by turbulence
+        // whose amplitude also grows downstream (transition to turbulence).
+        let base_radius = NOZZLE_RADIUS + SPREAD * p[1];
+        let wrinkle_amp = (0.25 + 0.75 * downstream) * 0.45 * base_radius;
+        let wrinkled = base_radius + wrinkle_amp * self.wrinkle.at4(p, tau * 10.0);
+
+        // Fuel-rich core -> 1, ambient oxidizer -> 0, smooth tanh interface.
+        let f = 0.5 * (1.0 - ((r - wrinkled) / LAYER_THICKNESS).tanh());
+        // Core dilution downstream: fully mixed far from the nozzle.
+        let dilution = 1.0 - 0.5 * downstream * downstream;
+        (f * dilution).clamp(0.0, 1.0) as f32
+    }
+}
+
+impl Simulation for Combustion {
+    fn name(&self) -> &str {
+        "combustion"
+    }
+
+    fn grid(&self) -> Grid3 {
+        self.grid
+    }
+
+    fn num_timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    fn timestep(&self, t: usize) -> ScalarField {
+        self.timestep_on(t, self.grid)
+    }
+
+    fn timestep_on(&self, t: usize, grid: Grid3) -> ScalarField {
+        let tau = self.tau(t);
+        ScalarField::from_world_fn(grid, |p| self.mixfrac(p, tau))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Combustion {
+        Combustion::builder().resolution([24, 36, 6]).timesteps(12).build()
+    }
+
+    #[test]
+    fn values_bounded_zero_one() {
+        let f = small().timestep(6);
+        let (lo, hi) = f.min_max().unwrap();
+        assert!(lo >= 0.0, "min {lo}");
+        assert!(hi <= 1.0, "max {hi}");
+        assert!(hi > 0.5, "jet core should be fuel-rich, max {hi}");
+    }
+
+    #[test]
+    fn core_rich_ambient_lean() {
+        let sim = small();
+        let core = sim.mixfrac([120.0, 20.0, 30.0], 0.3);
+        let ambient = sim.mixfrac([5.0, 20.0, 3.0], 0.3);
+        assert!(core > 0.8, "core {core}");
+        assert!(ambient < 0.2, "ambient {ambient}");
+    }
+
+    #[test]
+    fn interface_has_high_gradient() {
+        let sim = small();
+        let f = sim.timestep(3);
+        let grads = fv_field::gradient::GradientField::compute(&f);
+        let max_mag = grads
+            .magnitudes()
+            .into_iter()
+            .fold(0.0f32, f32::max);
+        // tanh layer of thickness ~7 world units: slope ~ 0.5/7
+        assert!(max_mag > 0.02, "max gradient {max_mag} too small");
+    }
+
+    #[test]
+    fn temporal_evolution() {
+        let sim = small();
+        let a = sim.timestep(0);
+        let b = sim.timestep(11);
+        assert!(a.difference(&b).unwrap().std_dev() > 1e-3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let sim = small();
+        assert_eq!(sim.timestep(4), sim.timestep(4));
+        let sim2 = Combustion::builder().resolution([24, 36, 6]).timesteps(12).build();
+        assert_eq!(sim.timestep(4), sim2.timestep(4));
+    }
+
+    #[test]
+    fn different_seed_changes_field() {
+        let a = small().timestep(2);
+        let b = Combustion::builder()
+            .resolution([24, 36, 6])
+            .timesteps(12)
+            .seed(999)
+            .build()
+            .timestep(2);
+        assert_ne!(a, b);
+    }
+}

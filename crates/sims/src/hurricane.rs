@@ -1,0 +1,262 @@
+//! Hurricane surrogate: a moving low-pressure vortex over a stratified
+//! ambient field.
+//!
+//! Structural stand-in for the Hurricane Isabel `pressure` variable
+//! (250×250×50, 48 timesteps): the defining reconstruction challenges are a
+//! *deep, spatially-compact* low-pressure eye (rare values + very high
+//! gradients — exactly what the importance sampler chases), spiral rainband
+//! structure around it, and a storm track that moves the whole feature
+//! across the domain over the run (which is what defeats a model pretrained
+//! on one timestep in Experiment 2).
+
+use crate::noise::FbmNoise;
+use crate::Simulation;
+use fv_field::{Grid3, ScalarField};
+
+/// Configuration builder for [`Hurricane`].
+#[derive(Debug, Clone)]
+pub struct HurricaneBuilder {
+    resolution: [usize; 3],
+    timesteps: usize,
+    seed: u64,
+}
+
+impl Default for HurricaneBuilder {
+    fn default() -> Self {
+        Self {
+            resolution: [64, 64, 16],
+            timesteps: 48,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl HurricaneBuilder {
+    /// Grid resolution `[nx, ny, nz]` (aspect mirrors Isabel's 250×250×50).
+    pub fn resolution(mut self, r: [usize; 3]) -> Self {
+        self.resolution = r;
+        self
+    }
+
+    /// Number of timesteps in the run (the paper uses 48).
+    pub fn timesteps(mut self, t: usize) -> Self {
+        self.timesteps = t.max(1);
+        self
+    }
+
+    /// Seed for the turbulent perturbations.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Finalize the simulation.
+    pub fn build(self) -> Hurricane {
+        Hurricane {
+            grid: Grid3::spanning(self.resolution, [0.0; 3], DOMAIN)
+                .expect("resolution validated by builder"),
+            timesteps: self.timesteps,
+            weather: FbmNoise::new(self.seed, 4, 1.6 / DOMAIN[0]),
+            micro: FbmNoise::new(self.seed ^ 0x5EED, 3, 8.0 / DOMAIN[0]),
+        }
+    }
+}
+
+/// Physical domain in world units (think km): 500 × 500 horizontal,
+/// 100 vertical — the 5:5:1 aspect of the Isabel grid.
+const DOMAIN: [f64; 3] = [500.0, 500.0, 100.0];
+
+/// Ambient sea-level pressure (hPa-like units).
+const P_AMBIENT: f64 = 1012.0;
+/// Pressure drop across the vertical extent of the domain.
+const P_LAPSE: f64 = 90.0;
+/// Peak central pressure deficit of the storm.
+const EYE_DEPTH: f64 = 68.0;
+/// Core radius of the eye.
+const EYE_RADIUS: f64 = 42.0;
+
+/// The hurricane surrogate simulation. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Hurricane {
+    grid: Grid3,
+    timesteps: usize,
+    weather: FbmNoise,
+    micro: FbmNoise,
+}
+
+impl Hurricane {
+    /// Start building a hurricane run.
+    pub fn builder() -> HurricaneBuilder {
+        HurricaneBuilder::default()
+    }
+
+    /// Normalized time in `[0, 1]` for a timestep index.
+    fn tau(&self, t: usize) -> f64 {
+        if self.timesteps <= 1 {
+            0.0
+        } else {
+            t.min(self.timesteps - 1) as f64 / (self.timesteps - 1) as f64
+        }
+    }
+
+    /// Eye centre (world x, y) at normalized time `tau`: a curved
+    /// northwest-tracking path crossing most of the domain.
+    pub fn eye_center(&self, tau: f64) -> [f64; 2] {
+        let x = DOMAIN[0] * (0.78 - 0.55 * tau);
+        let y = DOMAIN[1] * (0.18 + 0.62 * tau + 0.10 * (std::f64::consts::PI * tau).sin());
+        [x, y]
+    }
+
+    /// Storm intensity multiplier at normalized time `tau`: spins up,
+    /// peaks mid-run, weakens at landfall.
+    fn intensity(&self, tau: f64) -> f64 {
+        let spin_up = 1.0 - (-6.0 * tau).exp();
+        let decay = 1.0 - 0.45 * (tau - 0.65).max(0.0) / 0.35;
+        spin_up * decay
+    }
+
+    /// Evaluate the pressure at a world position and normalized time.
+    pub fn pressure(&self, p: [f64; 3], tau: f64) -> f32 {
+        let [cx, cy] = self.eye_center(tau);
+        let dx = p[0] - cx;
+        let dy = p[1] - cy;
+        let r = (dx * dx + dy * dy).sqrt();
+        let zfrac = p[2] / DOMAIN[2];
+
+        // Smooth ambient: stratification + synoptic-scale weather.
+        let mut pressure = P_AMBIENT - P_LAPSE * zfrac;
+        pressure += 4.0 * self.weather.at4(p, tau * 6.0);
+
+        // Eye: sharply peaked depression, weakening with altitude.
+        let strength = self.intensity(tau) * EYE_DEPTH * (1.0 - 0.55 * zfrac);
+        let core = (-(r / EYE_RADIUS).powi(2)).exp();
+        pressure -= strength * core;
+
+        // Spiral rainbands: pressure ripples winding around the eye.
+        if r > 1e-9 {
+            let theta = dy.atan2(dx);
+            let band = (2.0 * theta - r / 28.0 + tau * 9.0).cos();
+            let envelope = (-((r - 2.2 * EYE_RADIUS) / (1.8 * EYE_RADIUS)).powi(2)).exp();
+            pressure -= 0.18 * strength * band * envelope;
+        }
+
+        // Small-scale texture.
+        pressure += 1.1 * self.micro.at4(p, tau * 6.0);
+        pressure as f32
+    }
+}
+
+impl Simulation for Hurricane {
+    fn name(&self) -> &str {
+        "hurricane"
+    }
+
+    fn grid(&self) -> Grid3 {
+        self.grid
+    }
+
+    fn num_timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    fn timestep(&self, t: usize) -> ScalarField {
+        self.timestep_on(t, self.grid)
+    }
+
+    fn timestep_on(&self, t: usize, grid: Grid3) -> ScalarField {
+        let tau = self.tau(t);
+        ScalarField::from_world_fn(grid, |p| self.pressure(p, tau))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hurricane {
+        Hurricane::builder().resolution([24, 24, 8]).timesteps(10).build()
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let sim = small();
+        assert_eq!(sim.timestep(3), sim.timestep(3));
+    }
+
+    #[test]
+    fn eye_is_pressure_minimum_at_surface() {
+        let sim = small();
+        let tau = 0.5;
+        let [cx, cy] = sim.eye_center(tau);
+        let at_eye = sim.pressure([cx, cy, 0.0], tau);
+        let far = sim.pressure([cx + 200.0, cy.min(300.0), 0.0], tau);
+        assert!(
+            at_eye + 25.0 < far,
+            "eye {at_eye} should be much lower than far field {far}"
+        );
+    }
+
+    #[test]
+    fn eye_moves_over_time() {
+        let sim = small();
+        let a = sim.eye_center(0.0);
+        let b = sim.eye_center(1.0);
+        let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        assert!(d > 100.0, "track length {d} too short");
+    }
+
+    #[test]
+    fn pressure_decreases_with_altitude() {
+        let sim = small();
+        // far from the eye, stratification dominates
+        let lo = sim.pressure([30.0, 450.0, 0.0], 0.2);
+        let hi = sim.pressure([30.0, 450.0, 95.0], 0.2);
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn fields_change_between_timesteps() {
+        let sim = small();
+        let f0 = sim.timestep(0);
+        let f9 = sim.timestep(9);
+        let diff = f0.difference(&f9).unwrap();
+        assert!(diff.std_dev() > 0.5, "temporal drift too small");
+    }
+
+    #[test]
+    fn timestep_clamps_out_of_range() {
+        let sim = small();
+        assert_eq!(sim.timestep(9), sim.timestep(999));
+    }
+
+    #[test]
+    fn timestep_on_refined_grid_matches_analytic() {
+        let sim = small();
+        let fine = sim.grid().refined(2).unwrap();
+        let f = sim.timestep_on(2, fine);
+        // Shared nodes agree exactly with the coarse materialization.
+        let coarse = sim.timestep(2);
+        for ijk in [[0, 0, 0], [5, 7, 3], [23, 23, 7]] {
+            let fine_ijk = [ijk[0] * 2, ijk[1] * 2, ijk[2] * 2];
+            assert_eq!(coarse.at(ijk), f.at(fine_ijk));
+        }
+    }
+
+    #[test]
+    fn values_are_finite_and_plausible() {
+        let sim = small();
+        let f = sim.timestep(5);
+        let (lo, hi) = f.min_max().unwrap();
+        assert!(lo.is_finite() && hi.is_finite());
+        assert!((800.0..=1100.0).contains(&lo), "min {lo}");
+        assert!((900.0..=1100.0).contains(&hi), "max {hi}");
+    }
+
+    #[test]
+    fn single_timestep_run() {
+        let sim = Hurricane::builder().resolution([8, 8, 4]).timesteps(1).build();
+        assert_eq!(sim.num_timesteps(), 1);
+        let f = sim.timestep(0);
+        assert_eq!(f.len(), 8 * 8 * 4);
+    }
+}

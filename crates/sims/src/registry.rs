@@ -1,0 +1,163 @@
+//! Named dataset specifications at the paper's resolutions and scaled-down
+//! variants.
+//!
+//! The experiments reference datasets by name ("isabel", "combustion",
+//! "ionization"). [`DatasetSpec`] records the paper's full resolution and
+//! timestep count, and [`Scale`] selects how large a grid actually gets
+//! materialized — `Paper` reproduces the published dimensions, `Small` is
+//! the default for the bench binaries, `Tiny` keeps unit tests fast.
+
+use crate::{Combustion, Hurricane, IonizationFront, Simulation};
+
+/// How large to materialize a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal grids for unit tests (≈10⁴ points).
+    Tiny,
+    /// Default benchmarking scale (≈10⁵ points) — every experiment completes
+    /// on a laptop-class CPU in minutes.
+    Small,
+    /// Mid-size grids (≈10⁶ points) for closer-to-paper timing runs.
+    Medium,
+    /// The paper's published resolutions (up to 3.7·10⁷ points). Expect
+    /// long runtimes on CPU-only hosts.
+    Paper,
+}
+
+impl Scale {
+    /// Divide the paper dims by this factor per axis.
+    fn divisor(self) -> usize {
+        match self {
+            Scale::Tiny => 10,
+            Scale::Small => 4,
+            Scale::Medium => 2,
+            Scale::Paper => 1,
+        }
+    }
+}
+
+/// A named dataset with its paper-published geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Dataset name as used in experiment output.
+    pub name: &'static str,
+    /// The variable the paper samples and reconstructs.
+    pub variable: &'static str,
+    /// Full (paper) resolution.
+    pub paper_dims: [usize; 3],
+    /// Number of timesteps in the paper's dataset.
+    pub paper_timesteps: usize,
+}
+
+/// The three datasets of the paper's evaluation.
+pub const DATASETS: [DatasetSpec; 3] = [
+    DatasetSpec {
+        name: "isabel",
+        variable: "pressure",
+        paper_dims: [250, 250, 50],
+        paper_timesteps: 48,
+    },
+    DatasetSpec {
+        name: "combustion",
+        variable: "mixfrac",
+        paper_dims: [240, 360, 60],
+        paper_timesteps: 122,
+    },
+    DatasetSpec {
+        name: "ionization",
+        variable: "density",
+        paper_dims: [600, 248, 248],
+        paper_timesteps: 200,
+    },
+];
+
+impl DatasetSpec {
+    /// Look up a dataset by name.
+    pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {
+        DATASETS.iter().find(|d| d.name == name)
+    }
+
+    /// Grid dimensions at a given scale (each axis at least 8 nodes).
+    pub fn dims_at(&self, scale: Scale) -> [usize; 3] {
+        let d = scale.divisor();
+        [
+            (self.paper_dims[0] / d).max(8),
+            (self.paper_dims[1] / d).max(8),
+            (self.paper_dims[2] / d).max(8),
+        ]
+    }
+
+    /// Instantiate the surrogate simulation for this dataset at a scale.
+    pub fn build(&self, scale: Scale, seed: u64) -> Box<dyn Simulation> {
+        let dims = self.dims_at(scale);
+        match self.name {
+            "isabel" => Box::new(
+                Hurricane::builder()
+                    .resolution(dims)
+                    .timesteps(self.paper_timesteps)
+                    .seed(seed)
+                    .build(),
+            ),
+            "combustion" => Box::new(
+                Combustion::builder()
+                    .resolution(dims)
+                    .timesteps(self.paper_timesteps)
+                    .seed(seed)
+                    .build(),
+            ),
+            "ionization" => Box::new(
+                IonizationFront::builder()
+                    .resolution(dims)
+                    .timesteps(self.paper_timesteps)
+                    .seed(seed)
+                    .build(),
+            ),
+            other => unreachable!("unknown dataset {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(DatasetSpec::by_name("isabel").unwrap().paper_timesteps, 48);
+        assert!(DatasetSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scales_shrink_dims() {
+        let iso = DatasetSpec::by_name("ionization").unwrap();
+        assert_eq!(iso.dims_at(Scale::Paper), [600, 248, 248]);
+        assert_eq!(iso.dims_at(Scale::Medium), [300, 124, 124]);
+        assert_eq!(iso.dims_at(Scale::Small), [150, 62, 62]);
+        let tiny = iso.dims_at(Scale::Tiny);
+        assert!(tiny.iter().all(|&d| d >= 8));
+    }
+
+    #[test]
+    fn builds_every_dataset() {
+        let surrogate = [
+            ("isabel", "hurricane"),
+            ("combustion", "combustion"),
+            ("ionization", "ionization"),
+        ];
+        for (spec, (dataset, sim_name)) in DATASETS.iter().zip(surrogate) {
+            assert_eq!(spec.name, dataset);
+            let sim = spec.build(Scale::Tiny, 1);
+            assert_eq!(sim.name(), sim_name);
+            assert_eq!(sim.grid().dims(), spec.dims_at(Scale::Tiny));
+            let f = sim.timestep(0);
+            assert_eq!(f.len(), sim.grid().num_points());
+        }
+    }
+
+    #[test]
+    fn min_dimension_floor() {
+        let isabel = DatasetSpec::by_name("isabel").unwrap();
+        let dims = isabel.dims_at(Scale::Tiny);
+        assert_eq!(dims, [25, 25, 8]); // 50/10 = 5 -> floored to 8
+    }
+}

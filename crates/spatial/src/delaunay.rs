@@ -1,0 +1,697 @@
+//! Incremental 3-D Delaunay triangulation (Bowyer–Watson).
+//!
+//! This is the substrate behind the paper's strongest classical baseline:
+//! piecewise-linear interpolation over the Delaunay tetrahedralization of
+//! the sampled points (the role CGAL plays in the paper's C++/OpenMP
+//! implementation).
+//!
+//! Algorithm
+//! ---------
+//! Points are inserted one at a time into a triangulation initialized with
+//! a huge enclosing *super-tetrahedron*:
+//!
+//! 1. **Locate** the tetrahedron containing the new point with a
+//!    barycentric walk that starts from the previous insertion (points are
+//!    pre-sorted in Morton order, so the walk is O(1) amortized).
+//! 2. **Carve the cavity**: breadth-first collect all tetrahedra whose
+//!    circumsphere contains the point. Circumspheres are precomputed per
+//!    tetrahedron, so the test is a distance comparison.
+//! 3. **Retriangulate**: connect every boundary face of the cavity to the
+//!    new point, stitching neighbor pointers via the shared-edge map.
+//!
+//! Insertion is transactional: all new tetrahedra (and their circumspheres)
+//! are validated *before* the cavity is destroyed, so a degenerate point —
+//! possible in principle even after jittering — is skipped with the
+//! triangulation left intact, and counted in [`Delaunay3::skipped_points`].
+//!
+//! Queries (`locate_from`, `interpolate`) take `&self` plus a caller-owned
+//! walk cursor, so grid reconstruction fans out across threads with zero
+//! synchronization.
+
+use crate::jitter;
+use crate::morton;
+use crate::predicates::{barycentric, circumsphere, orient3d, Circumsphere};
+use std::collections::HashMap;
+use std::fmt;
+
+const NONE: u32 = u32::MAX;
+/// Number of synthetic super-tetrahedron vertices occupying ids `0..4`.
+const SUPER_VERTS: u32 = 4;
+
+#[derive(Debug, Clone)]
+struct Tet {
+    /// Vertex ids, positively oriented (`orient3d(v0,v1,v2,v3) > 0`).
+    v: [u32; 4],
+    /// `nbr[i]` is the tetrahedron sharing the face opposite `v[i]`.
+    nbr: [u32; 4],
+    sphere: Circumsphere,
+    alive: bool,
+}
+
+/// Errors from triangulation construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DelaunayError {
+    /// The input contained a non-finite coordinate.
+    NonFinitePoint {
+        /// Index of the offending point.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DelaunayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelaunayError::NonFinitePoint { index } => {
+                write!(f, "point {index} has a non-finite coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DelaunayError {}
+
+/// A 3-D Delaunay triangulation of a point cloud.
+pub struct Delaunay3 {
+    /// Vertex positions; `0..4` are super-tet vertices, input point `i`
+    /// lives at vertex id `i + 4` (possibly jittered).
+    verts: Vec<[f64; 3]>,
+    tets: Vec<Tet>,
+    /// Map vertex id -> original input index (identity shifted by 4).
+    num_input: usize,
+    skipped: usize,
+    /// Hint for the next insertion walk.
+    insert_cursor: u32,
+    /// Scratch epoch marks for cavity search.
+    mark: Vec<u32>,
+    epoch: u32,
+}
+
+/// A caller-owned walk cursor for query locality. Each thread doing batch
+/// interpolation keeps its own.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkCursor(u32);
+
+impl Default for WalkCursor {
+    fn default() -> Self {
+        WalkCursor(NONE)
+    }
+}
+
+impl Delaunay3 {
+    /// Triangulate `points`.
+    ///
+    /// Inputs are deterministically jittered (amplitude
+    /// `cell * `[`jitter::DEFAULT_RELATIVE_AMPLITUDE`]) to break the exact
+    /// coplanarities of grid-sampled data, then inserted in Morton order.
+    pub fn build(points: &[[f64; 3]]) -> Result<Self, DelaunayError> {
+        Self::build_with(points, true, 0x5EED_CAFE)
+    }
+
+    /// Triangulate with explicit control over jittering.
+    pub fn build_with(
+        points: &[[f64; 3]],
+        apply_jitter: bool,
+        seed: u64,
+    ) -> Result<Self, DelaunayError> {
+        for (i, p) in points.iter().enumerate() {
+            if !p.iter().all(|c| c.is_finite()) {
+                return Err(DelaunayError::NonFinitePoint { index: i });
+            }
+        }
+        // Bounding box (degenerate boxes padded to unit size).
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for p in points {
+            for a in 0..3 {
+                lo[a] = lo[a].min(p[a]);
+                hi[a] = hi[a].max(p[a]);
+            }
+        }
+        if points.is_empty() {
+            lo = [0.0; 3];
+            hi = [1.0; 3];
+        }
+        let mut center = [0.0; 3];
+        let mut radius: f64 = 1.0;
+        for a in 0..3 {
+            center[a] = 0.5 * (lo[a] + hi[a]);
+            radius = radius.max(hi[a] - lo[a]);
+        }
+
+        // Jitter amplitude relative to the typical inter-point distance
+        // (cube-root spacing of the bounding box), not the full extent.
+        let n = points.len().max(1) as f64;
+        let cell = radius / n.powf(1.0 / 3.0).max(1.0);
+        let amplitude = if apply_jitter {
+            cell * jitter::DEFAULT_RELATIVE_AMPLITUDE
+        } else {
+            0.0
+        };
+
+        let jittered = jitter::jitter_points(points, amplitude, seed);
+
+        // Super-tetrahedron: regular tetra directions scaled far beyond the
+        // data. 40x the bounding radius keeps coordinates well within f64
+        // range while guaranteeing containment.
+        let r = 40.0 * radius;
+        let dirs = [
+            [1.0, 1.0, 1.0],
+            [1.0, -1.0, -1.0],
+            [-1.0, 1.0, -1.0],
+            [-1.0, -1.0, 1.0],
+        ];
+        let mut verts: Vec<[f64; 3]> = dirs
+            .iter()
+            .map(|d| {
+                [
+                    center[0] + d[0] * r,
+                    center[1] + d[1] * r,
+                    center[2] + d[2] * r,
+                ]
+            })
+            .collect();
+        verts.extend(jittered.iter().copied());
+
+        // Orientation of the super tetra must be positive; dirs above give
+        // orient3d > 0 (verified in tests).
+        let sphere = circumsphere(verts[0], verts[1], verts[2], verts[3])
+            .expect("super-tetrahedron is non-degenerate");
+        let root = Tet {
+            v: [0, 1, 2, 3],
+            nbr: [NONE; 4],
+            sphere,
+            alive: true,
+        };
+
+        let mut tri = Self {
+            verts,
+            tets: vec![root],
+            num_input: points.len(),
+            skipped: 0,
+            insert_cursor: 0,
+            mark: Vec::new(),
+            epoch: 0,
+        };
+
+        for idx in morton::morton_order(&jittered) {
+            let vid = idx as u32 + SUPER_VERTS;
+            if !tri.insert(vid) {
+                tri.skipped += 1;
+            }
+        }
+        Ok(tri)
+    }
+
+    /// Number of input points (including any skipped ones).
+    pub fn num_points(&self) -> usize {
+        self.num_input
+    }
+
+    /// Points that could not be inserted due to irrecoverable degeneracy.
+    pub fn skipped_points(&self) -> usize {
+        self.skipped
+    }
+
+    /// Number of live tetrahedra (including those touching the super-tet).
+    pub fn num_tets(&self) -> usize {
+        self.tets.iter().filter(|t| t.alive).count()
+    }
+
+    /// The (jittered) position of input point `i`.
+    pub fn point(&self, i: usize) -> [f64; 3] {
+        self.verts[i + SUPER_VERTS as usize]
+    }
+
+    /// Insert vertex `vid`; returns false if the point had to be skipped.
+    fn insert(&mut self, vid: u32) -> bool {
+        let p = self.verts[vid as usize];
+        let Some(start) = self.locate(p, self.insert_cursor) else {
+            return false;
+        };
+
+        // --- Cavity: BFS over circumsphere-violating tets. ---
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.clear();
+            self.epoch = 1;
+        }
+        self.mark.resize(self.tets.len(), 0);
+        let mut cavity: Vec<u32> = vec![start];
+        self.mark[start as usize] = self.epoch;
+        let mut head = 0;
+        while head < cavity.len() {
+            let t = cavity[head] as usize;
+            head += 1;
+            for nb in self.tets[t].nbr {
+                if nb == NONE {
+                    continue;
+                }
+                let nbu = nb as usize;
+                if self.mark[nbu] == self.epoch || !self.tets[nbu].alive {
+                    continue;
+                }
+                if self.tets[nbu].sphere.contains(p) {
+                    self.mark[nbu] = self.epoch;
+                    cavity.push(nb);
+                }
+            }
+        }
+
+        // --- Boundary faces: (face verts, outside tet). ---
+        // Face opposite v[i] of tet (v0..v3) is the remaining three verts.
+        let mut boundary: Vec<([u32; 3], u32)> = Vec::with_capacity(cavity.len() * 2 + 4);
+        for &t in &cavity {
+            let tet = &self.tets[t as usize];
+            for i in 0..4 {
+                let nb = tet.nbr[i];
+                let in_cavity = nb != NONE && self.mark[nb as usize] == self.epoch;
+                if in_cavity {
+                    continue;
+                }
+                let f = face_opposite(tet.v, i);
+                boundary.push((f, nb));
+            }
+        }
+
+        // --- Validate all replacement tets before committing. ---
+        let mut staged: Vec<(Tet, u32)> = Vec::with_capacity(boundary.len());
+        for &(f, outside) in &boundary {
+            let (a, b, c) = (f[0], f[1], f[2]);
+            let pa = self.verts[a as usize];
+            let pb = self.verts[b as usize];
+            let pc = self.verts[c as usize];
+            let o = orient3d(pa, pb, pc, p);
+            let (v, pa2, pb2, pc2) = if o > 0.0 {
+                ([a, b, c, vid], pa, pb, pc)
+            } else if o < 0.0 {
+                ([a, c, b, vid], pa, pc, pb)
+            } else {
+                return false; // flat tet; skip the point, cavity untouched
+            };
+            let Some(sphere) = circumsphere(pa2, pb2, pc2, p) else {
+                return false;
+            };
+            staged.push((
+                Tet {
+                    v,
+                    nbr: [NONE; 4],
+                    sphere,
+                    alive: true,
+                },
+                outside,
+            ));
+        }
+
+        // --- Commit: kill cavity, append new tets, stitch adjacency. ---
+        for &t in &cavity {
+            self.tets[t as usize].alive = false;
+        }
+        let base = self.tets.len() as u32;
+        // Map an edge (of the boundary face) to the new tet and the face
+        // slot opposite the third vertex of that face.
+        let mut edge_map: HashMap<(u32, u32), (u32, usize)> =
+            HashMap::with_capacity(staged.len() * 3);
+        for (k, (tet, outside)) in staged.into_iter().enumerate() {
+            let id = base + k as u32;
+            let [a, b, c, _] = tet.v;
+            self.tets.push(tet);
+            // External face (opposite the new vertex, slot 3).
+            self.tets[id as usize].nbr[3] = outside;
+            if outside != NONE {
+                // Point the outside tet back at us.
+                let key = sorted3(a, b, c);
+                let out = &mut self.tets[outside as usize];
+                for i in 0..4 {
+                    if sorted3_face(out.v, i) == key {
+                        out.nbr[i] = id;
+                        break;
+                    }
+                }
+            }
+            // Internal faces share an edge of (a, b, c) plus the new vertex.
+            for (slot, (x, y)) in [(0usize, (b, c)), (1, (a, c)), (2, (a, b))] {
+                let key = if x < y { (x, y) } else { (y, x) };
+                match edge_map.remove(&key) {
+                    Some((other, other_slot)) => {
+                        self.tets[id as usize].nbr[slot] = other;
+                        self.tets[other as usize].nbr[other_slot] = id;
+                    }
+                    None => {
+                        edge_map.insert(key, (id, slot));
+                    }
+                }
+            }
+        }
+        self.mark.resize(self.tets.len(), 0);
+        self.insert_cursor = base;
+        true
+    }
+
+    /// Walk to the tetrahedron containing `p`, starting from `hint`.
+    ///
+    /// Returns `None` only if the walk fails to terminate and a full scan
+    /// also finds nothing (possible when `p` falls outside even the super-
+    /// tetrahedron, which callers never do).
+    fn locate(&self, p: [f64; 3], hint: u32) -> Option<u32> {
+        let start = if hint != NONE && (hint as usize) < self.tets.len()
+            && self.tets[hint as usize].alive
+        {
+            hint
+        } else {
+            self.tets.iter().rposition(|t| t.alive)? as u32
+        };
+
+        let mut current = start;
+        let max_steps = 4 * self.tets.len() + 64;
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if steps > max_steps {
+                // Degenerate cycle; fall back to exhaustive search.
+                return self.locate_scan(p);
+            }
+            let tet = &self.tets[current as usize];
+            let [a, b, c, d] = tet.v;
+            let w = barycentric(
+                self.verts[a as usize],
+                self.verts[b as usize],
+                self.verts[c as usize],
+                self.verts[d as usize],
+                p,
+            );
+            let Some(w) = w else {
+                return self.locate_scan(p);
+            };
+            // Find the most violated face.
+            let mut worst = 0usize;
+            let mut worst_w = w[0];
+            for i in 1..4 {
+                if w[i] < worst_w {
+                    worst_w = w[i];
+                    worst = i;
+                }
+            }
+            if worst_w >= -1e-13 {
+                return Some(current);
+            }
+            let nb = tet.nbr[worst];
+            if nb == NONE || !self.tets[nb as usize].alive {
+                // Walking out of the triangulated region.
+                return self.locate_scan(p);
+            }
+            current = nb;
+        }
+    }
+
+    /// O(n) fallback location.
+    fn locate_scan(&self, p: [f64; 3]) -> Option<u32> {
+        for (i, tet) in self.tets.iter().enumerate() {
+            if !tet.alive {
+                continue;
+            }
+            let [a, b, c, d] = tet.v;
+            if let Some(w) = barycentric(
+                self.verts[a as usize],
+                self.verts[b as usize],
+                self.verts[c as usize],
+                self.verts[d as usize],
+                p,
+            ) {
+                if w.iter().all(|&x| x >= -1e-12) {
+                    return Some(i as u32);
+                }
+            }
+        }
+        None
+    }
+
+    /// Locate `p` for a query, updating the caller's cursor. Thread-safe
+    /// (`&self`); each thread owns its cursor.
+    pub fn locate_from(&self, p: [f64; 3], cursor: &mut WalkCursor) -> Option<u32> {
+        let found = self.locate(p, cursor.0)?;
+        cursor.0 = found;
+        Some(found)
+    }
+
+    /// Piecewise-linear interpolation of per-point `values` at `p`.
+    ///
+    /// Returns `None` when `p` lies outside the convex hull of the input
+    /// points (its containing tetrahedron touches the super-tetrahedron) —
+    /// callers fall back to nearest-neighbor extrapolation there.
+    pub fn interpolate(&self, p: [f64; 3], values: &[f32], cursor: &mut WalkCursor) -> Option<f64> {
+        debug_assert_eq!(values.len(), self.num_input);
+        let t = self.locate_from(p, cursor)?;
+        let tet = &self.tets[t as usize];
+        if tet.v.iter().any(|&v| v < SUPER_VERTS) {
+            return None;
+        }
+        let [a, b, c, d] = tet.v;
+        let w = barycentric(
+            self.verts[a as usize],
+            self.verts[b as usize],
+            self.verts[c as usize],
+            self.verts[d as usize],
+            p,
+        )?;
+        let val = |vid: u32| values[(vid - SUPER_VERTS) as usize] as f64;
+        Some(w[0] * val(a) + w[1] * val(b) + w[2] * val(c) + w[3] * val(d))
+    }
+
+    /// Verify the empty-circumsphere property against every inserted point
+    /// (O(n·t) — test use only). Returns the number of violations beyond a
+    /// relative tolerance.
+    pub fn delaunay_violations(&self) -> usize {
+        let mut violations = 0;
+        for tet in self.tets.iter().filter(|t| t.alive) {
+            for vid in SUPER_VERTS..(self.verts.len() as u32) {
+                if tet.v.contains(&vid) {
+                    continue;
+                }
+                let p = self.verts[vid as usize];
+                let dx = p[0] - tet.sphere.center[0];
+                let dy = p[1] - tet.sphere.center[1];
+                let dz = p[2] - tet.sphere.center[2];
+                let d2 = dx * dx + dy * dy + dz * dz;
+                if d2 < tet.sphere.radius_sq * (1.0 - 1e-9) {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+}
+
+impl fmt::Debug for Delaunay3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Delaunay3")
+            .field("points", &self.num_input)
+            .field("tets_alive", &self.num_tets())
+            .field("skipped", &self.skipped)
+            .finish()
+    }
+}
+
+/// The three vertices of the face opposite `v[i]`, in a fixed order.
+#[inline]
+fn face_opposite(v: [u32; 4], i: usize) -> [u32; 3] {
+    match i {
+        0 => [v[1], v[2], v[3]],
+        1 => [v[0], v[2], v[3]],
+        2 => [v[0], v[1], v[3]],
+        _ => [v[0], v[1], v[2]],
+    }
+}
+
+#[inline]
+fn sorted3(a: u32, b: u32, c: u32) -> (u32, u32, u32) {
+    let (mut x, mut y, mut z) = (a, b, c);
+    if x > y {
+        std::mem::swap(&mut x, &mut y);
+    }
+    if y > z {
+        std::mem::swap(&mut y, &mut z);
+    }
+    if x > y {
+        std::mem::swap(&mut x, &mut y);
+    }
+    (x, y, z)
+}
+
+#[inline]
+fn sorted3_face(v: [u32; 4], i: usize) -> (u32, u32, u32) {
+    let f = face_opposite(v, i);
+    sorted3(f[0], f[1], f[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| [next() * 10.0, next() * 10.0, next() * 10.0])
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let t = Delaunay3::build(&[]).unwrap();
+        assert_eq!(t.num_points(), 0);
+        let mut cur = WalkCursor::default();
+        assert!(t.interpolate([0.5; 3], &[], &mut cur).is_none());
+
+        let pts = vec![[1.0; 3], [2.0; 3]];
+        let t = Delaunay3::build(&pts).unwrap();
+        assert_eq!(t.num_points(), 2);
+        assert_eq!(t.skipped_points(), 0);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let pts = vec![[0.0, 0.0, f64::NAN]];
+        assert!(matches!(
+            Delaunay3::build(&pts),
+            Err(DelaunayError::NonFinitePoint { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn random_points_satisfy_delaunay() {
+        let pts = pseudo_points(120, 5);
+        let t = Delaunay3::build(&pts).unwrap();
+        assert_eq!(t.skipped_points(), 0);
+        assert_eq!(t.delaunay_violations(), 0);
+    }
+
+    #[test]
+    fn grid_points_triangulate_without_skips() {
+        // 5x5x5 exact lattice: worst-case degeneracy, saved by jitter.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                for k in 0..5 {
+                    pts.push([i as f64, j as f64, k as f64]);
+                }
+            }
+        }
+        let t = Delaunay3::build(&pts).unwrap();
+        assert_eq!(t.skipped_points(), 0);
+        assert_eq!(t.delaunay_violations(), 0);
+    }
+
+    #[test]
+    fn interpolation_linear_precision() {
+        // Piecewise-linear interpolation reproduces affine functions exactly
+        // (up to jitter-induced error) inside the hull.
+        let pts = pseudo_points(200, 9);
+        let f = |p: [f64; 3]| (1.5 * p[0] - 2.0 * p[1] + 0.25 * p[2] + 3.0) as f32;
+        let values: Vec<f32> = pts.iter().map(|&p| f(p)).collect();
+        let t = Delaunay3::build(&pts).unwrap();
+        let mut cur = WalkCursor::default();
+        let mut tested = 0;
+        for q in pseudo_points(64, 33) {
+            // shrink toward centroid to stay inside the hull
+            let q = [
+                5.0 + (q[0] - 5.0) * 0.6,
+                5.0 + (q[1] - 5.0) * 0.6,
+                5.0 + (q[2] - 5.0) * 0.6,
+            ];
+            if let Some(v) = t.interpolate(q, &values, &mut cur) {
+                let expect = 1.5 * q[0] - 2.0 * q[1] + 0.25 * q[2] + 3.0;
+                assert!(
+                    (v - expect).abs() < 1e-3,
+                    "at {q:?}: got {v}, want {expect}"
+                );
+                tested += 1;
+            }
+        }
+        assert!(tested > 50, "only {tested} interior queries");
+    }
+
+    #[test]
+    fn outside_hull_returns_none() {
+        let pts = pseudo_points(50, 2);
+        let values = vec![1.0f32; 50];
+        let t = Delaunay3::build(&pts).unwrap();
+        let mut cur = WalkCursor::default();
+        assert!(t.interpolate([1000.0, 0.0, 0.0], &values, &mut cur).is_none());
+    }
+
+    #[test]
+    fn vertices_interpolate_their_own_values() {
+        let pts = pseudo_points(80, 4);
+        let values: Vec<f32> = (0..80).map(|i| i as f32).collect();
+        let t = Delaunay3::build(&pts).unwrap();
+        let mut cur = WalkCursor::default();
+        let mut hits = 0;
+        for i in 0..80 {
+            // Query at the *jittered* vertex position — exactly a vertex.
+            let q = t.point(i);
+            if let Some(v) = t.interpolate(q, &values, &mut cur) {
+                assert!((v - i as f64).abs() < 1e-6, "vertex {i}: {v}");
+                hits += 1;
+            }
+        }
+        assert!(hits > 40, "too few on-hull-interior vertices: {hits}");
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let pts = pseudo_points(60, 8);
+        let t = Delaunay3::build(&pts).unwrap();
+        for (i, tet) in t.tets.iter().enumerate() {
+            if !tet.alive {
+                continue;
+            }
+            for (slot, &nb) in tet.nbr.iter().enumerate() {
+                if nb == NONE {
+                    continue;
+                }
+                let other = &t.tets[nb as usize];
+                assert!(other.alive, "tet {i} slot {slot} points at dead tet");
+                let face = sorted3_face(tet.v, slot);
+                let back = (0..4).any(|j| {
+                    other.nbr[j] == i as u32 && sorted3_face(other.v, j) == face
+                });
+                assert!(back, "asymmetric adjacency between {i} and {nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_corrupt() {
+        let mut pts = pseudo_points(30, 6);
+        let dup = pts[3];
+        pts.push(dup);
+        pts.push(dup);
+        let t = Delaunay3::build(&pts).unwrap();
+        // jitter separates the duplicates, so all insert cleanly
+        assert_eq!(t.skipped_points(), 0);
+        assert_eq!(t.delaunay_violations(), 0);
+    }
+
+    #[test]
+    fn walk_cursor_reuse_across_queries() {
+        let pts = pseudo_points(150, 12);
+        let values: Vec<f32> = pts.iter().map(|p| p[0] as f32).collect();
+        let t = Delaunay3::build(&pts).unwrap();
+        let mut cur = WalkCursor::default();
+        // A scanline of nearby queries exercises the remembering walk.
+        let mut count = 0;
+        for i in 0..100 {
+            let x = 2.0 + 6.0 * i as f64 / 99.0;
+            if let Some(v) = t.interpolate([x, 5.0, 5.0], &values, &mut cur) {
+                assert!((v - x).abs() < 0.8, "x={x}, v={v}");
+                count += 1;
+            }
+        }
+        assert!(count > 60);
+    }
+}

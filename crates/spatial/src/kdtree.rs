@@ -1,0 +1,434 @@
+//! A 3-D k-d tree over point indices with exact nearest / k-nearest /
+//! radius queries.
+//!
+//! The tree stores *indices into the caller's point slice*, so one tree can
+//! serve many value arrays (the sampled cloud keeps positions and values in
+//! parallel vectors). Construction is a median split via
+//! `select_nth_unstable` (O(n log n), no allocation per node); queries are
+//! iterative with an explicit stack, so deep trees cannot overflow the call
+//! stack.
+
+use std::collections::BinaryHeap;
+
+/// Index type for points; u32 keeps nodes compact (4 G points is far beyond
+/// any cloud this workspace handles).
+type PIdx = u32;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index of the splitting point in the caller's slice.
+    point: PIdx,
+    /// Splitting dimension (0..3).
+    dim: u8,
+    left: u32,
+    right: u32,
+}
+
+/// An immutable k-d tree over a slice of 3-D points.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    root: u32,
+    len: usize,
+}
+
+/// One k-nearest-neighbor result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the point in the slice the tree was built from.
+    pub index: usize,
+    /// Squared Euclidean distance to the query.
+    pub dist_sq: f64,
+}
+
+/// Max-heap ordering by distance so the heap root is the *worst* of the
+/// current k best and can be evicted in O(log k).
+#[derive(PartialEq)]
+struct HeapItem {
+    dist_sq: f64,
+    index: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // NaN-free by construction (squared distances of finite points).
+        self.dist_sq
+            .partial_cmp(&other.dist_sq)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+impl KdTree {
+    /// Build a tree over `points`. The slice is not stored; queries take it
+    /// again so the caller keeps ownership.
+    pub fn build(points: &[[f64; 3]]) -> Self {
+        let mut order: Vec<PIdx> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let root = build_recursive(points, &mut order, 0, &mut nodes);
+        Self {
+            nodes,
+            root,
+            len: points.len(),
+        }
+    }
+
+    /// Number of points indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The nearest point to `query`, or `None` for an empty tree.
+    ///
+    /// `points` must be the same slice the tree was built from.
+    pub fn nearest(&self, points: &[[f64; 3]], query: [f64; 3]) -> Option<Neighbor> {
+        let mut best = Neighbor {
+            index: usize::MAX,
+            dist_sq: f64::INFINITY,
+        };
+        self.visit(points, query, |idx, d2| {
+            if d2 < best.dist_sq {
+                best = Neighbor {
+                    index: idx,
+                    dist_sq: d2,
+                };
+            }
+            best.dist_sq
+        });
+        (best.index != usize::MAX).then_some(best)
+    }
+
+    /// The `k` nearest points to `query`, sorted by ascending distance.
+    ///
+    /// Returns fewer than `k` neighbors only when the tree holds fewer
+    /// points. Ties are broken by point index, making results deterministic.
+    pub fn k_nearest(&self, points: &[[f64; 3]], query: [f64; 3], k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        self.visit(points, query, |idx, d2| {
+            if heap.len() < k {
+                heap.push(HeapItem {
+                    dist_sq: d2,
+                    index: idx,
+                });
+            } else if let Some(top) = heap.peek() {
+                if d2 < top.dist_sq {
+                    heap.pop();
+                    heap.push(HeapItem {
+                        dist_sq: d2,
+                        index: idx,
+                    });
+                }
+            }
+            if heap.len() < k {
+                f64::INFINITY
+            } else {
+                heap.peek().map_or(f64::INFINITY, |t| t.dist_sq)
+            }
+        });
+        let mut out: Vec<Neighbor> = heap
+            .into_iter()
+            .map(|h| Neighbor {
+                index: h.index,
+                dist_sq: h.dist_sq,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        out
+    }
+
+    /// All points within `radius` of `query` (unsorted).
+    pub fn within_radius(
+        &self,
+        points: &[[f64; 3]],
+        query: [f64; 3],
+        radius: f64,
+    ) -> Vec<Neighbor> {
+        let r2 = radius * radius;
+        let mut out = Vec::new();
+        self.visit(points, query, |idx, d2| {
+            if d2 <= r2 {
+                out.push(Neighbor {
+                    index: idx,
+                    dist_sq: d2,
+                });
+            }
+            r2
+        });
+        out
+    }
+
+    /// Core traversal: calls `accept(point_index, dist_sq)` for candidate
+    /// points; `accept` returns the current pruning radius² (subtrees whose
+    /// splitting plane is farther than this are skipped).
+    fn visit(
+        &self,
+        points: &[[f64; 3]],
+        query: [f64; 3],
+        mut accept: impl FnMut(usize, f64) -> f64,
+    ) {
+        if self.root == NONE {
+            return;
+        }
+        // Explicit stack of (node, dist² from query to the node's region
+        // boundary along already-crossed planes is approximated by plane
+        // distance alone — the classic sufficient prune).
+        let mut stack: Vec<(u32, f64)> = vec![(self.root, 0.0)];
+        let mut prune_r2 = f64::INFINITY;
+        while let Some((node_idx, plane_d2)) = stack.pop() {
+            if plane_d2 > prune_r2 {
+                continue;
+            }
+            let node = &self.nodes[node_idx as usize];
+            let p = points[node.point as usize];
+            let d2 = dist_sq(p, query);
+            prune_r2 = accept(node.point as usize, d2);
+
+            let dim = node.dim as usize;
+            let delta = query[dim] - p[dim];
+            let (near, far) = if delta < 0.0 {
+                (node.left, node.right)
+            } else {
+                (node.right, node.left)
+            };
+            // Push far side first so the near side is explored first.
+            if far != NONE {
+                stack.push((far, delta * delta));
+            }
+            if near != NONE {
+                stack.push((near, 0.0));
+            }
+        }
+    }
+}
+
+fn build_recursive(
+    points: &[[f64; 3]],
+    order: &mut [PIdx],
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    if order.is_empty() {
+        return NONE;
+    }
+    // Split on the axis with the largest spread for better balance on
+    // anisotropic clouds; fall back to round-robin when tiny.
+    let dim = if order.len() > 8 {
+        widest_axis(points, order)
+    } else {
+        (depth % 3) as u8
+    };
+    let mid = order.len() / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        let av = points[a as usize][dim as usize];
+        let bv = points[b as usize][dim as usize];
+        av.partial_cmp(&bv)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    let point = order[mid];
+    let this = nodes.len() as u32;
+    nodes.push(Node {
+        point,
+        dim,
+        left: NONE,
+        right: NONE,
+    });
+    let (left_slice, rest) = order.split_at_mut(mid);
+    let right_slice = &mut rest[1..];
+    let left = build_recursive(points, left_slice, depth + 1, nodes);
+    let right = build_recursive(points, right_slice, depth + 1, nodes);
+    nodes[this as usize].left = left;
+    nodes[this as usize].right = right;
+    this
+}
+
+fn widest_axis(points: &[[f64; 3]], order: &[PIdx]) -> u8 {
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &i in order {
+        let p = points[i as usize];
+        for a in 0..3 {
+            lo[a] = lo[a].min(p[a]);
+            hi[a] = hi[a].max(p[a]);
+        }
+    }
+    let mut best = 0;
+    let mut spread = hi[0] - lo[0];
+    for a in 1..3 {
+        let s = hi[a] - lo[a];
+        if s > spread {
+            spread = s;
+            best = a;
+        }
+    }
+    best as u8
+}
+
+#[inline(always)]
+fn dist_sq(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    let dz = a[2] - b[2];
+    dx * dx + dy * dy + dz * dz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| [next() * 10.0, next() * 10.0, next() * 10.0]).collect()
+    }
+
+    fn brute_k_nearest(points: &[[f64; 3]], q: [f64; 3], k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Neighbor {
+                index: i,
+                dist_sq: dist_sq(p, q),
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .unwrap()
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn empty_tree() {
+        let pts: Vec<[f64; 3]> = vec![];
+        let t = KdTree::build(&pts);
+        assert!(t.is_empty());
+        assert!(t.nearest(&pts, [0.0; 3]).is_none());
+        assert!(t.k_nearest(&pts, [0.0; 3], 3).is_empty());
+        assert!(t.within_radius(&pts, [0.0; 3], 1.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let pts = vec![[1.0, 2.0, 3.0]];
+        let t = KdTree::build(&pts);
+        let n = t.nearest(&pts, [0.0; 3]).unwrap();
+        assert_eq!(n.index, 0);
+        assert!((n.dist_sq - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = pseudo_points(300, 7);
+        let t = KdTree::build(&pts);
+        for q in pseudo_points(50, 99) {
+            let fast = t.nearest(&pts, q).unwrap();
+            let brute = brute_k_nearest(&pts, q, 1)[0];
+            assert_eq!(fast.index, brute.index, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let pts = pseudo_points(200, 3);
+        let t = KdTree::build(&pts);
+        for (qi, q) in pseudo_points(25, 11).into_iter().enumerate() {
+            for k in [1usize, 2, 5, 17] {
+                let fast = t.k_nearest(&pts, q, k);
+                let brute = brute_k_nearest(&pts, q, k);
+                assert_eq!(fast.len(), k.min(pts.len()));
+                for (f, b) in fast.iter().zip(&brute) {
+                    assert_eq!(f.index, b.index, "query #{qi}, k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_point_count() {
+        let pts = pseudo_points(4, 5);
+        let t = KdTree::build(&pts);
+        let got = t.k_nearest(&pts, [5.0; 3], 10);
+        assert_eq!(got.len(), 4);
+        // results sorted ascending
+        for w in got.windows(2) {
+            assert!(w[0].dist_sq <= w[1].dist_sq);
+        }
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let pts = pseudo_points(300, 21);
+        let t = KdTree::build(&pts);
+        let q = [5.0, 5.0, 5.0];
+        let r = 2.5;
+        let mut fast: Vec<usize> = t.within_radius(&pts, q, r).iter().map(|n| n.index).collect();
+        fast.sort_unstable();
+        let mut brute: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| dist_sq(p, q) <= r * r)
+            .map(|(i, _)| i)
+            .collect();
+        brute.sort_unstable();
+        assert_eq!(fast, brute);
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_all_found() {
+        let pts = vec![[1.0; 3], [1.0; 3], [1.0; 3], [2.0; 3]];
+        let t = KdTree::build(&pts);
+        let got = t.k_nearest(&pts, [1.0; 3], 3);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|n| n.dist_sq == 0.0));
+        let mut idx: Vec<usize> = got.iter().map(|n| n.index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn grid_aligned_points() {
+        // Degenerate-ish input: co-planar lattice points.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                pts.push([i as f64, j as f64, 0.0]);
+            }
+        }
+        let t = KdTree::build(&pts);
+        let n = t.nearest(&pts, [2.2, 3.1, 0.0]).unwrap();
+        assert_eq!(pts[n.index], [2.0, 3.0, 0.0]);
+    }
+}

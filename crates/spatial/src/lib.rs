@@ -1,0 +1,31 @@
+//! # fv-spatial
+//!
+//! Spatial search structures for unstructured point clouds.
+//!
+//! After aggressive sampling, a simulation timestep is no longer a grid —
+//! it is a bag of `(position, value)` pairs. Everything the reconstruction
+//! layer does starts from two queries over that bag:
+//!
+//! * *"which k samples are nearest to this void location?"* — answered by
+//!   [`kdtree::KdTree`] (used by the FCNN feature extractor, the nearest-
+//!   neighbor / Shepard / RBF reconstructors and the discrete natural-
+//!   neighbor distance transform);
+//! * *"which cell of a triangulation contains this point, and with which
+//!   barycentric weights?"* — answered by [`delaunay::Delaunay3`]
+//!   (the piecewise-linear baseline the paper compares against).
+//!
+//! Support modules: [`morton`] (cache-friendly BRIO insertion order for the
+//! incremental triangulation), [`predicates`] (orientation/circumsphere
+//! geometry in `f64`), and [`jitter`] (deterministic symbolic-perturbation
+//! stand-in that breaks the cospherical degeneracies of grid-aligned
+//! points).
+
+pub mod delaunay;
+pub mod gridindex;
+pub mod jitter;
+pub mod kdtree;
+pub mod morton;
+pub mod predicates;
+
+pub use delaunay::Delaunay3;
+pub use kdtree::KdTree;

@@ -1,0 +1,222 @@
+//! Geometric predicates and constructions for the triangulation.
+//!
+//! Everything is evaluated in `f64`. True robustness (adaptive-precision
+//! arithmetic à la Shewchuk) is out of scope; instead the triangulation
+//! pipeline deterministically jitters its inputs (see [`crate::jitter`]),
+//! after which plain `f64` with relative tolerances is reliable in
+//! practice. Degenerate configurations that slip through are detected (the
+//! circumsphere construction reports failure) and handled by the caller.
+
+/// Orientation of point `d` relative to the plane through `a`, `b`, `c`.
+///
+/// Positive when `d` lies on the side from which the triangle `a → b → c`
+/// winds counter-clockwise (i.e. `det[b-a; c-a; d-a] > 0`).
+#[inline]
+pub fn orient3d(a: [f64; 3], b: [f64; 3], c: [f64; 3], d: [f64; 3]) -> f64 {
+    let bax = b[0] - a[0];
+    let bay = b[1] - a[1];
+    let baz = b[2] - a[2];
+    let cax = c[0] - a[0];
+    let cay = c[1] - a[1];
+    let caz = c[2] - a[2];
+    let dax = d[0] - a[0];
+    let day = d[1] - a[1];
+    let daz = d[2] - a[2];
+    bax * (cay * daz - caz * day) - bay * (cax * daz - caz * dax)
+        + baz * (cax * day - cay * dax)
+}
+
+/// The circumsphere of a tetrahedron: centre and squared radius.
+#[derive(Debug, Clone, Copy)]
+pub struct Circumsphere {
+    /// Centre of the sphere through the four vertices.
+    pub center: [f64; 3],
+    /// Squared radius.
+    pub radius_sq: f64,
+}
+
+impl Circumsphere {
+    /// Whether a point lies strictly inside the sphere, with a relative
+    /// tolerance that treats on-sphere points as *outside* (conservative for
+    /// the Bowyer–Watson cavity: smaller cavities are always valid).
+    #[inline]
+    pub fn contains(&self, p: [f64; 3]) -> bool {
+        let dx = p[0] - self.center[0];
+        let dy = p[1] - self.center[1];
+        let dz = p[2] - self.center[2];
+        let d2 = dx * dx + dy * dy + dz * dz;
+        d2 < self.radius_sq * (1.0 - 1e-12)
+    }
+}
+
+/// Compute the circumsphere of the tetrahedron `(a, b, c, d)`.
+///
+/// Solves the 3×3 linear system `2(B-A)·x = |B|²-|A|²` (etc.) by Cramer's
+/// rule. Returns `None` when the four points are (numerically) coplanar —
+/// the degenerate case jittered inputs make vanishingly rare.
+pub fn circumsphere(a: [f64; 3], b: [f64; 3], c: [f64; 3], d: [f64; 3]) -> Option<Circumsphere> {
+    // Translate so `a` is the origin: improves conditioning and simplifies
+    // the right-hand side to |p|²/... form.
+    let ba = sub(b, a);
+    let ca = sub(c, a);
+    let da = sub(d, a);
+    let rhs = [
+        0.5 * norm_sq(ba),
+        0.5 * norm_sq(ca),
+        0.5 * norm_sq(da),
+    ];
+    // Matrix rows are ba, ca, da.
+    let det = ba[0] * (ca[1] * da[2] - ca[2] * da[1]) - ba[1] * (ca[0] * da[2] - ca[2] * da[0])
+        + ba[2] * (ca[0] * da[1] - ca[1] * da[0]);
+    // Scale-aware degeneracy test: compare against the cube of the longest
+    // edge length out of the rows.
+    let scale = norm_sq(ba).max(norm_sq(ca)).max(norm_sq(da));
+    if det.abs() <= 1e-14 * scale.powf(1.5).max(f64::MIN_POSITIVE) {
+        return None;
+    }
+    let inv = 1.0 / det;
+    // Cramer's rule, column replacements.
+    let x = rhs[0] * (ca[1] * da[2] - ca[2] * da[1]) - rhs[1] * (ba[1] * da[2] - ba[2] * da[1])
+        + rhs[2] * (ba[1] * ca[2] - ba[2] * ca[1]);
+    let y = -(rhs[0] * (ca[0] * da[2] - ca[2] * da[0]) - rhs[1] * (ba[0] * da[2] - ba[2] * da[0])
+        + rhs[2] * (ba[0] * ca[2] - ba[2] * ca[0]));
+    let z = rhs[0] * (ca[0] * da[1] - ca[1] * da[0]) - rhs[1] * (ba[0] * da[1] - ba[1] * da[0])
+        + rhs[2] * (ba[0] * ca[1] - ba[1] * ca[0]);
+    let local = [x * inv, y * inv, z * inv];
+    let center = [local[0] + a[0], local[1] + a[1], local[2] + a[2]];
+    let radius_sq = norm_sq(local);
+    radius_sq.is_finite().then_some(Circumsphere { center, radius_sq })
+}
+
+/// Barycentric coordinates of `p` in the tetrahedron `(a, b, c, d)`.
+///
+/// Returns the four weights (summing to 1). Weights may be negative when
+/// `p` lies outside. Returns `None` for a degenerate (flat) tetrahedron.
+pub fn barycentric(
+    a: [f64; 3],
+    b: [f64; 3],
+    c: [f64; 3],
+    d: [f64; 3],
+    p: [f64; 3],
+) -> Option<[f64; 4]> {
+    let total = orient3d(a, b, c, d);
+    if total == 0.0 || !total.is_finite() {
+        return None;
+    }
+    let inv = 1.0 / total;
+    // Each weight is the signed volume of the sub-tet replacing that vertex
+    // with p, normalized by the total volume.
+    let wa = orient3d(p, b, c, d) * inv;
+    let wb = orient3d(a, p, c, d) * inv;
+    let wc = orient3d(a, b, p, d) * inv;
+    let wd = orient3d(a, b, c, p) * inv;
+    Some([wa, wb, wc, wd])
+}
+
+#[inline(always)]
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+#[inline(always)]
+fn norm_sq(a: [f64; 3]) -> f64 {
+    a[0] * a[0] + a[1] * a[1] + a[2] * a[2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [0.0, 0.0, 0.0];
+    const B: [f64; 3] = [1.0, 0.0, 0.0];
+    const C: [f64; 3] = [0.0, 1.0, 0.0];
+    const D: [f64; 3] = [0.0, 0.0, 1.0];
+
+    #[test]
+    fn orient3d_signs() {
+        assert!(orient3d(A, B, C, D) > 0.0);
+        assert!(orient3d(A, C, B, D) < 0.0);
+        // coplanar
+        assert_eq!(orient3d(A, B, C, [0.5, 0.5, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn orient3d_magnitude_is_six_volumes() {
+        // unit tetra volume = 1/6; orient3d = 6V = 1
+        assert!((orient3d(A, B, C, D) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn circumsphere_of_unit_tet() {
+        let s = circumsphere(A, B, C, D).unwrap();
+        // circumcentre of this tetra is (0.5, 0.5, 0.5), radius² = 0.75
+        for (got, want) in s.center.iter().zip([0.5, 0.5, 0.5]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        assert!((s.radius_sq - 0.75).abs() < 1e-12);
+        // vertices are on the sphere => not strictly inside
+        assert!(!s.contains(A));
+        assert!(!s.contains(D));
+        // the centroid is inside
+        assert!(s.contains([0.25, 0.25, 0.25]));
+        // a far point is outside
+        assert!(!s.contains([5.0, 5.0, 5.0]));
+    }
+
+    #[test]
+    fn circumsphere_detects_coplanar() {
+        assert!(circumsphere(A, B, C, [0.3, 0.3, 0.0]).is_none());
+        // collinear
+        assert!(circumsphere(A, B, [2.0, 0.0, 0.0], [3.0, 0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn circumsphere_translation_invariance() {
+        let t = [1000.0, -500.0, 250.0];
+        let shift = |p: [f64; 3]| [p[0] + t[0], p[1] + t[1], p[2] + t[2]];
+        let s0 = circumsphere(A, B, C, D).unwrap();
+        let s1 = circumsphere(shift(A), shift(B), shift(C), shift(D)).unwrap();
+        assert!((s0.radius_sq - s1.radius_sq).abs() < 1e-9);
+        for a in 0..3 {
+            assert!((s1.center[a] - (s0.center[a] + t[a])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn barycentric_at_vertices_and_centroid() {
+        let w = barycentric(A, B, C, D, A).unwrap();
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!(w[1].abs() + w[2].abs() + w[3].abs() < 1e-12);
+
+        let centroid = [0.25, 0.25, 0.25];
+        let w = barycentric(A, B, C, D, centroid).unwrap();
+        for wi in w {
+            assert!((wi - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn barycentric_weights_sum_to_one_even_outside() {
+        let p = [2.0, -1.0, 3.0];
+        let w = barycentric(A, B, C, D, p).unwrap();
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(w.iter().any(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn barycentric_linear_precision() {
+        // Interpolating a linear function with barycentric weights is exact.
+        let f = |p: [f64; 3]| 3.0 * p[0] - 2.0 * p[1] + 0.5 * p[2] + 7.0;
+        let verts = [A, B, C, D];
+        let p = [0.2, 0.3, 0.25];
+        let w = barycentric(A, B, C, D, p).unwrap();
+        let interp: f64 = w.iter().zip(verts).map(|(wi, v)| wi * f(v)).sum();
+        assert!((interp - f(p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barycentric_degenerate_returns_none() {
+        assert!(barycentric(A, B, C, [0.5, 0.5, 0.0], [0.1; 3]).is_none());
+    }
+}

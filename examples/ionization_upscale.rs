@@ -1,0 +1,63 @@
+//! Cross-resolution transfer on the ionization-front surrogate (the
+//! paper's Experiment 3, applied to its hardest dataset).
+//!
+//! Trains at low resolution, then reconstructs samples taken from a
+//! 2×-per-dimension higher-resolution version of the same timestep whose
+//! domain is shifted in space — demonstrating that the unit-frame feature
+//! normalization lets knowledge transfer across both resolution and
+//! domain.
+//!
+//! ```sh
+//! cargo run --release --example ionization_upscale
+//! ```
+
+use fillvoid::core::pipeline::PipelineConfig;
+use fillvoid::core::upscale::{upscale_study, UpscaleConfig};
+use fillvoid::prelude::*;
+
+fn main() {
+    let sim = IonizationFront::builder()
+        .resolution([24, 10, 10])
+        .timesteps(20)
+        .build();
+    println!(
+        "low-res grid {:?} ({} points)",
+        sim.grid().dims(),
+        sim.grid().num_points()
+    );
+
+    let config = UpscaleConfig {
+        t: 10,
+        refine: 2,
+        domain_shift: [60.0, 25.0, 0.0],
+        fractions: vec![0.01, 0.02, 0.05],
+        fine_tune_epochs: 10,
+        pipeline: PipelineConfig {
+            hidden: vec![64, 32, 16],
+            ..PipelineConfig::bench_default()
+        },
+        seed: 5,
+    };
+    println!("training full high-res model + transferring the low-res model ...");
+    let study = upscale_study(&sim, &config).expect("study");
+    println!(
+        "high-res grid {:?} ({} points), domain shifted by {:?}\n",
+        study.high_grid.dims(),
+        study.high_grid.num_points(),
+        config.domain_shift
+    );
+
+    println!("  sampling   linear   fcnn(full hi-res train)   fcnn(lo-res + 10-epoch tune)");
+    for row in &study.rows {
+        println!(
+            "  {:>7.1}%   {:6.2}   {:23.2}   {:28.2}",
+            row.fraction * 100.0,
+            row.snr_linear,
+            row.snr_full,
+            row.snr_transferred
+        );
+    }
+    println!(
+        "\n(the paper's Fig. 13: the transferred model approaches full training\n at a fraction of its cost — pretraining is amortized across resolutions)"
+    );
+}

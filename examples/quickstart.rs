@@ -1,0 +1,68 @@
+//! Quickstart: the full pipeline of the paper's Figure 1 in ~40 lines.
+//!
+//! Simulate a hurricane-like pressure field, keep only 1% + 5% of it,
+//! train the FCNN on the void locations of the current timestep, then
+//! reconstruct from a fresh 1% sampling and compare against the classical
+//! Delaunay-linear baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fillvoid::prelude::*;
+
+fn main() {
+    // (1) One timestep of a spatiotemporal simulation (a stand-in for
+    //     Hurricane Isabel's `pressure`).
+    let sim = Hurricane::builder().resolution([32, 32, 10]).timesteps(48).build();
+    let field = sim.timestep(24);
+    println!(
+        "simulated {:?} grid, {} points",
+        field.grid().dims(),
+        field.len()
+    );
+
+    // (2) Data-driven importance sampling: keep 1% of the points.
+    let sampler = ImportanceSampler::new(ImportanceConfig::default());
+    let cloud = sampler.sample(&field, 0.01, 42);
+    println!(
+        "sampled {} points ({:.2}% of the grid)",
+        cloud.len(),
+        cloud.fraction() * 100.0
+    );
+
+    // (3) Train the FCNN on this timestep's void locations (the paper's
+    //     1%+5% union corpus is the default).
+    let config = PipelineConfig {
+        hidden: vec![64, 32, 16],
+        ..PipelineConfig::bench_default()
+    };
+    println!("training FCNN ({} epochs)...", config.trainer.epochs);
+    let pipeline = FcnnPipeline::train(&field, &config, 42).expect("training succeeds");
+    println!(
+        "trained: {} parameters, final loss {:.6}",
+        pipeline.mlp().num_params(),
+        pipeline.history().final_loss().unwrap()
+    );
+
+    // (4) Reconstruct the full grid from the 1% cloud and score it.
+    let recon_fcnn = pipeline.reconstruct(&cloud, field.grid()).expect("reconstruct");
+    let recon_linear = LinearReconstructor::default()
+        .reconstruct(&cloud, field.grid())
+        .expect("linear reconstruct");
+
+    println!("SNR from 1% samples:");
+    println!("  fcnn   : {:6.2} dB", snr_db(&field, &recon_fcnn));
+    println!("  linear : {:6.2} dB", snr_db(&field, &recon_linear));
+
+    // The same trained model serves other sampling rates too (Fig. 7).
+    for fraction in [0.005, 0.03, 0.05] {
+        let c = sampler.sample(&field, fraction, 7);
+        let r = pipeline.reconstruct(&c, field.grid()).expect("reconstruct");
+        println!(
+            "  fcnn @ {:4.1}% sampling: {:6.2} dB",
+            fraction * 100.0,
+            snr_db(&field, &r)
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! # fillvoid
+//!
+//! A Rust reproduction of *"Filling the Void: Data-Driven Machine
+//! Learning-based Reconstruction of Sampled Spatiotemporal Scientific
+//! Simulation Data"* (Biswas et al., SC 2024).
+//!
+//! This facade crate re-exports the full workspace under one roof. The
+//! typical flow mirrors Figure 1 of the paper:
+//!
+//! 1. produce a regular-grid scalar field (here: a synthetic simulation from
+//!    [`sims`]),
+//! 2. sample it with a data-driven importance sampler ([`sampling`]),
+//! 3. train a fully connected network on features extracted at the *void
+//!    locations* ([`core`] / [`nn`]),
+//! 4. reconstruct the full grid from the sparse cloud and compare against
+//!    classical point-cloud interpolators ([`interp`]).
+//!
+//! ```
+//! use fillvoid::prelude::*;
+//!
+//! // (1) simulate a tiny hurricane-like pressure field
+//! let sim = Hurricane::builder().resolution([12, 12, 6]).build();
+//! let field = sim.timestep(0);
+//!
+//! // (2) keep 5% of the points, importance-weighted
+//! let sampler = ImportanceSampler::new(ImportanceConfig::default());
+//! let cloud = sampler.sample(&field, 0.05, 42);
+//!
+//! // (3) train a small FCNN on the void locations of this timestep
+//! let cfg = PipelineConfig::small_for_tests();
+//! let mut pipeline = FcnnPipeline::train(&field, &cfg, 7).unwrap();
+//!
+//! // (4) reconstruct and score
+//! let recon = pipeline.reconstruct(&cloud, field.grid()).unwrap();
+//! let snr = snr_db(&field, &recon);
+//! assert!(snr.is_finite());
+//! ```
+
+pub use fillvoid_core as core;
+pub use fv_field as field;
+pub use fv_interp as interp;
+pub use fv_linalg as linalg;
+pub use fv_nn as nn;
+pub use fv_sampling as sampling;
+pub use fv_sims as sims;
+pub use fv_spatial as spatial;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use fillvoid_core::{
+        features::FeatureConfig,
+        metrics::{psnr_db, rmse, snr_db},
+        pipeline::{FcnnPipeline, PipelineConfig, TrainCorpus},
+        upscale,
+    };
+    pub use fv_field::{Grid3, ScalarField};
+    pub use fv_interp::{
+        linear::LinearReconstructor, natural::NaturalNeighborReconstructor,
+        nearest::NearestReconstructor, shepard::ShepardReconstructor, Reconstructor,
+    };
+    pub use fv_nn::mlp::Mlp;
+    pub use fv_sampling::{
+        importance::{ImportanceConfig, ImportanceSampler},
+        FieldSampler, PointCloud,
+    };
+    pub use fv_sims::{combustion::Combustion, hurricane::Hurricane, ionization::IonizationFront, Simulation};
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration tests: simulate → sample → reconstruct → score,
+//! crossing every crate in the workspace.
+
+use fillvoid::core::experiment::{method_sweep, FcnnReconstructor};
+use fillvoid::core::metrics::{psnr_db, rmse, snr_db};
+use fillvoid::core::pipeline::{FcnnPipeline, PipelineConfig};
+use fillvoid::prelude::*;
+
+fn test_config() -> PipelineConfig {
+    PipelineConfig {
+        hidden: vec![48, 24, 12],
+        trainer: fillvoid::nn::TrainerConfig {
+            epochs: 25,
+            batch_size: 128,
+            learning_rate: 3e-3,
+            seed: 0,
+            loss: fillvoid::nn::loss::Loss::Mse,
+            ..Default::default()
+        },
+        ..PipelineConfig::small_for_tests()
+    }
+}
+
+#[test]
+fn fcnn_beats_nearest_and_shepard_on_hurricane() {
+    let sim = Hurricane::builder().resolution([20, 20, 8]).timesteps(8).build();
+    let field = sim.timestep(4);
+    let pipeline = FcnnPipeline::train(&field, &test_config(), 11).expect("train");
+    let sampler = ImportanceSampler::new(ImportanceConfig::default());
+    let cloud = sampler.sample(&field, 0.02, 5);
+
+    let fcnn = pipeline.reconstruct(&cloud, field.grid()).expect("fcnn");
+    let nearest = NearestReconstructor.reconstruct(&cloud, field.grid()).expect("nearest");
+    let shepard = ShepardReconstructor::default()
+        .reconstruct(&cloud, field.grid())
+        .expect("shepard");
+
+    let s_fcnn = snr_db(&field, &fcnn);
+    let s_nearest = snr_db(&field, &nearest);
+    let s_shepard = snr_db(&field, &shepard);
+    assert!(
+        s_fcnn > s_nearest,
+        "fcnn {s_fcnn} dB should beat nearest {s_nearest} dB"
+    );
+    assert!(
+        s_fcnn > s_shepard,
+        "fcnn {s_fcnn} dB should beat shepard {s_shepard} dB"
+    );
+}
+
+#[test]
+fn every_method_improves_with_sampling_rate() {
+    // Fig. 9's most basic shape: more samples, better reconstruction.
+    let sim = Combustion::builder().resolution([16, 24, 6]).timesteps(6).build();
+    let field = sim.timestep(3);
+    let linear = LinearReconstructor::default();
+    let natural = NaturalNeighborReconstructor;
+    let nearest = NearestReconstructor;
+    let methods: Vec<&dyn Reconstructor> = vec![&linear, &natural, &nearest];
+    let rows = method_sweep(
+        &field,
+        &methods,
+        &[0.005, 0.1],
+        ImportanceConfig::default(),
+        3,
+    );
+    for m in ["linear", "natural", "nearest"] {
+        let lo = rows
+            .iter()
+            .find(|r| r.method == m && r.fraction == 0.005)
+            .unwrap()
+            .snr;
+        let hi = rows
+            .iter()
+            .find(|r| r.method == m && r.fraction == 0.1)
+            .unwrap()
+            .snr;
+        assert!(hi > lo, "{m}: SNR {lo} at 0.5% should rise by 10% ({hi})");
+    }
+}
+
+#[test]
+fn one_model_serves_all_sampling_rates() {
+    // The paper's headline flexibility claim: a single pretrained network
+    // reconstructs acceptably from 0.5% through 8% sampling.
+    let sim = Hurricane::builder().resolution([20, 20, 8]).timesteps(8).build();
+    let field = sim.timestep(4);
+    let pipeline = FcnnPipeline::train(&field, &test_config(), 7).expect("train");
+    let sampler = ImportanceSampler::new(ImportanceConfig::default());
+    let mean_field = ScalarField::filled(*field.grid(), field.mean() as f32);
+    let floor = snr_db(&field, &mean_field);
+    for fraction in [0.005, 0.01, 0.03, 0.08] {
+        let cloud = sampler.sample(&field, fraction, 9);
+        let recon = pipeline.reconstruct(&cloud, field.grid()).expect("reconstruct");
+        let snr = snr_db(&field, &recon);
+        assert!(
+            snr > floor + 3.0,
+            "at {fraction}: {snr} dB vs constant-field floor {floor} dB"
+        );
+    }
+}
+
+#[test]
+fn fcnn_adapter_and_direct_pipeline_agree() {
+    let sim = IonizationFront::builder().resolution([16, 8, 8]).timesteps(5).build();
+    let field = sim.timestep(2);
+    let pipeline = FcnnPipeline::train(&field, &test_config(), 2).expect("train");
+    let cloud = ImportanceSampler::default().sample(&field, 0.05, 1);
+    let direct = pipeline.reconstruct(&cloud, field.grid()).expect("direct");
+    let adapted = FcnnReconstructor::new(&pipeline)
+        .reconstruct(&cloud, field.grid())
+        .expect("adapter");
+    assert_eq!(direct, adapted);
+}
+
+#[test]
+fn metrics_are_consistent_across_methods() {
+    let sim = Combustion::builder().resolution([16, 20, 6]).timesteps(4).build();
+    let field = sim.timestep(2);
+    let cloud = ImportanceSampler::default().sample(&field, 0.05, 4);
+    let linear = LinearReconstructor::default()
+        .reconstruct(&cloud, field.grid())
+        .expect("linear");
+    let nearest = NearestReconstructor.reconstruct(&cloud, field.grid()).expect("nearest");
+    // linear beats nearest on every metric
+    assert!(snr_db(&field, &linear) > snr_db(&field, &nearest));
+    assert!(rmse(&field, &linear) < rmse(&field, &nearest));
+    assert!(psnr_db(&field, &linear) > psnr_db(&field, &nearest));
+}
+
+#[test]
+fn reconstruction_is_deterministic() {
+    let sim = Hurricane::builder().resolution([16, 16, 6]).timesteps(4).build();
+    let field = sim.timestep(2);
+    let pipeline = FcnnPipeline::train(&field, &test_config(), 9).expect("train");
+    let cloud = ImportanceSampler::default().sample(&field, 0.03, 2);
+    let a = pipeline.reconstruct(&cloud, field.grid()).expect("a");
+    let b = pipeline.reconstruct(&cloud, field.grid()).expect("b");
+    assert_eq!(a, b);
+    let c2 = ImportanceSampler::default().sample(&field, 0.03, 2);
+    assert_eq!(cloud, c2);
+}

@@ -1,0 +1,120 @@
+//! Persistence integration tests: the artifacts an in-situ workflow
+//! actually ships between nodes and timesteps (fields, clouds, models,
+//! pipelines) round-trip through their on-disk formats.
+
+use fillvoid::core::pipeline::{FcnnPipeline, FineTuneSpec, PipelineConfig};
+use fillvoid::field::io as field_io;
+use fillvoid::nn::serialize as nn_io;
+use fillvoid::prelude::*;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fillvoid_persistence").join(name);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn small_pipeline(field: &ScalarField, seed: u64) -> FcnnPipeline {
+    let cfg = PipelineConfig {
+        hidden: vec![24, 12],
+        trainer: fillvoid::nn::TrainerConfig {
+            epochs: 8,
+            ..PipelineConfig::small_for_tests().trainer
+        },
+        ..PipelineConfig::small_for_tests()
+    };
+    FcnnPipeline::train(field, &cfg, seed).expect("train")
+}
+
+#[test]
+fn field_vtk_chain_preserves_reconstruction_input() {
+    // field -> .vtk -> field -> sample -> reconstruct works end to end.
+    let sim = Combustion::builder().resolution([12, 16, 6]).timesteps(4).build();
+    let field = sim.timestep(2);
+    let mut buf = Vec::new();
+    field_io::write_vtk_ascii(&field, "mixfrac", &mut buf).expect("write vtk");
+    let restored = field_io::read_vtk_ascii(buf.as_slice()).expect("read vtk");
+    let cloud = ImportanceSampler::default().sample(&restored, 0.05, 1);
+    let recon = LinearReconstructor::default()
+        .reconstruct(&cloud, restored.grid())
+        .expect("reconstruct");
+    assert_eq!(recon.len(), field.len());
+}
+
+#[test]
+fn binary_field_roundtrip_through_file() {
+    let sim = Hurricane::builder().resolution([10, 10, 6]).timesteps(3).build();
+    let field = sim.timestep(1);
+    let path = tmp_dir("field").join("t1.fvf");
+    field_io::save(&field, &path).expect("save");
+    let restored = field_io::load(&path).expect("load");
+    assert_eq!(field, restored);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn pipeline_file_roundtrip_preserves_reconstructions() {
+    let sim = Hurricane::builder().resolution([12, 12, 6]).timesteps(3).build();
+    let field = sim.timestep(1);
+    let pipeline = small_pipeline(&field, 5);
+    let path = tmp_dir("pipeline").join("model.fvpl");
+    pipeline.save(&path).expect("save");
+    let restored = FcnnPipeline::load(&path).expect("load");
+    let cloud = ImportanceSampler::default().sample(&field, 0.05, 3);
+    assert_eq!(
+        pipeline.reconstruct(&cloud, field.grid()).unwrap(),
+        restored.reconstruct(&cloud, field.grid()).unwrap()
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn case2_partial_checkpoints_reassemble_across_timesteps() {
+    // The paper's Case-2 storage scheme: one full base model + per-timestep
+    // tail checkpoints. Restoring base+tail must reproduce the fine-tuned
+    // model's predictions exactly.
+    let sim = Hurricane::builder().resolution([12, 12, 6]).timesteps(6).build();
+    let field0 = sim.timestep(0);
+    let field5 = sim.timestep(5);
+
+    let mut base = small_pipeline(&field0, 9);
+    let mut base_model_bytes = Vec::new();
+    nn_io::write_model(base.mlp(), &mut base_model_bytes).expect("save base");
+
+    // Fine-tune Case 2 on the later timestep and save just the tail.
+    base.fine_tune(
+        &field5,
+        &FineTuneSpec {
+            epochs: 4,
+            ..FineTuneSpec::case2()
+        },
+    )
+    .expect("fine-tune");
+    let mut tuned_model = base.mlp().clone();
+    tuned_model.freeze_all_but_last(2);
+    let mut tail_bytes = Vec::new();
+    nn_io::save_partial(&tuned_model, &mut tail_bytes).expect("save tail");
+    assert!(
+        tail_bytes.len() < base_model_bytes.len(),
+        "tail checkpoint should be smaller than the full model"
+    );
+
+    // Reassemble: load the pretrained base, then apply the tail.
+    let mut reassembled = nn_io::read_model(base_model_bytes.as_slice()).expect("load base");
+    reassembled.freeze_all_but_last(2);
+    nn_io::load_partial_into(&mut reassembled, tail_bytes.as_slice()).expect("load tail");
+    assert_eq!(&reassembled, &tuned_model);
+}
+
+#[test]
+fn cloud_vtk_export_has_all_samples() {
+    let sim = IonizationFront::builder().resolution([12, 8, 8]).timesteps(3).build();
+    let field = sim.timestep(1);
+    let cloud = ImportanceSampler::default().sample(&field, 0.1, 7);
+    let mut buf = Vec::new();
+    cloud.write_vtk_ascii("density", &mut buf).expect("write");
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains(&format!("POINTS {} float", cloud.len())));
+    // every sampled value appears in the file
+    let first = format!("{}", cloud.values()[0]);
+    assert!(text.contains(&first));
+}

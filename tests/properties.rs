@@ -1,0 +1,182 @@
+//! Property-based integration tests spanning crates: invariants that must
+//! hold for *any* field, sampling rate and seed.
+
+use fillvoid::field::{Grid3, ScalarField};
+use fillvoid::prelude::*;
+use fillvoid::sampling::{
+    FieldSampler, RandomSampler, RegularSampler, StratifiedSampler, ValueStratifiedSampler,
+};
+use fillvoid::spatial::gridindex::GridIndex;
+use fillvoid::spatial::{Delaunay3, KdTree};
+use proptest::prelude::*;
+
+/// A small random field driven by proptest-chosen parameters.
+fn arb_field() -> impl Strategy<Value = ScalarField> {
+    (
+        4usize..10,
+        4usize..10,
+        2usize..6,
+        -5.0f64..5.0,
+        0.1f64..3.0,
+        any::<u64>(),
+    )
+        .prop_map(|(nx, ny, nz, offset, freq, seed)| {
+            let g = Grid3::new([nx, ny, nz]).unwrap();
+            let phase = (seed % 1000) as f64 * 0.01;
+            ScalarField::from_world_fn(g, move |p| {
+                (offset
+                    + (p[0] * freq + phase).sin()
+                    + (p[1] * freq * 0.7).cos()
+                    + 0.25 * p[2]) as f32
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn samplers_honor_exact_budgets(field in arb_field(), fraction in 0.01f64..0.9, seed in any::<u64>()) {
+        let n = field.len();
+        let expected = ((fraction * n as f64).ceil() as usize).clamp(1, n);
+        let importance = ImportanceSampler::default();
+        let random = RandomSampler;
+        let stratified = StratifiedSampler::default();
+        let value_stratified = ValueStratifiedSampler::default();
+        let regular = RegularSampler;
+        let samplers: Vec<&dyn FieldSampler> =
+            vec![&importance, &random, &stratified, &value_stratified, &regular];
+        for sampler in samplers {
+            let cloud = sampler.sample(&field, fraction, seed);
+            prop_assert_eq!(cloud.len(), expected, "{}", sampler.name());
+            // indices unique and in range
+            let mut idx = cloud.indices().to_vec();
+            idx.dedup();
+            prop_assert_eq!(idx.len(), cloud.len());
+            prop_assert!(idx.iter().all(|&i| i < n));
+            // voids + samples partition the grid
+            prop_assert_eq!(cloud.void_indices().len() + cloud.len(), n);
+        }
+    }
+
+    #[test]
+    fn interpolators_reproduce_constant_fields(field in arb_field(), fraction in 0.02f64..0.5, seed in any::<u64>()) {
+        let constant = ScalarField::filled(*field.grid(), 3.25);
+        let cloud = RandomSampler.sample(&constant, fraction, seed);
+        let linear = LinearReconstructor::default();
+        let natural = NaturalNeighborReconstructor;
+        let shepard = ShepardReconstructor::default();
+        let nearest = NearestReconstructor;
+        let methods: Vec<&dyn Reconstructor> = vec![&linear, &natural, &shepard, &nearest];
+        for m in methods {
+            let recon = m.reconstruct(&cloud, constant.grid()).unwrap();
+            for &v in recon.values() {
+                prop_assert!((v - 3.25).abs() < 1e-4, "{} produced {v}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn idw_family_respects_value_bounds(field in arb_field(), fraction in 0.05f64..0.5, seed in any::<u64>()) {
+        let cloud = ImportanceSampler::default().sample(&field, fraction, seed);
+        let (lo, hi) = field.min_max().unwrap();
+        let shepard = ShepardReconstructor::default();
+        let nearest = NearestReconstructor;
+        let natural = NaturalNeighborReconstructor;
+        let methods: Vec<&dyn Reconstructor> = vec![&shepard, &nearest, &natural];
+        for m in methods {
+            let recon = m.reconstruct(&cloud, field.grid()).unwrap();
+            for &v in recon.values() {
+                prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4, "{}: {v} outside [{lo}, {hi}]", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn delaunay_of_sampled_grid_points_is_delaunay(field in arb_field(), fraction in 0.05f64..0.4, seed in any::<u64>()) {
+        let cloud = ImportanceSampler::default().sample(&field, fraction, seed);
+        prop_assume!(cloud.len() >= 5);
+        let tri = Delaunay3::build(cloud.positions()).unwrap();
+        prop_assert_eq!(tri.skipped_points(), 0);
+        prop_assert_eq!(tri.delaunay_violations(), 0);
+    }
+
+    #[test]
+    fn kdtree_knn_matches_brute_force_on_clouds(field in arb_field(), fraction in 0.05f64..0.5, seed in any::<u64>(), k in 1usize..8) {
+        let cloud = RandomSampler.sample(&field, fraction, seed);
+        let tree = KdTree::build(cloud.positions());
+        let q = field.grid().world_linear(field.len() / 2);
+        let fast = tree.k_nearest(cloud.positions(), q, k);
+        let mut brute: Vec<(f64, usize)> = cloud
+            .positions()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d: f64 = (0..3).map(|a| (p[a] - q[a]).powi(2)).sum();
+                (d, i)
+            })
+            .collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (f, (bd, bi)) in fast.iter().zip(brute.iter()) {
+            // allow distance ties to swap indices
+            prop_assert!((f.dist_sq - bd).abs() < 1e-9 || f.index == *bi);
+        }
+    }
+
+    #[test]
+    fn grid_index_agrees_with_kdtree_on_clouds(field in arb_field(), fraction in 0.05f64..0.5, seed in any::<u64>()) {
+        let cloud = ImportanceSampler::default().sample(&field, fraction, seed);
+        let tree = KdTree::build(cloud.positions());
+        let grid = GridIndex::build(cloud.positions(), 2.0);
+        for &q_idx in cloud.void_indices().iter().step_by(17) {
+            let q = field.grid().world_linear(q_idx);
+            let a = tree.nearest(cloud.positions(), q).unwrap();
+            let b = grid.nearest(cloud.positions(), q).unwrap();
+            prop_assert!((a.dist_sq - b.dist_sq).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn snr_orders_noise_levels(field in arb_field(), noise in 0.01f32..0.2) {
+        use fillvoid::core::metrics::snr_db;
+        prop_assume!(field.std_dev() > 1e-3);
+        let mut small = field.clone();
+        let mut big = field.clone();
+        for (i, (s, b)) in small
+            .values_mut()
+            .iter_mut()
+            .zip(big.values_mut().iter_mut())
+            .enumerate()
+        {
+            // deterministic alternating perturbation
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            *s += sign * noise;
+            *b += sign * noise * 4.0;
+        }
+        let snr_small = snr_db(&field, &small);
+        let snr_big = snr_db(&field, &big);
+        prop_assert!(snr_small > snr_big, "{snr_small} vs {snr_big}");
+    }
+
+    #[test]
+    fn gradient_field_linear_exactness(a in -3.0f64..3.0, b in -3.0f64..3.0, c in -3.0f64..3.0) {
+        use fillvoid::field::gradient::GradientField;
+        let g = Grid3::new([6, 6, 4]).unwrap();
+        let f = ScalarField::from_world_fn(g, move |p| (a * p[0] + b * p[1] + c * p[2]) as f32);
+        let grads = GradientField::compute(&f);
+        for ijk in g.iter_ijk() {
+            let v = grads.at(ijk);
+            prop_assert!((v[0] as f64 - a).abs() < 1e-3);
+            prop_assert!((v[1] as f64 - b).abs() < 1e-3);
+            prop_assert!((v[2] as f64 - c).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn field_binary_roundtrip(field in arb_field()) {
+        let mut buf = Vec::new();
+        fillvoid::field::io::write_bin(&field, &mut buf).unwrap();
+        let restored = fillvoid::field::io::read_bin(buf.as_slice()).unwrap();
+        prop_assert_eq!(field, restored);
+    }
+}
