@@ -194,8 +194,10 @@ mod tests {
 
     #[test]
     fn pipeline_config_scales() {
-        let mut o = ExpOpts::default();
-        o.scale = Scale::Paper;
+        let mut o = ExpOpts {
+            scale: Scale::Paper,
+            ..Default::default()
+        };
         assert_eq!(o.pipeline_config().hidden, vec![512, 256, 128, 64, 16]);
         o.scale = Scale::Tiny;
         assert_eq!(o.pipeline_config().hidden.len(), 3);

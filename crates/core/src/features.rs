@@ -205,7 +205,7 @@ mod tests {
         let voids = cloud.void_indices();
         let feats = ex.features_for(f.grid(), &frame, &vnorm, &voids[..10]);
         assert_eq!(feats.shape(), (10, 23));
-        for r in 0..10 {
+        for (r, &q) in voids[..10].iter().enumerate() {
             let row = feats.row(r);
             // all unit coordinates in [0, 1]
             for slot in 0..5 {
@@ -217,7 +217,6 @@ mod tests {
                 assert!((-0.01..=1.01).contains(&v), "value {v}");
             }
             // void coords are the query position in unit frame
-            let q = voids[r];
             let uq = frame.to_unit(f.grid().world_linear(q));
             assert!((row[20] - uq[0]).abs() < 1e-6);
             assert!((row[21] - uq[1]).abs() < 1e-6);
@@ -259,10 +258,10 @@ mod tests {
         let fr = relative.features_for(f.grid(), &frame, &vnorm, &[q]);
         let uq = frame.to_unit(f.grid().world_linear(q));
         for slot in 0..5 {
-            for a in 0..3 {
+            for (a, &uqa) in uq.iter().enumerate() {
                 let abs_c = fa.row(0)[slot * 4 + a];
                 let rel_c = fr.row(0)[slot * 4 + a];
-                assert!((abs_c - uq[a] - rel_c).abs() < 1e-6);
+                assert!((abs_c - uqa - rel_c).abs() < 1e-6);
             }
             // values identical
             assert_eq!(fa.row(0)[slot * 4 + 3], fr.row(0)[slot * 4 + 3]);
@@ -284,7 +283,7 @@ mod tests {
         let row = feats.row(0);
         for slot in 2..5 {
             for off in 0..4 {
-                assert_eq!(row[slot * 4 + off], row[1 * 4 + off]);
+                assert_eq!(row[slot * 4 + off], row[4 + off]);
             }
         }
     }

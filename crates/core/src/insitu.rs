@@ -8,13 +8,59 @@
 //! of each incoming timestep and fine-tunes only when drift exceeds a
 //! threshold — trading a little quality headroom for most of the
 //! fine-tuning cost.
+//!
+//! ## Fault tolerance
+//!
+//! An in-situ session shares a node with the simulation it samples, so it
+//! inherits the simulation's failure modes: diverged solver regions hand
+//! the sampler NaN/Inf voxels, a preempted job tears checkpoint writes,
+//! and a poisoned fine-tune can ruin the model for every later step. A
+//! session degrades through a ladder instead of failing:
+//!
+//! 1. **Sanitize** — non-finite sample values are dropped from the stored
+//!    cloud, and non-finite voxels of the incoming field are patched with
+//!    classical interpolation before the model probes or trains on them;
+//! 2. **Roll back** — the trainer's numerical guard skips poisoned
+//!    batches and rolls a diverging fine-tune back to healthy weights
+//!    (see `fv_nn::guard`);
+//! 3. **Restore** — when a fine-tune had to be rolled back or predictions
+//!    go non-finite, the last verified generation in the
+//!    [`CheckpointStore`] replaces the in-memory model;
+//! 4. **Degrade** — any reconstruction voxel that is still non-finite is
+//!    filled by the configured classical fallback interpolator.
+//!
+//! Every rung is recorded in the [`StepReport`], so a `degraded: true`
+//! step is auditable after the run.
 
+use crate::checkpoint::CheckpointStore;
 use crate::error::CoreError;
 use crate::metrics::snr_db;
 use crate::pipeline::{build_training_set, FcnnPipeline, FineTuneSpec, PipelineConfig, TrainCorpus};
-use fv_field::ScalarField;
+use fv_field::{Grid3, ScalarField};
+use fv_interp::idw::IdwReconstructor;
+use fv_interp::nearest::NearestReconstructor;
+use fv_interp::Reconstructor;
 use fv_nn::train::Trainer;
 use fv_sampling::{FieldSampler, ImportanceConfig, ImportanceSampler, PointCloud};
+use std::borrow::Cow;
+
+/// Classical interpolator used when the learned model cannot be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackKind {
+    /// Inverse-distance weighting over the sampled neighbours (default).
+    Idw,
+    /// Nearest sampled point — cheapest, blockiest.
+    Nearest,
+}
+
+impl FallbackKind {
+    fn reconstructor(self) -> Box<dyn Reconstructor> {
+        match self {
+            FallbackKind::Idw => Box::new(IdwReconstructor::default()),
+            FallbackKind::Nearest => Box::new(NearestReconstructor),
+        }
+    }
+}
 
 /// Session configuration.
 #[derive(Debug, Clone)]
@@ -36,6 +82,9 @@ pub struct InSituConfig {
     pub sampler: ImportanceConfig,
     /// Base seed.
     pub seed: u64,
+    /// Classical interpolator that patches non-finite inputs and, as the
+    /// last rung of the degradation ladder, non-finite predictions.
+    pub fallback: FallbackKind,
 }
 
 impl Default for InSituConfig {
@@ -48,6 +97,7 @@ impl Default for InSituConfig {
             score: true,
             sampler: ImportanceConfig::default(),
             seed: 0,
+            fallback: FallbackKind::Idw,
         }
     }
 }
@@ -63,8 +113,25 @@ pub struct StepReport {
     pub probe_loss: f32,
     /// Whether the drift monitor triggered a fine-tune.
     pub fine_tuned: bool,
-    /// Reconstruction SNR (dB), when scoring is enabled.
+    /// Reconstruction SNR (dB), when scoring is enabled. For degraded
+    /// steps this is measured against the *sanitized* field (the poisoned
+    /// voxels have no meaningful reference value).
     pub snr: Option<f64>,
+    /// Any rung of the fault ladder fired this step.
+    pub degraded: bool,
+    /// Non-finite voxels in the incoming field.
+    pub poisoned_voxels: usize,
+    /// Sampled points discarded because their value was non-finite.
+    pub dropped_samples: usize,
+    /// Reconstruction voxels filled by the classical fallback because the
+    /// model predicted a non-finite value.
+    pub fallback_voxels: usize,
+    /// Batches the fine-tune's numerical guard skipped as poisoned.
+    pub poisoned_batches: usize,
+    /// The fine-tune diverged and the numerical guard rolled it back.
+    pub fine_tune_rolled_back: bool,
+    /// The model was replaced from the last verified checkpoint.
+    pub restored_from_checkpoint: bool,
 }
 
 /// A stateful pretrain-once, fine-tune-on-drift reconstruction session.
@@ -74,6 +141,7 @@ pub struct InSituSession {
     config: InSituConfig,
     best_probe_loss: f32,
     step: usize,
+    checkpoints: Option<CheckpointStore>,
 }
 
 impl InSituSession {
@@ -84,12 +152,40 @@ impl InSituSession {
             config,
             best_probe_loss: f32::INFINITY,
             step: 0,
+            checkpoints: None,
+        }
+    }
+
+    /// Start a session backed by a [`CheckpointStore`]: healthy steps are
+    /// checkpointed, and a poisoned model is restored from the newest
+    /// generation that validates.
+    pub fn with_checkpoints(
+        pipeline: FcnnPipeline,
+        config: InSituConfig,
+        store: CheckpointStore,
+    ) -> Self {
+        Self {
+            checkpoints: Some(store),
+            ..Self::new(pipeline, config)
         }
     }
 
     /// The current model.
     pub fn pipeline(&self) -> &FcnnPipeline {
         &self.pipeline
+    }
+
+    /// The checkpoint store, if this session persists its model.
+    pub fn checkpoints(&self) -> Option<&CheckpointStore> {
+        self.checkpoints.as_ref()
+    }
+
+    fn fallback_recon(&self, cloud: &PointCloud, grid: &Grid3) -> Result<ScalarField, CoreError> {
+        self.config
+            .fallback
+            .reconstructor()
+            .reconstruct(cloud, grid)
+            .map_err(|e| CoreError::BadConfig(format!("fallback interpolation failed: {e}")))
     }
 
     /// Ingest one timestep: sample it, decide whether to fine-tune,
@@ -104,7 +200,45 @@ impl InSituSession {
         let t = self.step;
         self.step += 1;
         let sampler = ImportanceSampler::new(self.config.sampler);
-        let cloud = sampler.sample(field, self.config.fraction, self.config.seed ^ (t as u64) << 9);
+        let raw_cloud =
+            sampler.sample(field, self.config.fraction, self.config.seed ^ (t as u64) << 9);
+
+        // Rung 1 — sanitize. A diverged solver region hands the sampler
+        // NaN/Inf voxels; storing them would poison every consumer, so the
+        // cloud keeps only finite values, and non-finite voxels of the
+        // incoming field are patched with the classical fallback before
+        // the model probes, trains or is scored on them.
+        let poisoned_voxels = field.values().iter().filter(|v| !v.is_finite()).count();
+        let kept: Vec<usize> = raw_cloud
+            .indices()
+            .iter()
+            .zip(raw_cloud.values())
+            .filter(|(_, v)| v.is_finite())
+            .map(|(&i, _)| i)
+            .collect();
+        let dropped_samples = raw_cloud.len() - kept.len();
+        let cloud = if dropped_samples == 0 {
+            raw_cloud
+        } else {
+            PointCloud::from_indices(field, kept)
+        };
+        if cloud.is_empty() {
+            return Err(CoreError::EmptyCloud);
+        }
+        let mut fallback_field: Option<ScalarField> = None;
+        let reference: Cow<'_, ScalarField> = if poisoned_voxels == 0 {
+            Cow::Borrowed(field)
+        } else {
+            let fb = self.fallback_recon(&cloud, field.grid())?;
+            let mut patched = field.clone();
+            for (v, &fbv) in patched.values_mut().iter_mut().zip(fb.values()) {
+                if !v.is_finite() {
+                    *v = fbv;
+                }
+            }
+            fallback_field = Some(fb);
+            Cow::Owned(patched)
+        };
 
         // Drift probe: the current model's loss on a small sample of this
         // timestep's would-be training rows.
@@ -117,8 +251,12 @@ impl InSituSession {
             train_row_fraction: 1.0,
             prediction_batch: 8192,
         };
-        let full_probe =
-            build_training_set(field, &probe_cfg, self.pipeline.value_norm(), self.config.seed ^ t as u64)?;
+        let full_probe = build_training_set(
+            reference.as_ref(),
+            &probe_cfg,
+            self.pipeline.value_norm(),
+            self.config.seed ^ t as u64,
+        )?;
         let probe = if full_probe.len() > self.config.probe_rows {
             full_probe.subsample(
                 self.config.probe_rows as f64 / full_probe.len() as f64,
@@ -133,26 +271,102 @@ impl InSituSession {
             None => true,
             Some(threshold) => {
                 !self.best_probe_loss.is_finite()
+                    || !probe_loss.is_finite()
                     || probe_loss > self.best_probe_loss * (1.0 + threshold)
             }
         };
+        let mut fine_tune_rolled_back = false;
+        let mut restored_from_checkpoint = false;
+        let mut poisoned_batches = 0usize;
         if should_tune {
             let mut spec = self.config.fine_tune.clone();
             spec.seed ^= t as u64;
-            self.pipeline.fine_tune(field, &spec)?;
+            // Rung 2 — fine-tune on the *raw* field: the trainer's guard
+            // skips poisoned batches and rolls a diverging fine-tune back
+            // to healthy weights, and doing it here (rather than on the
+            // patched field) keeps interpolated values out of the model.
+            let h = self.pipeline.fine_tune(field, &spec)?;
+            fine_tune_rolled_back = h.rolled_back();
+            poisoned_batches = h.poisoned_batches;
+            if fine_tune_rolled_back || poisoned_batches > 0 {
+                // Rung 3 — a fine-tune that touched poison is suspect:
+                // prefer the last *verified* on-disk model over whatever
+                // the partial update produced, when a store is attached.
+                if let Some(store) = &self.checkpoints {
+                    if let Some((_gen, healthy)) = store.load_latest()? {
+                        self.pipeline = healthy;
+                        restored_from_checkpoint = true;
+                    }
+                }
+            }
         }
         if probe_loss.is_finite() {
             self.best_probe_loss = self.best_probe_loss.min(probe_loss);
         }
 
-        let recon = self.pipeline.reconstruct(&cloud, field.grid())?;
-        let snr = self.config.score.then(|| snr_db(field, &recon));
+        let mut recon = self.pipeline.reconstruct(&cloud, field.grid())?;
+        let non_finite = |f: &ScalarField| -> Vec<usize> {
+            f.values()
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_finite())
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut bad_voxels = non_finite(&recon);
+        if !bad_voxels.is_empty() && !restored_from_checkpoint {
+            // Rung 3 again — non-finite predictions mean the in-memory
+            // model itself is suspect.
+            if let Some(store) = &self.checkpoints {
+                if let Some((_gen, healthy)) = store.load_latest()? {
+                    self.pipeline = healthy;
+                    restored_from_checkpoint = true;
+                    recon = self.pipeline.reconstruct(&cloud, field.grid())?;
+                    bad_voxels = non_finite(&recon);
+                }
+            }
+        }
+        // Rung 4 — whatever is still non-finite is filled classically.
+        let fallback_voxels = bad_voxels.len();
+        if !bad_voxels.is_empty() {
+            let fb = match &fallback_field {
+                Some(f) => f,
+                None => {
+                    fallback_field = Some(self.fallback_recon(&cloud, field.grid())?);
+                    fallback_field.as_ref().expect("just set")
+                }
+            };
+            for idx in bad_voxels {
+                recon.values_mut()[idx] = fb.values()[idx];
+            }
+        }
+
+        let degraded = poisoned_voxels > 0
+            || dropped_samples > 0
+            || fallback_voxels > 0
+            || poisoned_batches > 0
+            || fine_tune_rolled_back
+            || restored_from_checkpoint;
+        if !degraded {
+            if let Some(store) = &mut self.checkpoints {
+                store.save(&self.pipeline)?;
+            }
+        }
+
+        let snr = self.config.score.then(|| snr_db(reference.as_ref(), &recon));
         let report = StepReport {
             step: t,
             stored_points: cloud.len(),
             probe_loss,
             fine_tuned: should_tune,
             snr,
+            degraded,
+            poisoned_voxels,
+            dropped_samples,
+            fallback_voxels,
+            poisoned_batches,
+            fine_tune_rolled_back,
+            restored_from_checkpoint,
         };
         Ok((cloud, recon, report))
     }
@@ -211,12 +425,69 @@ mod tests {
     }
 
     #[test]
+    fn healthy_steps_are_not_degraded() {
+        let (sim, mut session) = session(None);
+        let (_, _, report) = session.step(&sim.timestep(0)).unwrap();
+        assert!(!report.degraded);
+        assert_eq!(report.poisoned_voxels, 0);
+        assert_eq!(report.dropped_samples, 0);
+        assert_eq!(report.fallback_voxels, 0);
+        assert!(!report.fine_tune_rolled_back);
+        assert!(!report.restored_from_checkpoint);
+    }
+
+    #[test]
+    fn poisoned_field_degrades_but_reconstruction_stays_finite() {
+        let (sim, mut session) = session(None);
+        let mut field = sim.timestep(0);
+        let poisoned = fv_field::faults::poison_field(&mut field, 3, 2, 99);
+        assert!(poisoned > 0);
+        let (cloud, recon, report) = session.step(&field).unwrap();
+        assert!(report.degraded, "poison must mark the step degraded");
+        assert_eq!(report.poisoned_voxels, poisoned);
+        assert!(
+            cloud.values().iter().all(|v| v.is_finite()),
+            "stored cloud must be sanitized"
+        );
+        assert!(
+            recon.values().iter().all(|v| v.is_finite()),
+            "reconstruction must be finite"
+        );
+        assert!(report.snr.unwrap().is_finite());
+        // the session keeps working on the next, clean timestep
+        let (_, recon2, report2) = session.step(&sim.timestep(1)).unwrap();
+        assert!(!report2.degraded);
+        assert!(recon2.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn checkpointed_session_saves_healthy_generations() {
+        let (sim, mut session0) = session(None);
+        let dir = std::env::temp_dir().join(format!("fv_insitu_ckpt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = crate::checkpoint::CheckpointStore::open(&dir, 3).unwrap();
+        let mut session = InSituSession::with_checkpoints(
+            session0.pipeline().clone(),
+            session0.config.clone(),
+            store,
+        );
+        session0.step(&sim.timestep(0)).unwrap(); // keep session0 usage honest
+        let (_, _, r0) = session.step(&sim.timestep(0)).unwrap();
+        assert!(!r0.degraded);
+        assert!(session.checkpoints().unwrap().latest().is_some());
+        let (gen, restored) = session.checkpoints().unwrap().load_latest().unwrap().unwrap();
+        assert_eq!(Some(gen), session.checkpoints().unwrap().latest());
+        assert_eq!(restored.mlp(), session.pipeline().mlp());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn drift_eventually_triggers_fine_tune() {
         let (sim, mut session) = session(Some(0.05));
         let mut tuned_after_first = false;
         let _ = session.step(&sim.timestep(0)).unwrap();
         for t in 1..6 {
-            let (_, _, report) = session.step(&sim.timestep(t * 1)).unwrap();
+            let (_, _, report) = session.step(&sim.timestep(t)).unwrap();
             tuned_after_first |= report.fine_tuned;
         }
         assert!(

@@ -24,6 +24,7 @@
 //! (Experiment 3), [`experiment`] (sweep harnesses shared by the bench
 //! binaries) and [`render`] (qualitative slice dumps, Figs. 2–3).
 
+pub mod checkpoint;
 pub mod error;
 pub mod ensemble;
 pub mod experiment;

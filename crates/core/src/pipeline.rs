@@ -387,10 +387,17 @@ impl FcnnPipeline {
         })
     }
 
-    /// Save to a file.
+    /// Save to a file (atomic: temp + fsync + rename, so a crash mid-save
+    /// never leaves a torn file under the real name).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
-        let f = std::fs::File::create(path).map_err(fv_nn::NnError::from)?;
-        self.write_to(std::io::BufWriter::new(f))
+        let mut payload = Vec::new();
+        self.write_to(&mut payload)?;
+        fv_nn::serialize::write_file_atomic(path, |w| {
+            use std::io::Write;
+            w.write_all(&payload)?;
+            Ok(())
+        })?;
+        Ok(())
     }
 
     /// Load from a file.
@@ -545,12 +552,15 @@ mod tests {
         let stale = pipeline.reconstruct(&cloud1, f1.grid()).unwrap();
         let snr_stale = crate::metrics::snr_db(&f1, &stale);
 
+        // 10 epochs (the paper's Case-1 budget) improves SNR only by a
+        // hair at this tiny scale, which makes the assertion sensitive to
+        // the shuffle stream; 30 epochs gives a robust margin.
         let spec = FineTuneSpec {
-            epochs: 10,
+            epochs: 30,
             ..FineTuneSpec::case1()
         };
         let h = pipeline.fine_tune(&f1, &spec).unwrap();
-        assert_eq!(h.epoch_loss.len(), 10);
+        assert_eq!(h.epoch_loss.len(), 30);
         let tuned = pipeline.reconstruct(&cloud1, f1.grid()).unwrap();
         let snr_tuned = crate::metrics::snr_db(&f1, &tuned);
         assert!(
@@ -606,7 +616,7 @@ mod tests {
 
         cfg.train_row_fraction = 0.5;
         let half = build_training_set(&f, &cfg, &vn, 1).unwrap();
-        assert_eq!(half.len(), (data.len() + 1) / 2);
+        assert_eq!(half.len(), data.len().div_ceil(2));
     }
 
     #[test]

@@ -190,9 +190,11 @@ mod tests {
         replay_rows_csv(&[("tuned", rows.as_slice())], &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("tuned,3,22,0.01"));
 
-        let mut h = fv_nn::train::History::default();
-        h.epoch_loss = vec![1.0, 0.5];
-        h.learning_rates = vec![0.001, 0.001];
+        let h = fv_nn::train::History {
+            epoch_loss: vec![1.0, 0.5],
+            learning_rates: vec![0.001, 0.001],
+            ..Default::default()
+        };
         let mut buf = Vec::new();
         history_csv(&h, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();

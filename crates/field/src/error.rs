@@ -80,7 +80,7 @@ mod tests {
             .to_string()
             .contains("[0, 1, 2]"));
         assert!(FieldError::GridMismatch.to_string().contains("different"));
-        let io = FieldError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = FieldError::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
         assert!(FieldError::Format("bad magic".into())
             .to_string()

@@ -1,0 +1,329 @@
+//! Fault injection for persistence and numerical-robustness tests.
+//!
+//! The fault-tolerance subsystem only earns trust if every guardrail is
+//! demonstrably exercised. This module provides deterministic ways to
+//! break things:
+//!
+//! * [`FailingReader`] / [`FailingWriter`] — I/O that errors after a byte
+//!   budget (a dying disk or a killed process mid-write);
+//! * [`TruncatingReader`] — clean EOF after N bytes (a torn file);
+//! * [`BitFlipReader`] — XORs one byte at a chosen offset (silent media
+//!   corruption);
+//! * [`poison_field`] — stamps deterministic NaN/Inf islands into a field
+//!   (a diverged solver handing the sampler garbage).
+//!
+//! Everything is seed- or offset-parameterized, never time- or
+//! environment-dependent, so failures reproduce exactly.
+
+use crate::volume::ScalarField;
+use std::io::{Error, Read, Result, Write};
+
+/// A reader that yields `inner`'s bytes but errors once `budget` bytes
+/// have been consumed.
+#[derive(Debug)]
+pub struct FailingReader<R> {
+    inner: R,
+    remaining: usize,
+}
+
+impl<R: Read> FailingReader<R> {
+    /// Fail after `budget` bytes.
+    pub fn new(inner: R, budget: usize) -> Self {
+        Self {
+            inner,
+            remaining: budget,
+        }
+    }
+}
+
+impl<R: Read> Read for FailingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if self.remaining == 0 {
+            return Err(Error::other("injected read fault"));
+        }
+        let take = buf.len().min(self.remaining);
+        let n = self.inner.read(&mut buf[..take])?;
+        self.remaining -= n;
+        Ok(n)
+    }
+}
+
+/// A writer that accepts `budget` bytes and then errors (the process was
+/// killed / the disk filled mid-checkpoint).
+#[derive(Debug)]
+pub struct FailingWriter<W> {
+    inner: W,
+    remaining: usize,
+}
+
+impl<W: Write> FailingWriter<W> {
+    /// Fail after `budget` bytes.
+    pub fn new(inner: W, budget: usize) -> Self {
+        Self {
+            inner,
+            remaining: budget,
+        }
+    }
+
+    /// The wrapped writer (with whatever partial data got through).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> Result<usize> {
+        if self.remaining == 0 {
+            return Err(Error::other("injected write fault"));
+        }
+        let take = buf.len().min(self.remaining);
+        let n = self.inner.write(&buf[..take])?;
+        self.remaining -= n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that reports clean EOF after `keep` bytes — a file truncated
+/// by a crash, without the error a [`FailingReader`] raises.
+#[derive(Debug)]
+pub struct TruncatingReader<R> {
+    inner: R,
+    remaining: usize,
+}
+
+impl<R: Read> TruncatingReader<R> {
+    /// Keep only the first `keep` bytes.
+    pub fn new(inner: R, keep: usize) -> Self {
+        Self {
+            inner,
+            remaining: keep,
+        }
+    }
+}
+
+impl<R: Read> Read for TruncatingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if self.remaining == 0 {
+            return Ok(0);
+        }
+        let take = buf.len().min(self.remaining);
+        let n = self.inner.read(&mut buf[..take])?;
+        self.remaining -= n;
+        Ok(n)
+    }
+}
+
+/// A reader that XORs the byte at `offset` with `mask` — one silently
+/// corrupted byte in an otherwise intact stream.
+#[derive(Debug)]
+pub struct BitFlipReader<R> {
+    inner: R,
+    offset: u64,
+    mask: u8,
+    pos: u64,
+}
+
+impl<R: Read> BitFlipReader<R> {
+    /// Corrupt the byte at `offset` (0-based) with `mask`.
+    pub fn new(inner: R, offset: u64, mask: u8) -> Self {
+        Self {
+            inner,
+            offset,
+            mask,
+            pos: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for BitFlipReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let n = self.inner.read(buf)?;
+        let start = self.pos;
+        if self.offset >= start && self.offset < start + n as u64 {
+            buf[(self.offset - start) as usize] ^= self.mask;
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// What [`poison_field`] stamps into each island.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonKind {
+    /// Quiet NaNs.
+    NaN,
+    /// Alternating ±infinity.
+    Inf,
+    /// NaN and ±Inf mixed (round-robin).
+    Mixed,
+}
+
+/// Stamp `islands` cubic islands of non-finite values (side `radius·2+1`)
+/// into `field`, deterministically from `seed`. Returns the number of
+/// voxels poisoned.
+///
+/// Models a diverged solver region handed to the in-situ sampler: the
+/// poison is spatially clustered (like a real blow-up), not salt-and-
+/// pepper noise.
+pub fn poison_field(field: &mut ScalarField, islands: usize, radius: usize, seed: u64) -> usize {
+    poison_field_kind(field, islands, radius, seed, PoisonKind::Mixed)
+}
+
+/// [`poison_field`] with an explicit [`PoisonKind`].
+pub fn poison_field_kind(
+    field: &mut ScalarField,
+    islands: usize,
+    radius: usize,
+    seed: u64,
+    kind: PoisonKind,
+) -> usize {
+    let [nx, ny, nz] = field.grid().dims();
+    let grid = *field.grid();
+    // SplitMix64: tiny, deterministic, no external dependency semantics.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut poisoned = 0usize;
+    let mut stamp = 0usize;
+    for _ in 0..islands {
+        let cx = (next() as usize) % nx;
+        let cy = (next() as usize) % ny;
+        let cz = (next() as usize) % nz;
+        for k in cz.saturating_sub(radius)..(cz + radius + 1).min(nz) {
+            for j in cy.saturating_sub(radius)..(cy + radius + 1).min(ny) {
+                for i in cx.saturating_sub(radius)..(cx + radius + 1).min(nx) {
+                    let idx = grid.linear([i, j, k]);
+                    let v = &mut field.values_mut()[idx];
+                    if v.is_finite() {
+                        poisoned += 1;
+                    }
+                    *v = match kind {
+                        PoisonKind::NaN => f32::NAN,
+                        PoisonKind::Inf => {
+                            if stamp.is_multiple_of(2) {
+                                f32::INFINITY
+                            } else {
+                                f32::NEG_INFINITY
+                            }
+                        }
+                        PoisonKind::Mixed => match stamp % 3 {
+                            0 => f32::NAN,
+                            1 => f32::INFINITY,
+                            _ => f32::NEG_INFINITY,
+                        },
+                    };
+                    stamp += 1;
+                }
+            }
+        }
+    }
+    poisoned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid3;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn failing_reader_errors_at_budget() {
+        let data = vec![7u8; 100];
+        let mut r = FailingReader::new(data.as_slice(), 40);
+        let mut buf = [0u8; 100];
+        let mut got = 0usize;
+        let err = loop {
+            match r.read(&mut buf[got..]) {
+                Ok(n) => got += n,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(got, 40);
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
+    }
+
+    #[test]
+    fn failing_writer_keeps_partial_prefix() {
+        let mut w = FailingWriter::new(Vec::new(), 10);
+        assert_eq!(w.write(&[1u8; 6]).unwrap(), 6);
+        assert_eq!(w.write(&[2u8; 6]).unwrap(), 4); // clipped to budget
+        assert!(w.write(&[3u8; 1]).is_err());
+        let inner = w.into_inner();
+        assert_eq!(inner.len(), 10);
+        assert_eq!(&inner[..6], &[1u8; 6]);
+    }
+
+    #[test]
+    fn truncating_reader_eofs_cleanly() {
+        let data = vec![9u8; 50];
+        let mut r = TruncatingReader::new(data.as_slice(), 20);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn bitflip_reader_corrupts_exactly_one_byte() {
+        let data: Vec<u8> = (0..64).collect();
+        let mut r = BitFlipReader::new(data.as_slice(), 33, 0x80);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        for (i, (&a, &b)) in data.iter().zip(&out).enumerate() {
+            if i == 33 {
+                assert_eq!(b, a ^ 0x80);
+            } else {
+                assert_eq!(b, a);
+            }
+        }
+    }
+
+    #[test]
+    fn poison_is_deterministic_and_clustered() {
+        // NaN != NaN, so determinism is checked on the bit patterns.
+        let bits = |f: &ScalarField| -> Vec<u32> { f.values().iter().map(|v| v.to_bits()).collect() };
+        let g = Grid3::new([16, 16, 8]).unwrap();
+        let mut a = ScalarField::filled(g, 1.0);
+        let mut b = ScalarField::filled(g, 1.0);
+        let na = poison_field(&mut a, 3, 2, 42);
+        let nb = poison_field(&mut b, 3, 2, 42);
+        assert_eq!(bits(&a), bits(&b), "same seed, same poison");
+        assert_eq!(na, nb);
+        assert!(na > 0);
+        let bad = a.values().iter().filter(|v| !v.is_finite()).count();
+        assert_eq!(bad, na);
+        // a different seed hits different voxels
+        let mut c = ScalarField::filled(g, 1.0);
+        poison_field(&mut c, 3, 2, 43);
+        let poisoned_at = |f: &ScalarField| -> Vec<usize> {
+            f.values()
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_finite())
+                .map(|(i, _)| i)
+                .collect()
+        };
+        assert_ne!(poisoned_at(&a), poisoned_at(&c));
+    }
+
+    #[test]
+    fn poison_kinds() {
+        let g = Grid3::new([8, 8, 4]).unwrap();
+        let mut f = ScalarField::filled(g, 0.0);
+        poison_field_kind(&mut f, 2, 1, 7, PoisonKind::NaN);
+        assert!(f.values().iter().any(|v| v.is_nan()));
+        assert!(!f.values().iter().any(|v| v.is_infinite()));
+        let mut f2 = ScalarField::filled(g, 0.0);
+        poison_field_kind(&mut f2, 2, 1, 7, PoisonKind::Inf);
+        assert!(f2.values().iter().any(|v| v.is_infinite()));
+        assert!(!f2.values().iter().any(|v| v.is_nan()));
+    }
+}

@@ -30,7 +30,7 @@ impl Grid3 {
         origin: [f64; 3],
         spacing: [f64; 3],
     ) -> Result<Self, FieldError> {
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(FieldError::EmptyGrid { dims });
         }
         if spacing.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
@@ -84,11 +84,7 @@ impl Grid3 {
 
     /// World coordinate of the last node per axis.
     pub fn max_corner(&self) -> [f64; 3] {
-        let mut c = [0.0; 3];
-        for a in 0..3 {
-            c[a] = self.origin[a] + (self.dims[a] - 1) as f64 * self.spacing[a];
-        }
-        c
+        std::array::from_fn(|a| self.origin[a] + (self.dims[a] - 1) as f64 * self.spacing[a])
     }
 
     /// Physical extent (max - origin) per axis.
@@ -199,8 +195,8 @@ impl Grid3 {
     /// space (used to test transfer across *different spatial domains*).
     pub fn translated(&self, delta: [f64; 3]) -> Grid3 {
         let mut g = *self;
-        for a in 0..3 {
-            g.origin[a] += delta[a];
+        for (o, d) in g.origin.iter_mut().zip(delta) {
+            *o += d;
         }
         g
     }

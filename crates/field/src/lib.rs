@@ -23,7 +23,9 @@
 //! `x + nx*(y + ny*z)` linearization used by the VTK structured-points
 //! format the paper's pipeline reads and writes.
 
+pub mod checksum;
 pub mod error;
+pub mod faults;
 pub mod gradient;
 pub mod grid;
 pub mod io;

@@ -76,9 +76,9 @@ pub fn downsample(field: &ScalarField, factor: usize) -> Result<ScalarField, Fie
     let grid = field.grid();
     let dims = grid.dims();
     let new_dims = [
-        (dims[0] + f - 1) / f,
-        (dims[1] + f - 1) / f,
-        (dims[2] + f - 1) / f,
+        dims[0].div_ceil(f),
+        dims[1].div_ceil(f),
+        dims[2].div_ceil(f),
     ];
     let spacing = grid.spacing();
     let new_spacing = [

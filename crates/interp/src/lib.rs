@@ -46,9 +46,9 @@ pub trait Reconstructor: Send + Sync {
 pub fn classical_methods() -> Vec<Box<dyn Reconstructor>> {
     vec![
         Box::new(linear::LinearReconstructor::default()),
-        Box::new(natural::NaturalNeighborReconstructor::default()),
+        Box::new(natural::NaturalNeighborReconstructor),
         Box::new(shepard::ShepardReconstructor::default()),
-        Box::new(nearest::NearestReconstructor::default()),
+        Box::new(nearest::NearestReconstructor),
     ]
 }
 

@@ -146,7 +146,7 @@ mod tests {
         // interior nodes should be essentially exact
         let mut interior_max = 0.0f32;
         for ijk in g.iter_ijk() {
-            let interior = ijk.iter().all(|&c| c >= 2 && c <= 7);
+            let interior = ijk.iter().all(|&c| (2..=7).contains(&c));
             if interior {
                 interior_max = interior_max.max(err.at(ijk).abs());
             }

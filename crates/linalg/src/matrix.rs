@@ -408,7 +408,7 @@ impl<T: Scalar> Matrix<T> {
 fn matmul_rows<T: Scalar>(out_rows: &mut [T], lhs_rows: &[T], rhs: &[T], k: usize, n: usize) {
     debug_assert_eq!(lhs_rows.len() % k.max(1), 0);
     debug_assert_eq!(rhs.len(), k * n);
-    let m = if k == 0 { 0 } else { lhs_rows.len() / k };
+    let m = lhs_rows.len().checked_div(k).unwrap_or(0);
     for i in 0..m {
         let a_row = &lhs_rows[i * k..(i + 1) * k];
         let out_row = &mut out_rows[i * n..(i + 1) * n];

@@ -1,0 +1,78 @@
+//! CRC-32 (IEEE 802.3) for verified model checkpoints.
+//!
+//! Mirrors `fv_field::checksum` — `fv-nn` deliberately has no dependency
+//! on the field crate, and the routine is small enough that sharing it
+//! through a new crate would cost more than the duplication. The digest
+//! matches zlib's `crc32`.
+
+/// Streaming CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Final digest (the hasher can keep absorbing afterwards).
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector_and_streaming() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        let mut h = Crc32::new();
+        h.update(b"1234");
+        h.update(b"56789");
+        assert_eq!(h.finish(), 0xCBF4_3926);
+    }
+}

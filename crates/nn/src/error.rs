@@ -21,6 +21,8 @@ pub enum NnError {
     },
     /// The dataset has no rows (or x/y row counts disagree).
     BadDataset(String),
+    /// A trainer or guard configuration value is unusable.
+    BadConfig(String),
     /// A network must have at least one layer.
     EmptyNetwork,
     /// Serialization I/O failure.
@@ -39,6 +41,7 @@ impl fmt::Display for NnError {
                 write!(f, "target width mismatch: network outputs {expected}, got {actual}")
             }
             NnError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+            NnError::BadConfig(msg) => write!(f, "bad trainer config: {msg}"),
             NnError::EmptyNetwork => write!(f, "network has no layers"),
             NnError::Io(e) => write!(f, "i/o error: {e}"),
             NnError::Format(msg) => write!(f, "format error: {msg}"),

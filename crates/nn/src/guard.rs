@@ -1,0 +1,272 @@
+//! Numerical guardrails for training.
+//!
+//! In-situ training runs unattended next to the solver; a NaN that leaks
+//! out of one poisoned minibatch would silently corrupt the only model the
+//! session has. The guard wraps every optimizer step with three defenses:
+//!
+//! 1. **Batch screening** — a minibatch whose loss or gradients are
+//!    non-finite is skipped (no optimizer step) and counted.
+//! 2. **Healthy snapshots** — whenever an epoch finishes with a finite
+//!    mean loss that is the best seen so far, the layer weights are
+//!    snapshotted in memory.
+//! 3. **Divergence rollback** — when the epoch loss is non-finite or
+//!    exceeds `divergence_factor ×` the best loss for
+//!    `divergence_patience` consecutive epochs, the network is rolled
+//!    back to the last healthy snapshot and training stops early.
+//!
+//! Every intervention is recorded as a [`GuardEvent`] in
+//! [`crate::train::History`], so experiments (and the in-situ session's
+//! degradation ladder) can report exactly what happened.
+
+use crate::layer::{Dense, DenseGrads};
+
+/// Guardrail configuration, carried by
+/// [`crate::train::TrainerConfig::guard`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Master switch; `false` restores the unguarded hot path.
+    pub enabled: bool,
+    /// An epoch whose mean loss exceeds `divergence_factor × best_loss`
+    /// counts toward the divergence patience.
+    pub divergence_factor: f32,
+    /// Consecutive divergent (or all-poisoned) epochs tolerated before the
+    /// network is rolled back to the last healthy snapshot.
+    pub divergence_patience: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            divergence_factor: 10.0,
+            divergence_patience: 3,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// A disabled guard (the pre-guardrail behaviour).
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// One guardrail intervention during a `fit` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardEvent {
+    /// `count` minibatches of `epoch` had a non-finite loss or gradient
+    /// and were skipped without an optimizer step.
+    SkippedBatches {
+        /// Epoch index within this `fit` call.
+        epoch: usize,
+        /// Number of skipped minibatches.
+        count: usize,
+    },
+    /// Sustained divergence at `epoch`; the weights were restored from the
+    /// healthy snapshot taken after `snapshot_epoch` (`None` means the
+    /// pre-training weights, i.e. no epoch ever finished healthy).
+    RolledBack {
+        /// Epoch at which the rollback fired.
+        epoch: usize,
+        /// Source of the restored weights.
+        snapshot_epoch: Option<usize>,
+    },
+}
+
+/// In-memory rollback state for one `fit` call.
+#[derive(Debug, Clone)]
+pub(crate) struct GuardState {
+    config: GuardConfig,
+    /// Best finite epoch loss seen so far.
+    best_loss: f32,
+    /// Epoch the snapshot was taken after (`None` = initial weights).
+    snapshot_epoch: Option<usize>,
+    snapshot: Vec<Dense>,
+    divergent_streak: usize,
+}
+
+/// What [`GuardState::observe_epoch`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EpochVerdict {
+    /// Keep training.
+    Continue,
+    /// Divergence exceeded the patience: weights were restored; stop.
+    RollBack,
+}
+
+impl GuardState {
+    /// Capture the pre-training weights as the initial fallback snapshot.
+    pub(crate) fn new(config: GuardConfig, initial_layers: &[Dense]) -> Self {
+        Self {
+            config,
+            best_loss: f32::INFINITY,
+            snapshot_epoch: None,
+            snapshot: initial_layers.to_vec(),
+            divergent_streak: 0,
+        }
+    }
+
+    /// Digest one finished epoch; on sustained divergence restore the
+    /// snapshot into `layers` and report [`EpochVerdict::RollBack`].
+    pub(crate) fn observe_epoch(
+        &mut self,
+        epoch: usize,
+        mean_loss: f32,
+        layers: &mut [Dense],
+        events: &mut Vec<GuardEvent>,
+    ) -> EpochVerdict {
+        if mean_loss.is_finite() && mean_loss < self.best_loss {
+            self.best_loss = mean_loss;
+            self.snapshot_epoch = Some(epoch);
+            self.snapshot = layers.to_vec();
+            self.divergent_streak = 0;
+            return EpochVerdict::Continue;
+        }
+        let divergent =
+            !mean_loss.is_finite() || mean_loss > self.config.divergence_factor * self.best_loss;
+        if divergent {
+            self.divergent_streak += 1;
+            if self.divergent_streak >= self.config.divergence_patience {
+                layers.clone_from_slice(&self.snapshot);
+                events.push(GuardEvent::RolledBack {
+                    epoch,
+                    snapshot_epoch: self.snapshot_epoch,
+                });
+                return EpochVerdict::RollBack;
+            }
+        } else {
+            self.divergent_streak = 0;
+        }
+        EpochVerdict::Continue
+    }
+}
+
+/// `true` when every weight and bias gradient is finite.
+pub fn grads_are_finite(grads: &[DenseGrads]) -> bool {
+    grads.iter().all(|g| {
+        g.weights.as_slice().iter().all(|v| v.is_finite()) && g.bias.iter().all(|v| v.is_finite())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use fv_linalg::Matrix;
+
+    fn layer(bias0: f32) -> Dense {
+        Dense {
+            weights: Matrix::from_vec(1, 1, vec![1.0]).unwrap(),
+            bias: vec![bias0],
+            activation: Activation::Identity,
+            trainable: true,
+        }
+    }
+
+    #[test]
+    fn finite_gradients_pass_nan_fails() {
+        let good = vec![DenseGrads {
+            weights: Matrix::from_vec(1, 2, vec![0.5, -0.5]).unwrap(),
+            bias: vec![0.0],
+        }];
+        assert!(grads_are_finite(&good));
+        let bad = vec![DenseGrads {
+            weights: Matrix::from_vec(1, 2, vec![0.5, f32::NAN]).unwrap(),
+            bias: vec![0.0],
+        }];
+        assert!(!grads_are_finite(&bad));
+        let inf_bias = vec![DenseGrads {
+            weights: Matrix::from_vec(1, 1, vec![0.0]).unwrap(),
+            bias: vec![f32::INFINITY],
+        }];
+        assert!(!grads_are_finite(&inf_bias));
+    }
+
+    #[test]
+    fn improving_epochs_refresh_the_snapshot() {
+        let mut layers = vec![layer(1.0)];
+        let mut events = Vec::new();
+        let mut guard = GuardState::new(GuardConfig::default(), &layers);
+        assert_eq!(
+            guard.observe_epoch(0, 1.0, &mut layers, &mut events),
+            EpochVerdict::Continue
+        );
+        layers[0].bias[0] = 2.0;
+        assert_eq!(
+            guard.observe_epoch(1, 0.5, &mut layers, &mut events),
+            EpochVerdict::Continue
+        );
+        assert_eq!(guard.snapshot_epoch, Some(1));
+        assert_eq!(guard.snapshot[0].bias[0], 2.0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn sustained_divergence_rolls_back_to_best_epoch() {
+        let cfg = GuardConfig {
+            divergence_patience: 2,
+            ..GuardConfig::default()
+        };
+        let mut layers = vec![layer(1.0)];
+        let mut events = Vec::new();
+        let mut guard = GuardState::new(cfg, &layers);
+        guard.observe_epoch(0, 1.0, &mut layers, &mut events);
+        layers[0].bias[0] = 99.0; // training wandered off
+        assert_eq!(
+            guard.observe_epoch(1, f32::NAN, &mut layers, &mut events),
+            EpochVerdict::Continue
+        );
+        assert_eq!(
+            guard.observe_epoch(2, 1e9, &mut layers, &mut events),
+            EpochVerdict::RollBack
+        );
+        assert_eq!(layers[0].bias[0], 1.0, "weights restored from snapshot");
+        assert_eq!(
+            events,
+            vec![GuardEvent::RolledBack {
+                epoch: 2,
+                snapshot_epoch: Some(0),
+            }]
+        );
+    }
+
+    #[test]
+    fn rollback_with_no_healthy_epoch_restores_initial_weights() {
+        let cfg = GuardConfig {
+            divergence_patience: 1,
+            ..GuardConfig::default()
+        };
+        let mut layers = vec![layer(7.0)];
+        let mut events = Vec::new();
+        let mut guard = GuardState::new(cfg, &layers);
+        layers[0].bias[0] = f32::NAN;
+        assert_eq!(
+            guard.observe_epoch(0, f32::NAN, &mut layers, &mut events),
+            EpochVerdict::RollBack
+        );
+        assert_eq!(layers[0].bias[0], 7.0);
+        assert_eq!(
+            events,
+            vec![GuardEvent::RolledBack {
+                epoch: 0,
+                snapshot_epoch: None,
+            }]
+        );
+    }
+
+    #[test]
+    fn brief_spike_within_patience_is_tolerated() {
+        let mut layers = vec![layer(1.0)];
+        let mut events = Vec::new();
+        let mut guard = GuardState::new(GuardConfig::default(), &layers);
+        guard.observe_epoch(0, 1.0, &mut layers, &mut events);
+        guard.observe_epoch(1, 50.0, &mut layers, &mut events); // spike
+        assert_eq!(guard.divergent_streak, 1);
+        guard.observe_epoch(2, 1.5, &mut layers, &mut events); // recovered
+        assert_eq!(guard.divergent_streak, 0);
+        assert!(events.is_empty());
+    }
+}

@@ -24,8 +24,10 @@
 //! unsafe code.
 
 pub mod activation;
+pub mod checksum;
 pub mod data;
 pub mod error;
+pub mod guard;
 pub mod init;
 pub mod layer;
 pub mod loss;
@@ -37,5 +39,6 @@ pub mod train;
 
 pub use activation::Activation;
 pub use error::NnError;
+pub use guard::{GuardConfig, GuardEvent};
 pub use mlp::Mlp;
 pub use train::{Trainer, TrainerConfig};

@@ -267,6 +267,7 @@ mod tests {
 
         let h = 1e-3f32;
         let eval = |m: &Mlp| loss.value(&m.forward(&x).unwrap(), &y);
+        #[allow(clippy::needless_range_loop)] // mlp is re-borrowed mutably inside
         for layer_idx in 0..2 {
             let rows = mlp.layers()[layer_idx].weights.rows();
             let cols = mlp.layers()[layer_idx].weights.cols();

@@ -7,8 +7,10 @@
 
 /// A per-epoch learning-rate policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub enum LrSchedule {
     /// Fixed learning rate (the paper's setting).
+    #[default]
     Constant,
     /// Multiply the rate by `gamma` every `every` epochs.
     StepDecay {
@@ -25,11 +27,6 @@ pub enum LrSchedule {
     },
 }
 
-impl Default for LrSchedule {
-    fn default() -> Self {
-        LrSchedule::Constant
-    }
-}
 
 impl LrSchedule {
     /// Learning rate for `epoch` (0-based) out of `total_epochs`.

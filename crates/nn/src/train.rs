@@ -14,6 +14,7 @@
 
 use crate::data::Dataset;
 use crate::error::NnError;
+use crate::guard::{grads_are_finite, EpochVerdict, GuardConfig, GuardEvent, GuardState};
 use crate::layer::DenseGrads;
 use crate::loss::Loss;
 use crate::mlp::Mlp;
@@ -39,6 +40,8 @@ pub struct TrainerConfig {
     pub schedule: LrSchedule,
     /// Clip the global gradient norm to this value when set.
     pub clip_grad_norm: Option<f32>,
+    /// Numerical guardrails (on by default; see [`GuardConfig`]).
+    pub guard: GuardConfig,
 }
 
 impl Default for TrainerConfig {
@@ -51,6 +54,7 @@ impl Default for TrainerConfig {
             loss: Loss::Mse,
             schedule: LrSchedule::Constant,
             clip_grad_norm: None,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -84,6 +88,10 @@ pub struct History {
     pub learning_rates: Vec<f32>,
     /// Whether early stopping triggered.
     pub stopped_early: bool,
+    /// Minibatches skipped because their loss or gradients were non-finite.
+    pub poisoned_batches: usize,
+    /// Guardrail interventions, in order.
+    pub guard_events: Vec<GuardEvent>,
 }
 
 impl History {
@@ -106,6 +114,15 @@ impl History {
         self.val_loss.extend_from_slice(&other.val_loss);
         self.learning_rates.extend_from_slice(&other.learning_rates);
         self.stopped_early |= other.stopped_early;
+        self.poisoned_batches += other.poisoned_batches;
+        self.guard_events.extend_from_slice(&other.guard_events);
+    }
+
+    /// Whether the guard rolled the network back during this run.
+    pub fn rolled_back(&self) -> bool {
+        self.guard_events
+            .iter()
+            .any(|e| matches!(e, GuardEvent::RolledBack { .. }))
     }
 }
 
@@ -190,13 +207,23 @@ impl Trainer {
             });
         }
         let cfg = &self.config;
+        if cfg.batch_size == 0 {
+            return Err(NnError::BadConfig("batch_size must be at least 1".into()));
+        }
+        let n = data.len();
+        if n == 0 {
+            return Err(NnError::BadDataset("cannot fit on an empty dataset".into()));
+        }
         let mut optimizer = Adam::new(cfg.learning_rate);
         let mut history = History::default();
-        let n = data.len();
-        let bs = cfg.batch_size.clamp(1, n);
+        let bs = cfg.batch_size.min(n);
         let mut order: Vec<usize> = (0..n).collect();
         let mut best_val = f32::INFINITY;
         let mut stale = 0usize;
+        let mut guard = cfg
+            .guard
+            .enabled
+            .then(|| GuardState::new(cfg.guard, mlp.layers()));
 
         for epoch in 0..cfg.epochs {
             let lr = cfg.schedule.rate(cfg.learning_rate, epoch, cfg.epochs);
@@ -207,19 +234,54 @@ impl Trainer {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
+            let mut skipped = 0usize;
             for batch_rows in order.chunks(bs) {
                 let (bx, by) = data.gather(batch_rows);
                 let (pred, caches) = mlp.forward_cached(bx)?;
-                epoch_loss += cfg.loss.value(&pred, &by) as f64;
+                let batch_loss = cfg.loss.value(&pred, &by);
+                if guard.is_some() && !batch_loss.is_finite() {
+                    skipped += 1;
+                    continue;
+                }
+                epoch_loss += batch_loss as f64;
                 batches += 1;
                 let grad = cfg.loss.gradient(&pred, &by);
                 let mut grads = mlp.backward(grad, &caches);
                 if let Some(max_norm) = cfg.clip_grad_norm {
                     clip_gradients(&mut grads, max_norm);
                 }
+                if guard.is_some() && !grads_are_finite(&grads) {
+                    skipped += 1;
+                    continue;
+                }
                 optimizer.step(mlp.layers_mut(), &grads);
             }
-            history.epoch_loss.push((epoch_loss / batches.max(1) as f64) as f32);
+            // An epoch where every batch was poisoned has no healthy loss:
+            // report NaN (not 0) so the divergence monitor sees it.
+            let mean_loss = if batches == 0 {
+                f32::NAN
+            } else {
+                (epoch_loss / batches as f64) as f32
+            };
+            history.epoch_loss.push(mean_loss);
+            if skipped > 0 {
+                history.poisoned_batches += skipped;
+                history
+                    .guard_events
+                    .push(GuardEvent::SkippedBatches { epoch, count: skipped });
+            }
+            if let Some(state) = guard.as_mut() {
+                let verdict = state.observe_epoch(
+                    epoch,
+                    mean_loss,
+                    mlp.layers_mut(),
+                    &mut history.guard_events,
+                );
+                if verdict == EpochVerdict::RollBack {
+                    history.stopped_early = true;
+                    break;
+                }
+            }
 
             if let Some(val) = validation {
                 let vl = self.evaluate(mlp, val)?;
@@ -360,8 +422,10 @@ mod tests {
         let mut h = History::default();
         assert_eq!(h.final_loss(), None);
         h.epoch_loss = vec![1.0, 0.5];
-        let mut h2 = History::default();
-        h2.epoch_loss = vec![0.25];
+        let h2 = History {
+            epoch_loss: vec![0.25],
+            ..Default::default()
+        };
         h.extend(&h2);
         assert_eq!(h.final_loss(), Some(0.25));
         assert_eq!(h.epoch_loss.len(), 3);
@@ -446,6 +510,135 @@ mod tests {
         assert!(h.best_val_loss().unwrap() <= h.val_loss[0]);
         // either it ran to completion or stopped early with the flag set
         assert!(h.epoch_loss.len() == 50 || h.stopped_early);
+    }
+
+    #[test]
+    fn zero_batch_size_is_an_error_not_a_panic() {
+        let data = toy_dataset(16);
+        let mut mlp = Mlp::regression(2, &[4], 1, 2);
+        let trainer = Trainer::new(TrainerConfig {
+            batch_size: 0,
+            ..Default::default()
+        });
+        assert!(matches!(
+            trainer.fit(&mut mlp, &data),
+            Err(NnError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error_not_a_panic() {
+        // Dataset::new rejects zero rows, so build one through subsample's
+        // floor of 1 row and then gather zero rows — instead simulate by a
+        // dataset whose rows were consumed: construct directly via gather.
+        let data = toy_dataset(4);
+        let (x, y) = data.gather(&[]);
+        // bypass Dataset::new's check deliberately to model a decayed input
+        if let Ok(empty) = Dataset::new(x, y) {
+            let mut mlp = Mlp::regression(2, &[4], 1, 2);
+            assert!(matches!(
+                Trainer::default().fit(&mut mlp, &empty),
+                Err(NnError::BadDataset(_))
+            ));
+        }
+        // Dataset::new refusing empty rows is equally acceptable.
+    }
+
+    #[test]
+    fn poisoned_batches_are_skipped_and_counted() {
+        let data = toy_dataset(128);
+        // Poison a handful of targets: those minibatches produce NaN loss.
+        let mut y = data.y().clone();
+        y[(3, 0)] = f32::NAN;
+        y[(77, 0)] = f32::NAN;
+        let poisoned = Dataset::new(data.x().clone(), y).unwrap();
+        let mut mlp = Mlp::regression(2, &[8], 1, 5);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 4,
+            batch_size: 32,
+            ..Default::default()
+        });
+        let h = trainer.fit(&mut mlp, &poisoned).unwrap();
+        assert!(h.poisoned_batches > 0, "poisoned batches must be counted");
+        assert!(h
+            .guard_events
+            .iter()
+            .any(|e| matches!(e, GuardEvent::SkippedBatches { .. })));
+        // The model never saw a NaN: its weights stay finite.
+        for layer in mlp.layers() {
+            assert!(layer.weights.as_slice().iter().all(|v| v.is_finite()));
+            assert!(layer.bias.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn fully_poisoned_dataset_rolls_back_to_initial_weights() {
+        let data = toy_dataset(64);
+        let y = Matrix::from_fn(64, 1, |_, _| f32::NAN);
+        let poisoned = Dataset::new(data.x().clone(), y).unwrap();
+        let mut mlp = Mlp::regression(2, &[8], 1, 5);
+        let before = mlp.clone();
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 10,
+            ..Default::default()
+        });
+        let h = trainer.fit(&mut mlp, &poisoned).unwrap();
+        assert!(h.rolled_back(), "all-NaN training must trigger rollback");
+        assert!(h.stopped_early);
+        assert_eq!(mlp, before, "weights restored to the pre-fit snapshot");
+        assert!(matches!(
+            h.guard_events.last(),
+            Some(GuardEvent::RolledBack {
+                snapshot_epoch: None,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn divergence_rolls_back_to_best_epoch() {
+        // An absurd learning rate without clipping blows the loss up; the
+        // guard must hand back the best weights instead of garbage.
+        let data = toy_dataset(256);
+        let mut mlp = Mlp::regression(2, &[16], 1, 3);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 40,
+            learning_rate: 15.0,
+            ..Default::default()
+        });
+        let h = trainer.fit(&mut mlp, &data).unwrap();
+        for layer in mlp.layers() {
+            assert!(
+                layer.weights.as_slice().iter().all(|v| v.is_finite()),
+                "guarded training must never return non-finite weights"
+            );
+        }
+        // Either it rolled back, or (unlikely at lr=15) stayed healthy.
+        if h.rolled_back() {
+            let final_eval = trainer.evaluate(&mlp, &data).unwrap();
+            assert!(final_eval.is_finite());
+        }
+    }
+
+    #[test]
+    fn guard_off_reproduces_unguarded_path() {
+        let data = toy_dataset(128);
+        let mut guarded = Mlp::regression(2, &[8], 1, 7);
+        let mut unguarded = guarded.clone();
+        let base = TrainerConfig {
+            epochs: 5,
+            ..Default::default()
+        };
+        Trainer::new(base.clone()).fit(&mut guarded, &data).unwrap();
+        let off = TrainerConfig {
+            guard: crate::guard::GuardConfig::off(),
+            ..base
+        };
+        let h = Trainer::new(off).fit(&mut unguarded, &data).unwrap();
+        // Healthy data: the guard changes nothing about the trajectory.
+        assert_eq!(guarded, unguarded);
+        assert_eq!(h.poisoned_batches, 0);
+        assert!(h.guard_events.is_empty());
     }
 
     #[test]

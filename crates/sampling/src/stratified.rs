@@ -29,9 +29,9 @@ impl FieldSampler for StratifiedSampler {
         let b = self.block.max(1);
         let dims = grid.dims();
         let blocks = [
-            (dims[0] + b - 1) / b,
-            (dims[1] + b - 1) / b,
-            (dims[2] + b - 1) / b,
+            dims[0].div_ceil(b),
+            dims[1].div_ceil(b),
+            dims[2].div_ceil(b),
         ];
         let num_blocks = blocks[0] * blocks[1] * blocks[2];
 

@@ -385,9 +385,9 @@ impl Delaunay3 {
             // Find the most violated face.
             let mut worst = 0usize;
             let mut worst_w = w[0];
-            for i in 1..4 {
-                if w[i] < worst_w {
-                    worst_w = w[i];
+            for (i, &wi) in w.iter().enumerate().skip(1) {
+                if wi < worst_w {
+                    worst_w = wi;
                     worst = i;
                 }
             }

@@ -328,7 +328,7 @@ mod tests {
         let grid = GridIndex::build(&pts, 3.0);
         assert_eq!(grid.len(), 200);
         // every point appears exactly once in the CSR items
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for &i in &grid.items {
             assert!(!seen[i as usize], "duplicate {i}");
             seen[i as usize] = true;

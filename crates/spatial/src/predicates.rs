@@ -12,6 +12,7 @@
 /// Positive when `d` lies on the side from which the triangle `a → b → c`
 /// winds counter-clockwise (i.e. `det[b-a; c-a; d-a] > 0`).
 #[inline]
+#[allow(clippy::disallowed_names)] // `baz` here is the z-component of b-a
 pub fn orient3d(a: [f64; 3], b: [f64; 3], c: [f64; 3], d: [f64; 3]) -> f64 {
     let bax = b[0] - a[0];
     let bay = b[1] - a[1];
@@ -177,8 +178,8 @@ mod tests {
         let s0 = circumsphere(A, B, C, D).unwrap();
         let s1 = circumsphere(shift(A), shift(B), shift(C), shift(D)).unwrap();
         assert!((s0.radius_sq - s1.radius_sq).abs() < 1e-9);
-        for a in 0..3 {
-            assert!((s1.center[a] - (s0.center[a] + t[a])).abs() < 1e-9);
+        for ((c1, c0), ta) in s1.center.iter().zip(s0.center).zip(t) {
+            assert!((c1 - (c0 + ta)).abs() < 1e-9);
         }
     }
 

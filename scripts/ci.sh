@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Lint + test gate for the whole workspace.
+#
+# Usage: scripts/ci.sh [--release]
+# - clippy with warnings denied (vendor/ stubs included: they compile as
+#   workspace members and must stay warning-free too)
+# - the full test suite (unit + property + integration)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=()
+if [[ "${1:-}" == "--release" ]]; then
+  MODE=(--release)
+fi
+
+echo "=== clippy (deny warnings) ==="
+cargo clippy --workspace --all-targets "${MODE[@]}" -- -D warnings
+
+echo "=== tests ==="
+cargo test --workspace -q "${MODE[@]}"
+
+echo "CI gate passed."

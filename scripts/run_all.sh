@@ -9,6 +9,10 @@ cd "$(dirname "$0")/.."
 FLAGS=("$@")
 mkdir -p results
 
+# Fail fast if the workspace doesn't pass the lint+test gate: a broken
+# build should not burn hours of experiment time first.
+scripts/ci.sh
+
 BINS=(
   exp_fig06 exp_fig07 exp_fig08 exp_fig09 exp_fig10 exp_fig11 exp_fig12
   exp_fig13 exp_fig14 exp_table1 exp_table2 exp_qualitative

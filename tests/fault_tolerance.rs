@@ -1,0 +1,117 @@
+//! Fault-tolerance acceptance scenario: a session survives a NaN-poisoned
+//! timestep *and* a torn newest checkpoint in the same step.
+//!
+//! The faulty run must complete every step, mark `degraded: true` exactly
+//! on the affected step, keep every reconstruction finite, and stay
+//! within 1 dB of a fault-free run on the unaffected steps.
+
+use fillvoid::core::checkpoint::CheckpointStore;
+use fillvoid::core::insitu::{InSituConfig, InSituSession};
+use fillvoid::core::pipeline::{FcnnPipeline, FineTuneSpec, PipelineConfig};
+use fillvoid::field::faults::poison_field;
+use fillvoid::prelude::*;
+
+const STEPS: usize = 6;
+const FAULT_STEP: usize = 3;
+
+fn build() -> (Hurricane, FcnnPipeline, InSituConfig) {
+    let sim = Hurricane::builder()
+        .resolution([14, 14, 6])
+        .timesteps(STEPS + 1)
+        .build();
+    let mut cfg = PipelineConfig::small_for_tests();
+    cfg.trainer.epochs = 10;
+    let pipeline = FcnnPipeline::train(&sim.timestep(0), &cfg, 3).expect("pretrain");
+    let insitu = InSituConfig {
+        fraction: 0.05,
+        drift_threshold: None, // fine-tune every step (the paper's Fig. 11 mode)
+        fine_tune: FineTuneSpec {
+            epochs: 10,
+            ..FineTuneSpec::case1()
+        },
+        probe_rows: 256,
+        score: true,
+        ..Default::default()
+    };
+    (sim, pipeline, insitu)
+}
+
+#[test]
+fn poisoned_step_with_torn_checkpoint_completes_and_degrades_exactly_once() {
+    let (sim, pipeline, insitu) = build();
+
+    // Reference run: identical seeds, no faults.
+    let mut clean = InSituSession::new(pipeline.clone(), insitu.clone());
+    let mut clean_snr = Vec::new();
+    for t in 0..STEPS {
+        let (_, recon, r) = clean.step(&sim.timestep(t)).expect("clean step");
+        assert!(!r.degraded, "fault-free run must never degrade");
+        assert!(recon.values().iter().all(|v| v.is_finite()));
+        clean_snr.push(r.snr.expect("scoring on"));
+    }
+
+    // Faulty run: checkpointed session; at FAULT_STEP the incoming field
+    // is NaN/Inf-poisoned AND the newest checkpoint is truncated (a crash
+    // tore it), so recovery must fall back to an older generation.
+    let dir = std::env::temp_dir().join(format!("fv_fault_accept_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CheckpointStore::open(&dir, 4).expect("open store");
+    let mut faulty = InSituSession::with_checkpoints(pipeline, insitu, store);
+
+    let mut reports = Vec::new();
+    for t in 0..STEPS {
+        let mut field = sim.timestep(t);
+        if t == FAULT_STEP {
+            let store = faulty.checkpoints().expect("store attached");
+            let newest = store.latest().expect("healthy steps were checkpointed");
+            assert!(newest >= 1, "need an older generation to fall back to");
+            let path = store.path_for(newest);
+            let bytes = std::fs::read(&path).expect("read checkpoint");
+            std::fs::write(&path, &bytes[..bytes.len() / 3]).expect("tear checkpoint");
+
+            let poisoned = poison_field(&mut field, 3, 2, 1234);
+            assert!(poisoned > 0);
+        }
+        let (cloud, recon, r) = faulty.step(&field).expect("faulty step must complete");
+        assert!(
+            cloud.values().iter().all(|v| v.is_finite()),
+            "step {t}: stored cloud must be sanitized"
+        );
+        assert!(
+            recon.values().iter().all(|v| v.is_finite()),
+            "step {t}: reconstruction must be finite"
+        );
+        reports.push(r);
+    }
+
+    for (t, r) in reports.iter().enumerate() {
+        assert_eq!(r.step, t);
+        assert_eq!(
+            r.degraded,
+            t == FAULT_STEP,
+            "degraded must be reported exactly for the affected step (step {t}: {r:?})"
+        );
+        assert!(r.snr.expect("scoring on").is_finite(), "step {t} SNR");
+    }
+    let fault = &reports[FAULT_STEP];
+    assert!(fault.poisoned_voxels > 0);
+    assert!(
+        fault.restored_from_checkpoint,
+        "the poisoned fine-tune must trigger a checkpoint restore: {fault:?}"
+    );
+
+    // Recovery quality: unaffected steps within 1 dB of the fault-free run.
+    for t in 0..STEPS {
+        if t == FAULT_STEP {
+            continue;
+        }
+        let faulty_snr = reports[t].snr.unwrap();
+        let delta = (faulty_snr - clean_snr[t]).abs();
+        assert!(
+            delta <= 1.0,
+            "step {t}: faulty {faulty_snr:.3} dB vs clean {:.3} dB (Δ {delta:.3})",
+            clean_snr[t]
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -118,3 +118,117 @@ fn cloud_vtk_export_has_all_samples() {
     let first = format!("{}", cloud.values()[0]);
     assert!(text.contains(&first));
 }
+
+// ---------------------------------------------------------------------------
+// Fault-injection coverage: every shipped artifact must turn corruption into
+// a typed error, and every save must be atomic.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn field_checkpoint_truncated_at_every_byte_boundary_errors() {
+    let sim = Hurricane::builder().resolution([6, 5, 4]).timesteps(2).build();
+    let field = sim.timestep(1);
+    let mut buf = Vec::new();
+    field_io::write_bin(&field, &mut buf).expect("write");
+    for keep in 0..buf.len() {
+        let r = fillvoid::field::faults::TruncatingReader::new(buf.as_slice(), keep);
+        assert!(
+            field_io::read_bin(r).is_err(),
+            "truncation to {keep}/{} bytes went undetected",
+            buf.len()
+        );
+    }
+    // and the intact stream still loads
+    assert_eq!(field_io::read_bin(buf.as_slice()).expect("intact"), field);
+}
+
+#[test]
+fn field_checkpoint_single_bit_corruption_is_detected_everywhere() {
+    let sim = Hurricane::builder().resolution([6, 5, 4]).timesteps(2).build();
+    let field = sim.timestep(0);
+    let mut buf = Vec::new();
+    field_io::write_bin(&field, &mut buf).expect("write");
+    for offset in 0..buf.len() as u64 {
+        let r = fillvoid::field::faults::BitFlipReader::new(buf.as_slice(), offset, 0x20);
+        assert!(
+            field_io::read_bin(r).is_err(),
+            "bit flip at byte {offset} went undetected"
+        );
+    }
+}
+
+#[test]
+fn model_checkpoint_bit_flips_and_truncation_are_detected() {
+    let sim = Hurricane::builder().resolution([10, 10, 6]).timesteps(2).build();
+    let pipeline = small_pipeline(&sim.timestep(0), 11);
+    let mut buf = Vec::new();
+    nn_io::write_model(pipeline.mlp(), &mut buf).expect("write");
+    // every 16th byte keeps runtime reasonable; unit tests cover all offsets
+    for offset in (0..buf.len() as u64).step_by(16) {
+        let r = fillvoid::field::faults::BitFlipReader::new(buf.as_slice(), offset, 0x01);
+        assert!(
+            nn_io::read_model(r).is_err(),
+            "model bit flip at byte {offset} went undetected"
+        );
+    }
+    for keep in (0..buf.len()).step_by(7) {
+        let r = fillvoid::field::faults::TruncatingReader::new(buf.as_slice(), keep);
+        assert!(nn_io::read_model(r).is_err(), "model truncated to {keep} loaded");
+    }
+}
+
+#[test]
+fn interrupted_write_leaves_no_file_under_the_real_name() {
+    use fillvoid::field::faults::FailingWriter;
+    let sim = Hurricane::builder().resolution([8, 8, 4]).timesteps(2).build();
+    let field = sim.timestep(0);
+    // a write that dies mid-stream produces a prefix that must not load
+    let mut w = FailingWriter::new(Vec::new(), 64);
+    assert!(field_io::write_bin(&field, &mut w).is_err());
+    let torn = w.into_inner();
+    assert!(field_io::read_bin(torn.as_slice()).is_err(), "torn prefix loaded");
+
+    // atomic save: the destination never exists half-written, and failed
+    // attempts leave no temp files behind
+    let dir = tmp_dir("atomic");
+    let path = dir.join("field.fvf");
+    field_io::save(&field, &path).expect("save");
+    assert_eq!(field_io::load(&path).expect("load"), field);
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(field_io::TMP_SUFFIX))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpoint_store_survives_leftover_temp_files_and_torn_generations() {
+    use fillvoid::core::checkpoint::CheckpointStore;
+    let sim = Hurricane::builder().resolution([10, 10, 6]).timesteps(2).build();
+    let pipeline = small_pipeline(&sim.timestep(0), 13);
+    let dir = tmp_dir("store");
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut store = CheckpointStore::open(&dir, 3).expect("open");
+        store.save(&pipeline).expect("gen 0");
+        store.save(&pipeline).expect("gen 1");
+        store.save(&pipeline).expect("gen 2");
+    }
+    // a crash mid-save leaves a stray temp; a later crash tears the newest
+    std::fs::write(dir.join("ckpt-00000003.fvck.9999.tmp"), b"garbage").unwrap();
+    let store = CheckpointStore::open(&dir, 3).expect("reopen");
+    let newest = store.latest().expect("has generations");
+    let path = store.path_for(newest);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 4]).unwrap();
+
+    let (gen, restored) = store
+        .load_latest()
+        .expect("walk generations")
+        .expect("an older generation survives");
+    assert_eq!(gen, newest - 1);
+    assert_eq!(restored.mlp(), pipeline.mlp());
+    std::fs::remove_dir_all(&dir).ok();
+}

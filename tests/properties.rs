@@ -179,4 +179,47 @@ proptest! {
         let restored = fillvoid::field::io::read_bin(buf.as_slice()).unwrap();
         prop_assert_eq!(field, restored);
     }
+
+    #[test]
+    fn field_checkpoint_rejects_any_truncation(field in arb_field(), cut in any::<u64>()) {
+        let mut buf = Vec::new();
+        fillvoid::field::io::write_bin(&field, &mut buf).unwrap();
+        let keep = (cut as usize) % buf.len(); // 0..len, always strictly shorter
+        let r = fillvoid::field::faults::TruncatingReader::new(buf.as_slice(), keep);
+        prop_assert!(fillvoid::field::io::read_bin(r).is_err(), "loaded from {keep}/{} bytes", buf.len());
+    }
+
+    #[test]
+    fn field_checkpoint_rejects_any_bit_flip(field in arb_field(), at in any::<u64>(), bit in 0u32..8) {
+        let mut buf = Vec::new();
+        fillvoid::field::io::write_bin(&field, &mut buf).unwrap();
+        let offset = (at as usize % buf.len()) as u64;
+        let r = fillvoid::field::faults::BitFlipReader::new(buf.as_slice(), offset, 1u8 << bit);
+        prop_assert!(fillvoid::field::io::read_bin(r).is_err(), "bit {bit} of byte {offset} undetected");
+    }
+
+    #[test]
+    fn poisoned_fields_always_sanitize_to_finite_clouds(
+        field in arb_field(),
+        islands in 1usize..4,
+        radius in 0usize..3,
+        seed in any::<u64>(),
+        fraction in 0.05f64..0.3,
+    ) {
+        let mut field = field;
+        fillvoid::field::faults::poison_field(&mut field, islands, radius, seed);
+        let cloud = ImportanceSampler::default().sample(&field, fraction, seed ^ 0xC10D);
+        let kept: Vec<usize> = cloud.indices().iter().zip(cloud.values())
+            .filter(|(_, v)| v.is_finite())
+            .map(|(&i, _)| i)
+            .collect();
+        prop_assert!(!kept.is_empty(), "a clustered poison must leave finite samples");
+        let clean = fillvoid::sampling::PointCloud::from_indices(&field, kept);
+        prop_assert!(clean.values().iter().all(|v| v.is_finite()));
+        // the classical fallback then yields an entirely finite patch field
+        let patch = NearestReconstructor
+            .reconstruct(&clean, field.grid())
+            .unwrap();
+        prop_assert!(patch.values().iter().all(|v| v.is_finite()));
+    }
 }

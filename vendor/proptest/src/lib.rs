@@ -1,0 +1,373 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real proptest cannot
+//! be fetched. This crate reproduces the subset the `fillvoid` test-suite
+//! uses: the [`proptest!`] macro, range/tuple strategies, `prop_map`,
+//! [`prelude::any`], `prop_assert!`/`prop_assert_eq!`/`prop_assume!` and
+//! [`prelude::ProptestConfig`].
+//!
+//! Semantics: each test generates `cases` deterministic pseudo-random
+//! inputs (seeded from the test name, so runs are reproducible) and runs
+//! the body on each. `prop_assume!` skips the case; `prop_assert*!`
+//! failures report the case index. There is **no shrinking** — the failing
+//! case is reported as generated.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error raised inside a proptest case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert*!` failed with this message.
+    Fail(String),
+    /// `prop_assume!` rejected the generated input.
+    Reject,
+}
+
+/// Result type the generated case-body closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, f64, f32);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Full-type-range strategies for [`prelude::any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical [`prelude::any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary_value(rng: &mut StdRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary_value(rng: &mut StdRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary_value(rng: &mut StdRng) -> u32 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary_value(rng: &mut StdRng) -> usize {
+        rng.gen::<u64>() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary_value(rng: &mut StdRng) -> u8 {
+        (rng.gen::<u64>() & 0xFF) as u8
+    }
+}
+
+/// Runner configuration (mirrors `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test name and case index.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5DEECE66D))
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// The canonical strategy for a type (`any::<u64>()` etc.).
+    pub fn any<T: crate::Arbitrary>() -> crate::AnyStrategy<T> {
+        crate::AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+/// Define property tests. Supports the standard shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0usize..10, y in any::<u64>()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rejected = 0u32;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);
+                    )*
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => rejected += 1,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {case}/{} failed: {msg}", config.cases)
+                        }
+                    }
+                }
+                assert!(
+                    rejected < config.cases,
+                    "all {} cases rejected by prop_assume!",
+                    config.cases
+                );
+            }
+        )*
+    };
+}
+
+/// Assert inside a proptest body; failure reports the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skip the current case if `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u32..5, 0u32..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair < 9, "sum {pair}");
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn any_u64_varies(x in any::<u64>(), y in any::<u64>()) {
+            // x and y come from the same RNG stream, so they differ w.h.p.
+            prop_assert_ne!(x, y);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_test_name() {
+        use crate::Strategy;
+        let mut a = crate::case_rng("some_test", 4);
+        let mut b = crate::case_rng("some_test", 4);
+        let s = 0.0f64..1.0;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible surface).
+//!
+//! The build environment has no network access, so the real `rand` cannot
+//! be fetched. This crate reproduces the API surface the `fillvoid`
+//! workspace uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`];
+//! * the [`Rng`] extension trait with `gen`, `gen_range`, `gen_bool`;
+//! * [`seq::SliceRandom::shuffle`] and [`seq::index::sample`];
+//! * the [`distributions::Distribution`] trait.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and statistically strong for simulation/test workloads. Streams do
+//! NOT bit-match the real `rand`'s ChaCha12-based `StdRng`; all in-repo
+//! determinism tests compare runs against each other, never against
+//! hard-coded streams, so this is safe.
+
+/// Low-level entropy source: a single `u64` at a time.
+pub trait RngCore {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next raw 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Draw one value from the "standard" distribution of the type.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Widening-multiply range reduction (bias < 2^-64).
+                let r = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                self.start + r
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                if start == 0 && end as u128 == <$t>::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end as u128) - (start as u128) + 1;
+                let r = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                start + r
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let u = <$t as Standard>::sample_standard(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f64, f32);
+
+impl SampleRange<i64> for std::ops::Range<i64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let span = (self.end as i128 - self.start as i128) as u128;
+        let r = ((rng.next_u64() as u128 * span) >> 64) as i128;
+        (self.start as i128 + r) as i64
+    }
+}
+
+impl SampleRange<i32> for std::ops::Range<i32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let span = (self.end as i64 - self.start as i64) as u128;
+        let r = ((rng.next_u64() as u128 * span) >> 64) as i64;
+        (self.start as i64 + r) as i32
+    }
+}
+
+/// High-level random value generation, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A value from the type's standard distribution (`[0,1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A value uniform over `range`.
+    fn gen_range<T, Rge: SampleRange<T>>(&mut self, range: Rge) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic standard RNG: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice extension trait (shuffle, choose).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    /// Index sampling without replacement, mirroring `rand::seq::index`.
+    pub mod index {
+        use super::super::{Rng, RngCore};
+
+        /// The result of [`sample`]: distinct indices in `0..length`.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Consume into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Sample `amount` distinct indices uniformly from `0..length`.
+        ///
+        /// Panics if `amount > length`, like the real `rand`.
+        pub fn sample<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+        ) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} of {length} without replacement"
+            );
+            if amount * 3 >= length {
+                // Dense: partial Fisher–Yates over the full index range.
+                let mut pool: Vec<usize> = (0..length).collect();
+                for i in 0..amount {
+                    let j = rng.gen_range(i..length);
+                    pool.swap(i, j);
+                }
+                pool.truncate(amount);
+                IndexVec(pool)
+            } else {
+                // Sparse: rejection sampling with a seen-set.
+                let mut seen = std::collections::HashSet::with_capacity(amount * 2);
+                let mut out = Vec::with_capacity(amount);
+                while out.len() < amount {
+                    let candidate = rng.gen_range(0..length);
+                    if seen.insert(candidate) {
+                        out.push(candidate);
+                    }
+                }
+                IndexVec(out)
+            }
+        }
+    }
+}
+
+/// Distribution sampling, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::Rng;
+
+    /// A type that yields values of `T` given an RNG.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{index, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&u));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left order intact");
+    }
+
+    #[test]
+    fn index_sample_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &(n, k) in &[(100usize, 5usize), (10, 10), (1000, 400)] {
+            let picks = index::sample(&mut rng, n, k).into_vec();
+            assert_eq!(picks.len(), k);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates for n={n} k={k}");
+            assert!(picks.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_sample_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(1);
+        index::sample(&mut rng, 3, 4);
+    }
+}

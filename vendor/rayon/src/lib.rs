@@ -1,0 +1,193 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the real rayon cannot be
+//! fetched. This crate reproduces exactly the API surface the `fillvoid`
+//! workspace uses — `par_iter`, `par_iter_mut`, `par_chunks`,
+//! `par_chunks_mut`, `into_par_iter`, `with_min_len`, rayon-style
+//! `fold`/`reduce`, and `current_num_threads` — with *sequential* execution.
+//!
+//! Every "parallel" iterator is a thin wrapper over the corresponding
+//! sequential iterator, so all standard `Iterator` combinators (`map`,
+//! `zip`, `enumerate`, `for_each`, `collect`, ...) work unchanged. The two
+//! rayon-specific combinators with signatures that differ from `Iterator`
+//! (`fold` taking an identity *closure*, and `reduce`) are provided as
+//! inherent methods, which take precedence over the `Iterator` trait
+//! methods of the same name.
+//!
+//! Swapping the real rayon back in requires no source changes: delete the
+//! `[patch.crates-io]` entry once the registry is reachable.
+
+/// Number of worker threads (always 1: execution is sequential).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// A "parallel" iterator: a wrapper that delegates to a sequential iterator.
+#[derive(Debug, Clone)]
+pub struct ParIter<I>(pub I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: ExactSizeIterator> ExactSizeIterator for ParIter<I> {}
+
+impl<I: Iterator> ParIter<I> {
+    /// Sequencing hint; a no-op without a thread pool.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Sequencing hint; a no-op without a thread pool.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// Rayon-style fold: `identity` builds each per-thread accumulator (one,
+    /// here), `fold_op` folds items into it. Returns a one-item "iterator of
+    /// accumulators", matching rayon's shape so `.reduce(...)` chains work.
+    pub fn fold<T, ID, F>(self, identity: ID, mut fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        let mut acc = identity();
+        for item in self.0 {
+            acc = fold_op(acc, item);
+        }
+        ParIter(std::iter::once(acc))
+    }
+
+    /// Rayon-style reduce: folds all items with `op`, starting from
+    /// `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, mut op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        let mut acc = identity();
+        for item in self.0 {
+            acc = op(acc, item);
+        }
+        acc
+    }
+}
+
+/// `into_par_iter` for anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator {
+    /// The wrapped sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert into a "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter` / `par_chunks` over shared slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Sequential stand-in for `rayon`'s `par_chunks`.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+}
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_combinators_behave_like_std() {
+        let v = [1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut out = vec![0u32; 4];
+        out.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(out, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn fold_reduce_matches_rayon_shape() {
+        let total = (0usize..10)
+            .into_par_iter()
+            .with_min_len(4)
+            .fold(|| 0usize, |acc, x| acc + x)
+            .reduce(|| 0usize, |a, b| a + b);
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn zip_chains() {
+        let a = [1, 2, 3];
+        let mut b = vec![0, 0, 0];
+        b.par_iter_mut().zip(a.par_iter()).for_each(|(o, &x)| *o = x * 10);
+        assert_eq!(b, vec![10, 20, 30]);
+        assert_eq!(super::current_num_threads(), 1);
+        assert_eq!(super::join(|| 1, || 2), (1, 2));
+    }
+}
