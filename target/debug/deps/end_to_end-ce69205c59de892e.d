@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ce69205c59de892e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ce69205c59de892e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_features-2d569e916d6cfb4b.d: crates/bench/src/bin/exp_ablation_features.rs
+
+/root/repo/target/debug/deps/exp_ablation_features-2d569e916d6cfb4b: crates/bench/src/bin/exp_ablation_features.rs
+
+crates/bench/src/bin/exp_ablation_features.rs:

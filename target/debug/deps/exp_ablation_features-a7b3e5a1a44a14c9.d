@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation_features-a7b3e5a1a44a14c9.d: crates/bench/src/bin/exp_ablation_features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation_features-a7b3e5a1a44a14c9.rmeta: crates/bench/src/bin/exp_ablation_features.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablation_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

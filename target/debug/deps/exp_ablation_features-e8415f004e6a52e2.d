@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation_features-e8415f004e6a52e2.d: crates/bench/src/bin/exp_ablation_features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation_features-e8415f004e6a52e2.rmeta: crates/bench/src/bin/exp_ablation_features.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablation_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

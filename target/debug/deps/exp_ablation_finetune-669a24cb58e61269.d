@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_finetune-669a24cb58e61269.d: crates/bench/src/bin/exp_ablation_finetune.rs
+
+/root/repo/target/debug/deps/exp_ablation_finetune-669a24cb58e61269: crates/bench/src/bin/exp_ablation_finetune.rs
+
+crates/bench/src/bin/exp_ablation_finetune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation_finetune-77b5265505ad4e39.d: crates/bench/src/bin/exp_ablation_finetune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation_finetune-77b5265505ad4e39.rmeta: crates/bench/src/bin/exp_ablation_finetune.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablation_finetune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

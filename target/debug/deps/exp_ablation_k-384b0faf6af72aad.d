@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation_k-384b0faf6af72aad.d: crates/bench/src/bin/exp_ablation_k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation_k-384b0faf6af72aad.rmeta: crates/bench/src/bin/exp_ablation_k.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablation_k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_k-51251c525acaf4c3.d: crates/bench/src/bin/exp_ablation_k.rs
+
+/root/repo/target/debug/deps/exp_ablation_k-51251c525acaf4c3: crates/bench/src/bin/exp_ablation_k.rs
+
+crates/bench/src/bin/exp_ablation_k.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation_k-94b76ed54ebe5bd8.d: crates/bench/src/bin/exp_ablation_k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation_k-94b76ed54ebe5bd8.rmeta: crates/bench/src/bin/exp_ablation_k.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablation_k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation_sampler-1be8e40476924b62.d: crates/bench/src/bin/exp_ablation_sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation_sampler-1be8e40476924b62.rmeta: crates/bench/src/bin/exp_ablation_sampler.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablation_sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

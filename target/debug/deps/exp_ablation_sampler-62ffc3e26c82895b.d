@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_sampler-62ffc3e26c82895b.d: crates/bench/src/bin/exp_ablation_sampler.rs
+
+/root/repo/target/debug/deps/exp_ablation_sampler-62ffc3e26c82895b: crates/bench/src/bin/exp_ablation_sampler.rs
+
+crates/bench/src/bin/exp_ablation_sampler.rs:

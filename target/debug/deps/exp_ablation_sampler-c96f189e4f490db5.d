@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation_sampler-c96f189e4f490db5.d: crates/bench/src/bin/exp_ablation_sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation_sampler-c96f189e4f490db5.rmeta: crates/bench/src/bin/exp_ablation_sampler.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablation_sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

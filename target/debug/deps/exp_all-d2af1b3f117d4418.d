@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-d2af1b3f117d4418.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-d2af1b3f117d4418: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

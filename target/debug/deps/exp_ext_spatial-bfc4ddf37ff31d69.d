@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ext_spatial-bfc4ddf37ff31d69.d: crates/bench/src/bin/exp_ext_spatial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ext_spatial-bfc4ddf37ff31d69.rmeta: crates/bench/src/bin/exp_ext_spatial.rs Cargo.toml
+
+crates/bench/src/bin/exp_ext_spatial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

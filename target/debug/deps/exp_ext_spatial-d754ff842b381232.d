@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ext_spatial-d754ff842b381232.d: crates/bench/src/bin/exp_ext_spatial.rs
+
+/root/repo/target/debug/deps/exp_ext_spatial-d754ff842b381232: crates/bench/src/bin/exp_ext_spatial.rs
+
+crates/bench/src/bin/exp_ext_spatial.rs:

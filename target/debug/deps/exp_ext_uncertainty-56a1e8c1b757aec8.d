@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ext_uncertainty-56a1e8c1b757aec8.d: crates/bench/src/bin/exp_ext_uncertainty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ext_uncertainty-56a1e8c1b757aec8.rmeta: crates/bench/src/bin/exp_ext_uncertainty.rs Cargo.toml
+
+crates/bench/src/bin/exp_ext_uncertainty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ext_uncertainty-778e9d098dc6561f.d: crates/bench/src/bin/exp_ext_uncertainty.rs
+
+/root/repo/target/debug/deps/exp_ext_uncertainty-778e9d098dc6561f: crates/bench/src/bin/exp_ext_uncertainty.rs
+
+crates/bench/src/bin/exp_ext_uncertainty.rs:

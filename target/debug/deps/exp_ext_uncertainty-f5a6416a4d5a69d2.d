@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ext_uncertainty-f5a6416a4d5a69d2.d: crates/bench/src/bin/exp_ext_uncertainty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ext_uncertainty-f5a6416a4d5a69d2.rmeta: crates/bench/src/bin/exp_ext_uncertainty.rs Cargo.toml
+
+crates/bench/src/bin/exp_ext_uncertainty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig06-9b969315d6b60ad8.d: crates/bench/src/bin/exp_fig06.rs
+
+/root/repo/target/debug/deps/exp_fig06-9b969315d6b60ad8: crates/bench/src/bin/exp_fig06.rs
+
+crates/bench/src/bin/exp_fig06.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig06-cfe3a098f2887cf5.d: crates/bench/src/bin/exp_fig06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig06-cfe3a098f2887cf5.rmeta: crates/bench/src/bin/exp_fig06.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

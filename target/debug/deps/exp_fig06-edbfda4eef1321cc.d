@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig06-edbfda4eef1321cc.d: crates/bench/src/bin/exp_fig06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig06-edbfda4eef1321cc.rmeta: crates/bench/src/bin/exp_fig06.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

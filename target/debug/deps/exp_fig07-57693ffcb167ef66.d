@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig07-57693ffcb167ef66.d: crates/bench/src/bin/exp_fig07.rs
+
+/root/repo/target/debug/deps/exp_fig07-57693ffcb167ef66: crates/bench/src/bin/exp_fig07.rs
+
+crates/bench/src/bin/exp_fig07.rs:

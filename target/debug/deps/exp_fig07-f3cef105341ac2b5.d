@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig07-f3cef105341ac2b5.d: crates/bench/src/bin/exp_fig07.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig07-f3cef105341ac2b5.rmeta: crates/bench/src/bin/exp_fig07.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig08-32ed45b2d78fe462.d: crates/bench/src/bin/exp_fig08.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig08-32ed45b2d78fe462.rmeta: crates/bench/src/bin/exp_fig08.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig08-914fe6ebe06f7bcd.d: crates/bench/src/bin/exp_fig08.rs
+
+/root/repo/target/debug/deps/exp_fig08-914fe6ebe06f7bcd: crates/bench/src/bin/exp_fig08.rs
+
+crates/bench/src/bin/exp_fig08.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig08-b4114da9a57802c7.d: crates/bench/src/bin/exp_fig08.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig08-b4114da9a57802c7.rmeta: crates/bench/src/bin/exp_fig08.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

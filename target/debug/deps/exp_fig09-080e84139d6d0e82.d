@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig09-080e84139d6d0e82.d: crates/bench/src/bin/exp_fig09.rs
+
+/root/repo/target/debug/deps/exp_fig09-080e84139d6d0e82: crates/bench/src/bin/exp_fig09.rs
+
+crates/bench/src/bin/exp_fig09.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig09-277b117fbd558f8b.d: crates/bench/src/bin/exp_fig09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig09-277b117fbd558f8b.rmeta: crates/bench/src/bin/exp_fig09.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig09-2fae3f818aa989af.d: crates/bench/src/bin/exp_fig09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig09-2fae3f818aa989af.rmeta: crates/bench/src/bin/exp_fig09.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

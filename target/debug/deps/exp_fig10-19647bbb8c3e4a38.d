@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10-19647bbb8c3e4a38.d: crates/bench/src/bin/exp_fig10.rs
+
+/root/repo/target/debug/deps/exp_fig10-19647bbb8c3e4a38: crates/bench/src/bin/exp_fig10.rs
+
+crates/bench/src/bin/exp_fig10.rs:

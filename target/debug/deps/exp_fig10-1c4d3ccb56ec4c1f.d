@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig10-1c4d3ccb56ec4c1f.d: crates/bench/src/bin/exp_fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig10-1c4d3ccb56ec4c1f.rmeta: crates/bench/src/bin/exp_fig10.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

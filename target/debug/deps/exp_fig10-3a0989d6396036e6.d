@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig10-3a0989d6396036e6.d: crates/bench/src/bin/exp_fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig10-3a0989d6396036e6.rmeta: crates/bench/src/bin/exp_fig10.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig11-4bcb935a12dede58.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/debug/deps/exp_fig11-4bcb935a12dede58: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

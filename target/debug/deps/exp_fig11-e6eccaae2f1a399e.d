@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig11-e6eccaae2f1a399e.d: crates/bench/src/bin/exp_fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig11-e6eccaae2f1a399e.rmeta: crates/bench/src/bin/exp_fig11.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig12-a1d56fc91eba5f1c.d: crates/bench/src/bin/exp_fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig12-a1d56fc91eba5f1c.rmeta: crates/bench/src/bin/exp_fig12.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

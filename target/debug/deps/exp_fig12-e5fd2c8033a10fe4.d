@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12-e5fd2c8033a10fe4.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/debug/deps/exp_fig12-e5fd2c8033a10fe4: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

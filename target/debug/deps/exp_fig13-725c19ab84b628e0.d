@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13-725c19ab84b628e0.d: crates/bench/src/bin/exp_fig13.rs
+
+/root/repo/target/debug/deps/exp_fig13-725c19ab84b628e0: crates/bench/src/bin/exp_fig13.rs
+
+crates/bench/src/bin/exp_fig13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig13-e674a1746e886d3d.d: crates/bench/src/bin/exp_fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig13-e674a1746e886d3d.rmeta: crates/bench/src/bin/exp_fig13.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

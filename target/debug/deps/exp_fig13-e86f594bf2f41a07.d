@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig13-e86f594bf2f41a07.d: crates/bench/src/bin/exp_fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig13-e86f594bf2f41a07.rmeta: crates/bench/src/bin/exp_fig13.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14-8866b46ea255a035.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/debug/deps/exp_fig14-8866b46ea255a035: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

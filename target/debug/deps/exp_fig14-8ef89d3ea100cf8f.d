@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig14-8ef89d3ea100cf8f.d: crates/bench/src/bin/exp_fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig14-8ef89d3ea100cf8f.rmeta: crates/bench/src/bin/exp_fig14.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_qualitative-43e72b08bffad5fc.d: crates/bench/src/bin/exp_qualitative.rs
+
+/root/repo/target/debug/deps/exp_qualitative-43e72b08bffad5fc: crates/bench/src/bin/exp_qualitative.rs
+
+crates/bench/src/bin/exp_qualitative.rs:

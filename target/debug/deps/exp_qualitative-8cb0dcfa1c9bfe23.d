@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_qualitative-8cb0dcfa1c9bfe23.d: crates/bench/src/bin/exp_qualitative.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_qualitative-8cb0dcfa1c9bfe23.rmeta: crates/bench/src/bin/exp_qualitative.rs Cargo.toml
+
+crates/bench/src/bin/exp_qualitative.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

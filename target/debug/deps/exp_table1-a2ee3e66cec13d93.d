@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table1-a2ee3e66cec13d93.d: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table1-a2ee3e66cec13d93.rmeta: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+crates/bench/src/bin/exp_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-f9c1641c1db23a2d.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-f9c1641c1db23a2d: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-90291e7550bc6116.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-90291e7550bc6116: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

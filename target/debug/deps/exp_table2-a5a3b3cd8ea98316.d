@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table2-a5a3b3cd8ea98316.d: crates/bench/src/bin/exp_table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table2-a5a3b3cd8ea98316.rmeta: crates/bench/src/bin/exp_table2.rs Cargo.toml
+
+crates/bench/src/bin/exp_table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table2-ee9e30e09d26c4a2.d: crates/bench/src/bin/exp_table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table2-ee9e30e09d26c4a2.rmeta: crates/bench/src/bin/exp_table2.rs Cargo.toml
+
+crates/bench/src/bin/exp_table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

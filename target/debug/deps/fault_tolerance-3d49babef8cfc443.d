@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-3d49babef8cfc443.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-3d49babef8cfc443: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

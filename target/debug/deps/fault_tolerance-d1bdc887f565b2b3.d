@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-d1bdc887f565b2b3.d: tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-d1bdc887f565b2b3.rmeta: tests/fault_tolerance.rs Cargo.toml
+
+tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

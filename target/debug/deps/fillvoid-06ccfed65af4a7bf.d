@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fillvoid-06ccfed65af4a7bf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfillvoid-06ccfed65af4a7bf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fillvoid-227d0e2cf77fc955.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfillvoid-227d0e2cf77fc955.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fillvoid-9595aa903af667bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/fillvoid-9595aa903af667bf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fillvoid-dc851eb3e21622e3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfillvoid-dc851eb3e21622e3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfillvoid-dc851eb3e21622e3.rmeta: src/lib.rs
+
+src/lib.rs:

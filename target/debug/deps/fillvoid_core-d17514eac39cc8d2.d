@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/fillvoid_core-d17514eac39cc8d2.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/error.rs crates/core/src/ensemble.rs crates/core/src/experiment.rs crates/core/src/features.rs crates/core/src/insitu.rs crates/core/src/metrics.rs crates/core/src/normalize.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/timesteps.rs crates/core/src/upscale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfillvoid_core-d17514eac39cc8d2.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/error.rs crates/core/src/ensemble.rs crates/core/src/experiment.rs crates/core/src/features.rs crates/core/src/insitu.rs crates/core/src/metrics.rs crates/core/src/normalize.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/timesteps.rs crates/core/src/upscale.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/error.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/experiment.rs:
+crates/core/src/features.rs:
+crates/core/src/insitu.rs:
+crates/core/src/metrics.rs:
+crates/core/src/normalize.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/render.rs:
+crates/core/src/report.rs:
+crates/core/src/timesteps.rs:
+crates/core/src/upscale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fillvoid_core-f30699e02bac5e7c.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/error.rs crates/core/src/ensemble.rs crates/core/src/experiment.rs crates/core/src/features.rs crates/core/src/insitu.rs crates/core/src/metrics.rs crates/core/src/normalize.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/timesteps.rs crates/core/src/upscale.rs
+
+/root/repo/target/debug/deps/libfillvoid_core-f30699e02bac5e7c.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/error.rs crates/core/src/ensemble.rs crates/core/src/experiment.rs crates/core/src/features.rs crates/core/src/insitu.rs crates/core/src/metrics.rs crates/core/src/normalize.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/timesteps.rs crates/core/src/upscale.rs
+
+/root/repo/target/debug/deps/libfillvoid_core-f30699e02bac5e7c.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/error.rs crates/core/src/ensemble.rs crates/core/src/experiment.rs crates/core/src/features.rs crates/core/src/insitu.rs crates/core/src/metrics.rs crates/core/src/normalize.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/timesteps.rs crates/core/src/upscale.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/error.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/experiment.rs:
+crates/core/src/features.rs:
+crates/core/src/insitu.rs:
+crates/core/src/metrics.rs:
+crates/core/src/normalize.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/render.rs:
+crates/core/src/report.rs:
+crates/core/src/timesteps.rs:
+crates/core/src/upscale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fv_bench-30f35f0c4fe5248c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfv_bench-30f35f0c4fe5248c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

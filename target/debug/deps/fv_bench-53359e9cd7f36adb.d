@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fv_bench-53359e9cd7f36adb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfv_bench-53359e9cd7f36adb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfv_bench-53359e9cd7f36adb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fv_bench-55cfee624a0e1bd1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fv_bench-55cfee624a0e1bd1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

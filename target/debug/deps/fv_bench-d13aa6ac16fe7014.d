@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fv_bench-d13aa6ac16fe7014.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfv_bench-d13aa6ac16fe7014.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fv_field-9f0915ff9da0c0c2.d: crates/field/src/lib.rs crates/field/src/checksum.rs crates/field/src/error.rs crates/field/src/faults.rs crates/field/src/gradient.rs crates/field/src/grid.rs crates/field/src/io.rs crates/field/src/resample.rs crates/field/src/stats.rs crates/field/src/volume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfv_field-9f0915ff9da0c0c2.rmeta: crates/field/src/lib.rs crates/field/src/checksum.rs crates/field/src/error.rs crates/field/src/faults.rs crates/field/src/gradient.rs crates/field/src/grid.rs crates/field/src/io.rs crates/field/src/resample.rs crates/field/src/stats.rs crates/field/src/volume.rs Cargo.toml
+
+crates/field/src/lib.rs:
+crates/field/src/checksum.rs:
+crates/field/src/error.rs:
+crates/field/src/faults.rs:
+crates/field/src/gradient.rs:
+crates/field/src/grid.rs:
+crates/field/src/io.rs:
+crates/field/src/resample.rs:
+crates/field/src/stats.rs:
+crates/field/src/volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fv_field-b4e63f5ee6e72a06.d: crates/field/src/lib.rs crates/field/src/checksum.rs crates/field/src/error.rs crates/field/src/faults.rs crates/field/src/gradient.rs crates/field/src/grid.rs crates/field/src/io.rs crates/field/src/resample.rs crates/field/src/stats.rs crates/field/src/volume.rs
+
+/root/repo/target/debug/deps/fv_field-b4e63f5ee6e72a06: crates/field/src/lib.rs crates/field/src/checksum.rs crates/field/src/error.rs crates/field/src/faults.rs crates/field/src/gradient.rs crates/field/src/grid.rs crates/field/src/io.rs crates/field/src/resample.rs crates/field/src/stats.rs crates/field/src/volume.rs
+
+crates/field/src/lib.rs:
+crates/field/src/checksum.rs:
+crates/field/src/error.rs:
+crates/field/src/faults.rs:
+crates/field/src/gradient.rs:
+crates/field/src/grid.rs:
+crates/field/src/io.rs:
+crates/field/src/resample.rs:
+crates/field/src/stats.rs:
+crates/field/src/volume.rs:

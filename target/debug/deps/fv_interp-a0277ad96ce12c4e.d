@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fv_interp-a0277ad96ce12c4e.d: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/idw.rs crates/interp/src/linear.rs crates/interp/src/natural.rs crates/interp/src/nearest.rs crates/interp/src/rbf.rs crates/interp/src/shepard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfv_interp-a0277ad96ce12c4e.rmeta: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/idw.rs crates/interp/src/linear.rs crates/interp/src/natural.rs crates/interp/src/nearest.rs crates/interp/src/rbf.rs crates/interp/src/shepard.rs Cargo.toml
+
+crates/interp/src/lib.rs:
+crates/interp/src/error.rs:
+crates/interp/src/idw.rs:
+crates/interp/src/linear.rs:
+crates/interp/src/natural.rs:
+crates/interp/src/nearest.rs:
+crates/interp/src/rbf.rs:
+crates/interp/src/shepard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

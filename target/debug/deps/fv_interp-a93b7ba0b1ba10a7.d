@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fv_interp-a93b7ba0b1ba10a7.d: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/idw.rs crates/interp/src/linear.rs crates/interp/src/natural.rs crates/interp/src/nearest.rs crates/interp/src/rbf.rs crates/interp/src/shepard.rs
+
+/root/repo/target/debug/deps/fv_interp-a93b7ba0b1ba10a7: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/idw.rs crates/interp/src/linear.rs crates/interp/src/natural.rs crates/interp/src/nearest.rs crates/interp/src/rbf.rs crates/interp/src/shepard.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/error.rs:
+crates/interp/src/idw.rs:
+crates/interp/src/linear.rs:
+crates/interp/src/natural.rs:
+crates/interp/src/nearest.rs:
+crates/interp/src/rbf.rs:
+crates/interp/src/shepard.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fv_interp-b69383bedaaf5d65.d: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/idw.rs crates/interp/src/linear.rs crates/interp/src/natural.rs crates/interp/src/nearest.rs crates/interp/src/rbf.rs crates/interp/src/shepard.rs
+
+/root/repo/target/debug/deps/libfv_interp-b69383bedaaf5d65.rlib: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/idw.rs crates/interp/src/linear.rs crates/interp/src/natural.rs crates/interp/src/nearest.rs crates/interp/src/rbf.rs crates/interp/src/shepard.rs
+
+/root/repo/target/debug/deps/libfv_interp-b69383bedaaf5d65.rmeta: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/idw.rs crates/interp/src/linear.rs crates/interp/src/natural.rs crates/interp/src/nearest.rs crates/interp/src/rbf.rs crates/interp/src/shepard.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/error.rs:
+crates/interp/src/idw.rs:
+crates/interp/src/linear.rs:
+crates/interp/src/natural.rs:
+crates/interp/src/nearest.rs:
+crates/interp/src/rbf.rs:
+crates/interp/src/shepard.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fv_linalg-a912092d303d6bc1.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/scalar.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libfv_linalg-a912092d303d6bc1.rlib: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/scalar.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libfv_linalg-a912092d303d6bc1.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/scalar.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/scalar.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fv_linalg-b534a0f9ce39f218.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/scalar.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/fv_linalg-b534a0f9ce39f218: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/scalar.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/scalar.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/fv_nn-b27b83dad2f50a05.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/checksum.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/guard.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfv_nn-b27b83dad2f50a05.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/checksum.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/guard.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs crates/nn/src/train.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/checksum.rs:
+crates/nn/src/data.rs:
+crates/nn/src/error.rs:
+crates/nn/src/guard.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

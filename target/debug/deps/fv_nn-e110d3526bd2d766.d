@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fv_nn-e110d3526bd2d766.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/checksum.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/guard.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libfv_nn-e110d3526bd2d766.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/checksum.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/guard.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libfv_nn-e110d3526bd2d766.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/checksum.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/guard.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/checksum.rs:
+crates/nn/src/data.rs:
+crates/nn/src/error.rs:
+crates/nn/src/guard.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fv_sampling-39e2d6cce89012b3.d: crates/sampling/src/lib.rs crates/sampling/src/cloud.rs crates/sampling/src/importance.rs crates/sampling/src/random.rs crates/sampling/src/regular.rs crates/sampling/src/storage.rs crates/sampling/src/stratified.rs crates/sampling/src/value_stratified.rs
+
+/root/repo/target/debug/deps/libfv_sampling-39e2d6cce89012b3.rlib: crates/sampling/src/lib.rs crates/sampling/src/cloud.rs crates/sampling/src/importance.rs crates/sampling/src/random.rs crates/sampling/src/regular.rs crates/sampling/src/storage.rs crates/sampling/src/stratified.rs crates/sampling/src/value_stratified.rs
+
+/root/repo/target/debug/deps/libfv_sampling-39e2d6cce89012b3.rmeta: crates/sampling/src/lib.rs crates/sampling/src/cloud.rs crates/sampling/src/importance.rs crates/sampling/src/random.rs crates/sampling/src/regular.rs crates/sampling/src/storage.rs crates/sampling/src/stratified.rs crates/sampling/src/value_stratified.rs
+
+crates/sampling/src/lib.rs:
+crates/sampling/src/cloud.rs:
+crates/sampling/src/importance.rs:
+crates/sampling/src/random.rs:
+crates/sampling/src/regular.rs:
+crates/sampling/src/storage.rs:
+crates/sampling/src/stratified.rs:
+crates/sampling/src/value_stratified.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fv_sampling-54697c91c4344674.d: crates/sampling/src/lib.rs crates/sampling/src/cloud.rs crates/sampling/src/importance.rs crates/sampling/src/random.rs crates/sampling/src/regular.rs crates/sampling/src/storage.rs crates/sampling/src/stratified.rs crates/sampling/src/value_stratified.rs
+
+/root/repo/target/debug/deps/fv_sampling-54697c91c4344674: crates/sampling/src/lib.rs crates/sampling/src/cloud.rs crates/sampling/src/importance.rs crates/sampling/src/random.rs crates/sampling/src/regular.rs crates/sampling/src/storage.rs crates/sampling/src/stratified.rs crates/sampling/src/value_stratified.rs
+
+crates/sampling/src/lib.rs:
+crates/sampling/src/cloud.rs:
+crates/sampling/src/importance.rs:
+crates/sampling/src/random.rs:
+crates/sampling/src/regular.rs:
+crates/sampling/src/storage.rs:
+crates/sampling/src/stratified.rs:
+crates/sampling/src/value_stratified.rs:

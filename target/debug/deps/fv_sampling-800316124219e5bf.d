@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fv_sampling-800316124219e5bf.d: crates/sampling/src/lib.rs crates/sampling/src/cloud.rs crates/sampling/src/importance.rs crates/sampling/src/random.rs crates/sampling/src/regular.rs crates/sampling/src/storage.rs crates/sampling/src/stratified.rs crates/sampling/src/value_stratified.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfv_sampling-800316124219e5bf.rmeta: crates/sampling/src/lib.rs crates/sampling/src/cloud.rs crates/sampling/src/importance.rs crates/sampling/src/random.rs crates/sampling/src/regular.rs crates/sampling/src/storage.rs crates/sampling/src/stratified.rs crates/sampling/src/value_stratified.rs Cargo.toml
+
+crates/sampling/src/lib.rs:
+crates/sampling/src/cloud.rs:
+crates/sampling/src/importance.rs:
+crates/sampling/src/random.rs:
+crates/sampling/src/regular.rs:
+crates/sampling/src/storage.rs:
+crates/sampling/src/stratified.rs:
+crates/sampling/src/value_stratified.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fv_sims-1c8b109e81cacb0b.d: crates/sims/src/lib.rs crates/sims/src/combustion.rs crates/sims/src/hurricane.rs crates/sims/src/ionization.rs crates/sims/src/noise.rs crates/sims/src/registry.rs
+
+/root/repo/target/debug/deps/fv_sims-1c8b109e81cacb0b: crates/sims/src/lib.rs crates/sims/src/combustion.rs crates/sims/src/hurricane.rs crates/sims/src/ionization.rs crates/sims/src/noise.rs crates/sims/src/registry.rs
+
+crates/sims/src/lib.rs:
+crates/sims/src/combustion.rs:
+crates/sims/src/hurricane.rs:
+crates/sims/src/ionization.rs:
+crates/sims/src/noise.rs:
+crates/sims/src/registry.rs:

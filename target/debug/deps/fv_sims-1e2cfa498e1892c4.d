@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fv_sims-1e2cfa498e1892c4.d: crates/sims/src/lib.rs crates/sims/src/combustion.rs crates/sims/src/hurricane.rs crates/sims/src/ionization.rs crates/sims/src/noise.rs crates/sims/src/registry.rs
+
+/root/repo/target/debug/deps/libfv_sims-1e2cfa498e1892c4.rlib: crates/sims/src/lib.rs crates/sims/src/combustion.rs crates/sims/src/hurricane.rs crates/sims/src/ionization.rs crates/sims/src/noise.rs crates/sims/src/registry.rs
+
+/root/repo/target/debug/deps/libfv_sims-1e2cfa498e1892c4.rmeta: crates/sims/src/lib.rs crates/sims/src/combustion.rs crates/sims/src/hurricane.rs crates/sims/src/ionization.rs crates/sims/src/noise.rs crates/sims/src/registry.rs
+
+crates/sims/src/lib.rs:
+crates/sims/src/combustion.rs:
+crates/sims/src/hurricane.rs:
+crates/sims/src/ionization.rs:
+crates/sims/src/noise.rs:
+crates/sims/src/registry.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fv_sims-6947818cecbdfba8.d: crates/sims/src/lib.rs crates/sims/src/combustion.rs crates/sims/src/hurricane.rs crates/sims/src/ionization.rs crates/sims/src/noise.rs crates/sims/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfv_sims-6947818cecbdfba8.rmeta: crates/sims/src/lib.rs crates/sims/src/combustion.rs crates/sims/src/hurricane.rs crates/sims/src/ionization.rs crates/sims/src/noise.rs crates/sims/src/registry.rs Cargo.toml
+
+crates/sims/src/lib.rs:
+crates/sims/src/combustion.rs:
+crates/sims/src/hurricane.rs:
+crates/sims/src/ionization.rs:
+crates/sims/src/noise.rs:
+crates/sims/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fv_spatial-8714659ec241a699.d: crates/spatial/src/lib.rs crates/spatial/src/delaunay.rs crates/spatial/src/gridindex.rs crates/spatial/src/jitter.rs crates/spatial/src/kdtree.rs crates/spatial/src/morton.rs crates/spatial/src/predicates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfv_spatial-8714659ec241a699.rmeta: crates/spatial/src/lib.rs crates/spatial/src/delaunay.rs crates/spatial/src/gridindex.rs crates/spatial/src/jitter.rs crates/spatial/src/kdtree.rs crates/spatial/src/morton.rs crates/spatial/src/predicates.rs Cargo.toml
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/delaunay.rs:
+crates/spatial/src/gridindex.rs:
+crates/spatial/src/jitter.rs:
+crates/spatial/src/kdtree.rs:
+crates/spatial/src/morton.rs:
+crates/spatial/src/predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fv_spatial-8d28a5c7411f40db.d: crates/spatial/src/lib.rs crates/spatial/src/delaunay.rs crates/spatial/src/gridindex.rs crates/spatial/src/jitter.rs crates/spatial/src/kdtree.rs crates/spatial/src/morton.rs crates/spatial/src/predicates.rs
+
+/root/repo/target/debug/deps/libfv_spatial-8d28a5c7411f40db.rlib: crates/spatial/src/lib.rs crates/spatial/src/delaunay.rs crates/spatial/src/gridindex.rs crates/spatial/src/jitter.rs crates/spatial/src/kdtree.rs crates/spatial/src/morton.rs crates/spatial/src/predicates.rs
+
+/root/repo/target/debug/deps/libfv_spatial-8d28a5c7411f40db.rmeta: crates/spatial/src/lib.rs crates/spatial/src/delaunay.rs crates/spatial/src/gridindex.rs crates/spatial/src/jitter.rs crates/spatial/src/kdtree.rs crates/spatial/src/morton.rs crates/spatial/src/predicates.rs
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/delaunay.rs:
+crates/spatial/src/gridindex.rs:
+crates/spatial/src/jitter.rs:
+crates/spatial/src/kdtree.rs:
+crates/spatial/src/morton.rs:
+crates/spatial/src/predicates.rs:

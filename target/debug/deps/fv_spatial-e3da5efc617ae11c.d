@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fv_spatial-e3da5efc617ae11c.d: crates/spatial/src/lib.rs crates/spatial/src/delaunay.rs crates/spatial/src/gridindex.rs crates/spatial/src/jitter.rs crates/spatial/src/kdtree.rs crates/spatial/src/morton.rs crates/spatial/src/predicates.rs
+
+/root/repo/target/debug/deps/fv_spatial-e3da5efc617ae11c: crates/spatial/src/lib.rs crates/spatial/src/delaunay.rs crates/spatial/src/gridindex.rs crates/spatial/src/jitter.rs crates/spatial/src/kdtree.rs crates/spatial/src/morton.rs crates/spatial/src/predicates.rs
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/delaunay.rs:
+crates/spatial/src/gridindex.rs:
+crates/spatial/src/jitter.rs:
+crates/spatial/src/kdtree.rs:
+crates/spatial/src/morton.rs:
+crates/spatial/src/predicates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/insitu_workflow-212cd40200fd1009.d: tests/insitu_workflow.rs
+
+/root/repo/target/debug/deps/insitu_workflow-212cd40200fd1009: tests/insitu_workflow.rs
+
+tests/insitu_workflow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/insitu_workflow-b9357a1f92e1a385.d: tests/insitu_workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinsitu_workflow-b9357a1f92e1a385.rmeta: tests/insitu_workflow.rs Cargo.toml
+
+tests/insitu_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/persistence-3fae5f8d75a8748d.d: tests/persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpersistence-3fae5f8d75a8748d.rmeta: tests/persistence.rs Cargo.toml
+
+tests/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-6698c3c8c3a17130.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-6698c3c8c3a17130: tests/persistence.rs
+
+tests/persistence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6ac2908b33da82a9.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6ac2908b33da82a9.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a32ec60670306ff8.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a32ec60670306ff8: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-f129635ee2b81d87.d: vendor/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-f129635ee2b81d87.rmeta: vendor/rayon/src/lib.rs Cargo.toml
+
+vendor/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

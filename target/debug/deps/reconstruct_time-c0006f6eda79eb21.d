@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reconstruct_time-c0006f6eda79eb21.d: crates/bench/benches/reconstruct_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreconstruct_time-c0006f6eda79eb21.rmeta: crates/bench/benches/reconstruct_time.rs Cargo.toml
+
+crates/bench/benches/reconstruct_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

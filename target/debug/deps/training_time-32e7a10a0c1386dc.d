@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training_time-32e7a10a0c1386dc.d: crates/bench/benches/training_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining_time-32e7a10a0c1386dc.rmeta: crates/bench/benches/training_time.rs Cargo.toml
+
+crates/bench/benches/training_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

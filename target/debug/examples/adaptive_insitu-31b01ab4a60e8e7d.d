@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_insitu-31b01ab4a60e8e7d.d: examples/adaptive_insitu.rs
+
+/root/repo/target/debug/examples/adaptive_insitu-31b01ab4a60e8e7d: examples/adaptive_insitu.rs
+
+examples/adaptive_insitu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_insitu-74aa0e20f0d993f4.d: examples/adaptive_insitu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_insitu-74aa0e20f0d993f4.rmeta: examples/adaptive_insitu.rs Cargo.toml
+
+examples/adaptive_insitu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

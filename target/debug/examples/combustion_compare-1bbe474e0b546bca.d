@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/combustion_compare-1bbe474e0b546bca.d: examples/combustion_compare.rs
+
+/root/repo/target/debug/examples/combustion_compare-1bbe474e0b546bca: examples/combustion_compare.rs
+
+examples/combustion_compare.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/combustion_compare-ba4e57dd2e1b85fb.d: examples/combustion_compare.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcombustion_compare-ba4e57dd2e1b85fb.rmeta: examples/combustion_compare.rs Cargo.toml
+
+examples/combustion_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hurricane_insitu-161fa47a1c09dabb.d: examples/hurricane_insitu.rs
+
+/root/repo/target/debug/examples/hurricane_insitu-161fa47a1c09dabb: examples/hurricane_insitu.rs
+
+examples/hurricane_insitu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hurricane_insitu-40157199d71d7be5.d: examples/hurricane_insitu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhurricane_insitu-40157199d71d7be5.rmeta: examples/hurricane_insitu.rs Cargo.toml
+
+examples/hurricane_insitu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

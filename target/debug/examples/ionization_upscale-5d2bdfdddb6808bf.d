@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ionization_upscale-5d2bdfdddb6808bf.d: examples/ionization_upscale.rs
+
+/root/repo/target/debug/examples/ionization_upscale-5d2bdfdddb6808bf: examples/ionization_upscale.rs
+
+examples/ionization_upscale.rs:

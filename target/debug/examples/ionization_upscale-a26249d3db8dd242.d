@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ionization_upscale-a26249d3db8dd242.d: examples/ionization_upscale.rs Cargo.toml
+
+/root/repo/target/debug/examples/libionization_upscale-a26249d3db8dd242.rmeta: examples/ionization_upscale.rs Cargo.toml
+
+examples/ionization_upscale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

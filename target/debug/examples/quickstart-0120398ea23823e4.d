@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0120398ea23823e4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0120398ea23823e4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_finetune-c9c54fd52a4a8315.d: crates/bench/src/bin/exp_ablation_finetune.rs
+
+/root/repo/target/release/deps/exp_ablation_finetune-c9c54fd52a4a8315: crates/bench/src/bin/exp_ablation_finetune.rs
+
+crates/bench/src/bin/exp_ablation_finetune.rs:

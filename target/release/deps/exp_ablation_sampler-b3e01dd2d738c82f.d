@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_sampler-b3e01dd2d738c82f.d: crates/bench/src/bin/exp_ablation_sampler.rs
+
+/root/repo/target/release/deps/exp_ablation_sampler-b3e01dd2d738c82f: crates/bench/src/bin/exp_ablation_sampler.rs
+
+crates/bench/src/bin/exp_ablation_sampler.rs:

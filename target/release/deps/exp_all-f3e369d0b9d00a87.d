@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-f3e369d0b9d00a87.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-f3e369d0b9d00a87: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ext_uncertainty-a32881a8fd1cff71.d: crates/bench/src/bin/exp_ext_uncertainty.rs
+
+/root/repo/target/release/deps/exp_ext_uncertainty-a32881a8fd1cff71: crates/bench/src/bin/exp_ext_uncertainty.rs
+
+crates/bench/src/bin/exp_ext_uncertainty.rs:

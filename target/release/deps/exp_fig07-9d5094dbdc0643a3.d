@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig07-9d5094dbdc0643a3.d: crates/bench/src/bin/exp_fig07.rs
+
+/root/repo/target/release/deps/exp_fig07-9d5094dbdc0643a3: crates/bench/src/bin/exp_fig07.rs
+
+crates/bench/src/bin/exp_fig07.rs:

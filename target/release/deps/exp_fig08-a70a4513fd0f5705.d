@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig08-a70a4513fd0f5705.d: crates/bench/src/bin/exp_fig08.rs
+
+/root/repo/target/release/deps/exp_fig08-a70a4513fd0f5705: crates/bench/src/bin/exp_fig08.rs
+
+crates/bench/src/bin/exp_fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10-15d4f2529c637ec2.d: crates/bench/src/bin/exp_fig10.rs
+
+/root/repo/target/release/deps/exp_fig10-15d4f2529c637ec2: crates/bench/src/bin/exp_fig10.rs
+
+crates/bench/src/bin/exp_fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig11-03610652b260bc16.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/release/deps/exp_fig11-03610652b260bc16: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

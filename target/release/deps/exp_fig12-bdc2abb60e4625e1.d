@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12-bdc2abb60e4625e1.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/release/deps/exp_fig12-bdc2abb60e4625e1: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

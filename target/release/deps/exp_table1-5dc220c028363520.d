@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-5dc220c028363520.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-5dc220c028363520: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

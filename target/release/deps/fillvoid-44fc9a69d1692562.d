@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fillvoid-44fc9a69d1692562.d: /root/repo/src/lib.rs
+
+/root/repo/target/release/deps/libfillvoid-44fc9a69d1692562.rlib: /root/repo/src/lib.rs
+
+/root/repo/target/release/deps/libfillvoid-44fc9a69d1692562.rmeta: /root/repo/src/lib.rs
+
+/root/repo/src/lib.rs:

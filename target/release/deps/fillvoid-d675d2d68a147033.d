@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fillvoid-d675d2d68a147033.d: src/lib.rs
+
+/root/repo/target/release/deps/libfillvoid-d675d2d68a147033.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfillvoid-d675d2d68a147033.rmeta: src/lib.rs
+
+src/lib.rs:

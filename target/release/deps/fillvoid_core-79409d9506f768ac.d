@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/fillvoid_core-79409d9506f768ac.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/error.rs crates/core/src/ensemble.rs crates/core/src/experiment.rs crates/core/src/features.rs crates/core/src/insitu.rs crates/core/src/metrics.rs crates/core/src/normalize.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/timesteps.rs crates/core/src/upscale.rs
+
+/root/repo/target/release/deps/libfillvoid_core-79409d9506f768ac.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/error.rs crates/core/src/ensemble.rs crates/core/src/experiment.rs crates/core/src/features.rs crates/core/src/insitu.rs crates/core/src/metrics.rs crates/core/src/normalize.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/timesteps.rs crates/core/src/upscale.rs
+
+/root/repo/target/release/deps/libfillvoid_core-79409d9506f768ac.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/error.rs crates/core/src/ensemble.rs crates/core/src/experiment.rs crates/core/src/features.rs crates/core/src/insitu.rs crates/core/src/metrics.rs crates/core/src/normalize.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/timesteps.rs crates/core/src/upscale.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/error.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/experiment.rs:
+crates/core/src/features.rs:
+crates/core/src/insitu.rs:
+crates/core/src/metrics.rs:
+crates/core/src/normalize.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/render.rs:
+crates/core/src/report.rs:
+crates/core/src/timesteps.rs:
+crates/core/src/upscale.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/fillvoid_core-7edd47351b0cab67.d: /root/repo/crates/core/src/lib.rs /root/repo/crates/core/src/checkpoint.rs /root/repo/crates/core/src/error.rs /root/repo/crates/core/src/ensemble.rs /root/repo/crates/core/src/experiment.rs /root/repo/crates/core/src/features.rs /root/repo/crates/core/src/insitu.rs /root/repo/crates/core/src/metrics.rs /root/repo/crates/core/src/normalize.rs /root/repo/crates/core/src/pipeline.rs /root/repo/crates/core/src/render.rs /root/repo/crates/core/src/report.rs /root/repo/crates/core/src/timesteps.rs /root/repo/crates/core/src/upscale.rs
+
+/root/repo/target/release/deps/libfillvoid_core-7edd47351b0cab67.rlib: /root/repo/crates/core/src/lib.rs /root/repo/crates/core/src/checkpoint.rs /root/repo/crates/core/src/error.rs /root/repo/crates/core/src/ensemble.rs /root/repo/crates/core/src/experiment.rs /root/repo/crates/core/src/features.rs /root/repo/crates/core/src/insitu.rs /root/repo/crates/core/src/metrics.rs /root/repo/crates/core/src/normalize.rs /root/repo/crates/core/src/pipeline.rs /root/repo/crates/core/src/render.rs /root/repo/crates/core/src/report.rs /root/repo/crates/core/src/timesteps.rs /root/repo/crates/core/src/upscale.rs
+
+/root/repo/target/release/deps/libfillvoid_core-7edd47351b0cab67.rmeta: /root/repo/crates/core/src/lib.rs /root/repo/crates/core/src/checkpoint.rs /root/repo/crates/core/src/error.rs /root/repo/crates/core/src/ensemble.rs /root/repo/crates/core/src/experiment.rs /root/repo/crates/core/src/features.rs /root/repo/crates/core/src/insitu.rs /root/repo/crates/core/src/metrics.rs /root/repo/crates/core/src/normalize.rs /root/repo/crates/core/src/pipeline.rs /root/repo/crates/core/src/render.rs /root/repo/crates/core/src/report.rs /root/repo/crates/core/src/timesteps.rs /root/repo/crates/core/src/upscale.rs
+
+/root/repo/crates/core/src/lib.rs:
+/root/repo/crates/core/src/checkpoint.rs:
+/root/repo/crates/core/src/error.rs:
+/root/repo/crates/core/src/ensemble.rs:
+/root/repo/crates/core/src/experiment.rs:
+/root/repo/crates/core/src/features.rs:
+/root/repo/crates/core/src/insitu.rs:
+/root/repo/crates/core/src/metrics.rs:
+/root/repo/crates/core/src/normalize.rs:
+/root/repo/crates/core/src/pipeline.rs:
+/root/repo/crates/core/src/render.rs:
+/root/repo/crates/core/src/report.rs:
+/root/repo/crates/core/src/timesteps.rs:
+/root/repo/crates/core/src/upscale.rs:

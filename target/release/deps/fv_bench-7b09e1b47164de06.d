@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fv_bench-7b09e1b47164de06.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfv_bench-7b09e1b47164de06.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfv_bench-7b09e1b47164de06.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

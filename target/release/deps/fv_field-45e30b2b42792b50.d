@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fv_field-45e30b2b42792b50.d: /root/repo/crates/field/src/lib.rs /root/repo/crates/field/src/checksum.rs /root/repo/crates/field/src/error.rs /root/repo/crates/field/src/faults.rs /root/repo/crates/field/src/gradient.rs /root/repo/crates/field/src/grid.rs /root/repo/crates/field/src/io.rs /root/repo/crates/field/src/resample.rs /root/repo/crates/field/src/stats.rs /root/repo/crates/field/src/volume.rs
+
+/root/repo/target/release/deps/libfv_field-45e30b2b42792b50.rlib: /root/repo/crates/field/src/lib.rs /root/repo/crates/field/src/checksum.rs /root/repo/crates/field/src/error.rs /root/repo/crates/field/src/faults.rs /root/repo/crates/field/src/gradient.rs /root/repo/crates/field/src/grid.rs /root/repo/crates/field/src/io.rs /root/repo/crates/field/src/resample.rs /root/repo/crates/field/src/stats.rs /root/repo/crates/field/src/volume.rs
+
+/root/repo/target/release/deps/libfv_field-45e30b2b42792b50.rmeta: /root/repo/crates/field/src/lib.rs /root/repo/crates/field/src/checksum.rs /root/repo/crates/field/src/error.rs /root/repo/crates/field/src/faults.rs /root/repo/crates/field/src/gradient.rs /root/repo/crates/field/src/grid.rs /root/repo/crates/field/src/io.rs /root/repo/crates/field/src/resample.rs /root/repo/crates/field/src/stats.rs /root/repo/crates/field/src/volume.rs
+
+/root/repo/crates/field/src/lib.rs:
+/root/repo/crates/field/src/checksum.rs:
+/root/repo/crates/field/src/error.rs:
+/root/repo/crates/field/src/faults.rs:
+/root/repo/crates/field/src/gradient.rs:
+/root/repo/crates/field/src/grid.rs:
+/root/repo/crates/field/src/io.rs:
+/root/repo/crates/field/src/resample.rs:
+/root/repo/crates/field/src/stats.rs:
+/root/repo/crates/field/src/volume.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fv_field-ca4286c74cd98807.d: crates/field/src/lib.rs crates/field/src/checksum.rs crates/field/src/error.rs crates/field/src/faults.rs crates/field/src/gradient.rs crates/field/src/grid.rs crates/field/src/io.rs crates/field/src/resample.rs crates/field/src/stats.rs crates/field/src/volume.rs
+
+/root/repo/target/release/deps/libfv_field-ca4286c74cd98807.rlib: crates/field/src/lib.rs crates/field/src/checksum.rs crates/field/src/error.rs crates/field/src/faults.rs crates/field/src/gradient.rs crates/field/src/grid.rs crates/field/src/io.rs crates/field/src/resample.rs crates/field/src/stats.rs crates/field/src/volume.rs
+
+/root/repo/target/release/deps/libfv_field-ca4286c74cd98807.rmeta: crates/field/src/lib.rs crates/field/src/checksum.rs crates/field/src/error.rs crates/field/src/faults.rs crates/field/src/gradient.rs crates/field/src/grid.rs crates/field/src/io.rs crates/field/src/resample.rs crates/field/src/stats.rs crates/field/src/volume.rs
+
+crates/field/src/lib.rs:
+crates/field/src/checksum.rs:
+crates/field/src/error.rs:
+crates/field/src/faults.rs:
+crates/field/src/gradient.rs:
+crates/field/src/grid.rs:
+crates/field/src/io.rs:
+crates/field/src/resample.rs:
+crates/field/src/stats.rs:
+crates/field/src/volume.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fv_interp-5e6e331967cab670.d: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/idw.rs crates/interp/src/linear.rs crates/interp/src/natural.rs crates/interp/src/nearest.rs crates/interp/src/rbf.rs crates/interp/src/shepard.rs
+
+/root/repo/target/release/deps/libfv_interp-5e6e331967cab670.rlib: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/idw.rs crates/interp/src/linear.rs crates/interp/src/natural.rs crates/interp/src/nearest.rs crates/interp/src/rbf.rs crates/interp/src/shepard.rs
+
+/root/repo/target/release/deps/libfv_interp-5e6e331967cab670.rmeta: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/idw.rs crates/interp/src/linear.rs crates/interp/src/natural.rs crates/interp/src/nearest.rs crates/interp/src/rbf.rs crates/interp/src/shepard.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/error.rs:
+crates/interp/src/idw.rs:
+crates/interp/src/linear.rs:
+crates/interp/src/natural.rs:
+crates/interp/src/nearest.rs:
+crates/interp/src/rbf.rs:
+crates/interp/src/shepard.rs:

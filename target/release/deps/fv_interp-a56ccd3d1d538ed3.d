@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fv_interp-a56ccd3d1d538ed3.d: /root/repo/crates/interp/src/lib.rs /root/repo/crates/interp/src/error.rs /root/repo/crates/interp/src/idw.rs /root/repo/crates/interp/src/linear.rs /root/repo/crates/interp/src/natural.rs /root/repo/crates/interp/src/nearest.rs /root/repo/crates/interp/src/rbf.rs /root/repo/crates/interp/src/shepard.rs
+
+/root/repo/target/release/deps/libfv_interp-a56ccd3d1d538ed3.rlib: /root/repo/crates/interp/src/lib.rs /root/repo/crates/interp/src/error.rs /root/repo/crates/interp/src/idw.rs /root/repo/crates/interp/src/linear.rs /root/repo/crates/interp/src/natural.rs /root/repo/crates/interp/src/nearest.rs /root/repo/crates/interp/src/rbf.rs /root/repo/crates/interp/src/shepard.rs
+
+/root/repo/target/release/deps/libfv_interp-a56ccd3d1d538ed3.rmeta: /root/repo/crates/interp/src/lib.rs /root/repo/crates/interp/src/error.rs /root/repo/crates/interp/src/idw.rs /root/repo/crates/interp/src/linear.rs /root/repo/crates/interp/src/natural.rs /root/repo/crates/interp/src/nearest.rs /root/repo/crates/interp/src/rbf.rs /root/repo/crates/interp/src/shepard.rs
+
+/root/repo/crates/interp/src/lib.rs:
+/root/repo/crates/interp/src/error.rs:
+/root/repo/crates/interp/src/idw.rs:
+/root/repo/crates/interp/src/linear.rs:
+/root/repo/crates/interp/src/natural.rs:
+/root/repo/crates/interp/src/nearest.rs:
+/root/repo/crates/interp/src/rbf.rs:
+/root/repo/crates/interp/src/shepard.rs:

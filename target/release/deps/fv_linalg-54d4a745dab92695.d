@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fv_linalg-54d4a745dab92695.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/scalar.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libfv_linalg-54d4a745dab92695.rlib: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/scalar.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libfv_linalg-54d4a745dab92695.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/scalar.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/scalar.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fv_linalg-ceab221b918d2e74.d: /root/repo/crates/linalg/src/lib.rs /root/repo/crates/linalg/src/cholesky.rs /root/repo/crates/linalg/src/error.rs /root/repo/crates/linalg/src/lu.rs /root/repo/crates/linalg/src/matrix.rs /root/repo/crates/linalg/src/scalar.rs /root/repo/crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libfv_linalg-ceab221b918d2e74.rlib: /root/repo/crates/linalg/src/lib.rs /root/repo/crates/linalg/src/cholesky.rs /root/repo/crates/linalg/src/error.rs /root/repo/crates/linalg/src/lu.rs /root/repo/crates/linalg/src/matrix.rs /root/repo/crates/linalg/src/scalar.rs /root/repo/crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libfv_linalg-ceab221b918d2e74.rmeta: /root/repo/crates/linalg/src/lib.rs /root/repo/crates/linalg/src/cholesky.rs /root/repo/crates/linalg/src/error.rs /root/repo/crates/linalg/src/lu.rs /root/repo/crates/linalg/src/matrix.rs /root/repo/crates/linalg/src/scalar.rs /root/repo/crates/linalg/src/vector.rs
+
+/root/repo/crates/linalg/src/lib.rs:
+/root/repo/crates/linalg/src/cholesky.rs:
+/root/repo/crates/linalg/src/error.rs:
+/root/repo/crates/linalg/src/lu.rs:
+/root/repo/crates/linalg/src/matrix.rs:
+/root/repo/crates/linalg/src/scalar.rs:
+/root/repo/crates/linalg/src/vector.rs:

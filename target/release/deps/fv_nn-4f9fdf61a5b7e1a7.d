@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/fv_nn-4f9fdf61a5b7e1a7.d: /root/repo/crates/nn/src/lib.rs /root/repo/crates/nn/src/activation.rs /root/repo/crates/nn/src/checksum.rs /root/repo/crates/nn/src/data.rs /root/repo/crates/nn/src/error.rs /root/repo/crates/nn/src/guard.rs /root/repo/crates/nn/src/init.rs /root/repo/crates/nn/src/layer.rs /root/repo/crates/nn/src/loss.rs /root/repo/crates/nn/src/mlp.rs /root/repo/crates/nn/src/optim.rs /root/repo/crates/nn/src/schedule.rs /root/repo/crates/nn/src/serialize.rs /root/repo/crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libfv_nn-4f9fdf61a5b7e1a7.rlib: /root/repo/crates/nn/src/lib.rs /root/repo/crates/nn/src/activation.rs /root/repo/crates/nn/src/checksum.rs /root/repo/crates/nn/src/data.rs /root/repo/crates/nn/src/error.rs /root/repo/crates/nn/src/guard.rs /root/repo/crates/nn/src/init.rs /root/repo/crates/nn/src/layer.rs /root/repo/crates/nn/src/loss.rs /root/repo/crates/nn/src/mlp.rs /root/repo/crates/nn/src/optim.rs /root/repo/crates/nn/src/schedule.rs /root/repo/crates/nn/src/serialize.rs /root/repo/crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libfv_nn-4f9fdf61a5b7e1a7.rmeta: /root/repo/crates/nn/src/lib.rs /root/repo/crates/nn/src/activation.rs /root/repo/crates/nn/src/checksum.rs /root/repo/crates/nn/src/data.rs /root/repo/crates/nn/src/error.rs /root/repo/crates/nn/src/guard.rs /root/repo/crates/nn/src/init.rs /root/repo/crates/nn/src/layer.rs /root/repo/crates/nn/src/loss.rs /root/repo/crates/nn/src/mlp.rs /root/repo/crates/nn/src/optim.rs /root/repo/crates/nn/src/schedule.rs /root/repo/crates/nn/src/serialize.rs /root/repo/crates/nn/src/train.rs
+
+/root/repo/crates/nn/src/lib.rs:
+/root/repo/crates/nn/src/activation.rs:
+/root/repo/crates/nn/src/checksum.rs:
+/root/repo/crates/nn/src/data.rs:
+/root/repo/crates/nn/src/error.rs:
+/root/repo/crates/nn/src/guard.rs:
+/root/repo/crates/nn/src/init.rs:
+/root/repo/crates/nn/src/layer.rs:
+/root/repo/crates/nn/src/loss.rs:
+/root/repo/crates/nn/src/mlp.rs:
+/root/repo/crates/nn/src/optim.rs:
+/root/repo/crates/nn/src/schedule.rs:
+/root/repo/crates/nn/src/serialize.rs:
+/root/repo/crates/nn/src/train.rs:

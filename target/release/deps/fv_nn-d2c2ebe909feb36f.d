@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/fv_nn-d2c2ebe909feb36f.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/checksum.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/guard.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libfv_nn-d2c2ebe909feb36f.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/checksum.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/guard.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libfv_nn-d2c2ebe909feb36f.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/checksum.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/guard.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/checksum.rs:
+crates/nn/src/data.rs:
+crates/nn/src/error.rs:
+crates/nn/src/guard.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/train.rs:

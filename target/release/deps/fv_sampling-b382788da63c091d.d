@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fv_sampling-b382788da63c091d.d: /root/repo/crates/sampling/src/lib.rs /root/repo/crates/sampling/src/cloud.rs /root/repo/crates/sampling/src/importance.rs /root/repo/crates/sampling/src/random.rs /root/repo/crates/sampling/src/regular.rs /root/repo/crates/sampling/src/storage.rs /root/repo/crates/sampling/src/stratified.rs /root/repo/crates/sampling/src/value_stratified.rs
+
+/root/repo/target/release/deps/libfv_sampling-b382788da63c091d.rlib: /root/repo/crates/sampling/src/lib.rs /root/repo/crates/sampling/src/cloud.rs /root/repo/crates/sampling/src/importance.rs /root/repo/crates/sampling/src/random.rs /root/repo/crates/sampling/src/regular.rs /root/repo/crates/sampling/src/storage.rs /root/repo/crates/sampling/src/stratified.rs /root/repo/crates/sampling/src/value_stratified.rs
+
+/root/repo/target/release/deps/libfv_sampling-b382788da63c091d.rmeta: /root/repo/crates/sampling/src/lib.rs /root/repo/crates/sampling/src/cloud.rs /root/repo/crates/sampling/src/importance.rs /root/repo/crates/sampling/src/random.rs /root/repo/crates/sampling/src/regular.rs /root/repo/crates/sampling/src/storage.rs /root/repo/crates/sampling/src/stratified.rs /root/repo/crates/sampling/src/value_stratified.rs
+
+/root/repo/crates/sampling/src/lib.rs:
+/root/repo/crates/sampling/src/cloud.rs:
+/root/repo/crates/sampling/src/importance.rs:
+/root/repo/crates/sampling/src/random.rs:
+/root/repo/crates/sampling/src/regular.rs:
+/root/repo/crates/sampling/src/storage.rs:
+/root/repo/crates/sampling/src/stratified.rs:
+/root/repo/crates/sampling/src/value_stratified.rs:

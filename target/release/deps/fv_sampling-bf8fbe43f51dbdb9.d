@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fv_sampling-bf8fbe43f51dbdb9.d: crates/sampling/src/lib.rs crates/sampling/src/cloud.rs crates/sampling/src/importance.rs crates/sampling/src/random.rs crates/sampling/src/regular.rs crates/sampling/src/storage.rs crates/sampling/src/stratified.rs crates/sampling/src/value_stratified.rs
+
+/root/repo/target/release/deps/libfv_sampling-bf8fbe43f51dbdb9.rlib: crates/sampling/src/lib.rs crates/sampling/src/cloud.rs crates/sampling/src/importance.rs crates/sampling/src/random.rs crates/sampling/src/regular.rs crates/sampling/src/storage.rs crates/sampling/src/stratified.rs crates/sampling/src/value_stratified.rs
+
+/root/repo/target/release/deps/libfv_sampling-bf8fbe43f51dbdb9.rmeta: crates/sampling/src/lib.rs crates/sampling/src/cloud.rs crates/sampling/src/importance.rs crates/sampling/src/random.rs crates/sampling/src/regular.rs crates/sampling/src/storage.rs crates/sampling/src/stratified.rs crates/sampling/src/value_stratified.rs
+
+crates/sampling/src/lib.rs:
+crates/sampling/src/cloud.rs:
+crates/sampling/src/importance.rs:
+crates/sampling/src/random.rs:
+crates/sampling/src/regular.rs:
+crates/sampling/src/storage.rs:
+crates/sampling/src/stratified.rs:
+crates/sampling/src/value_stratified.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fv_sims-0360f7c612c5ca0d.d: /root/repo/crates/sims/src/lib.rs /root/repo/crates/sims/src/combustion.rs /root/repo/crates/sims/src/hurricane.rs /root/repo/crates/sims/src/ionization.rs /root/repo/crates/sims/src/noise.rs /root/repo/crates/sims/src/registry.rs
+
+/root/repo/target/release/deps/libfv_sims-0360f7c612c5ca0d.rlib: /root/repo/crates/sims/src/lib.rs /root/repo/crates/sims/src/combustion.rs /root/repo/crates/sims/src/hurricane.rs /root/repo/crates/sims/src/ionization.rs /root/repo/crates/sims/src/noise.rs /root/repo/crates/sims/src/registry.rs
+
+/root/repo/target/release/deps/libfv_sims-0360f7c612c5ca0d.rmeta: /root/repo/crates/sims/src/lib.rs /root/repo/crates/sims/src/combustion.rs /root/repo/crates/sims/src/hurricane.rs /root/repo/crates/sims/src/ionization.rs /root/repo/crates/sims/src/noise.rs /root/repo/crates/sims/src/registry.rs
+
+/root/repo/crates/sims/src/lib.rs:
+/root/repo/crates/sims/src/combustion.rs:
+/root/repo/crates/sims/src/hurricane.rs:
+/root/repo/crates/sims/src/ionization.rs:
+/root/repo/crates/sims/src/noise.rs:
+/root/repo/crates/sims/src/registry.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fv_sims-5c6c1e4221c72a97.d: crates/sims/src/lib.rs crates/sims/src/combustion.rs crates/sims/src/hurricane.rs crates/sims/src/ionization.rs crates/sims/src/noise.rs crates/sims/src/registry.rs
+
+/root/repo/target/release/deps/libfv_sims-5c6c1e4221c72a97.rlib: crates/sims/src/lib.rs crates/sims/src/combustion.rs crates/sims/src/hurricane.rs crates/sims/src/ionization.rs crates/sims/src/noise.rs crates/sims/src/registry.rs
+
+/root/repo/target/release/deps/libfv_sims-5c6c1e4221c72a97.rmeta: crates/sims/src/lib.rs crates/sims/src/combustion.rs crates/sims/src/hurricane.rs crates/sims/src/ionization.rs crates/sims/src/noise.rs crates/sims/src/registry.rs
+
+crates/sims/src/lib.rs:
+crates/sims/src/combustion.rs:
+crates/sims/src/hurricane.rs:
+crates/sims/src/ionization.rs:
+crates/sims/src/noise.rs:
+crates/sims/src/registry.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fv_spatial-6775ed3628aa9b70.d: /root/repo/crates/spatial/src/lib.rs /root/repo/crates/spatial/src/delaunay.rs /root/repo/crates/spatial/src/gridindex.rs /root/repo/crates/spatial/src/jitter.rs /root/repo/crates/spatial/src/kdtree.rs /root/repo/crates/spatial/src/morton.rs /root/repo/crates/spatial/src/predicates.rs
+
+/root/repo/target/release/deps/libfv_spatial-6775ed3628aa9b70.rlib: /root/repo/crates/spatial/src/lib.rs /root/repo/crates/spatial/src/delaunay.rs /root/repo/crates/spatial/src/gridindex.rs /root/repo/crates/spatial/src/jitter.rs /root/repo/crates/spatial/src/kdtree.rs /root/repo/crates/spatial/src/morton.rs /root/repo/crates/spatial/src/predicates.rs
+
+/root/repo/target/release/deps/libfv_spatial-6775ed3628aa9b70.rmeta: /root/repo/crates/spatial/src/lib.rs /root/repo/crates/spatial/src/delaunay.rs /root/repo/crates/spatial/src/gridindex.rs /root/repo/crates/spatial/src/jitter.rs /root/repo/crates/spatial/src/kdtree.rs /root/repo/crates/spatial/src/morton.rs /root/repo/crates/spatial/src/predicates.rs
+
+/root/repo/crates/spatial/src/lib.rs:
+/root/repo/crates/spatial/src/delaunay.rs:
+/root/repo/crates/spatial/src/gridindex.rs:
+/root/repo/crates/spatial/src/jitter.rs:
+/root/repo/crates/spatial/src/kdtree.rs:
+/root/repo/crates/spatial/src/morton.rs:
+/root/repo/crates/spatial/src/predicates.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fv_spatial-d7ff45c55b7f8d81.d: crates/spatial/src/lib.rs crates/spatial/src/delaunay.rs crates/spatial/src/gridindex.rs crates/spatial/src/jitter.rs crates/spatial/src/kdtree.rs crates/spatial/src/morton.rs crates/spatial/src/predicates.rs
+
+/root/repo/target/release/deps/libfv_spatial-d7ff45c55b7f8d81.rlib: crates/spatial/src/lib.rs crates/spatial/src/delaunay.rs crates/spatial/src/gridindex.rs crates/spatial/src/jitter.rs crates/spatial/src/kdtree.rs crates/spatial/src/morton.rs crates/spatial/src/predicates.rs
+
+/root/repo/target/release/deps/libfv_spatial-d7ff45c55b7f8d81.rmeta: crates/spatial/src/lib.rs crates/spatial/src/delaunay.rs crates/spatial/src/gridindex.rs crates/spatial/src/jitter.rs crates/spatial/src/kdtree.rs crates/spatial/src/morton.rs crates/spatial/src/predicates.rs
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/delaunay.rs:
+crates/spatial/src/gridindex.rs:
+crates/spatial/src/jitter.rs:
+crates/spatial/src/kdtree.rs:
+crates/spatial/src/morton.rs:
+crates/spatial/src/predicates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fv_verify_driver-dacfba8dd73ef7ef.d: src/main.rs
+
+/root/repo/target/release/deps/fv_verify_driver-dacfba8dd73ef7ef: src/main.rs
+
+src/main.rs:

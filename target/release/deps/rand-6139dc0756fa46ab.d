@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-6139dc0756fa46ab.d: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6139dc0756fa46ab.rlib: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6139dc0756fa46ab.rmeta: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-61469aecb8ab8ca2.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-61469aecb8ab8ca2.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-61469aecb8ab8ca2.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

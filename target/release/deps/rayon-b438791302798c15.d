@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-b438791302798c15.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-b438791302798c15.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-b438791302798c15.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-d083739795204cdd.d: /root/repo/vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-d083739795204cdd.rlib: /root/repo/vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-d083739795204cdd.rmeta: /root/repo/vendor/rayon/src/lib.rs
+
+/root/repo/vendor/rayon/src/lib.rs:
