@@ -1,0 +1,103 @@
+//! Runtime scaling — training and reconstruction wall-clock vs thread count.
+//!
+//! Times `FcnnPipeline::train` and full-grid reconstruction on explicit
+//! `fv_runtime::Pool`s of 1, 2 and 4 workers and emits
+//! `BENCH_runtime.json` (machine-readable, gitignored) plus the usual text
+//! table. With deterministic chunking (the default) the reconstructed
+//! fields are bitwise identical across the widths, which this binary
+//! verifies as it goes — a timing run that silently diverged numerically
+//! would be measuring the wrong thing.
+
+use fillvoid_core::metrics::snr_db;
+use fillvoid_core::pipeline::FcnnPipeline;
+use fv_bench::{secs, ExpOpts};
+use fv_sampling::{FieldSampler, ImportanceSampler};
+use fv_sims::DatasetSpec;
+use std::io::Write;
+use std::time::Instant;
+
+struct Row {
+    threads: usize,
+    train_s: f64,
+    reconstruct_s: f64,
+    snr: f64,
+    bits_match: bool,
+}
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let spec = DatasetSpec::by_name("isabel").expect("isabel is registered");
+    let sim = opts.build(spec);
+    let field = sim.timestep(sim.num_timesteps() / 2);
+    let config = opts.pipeline_config();
+    let cloud = ImportanceSampler::default().sample(&field, 0.03, opts.seed);
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reference_bits: Option<Vec<u32>> = None;
+    for threads in [1usize, 2, 4] {
+        let pool = fv_runtime::Pool::new(threads);
+        let (train_s, reconstruct_s, recon) = pool.install(|| {
+            let t0 = Instant::now();
+            let model = FcnnPipeline::train(&field, &config, opts.seed).expect("training");
+            let train_s = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let recon = model
+                .reconstruct(&cloud, field.grid())
+                .expect("reconstruction");
+            (train_s, t1.elapsed().as_secs_f64(), recon)
+        });
+        let bits: Vec<u32> = recon.values().iter().map(|v| v.to_bits()).collect();
+        let bits_match = match &reference_bits {
+            Some(reference) => reference == &bits,
+            None => {
+                reference_bits = Some(bits);
+                true
+            }
+        };
+        rows.push(Row {
+            threads,
+            train_s,
+            reconstruct_s,
+            snr: snr_db(&field, &recon),
+            bits_match,
+        });
+    }
+
+    println!("# Runtime scaling — isabel, 3% sampling, FV_DETERMINISTIC default");
+    println!("# scale: {:?}, grid: {:?}", opts.scale, field.grid().dims());
+    println!("{:>8} {:>10} {:>14} {:>8} {:>10}", "threads", "train_s", "reconstruct_s", "snr_db", "bitwise");
+    for r in &rows {
+        println!(
+            "{:>8} {:>10} {:>14} {:>8.2} {:>10}",
+            r.threads,
+            secs(r.train_s),
+            secs(r.reconstruct_s),
+            r.snr,
+            if r.bits_match { "match" } else { "DIVERGED" },
+        );
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"runtime_scaling\",\n  \"dataset\": \"isabel\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"train_s\": {:.6}, \"reconstruct_s\": {:.6}, \"snr_db\": {:.4}, \"bitwise_match\": {}}}{}\n",
+            r.threads,
+            r.train_s,
+            r.reconstruct_s,
+            r.snr,
+            r.bits_match,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_runtime.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_runtime.json");
+    println!("# wrote {path}");
+
+    if rows.iter().any(|r| !r.bits_match) {
+        eprintln!("error: reconstruction diverged across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,14 @@ use std::ops::{Index, IndexMut};
 /// Rayon pool; below this the parallel overhead dominates.
 const PAR_MIN_ROWS: usize = 32;
 
+/// Row-block size for the blocked parallel kernels. Delegates to the
+/// runtime's chunk geometry, which in deterministic mode depends only on the
+/// row count — never the worker count — so `par_transpose_a_matmul`'s block
+/// reduction sums the same partials in the same order at any `FV_THREADS`.
+fn row_block(rows: usize) -> usize {
+    fv_runtime::chunk_size(rows, 8, usize::MAX)
+}
+
 /// A dense, row-major matrix over an [`Scalar`] element type.
 ///
 /// The layout is `data[r * cols + c]`; rows are contiguous, which is what the
@@ -250,7 +258,7 @@ impl<T: Scalar> Matrix<T> {
         let mut out = Self::zeros(self.rows, rhs.cols);
         let k = self.cols;
         let n = rhs.cols;
-        let chunk = (self.rows / rayon::current_num_threads().max(1)).max(8);
+        let chunk = row_block(self.rows);
         out.data
             .par_chunks_mut(chunk * n)
             .zip(self.data.par_chunks(chunk * k))
@@ -312,9 +320,10 @@ impl<T: Scalar> Matrix<T> {
         Ok(out)
     }
 
-    /// Parallel `self^T * rhs`: row blocks are reduced through per-thread
-    /// accumulators, so the result is identical across thread counts up to
-    /// floating-point associativity of the fixed-order block reduction.
+    /// Parallel `self^T * rhs`: fixed-size row blocks are reduced through
+    /// per-block accumulators summed in block order. Block geometry comes
+    /// from [`row_block`], so in deterministic mode the result is bitwise
+    /// identical at any thread count.
     pub fn par_transpose_a_matmul(&self, rhs: &Self) -> Result<Self, LinalgError> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -328,7 +337,7 @@ impl<T: Scalar> Matrix<T> {
         }
         let ka = self.cols;
         let kb = rhs.cols;
-        let chunk = (self.rows / rayon::current_num_threads().max(1)).max(8);
+        let chunk = row_block(self.rows);
         let partials: Vec<Matrix<T>> = self
             .data
             .par_chunks(chunk * ka)

@@ -4,6 +4,7 @@ use crate::activation::Activation;
 use crate::init::Init;
 use fv_linalg::Matrix;
 use rand::Rng;
+use rayon::prelude::*;
 
 /// A dense layer `y = act(x Wᵀ + b)`.
 ///
@@ -79,14 +80,17 @@ impl Dense {
         let mut pre = input
             .par_matmul_transpose_b(&self.weights)
             .expect("layer width checked by Mlp::forward");
-        for r in 0..pre.rows() {
-            let row = pre.row_mut(r);
-            for (v, &b) in row.iter_mut().zip(self.bias.iter()) {
+        let width = self.output_size();
+        let bias = &self.bias;
+        pre.as_mut_slice().par_chunks_mut(width).for_each(|row| {
+            for (v, &b) in row.iter_mut().zip(bias.iter()) {
                 *v += b;
             }
-        }
+        });
         let act = self.activation;
-        let out = pre.map(|v| act.apply(v));
+        let out_data: Vec<f32> = pre.as_slice().par_iter().map(|&v| act.apply(v)).collect();
+        let out = Matrix::from_vec(pre.rows(), pre.cols(), out_data)
+            .expect("same shape as pre-activation");
         (out, ForwardCache { input, pre })
     }
 
@@ -96,12 +100,13 @@ impl Dense {
             .par_matmul_transpose_b(&self.weights)
             .expect("layer width checked by Mlp::forward");
         let act = self.activation;
-        for r in 0..pre.rows() {
-            let row = pre.row_mut(r);
-            for (v, &b) in row.iter_mut().zip(self.bias.iter()) {
+        let width = self.output_size();
+        let bias = &self.bias;
+        pre.as_mut_slice().par_chunks_mut(width).for_each(|row| {
+            for (v, &b) in row.iter_mut().zip(bias.iter()) {
                 *v = act.apply(*v + b);
             }
-        }
+        });
         pre
     }
 
@@ -114,24 +119,39 @@ impl Dense {
     ) -> (DenseGrads, Matrix<f32>) {
         // dZ = dA ⊙ act'(Z)
         let act = self.activation;
-        for (g, &z) in grad_out
+        grad_out
             .as_mut_slice()
-            .iter_mut()
-            .zip(cache.pre.as_slice().iter())
-        {
-            *g *= act.derivative(z);
-        }
+            .par_iter_mut()
+            .zip(cache.pre.as_slice().par_iter())
+            .for_each(|(g, &z)| *g *= act.derivative(z));
         // dW = dZᵀ · X  -> [out, in]
         let dw = grad_out
             .par_transpose_a_matmul(&cache.input)
             .expect("shapes match by construction");
-        // db = column sums of dZ
-        let mut db = vec![0.0f32; self.output_size()];
-        for r in 0..grad_out.rows() {
-            for (b, &g) in db.iter_mut().zip(grad_out.row(r)) {
-                *b += g;
-            }
-        }
+        // db = column sums of dZ. Row chunks fold locally and merge in
+        // chunk order, so the sum is reproducible at any thread count.
+        let width = self.output_size();
+        let db = grad_out
+            .as_slice()
+            .par_chunks(width)
+            .fold(
+                || vec![0.0f32; width],
+                |mut acc, row| {
+                    for (b, &g) in acc.iter_mut().zip(row.iter()) {
+                        *b += g;
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0.0f32; width],
+                |mut a, b| {
+                    for (x, &y) in a.iter_mut().zip(b.iter()) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
         // dX = dZ · W -> [batch, in]
         let dx = grad_out
             .par_matmul(&self.weights)

@@ -7,6 +7,12 @@
 
 use crate::layer::{Dense, DenseGrads};
 use fv_linalg::Matrix;
+use rayon::prelude::*;
+
+/// Element chunk for parallel optimizer updates. The update is elementwise,
+/// so any chunking is deterministic; this size keeps per-task overhead well
+/// under the arithmetic it covers.
+const ELEM_CHUNK: usize = 4096;
 
 /// A gradient-based parameter updater.
 pub trait Optimizer {
@@ -147,18 +153,24 @@ impl Optimizer for Adam {
             if !layer.trainable {
                 continue;
             }
-            // Weights.
+            // Weights: elementwise, so parallel chunks race with nothing.
             let w = layer.weights.as_mut_slice();
             let g = grad.weights.as_slice();
             let m = st.mw.as_mut_slice();
             let v = st.vw.as_mut_slice();
-            for i in 0..w.len() {
-                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
-                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
-                let mh = m[i] / bc1;
-                let vh = v[i] / bc2;
-                w[i] -= lr * mh / (vh.sqrt() + eps);
-            }
+            w.par_chunks_mut(ELEM_CHUNK)
+                .zip(g.par_chunks(ELEM_CHUNK))
+                .zip(m.par_chunks_mut(ELEM_CHUNK))
+                .zip(v.par_chunks_mut(ELEM_CHUNK))
+                .for_each(|(((wc, gc), mc), vc)| {
+                    for i in 0..wc.len() {
+                        mc[i] = b1 * mc[i] + (1.0 - b1) * gc[i];
+                        vc[i] = b2 * vc[i] + (1.0 - b2) * gc[i] * gc[i];
+                        let mh = mc[i] / bc1;
+                        let vh = vc[i] / bc2;
+                        wc[i] -= lr * mh / (vh.sqrt() + eps);
+                    }
+                });
             // Biases.
             for i in 0..layer.bias.len() {
                 let gi = grad.bias[i];

@@ -4,10 +4,13 @@
 //! The tree stores *indices into the caller's point slice*, so one tree can
 //! serve many value arrays (the sampled cloud keeps positions and values in
 //! parallel vectors). Construction is a median split via
-//! `select_nth_unstable` (O(n log n), no allocation per node); queries are
-//! iterative with an explicit stack, so deep trees cannot overflow the call
-//! stack.
+//! `select_nth_unstable` (O(n log n), no allocation per node); large
+//! subtrees build in parallel into disjoint halves of a preallocated node
+//! arena, producing the exact pre-order layout of a sequential build.
+//! Queries are iterative with an explicit stack, so deep trees cannot
+//! overflow the call stack.
 
+use rayon::prelude::*;
 use std::collections::BinaryHeap;
 
 /// Index type for points; u32 keeps nodes compact (4 G points is far beyond
@@ -16,7 +19,11 @@ type PIdx = u32;
 
 const NONE: u32 = u32::MAX;
 
-#[derive(Debug, Clone)]
+/// Subtrees below this size build sequentially; above it, the two children
+/// build through `rayon::join` so idle workers steal the bigger half.
+const PAR_BUILD_MIN: usize = 4096;
+
+#[derive(Debug, Clone, PartialEq)]
 struct Node {
     /// Index of the splitting point in the caller's slice.
     point: PIdx,
@@ -27,7 +34,7 @@ struct Node {
 }
 
 /// An immutable k-d tree over a slice of 3-D points.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KdTree {
     nodes: Vec<Node>,
     root: u32,
@@ -72,14 +79,30 @@ impl Ord for HeapItem {
 impl KdTree {
     /// Build a tree over `points`. The slice is not stored; queries take it
     /// again so the caller keeps ownership.
+    ///
+    /// Large subtrees build in parallel, but node placement is fixed by the
+    /// pre-order arena layout (a subtree over `m` points occupies `m`
+    /// consecutive slots: its root, then its left subtree, then its right),
+    /// so the resulting tree is identical at any thread count.
     pub fn build(points: &[[f64; 3]]) -> Self {
-        let mut order: Vec<PIdx> = (0..points.len() as u32).collect();
-        let mut nodes = Vec::with_capacity(points.len());
-        let root = build_recursive(points, &mut order, 0, &mut nodes);
+        let n = points.len();
+        let mut order: Vec<PIdx> = (0..n as u32).collect();
+        let mut nodes = vec![
+            Node {
+                point: 0,
+                dim: 0,
+                left: NONE,
+                right: NONE,
+            };
+            n
+        ];
+        if n > 0 {
+            build_subtree(points, &mut order, 0, 0, &mut nodes);
+        }
         Self {
             nodes,
-            root,
-            len: points.len(),
+            root: if n > 0 { 0 } else { NONE },
+            len: n,
         }
     }
 
@@ -159,6 +182,23 @@ impl KdTree {
         out
     }
 
+    /// The `k` nearest points for every query, computed in parallel.
+    ///
+    /// Result `i` equals `self.k_nearest(points, queries[i], k)`; this is
+    /// the throughput entry point for feature extraction, where tens of
+    /// thousands of grid vertices each need their neighborhood.
+    pub fn k_nearest_batch(
+        &self,
+        points: &[[f64; 3]],
+        queries: &[[f64; 3]],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        queries
+            .par_iter()
+            .map(|&q| self.k_nearest(points, q, k))
+            .collect()
+    }
+
     /// All points within `radius` of `query` (unsorted).
     pub fn within_radius(
         &self,
@@ -224,15 +264,19 @@ impl KdTree {
     }
 }
 
-fn build_recursive(
+/// Build the subtree over `order` into `nodes` (same length as `order`),
+/// whose first slot has absolute index `base` in the tree's arena. Layout is
+/// pre-order: root at `base`, left subtree at `base+1..base+1+mid`, right
+/// subtree after it — exactly what a sequential push-as-you-recurse build
+/// produces, so parallel and sequential construction yield identical trees.
+fn build_subtree(
     points: &[[f64; 3]],
     order: &mut [PIdx],
     depth: usize,
-    nodes: &mut Vec<Node>,
-) -> u32 {
-    if order.is_empty() {
-        return NONE;
-    }
+    base: u32,
+    nodes: &mut [Node],
+) {
+    debug_assert_eq!(order.len(), nodes.len());
     // Split on the axis with the largest spread for better balance on
     // anisotropic clouds; fall back to round-robin when tiny.
     let dim = if order.len() > 8 {
@@ -249,20 +293,35 @@ fn build_recursive(
             .then_with(|| a.cmp(&b))
     });
     let point = order[mid];
-    let this = nodes.len() as u32;
-    nodes.push(Node {
+    let (left_order, rest) = order.split_at_mut(mid);
+    let right_order = &mut rest[1..];
+    let (this_node, child_nodes) = nodes.split_first_mut().expect("non-empty subtree");
+    let (left_nodes, right_nodes) = child_nodes.split_at_mut(mid);
+    let left_base = base + 1;
+    let right_base = base + 1 + mid as u32;
+    *this_node = Node {
         point,
         dim,
-        left: NONE,
-        right: NONE,
-    });
-    let (left_slice, rest) = order.split_at_mut(mid);
-    let right_slice = &mut rest[1..];
-    let left = build_recursive(points, left_slice, depth + 1, nodes);
-    let right = build_recursive(points, right_slice, depth + 1, nodes);
-    nodes[this as usize].left = left;
-    nodes[this as usize].right = right;
-    this
+        left: if left_order.is_empty() { NONE } else { left_base },
+        right: if right_order.is_empty() { NONE } else { right_base },
+    };
+    let (left_len, right_len) = (left_order.len(), right_order.len());
+    let mut build_left = || {
+        if left_len > 0 {
+            build_subtree(points, left_order, depth + 1, left_base, left_nodes);
+        }
+    };
+    let mut build_right = || {
+        if right_len > 0 {
+            build_subtree(points, right_order, depth + 1, right_base, right_nodes);
+        }
+    };
+    if left_len.max(right_len) >= PAR_BUILD_MIN {
+        rayon::join(build_left, build_right);
+    } else {
+        build_left();
+        build_right();
+    }
 }
 
 fn widest_axis(points: &[[f64; 3]], order: &[PIdx]) -> u8 {
@@ -416,6 +475,34 @@ mod tests {
         let mut idx: Vec<usize> = got.iter().map(|n| n.index).collect();
         idx.sort_unstable();
         assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_at_any_width() {
+        // 10_000 points crosses PAR_BUILD_MIN, so the upper subtree splits
+        // go through rayon::join. The arena layout must make the result
+        // independent of who built what.
+        let pts = pseudo_points(10_000, 13);
+        let wide = fv_runtime::Pool::new(8).install(|| KdTree::build(&pts));
+        let narrow = fv_runtime::Pool::new(1).install(|| KdTree::build(&pts));
+        assert_eq!(wide, narrow);
+        for q in pseudo_points(10, 77) {
+            let fast = wide.nearest(&pts, q).unwrap();
+            let brute = brute_k_nearest(&pts, q, 1)[0];
+            assert_eq!(fast.index, brute.index, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_batch_matches_single_queries() {
+        let pts = pseudo_points(500, 17);
+        let t = KdTree::build(&pts);
+        let queries = pseudo_points(64, 23);
+        let batch = t.k_nearest_batch(&pts, &queries, 6);
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(got, &t.k_nearest(&pts, *q, 6));
+        }
     }
 
     #[test]

@@ -4,7 +4,11 @@
 # Usage: scripts/ci.sh [--release]
 # - clippy with warnings denied (vendor/ stubs included: they compile as
 #   workspace members and must stay warning-free too)
-# - the full test suite (unit + property + integration)
+# - the full test suite (unit + property + integration), run twice: once on
+#   a single-worker pool and once on four workers. FV_THREADS is read once
+#   per process, so the two passes are what exercises both the sequential
+#   fast paths and real work-stealing (races, panic propagation, and the
+#   deterministic-chunking contract of vendor/fv-runtime).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,7 +20,10 @@ fi
 echo "=== clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets "${MODE[@]}" -- -D warnings
 
-echo "=== tests ==="
-cargo test --workspace -q "${MODE[@]}"
+echo "=== tests (FV_THREADS=1) ==="
+FV_THREADS=1 cargo test --workspace -q "${MODE[@]}"
+
+echo "=== tests (FV_THREADS=4) ==="
+FV_THREADS=4 cargo test --workspace -q "${MODE[@]}"
 
 echo "CI gate passed."

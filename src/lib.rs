@@ -41,6 +41,7 @@ pub use fv_field as field;
 pub use fv_interp as interp;
 pub use fv_linalg as linalg;
 pub use fv_nn as nn;
+pub use fv_runtime as runtime;
 pub use fv_sampling as sampling;
 pub use fv_sims as sims;
 pub use fv_spatial as spatial;

@@ -32,8 +32,57 @@ fn arb_field() -> impl Strategy<Value = ScalarField> {
         })
 }
 
+/// Train + reconstruct end-to-end at a given pool width. Everything inside
+/// `install` — feature extraction, kNN, matmuls, Adam, prediction — runs on
+/// that pool, so this exercises the full deterministic-parallelism contract.
+fn pipeline_at_width(width: usize, field: &ScalarField) -> Vec<u32> {
+    use fillvoid::core::pipeline::{FcnnPipeline, PipelineConfig};
+    let pool = fv_runtime::Pool::new(width);
+    pool.install(|| {
+        let config = PipelineConfig::small_for_tests();
+        let model = FcnnPipeline::train(field, &config, 42).unwrap();
+        let cloud = ImportanceSampler::default().sample(field, 0.05, 7);
+        let recon = model.reconstruct(&cloud, field.grid()).unwrap();
+        recon.values().iter().map(|v| v.to_bits()).collect()
+    })
+}
+
+/// The tentpole guarantee: with deterministic chunking (the default), the
+/// entire ML pipeline — training corpus assembly, kNN features, forward /
+/// backward matmuls, the Adam updates and the final full-grid prediction —
+/// produces bitwise identical floats at any thread count.
+#[test]
+fn fcnn_pipeline_bitwise_identical_across_thread_counts() {
+    let g = Grid3::new([10, 10, 4]).unwrap();
+    let field = ScalarField::from_world_fn(g, |p| {
+        ((p[0] * 1.3).sin() + (p[1] * 0.7).cos() + 0.2 * p[2]) as f32
+    });
+    let narrow = pipeline_at_width(1, &field);
+    let wide = pipeline_at_width(8, &field);
+    assert_eq!(narrow, wide, "reconstruction differs between 1 and 8 threads");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn classical_reconstruction_bitwise_identical_across_thread_counts(
+        field in arb_field(),
+        fraction in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let cloud = ImportanceSampler::default().sample(&field, fraction, seed);
+        let shepard = ShepardReconstructor::default();
+        let reconstruct_at = |width: usize| {
+            let pool = fv_runtime::Pool::new(width);
+            pool.install(|| shepard.reconstruct(&cloud, field.grid()).unwrap())
+        };
+        let narrow = reconstruct_at(1);
+        let wide = reconstruct_at(6);
+        let narrow_bits: Vec<u32> = narrow.values().iter().map(|v| v.to_bits()).collect();
+        let wide_bits: Vec<u32> = wide.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(narrow_bits, wide_bits);
+    }
 
     #[test]
     fn samplers_honor_exact_budgets(field in arb_field(), fraction in 0.01f64..0.9, seed in any::<u64>()) {

@@ -1,0 +1,116 @@
+//! Per-worker work-stealing deques, crossbeam-style.
+//!
+//! Each worker owns a [`Worker`] handle to its deque and holds [`Stealer`]
+//! handles to every other worker's. The owner pushes and pops at the *back*
+//! (LIFO — the hot end, newest and cache-warmest tasks first), thieves take
+//! from the *front* (FIFO — the oldest, typically largest, subproblems).
+//! That asymmetric discipline is the Chase–Lev layout; stealing the oldest
+//! task moves the biggest remaining chunk of work to the idle thread, which
+//! is what makes recursive `join` splitting load-balance itself.
+//!
+//! The buffer here is a `Mutex<VecDeque>` rather than a lock-free array:
+//! tasks in this workspace are coarse (one task covers a whole chunk of
+//! grid slabs or matrix rows), so deque operations are rare relative to the
+//! work they guard and an uncontended mutex lock is noise. The handle API
+//! matches crossbeam-deque's `Worker`/`Stealer` split so a lock-free
+//! implementation can drop in behind it without touching the pool.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The owning end of a deque: LIFO push/pop at the back.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// A thief's end of another worker's deque: FIFO steal from the front.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Create a new deque, returning the owner and one stealer handle.
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    let inner = Arc::new(Mutex::new(VecDeque::new()));
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T: Send> Worker<T> {
+    /// Push a task onto the hot (back) end.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Pop the most recently pushed task, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_back()
+    }
+
+    /// `true` if the deque currently holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Steal the oldest task from the front, if any.
+    pub fn steal(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// `true` if there is nothing to steal right now.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let (w, s) = deque::<u32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Some(1)); // oldest from the front
+        assert_eq!(w.pop(), Some(3)); // newest from the back
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn steal_from_other_thread() {
+        let (w, s) = deque::<usize>();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let handle = std::thread::spawn(move || {
+            let mut got = 0;
+            while s.steal().is_some() {
+                got += 1;
+            }
+            got
+        });
+        let mut local = 0;
+        while w.pop().is_some() {
+            local += 1;
+        }
+        let stolen = handle.join().unwrap();
+        assert_eq!(local + stolen, 100);
+    }
+}

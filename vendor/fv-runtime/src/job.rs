@@ -1,0 +1,116 @@
+//! Type-erased jobs: the unit of work that moves through the deques.
+
+use crate::latch::Latch;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+/// A type-erased pointer to a job awaiting execution.
+///
+/// The pointee is either a [`StackJob`] (lives on the stack of a caller that
+/// blocks until the job's latch is set, so the pointer stays valid) or a
+/// [`HeapJob`] (boxed, freed by its executor). `execute` must be called
+/// exactly once per `JobRef`.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: a JobRef is only ever executed once, and the pointee is kept alive
+// by the blocked owner (StackJob) or owned by the executor (HeapJob).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Run the job. Safety: call exactly once; the pointee must be alive.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+
+    /// Whether two refs point at the same job (pointer identity only; two
+    /// live jobs always have distinct addresses).
+    #[inline]
+    pub(crate) fn same_job(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.pointer, other.pointer)
+    }
+}
+
+/// A job whose closure and result live on the stack of the thread that
+/// created it. Sound because that thread blocks (or steals) until the job's
+/// latch is set, keeping the frame alive for the executor.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    pub(crate) latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> Self {
+        Self {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// Erase to a [`JobRef`].
+    ///
+    /// Safety: the caller must keep `self` alive until the latch is set and
+    /// must consume the ref exactly once.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            pointer: self as *const Self as *const (),
+            execute_fn: execute_stack::<F, R>,
+        }
+    }
+
+    /// Take the stored result. Safety: only after the latch is set.
+    pub(crate) unsafe fn take_result(&self) -> std::thread::Result<R> {
+        (*self.result.get())
+            .take()
+            .expect("job result present once latch is set")
+    }
+}
+
+unsafe fn execute_stack<F, R>(pointer: *const ())
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let job = &*(pointer as *const StackJob<F, R>);
+    let func = (*job.func.get()).take().expect("job executed exactly once");
+    // Panics are captured here and resumed on the thread that waits on the
+    // latch — a worker never unwinds out of its run loop.
+    let result = panic::catch_unwind(AssertUnwindSafe(func));
+    *job.result.get() = Some(result);
+    job.latch.set();
+}
+
+/// A heap-allocated fire-and-forget job (used by [`crate::scope`] spawns).
+/// The closure is responsible for its own panic handling and completion
+/// signalling; the box is freed by the executor.
+pub(crate) struct HeapJob<F: FnOnce() + Send> {
+    func: F,
+}
+
+impl<F: FnOnce() + Send> HeapJob<F> {
+    pub(crate) fn new(func: F) -> Box<Self> {
+        Box::new(Self { func })
+    }
+
+    /// Erase to a [`JobRef`], transferring ownership of the box to it.
+    pub(crate) fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef {
+            pointer: Box::into_raw(self) as *const (),
+            execute_fn: execute_heap::<F>,
+        }
+    }
+}
+
+unsafe fn execute_heap<F: FnOnce() + Send>(pointer: *const ()) {
+    let job = Box::from_raw(pointer as *const HeapJob<F> as *mut HeapJob<F>);
+    (job.func)();
+}

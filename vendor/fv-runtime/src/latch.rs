@@ -1,0 +1,101 @@
+//! Completion signalling between job producers and consumers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A one-shot "this job finished" flag.
+///
+/// The executing thread calls [`Latch::set`] exactly once, *after* the job's
+/// result has been written. Worker threads waiting on a latch keep stealing
+/// other work and only [`Latch::probe`]; external (non-pool) threads block on
+/// the internal condvar via [`Latch::wait`].
+pub(crate) struct Latch {
+    done: AtomicBool,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Self {
+            done: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// `true` once the job has completed. `Acquire` pairs with the `Release`
+    /// store in [`Latch::set`], so a `true` probe makes the job's result
+    /// visible to the prober.
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Mark the job complete and wake any blocked waiter.
+    ///
+    /// Taking the mutex before notifying closes the race where a waiter
+    /// probes `false`, and would otherwise park just after the notification:
+    /// the waiter holds the lock from its probe until it parks, so `set`
+    /// cannot slip a notification into that window.
+    pub(crate) fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        let _guard = self.lock.lock().unwrap();
+        self.cond.notify_all();
+    }
+
+    /// Block the calling thread until the latch is set. Only for threads
+    /// outside the pool — a worker must steal while it waits instead.
+    pub(crate) fn wait(&self) {
+        let mut guard = self.lock.lock().unwrap();
+        while !self.probe() {
+            guard = self.cond.wait(guard).unwrap();
+        }
+    }
+}
+
+/// A counting latch for [`crate::scope`]: starts at zero, counts outstanding
+/// spawned jobs, and releases waiters when the count returns to zero.
+///
+/// The count lives under the mutex (not in an atomic) so that the final
+/// decrement's `notify_all` and the waiter's wakeup are totally ordered:
+/// once `wait` returns, no decrementer still touches this latch, making it
+/// safe to drop the enclosing scope.
+pub(crate) struct CountLatch {
+    count: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    pub(crate) fn new() -> Self {
+        Self {
+            count: Mutex::new(0),
+            cond: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn increment(&self) {
+        *self.count.lock().unwrap() += 1;
+    }
+
+    pub(crate) fn decrement(&self) {
+        let mut count = self.count.lock().unwrap();
+        *count -= 1;
+        if *count == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    /// `true` while spawned jobs are still outstanding.
+    pub(crate) fn is_pending(&self) -> bool {
+        *self.count.lock().unwrap() > 0
+    }
+
+    /// Block until the count reaches zero (for non-worker threads).
+    pub(crate) fn wait(&self) {
+        let mut count = self.count.lock().unwrap();
+        while *count > 0 {
+            count = self.cond.wait(count).unwrap();
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! # fv-runtime
+//!
+//! A work-stealing OS-thread pool for the `fillvoid` workspace, built on
+//! `std::thread` plus crossbeam-style per-worker deques — no external
+//! dependencies, so it works in the offline build environment. The
+//! `vendor/rayon` facade is reimplemented on top of this crate, which takes
+//! every `par_iter`/`par_chunks` hot path in the workspace (kNN feature
+//! extraction, FCNN training matmuls, full-grid reconstruction, the
+//! interpolation baselines) from sequential stand-in execution to real
+//! multicore execution without source changes in the nine `fv-*` crates.
+//!
+//! ## Primitives
+//!
+//! * [`join`] — the fork/join core: run two closures, potentially in
+//!   parallel, with panic propagation. Recursive `join` is how everything
+//!   else splits.
+//! * [`scope`] — structured spawns that may borrow the caller's stack.
+//! * [`par_for`] / [`par_map`] / [`par_reduce`] — chunked data-parallel
+//!   drivers over index ranges.
+//! * [`Pool`] — explicit pools (`Pool::new(8).install(|| ...)`) for tests
+//!   and benchmarks that need a specific width; everything else uses the
+//!   lazily created global pool.
+//!
+//! ## Configuration
+//!
+//! * `FV_THREADS=N` — worker count of the global pool (default: the
+//!   machine's available parallelism). Read once, at first use.
+//! * `FV_DETERMINISTIC=0|false|off` — switch from deterministic chunking
+//!   (the default) to throughput chunking. In deterministic mode chunk
+//!   boundaries and reduction trees depend only on the problem size, so
+//!   floating-point results are bitwise identical at any `FV_THREADS` —
+//!   which keeps checkpoint CRCs and reported SNR numbers reproducible.
+//!
+//! ## Determinism contract
+//!
+//! Work *placement* (which worker runs which chunk) is always
+//! nondeterministic — that is the point of stealing. Work *decomposition*
+//! is deterministic in deterministic mode: leaves are the fixed chunks
+//! `[i*chunk, (i+1)*chunk)` and reductions combine them in index order, so
+//! any value computed through these drivers is a pure function of its
+//! inputs. See DESIGN.md §9 for the full architecture.
+
+pub mod deque;
+mod job;
+mod latch;
+mod par;
+mod pool;
+mod scope;
+
+pub use par::{chunk_size, par_for, par_map, par_reduce, split_point, SendPtr, DETERMINISTIC_CHUNKS};
+pub use pool::{current_num_threads, join, Pool};
+pub use scope::{scope, Scope};
+
+use std::sync::OnceLock;
+
+/// `true` when deterministic chunking is active (the default; disable with
+/// `FV_DETERMINISTIC=0`). Read once, at first use.
+pub fn deterministic() -> bool {
+    static DETERMINISTIC: OnceLock<bool> = OnceLock::new();
+    *DETERMINISTIC.get_or_init(|| {
+        match std::env::var("FV_DETERMINISTIC") {
+            Ok(raw) => !matches!(
+                raw.trim().to_ascii_lowercase().as_str(),
+                "0" | "false" | "off" | "no"
+            ),
+            Err(_) => true,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 21 * 2, || "b");
+        assert_eq!(a, 42);
+        assert_eq!(b, "b");
+    }
+
+    #[test]
+    fn join_borrows_stack_data() {
+        let xs = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let (lo, hi) = xs.split_at(4);
+        let (a, b) = join(
+            || lo.iter().sum::<u64>(),
+            || hi.iter().sum::<u64>(),
+        );
+        assert_eq!(a + b, 36);
+    }
+
+    #[test]
+    fn nested_join_no_deadlock() {
+        // Parallel fib stresses deep nesting: every level parks a branch in
+        // the deque and the LIFO pop/steal discipline must always make
+        // progress, whatever the pool width.
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let pool = Pool::new(4);
+        assert_eq!(pool.install(|| fib(16)), 987);
+    }
+
+    #[test]
+    fn panic_in_stolen_branch_propagates() {
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                join(
+                    || 1 + 1,
+                    || -> i32 { panic!("worker branch panicked") },
+                )
+            })
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("worker branch panicked"), "got {msg:?}");
+        // The pool survives a propagated panic and keeps executing work.
+        assert_eq!(pool.install(|| join(|| 2, || 3)), (2, 3));
+    }
+
+    #[test]
+    fn panic_in_first_branch_still_settles_second() {
+        let pool = Pool::new(2);
+        let ran_b = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                join(
+                    || panic!("branch a"),
+                    || ran_b.fetch_add(1, Ordering::SeqCst),
+                )
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(ran_b.load(Ordering::SeqCst), 1, "b must run before unwind");
+    }
+
+    #[test]
+    fn install_runs_on_a_pool_worker() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        let name = pool.install(|| std::thread::current().name().map(str::to_owned));
+        assert!(name.unwrap_or_default().starts_with("fv-runtime-"));
+    }
+
+    #[test]
+    fn scope_spawns_complete_before_return() {
+        let pool = Pool::new(4);
+        let mut counts = [0u32; 32];
+        pool.install(|| {
+            scope(|s| {
+                for c in counts.iter_mut() {
+                    s.spawn(move || *c += 1);
+                }
+            });
+        });
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn scope_propagates_spawn_panic() {
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                scope(|s| {
+                    s.spawn(|| panic!("spawned panic"));
+                });
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let out = par_map(1000, |i| i * i);
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+    }
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        let pool = Pool::new(4);
+        pool.install(|| {
+            par_for(hits.len(), 7, &|start, end| {
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_reduce_matches_sequential() {
+        let total = par_reduce(
+            10_000,
+            97,
+            &|start, end| (start..end).map(|i| i as u64).sum::<u64>(),
+            &|a, b| a + b,
+        );
+        assert_eq!(total, Some((0..10_000u64).sum()));
+        assert_eq!(par_reduce(0, 8, &|_, _| 1u32, &|a, b| a + b), None);
+    }
+
+    #[test]
+    fn float_reduction_bitwise_identical_across_widths() {
+        // An associativity-sensitive sum: identical chunk geometry must give
+        // an identical bit pattern whatever the pool width.
+        let reduce_in = |pool: &Pool| {
+            pool.install(|| {
+                par_reduce(
+                    100_000,
+                    1024,
+                    &|start, end| (start..end).map(|i| (i as f32).sqrt() * 1e-3).sum::<f32>(),
+                    &|a, b| a + b,
+                )
+                .unwrap()
+            })
+        };
+        let one = reduce_in(&Pool::new(1));
+        let eight = reduce_in(&Pool::new(8));
+        assert_eq!(one.to_bits(), eight.to_bits());
+    }
+
+    #[test]
+    fn split_points_are_chunk_aligned() {
+        for (len, chunk) in [(100usize, 7usize), (1000, 64), (65, 64), (129, 64)] {
+            let mid = split_point(len, chunk);
+            assert_eq!(mid % chunk, 0);
+            assert!(mid > 0 && mid < len, "len={len} chunk={chunk} mid={mid}");
+        }
+    }
+}

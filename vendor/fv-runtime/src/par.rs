@@ -1,0 +1,149 @@
+//! Chunked data-parallel cores: `par_for`, `par_map`, `par_reduce`.
+//!
+//! Everything here works over an index range `[0, len)` cut into
+//! fixed-size chunks. The chunk geometry is what carries the determinism
+//! contract: in deterministic mode (the default) the chunk size is a
+//! function of `len` alone — never of the worker count — and reductions
+//! combine chunk results in index order along the (equally fixed) binary
+//! split tree. Floating-point reductions are therefore bitwise identical at
+//! any thread count. See DESIGN.md §9.
+
+use crate::pool::join;
+
+/// Number of chunks a parallel region is cut into in deterministic mode.
+/// Fixed (not derived from the worker count) so that chunk boundaries — and
+/// with them reduction order — do not move when `FV_THREADS` changes.
+/// 64 gives ample stealing slack for any realistic core count while keeping
+/// per-chunk scheduling overhead far below the work a chunk carries.
+pub const DETERMINISTIC_CHUNKS: usize = 64;
+
+/// Pick a chunk size for a parallel region of `len` items, honoring
+/// `min_len`/`max_len` hints (`min_len` wins if they conflict).
+///
+/// Deterministic mode targets [`DETERMINISTIC_CHUNKS`] chunks regardless of
+/// the pool width; performance mode targets 4 chunks per worker so idle
+/// threads always find something to steal.
+pub fn chunk_size(len: usize, min_len: usize, max_len: usize) -> usize {
+    let target = if crate::deterministic() {
+        len.div_ceil(DETERMINISTIC_CHUNKS)
+    } else {
+        len.div_ceil((crate::current_num_threads() * 4).max(1))
+    };
+    let min = min_len.max(1);
+    target.clamp(min, max_len.max(min))
+}
+
+/// The split index for a region of `len > chunk` items: half the chunks
+/// (rounded down), converted back to items. Splitting on chunk boundaries
+/// keeps the leaves of the recursion exactly the chunks
+/// `[i*chunk, (i+1)*chunk)`, whatever shape the recursion takes.
+pub fn split_point(len: usize, chunk: usize) -> usize {
+    debug_assert!(len > chunk && chunk > 0);
+    (len.div_ceil(chunk) / 2) * chunk
+}
+
+/// Run `body(start, end)` over `[0, len)` cut into `chunk`-sized pieces,
+/// in parallel. `body` must tolerate any execution order; pieces are
+/// disjoint so writes indexed by position race with nothing.
+pub fn par_for(len: usize, chunk: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    par_for_rec(0, len, chunk.max(1), body);
+}
+
+fn par_for_rec(start: usize, len: usize, chunk: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    if len <= chunk {
+        body(start, start + len);
+        return;
+    }
+    let mid = split_point(len, chunk);
+    join(
+        || par_for_rec(start, mid, chunk, body),
+        || par_for_rec(start + mid, len - mid, chunk, body),
+    );
+}
+
+/// Map `f` over `0..len` in parallel, collecting results in index order.
+pub fn par_map<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunk = chunk_size(len, 1, usize::MAX);
+    let mut out: Vec<T> = Vec::with_capacity(len);
+    let base = SendPtr(out.as_mut_ptr());
+    par_for(len, chunk, &|start, end| {
+        for i in start..end {
+            // Safety: each index is written exactly once, by the single
+            // chunk that covers it; the Vec's capacity is `len`.
+            unsafe { base.get().add(i).write(f(i)) };
+        }
+    });
+    // Safety: every slot in [0, len) was initialized above. On panic we
+    // never get here — the Vec drops with len 0 and the written elements
+    // leak, which is safe.
+    unsafe { out.set_len(len) };
+    out
+}
+
+/// Reduce `[0, len)` in parallel: `leaf(start, end)` folds one chunk,
+/// `combine` merges adjacent results in index order. Returns `None` for an
+/// empty range. Deterministic mode makes this bitwise reproducible across
+/// thread counts (fixed chunks, fixed combine tree).
+pub fn par_reduce<T>(
+    len: usize,
+    chunk: usize,
+    leaf: &(dyn Fn(usize, usize) -> T + Sync),
+    combine: &(dyn Fn(T, T) -> T + Sync),
+) -> Option<T>
+where
+    T: Send,
+{
+    if len == 0 {
+        return None;
+    }
+    Some(par_reduce_rec(0, len, chunk.max(1), leaf, combine))
+}
+
+fn par_reduce_rec<T: Send>(
+    start: usize,
+    len: usize,
+    chunk: usize,
+    leaf: &(dyn Fn(usize, usize) -> T + Sync),
+    combine: &(dyn Fn(T, T) -> T + Sync),
+) -> T {
+    if len <= chunk {
+        return leaf(start, start + len);
+    }
+    let mid = split_point(len, chunk);
+    let (left, right) = join(
+        || par_reduce_rec(start, mid, chunk, leaf, combine),
+        || par_reduce_rec(start + mid, len - mid, chunk, leaf, combine),
+    );
+    combine(left, right)
+}
+
+/// A raw pointer that may cross threads. Used to scatter-write distinct
+/// indices of one allocation from parallel chunks.
+pub struct SendPtr<T>(pub *mut T);
+
+// Manual impls: a derive would wrongly require `T: Copy`.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Use this (not `.0`) inside closures: a method
+    /// call makes edition-2021 disjoint capture take the whole `Send+Sync`
+    /// wrapper rather than the raw pointer field.
+    pub fn get(&self) -> *mut T {
+        self.0
+    }
+}
+// Safety: the parallel drivers guarantee disjoint index sets per task.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}

@@ -1,0 +1,419 @@
+//! The work-stealing pool: worker threads, the global injector, `join`.
+
+use crate::deque::{deque, Stealer, Worker};
+use crate::job::{JobRef, StackJob};
+use crate::latch::Latch;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on worker count — a typo in `FV_THREADS` should not try to
+/// spawn a million threads.
+const MAX_THREADS: usize = 512;
+
+/// Shared state of one pool, reference-counted between the owning
+/// [`Pool`] handle and its worker threads.
+pub(crate) struct PoolState {
+    /// Global FIFO queue for jobs arriving from outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// One stealer per worker deque, indexed by worker.
+    stealers: Vec<Stealer<JobRef>>,
+    n_threads: usize,
+    /// Number of workers currently parked on `sleep_cond`.
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cond: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Per-worker context, stack-allocated in `worker_main` and published to the
+/// thread-local `CURRENT` pointer for the lifetime of the worker.
+pub(crate) struct WorkerCtx {
+    state: Arc<PoolState>,
+    index: usize,
+    local: Worker<JobRef>,
+}
+
+thread_local! {
+    /// Pointer to the current thread's [`WorkerCtx`], null off-pool.
+    static CURRENT: Cell<*const WorkerCtx> = const { Cell::new(std::ptr::null()) };
+}
+
+/// The current worker context, if this thread is a pool worker.
+///
+/// Safety of the deref: the pointee lives on `worker_main`'s stack and the
+/// pointer is cleared before that frame exits, so a non-null pointer is
+/// always valid on this thread.
+pub(crate) fn current_ctx() -> Option<&'static WorkerCtx> {
+    CURRENT.with(|c| {
+        let ptr = c.get();
+        if ptr.is_null() {
+            None
+        } else {
+            Some(unsafe { &*ptr })
+        }
+    })
+}
+
+impl PoolState {
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.notify_work();
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        self.injector.lock().unwrap().pop_front()
+    }
+
+    /// Wake a parked worker if any are sleeping. The `sleepers` fast path
+    /// keeps the common push (everyone busy) lock-free.
+    pub(crate) fn notify_work(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.sleep_cond.notify_all();
+        }
+    }
+}
+
+impl WorkerCtx {
+    pub(crate) fn pool(&self) -> &Arc<PoolState> {
+        &self.state
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.state.n_threads
+    }
+
+    /// Find the next job: own deque (LIFO), then the injector, then steal
+    /// round-robin from the other workers (FIFO from each).
+    fn find_work(&self) -> Option<JobRef> {
+        if let Some(job) = self.local.pop() {
+            return Some(job);
+        }
+        if let Some(job) = self.state.pop_injected() {
+            return Some(job);
+        }
+        let n = self.state.stealers.len();
+        for k in 1..n {
+            let victim = (self.index + k) % n;
+            if let Some(job) = self.state.stealers[victim].steal() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Execute jobs until `latch` is set. Called while a `join` waits for a
+    /// stolen branch: the worker keeps the pool busy instead of blocking.
+    fn steal_until(&self, latch: &Latch) {
+        let mut idle_spins = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work() {
+                unsafe { job.execute() };
+                idle_spins = 0;
+                continue;
+            }
+            idle_spins += 1;
+            if idle_spins < 32 {
+                std::hint::spin_loop();
+            } else if idle_spins < 1024 {
+                // Oversubscribed hosts (threads > cores) need the yield so
+                // the thread actually running our stolen branch progresses.
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+                idle_spins = 1024;
+            }
+        }
+    }
+}
+
+fn worker_main(state: Arc<PoolState>, index: usize, local: Worker<JobRef>) {
+    let ctx = WorkerCtx {
+        state: Arc::clone(&state),
+        index,
+        local,
+    };
+    CURRENT.with(|c| c.set(&ctx as *const WorkerCtx));
+    loop {
+        if let Some(job) = ctx.find_work() {
+            unsafe { job.execute() };
+            continue;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Park. The timeout is a safety net against lost wakeups; the
+        // normal path is an explicit `notify_work` from a push.
+        state.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let guard = state.sleep_lock.lock().unwrap();
+            // Re-check under the lock so a notify between `find_work` and
+            // here is not lost.
+            if !state.shutdown.load(Ordering::SeqCst) {
+                let _ = state
+                    .sleep_cond
+                    .wait_timeout(guard, Duration::from_millis(10))
+                    .unwrap();
+            }
+        }
+        state.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+    CURRENT.with(|c| c.set(std::ptr::null()));
+}
+
+/// A work-stealing thread pool.
+///
+/// The process-wide default pool is created lazily on first use with
+/// [`FV_THREADS`](crate#configuration) workers; explicit pools serve tests
+/// and tools that need a specific width (`Pool::new(8)`) regardless of the
+/// environment.
+pub struct Pool {
+    state: Arc<PoolState>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn a pool with `n_threads` workers (clamped to `1..=512`).
+    pub fn new(n_threads: usize) -> Self {
+        let n_threads = n_threads.clamp(1, MAX_THREADS);
+        let mut workers = Vec::with_capacity(n_threads);
+        let mut stealers = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            let (worker, stealer) = deque::<JobRef>();
+            workers.push(worker);
+            stealers.push(stealer);
+        }
+        let state = Arc::new(PoolState {
+            injector: Mutex::new(VecDeque::new()),
+            stealers,
+            n_threads,
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("fv-runtime-{index}"))
+                    .spawn(move || worker_main(state, index, local))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { state, handles }
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn num_threads(&self) -> usize {
+        self.state.n_threads
+    }
+
+    /// Run `f` inside this pool and return its result.
+    ///
+    /// Every `join`/parallel-iterator call made (transitively) from `f`
+    /// executes on this pool's workers. The calling thread blocks until `f`
+    /// completes; a panic in `f` is resumed on the caller. Calling `install`
+    /// from one of this pool's own workers runs `f` inline.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        if let Some(ctx) = current_ctx() {
+            if Arc::ptr_eq(ctx.pool(), &self.state) {
+                return f();
+            }
+        }
+        run_blocking(&self.state, f)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.state.sleep_lock.lock().unwrap();
+            self.state.sleep_cond.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Inject `f` into the pool and block the calling (non-worker) thread until
+/// a worker has run it.
+fn run_blocking<R, F>(state: &Arc<PoolState>, f: F) -> R
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let job = StackJob::new(f);
+    // Safety: `job` lives on this stack and we block on its latch below, so
+    // the ref cannot dangle; it is consumed exactly once by a worker.
+    let job_ref = unsafe { job.as_job_ref() };
+    state.inject(job_ref);
+    job.latch.wait();
+    match unsafe { job.take_result() } {
+        Ok(value) => value,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide default pool, created on first use.
+pub(crate) fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+}
+
+/// Worker count for the default pool: `FV_THREADS` if set to a positive
+/// integer, else the machine's available parallelism.
+fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var("FV_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+        eprintln!("fv-runtime: ignoring invalid FV_THREADS={raw:?} (want a positive integer)");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Number of worker threads `join` would fan out over right now: the
+/// enclosing [`Pool::install`]'s pool if the current thread is a worker,
+/// otherwise the default pool (created on demand).
+pub fn current_num_threads() -> usize {
+    match current_ctx() {
+        Some(ctx) => ctx.num_threads(),
+        None => global().num_threads(),
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, and return both results.
+///
+/// The calling thread works on `a` while `b` sits in its deque for any idle
+/// worker to steal; if nobody steals it, the caller runs `b` itself right
+/// after `a` (so a 1-thread pool degrades to exactly sequential execution).
+/// A panic in either closure propagates to the caller — after both branches
+/// have settled, so no stack frame is abandoned while the other branch may
+/// still reference it.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_ctx() {
+        Some(ctx) => join_in_worker(ctx, a, b),
+        None => {
+            let pool = global();
+            if pool.num_threads() <= 1 {
+                // Sequential fast path: no reason to round-trip through a
+                // one-worker pool.
+                return (a(), b());
+            }
+            run_blocking(&pool.state, move || join(a, b))
+        }
+    }
+}
+
+fn join_in_worker<A, B, RA, RB>(ctx: &WorkerCtx, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    // Safety: this frame stays alive until `job_b`'s latch is set — we
+    // either execute it inline below or `steal_until` its completion, and a
+    // panic in `a` is held until then.
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    ctx.local.push(job_b_ref);
+    ctx.state.notify_work();
+
+    // Run `a` on this thread. Catch a panic rather than unwinding past
+    // `job_b`, which another worker may be executing from our stack.
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    // Settle `b`. LIFO discipline means that when `a` has returned, the top
+    // of our deque is either `job_b` itself (nobody stole it — run inline)
+    // or empty (it was stolen — keep stealing until its latch is set).
+    // Nested joins inside `a` consume everything they push before
+    // returning, so nothing else of ours can sit above `job_b`.
+    match ctx.local.pop() {
+        Some(job) if job.same_job(&job_b_ref) => unsafe { job.execute() },
+        Some(other) => {
+            // Defensive: not reachable under the LIFO discipline, but if a
+            // foreign job ever lands here, run it and wait for ours.
+            unsafe { other.execute() };
+            ctx.steal_until(&job_b.latch);
+        }
+        None => ctx.steal_until(&job_b.latch),
+    }
+
+    let result_b = unsafe { job_b.take_result() };
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (_, Err(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+/// Inject a fire-and-forget [`JobRef`]: onto the local deque when called
+/// from a worker (cheap, stealable), else into the pool's injector.
+pub(crate) fn spawn_job(state: &Arc<PoolState>, job: JobRef) {
+    match current_ctx() {
+        Some(ctx) if Arc::ptr_eq(ctx.pool(), state) => {
+            ctx.local.push(job);
+            ctx.state.notify_work();
+        }
+        _ => state.inject(job),
+    }
+}
+
+/// Steal-while-waiting on a predicate for scope completion: workers keep
+/// executing jobs; external threads get `None` back and must block instead.
+pub(crate) fn worker_wait_while(pending: impl Fn() -> bool) -> bool {
+    let Some(ctx) = current_ctx() else {
+        return false;
+    };
+    let mut idle_spins = 0u32;
+    while pending() {
+        if let Some(job) = ctx.find_work() {
+            unsafe { job.execute() };
+            idle_spins = 0;
+            continue;
+        }
+        idle_spins += 1;
+        if idle_spins < 1024 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+            idle_spins = 1024;
+        }
+    }
+    true
+}
+
+/// The pool the current thread should submit new work to.
+pub(crate) fn submit_pool() -> Arc<PoolState> {
+    match current_ctx() {
+        Some(ctx) => Arc::clone(ctx.pool()),
+        None => Arc::clone(&global().state),
+    }
+}

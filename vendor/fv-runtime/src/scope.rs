@@ -1,0 +1,98 @@
+//! Structured fork/join over non-`'static` borrows: [`scope`] and
+//! [`Scope::spawn`].
+
+use crate::job::HeapJob;
+use crate::latch::CountLatch;
+use crate::pool::{spawn_job, submit_pool, worker_wait_while, PoolState};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// A scope in which tasks borrowing the caller's stack may be spawned.
+///
+/// All spawned tasks complete before [`scope`] returns, which is what makes
+/// the borrows sound. The first panic from any task (or from the scope
+/// closure itself) is resumed on the caller once everything has settled.
+pub struct Scope<'scope> {
+    pool: Arc<PoolState>,
+    pending: CountLatch,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant lifetime marker: ties spawned closures to this scope.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Create a scope, run `f` inside it, then wait for every spawned task.
+///
+/// ```
+/// let mut counts = vec![0u32; 4];
+/// fv_runtime::scope(|s| {
+///     for c in counts.iter_mut() {
+///         s.spawn(move || *c += 1);
+///     }
+/// });
+/// assert_eq!(counts, vec![1, 1, 1, 1]);
+/// ```
+pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    let s = Scope {
+        pool: submit_pool(),
+        pending: CountLatch::new(),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    // Catch a panic from the scope body: spawned tasks still reference this
+    // frame and must finish before we unwind.
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+    // Wait for stragglers — stealing if we are a worker, blocking otherwise.
+    if !worker_wait_while(|| s.pending.is_pending()) {
+        s.pending.wait();
+    }
+    if let Some(payload) = s.panic.lock().unwrap().take() {
+        panic::resume_unwind(payload);
+    }
+    match result {
+        Ok(value) => value,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `f` onto the pool. It may borrow anything that outlives the
+    /// scope; it runs at the latest while [`scope`] waits before returning.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'scope) {
+        self.pending.increment();
+        let scope_ptr = ScopePtr((self as *const Scope<'scope>).cast::<Scope<'static>>());
+        // Erase the scope lifetime: sound because `scope` blocks until
+        // `pending` drains, keeping both the closure's borrows and the
+        // `Scope` itself alive for as long as the job can run.
+        let func: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        let func: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(func) };
+        let job = HeapJob::new(move || {
+            // Method call (not field access) so edition-2021 disjoint capture
+            // moves the whole Send wrapper, not the raw pointer field.
+            let scope = unsafe { &*scope_ptr.get() };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(func)) {
+                let mut slot = scope.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            // Last touch of `scope`: after this decrement the waiter may
+            // return and drop it.
+            scope.pending.decrement();
+        });
+        spawn_job(&self.pool, job.into_job_ref());
+    }
+}
+
+/// Send-able wrapper for the scope pointer smuggled into heap jobs.
+struct ScopePtr(*const Scope<'static>);
+
+impl ScopePtr {
+    fn get(&self) -> *const Scope<'static> {
+        self.0
+    }
+}
+// Safety: the pointee is kept alive by `scope`'s wait, and all shared state
+// behind it is Sync (CountLatch, Mutex).
+unsafe impl Send for ScopePtr {}

@@ -1,149 +1,677 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, executing on the in-tree
+//! [`fv_runtime`] work-stealing pool.
 //!
 //! The build environment has no network access, so the real rayon cannot be
-//! fetched. This crate reproduces exactly the API surface the `fillvoid`
-//! workspace uses — `par_iter`, `par_iter_mut`, `par_chunks`,
-//! `par_chunks_mut`, `into_par_iter`, `with_min_len`, rayon-style
-//! `fold`/`reduce`, and `current_num_threads` — with *sequential* execution.
+//! fetched. This crate reproduces the API surface the `fillvoid` workspace
+//! uses — `par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`,
+//! `into_par_iter`, `with_min_len`/`with_max_len`, `map`, `zip`,
+//! `enumerate`, `for_each`, `collect`, rayon-style `fold`/`reduce`, `join`
+//! and `current_num_threads` — with **real parallel execution**: work is
+//! cut into chunks and driven through recursive [`fv_runtime::join`], so
+//! idle workers steal the biggest outstanding pieces.
 //!
-//! Every "parallel" iterator is a thin wrapper over the corresponding
-//! sequential iterator, so all standard `Iterator` combinators (`map`,
-//! `zip`, `enumerate`, `for_each`, `collect`, ...) work unchanged. The two
-//! rayon-specific combinators with signatures that differ from `Iterator`
-//! (`fold` taking an identity *closure*, and `reduce`) are provided as
-//! inherent methods, which take precedence over the `Iterator` trait
-//! methods of the same name.
+//! ## How it differs from a wrapped sequential iterator
 //!
-//! Swapping the real rayon back in requires no source changes: delete the
-//! `[patch.crates-io]` entry once the registry is reachable.
+//! A parallel iterator here is a [`ParIter`] over a [`Producer`]: a
+//! splittable, exactly-sized description of the data (a slice, a range, a
+//! chunking of a slice, or an adapter over one). Combinators (`map`, `zip`,
+//! `enumerate`) compose producers; sinks (`for_each`, `collect`,
+//! `fold`/`reduce`) split the producer along chunk boundaries and execute
+//! leaves on the pool. Inherent methods take precedence over any trait
+//! method of the same name, which is how call sites written against the old
+//! sequential facade compile unchanged.
+//!
+//! ## Determinism
+//!
+//! In deterministic mode (default, see [`fv_runtime::deterministic`]) chunk
+//! boundaries depend only on the item count and the `with_min_len` /
+//! `with_max_len` hints — never on the worker count — and `fold`/`reduce`
+//! combine chunk accumulators in index order along a fixed split tree.
+//! Floating-point results are therefore bitwise identical at any
+//! `FV_THREADS`. `for_each` and `collect` write disjoint outputs and are
+//! deterministic unconditionally.
+//!
+//! Swapping the real rayon back in requires no source changes: repoint the
+//! workspace dependency at the registry once it is reachable.
 
-/// Number of worker threads (always 1: execution is sequential).
-pub fn current_num_threads() -> usize {
-    1
+pub use fv_runtime::{current_num_threads, join, scope, Scope};
+
+use fv_runtime::SendPtr;
+
+/// A splittable, exactly-sized source of items for parallel execution.
+///
+/// `split_at` cuts the producer into two disjoint producers at an item
+/// index; `into_seq` converts a (leaf) producer into a plain sequential
+/// iterator. Implementations must satisfy `split_at(i).0.len() == i` and
+/// preserve item order across splits.
+pub trait Producer: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// Sequential iterator a leaf is consumed through.
+    type IntoSeq: Iterator<Item = Self::Item>;
+
+    /// Number of items this producer will yield.
+    fn len(&self) -> usize;
+    /// `true` if no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Consume as a sequential iterator.
+    fn into_seq(self) -> Self::IntoSeq;
 }
 
-/// Run two closures "in parallel" (sequentially here) and return both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+// ---------------------------------------------------------------------------
+// Base producers: slices, chunked slices, ranges
+// ---------------------------------------------------------------------------
+
+/// Producer over `&[T]` yielding `&T`.
+pub struct SliceProducer<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoSeq = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(index);
+        (Self(l), Self(r))
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.0.iter()
+    }
+}
+
+/// Producer over `&mut [T]` yielding `&mut T`.
+pub struct SliceMutProducer<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoSeq = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at_mut(index);
+        (Self(l), Self(r))
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.0.iter_mut()
+    }
+}
+
+/// Producer over `&[T]` yielding `size`-element chunks (last may be short).
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoSeq = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        // `index` counts chunks; only the right side may end short.
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (
+            Self {
+                slice: l,
+                size: self.size,
+            },
+            Self {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Producer over `&mut [T]` yielding mutable `size`-element chunks.
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoSeq = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            Self {
+                slice: l,
+                size: self.size,
+            },
+            Self {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Producer over an integer range.
+pub struct RangeProducer<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+            type IntoSeq = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                (self.end.saturating_sub(self.start)) as usize
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start + index as $t;
+                (
+                    Self { start: self.start, end: mid },
+                    Self { start: mid, end: self.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::IntoSeq {
+                self.start..self.end
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type P = RangeProducer<$t>;
+
+            fn into_par_iter(self) -> ParIter<Self::P> {
+                ParIter::new(RangeProducer { start: self.start, end: self.end })
+            }
+        }
+    )*};
+}
+
+range_producer!(usize, u32, u64);
+
+// ---------------------------------------------------------------------------
+// Adapter producers: map, zip, enumerate
+// ---------------------------------------------------------------------------
+
+/// Producer adapter applying `f` to each item.
+pub struct MapProducer<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> Producer for MapProducer<P, F>
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Clone + Send + Sync,
 {
-    (a(), b())
-}
+    type Item = R;
+    type IntoSeq = std::iter::Map<P::IntoSeq, F>;
 
-/// A "parallel" iterator: a wrapper that delegates to a sequential iterator.
-#[derive(Debug, Clone)]
-pub struct ParIter<I>(pub I);
-
-impl<I: Iterator> Iterator for ParIter<I> {
-    type Item = I::Item;
-
-    #[inline]
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
+    fn len(&self) -> usize {
+        self.base.len()
     }
 
-    #[inline]
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                f: self.f.clone(),
+            },
+            Self { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// Producer adapter pairing two producers item-by-item (shorter wins).
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoSeq = std::iter::Zip<A::IntoSeq, B::IntoSeq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Self { a: al, b: bl }, Self { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Producer adapter attaching the global item index.
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoSeq = EnumerateSeq<P::IntoSeq>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                offset: self.offset,
+            },
+            Self {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        EnumerateSeq {
+            inner: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Sequential iterator behind [`EnumerateProducer`]: like
+/// `Iterator::enumerate` but starting from the producer's global offset.
+pub struct EnumerateSeq<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let index = self.next;
+        self.next += 1;
+        Some((index, item))
+    }
+
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
+        self.inner.size_hint()
     }
 }
 
-impl<I: ExactSizeIterator> ExactSizeIterator for ParIter<I> {}
+// ---------------------------------------------------------------------------
+// ParIter: the user-facing parallel iterator
+// ---------------------------------------------------------------------------
 
-impl<I: Iterator> ParIter<I> {
-    /// Sequencing hint; a no-op without a thread pool.
-    pub fn with_min_len(self, _min: usize) -> Self {
+/// A parallel iterator: a [`Producer`] plus chunking hints.
+pub struct ParIter<P> {
+    producer: P,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<P: Producer> ParIter<P> {
+    fn new(producer: P) -> Self {
+        Self {
+            producer,
+            min_len: 1,
+            max_len: usize::MAX,
+        }
+    }
+
+    /// Total number of items.
+    pub fn len(&self) -> usize {
+        self.producer.len()
+    }
+
+    /// `true` if there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.producer.is_empty()
+    }
+
+    /// Lower bound on items per parallel chunk. In deterministic mode this
+    /// is part of the reduction geometry: changing it changes where
+    /// `fold`/`reduce` chunk boundaries fall (identically at every thread
+    /// count).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
 
-    /// Sequencing hint; a no-op without a thread pool.
-    pub fn with_max_len(self, _max: usize) -> Self {
+    /// Upper bound on items per parallel chunk.
+    pub fn with_max_len(mut self, max: usize) -> Self {
+        self.max_len = max.max(1);
         self
     }
 
-    /// Rayon-style fold: `identity` builds each per-thread accumulator (one,
-    /// here), `fold_op` folds items into it. Returns a one-item "iterator of
-    /// accumulators", matching rayon's shape so `.reduce(...)` chains work.
-    pub fn fold<T, ID, F>(self, identity: ID, mut fold_op: F) -> ParIter<std::iter::Once<T>>
-    where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
-    {
-        let mut acc = identity();
-        for item in self.0 {
-            acc = fold_op(acc, item);
-        }
-        ParIter(std::iter::once(acc))
+    fn chunk(&self) -> usize {
+        fv_runtime::chunk_size(self.producer.len(), self.min_len, self.max_len)
     }
 
-    /// Rayon-style reduce: folds all items with `op`, starting from
-    /// `identity()`.
-    pub fn reduce<ID, OP>(self, identity: ID, mut op: OP) -> I::Item
+    /// Map each item through `f` (lazy; composes producers).
+    pub fn map<R, F>(self, f: F) -> ParIter<MapProducer<P, F>>
     where
-        ID: Fn() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
+        R: Send,
+        F: Fn(P::Item) -> R + Clone + Send + Sync,
     {
-        let mut acc = identity();
-        for item in self.0 {
-            acc = op(acc, item);
+        ParIter {
+            producer: MapProducer {
+                base: self.producer,
+                f,
+            },
+            min_len: self.min_len,
+            max_len: self.max_len,
         }
-        acc
+    }
+
+    /// Pair with another parallel iterator item-by-item (lazy).
+    pub fn zip<Q: Producer>(self, other: ParIter<Q>) -> ParIter<ZipProducer<P, Q>> {
+        ParIter {
+            producer: ZipProducer {
+                a: self.producer,
+                b: other.producer,
+            },
+            min_len: self.min_len.max(other.min_len),
+            max_len: self.max_len.min(other.max_len),
+        }
+    }
+
+    /// Attach the global item index (lazy).
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        ParIter {
+            producer: EnumerateProducer {
+                base: self.producer,
+                offset: 0,
+            },
+            min_len: self.min_len,
+            max_len: self.max_len,
+        }
+    }
+
+    /// Run `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        let chunk = self.chunk();
+        drive_for_each(self.producer, chunk, &f);
+    }
+
+    /// Collect all items, preserving index order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<P::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Rayon-style fold: `identity` creates one accumulator per chunk,
+    /// `fold_op` folds the chunk's items into it. The result is a lazy
+    /// "iterator of accumulators" consumed by [`ParFold::reduce`].
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParFold<P, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Send + Sync,
+        F: Fn(T, P::Item) -> T + Send + Sync,
+    {
+        ParFold {
+            producer: self.producer,
+            min_len: self.min_len,
+            max_len: self.max_len,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Rayon-style reduce: combine all items with `op`, starting each chunk
+    /// from `identity()`. Chunk results merge in index order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        let chunk = self.chunk();
+        let leaf = |p: P| {
+            let mut acc = identity();
+            for item in p.into_seq() {
+                acc = op(acc, item);
+            }
+            acc
+        };
+        match drive_reduce(self.producer, chunk, &leaf, &op) {
+            Some(value) => value,
+            None => identity(),
+        }
     }
 }
 
-/// `into_par_iter` for anything iterable (ranges, vectors, ...).
+/// Lazy result of [`ParIter::fold`]: per-chunk accumulators awaiting a
+/// final [`ParFold::reduce`].
+pub struct ParFold<P, ID, F> {
+    producer: P,
+    min_len: usize,
+    max_len: usize,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<P, T, ID, F> ParFold<P, ID, F>
+where
+    P: Producer,
+    T: Send,
+    ID: Fn() -> T + Send + Sync,
+    F: Fn(T, P::Item) -> T + Send + Sync,
+{
+    /// Merge the per-chunk accumulators with `op`, in index order.
+    pub fn reduce<ID2, OP>(self, identity: ID2, op: OP) -> T
+    where
+        ID2: Fn() -> T + Send + Sync,
+        OP: Fn(T, T) -> T + Send + Sync,
+    {
+        let chunk = fv_runtime::chunk_size(self.producer.len(), self.min_len, self.max_len);
+        let chunk_identity = &self.identity;
+        let fold_op = &self.fold_op;
+        let leaf = move |p: P| {
+            let mut acc = chunk_identity();
+            for item in p.into_seq() {
+                acc = fold_op(acc, item);
+            }
+            acc
+        };
+        match drive_reduce(self.producer, chunk, &leaf, &op) {
+            Some(value) => value,
+            None => identity(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel drivers (recursive join over chunk-aligned splits)
+// ---------------------------------------------------------------------------
+
+fn drive_for_each<P, F>(producer: P, chunk: usize, f: &F)
+where
+    P: Producer,
+    F: Fn(P::Item) + Sync,
+{
+    let len = producer.len();
+    if len == 0 {
+        return;
+    }
+    if len <= chunk {
+        for item in producer.into_seq() {
+            f(item);
+        }
+        return;
+    }
+    let mid = fv_runtime::split_point(len, chunk);
+    let (l, r) = producer.split_at(mid);
+    fv_runtime::join(
+        || drive_for_each(l, chunk, f),
+        || drive_for_each(r, chunk, f),
+    );
+}
+
+fn drive_collect_into<P>(producer: P, chunk: usize, out: SendPtr<P::Item>, offset: usize)
+where
+    P: Producer,
+{
+    let len = producer.len();
+    if len == 0 {
+        return;
+    }
+    if len <= chunk {
+        for (i, item) in producer.into_seq().enumerate() {
+            // Safety: every producer index maps to exactly one output slot,
+            // and the caller sized the allocation to the total length.
+            unsafe { out.0.add(offset + i).write(item) };
+        }
+        return;
+    }
+    let mid = fv_runtime::split_point(len, chunk);
+    let (l, r) = producer.split_at(mid);
+    fv_runtime::join(
+        || drive_collect_into(l, chunk, out, offset),
+        || drive_collect_into(r, chunk, out, offset + mid),
+    );
+}
+
+fn drive_reduce<P, T, L, OP>(producer: P, chunk: usize, leaf: &L, op: &OP) -> Option<T>
+where
+    P: Producer,
+    T: Send,
+    L: Fn(P) -> T + Sync,
+    OP: Fn(T, T) -> T + Sync,
+{
+    let len = producer.len();
+    if len == 0 {
+        return None;
+    }
+    if len <= chunk {
+        return Some(leaf(producer));
+    }
+    let mid = fv_runtime::split_point(len, chunk);
+    let (l, r) = producer.split_at(mid);
+    let (left, right) = fv_runtime::join(
+        || drive_reduce(l, chunk, leaf, op),
+        || drive_reduce(r, chunk, leaf, op),
+    );
+    match (left, right) {
+        (Some(a), Some(b)) => Some(op(a, b)),
+        (Some(a), None) => Some(a),
+        (None, b) => b,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection + entry-point traits
+// ---------------------------------------------------------------------------
+
+/// Types a [`ParIter`] can collect into (order-preserving).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection from a parallel iterator.
+    fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self {
+        let len = iter.len();
+        let chunk = iter.chunk();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let base = SendPtr(out.as_mut_ptr());
+        drive_collect_into(iter.producer, chunk, base, 0);
+        // Safety: drive_collect_into wrote every slot in [0, len) exactly
+        // once. On panic we never reach this line; the vector drops empty
+        // and written elements leak, which is safe.
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+/// `into_par_iter` for owned/range sources.
 pub trait IntoParallelIterator {
-    /// The wrapped sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item;
-    /// Convert into a "parallel" iterator.
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
-}
-
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    type Item = I::Item;
-
-    fn into_par_iter(self) -> ParIter<I::IntoIter> {
-        ParIter(self.into_iter())
-    }
+    /// The producer this source converts into.
+    type P: Producer;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::P>;
 }
 
 /// `par_iter` / `par_chunks` over shared slices.
-pub trait ParallelSlice<T> {
-    /// Sequential stand-in for `rayon`'s `par_iter`.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    /// Sequential stand-in for `rayon`'s `par_chunks`.
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>;
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+        ParIter::new(SliceProducer(self))
     }
 
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(size))
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(size > 0, "par_chunks: chunk size must be non-zero");
+        ParIter::new(ChunksProducer { slice: self, size })
     }
 }
 
 /// `par_iter_mut` / `par_chunks_mut` over mutable slices.
-pub trait ParallelSliceMut<T> {
-    /// Sequential stand-in for `rayon`'s `par_iter_mut`.
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
-    /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>>;
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter(self.iter_mut())
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>> {
+        ParIter::new(SliceMutProducer(self))
     }
 
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(size))
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(size > 0, "par_chunks_mut: chunk size must be non-zero");
+        ParIter::new(ChunksMutProducer { slice: self, size })
     }
 }
 
@@ -155,6 +683,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use fv_runtime::Pool;
 
     #[test]
     fn slice_combinators_behave_like_std() {
@@ -187,7 +716,98 @@ mod tests {
         let mut b = vec![0, 0, 0];
         b.par_iter_mut().zip(a.par_iter()).for_each(|(o, &x)| *o = x * 10);
         assert_eq!(b, vec![10, 20, 30]);
-        assert_eq!(super::current_num_threads(), 1);
+        assert!(super::current_num_threads() >= 1);
         assert_eq!(super::join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn large_for_each_covers_all_items_in_parallel() {
+        let pool = Pool::new(4);
+        let mut out = vec![0usize; 100_000];
+        pool.install(|| {
+            out.par_iter_mut().enumerate().for_each(|(i, v)| *v = i * 3);
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn collect_preserves_order_at_any_width() {
+        let expected: Vec<u64> = (0..50_000u64).map(|i| i * i).collect();
+        for width in [1, 2, 8] {
+            let pool = Pool::new(width);
+            let got: Vec<u64> =
+                pool.install(|| (0..50_000u64).into_par_iter().map(|i| i * i).collect());
+            assert_eq!(got, expected, "width {width}");
+        }
+    }
+
+    #[test]
+    fn float_fold_reduce_bitwise_identical_across_widths() {
+        // Deterministic mode (the default in tests): identical chunk
+        // geometry and reduction tree at every pool width, so the sum of an
+        // associativity-sensitive series has one bit pattern.
+        let sum_in = |width: usize| {
+            let pool = Pool::new(width);
+            pool.install(|| {
+                (0..100_000usize)
+                    .into_par_iter()
+                    .map(|i| (i as f32).sqrt() * 1e-3)
+                    .fold(|| 0.0f32, |a, x| a + x)
+                    .reduce(|| 0.0f32, |a, b| a + b)
+            })
+        };
+        let one = sum_in(1);
+        assert_eq!(one.to_bits(), sum_in(2).to_bits());
+        assert_eq!(one.to_bits(), sum_in(8).to_bits());
+    }
+
+    #[test]
+    fn zip_of_chunks_splits_consistently() {
+        // The par_matmul access pattern: chunks of two different widths
+        // zipped together must stay row-aligned through splits.
+        let k = 3;
+        let n = 2;
+        let rows = 1000;
+        let a: Vec<u32> = (0..rows * k).map(|i| i as u32).collect();
+        let mut out = vec![0u32; rows * n];
+        let pool = Pool::new(4);
+        pool.install(|| {
+            out.par_chunks_mut(n).zip(a.par_chunks(k)).for_each(|(o, ar)| {
+                o[0] = ar.iter().sum();
+                o[1] = ar[0];
+            });
+        });
+        for r in 0..rows {
+            let base = (r * k) as u32;
+            assert_eq!(out[r * n], base * 3 + 3);
+            assert_eq!(out[r * n + 1], base);
+        }
+    }
+
+    #[test]
+    fn panic_inside_for_each_propagates() {
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..10_000usize).into_par_iter().for_each(|i| {
+                    if i == 7_777 {
+                        panic!("item panic");
+                    }
+                });
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: [f32; 0] = [];
+        let collected: Vec<f32> = empty.par_iter().map(|&x| x).collect();
+        assert!(collected.is_empty());
+        let total = (0usize..0)
+            .into_par_iter()
+            .fold(|| 1usize, |a, x| a + x)
+            .reduce(|| 7usize, |a, b| a + b);
+        assert_eq!(total, 7);
     }
 }
