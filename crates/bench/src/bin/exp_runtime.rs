@@ -7,14 +7,27 @@
 //! fields are bitwise identical across the widths, which this binary
 //! verifies as it goes — a timing run that silently diverged numerically
 //! would be measuring the wrong thing.
+//!
+//! Beyond the headline wall-clocks, each row reports where the time went
+//! (feature build / forward / backward / optimizer) and how many heap
+//! allocations the training and reconstruction phases performed — the two
+//! quantities the workspace execution layer is supposed to pin down. A
+//! per-width dispatch table shows which kernels the granularity policy
+//! kept sequential (small ops that would only pay pool overhead) and
+//! which it fanned out.
 
+use fillvoid_core::pipeline::{FcnnPipeline, ReconstructWorkspace};
 use fillvoid_core::metrics::snr_db;
-use fillvoid_core::pipeline::FcnnPipeline;
 use fv_bench::{secs, ExpOpts};
+use fv_runtime::alloc::{allocation_count, CountingAllocator};
+use fv_runtime::granularity::{dispatch_stats, reset_dispatch_stats, DispatchStats};
 use fv_sampling::{FieldSampler, ImportanceSampler};
 use fv_sims::DatasetSpec;
 use std::io::Write;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 struct Row {
     threads: usize,
@@ -22,6 +35,14 @@ struct Row {
     reconstruct_s: f64,
     snr: f64,
     bits_match: bool,
+    feature_s: f64,
+    data_s: f64,
+    forward_s: f64,
+    backward_s: f64,
+    optim_s: f64,
+    train_allocs: u64,
+    reconstruct_allocs: u64,
+    dispatch: Vec<DispatchStats>,
 }
 
 fn main() {
@@ -35,17 +56,24 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut reference_bits: Option<Vec<u32>> = None;
     for threads in [1usize, 2, 4] {
+        reset_dispatch_stats();
         let pool = fv_runtime::Pool::new(threads);
-        let (train_s, reconstruct_s, recon) = pool.install(|| {
-            let t0 = Instant::now();
-            let model = FcnnPipeline::train(&field, &config, opts.seed).expect("training");
-            let train_s = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            let recon = model
-                .reconstruct(&cloud, field.grid())
-                .expect("reconstruction");
-            (train_s, t1.elapsed().as_secs_f64(), recon)
-        });
+        let (train_s, reconstruct_s, model, recon, train_allocs, reconstruct_allocs) = pool
+            .install(|| {
+                let a0 = allocation_count();
+                let t0 = Instant::now();
+                let model = FcnnPipeline::train(&field, &config, opts.seed).expect("training");
+                let train_s = t0.elapsed().as_secs_f64();
+                let a1 = allocation_count();
+                let mut ws = ReconstructWorkspace::default();
+                let t1 = Instant::now();
+                let recon = model
+                    .reconstruct_with(&cloud, field.grid(), &mut ws)
+                    .expect("reconstruction");
+                let reconstruct_s = t1.elapsed().as_secs_f64();
+                let a2 = allocation_count();
+                (train_s, reconstruct_s, model, recon, a1 - a0, a2 - a1)
+            });
         let bits: Vec<u32> = recon.values().iter().map(|v| v.to_bits()).collect();
         let bits_match = match &reference_bits {
             Some(reference) => reference == &bits,
@@ -54,18 +82,30 @@ fn main() {
                 true
             }
         };
+        let t = model.history().timings;
         rows.push(Row {
             threads,
             train_s,
             reconstruct_s,
             snr: snr_db(&field, &recon),
             bits_match,
+            feature_s: model.feature_build_seconds(),
+            data_s: t.data_s,
+            forward_s: t.forward_s,
+            backward_s: t.backward_s,
+            optim_s: t.optim_s,
+            train_allocs,
+            reconstruct_allocs,
+            dispatch: dispatch_stats(),
         });
     }
 
     println!("# Runtime scaling — isabel, 3% sampling, FV_DETERMINISTIC default");
     println!("# scale: {:?}, grid: {:?}", opts.scale, field.grid().dims());
-    println!("{:>8} {:>10} {:>14} {:>8} {:>10}", "threads", "train_s", "reconstruct_s", "snr_db", "bitwise");
+    println!(
+        "{:>8} {:>10} {:>14} {:>8} {:>10}",
+        "threads", "train_s", "reconstruct_s", "snr_db", "bitwise"
+    );
     for r in &rows {
         println!(
             "{:>8} {:>10} {:>14} {:>8.2} {:>10}",
@@ -77,15 +117,59 @@ fn main() {
         );
     }
 
-    let mut json = String::from("{\n  \"experiment\": \"runtime_scaling\",\n  \"dataset\": \"isabel\",\n  \"rows\": [\n");
+    println!("\n# Per-phase breakdown (seconds) and heap allocations");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "threads", "feature", "data", "forward", "backward", "optim", "train_alloc", "recon_alloc"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            r.threads,
+            secs(r.feature_s),
+            secs(r.data_s),
+            secs(r.forward_s),
+            secs(r.backward_s),
+            secs(r.optim_s),
+            r.train_allocs,
+            r.reconstruct_allocs,
+        );
+    }
+
+    println!("\n# Granularity dispatch (calls below the min-work threshold run sequentially)");
+    for r in &rows {
+        let seq_ops: Vec<String> = r
+            .dispatch
+            .iter()
+            .filter(|d| d.seq > 0)
+            .map(|d| format!("{} ({} seq / {} par)", d.name, d.seq, d.par))
+            .collect();
+        let summary = if seq_ops.is_empty() {
+            "none (all calls parallel)".to_string()
+        } else {
+            seq_ops.join(", ")
+        };
+        println!("#   {} threads: sequential fallback: {summary}", r.threads);
+    }
+
+    let mut json = String::from(
+        "{\n  \"experiment\": \"runtime_scaling\",\n  \"dataset\": \"isabel\",\n  \"rows\": [\n",
+    );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"train_s\": {:.6}, \"reconstruct_s\": {:.6}, \"snr_db\": {:.4}, \"bitwise_match\": {}}}{}\n",
+            "    {{\"threads\": {}, \"train_s\": {:.6}, \"reconstruct_s\": {:.6}, \"snr_db\": {:.4}, \"bitwise_match\": {}, \"feature_s\": {:.6}, \"data_s\": {:.6}, \"forward_s\": {:.6}, \"backward_s\": {:.6}, \"optim_s\": {:.6}, \"train_allocs\": {}, \"reconstruct_allocs\": {}}}{}\n",
             r.threads,
             r.train_s,
             r.reconstruct_s,
             r.snr,
             r.bits_match,
+            r.feature_s,
+            r.data_s,
+            r.forward_s,
+            r.backward_s,
+            r.optim_s,
+            r.train_allocs,
+            r.reconstruct_allocs,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }

@@ -12,10 +12,24 @@
 use crate::normalize::{CoordFrame, ValueNorm};
 use fv_field::gradient::GradientField;
 use fv_field::{Grid3, ScalarField};
+use fv_linalg::granularity::{go_parallel, OpCounter};
 use fv_linalg::Matrix;
 use fv_sampling::PointCloud;
-use fv_spatial::KdTree;
+use fv_spatial::{KdTree, KnnScratch, Neighbor};
 use rayon::prelude::*;
+
+static OP_FEATURE_ROWS: OpCounter = OpCounter::new("core.feature_rows");
+
+/// Reusable buffers for [`FeatureExtractor::features_for_into`]: query
+/// world positions, the flat batched k-nearest results, and the per-chunk
+/// k-d tree scratch. Keep one alive across reconstruction batches and the
+/// feature path stops allocating after its first (largest) batch.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    positions: Vec<[f64; 3]>,
+    neighbors: Vec<Neighbor>,
+    knn: Vec<KnnScratch>,
+}
 
 /// Feature-extraction configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,43 +109,86 @@ impl<'a> FeatureExtractor<'a> {
         values: &ValueNorm,
         queries: &[usize],
     ) -> Matrix<f32> {
+        let mut out = Matrix::zeros(0, 0);
+        let mut scratch = FeatureScratch::default();
+        self.features_for_into(grid, frame, values, queries, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`Self::features_for`] into reusable buffers: neighborhoods come
+    /// from one batched k-d tree pass instead of a tree walk per row, and
+    /// both the output matrix and all intermediate storage are recycled
+    /// through `scratch`, so a warmed call allocates nothing. Row contents
+    /// are bitwise-identical to `features_for` at any thread count.
+    pub fn features_for_into(
+        &self,
+        grid: &Grid3,
+        frame: &CoordFrame,
+        values: &ValueNorm,
+        queries: &[usize],
+        out: &mut Matrix<f32>,
+        scratch: &mut FeatureScratch,
+    ) {
         let width = self.config.input_width();
         let k = self.config.k;
         let relative = self.config.relative_coords;
         let positions = self.cloud.positions();
-        let mut out = Matrix::zeros(queries.len(), width);
-        out.as_mut_slice()
-            .par_chunks_mut(width)
-            .zip(queries.par_iter())
-            .for_each(|(row, &qidx)| {
-                let p = grid.world_linear(qidx);
-                let up = frame.to_unit(p);
-                let neighbors = self.tree.k_nearest(positions, p, k);
-                // If the cloud has fewer than k points, repeat the last
-                // neighbor so the width stays fixed.
-                for slot in 0..k {
-                    let n = neighbors
-                        .get(slot)
-                        .or_else(|| neighbors.last())
-                        .expect("cloud checked non-empty at pipeline level");
-                    let un = frame.to_unit(positions[n.index]);
-                    let base = slot * 4;
-                    if relative {
-                        row[base] = un[0] - up[0];
-                        row[base + 1] = un[1] - up[1];
-                        row[base + 2] = un[2] - up[2];
-                    } else {
-                        row[base] = un[0];
-                        row[base + 1] = un[1];
-                        row[base + 2] = un[2];
-                    }
-                    row[base + 3] = values.normalize(self.values[n.index]);
+        out.resize(queries.len(), width);
+
+        scratch.positions.clear();
+        scratch
+            .positions
+            .extend(queries.iter().map(|&q| grid.world_linear(q)));
+        let stride = self.tree.k_nearest_batch_into(
+            positions,
+            &scratch.positions,
+            k,
+            &mut scratch.neighbors,
+            &mut scratch.knn,
+        );
+        let query_pos = &scratch.positions;
+        let flat = &scratch.neighbors;
+
+        let fill = |row: &mut [f32], r: usize| {
+            let up = frame.to_unit(query_pos[r]);
+            let neighbors = &flat[r * stride..(r + 1) * stride];
+            // If the cloud has fewer than k points, repeat the last
+            // neighbor so the width stays fixed.
+            for slot in 0..k {
+                let n = neighbors
+                    .get(slot)
+                    .or_else(|| neighbors.last())
+                    .expect("cloud checked non-empty at pipeline level");
+                let un = frame.to_unit(positions[n.index]);
+                let base = slot * 4;
+                if relative {
+                    row[base] = un[0] - up[0];
+                    row[base + 1] = un[1] - up[1];
+                    row[base + 2] = un[2] - up[2];
+                } else {
+                    row[base] = un[0];
+                    row[base + 1] = un[1];
+                    row[base + 2] = un[2];
                 }
-                row[k * 4] = up[0];
-                row[k * 4 + 1] = up[1];
-                row[k * 4 + 2] = up[2];
-            });
-        out
+                row[base + 3] = values.normalize(self.values[n.index]);
+            }
+            row[k * 4] = up[0];
+            row[k * 4 + 1] = up[1];
+            row[k * 4 + 2] = up[2];
+        };
+        // ~4 scalar ops per feature entry; rows are independent, so the
+        // parallel and sequential fills are element-identical.
+        let work = queries.len().saturating_mul(width).saturating_mul(4);
+        if go_parallel(&OP_FEATURE_ROWS, work) {
+            out.as_mut_slice()
+                .par_chunks_mut(width)
+                .enumerate()
+                .for_each(|(r, row)| fill(row, r));
+        } else {
+            for (r, row) in out.as_mut_slice().chunks_mut(width).enumerate() {
+                fill(row, r);
+            }
+        }
     }
 }
 

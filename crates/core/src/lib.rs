@@ -39,4 +39,5 @@ pub mod timesteps;
 pub mod upscale;
 
 pub use error::CoreError;
-pub use pipeline::{FcnnPipeline, PipelineConfig};
+pub use features::FeatureScratch;
+pub use pipeline::{FcnnPipeline, PipelineConfig, ReconstructWorkspace, DEFAULT_PREDICTION_BATCH};

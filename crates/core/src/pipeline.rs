@@ -12,16 +12,29 @@
 //! resolutions over shifted domains (Experiment 3).
 
 use crate::error::CoreError;
-use crate::features::{training_targets, FeatureConfig, FeatureExtractor};
+use crate::features::{training_targets, FeatureConfig, FeatureExtractor, FeatureScratch};
 use crate::normalize::{CoordFrame, ValueNorm};
 use fv_field::{Grid3, ScalarField};
+use fv_linalg::Matrix;
 use fv_nn::data::Dataset;
 use fv_nn::serialize;
 use fv_nn::train::{History, Trainer, TrainerConfig};
-use fv_nn::Mlp;
+use fv_nn::{InferWorkspace, Mlp};
 use fv_sampling::{FieldSampler, ImportanceConfig, ImportanceSampler, PointCloud};
 use std::io::{Read, Write};
 use std::path::Path;
+use std::time::Instant;
+
+/// Rows per forward pass during reconstruction.
+///
+/// The single source of truth for every configuration constructor and for
+/// deserialized pipelines (PR 2 shipped with `paper()` and
+/// `small_for_tests()` silently disagreeing at 16384 vs 4096). 16 Ki rows
+/// ≈ 1.5 MiB of f32 features at the paper's 23-wide input: big enough to
+/// saturate the pool through the granularity policy, small enough to stay
+/// cache- and memory-friendly, and irrelevant to results — batch size only
+/// changes how the query list is split, never what each row computes.
+pub const DEFAULT_PREDICTION_BATCH: usize = 16 * 1024;
 
 /// Which sampled corpora the training set is built from.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,7 +95,7 @@ impl PipelineConfig {
             corpus: TrainCorpus::Union(vec![0.01, 0.05]),
             sampler: ImportanceConfig::default(),
             train_row_fraction: 1.0,
-            prediction_batch: 16 * 1024,
+            prediction_batch: DEFAULT_PREDICTION_BATCH,
         }
     }
 
@@ -115,7 +128,7 @@ impl PipelineConfig {
             features: FeatureConfig::default(),
             sampler: ImportanceConfig::default(),
             train_row_fraction: 1.0,
-            prediction_batch: 4096,
+            prediction_batch: DEFAULT_PREDICTION_BATCH,
         }
     }
 
@@ -200,6 +213,31 @@ pub struct FcnnPipeline {
     sampler: ImportanceConfig,
     prediction_batch: usize,
     history: History,
+    /// Wall-clock seconds spent building training features (sampling, k-d
+    /// tree queries, target assembly) across `train` and every `fine_tune`.
+    feature_build_s: f64,
+}
+
+/// Reusable buffers for [`FcnnPipeline::reconstruct_with`]: the feature
+/// batch matrix, the feature extractor's scratch, and the network's
+/// inference activations. One workspace serves any number of reconstruct
+/// calls (and any pipeline); after the first batch warms it, the per-batch
+/// loop performs no heap allocation.
+#[derive(Debug)]
+pub struct ReconstructWorkspace {
+    features: Matrix<f32>,
+    feat_scratch: FeatureScratch,
+    infer: InferWorkspace,
+}
+
+impl Default for ReconstructWorkspace {
+    fn default() -> Self {
+        Self {
+            features: Matrix::zeros(0, 0),
+            feat_scratch: FeatureScratch::default(),
+            infer: InferWorkspace::default(),
+        }
+    }
 }
 
 impl FcnnPipeline {
@@ -208,7 +246,9 @@ impl FcnnPipeline {
     pub fn train(field: &ScalarField, config: &PipelineConfig, seed: u64) -> Result<Self, CoreError> {
         config.validate()?;
         let value_norm = ValueNorm::fit(field.values());
+        let t0 = Instant::now();
         let data = build_training_set(field, config, &value_norm, seed)?;
+        let feature_build_s = t0.elapsed().as_secs_f64();
         let mut mlp = Mlp::regression(
             config.features.input_width(),
             &config.hidden,
@@ -229,6 +269,7 @@ impl FcnnPipeline {
             sampler: config.sampler,
             prediction_batch: config.prediction_batch.max(1),
             history,
+            feature_build_s,
         })
     }
 
@@ -250,6 +291,13 @@ impl FcnnPipeline {
     /// The feature configuration in use.
     pub fn feature_config(&self) -> &FeatureConfig {
         &self.features
+    }
+
+    /// Seconds spent on feature/training-set construction so far (across
+    /// pretraining and fine-tuning); pairs with the per-phase timings in
+    /// [`History::timings`](fv_nn::train::History) for runtime breakdowns.
+    pub fn feature_build_seconds(&self) -> f64 {
+        self.feature_build_s
     }
 
     /// Fine-tune on a new timestep's full-resolution field.
@@ -274,7 +322,9 @@ impl FcnnPipeline {
             train_row_fraction: 1.0,
             prediction_batch: self.prediction_batch,
         };
+        let t0 = Instant::now();
         let data = build_training_set(field, &config, &self.value_norm, spec.seed ^ 0xF17E)?;
+        self.feature_build_s += t0.elapsed().as_secs_f64();
         let trainer = Trainer::new(TrainerConfig {
             epochs: spec.epochs,
             learning_rate: spec.learning_rate,
@@ -298,6 +348,24 @@ impl FcnnPipeline {
         cloud: &PointCloud,
         target: &Grid3,
     ) -> Result<ScalarField, CoreError> {
+        let mut ws = ReconstructWorkspace::default();
+        self.reconstruct_with(cloud, target, &mut ws)
+    }
+
+    /// [`Self::reconstruct`] through a caller-owned workspace.
+    ///
+    /// Feature batches stream through `ws`: one feature matrix, one set of
+    /// k-d tree scratch buffers and one stack of inference activations are
+    /// reused across every batch (and every call), so the steady-state
+    /// batch loop allocates nothing. Results are identical to
+    /// `reconstruct` — the workspace only changes where intermediates
+    /// live, not what is computed.
+    pub fn reconstruct_with(
+        &self,
+        cloud: &PointCloud,
+        target: &Grid3,
+        ws: &mut ReconstructWorkspace,
+    ) -> Result<ScalarField, CoreError> {
         if cloud.is_empty() {
             return Err(CoreError::EmptyCloud);
         }
@@ -316,8 +384,15 @@ impl FcnnPipeline {
         };
 
         for chunk in queries.chunks(self.prediction_batch) {
-            let x = extractor.features_for(target, &frame, &self.value_norm, chunk);
-            let pred = self.mlp.forward(&x)?;
+            extractor.features_for_into(
+                target,
+                &frame,
+                &self.value_norm,
+                chunk,
+                &mut ws.features,
+                &mut ws.feat_scratch,
+            );
+            let pred = self.mlp.forward_with(&ws.features, &mut ws.infer)?;
             for (row, &idx) in chunk.iter().enumerate() {
                 out.values_mut()[idx] = self.value_norm.denormalize(pred[(row, 0)]);
             }
@@ -382,8 +457,9 @@ impl FcnnPipeline {
             trainer: TrainerConfig::default(),
             corpus: TrainCorpus::Union(vec![0.01, 0.05]),
             sampler: ImportanceConfig::default(),
-            prediction_batch: 16 * 1024,
+            prediction_batch: DEFAULT_PREDICTION_BATCH,
             history: History::default(),
+            feature_build_s: 0.0,
         })
     }
 

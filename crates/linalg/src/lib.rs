@@ -18,8 +18,16 @@
 //! * [`vector`] — slice kernels (dot, axpy, norms) shared by the other
 //!   modules.
 //!
-//! All kernels are deterministic: parallel reductions accumulate per-thread
-//! partials that are combined in a fixed order.
+//! All kernels are deterministic: parallel reductions accumulate fixed-size
+//! partials that are combined in a fixed order, independent of thread count.
+//!
+//! Hot-path kernels come in `_into` form (`matmul_into`,
+//! `matmul_transpose_b_into`, `transpose_a_matmul_into`, `col_sums_into`,
+//! `matmul_bias_act_into`) writing caller-provided buffers, so steady-state
+//! callers (the `fv-nn` workspaces) allocate nothing per step. Whether a
+//! kernel fans out to the pool is decided per call by the min-work
+//! [`granularity`] policy — dispatch changes where the fixed chunk geometry
+//! runs, never what it computes.
 
 pub mod cholesky;
 pub mod error;
@@ -27,6 +35,11 @@ pub mod lu;
 pub mod matrix;
 pub mod scalar;
 pub mod vector;
+
+/// Re-export of the runtime's min-work dispatch policy, so downstream crates
+/// (`fv-nn`, `fv-core`) can declare [`granularity::OpCounter`]s for their own
+/// kernels without a direct `fv-runtime` dependency.
+pub use fv_runtime::granularity;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;

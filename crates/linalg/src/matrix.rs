@@ -2,6 +2,7 @@
 
 use crate::error::LinalgError;
 use crate::scalar::Scalar;
+use fv_runtime::granularity::{go_parallel, OpCounter};
 use rayon::prelude::*;
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -9,6 +10,31 @@ use std::ops::{Index, IndexMut};
 /// Minimum number of rows in the output before `par_matmul` fans out to the
 /// Rayon pool; below this the parallel overhead dominates.
 const PAR_MIN_ROWS: usize = 32;
+
+/// Number of `rhs` rows (the shared `k` dimension) processed per pass of the
+/// blocked [`matmul_rows`] kernel. 256 rows of a typical ≤512-wide layer keep
+/// the active `rhs` tile within L2 while every output row is revisited once
+/// per tile. The tile loop is the outer loop and `p` ascends within each
+/// tile, so each output element still accumulates its `k` terms in ascending
+/// order — blocking changes locality, never the floating-point result.
+const MM_KC: usize = 256;
+
+static OP_MATMUL: OpCounter = OpCounter::new("linalg.matmul");
+static OP_MATMUL_TB: OpCounter = OpCounter::new("linalg.matmul_transpose_b");
+static OP_TA_MATMUL: OpCounter = OpCounter::new("linalg.transpose_a_matmul");
+static OP_COL_SUMS: OpCounter = OpCounter::new("linalg.col_sums");
+static OP_BIAS_ACT: OpCounter = OpCounter::new("linalg.bias_act");
+static OP_ELEMENTWISE: OpCounter = OpCounter::new("linalg.elementwise");
+
+/// Record the dispatch decision for a kernel call and return whether it
+/// should fan out to the pool. `rows < PAR_MIN_ROWS` always stays inline
+/// (and is recorded as sequential work); larger calls go parallel when their
+/// estimated scalar-op count clears the global min-work threshold.
+#[inline]
+fn par_dispatch(counter: &'static OpCounter, rows: usize, work: usize) -> bool {
+    let big = rows >= PAR_MIN_ROWS;
+    go_parallel(counter, if big { work } else { 0 }) && big
+}
 
 /// Row-block size for the blocked parallel kernels. Delegates to the
 /// runtime's chunk geometry, which in deterministic mode depends only on the
@@ -252,19 +278,8 @@ impl<T: Scalar> Matrix<T> {
                 rhs: rhs.shape(),
             });
         }
-        if self.rows < PAR_MIN_ROWS {
-            return self.matmul(rhs);
-        }
-        let mut out = Self::zeros(self.rows, rhs.cols);
-        let k = self.cols;
-        let n = rhs.cols;
-        let chunk = row_block(self.rows);
-        out.data
-            .par_chunks_mut(chunk * n)
-            .zip(self.data.par_chunks(chunk * k))
-            .for_each(|(out_rows, lhs_rows)| {
-                matmul_rows(out_rows, lhs_rows, &rhs.data, k, n);
-            });
+        let mut out = Self::zeros(0, 0);
+        self.matmul_into(rhs, &mut out)?;
         Ok(out)
     }
 
@@ -302,21 +317,8 @@ impl<T: Scalar> Matrix<T> {
                 rhs: rhs.shape(),
             });
         }
-        if self.rows < PAR_MIN_ROWS {
-            return self.matmul_transpose_b(rhs);
-        }
-        let mut out = Self::zeros(self.rows, rhs.rows);
-        let k = self.cols;
-        let n = rhs.rows;
-        out.data
-            .par_chunks_mut(n)
-            .zip(self.data.par_chunks(k))
-            .for_each(|(out_row, a_row)| {
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = &rhs.data[j * k..(j + 1) * k];
-                    *o = crate::vector::dot(a_row, b_row);
-                }
-            });
+        let mut out = Self::zeros(0, 0);
+        self.matmul_transpose_b_into(rhs, &mut out)?;
         Ok(out)
     }
 
@@ -332,34 +334,9 @@ impl<T: Scalar> Matrix<T> {
                 rhs: rhs.shape(),
             });
         }
-        if self.rows < PAR_MIN_ROWS {
-            return self.transpose_a_matmul(rhs);
-        }
-        let ka = self.cols;
-        let kb = rhs.cols;
-        let chunk = row_block(self.rows);
-        let partials: Vec<Matrix<T>> = self
-            .data
-            .par_chunks(chunk * ka)
-            .zip(rhs.data.par_chunks(chunk * kb))
-            .map(|(a_rows, b_rows)| {
-                let rows = a_rows.len() / ka.max(1);
-                let mut local = Matrix::zeros(ka, kb);
-                for i in 0..rows {
-                    let a_row = &a_rows[i * ka..(i + 1) * ka];
-                    let b_row = &b_rows[i * kb..(i + 1) * kb];
-                    for (r, &a) in a_row.iter().enumerate() {
-                        let out_row = &mut local.data[r * kb..(r + 1) * kb];
-                        crate::vector::axpy(a, b_row, out_row);
-                    }
-                }
-                local
-            })
-            .collect();
-        let mut out = Matrix::zeros(ka, kb);
-        for p in partials {
-            out.add_assign_mat(&p)?;
-        }
+        let mut out = Self::zeros(0, 0);
+        let mut scratch = Vec::new();
+        self.transpose_a_matmul_into(rhs, &mut out, &mut scratch)?;
         Ok(out)
     }
 
@@ -407,24 +384,362 @@ impl<T: Scalar> Matrix<T> {
             .iter()
             .fold(T::ZERO, |acc, &v| Scalar::max(acc, v.abs()))
     }
+
+    /// Reshape in place, reusing the backing allocation (the capacity only
+    /// grows). When `cols` is unchanged, existing rows keep their contents
+    /// and new rows are zero; when `cols` changes, element positions are not
+    /// preserved and the caller must overwrite the matrix fully. This is the
+    /// primitive the workspace layer uses to adapt persistent buffers to a
+    /// ragged final batch without heap traffic.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, T::ZERO);
+    }
+
+    /// `out = self * rhs`, reusing `out`'s allocation.
+    ///
+    /// Identical floating-point behaviour to [`Self::matmul`] /
+    /// [`Self::par_matmul`] (the per-element accumulation order is a pure
+    /// function of the shapes); the granularity policy decides whether the
+    /// fixed chunk geometry runs inline or on the pool.
+    pub fn matmul_into(&self, rhs: &Self, out: &mut Self) -> Result<(), LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        out.resize(m, n);
+        out.fill_zero();
+        if m == 0 || n == 0 || k == 0 {
+            return Ok(());
+        }
+        if par_dispatch(&OP_MATMUL, m, m * k * n) {
+            let chunk = row_block(m);
+            out.data
+                .par_chunks_mut(chunk * n)
+                .zip(self.data.par_chunks(chunk * k))
+                .for_each(|(out_rows, lhs_rows)| {
+                    matmul_rows(out_rows, lhs_rows, &rhs.data, k, n);
+                });
+        } else {
+            matmul_rows(&mut out.data, &self.data, &rhs.data, k, n);
+        }
+        Ok(())
+    }
+
+    /// `out = self * rhs^T`, reusing `out`'s allocation.
+    ///
+    /// Each output element is an independent dot product of two contiguous
+    /// rows, so the result is identical however the rows are distributed.
+    pub fn matmul_transpose_b_into(&self, rhs: &Self, out: &mut Self) -> Result<(), LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transpose_b_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        out.resize(m, n);
+        if m == 0 || n == 0 {
+            return Ok(());
+        }
+        if k == 0 {
+            out.fill_zero();
+            return Ok(());
+        }
+        let row_pass = |out_row: &mut [T], a_row: &[T]| {
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                *o = crate::vector::dot(a_row, b_row);
+            }
+        };
+        if par_dispatch(&OP_MATMUL_TB, m, m * k * n) {
+            out.data
+                .par_chunks_mut(n)
+                .zip(self.data.par_chunks(k))
+                .for_each(|(out_row, a_row)| row_pass(out_row, a_row));
+        } else {
+            for i in 0..m {
+                row_pass(&mut out.data[i * n..(i + 1) * n], self.row(i));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fused layer-forward kernel: `pre = self * rhs^T + bias` (bias
+    /// broadcast across rows) and `out = act(pre)`, both into caller-provided
+    /// buffers.
+    ///
+    /// The product is computed first, then a single elementwise pass adds the
+    /// bias and applies the activation — the same value order as the historic
+    /// three-pass `par_matmul_transpose_b` / bias-add / activation-map chain,
+    /// with two fewer sweeps over the batch and zero allocation.
+    pub fn matmul_bias_act_into(
+        &self,
+        rhs: &Self,
+        bias: &[T],
+        act: impl Fn(T) -> T + Sync,
+        pre: &mut Self,
+        out: &mut Self,
+    ) -> Result<(), LinalgError> {
+        if bias.len() != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_bias_act",
+                lhs: rhs.shape(),
+                rhs: (bias.len(), 1),
+            });
+        }
+        self.matmul_transpose_b_into(rhs, pre)?;
+        let (m, n) = pre.shape();
+        out.resize(m, n);
+        let fuse = |pre_row: &mut [T], out_row: &mut [T]| {
+            for ((p, o), &b) in pre_row.iter_mut().zip(out_row.iter_mut()).zip(bias) {
+                let z = *p + b;
+                *p = z;
+                *o = act(z);
+            }
+        };
+        if par_dispatch(&OP_BIAS_ACT, m, m * n) {
+            pre.data
+                .par_chunks_mut(n)
+                .zip(out.data.par_chunks_mut(n))
+                .for_each(|(p, o)| fuse(p, o));
+        } else {
+            for (p, o) in pre.data.chunks_mut(n).zip(out.data.chunks_mut(n)) {
+                fuse(p, o);
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place tail of the fused forward for inference: `self[r][c] =
+    /// act(self[r][c] + bias[c])`. Pair with [`Self::matmul_transpose_b_into`]
+    /// when the pre-activation does not need to be kept.
+    pub fn bias_act_inplace(
+        &mut self,
+        bias: &[T],
+        act: impl Fn(T) -> T + Sync,
+    ) -> Result<(), LinalgError> {
+        if bias.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "bias_act_inplace",
+                lhs: self.shape(),
+                rhs: (bias.len(), 1),
+            });
+        }
+        let (m, n) = self.shape();
+        let fuse = |row: &mut [T]| {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v = act(*v + b);
+            }
+        };
+        if par_dispatch(&OP_BIAS_ACT, m, m * n) {
+            self.data.par_chunks_mut(n).for_each(fuse);
+        } else {
+            self.data.chunks_mut(n).for_each(fuse);
+        }
+        Ok(())
+    }
+
+    /// Elementwise `self[i] = f(self[i], other[i])` with granularity-aware
+    /// dispatch. `f` must be a pure per-element function, which makes the
+    /// result independent of how the elements are chunked.
+    pub fn zip_apply(
+        &mut self,
+        other: &Self,
+        f: impl Fn(T, T) -> T + Sync,
+    ) -> Result<(), LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "zip_apply",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        if par_dispatch(&OP_ELEMENTWISE, self.rows, self.data.len()) {
+            self.data
+                .par_iter_mut()
+                .zip(other.data.par_iter())
+                .for_each(|(a, &b)| *a = f(*a, b));
+        } else {
+            for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+                *a = f(*a, b);
+            }
+        }
+        Ok(())
+    }
+
+    /// `out = self^T * rhs`, reusing `out` and a caller-provided scratch
+    /// buffer for the per-block partial products.
+    ///
+    /// The reduction geometry is a pure function of the row count — below
+    /// [`PAR_MIN_ROWS`] rank-1 updates accumulate straight into `out`,
+    /// otherwise [`row_block`]-sized blocks produce partials that are summed
+    /// in block order — so results are bitwise-identical to
+    /// [`Self::par_transpose_a_matmul`] at any thread count, whether the
+    /// block loop runs inline or on the pool.
+    pub fn transpose_a_matmul_into(
+        &self,
+        rhs: &Self,
+        out: &mut Self,
+        scratch: &mut Vec<T>,
+    ) -> Result<(), LinalgError> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "transpose_a_matmul_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (ka, kb) = (self.cols, rhs.cols);
+        out.resize(ka, kb);
+        out.fill_zero();
+        if ka == 0 || kb == 0 || self.rows == 0 {
+            return Ok(());
+        }
+        let parallel = par_dispatch(&OP_TA_MATMUL, self.rows, self.rows * ka * kb);
+        if self.rows < PAR_MIN_ROWS {
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let b_row = rhs.row(i);
+                for (r, &a) in a_row.iter().enumerate() {
+                    let out_row = &mut out.data[r * kb..(r + 1) * kb];
+                    crate::vector::axpy(a, b_row, out_row);
+                }
+            }
+            return Ok(());
+        }
+        let chunk = row_block(self.rows);
+        let n_blocks = self.rows.div_ceil(chunk);
+        scratch.clear();
+        scratch.resize(n_blocks * ka * kb, T::ZERO);
+        let fill_block = |bi: usize, local: &mut [T]| {
+            let r0 = bi * chunk;
+            let r1 = (r0 + chunk).min(self.rows);
+            for i in r0..r1 {
+                let a_row = &self.data[i * ka..(i + 1) * ka];
+                let b_row = &rhs.data[i * kb..(i + 1) * kb];
+                for (r, &a) in a_row.iter().enumerate() {
+                    crate::vector::axpy(a, b_row, &mut local[r * kb..(r + 1) * kb]);
+                }
+            }
+        };
+        if parallel {
+            scratch
+                .par_chunks_mut(ka * kb)
+                .enumerate()
+                .for_each(|(bi, local)| fill_block(bi, local));
+        } else {
+            for (bi, local) in scratch.chunks_mut(ka * kb).enumerate() {
+                fill_block(bi, local);
+            }
+        }
+        for local in scratch.chunks(ka * kb) {
+            for (o, &p) in out.data.iter_mut().zip(local.iter()) {
+                *o += p;
+            }
+        }
+        Ok(())
+    }
+
+    /// Column sums (`out[c] = Σ_r self[r][c]`) into a caller-provided vector,
+    /// using `scratch` for per-leaf partials.
+    ///
+    /// Replicates the runtime's deterministic reduction exactly: rows are cut
+    /// into the same fixed leaves `fv_runtime::chunk_size` would produce,
+    /// each leaf sums its rows in order, and [`tree_combine`] folds the
+    /// leaves along the facade's split tree — so this is bitwise-identical
+    /// to the historical `par_chunks(cols).fold(..).reduce(..)` bias
+    /// gradient at any thread count, inline or on the pool.
+    pub fn col_sums_into(&self, out: &mut Vec<T>, scratch: &mut Vec<T>) {
+        let cols = self.cols;
+        out.clear();
+        out.resize(cols, T::ZERO);
+        if self.rows == 0 || cols == 0 {
+            return;
+        }
+        let chunk = fv_runtime::chunk_size(self.rows, 1, usize::MAX);
+        let n_leaves = self.rows.div_ceil(chunk);
+        scratch.clear();
+        scratch.resize(n_leaves * cols, T::ZERO);
+        let fill_leaf = |li: usize, acc: &mut [T]| {
+            let r0 = li * chunk;
+            let r1 = (r0 + chunk).min(self.rows);
+            for row in self.data[r0 * cols..r1 * cols].chunks_exact(cols) {
+                for (a, &v) in acc.iter_mut().zip(row) {
+                    *a += v;
+                }
+            }
+        };
+        if par_dispatch(&OP_COL_SUMS, self.rows, self.rows * cols) {
+            scratch
+                .par_chunks_mut(cols)
+                .enumerate()
+                .for_each(|(li, acc)| fill_leaf(li, acc));
+        } else {
+            for (li, acc) in scratch.chunks_mut(cols).enumerate() {
+                fill_leaf(li, acc);
+            }
+        }
+        tree_combine(scratch, 0, n_leaves, cols);
+        out.copy_from_slice(&scratch[..cols]);
+    }
 }
 
 /// Multiply a block of `lhs` rows (`lhs_rows.len() / k` of them) by the full
-/// `rhs` (`k x n`, row-major) into `out_rows`.
+/// `rhs` (`k x n`, row-major) into `out_rows`, accumulating into whatever the
+/// output already holds (callers zero it first).
 ///
-/// This is the shared sequential kernel behind [`Matrix::matmul`] and each
-/// parallel chunk of [`Matrix::par_matmul`].
+/// This is the shared kernel behind [`Matrix::matmul`],
+/// [`Matrix::matmul_into`] and each parallel chunk of [`Matrix::par_matmul`].
+/// It is cache-blocked along `k` in [`MM_KC`]-row tiles of `rhs`: the tile
+/// loop is outermost so a tile is streamed once for the whole row block
+/// instead of being evicted between rows. Within a tile (and across tiles)
+/// `p` ascends, so every output element sums its terms in the same order as
+/// the unblocked loop — bitwise-identical results.
 fn matmul_rows<T: Scalar>(out_rows: &mut [T], lhs_rows: &[T], rhs: &[T], k: usize, n: usize) {
     debug_assert_eq!(lhs_rows.len() % k.max(1), 0);
     debug_assert_eq!(rhs.len(), k * n);
     let m = lhs_rows.len().checked_div(k).unwrap_or(0);
-    for i in 0..m {
-        let a_row = &lhs_rows[i * k..(i + 1) * k];
-        let out_row = &mut out_rows[i * n..(i + 1) * n];
-        for (p, &a) in a_row.iter().enumerate() {
-            let b_row = &rhs[p * n..(p + 1) * n];
-            crate::vector::axpy(a, b_row, out_row);
+    let mut p0 = 0;
+    while p0 < k {
+        let p1 = (p0 + MM_KC).min(k);
+        for i in 0..m {
+            let a_tile = &lhs_rows[i * k + p0..i * k + p1];
+            let out_row = &mut out_rows[i * n..(i + 1) * n];
+            for (dp, &a) in a_tile.iter().enumerate() {
+                let b_row = &rhs[(p0 + dp) * n..(p0 + dp + 1) * n];
+                crate::vector::axpy(a, b_row, out_row);
+            }
         }
+        p0 = p1;
+    }
+}
+
+/// Combine per-leaf partial column sums along the same binary tree the
+/// `rayon` facade's `drive_reduce` uses: a node over `n` leaves splits into
+/// its first `n / 2` and remaining leaves, and the right child's result is
+/// added element-wise into the left child's buffer. After the call the root
+/// sum sits in leaf slot `lo`. Matching the facade's tree exactly is what
+/// keeps [`Matrix::col_sums_into`] bitwise-identical to the historical
+/// `par_chunks(width).fold(..).reduce(..)` bias-gradient reduction.
+fn tree_combine<T: Scalar>(buf: &mut [T], lo: usize, n: usize, cols: usize) {
+    if n <= 1 {
+        return;
+    }
+    let nl = n / 2;
+    tree_combine(buf, lo, nl, cols);
+    tree_combine(buf, lo + nl, n - nl, cols);
+    let (left, right) = buf.split_at_mut((lo + nl) * cols);
+    let dst = &mut left[lo * cols..lo * cols + cols];
+    let src = &right[..cols];
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
     }
 }
 
@@ -609,6 +924,126 @@ mod tests {
         assert_eq!(a.as_slice(), &[2.0, -4.0, 6.0, -8.0]);
         a.fill_zero();
         assert_eq!(a.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_reuses_buffer() {
+        let a = Matrix::from_fn(40, 17, |r, c| ((r * 5 + c * 3) % 7) as f64 - 3.0);
+        let b = Matrix::from_fn(17, 11, |r, c| ((r + c * 2) % 5) as f64 * 0.5);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // A second, smaller product reuses the same buffer.
+        let a2 = Matrix::from_fn(3, 17, |r, c| (r + c) as f64);
+        a2.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a2.matmul(&b).unwrap());
+        assert!(a.matmul_into(&Matrix::zeros(3, 3), &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_b_into_matches_allocating_kernel() {
+        let a = Matrix::from_fn(48, 23, |r, c| ((r * 13 + c * 5) % 9) as f32 - 4.0);
+        let b = Matrix::from_fn(31, 23, |r, c| ((r * 7 + c * 11) % 5) as f32 * 0.5);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_transpose_b_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul_transpose_b(&b).unwrap());
+    }
+
+    #[test]
+    fn transpose_a_matmul_into_is_bitwise_stable() {
+        // Both above and below the PAR_MIN_ROWS geometry switch.
+        for rows in [12usize, 100] {
+            let a = Matrix::from_fn(rows, 16, |r, c| ((r + c * 3) % 7) as f32 / 3.0 - 0.4);
+            let b = Matrix::from_fn(rows, 12, |r, c| ((r * 2 + c) % 5) as f32 * 0.25 - 0.3);
+            let reference = a.par_transpose_a_matmul(&b).unwrap();
+            let mut out = Matrix::zeros(0, 0);
+            let mut scratch = Vec::new();
+            a.transpose_a_matmul_into(&b, &mut out, &mut scratch).unwrap();
+            for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn col_sums_into_matches_facade_fold_reduce() {
+        let m = Matrix::from_fn(137, 9, |r, c| ((r * 31 + c * 17) % 23) as f32 * 0.37 - 4.0);
+        let w = m.cols();
+        // The historical bias-gradient reduction this kernel replaces.
+        let reference: Vec<f32> = m
+            .as_slice()
+            .par_chunks(w)
+            .fold(
+                || vec![0.0f32; w],
+                |mut acc, row| {
+                    for (a, &g) in acc.iter_mut().zip(row) {
+                        *a += g;
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0.0f32; w],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        m.col_sums_into(&mut out, &mut scratch);
+        assert_eq!(out.len(), w);
+        for (x, y) in out.iter().zip(&reference) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_bias_act_fuses_three_passes() {
+        let x = Matrix::from_fn(37, 8, |r, c| ((r * 3 + c) % 11) as f32 * 0.2 - 1.0);
+        let w = Matrix::from_fn(6, 8, |r, c| ((r + c * 5) % 7) as f32 * 0.3 - 0.9);
+        let bias: Vec<f32> = (0..6).map(|j| j as f32 * 0.1 - 0.2).collect();
+        let act = |v: f32| if v > 0.0 { v } else { 0.01 * v };
+        let mut pre = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        x.matmul_bias_act_into(&w, &bias, act, &mut pre, &mut out)
+            .unwrap();
+        let mut want_pre = x.matmul_transpose_b(&w).unwrap();
+        for r in 0..want_pre.rows() {
+            for (v, &b) in want_pre.row_mut(r).iter_mut().zip(&bias) {
+                *v += b;
+            }
+        }
+        assert_eq!(pre, want_pre);
+        assert_eq!(out, want_pre.map(act));
+        // Inference variant: act(x·Wᵀ + b) in place.
+        let mut inplace = Matrix::zeros(0, 0);
+        x.matmul_transpose_b_into(&w, &mut inplace).unwrap();
+        inplace.bias_act_inplace(&bias, act).unwrap();
+        assert_eq!(inplace, out);
+        assert!(x
+            .matmul_bias_act_into(&w, &[0.0; 3], act, &mut pre, &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn zip_apply_is_elementwise() {
+        let mut a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = mat(2, 2, &[10.0, 20.0, 30.0, 40.0]);
+        a.zip_apply(&b, |x, y| x * y).unwrap();
+        assert_eq!(a.as_slice(), &[10.0, 40.0, 90.0, 160.0]);
+        assert!(a.zip_apply(&mat(1, 1, &[0.0]), |x, _| x).is_err());
+    }
+
+    #[test]
+    fn resize_keeps_rows_when_cols_unchanged() {
+        let mut m = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        m.resize(3, 3);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.0, 0.0, 0.0]);
+        m.resize(1, 3);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0]);
     }
 
     #[test]

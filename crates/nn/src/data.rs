@@ -69,6 +69,19 @@ impl Dataset {
         (bx, by)
     }
 
+    /// [`Self::gather`] into caller-provided buffers, reusing their
+    /// allocations. This is the per-batch entry point of the training loop:
+    /// after the first batch sizes the buffers, subsequent gathers are free
+    /// of heap traffic (the ragged final batch only shrinks them).
+    pub fn gather_into(&self, rows: &[usize], bx: &mut Matrix<f32>, by: &mut Matrix<f32>) {
+        bx.resize(rows.len(), self.x.cols());
+        by.resize(rows.len(), self.y.cols());
+        for (out_r, &src_r) in rows.iter().enumerate() {
+            bx.row_mut(out_r).copy_from_slice(self.x.row(src_r));
+            by.row_mut(out_r).copy_from_slice(self.y.row(src_r));
+        }
+    }
+
     /// Concatenate two datasets with matching widths (the paper's "1%+5%"
     /// training corpus is the union of two sampled corpora).
     pub fn concat(&self, other: &Dataset) -> Result<Dataset, NnError> {
@@ -216,6 +229,22 @@ mod tests {
         assert_eq!(bx.row(0), &[12.0, 13.0, 14.0]);
         assert_eq!(bx.row(1), &[0.0, 1.0, 2.0]);
         assert_eq!(by.as_slice(), &[4.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_into_matches_gather_and_handles_ragged_batches() {
+        let d = dataset(6);
+        let mut bx = Matrix::zeros(0, 0);
+        let mut by = Matrix::zeros(0, 0);
+        d.gather_into(&[4, 0, 2], &mut bx, &mut by);
+        let (wx, wy) = d.gather(&[4, 0, 2]);
+        assert_eq!(bx, wx);
+        assert_eq!(by, wy);
+        // Shrinking to a ragged final batch reuses the buffers.
+        d.gather_into(&[5], &mut bx, &mut by);
+        let (wx, wy) = d.gather(&[5]);
+        assert_eq!(bx, wx);
+        assert_eq!(by, wy);
     }
 
     #[test]

@@ -110,6 +110,33 @@ impl Dense {
         pre
     }
 
+    /// Fused workspace forward: `pre = x Wᵀ + b` and `act = act(pre)`, both
+    /// written into caller-provided buffers. Bitwise-identical to
+    /// [`Self::forward`] (product first, then one bias+activation pass over
+    /// the finished pre-activations) without its three allocations.
+    pub(crate) fn forward_into(
+        &self,
+        input: &Matrix<f32>,
+        pre: &mut Matrix<f32>,
+        act_out: &mut Matrix<f32>,
+    ) {
+        let act = self.activation;
+        input
+            .matmul_bias_act_into(&self.weights, &self.bias, |v| act.apply(v), pre, act_out)
+            .expect("layer width checked by Mlp");
+    }
+
+    /// Inference forward into a caller-provided buffer; the counterpart of
+    /// [`Self::infer`] for the streaming reconstruct path.
+    pub(crate) fn infer_into(&self, input: &Matrix<f32>, out: &mut Matrix<f32>) {
+        input
+            .matmul_transpose_b_into(&self.weights, out)
+            .expect("layer width checked by Mlp");
+        let act = self.activation;
+        out.bias_act_inplace(&self.bias, |v| act.apply(v))
+            .expect("bias length equals layer width");
+    }
+
     /// Backward pass: given `dL/d(output)` `[batch, out]` and the forward
     /// cache, produce parameter gradients and `dL/d(input)` `[batch, in]`.
     pub fn backward(

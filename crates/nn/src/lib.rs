@@ -19,9 +19,12 @@
 //! * [`serialize`] — compact binary model checkpoints (the artifact the
 //!   in-situ workflow "carries between timesteps").
 //!
-//! Batches are row-major [`fv_linalg::Matrix`] values; the heavy matmuls
-//! go through `par_matmul`, so training saturates the cores without any
-//! unsafe code.
+//! Batches are row-major [`fv_linalg::Matrix`] values. The hot loops run
+//! through [`workspace::TrainWorkspace`] / [`workspace::InferWorkspace`]
+//! and the fused `_into` kernels of `fv-linalg`, so a steady-state training
+//! step or inference batch performs zero heap allocation, and each kernel's
+//! parallelism is decided by the runtime's min-work granularity policy —
+//! small ops never pay pool overhead, large ones saturate the cores.
 
 pub mod activation;
 pub mod checksum;
@@ -36,9 +39,11 @@ pub mod optim;
 pub mod schedule;
 pub mod serialize;
 pub mod train;
+pub mod workspace;
 
 pub use activation::Activation;
 pub use error::NnError;
 pub use guard::{GuardConfig, GuardEvent};
 pub use mlp::Mlp;
 pub use train::{Trainer, TrainerConfig};
+pub use workspace::{InferWorkspace, TrainWorkspace};

@@ -55,6 +55,39 @@ impl Loss {
         }
         grad
     }
+
+    /// [`Self::gradient`] into a caller-provided buffer (same element-wise
+    /// math, zero allocation once `out` has capacity).
+    pub fn gradient_into(
+        self,
+        prediction: &Matrix<f32>,
+        target: &Matrix<f32>,
+        out: &mut Matrix<f32>,
+    ) {
+        debug_assert_eq!(prediction.shape(), target.shape());
+        let n = prediction.as_slice().len().max(1) as f32;
+        out.resize(prediction.rows(), prediction.cols());
+        for ((g, &p), &t) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(prediction.as_slice())
+            .zip(target.as_slice())
+        {
+            let d = p - t;
+            *g = match self {
+                Loss::Mse => 2.0 * d / n,
+                Loss::Mae => {
+                    if d > 0.0 {
+                        1.0 / n
+                    } else if d < 0.0 {
+                        -1.0 / n
+                    } else {
+                        0.0
+                    }
+                }
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +125,17 @@ mod tests {
         let p = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(Loss::Mse.value(&p, &p), 0.0);
         assert!(Loss::Mse.gradient(&p, &p).as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn gradient_into_matches_gradient() {
+        let p = m(2, 2, &[0.3, -0.7, 1.2, 0.0]);
+        let t = m(2, 2, &[0.1, 0.1, 0.1, 0.1]);
+        let mut out = Matrix::zeros(0, 0);
+        for loss in [Loss::Mse, Loss::Mae] {
+            loss.gradient_into(&p, &t, &mut out);
+            assert_eq!(out, loss.gradient(&p, &t));
+        }
     }
 
     #[test]

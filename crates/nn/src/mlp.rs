@@ -4,6 +4,7 @@ use crate::activation::Activation;
 use crate::error::NnError;
 use crate::init::Init;
 use crate::layer::{Dense, DenseGrads, ForwardCache};
+use crate::workspace::{InferWorkspace, TrainWorkspace};
 use fv_linalg::Matrix;
 use rand::SeedableRng;
 
@@ -173,6 +174,81 @@ impl Mlp {
         }
         grads.into_iter().map(|g| g.expect("filled above")).collect()
     }
+
+    /// Workspace forward pass: run the batch loaded in `ws`
+    /// ([`TrainWorkspace::load_batch`]) through the stack, writing every
+    /// pre-activation and activation into the workspace. Bitwise-identical
+    /// to [`Self::forward_cached`] with zero steady-state allocation.
+    pub fn forward_workspace(&self, ws: &mut TrainWorkspace) -> Result<(), NnError> {
+        if ws.x.cols() != self.input_size() {
+            return Err(NnError::InputWidthMismatch {
+                expected: self.input_size(),
+                actual: ws.x.cols(),
+            });
+        }
+        debug_assert_eq!(ws.pre.len(), self.layers.len(), "workspace built for this Mlp");
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = ws.act.split_at_mut(i);
+            let input = if i == 0 { &ws.x } else { &done[i - 1] };
+            layer.forward_into(input, &mut ws.pre[i], &mut rest[0]);
+        }
+        Ok(())
+    }
+
+    /// Workspace backward pass. Expects `ws.d[last]` to hold
+    /// `dL/d(prediction)` ([`TrainWorkspace::seed_loss_gradient`]); leaves
+    /// per-layer parameter gradients in `ws.grads()`. The input gradient of
+    /// layer 0 is never materialized — nothing consumes it.
+    ///
+    /// Every reduction runs through the deterministic `_into` kernels
+    /// (`transpose_a_matmul_into`, `col_sums_into`), so gradients are
+    /// bitwise-identical to [`Self::backward`] at any thread count.
+    pub fn backward_workspace(&self, ws: &mut TrainWorkspace) {
+        debug_assert_eq!(ws.d.len(), self.layers.len(), "workspace built for this Mlp");
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            // dZ = dA ⊙ act'(Z), in place in the delta buffer.
+            let act = layer.activation;
+            ws.d[i]
+                .zip_apply(&ws.pre[i], |g, z| g * act.derivative(z))
+                .expect("delta and pre-activation shapes match");
+            // dW = dZᵀ · X and db = column sums of dZ.
+            let input = if i == 0 { &ws.x } else { &ws.act[i - 1] };
+            ws.d[i]
+                .transpose_a_matmul_into(input, &mut ws.grads[i].weights, &mut ws.ta_scratch)
+                .expect("shapes match by construction");
+            ws.d[i].col_sums_into(&mut ws.grads[i].bias, &mut ws.col_scratch);
+            // dX = dZ · W, written straight into the previous layer's delta.
+            if i > 0 {
+                let (prev, cur) = ws.d.split_at_mut(i);
+                cur[0]
+                    .matmul_into(&layer.weights, &mut prev[i - 1])
+                    .expect("shapes match by construction");
+            }
+        }
+    }
+
+    /// Inference through a persistent [`InferWorkspace`]: the streaming
+    /// counterpart of [`Self::forward`]. Returns a borrow of the output
+    /// buffer; results are bitwise-identical to [`Self::forward`].
+    pub fn forward_with<'w>(
+        &self,
+        x: &Matrix<f32>,
+        ws: &'w mut InferWorkspace,
+    ) -> Result<&'w Matrix<f32>, NnError> {
+        if x.cols() != self.input_size() {
+            return Err(NnError::InputWidthMismatch {
+                expected: self.input_size(),
+                actual: x.cols(),
+            });
+        }
+        ws.ensure(self);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = ws.act.split_at_mut(i);
+            let input = if i == 0 { x } else { &done[i - 1] };
+            layer.infer_into(input, &mut rest[0]);
+        }
+        Ok(ws.act.last().expect("non-empty network"))
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +328,45 @@ mod tests {
         let single = mlp.predict_one(&f).unwrap();
         let x = Matrix::from_vec(1, 3, f.to_vec()).unwrap();
         assert_eq!(single, mlp.forward(&x).unwrap().into_vec());
+    }
+
+    #[test]
+    fn workspace_paths_match_legacy_bitwise() {
+        // 40 rows puts the batch above PAR_MIN_ROWS, exercising the blocked
+        // transpose_a_matmul geometry on both paths.
+        let mlp = Mlp::regression(5, &[16, 8], 2, 21);
+        let x = Matrix::from_fn(40, 5, |r, c| ((r * 7 + c * 3) % 13) as f32 * 0.17 - 1.0);
+        let y = Matrix::from_fn(40, 2, |r, c| ((r + c) % 5) as f32 * 0.25 - 0.5);
+        let loss = crate::loss::Loss::Mse;
+
+        let (pred, caches) = mlp.forward_cached(x.clone()).unwrap();
+        let legacy_grads = mlp.backward(loss.gradient(&pred, &y), &caches);
+
+        let data = crate::data::Dataset::new(x.clone(), y.clone()).unwrap();
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let mut ws = TrainWorkspace::new(&mlp, x.rows(), y.cols());
+        ws.load_batch(&data, &rows);
+        mlp.forward_workspace(&mut ws).unwrap();
+        for (a, b) in ws.prediction().as_slice().iter().zip(pred.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "workspace forward diverged");
+        }
+        ws.seed_loss_gradient(loss);
+        mlp.backward_workspace(&mut ws);
+        for (wg, lg) in ws.grads().iter().zip(&legacy_grads) {
+            for (a, b) in wg.weights.as_slice().iter().zip(lg.weights.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workspace dW diverged");
+            }
+            for (a, b) in wg.bias.iter().zip(&lg.bias) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workspace db diverged");
+            }
+        }
+
+        let mut iws = InferWorkspace::new(&mlp);
+        let streamed = mlp.forward_with(&x, &mut iws).unwrap();
+        let legacy = mlp.forward(&x).unwrap();
+        for (a, b) in streamed.as_slice().iter().zip(legacy.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "workspace inference diverged");
+        }
     }
 
     #[test]

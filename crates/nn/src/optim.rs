@@ -6,6 +6,7 @@
 //! configuration change.
 
 use crate::layer::{Dense, DenseGrads};
+use fv_linalg::granularity::{go_parallel, OpCounter};
 use fv_linalg::Matrix;
 use rayon::prelude::*;
 
@@ -13,6 +14,8 @@ use rayon::prelude::*;
 /// so any chunking is deterministic; this size keeps per-task overhead well
 /// under the arithmetic it covers.
 const ELEM_CHUNK: usize = 4096;
+
+static OP_ADAM: OpCounter = OpCounter::new("nn.adam_step");
 
 /// A gradient-based parameter updater.
 pub trait Optimizer {
@@ -153,24 +156,30 @@ impl Optimizer for Adam {
             if !layer.trainable {
                 continue;
             }
-            // Weights: elementwise, so parallel chunks race with nothing.
+            // Weights: elementwise, so the update is identical however it is
+            // chunked; granularity decides whether the pool is worth it.
             let w = layer.weights.as_mut_slice();
             let g = grad.weights.as_slice();
             let m = st.mw.as_mut_slice();
             let v = st.vw.as_mut_slice();
-            w.par_chunks_mut(ELEM_CHUNK)
-                .zip(g.par_chunks(ELEM_CHUNK))
-                .zip(m.par_chunks_mut(ELEM_CHUNK))
-                .zip(v.par_chunks_mut(ELEM_CHUNK))
-                .for_each(|(((wc, gc), mc), vc)| {
-                    for i in 0..wc.len() {
-                        mc[i] = b1 * mc[i] + (1.0 - b1) * gc[i];
-                        vc[i] = b2 * vc[i] + (1.0 - b2) * gc[i] * gc[i];
-                        let mh = mc[i] / bc1;
-                        let vh = vc[i] / bc2;
-                        wc[i] -= lr * mh / (vh.sqrt() + eps);
-                    }
-                });
+            let update = |wc: &mut [f32], gc: &[f32], mc: &mut [f32], vc: &mut [f32]| {
+                for i in 0..wc.len() {
+                    mc[i] = b1 * mc[i] + (1.0 - b1) * gc[i];
+                    vc[i] = b2 * vc[i] + (1.0 - b2) * gc[i] * gc[i];
+                    let mh = mc[i] / bc1;
+                    let vh = vc[i] / bc2;
+                    wc[i] -= lr * mh / (vh.sqrt() + eps);
+                }
+            };
+            if go_parallel(&OP_ADAM, w.len()) {
+                w.par_chunks_mut(ELEM_CHUNK)
+                    .zip(g.par_chunks(ELEM_CHUNK))
+                    .zip(m.par_chunks_mut(ELEM_CHUNK))
+                    .zip(v.par_chunks_mut(ELEM_CHUNK))
+                    .for_each(|(((wc, gc), mc), vc)| update(wc, gc, mc, vc));
+            } else {
+                update(w, g, m, v);
+            }
             // Biases.
             for i in 0..layer.bias.len() {
                 let gi = grad.bias[i];

@@ -20,8 +20,10 @@ use crate::loss::Loss;
 use crate::mlp::Mlp;
 use crate::optim::{Adam, Optimizer};
 use crate::schedule::LrSchedule;
+use crate::workspace::TrainWorkspace;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Trainer hyper-parameters.
 #[derive(Debug, Clone)]
@@ -77,6 +79,31 @@ impl Default for EarlyStopping {
     }
 }
 
+/// Accumulated wall-clock per training phase, summed over every step of a
+/// `fit` run. The bench's per-phase breakdown (and any in-situ budget
+/// accounting) reads these instead of instrumenting the loop externally.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepTimings {
+    /// Batch gather (`Dataset::gather_into`).
+    pub data_s: f64,
+    /// Forward pass through the workspace.
+    pub forward_s: f64,
+    /// Loss, gradient seed, backward pass and clipping.
+    pub backward_s: f64,
+    /// Optimizer update.
+    pub optim_s: f64,
+}
+
+impl StepTimings {
+    /// Sum another run's timings into this one.
+    pub fn accumulate(&mut self, other: &StepTimings) {
+        self.data_s += other.data_s;
+        self.forward_s += other.forward_s;
+        self.backward_s += other.backward_s;
+        self.optim_s += other.optim_s;
+    }
+}
+
 /// Per-epoch training record.
 #[derive(Debug, Clone, Default)]
 pub struct History {
@@ -92,6 +119,8 @@ pub struct History {
     pub poisoned_batches: usize,
     /// Guardrail interventions, in order.
     pub guard_events: Vec<GuardEvent>,
+    /// Wall-clock spent per training phase across the whole run.
+    pub timings: StepTimings,
 }
 
 impl History {
@@ -116,6 +145,7 @@ impl History {
         self.stopped_early |= other.stopped_early;
         self.poisoned_batches += other.poisoned_batches;
         self.guard_events.extend_from_slice(&other.guard_events);
+        self.timings.accumulate(&other.timings);
     }
 
     /// Whether the guard rolled the network back during this run.
@@ -217,6 +247,9 @@ impl Trainer {
         let mut optimizer = Adam::new(cfg.learning_rate);
         let mut history = History::default();
         let bs = cfg.batch_size.min(n);
+        // Every buffer the inner loop touches lives here: after the first
+        // batch sizes them, steady-state steps are allocation-free.
+        let mut ws = TrainWorkspace::new(mlp, bs, data.target_width());
         let mut order: Vec<usize> = (0..n).collect();
         let mut best_val = f32::INFINITY;
         let mut stale = 0usize;
@@ -236,25 +269,33 @@ impl Trainer {
             let mut batches = 0usize;
             let mut skipped = 0usize;
             for batch_rows in order.chunks(bs) {
-                let (bx, by) = data.gather(batch_rows);
-                let (pred, caches) = mlp.forward_cached(bx)?;
-                let batch_loss = cfg.loss.value(&pred, &by);
+                let t0 = Instant::now();
+                ws.load_batch(data, batch_rows);
+                let t1 = Instant::now();
+                history.timings.data_s += (t1 - t0).as_secs_f64();
+                mlp.forward_workspace(&mut ws)?;
+                let t2 = Instant::now();
+                history.timings.forward_s += (t2 - t1).as_secs_f64();
+                let batch_loss = cfg.loss.value(ws.prediction(), ws.target());
                 if guard.is_some() && !batch_loss.is_finite() {
                     skipped += 1;
                     continue;
                 }
                 epoch_loss += batch_loss as f64;
                 batches += 1;
-                let grad = cfg.loss.gradient(&pred, &by);
-                let mut grads = mlp.backward(grad, &caches);
+                ws.seed_loss_gradient(cfg.loss);
+                mlp.backward_workspace(&mut ws);
                 if let Some(max_norm) = cfg.clip_grad_norm {
-                    clip_gradients(&mut grads, max_norm);
+                    clip_gradients(ws.grads_mut(), max_norm);
                 }
-                if guard.is_some() && !grads_are_finite(&grads) {
+                if guard.is_some() && !grads_are_finite(ws.grads()) {
                     skipped += 1;
                     continue;
                 }
-                optimizer.step(mlp.layers_mut(), &grads);
+                let t3 = Instant::now();
+                history.timings.backward_s += (t3 - t2).as_secs_f64();
+                optimizer.step(mlp.layers_mut(), ws.grads());
+                history.timings.optim_s += t3.elapsed().as_secs_f64();
             }
             // An epoch where every batch was poisoned has no healthy loss:
             // report NaN (not 0) so the divergence monitor sees it.

@@ -1,0 +1,159 @@
+//! Reusable execution workspaces: every buffer the training and inference
+//! hot loops need, allocated once and reused for the life of a session.
+//!
+//! PR 2's profile showed the training loop allocating a fresh `Matrix` for
+//! the batch gather, each layer's pre-activations, activations and
+//! gradients, the loss gradient, and every `DenseGrads` — roughly a dozen
+//! heap round-trips per step, dominating small-batch steps and defeating
+//! the allocator's caches at scale. A [`TrainWorkspace`] owns all of those
+//! buffers; [`Mlp::forward_workspace`](crate::mlp::Mlp::forward_workspace)
+//! and [`Mlp::backward_workspace`](crate::mlp::Mlp::backward_workspace)
+//! write into them through the fused `fv-linalg` `_into` kernels, so a
+//! steady-state step performs **zero** heap allocation (the ragged final
+//! batch of an epoch only shrinks lengths, never capacities). The same
+//! applies to [`InferWorkspace`] and the batched reconstruct path.
+//!
+//! Ownership model: a workspace belongs to one training/inference session
+//! at a time and borrows nothing — it can outlive the model, be reused
+//! across `fit` calls, and is cheap to keep alive inside an in-situ
+//! session. All shape adaptation happens inside the kernels via
+//! `Matrix::resize`, which only ever grows capacity, so a workspace warmed
+//! on the largest batch never allocates again.
+
+use crate::data::Dataset;
+use crate::layer::DenseGrads;
+use crate::loss::Loss;
+use crate::mlp::Mlp;
+use fv_linalg::Matrix;
+
+/// All per-batch state of the training inner loop: the gathered batch, each
+/// layer's pre-activations / activations / back-propagated deltas, the
+/// per-layer parameter gradients, and the scratch vectors behind the
+/// deterministic `transpose_a_matmul` / `col_sums` reductions.
+#[derive(Debug, Clone)]
+pub struct TrainWorkspace {
+    /// Gathered batch features `[batch, in]`.
+    pub(crate) x: Matrix<f32>,
+    /// Gathered batch targets `[batch, target]`.
+    pub(crate) y: Matrix<f32>,
+    /// Per-layer pre-activations `[batch, out_i]`.
+    pub(crate) pre: Vec<Matrix<f32>>,
+    /// Per-layer activations `[batch, out_i]`; the last is the prediction.
+    pub(crate) act: Vec<Matrix<f32>>,
+    /// Per-layer deltas `dL/d(pre_i)` (seeded as `dL/d(act_i)` and turned
+    /// into `dL/d(pre_i)` in place by the backward pass).
+    pub(crate) d: Vec<Matrix<f32>>,
+    /// Per-layer parameter gradients, aligned with `Mlp::layers()`.
+    pub(crate) grads: Vec<DenseGrads>,
+    /// Block partials for the deterministic `transpose_a_matmul` reduction.
+    pub(crate) ta_scratch: Vec<f32>,
+    /// Leaf partials for the deterministic column-sum reduction.
+    pub(crate) col_scratch: Vec<f32>,
+}
+
+impl TrainWorkspace {
+    /// A workspace sized for `mlp` with `batch`-row buffers and
+    /// `target_width` target columns. Buffers grow on demand, so the sizes
+    /// are a warm-start hint rather than a limit.
+    pub fn new(mlp: &Mlp, batch: usize, target_width: usize) -> Self {
+        let layers = mlp.layers();
+        let pre: Vec<Matrix<f32>> = layers
+            .iter()
+            .map(|l| Matrix::zeros(batch, l.output_size()))
+            .collect();
+        let grads = layers
+            .iter()
+            .map(|l| DenseGrads {
+                weights: Matrix::zeros(l.output_size(), l.input_size()),
+                bias: vec![0.0; l.output_size()],
+            })
+            .collect();
+        Self {
+            x: Matrix::zeros(batch, mlp.input_size()),
+            y: Matrix::zeros(batch, target_width),
+            act: pre.clone(),
+            d: pre.clone(),
+            pre,
+            grads,
+            ta_scratch: Vec::new(),
+            col_scratch: Vec::new(),
+        }
+    }
+
+    /// Gather `rows` of `data` into the workspace batch buffers.
+    pub fn load_batch(&mut self, data: &Dataset, rows: &[usize]) {
+        data.gather_into(rows, &mut self.x, &mut self.y);
+    }
+
+    /// The current batch features.
+    pub fn batch_x(&self) -> &Matrix<f32> {
+        &self.x
+    }
+
+    /// The current batch targets (valid after [`Self::load_batch`]).
+    pub fn target(&self) -> &Matrix<f32> {
+        &self.y
+    }
+
+    /// The network output for the current batch (valid after
+    /// [`Mlp::forward_workspace`]).
+    pub fn prediction(&self) -> &Matrix<f32> {
+        self.act.last().expect("workspace built from non-empty Mlp")
+    }
+
+    /// Seed the backward pass: write `dL/d(prediction)` into the last
+    /// layer's delta buffer.
+    pub fn seed_loss_gradient(&mut self, loss: Loss) {
+        let pred = self.act.last().expect("non-empty Mlp");
+        let d_last = self.d.last_mut().expect("non-empty Mlp");
+        loss.gradient_into(pred, &self.y, d_last);
+    }
+
+    /// Per-layer parameter gradients (valid after
+    /// [`Mlp::backward_workspace`]), aligned with `Mlp::layers()`.
+    pub fn grads(&self) -> &[DenseGrads] {
+        &self.grads
+    }
+
+    /// Mutable access to the gradients (gradient clipping mutates in place).
+    pub fn grads_mut(&mut self) -> &mut [DenseGrads] {
+        &mut self.grads
+    }
+}
+
+/// Per-layer activation buffers for the inference path
+/// ([`Mlp::forward_with`](crate::mlp::Mlp::forward_with)).
+///
+/// `Pipeline::reconstruct` keeps one of these alive across its batch loop,
+/// so feature batches stream through a fixed set of buffers instead of
+/// allocating `num_layers` matrices per batch.
+#[derive(Debug, Clone, Default)]
+pub struct InferWorkspace {
+    pub(crate) act: Vec<Matrix<f32>>,
+}
+
+impl InferWorkspace {
+    /// A workspace for `mlp`, with empty (zero-row) buffers that size
+    /// themselves on first use.
+    pub fn new(mlp: &Mlp) -> Self {
+        Self {
+            act: mlp
+                .layers()
+                .iter()
+                .map(|l| Matrix::zeros(0, l.output_size()))
+                .collect(),
+        }
+    }
+
+    /// Adapt the buffer count to `mlp` (no-op when already matching), so a
+    /// default-constructed or stale workspace is always safe to reuse.
+    pub(crate) fn ensure(&mut self, mlp: &Mlp) {
+        if self.act.len() != mlp.num_layers() {
+            self.act = mlp
+                .layers()
+                .iter()
+                .map(|l| Matrix::zeros(0, l.output_size()))
+                .collect();
+        }
+    }
+}

@@ -10,8 +10,11 @@
 //! Queries are iterative with an explicit stack, so deep trees cannot
 //! overflow the call stack.
 
+use fv_runtime::granularity::{go_parallel, OpCounter};
 use rayon::prelude::*;
 use std::collections::BinaryHeap;
+
+static OP_KNN_BATCH: OpCounter = OpCounter::new("spatial.knn_batch");
 
 /// Index type for points; u32 keeps nodes compact (4 G points is far beyond
 /// any cloud this workspace handles).
@@ -52,10 +55,31 @@ pub struct Neighbor {
 
 /// Max-heap ordering by distance so the heap root is the *worst* of the
 /// current k best and can be evicted in O(log k).
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct HeapItem {
     dist_sq: f64,
     index: usize,
+}
+
+/// Reusable per-query buffers for [`KdTree::k_nearest_with`]: the traversal
+/// stack, the candidate heap's backing storage, and the sorted result row.
+///
+/// A scratch belongs to one caller at a time (one per worker in the batched
+/// path); after the first few queries its capacities stabilize and k-nearest
+/// lookups stop touching the heap allocator entirely.
+#[derive(Debug, Default)]
+pub struct KnnScratch {
+    stack: Vec<(u32, f64)>,
+    heap: Vec<HeapItem>,
+    sorted: Vec<Neighbor>,
+}
+
+impl KnnScratch {
+    /// The neighbors produced by the most recent
+    /// [`KdTree::k_nearest_with`], sorted by ascending distance.
+    pub fn neighbors(&self) -> &[Neighbor] {
+        &self.sorted
+    }
 }
 
 impl Eq for HeapItem {}
@@ -141,11 +165,36 @@ impl KdTree {
     /// Returns fewer than `k` neighbors only when the tree holds fewer
     /// points. Ties are broken by point index, making results deterministic.
     pub fn k_nearest(&self, points: &[[f64; 3]], query: [f64; 3], k: usize) -> Vec<Neighbor> {
+        let mut scratch = KnnScratch::default();
+        self.k_nearest_with(points, query, k, &mut scratch);
+        scratch.sorted
+    }
+
+    /// [`Self::k_nearest`] into reusable buffers: the result lands in
+    /// `scratch.neighbors()`, sorted ascending. Produces exactly the same
+    /// neighbors as `k_nearest`; after warm-up it performs no allocation.
+    pub fn k_nearest_with(
+        &self,
+        points: &[[f64; 3]],
+        query: [f64; 3],
+        k: usize,
+        scratch: &mut KnnScratch,
+    ) {
+        scratch.sorted.clear();
         if k == 0 || self.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
-        self.visit(points, query, |idx, d2| {
+        let KnnScratch {
+            stack,
+            heap: heap_buf,
+            sorted,
+        } = scratch;
+        // Round-trip the Vec through BinaryHeap so its capacity survives
+        // between queries; the heap starts logically empty either way.
+        let mut storage = std::mem::take(heap_buf);
+        storage.clear();
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::from(storage);
+        self.visit_with(points, query, stack, |idx, d2| {
             if heap.len() < k {
                 heap.push(HeapItem {
                     dist_sq: d2,
@@ -166,20 +215,17 @@ impl KdTree {
                 heap.peek().map_or(f64::INFINITY, |t| t.dist_sq)
             }
         });
-        let mut out: Vec<Neighbor> = heap
-            .into_iter()
-            .map(|h| Neighbor {
-                index: h.index,
-                dist_sq: h.dist_sq,
-            })
-            .collect();
-        out.sort_by(|a, b| {
+        sorted.extend(heap.drain().map(|h| Neighbor {
+            index: h.index,
+            dist_sq: h.dist_sq,
+        }));
+        *heap_buf = heap.into_vec();
+        sorted.sort_by(|a, b| {
             a.dist_sq
                 .partial_cmp(&b.dist_sq)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.index.cmp(&b.index))
         });
-        out
     }
 
     /// The `k` nearest points for every query, computed in parallel.
@@ -197,6 +243,71 @@ impl KdTree {
             .par_iter()
             .map(|&q| self.k_nearest(points, q, k))
             .collect()
+    }
+
+    /// Batched k-nearest into a flat, reusable output buffer.
+    ///
+    /// Writes query `i`'s neighbors (ascending distance) to
+    /// `out[i * stride .. (i + 1) * stride]` and returns the row stride
+    /// `k.min(self.len())` — every row is full, matching the length
+    /// `k_nearest` would return. `scratch` holds one [`KnnScratch`] per
+    /// deterministic query chunk and only ever grows, so a warmed call
+    /// performs no allocation. Work is dispatched through the granularity
+    /// policy: small batches run sequentially, large ones fan the fixed
+    /// chunk grid to the pool. Either way each query is answered by the
+    /// same exact single-query traversal, so results are identical at any
+    /// thread count.
+    pub fn k_nearest_batch_into(
+        &self,
+        points: &[[f64; 3]],
+        queries: &[[f64; 3]],
+        k: usize,
+        out: &mut Vec<Neighbor>,
+        scratch: &mut Vec<KnnScratch>,
+    ) -> usize {
+        let stride = k.min(self.len);
+        out.clear();
+        out.resize(
+            queries.len() * stride,
+            Neighbor {
+                index: usize::MAX,
+                dist_sq: f64::INFINITY,
+            },
+        );
+        if stride == 0 || queries.is_empty() {
+            return stride;
+        }
+        let n = queries.len();
+        let chunk_rows = fv_runtime::chunk_size(n, 1, usize::MAX);
+        let n_chunks = n.div_ceil(chunk_rows);
+        if scratch.len() < n_chunks {
+            scratch.resize_with(n_chunks, KnnScratch::default);
+        }
+        let run_chunk = |ci: usize, rows_out: &mut [Neighbor], scr: &mut KnnScratch| {
+            let q0 = ci * chunk_rows;
+            for (r, row) in rows_out.chunks_mut(stride).enumerate() {
+                self.k_nearest_with(points, queries[q0 + r], k, scr);
+                row.copy_from_slice(&scr.sorted);
+            }
+        };
+        // ~64 node visits per (query, neighbor) is a coarse per-query cost
+        // model; it only has to rank batch sizes, not predict runtimes.
+        let work = n.saturating_mul(k).saturating_mul(64);
+        if go_parallel(&OP_KNN_BATCH, work) {
+            out.par_chunks_mut(chunk_rows * stride)
+                .zip(scratch[..n_chunks].par_iter_mut())
+                .enumerate()
+                .for_each(|(ci, (rows_out, scr))| run_chunk(ci, rows_out, scr));
+        } else {
+            for (ci, (rows_out, scr)) in out
+                .chunks_mut(chunk_rows * stride)
+                .zip(scratch[..n_chunks].iter_mut())
+                .enumerate()
+            {
+                run_chunk(ci, rows_out, scr);
+            }
+        }
+        stride
     }
 
     /// All points within `radius` of `query` (unsorted).
@@ -227,6 +338,19 @@ impl KdTree {
         &self,
         points: &[[f64; 3]],
         query: [f64; 3],
+        accept: impl FnMut(usize, f64) -> f64,
+    ) {
+        let mut stack = Vec::new();
+        self.visit_with(points, query, &mut stack, accept);
+    }
+
+    /// [`Self::visit`] with a caller-provided stack buffer, so repeated
+    /// queries reuse one allocation.
+    fn visit_with(
+        &self,
+        points: &[[f64; 3]],
+        query: [f64; 3],
+        stack: &mut Vec<(u32, f64)>,
         mut accept: impl FnMut(usize, f64) -> f64,
     ) {
         if self.root == NONE {
@@ -235,7 +359,8 @@ impl KdTree {
         // Explicit stack of (node, dist² from query to the node's region
         // boundary along already-crossed planes is approximated by plane
         // distance alone — the classic sufficient prune).
-        let mut stack: Vec<(u32, f64)> = vec![(self.root, 0.0)];
+        stack.clear();
+        stack.push((self.root, 0.0));
         let mut prune_r2 = f64::INFINITY;
         while let Some((node_idx, plane_d2)) = stack.pop() {
             if plane_d2 > prune_r2 {
@@ -502,6 +627,68 @@ mod tests {
         assert_eq!(batch.len(), queries.len());
         for (q, got) in queries.iter().zip(&batch) {
             assert_eq!(got, &t.k_nearest(&pts, *q, 6));
+        }
+    }
+
+    #[test]
+    fn k_nearest_batch_into_matches_single_queries() {
+        let pts = pseudo_points(500, 17);
+        let t = KdTree::build(&pts);
+        let queries = pseudo_points(64, 23);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for k in [1usize, 6, 600] {
+            let stride = t.k_nearest_batch_into(&pts, &queries, k, &mut out, &mut scratch);
+            assert_eq!(stride, k.min(pts.len()));
+            assert_eq!(out.len(), queries.len() * stride);
+            for (q, row) in queries.iter().zip(out.chunks(stride)) {
+                let single = t.k_nearest(&pts, *q, k);
+                assert_eq!(row.len(), single.len());
+                for (a, b) in row.iter().zip(&single) {
+                    assert_eq!(a.index, b.index);
+                    assert_eq!(a.dist_sq.to_bits(), b.dist_sq.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_batch_into_degenerate_inputs() {
+        let pts = pseudo_points(20, 9);
+        let t = KdTree::build(&pts);
+        let mut out = vec![Neighbor {
+            index: 1,
+            dist_sq: 2.0,
+        }];
+        let mut scratch = Vec::new();
+        assert_eq!(t.k_nearest_batch_into(&pts, &[[0.0; 3]], 0, &mut out, &mut scratch), 0);
+        assert!(out.is_empty());
+        let empty = KdTree::build(&[]);
+        assert_eq!(empty.k_nearest_batch_into(&[], &[[0.0; 3]], 4, &mut out, &mut scratch), 0);
+        assert!(out.is_empty());
+        assert_eq!(t.k_nearest_batch_into(&pts, &[], 4, &mut out, &mut scratch), 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn k_nearest_batch_into_is_identical_at_any_width() {
+        let pts = pseudo_points(800, 31);
+        let t = KdTree::build(&pts);
+        let queries = pseudo_points(300, 41);
+        let run = |threads: usize| {
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            fv_runtime::Pool::new(threads).install(|| {
+                t.k_nearest_batch_into(&pts, &queries, 5, &mut out, &mut scratch)
+            });
+            out
+        };
+        let narrow = run(1);
+        let wide = run(4);
+        assert_eq!(narrow.len(), wide.len());
+        for (a, b) in narrow.iter().zip(&wide) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.dist_sq.to_bits(), b.dist_sq.to_bits());
         }
     }
 

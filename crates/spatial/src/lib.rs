@@ -28,4 +28,4 @@ pub mod morton;
 pub mod predicates;
 
 pub use delaunay::Delaunay3;
-pub use kdtree::KdTree;
+pub use kdtree::{KdTree, KnnScratch, Neighbor};

@@ -26,4 +26,22 @@ FV_THREADS=1 cargo test --workspace -q "${MODE[@]}"
 echo "=== tests (FV_THREADS=4) ==="
 FV_THREADS=4 cargo test --workspace -q "${MODE[@]}"
 
+echo "=== runtime smoke (thread scaling + bitwise determinism) ==="
+# exp_runtime exits non-zero on its own when reconstructions diverge across
+# thread counts; on top of that, gate the two workspace-layer guarantees:
+# every row bitwise-matches the 1-thread reference, and 4-thread training is
+# not slower than 1-thread (>10% tolerance for machine noise).
+cargo run --release -q -p fv-bench --bin exp_runtime > /dev/null
+python3 - <<'EOF'
+import json, sys
+rows = json.load(open("BENCH_runtime.json"))["rows"]
+bad = [r["threads"] for r in rows if not r["bitwise_match"]]
+if bad:
+    sys.exit(f"runtime smoke: bitwise divergence at threads={bad}")
+t = {r["threads"]: r["train_s"] for r in rows}
+if t[4] > 1.10 * t[1]:
+    sys.exit(f"runtime smoke: 4-thread training regressed: {t[4]:.3f}s vs {t[1]:.3f}s at 1 thread")
+print(f"runtime smoke ok: train 1T={t[1]:.3f}s 4T={t[4]:.3f}s, all rows bitwise-identical")
+EOF
+
 echo "CI gate passed."

@@ -62,6 +62,64 @@ fn fcnn_pipeline_bitwise_identical_across_thread_counts() {
     assert_eq!(narrow, wide, "reconstruction differs between 1 and 8 threads");
 }
 
+/// The workspace execution layer is an optimization, not a semantic change:
+/// forward/backward through `TrainWorkspace` must be bitwise-identical to
+/// the legacy per-call-allocating `forward_cached`/`backward` path — at
+/// every pool width, on a batch large enough (2048×64 into [128, 64]) that
+/// the fused kernels cross the granularity threshold and actually fan out.
+#[test]
+fn workspace_training_path_matches_legacy_at_all_widths() {
+    use fillvoid::linalg::Matrix;
+    use fillvoid::nn::data::Dataset;
+    use fillvoid::nn::loss::Loss;
+    use fillvoid::nn::{Mlp, TrainWorkspace};
+
+    let rows = 2048usize;
+    let mlp = Mlp::regression(64, &[128, 64], 4, 9);
+    let x = Matrix::from_fn(rows, 64, |r, c| ((r * 31 + c * 17) % 101) as f32 * 0.02 - 1.0);
+    let y = Matrix::from_fn(rows, 4, |r, c| ((r + c * 13) % 19) as f32 * 0.1 - 0.9);
+    let data = Dataset::new(x.clone(), y.clone()).unwrap();
+    let idx: Vec<usize> = (0..rows).collect();
+
+    let mut reference: Option<(Vec<u32>, Vec<u32>)> = None;
+    for width in [1usize, 4, 8] {
+        let pool = fv_runtime::Pool::new(width);
+        let (legacy, workspace) = pool.install(|| {
+            let (pred, caches) = mlp.forward_cached(x.clone()).unwrap();
+            let grads = mlp.backward(Loss::Mse.gradient(&pred, &y), &caches);
+            let mut legacy_bits: (Vec<u32>, Vec<u32>) =
+                (pred.as_slice().iter().map(|v| v.to_bits()).collect(), Vec::new());
+            for g in &grads {
+                legacy_bits.1.extend(g.weights.as_slice().iter().map(|v| v.to_bits()));
+                legacy_bits.1.extend(g.bias.iter().map(|v| v.to_bits()));
+            }
+
+            let mut ws = TrainWorkspace::new(&mlp, rows, 4);
+            ws.load_batch(&data, &idx);
+            mlp.forward_workspace(&mut ws).unwrap();
+            ws.seed_loss_gradient(Loss::Mse);
+            mlp.backward_workspace(&mut ws);
+            let mut ws_bits: (Vec<u32>, Vec<u32>) = (
+                ws.prediction().as_slice().iter().map(|v| v.to_bits()).collect(),
+                Vec::new(),
+            );
+            for g in ws.grads() {
+                ws_bits.1.extend(g.weights.as_slice().iter().map(|v| v.to_bits()));
+                ws_bits.1.extend(g.bias.iter().map(|v| v.to_bits()));
+            }
+            (legacy_bits, ws_bits)
+        });
+        assert_eq!(workspace.0, legacy.0, "forward diverged from legacy at width {width}");
+        assert_eq!(workspace.1, legacy.1, "gradients diverged from legacy at width {width}");
+        match &reference {
+            None => reference = Some(workspace),
+            Some(r) => {
+                assert_eq!(&workspace, r, "results diverged between pool widths (vs 1)");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

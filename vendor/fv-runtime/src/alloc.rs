@@ -1,0 +1,54 @@
+//! A counting wrapper around the system allocator.
+//!
+//! Install it in a binary or test to make heap traffic observable:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: fv_runtime::alloc::CountingAllocator =
+//!     fv_runtime::alloc::CountingAllocator;
+//!
+//! let before = fv_runtime::alloc::allocation_count();
+//! hot_loop();
+//! assert_eq!(fv_runtime::alloc::allocation_count() - before, 0);
+//! ```
+//!
+//! Only allocations and growing reallocations are counted — frees are not,
+//! since the steady-state regression the workspace architecture guards
+//! against is *acquiring* memory per step, not returning it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The system allocator plus a process-wide allocation counter.
+pub struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter has no effect
+// on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Heap acquisitions (alloc + realloc) since process start. Monotonic; take
+/// differences around the region of interest.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,155 @@
+//! Min-work dispatch policy: decide, per kernel call, whether fanning out
+//! to the pool is worth the scheduling overhead.
+//!
+//! PR 2 made every hot path parallel — and made small problems *slower*,
+//! because deterministic chunking always cuts a loop into
+//! [`crate::DETERMINISTIC_CHUNKS`] pieces no matter how little work each
+//! piece carries. A 256×64 bias add became 64 pool dispatches of ~256
+//! additions each. The fix is a single global threshold: a kernel first
+//! estimates its work in scalar operations (multiply-accumulates for
+//! matmuls, elements for elementwise passes) and runs sequentially below
+//! [`min_par_work`]. Crucially this only ever changes *where* the fixed
+//! chunk geometry executes, never the geometry itself, so the bitwise
+//! determinism contract (DESIGN.md §9) is untouched: a kernel computes the
+//! same partials in the same order whether they run inline or on workers.
+//!
+//! Every decision is recorded on a per-op [`OpCounter`] so benchmarks can
+//! report which ops fell back to sequential dispatch
+//! ([`dispatch_stats`]). The threshold is tunable with `FV_PAR_MIN_WORK`
+//! (scalar ops; read once, at first use).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default minimum work (in scalar operations) before a kernel fans out to
+/// the pool. Around one mebi-op the pool's dispatch cost (~tens of
+/// microseconds across 64 chunks) drops well under the arithmetic saved.
+pub const DEFAULT_MIN_PAR_WORK: usize = 1 << 20;
+
+/// Per-operation dispatch counters. Declare one `static` per kernel:
+///
+/// ```
+/// use fv_runtime::granularity::{go_parallel, OpCounter};
+/// static OP_MATMUL: OpCounter = OpCounter::new("linalg.matmul");
+/// let work = 8 * 8 * 8; // rows * k * cols
+/// if go_parallel(&OP_MATMUL, work) {
+///     // parallel drive of the fixed chunk geometry
+/// } else {
+///     // same geometry, executed inline
+/// }
+/// ```
+#[derive(Debug)]
+pub struct OpCounter {
+    name: &'static str,
+    seq: AtomicU64,
+    par: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl OpCounter {
+    /// A new counter, usable in `static` position.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            seq: AtomicU64::new(0),
+            par: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The operation name this counter reports under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+static REGISTRY: Mutex<Vec<&'static OpCounter>> = Mutex::new(Vec::new());
+
+/// The active min-work threshold (scalar ops). `FV_PAR_MIN_WORK` overrides
+/// [`DEFAULT_MIN_PAR_WORK`]; read once, at first use.
+pub fn min_par_work() -> usize {
+    static THRESHOLD: OnceLock<usize> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("FV_PAR_MIN_WORK")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MIN_PAR_WORK)
+    })
+}
+
+/// Decide whether an operation with `work` scalar ops should fan out to
+/// the pool, recording the decision on `counter`.
+pub fn go_parallel(counter: &'static OpCounter, work: usize) -> bool {
+    if !counter.registered.swap(true, Ordering::Relaxed) {
+        REGISTRY
+            .lock()
+            .expect("dispatch registry poisoned")
+            .push(counter);
+    }
+    if work >= min_par_work() {
+        counter.par.fetch_add(1, Ordering::Relaxed);
+        true
+    } else {
+        counter.seq.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+}
+
+/// A snapshot of one op's dispatch decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Kernel name (e.g. `linalg.matmul`).
+    pub name: &'static str,
+    /// Calls executed inline because they fell under the threshold.
+    pub seq: u64,
+    /// Calls fanned out to the pool.
+    pub par: u64,
+}
+
+/// Snapshot every registered op's counters, sorted by name.
+pub fn dispatch_stats() -> Vec<DispatchStats> {
+    let registry = REGISTRY.lock().expect("dispatch registry poisoned");
+    let mut stats: Vec<DispatchStats> = registry
+        .iter()
+        .map(|c| DispatchStats {
+            name: c.name,
+            seq: c.seq.load(Ordering::Relaxed),
+            par: c.par.load(Ordering::Relaxed),
+        })
+        .collect();
+    stats.sort_by_key(|s| s.name);
+    stats
+}
+
+/// Zero every registered op's counters (benchmarks call this between
+/// configurations).
+pub fn reset_dispatch_stats() {
+    let registry = REGISTRY.lock().expect("dispatch registry poisoned");
+    for c in registry.iter() {
+        c.seq.store(0, Ordering::Relaxed);
+        c.par.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static OP_TEST: OpCounter = OpCounter::new("test.granularity_op");
+
+    #[test]
+    fn threshold_splits_decisions_and_counts_them() {
+        let t = min_par_work();
+        assert!(t >= 1);
+        assert!(!go_parallel(&OP_TEST, 0));
+        assert!(go_parallel(&OP_TEST, t));
+        assert!(go_parallel(&OP_TEST, t.saturating_add(1)));
+        let stats = dispatch_stats();
+        let mine = stats
+            .iter()
+            .find(|s| s.name == "test.granularity_op")
+            .expect("counter registered on first use");
+        assert!(mine.seq >= 1);
+        assert!(mine.par >= 2);
+    }
+}

@@ -40,7 +40,9 @@
 //! any value computed through these drivers is a pure function of its
 //! inputs. See DESIGN.md §9 for the full architecture.
 
+pub mod alloc;
 pub mod deque;
+pub mod granularity;
 mod job;
 mod latch;
 mod par;
