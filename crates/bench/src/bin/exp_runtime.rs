@@ -16,7 +16,8 @@
 //! kept sequential (small ops that would only pay pool overhead) and
 //! which it fanned out.
 
-use fillvoid_core::pipeline::{FcnnPipeline, ReconstructWorkspace};
+use fillvoid_core::insitu::{InSituConfig, InSituSession, SupervisionConfig};
+use fillvoid_core::pipeline::{FcnnPipeline, FineTuneSpec, ReconstructWorkspace};
 use fillvoid_core::metrics::snr_db;
 use fv_bench::{secs, ExpOpts};
 use fv_runtime::alloc::{allocation_count, CountingAllocator};
@@ -55,6 +56,7 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut reference_bits: Option<Vec<u32>> = None;
+    let mut last_model: Option<FcnnPipeline> = None;
     for threads in [1usize, 2, 4] {
         reset_dispatch_stats();
         let pool = fv_runtime::Pool::new(threads);
@@ -98,7 +100,45 @@ fn main() {
             reconstruct_allocs,
             dispatch: dispatch_stats(),
         });
+        last_model = Some(model);
     }
+
+    // Supervised in-situ segment: a short session under a per-step
+    // deadline, so the run reports the supervision counters (deadline
+    // misses, caught panics, checkpoint retries, breaker position) next
+    // to the scaling numbers.
+    let insitu_steps = 3usize;
+    let mut session = InSituSession::new(
+        last_model.take().expect("at least one width ran"),
+        InSituConfig {
+            fraction: 0.03,
+            drift_threshold: None,
+            fine_tune: FineTuneSpec {
+                epochs: 2,
+                ..FineTuneSpec::case1()
+            },
+            probe_rows: 512,
+            score: false,
+            supervision: SupervisionConfig {
+                step_deadline: Some(std::time::Duration::from_secs(30)),
+                ..SupervisionConfig::default()
+            },
+            ..Default::default()
+        },
+    );
+    let (mut deadline_misses, mut panics_caught, mut io_retries, mut fallback_steps) =
+        (0usize, 0usize, 0usize, 0usize);
+    let t_insitu = Instant::now();
+    for _ in 0..insitu_steps {
+        let (_, _, report) = session.step(&field).expect("supervised in-situ step");
+        deadline_misses += usize::from(report.deadline_missed);
+        panics_caught += usize::from(report.panic_caught);
+        io_retries += report.io_retries;
+        fallback_steps += usize::from(report.fallback_kind.is_some());
+    }
+    let insitu_s = t_insitu.elapsed().as_secs_f64();
+    let breaker = format!("{:?}", session.breaker());
+    let pool_sup = fv_runtime::supervision_stats();
 
     println!("# Runtime scaling — isabel, 3% sampling, FV_DETERMINISTIC default");
     println!("# scale: {:?}, grid: {:?}", opts.scale, field.grid().dims());
@@ -173,7 +213,30 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    println!("\n# Supervised in-situ segment ({insitu_steps} steps, 30 s step budget)");
+    println!(
+        "#   {} deadline misses, {} panics caught, {} checkpoint retries, {} fallback steps, breaker {}, pool: {} panics caught / {} worker restarts",
+        deadline_misses,
+        panics_caught,
+        io_retries,
+        fallback_steps,
+        breaker,
+        pool_sup.panics_caught,
+        pool_sup.worker_restarts,
+    );
+
+    json.push_str(&format!(
+        "  ],\n  \"insitu\": {{\"steps\": {}, \"seconds\": {:.6}, \"deadline_misses\": {}, \"panics_caught\": {}, \"io_retries\": {}, \"fallback_steps\": {}, \"breaker\": \"{}\", \"pool_panics_caught\": {}, \"pool_worker_restarts\": {}}}\n}}\n",
+        insitu_steps,
+        insitu_s,
+        deadline_misses,
+        panics_caught,
+        io_retries,
+        fallback_steps,
+        breaker,
+        pool_sup.panics_caught,
+        pool_sup.worker_restarts,
+    ));
     let path = "BENCH_runtime.json";
     std::fs::File::create(path)
         .and_then(|mut f| f.write_all(json.as_bytes()))

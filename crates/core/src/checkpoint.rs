@@ -102,28 +102,52 @@ impl CheckpointStore {
     /// Save `pipeline` as a new generation, then prune to the last `keep`
     /// generations. Returns the new generation number.
     pub fn save(&mut self, pipeline: &FcnnPipeline) -> Result<u64, CoreError> {
+        let outcome = self.save_with_retry(pipeline, &fv_runtime::retry::Backoff::none())?;
+        Ok(outcome.0)
+    }
+
+    /// [`Self::save`] with retry-with-backoff for transient I/O failures
+    /// (shared scratch filesystems hiccup; one failed save must not cost
+    /// the session its recovery point). Returns the new generation number
+    /// and how many retries the save needed. The atomic-rename protocol
+    /// makes retries safe: a failed attempt leaves at worst a swept-on-open
+    /// `*.tmp`, never a torn checkpoint.
+    pub fn save_with_retry(
+        &mut self,
+        pipeline: &FcnnPipeline,
+        policy: &fv_runtime::retry::Backoff,
+    ) -> Result<(u64, usize), CoreError> {
         let gen = self.latest().map_or(0, |g| g + 1);
         let mut payload = Vec::new();
         pipeline.write_to(&mut payload)?;
         let digest = crc32(&payload);
-        write_file_atomic(self.path_for(gen), |w| {
-            use std::io::Write;
-            w.write_all(MAGIC)?;
-            w.write_all(&(payload.len() as u64).to_le_bytes())?;
-            w.write_all(&payload)?;
-            w.write_all(&digest.to_le_bytes())?;
-            Ok(())
+        let outcome = fv_runtime::retry::retry(policy, |_attempt| {
+            if let Some(e) = fv_runtime::chaos::io_error("ckpt.save") {
+                return Err(io_err(e));
+            }
+            write_file_atomic(self.path_for(gen), |w| {
+                use std::io::Write;
+                w.write_all(MAGIC)?;
+                w.write_all(&(payload.len() as u64).to_le_bytes())?;
+                w.write_all(&payload)?;
+                w.write_all(&digest.to_le_bytes())?;
+                Ok(())
+            })
+            .map_err(CoreError::from)
         })?;
         self.generations.push(gen);
         while self.generations.len() > self.keep {
             let old = self.generations.remove(0);
             std::fs::remove_file(self.path_for(old)).ok();
         }
-        Ok(gen)
+        Ok((gen, outcome.retries))
     }
 
     /// Load a specific generation, validating the envelope checksum.
     pub fn load_generation(&self, gen: u64) -> Result<FcnnPipeline, CoreError> {
+        if let Some(e) = fv_runtime::chaos::io_error("ckpt.load") {
+            return Err(io_err(e));
+        }
         let mut r = std::io::BufReader::new(std::fs::File::open(self.path_for(gen)).map_err(io_err)?);
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic).map_err(io_err)?;
@@ -300,6 +324,67 @@ mod tests {
             CheckpointStore::open(&dir, 0),
             Err(CoreError::BadConfig(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_with_retry_rides_out_injected_io_errors() {
+        use fv_runtime::chaos::{self, FaultPlan};
+        use fv_runtime::retry::Backoff;
+        let _serial = crate::CHAOS_TEST_LOCK.lock().unwrap();
+        let dir = temp_store_dir("retryok");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        let p = tiny_pipeline(11);
+        // Fail the first two save attempts; a 4-attempt policy must succeed.
+        let _guard = chaos::install(FaultPlan::new(42).io_error_first("ckpt.save", 2));
+        let policy = Backoff {
+            attempts: 4,
+            base: std::time::Duration::from_millis(1),
+            factor: 2,
+            max: std::time::Duration::from_millis(4),
+        };
+        let (gen, retries) = store.save_with_retry(&p, &policy).unwrap();
+        assert_eq!(gen, 0);
+        assert_eq!(retries, 2, "both injected failures should be retried away");
+        drop(_guard);
+        let restored = store.load_generation(0).unwrap();
+        assert_eq!(restored.mlp(), p.mlp());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_with_retry_surfaces_persistent_failure() {
+        use fv_runtime::chaos::{self, FaultPlan};
+        use fv_runtime::retry::Backoff;
+        let _serial = crate::CHAOS_TEST_LOCK.lock().unwrap();
+        let dir = temp_store_dir("retryfail");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        let p = tiny_pipeline(13);
+        let _guard = chaos::install(FaultPlan::new(7).io_error_at("ckpt.save", 1.0));
+        let policy = Backoff {
+            attempts: 3,
+            base: std::time::Duration::from_millis(1),
+            factor: 2,
+            max: std::time::Duration::from_millis(2),
+        };
+        assert!(store.save_with_retry(&p, &policy).is_err());
+        assert!(store.generations().is_empty(), "failed save must not be indexed");
+        drop(_guard);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_generation_has_a_chaos_site() {
+        use fv_runtime::chaos::{self, FaultPlan};
+        let _serial = crate::CHAOS_TEST_LOCK.lock().unwrap();
+        let dir = temp_store_dir("loadsite");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        let p = tiny_pipeline(17);
+        store.save(&p).unwrap();
+        let _guard = chaos::install(FaultPlan::new(3).io_error_at("ckpt.load", 1.0));
+        assert!(store.load_generation(0).is_err());
+        drop(_guard);
+        assert!(store.load_generation(0).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -31,18 +31,50 @@
 //!
 //! Every rung is recorded in the [`StepReport`], so a `degraded: true`
 //! step is auditable after the run.
+//!
+//! ## Supervised execution
+//!
+//! On top of the data ladder, each step runs under a *supervisor*
+//! ([`SupervisionConfig`]):
+//!
+//! * the whole model path (probe, fine-tune, reconstruct) runs inside
+//!   `catch_unwind`, so a panic — a crashed worker, a chaos injection —
+//!   never escapes [`InSituSession::step`]; the model rolls back to the
+//!   pre-step weights (or the last verified checkpoint) and the step
+//!   answers with the classical fallback;
+//! * an optional per-step deadline turns into a cooperative [`ExecCtx`]
+//!   threaded through fine-tuning and reconstruction: an over-budget step
+//!   returns a partial model reconstruction (completed batches are exact)
+//!   with the remainder filled classically, within one batch of the
+//!   budget;
+//! * a circuit breaker counts consecutive failed steps (panic, model
+//!   error, missed deadline). At `breaker_threshold` it *opens*: the model
+//!   path is skipped entirely and steps are answered by the cheap
+//!   classical fallback. Every `breaker_probe_interval` open steps, one
+//!   *half-open* probe retries the model path; success closes the breaker
+//!   and normal operation resumes;
+//! * checkpoint saves retry with deterministic backoff
+//!   ([`CheckpointStore::save_with_retry`]), and a save that still fails
+//!   degrades the step instead of failing it.
 
 use crate::checkpoint::CheckpointStore;
 use crate::error::CoreError;
 use crate::metrics::snr_db;
-use crate::pipeline::{build_training_set, FcnnPipeline, FineTuneSpec, PipelineConfig, TrainCorpus};
+use crate::pipeline::{
+    build_training_set, FcnnPipeline, FineTuneSpec, PipelineConfig, ReconstructWorkspace,
+    TrainCorpus,
+};
 use fv_field::{Grid3, ScalarField};
 use fv_interp::idw::IdwReconstructor;
 use fv_interp::nearest::NearestReconstructor;
 use fv_interp::Reconstructor;
 use fv_nn::train::Trainer;
+use fv_runtime::retry::Backoff;
+use fv_runtime::{chaos, Deadline, ExecCtx, StopReason};
 use fv_sampling::{FieldSampler, ImportanceConfig, ImportanceSampler, PointCloud};
 use std::borrow::Cow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 /// Classical interpolator used when the learned model cannot be trusted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +90,48 @@ impl FallbackKind {
         match self {
             FallbackKind::Idw => Box::new(IdwReconstructor::default()),
             FallbackKind::Nearest => Box::new(NearestReconstructor),
+        }
+    }
+}
+
+/// Circuit-breaker position, reported per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: the model path runs every step.
+    Closed,
+    /// Too many consecutive failures: the model path is skipped and steps
+    /// are answered by the classical fallback.
+    Open,
+    /// Recovery probe: one model-path attempt while otherwise open.
+    HalfOpen,
+}
+
+/// Supervision knobs: per-step time budget, circuit breaker, and I/O
+/// retry policy. The defaults are inert for healthy runs — no deadline,
+/// and a breaker that only trips after repeated whole-step failures.
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// Hard per-step time budget for the model path (probe + fine-tune +
+    /// reconstruction). `None` leaves steps unbounded. Honored
+    /// cooperatively: an expired budget stops within one minibatch /
+    /// prediction batch, and the skipped voxels are filled classically.
+    pub step_deadline: Option<Duration>,
+    /// Consecutive failed steps (panic caught, model error, missed
+    /// deadline) that open the breaker.
+    pub breaker_threshold: usize,
+    /// While open, retry the model path every this-many steps.
+    pub breaker_probe_interval: usize,
+    /// Backoff policy for checkpoint saves.
+    pub io_retry: Backoff,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            step_deadline: None,
+            breaker_threshold: 3,
+            breaker_probe_interval: 4,
+            io_retry: Backoff::default(),
         }
     }
 }
@@ -85,6 +159,8 @@ pub struct InSituConfig {
     /// Classical interpolator that patches non-finite inputs and, as the
     /// last rung of the degradation ladder, non-finite predictions.
     pub fallback: FallbackKind,
+    /// Deadline, breaker and retry policy for the supervised step.
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for InSituConfig {
@@ -98,6 +174,7 @@ impl Default for InSituConfig {
             sampler: ImportanceConfig::default(),
             seed: 0,
             fallback: FallbackKind::Idw,
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -132,6 +209,25 @@ pub struct StepReport {
     pub fine_tune_rolled_back: bool,
     /// The model was replaced from the last verified checkpoint.
     pub restored_from_checkpoint: bool,
+    /// A panic in the model path was caught by the supervisor (the step
+    /// still answered, via rollback + classical fallback).
+    pub panic_caught: bool,
+    /// The step blew its [`SupervisionConfig::step_deadline`]; the result
+    /// is the completed model prefix plus classical fill.
+    pub deadline_missed: bool,
+    /// The model path returned an error (stringified here for audit);
+    /// the step answered with the classical fallback.
+    pub model_error: Option<String>,
+    /// Checkpoint-save attempts that had to be retried this step.
+    pub io_retries: usize,
+    /// The checkpoint save failed even after retries (step degraded, not
+    /// failed — the reconstruction is unaffected).
+    pub checkpoint_save_failed: bool,
+    /// Breaker position after this step.
+    pub breaker: BreakerState,
+    /// Classical interpolator that produced (part of) this step's answer,
+    /// when any voxel came from the fallback path.
+    pub fallback_kind: Option<FallbackKind>,
 }
 
 /// A stateful pretrain-once, fine-tune-on-drift reconstruction session.
@@ -142,6 +238,9 @@ pub struct InSituSession {
     best_probe_loss: f32,
     step: usize,
     checkpoints: Option<CheckpointStore>,
+    breaker_open: bool,
+    breaker_failures: usize,
+    steps_until_probe: usize,
 }
 
 impl InSituSession {
@@ -153,6 +252,9 @@ impl InSituSession {
             best_probe_loss: f32::INFINITY,
             step: 0,
             checkpoints: None,
+            breaker_open: false,
+            breaker_failures: 0,
+            steps_until_probe: 0,
         }
     }
 
@@ -188,11 +290,29 @@ impl InSituSession {
             .map_err(|e| CoreError::BadConfig(format!("fallback interpolation failed: {e}")))
     }
 
+    /// Breaker position the *next* step will start from.
+    pub fn breaker(&self) -> BreakerState {
+        if !self.breaker_open {
+            BreakerState::Closed
+        } else if self.steps_until_probe == 0 {
+            BreakerState::HalfOpen
+        } else {
+            BreakerState::Open
+        }
+    }
+
     /// Ingest one timestep: sample it, decide whether to fine-tune,
     /// reconstruct from the samples, and report.
     ///
     /// Returns the sampled cloud (the artifact that would be written to
     /// storage), the reconstruction, and the step report.
+    ///
+    /// The model path runs supervised (see the module docs): panics are
+    /// caught, the optional step deadline is enforced cooperatively, and
+    /// an open circuit breaker answers with the classical fallback
+    /// without touching the model. The only errors this method returns
+    /// are structural (an empty sanitized cloud, a broken fallback
+    /// interpolator) — model-path failures degrade instead.
     pub fn step(
         &mut self,
         field: &ScalarField,
@@ -240,6 +360,189 @@ impl InSituSession {
             Cow::Owned(patched)
         };
 
+        // Per-step budget: one cooperative context threaded through the
+        // fine-tune minibatch loop and the reconstruction batch loop.
+        let ctx = match self.config.supervision.step_deadline {
+            Some(budget) => ExecCtx::unbounded().with_deadline(Deadline::after(budget)),
+            None => ExecCtx::unbounded(),
+        };
+
+        // Breaker gate. While open, skip the model entirely (the cheap
+        // classical path answers); every `breaker_probe_interval`-th open
+        // step runs one half-open probe.
+        let entry_state = self.breaker();
+        let attempt_model = entry_state != BreakerState::Open;
+        if entry_state == BreakerState::Open {
+            self.steps_until_probe -= 1;
+        }
+
+        let mut panic_caught = false;
+        let mut model_error: Option<String> = None;
+        let mut restored_from_checkpoint = false;
+        let mut outcome: Option<ModelOutcome> = None;
+        if attempt_model {
+            // Snapshot the weights: a panic mid-fine-tune can leave the
+            // in-memory model torn, and `catch_unwind` gives no cleaner
+            // recovery point than "before the step".
+            let snapshot = self.pipeline.clone();
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.model_step(field, &cloud, reference.as_ref(), t, &ctx)
+            }));
+            match attempt {
+                Ok(Ok(m)) => outcome = Some(m),
+                Ok(Err(e)) => model_error = Some(e.to_string()),
+                Err(payload) => {
+                    panic_caught = true;
+                    model_error = Some(match payload.downcast_ref::<chaos::ChaosPanic>() {
+                        Some(p) => format!("panic injected at chaos site {}", p.site),
+                        None => "panic in model path".to_string(),
+                    });
+                    // Prefer the last verified on-disk generation over the
+                    // pre-step snapshot when a store is attached — the
+                    // snapshot is in-memory-only and could already be the
+                    // product of an earlier soft failure.
+                    self.pipeline = snapshot;
+                    if let Some(store) = &self.checkpoints {
+                        if let Ok(Some((_gen, healthy))) = store.load_latest() {
+                            self.pipeline = healthy;
+                            restored_from_checkpoint = true;
+                        }
+                    }
+                }
+            }
+        }
+        let deadline_missed =
+            attempt_model && matches!(ctx.stop_reason(), Some(StopReason::DeadlineExceeded));
+
+        // Breaker bookkeeping: a failed attempt counts toward opening (or
+        // re-opens a half-open probe); a clean attempt closes it.
+        let attempt_failed = attempt_model && (outcome.is_none() || deadline_missed);
+        if attempt_model {
+            if attempt_failed {
+                self.breaker_failures += 1;
+                if entry_state == BreakerState::HalfOpen
+                    || self.breaker_failures >= self.config.supervision.breaker_threshold
+                {
+                    self.breaker_open = true;
+                    self.steps_until_probe = self.config.supervision.breaker_probe_interval;
+                }
+            } else {
+                self.breaker_open = false;
+                self.breaker_failures = 0;
+            }
+        }
+
+        // Assemble the answer. A missing/failed model path means the
+        // whole step is the classical fallback; a partial model result
+        // keeps its completed prefix and fills the rest classically.
+        let fallback_voxels;
+        let (probe_loss, fine_tuned, fine_tune_rolled_back, poisoned_batches, recon) =
+            match outcome {
+                Some(m) => {
+                    restored_from_checkpoint |= m.restored_from_checkpoint;
+                    let mut recon = m.recon;
+                    // Rung 4 — non-finite voxels (model poison or batches a
+                    // deadline skipped) are filled classically.
+                    let bad: Vec<usize> = recon
+                        .values()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| !v.is_finite())
+                        .map(|(i, _)| i)
+                        .collect();
+                    fallback_voxels = bad.len();
+                    if !bad.is_empty() {
+                        let fb = match &fallback_field {
+                            Some(f) => f,
+                            None => {
+                                fallback_field = Some(self.fallback_recon(&cloud, field.grid())?);
+                                fallback_field.as_ref().expect("just set")
+                            }
+                        };
+                        for idx in bad {
+                            recon.values_mut()[idx] = fb.values()[idx];
+                        }
+                    }
+                    (
+                        m.probe_loss,
+                        m.fine_tuned,
+                        m.fine_tune_rolled_back,
+                        m.poisoned_batches,
+                        recon,
+                    )
+                }
+                None => {
+                    let recon = match fallback_field.take() {
+                        Some(f) => f,
+                        None => self.fallback_recon(&cloud, field.grid())?,
+                    };
+                    fallback_voxels = recon.len();
+                    (f32::NAN, false, false, 0, recon)
+                }
+            };
+        let fallback_kind = (fallback_voxels > 0).then_some(self.config.fallback);
+
+        let degraded = poisoned_voxels > 0
+            || dropped_samples > 0
+            || fallback_voxels > 0
+            || poisoned_batches > 0
+            || fine_tune_rolled_back
+            || restored_from_checkpoint
+            || panic_caught
+            || deadline_missed
+            || model_error.is_some()
+            || !attempt_model;
+        let mut io_retries = 0usize;
+        let mut checkpoint_save_failed = false;
+        if !degraded {
+            if let Some(store) = &mut self.checkpoints {
+                match store.save_with_retry(&self.pipeline, &self.config.supervision.io_retry) {
+                    Ok((_gen, retries)) => io_retries = retries,
+                    // A save that fails even after retries costs the
+                    // recovery point, not the step.
+                    Err(_) => checkpoint_save_failed = true,
+                }
+            }
+        }
+
+        let snr = self.config.score.then(|| snr_db(reference.as_ref(), &recon));
+        let report = StepReport {
+            step: t,
+            stored_points: cloud.len(),
+            probe_loss,
+            fine_tuned,
+            snr,
+            degraded: degraded || checkpoint_save_failed,
+            poisoned_voxels,
+            dropped_samples,
+            fallback_voxels,
+            poisoned_batches,
+            fine_tune_rolled_back,
+            restored_from_checkpoint,
+            panic_caught,
+            deadline_missed,
+            model_error,
+            io_retries,
+            checkpoint_save_failed,
+            breaker: self.breaker(),
+            fallback_kind,
+        };
+        Ok((cloud, recon, report))
+    }
+
+    /// The unsupervised model path: drift probe, conditional fine-tune,
+    /// reconstruction, and the checkpoint-restore rung. Runs inside the
+    /// supervisor's `catch_unwind` with `ctx` enforcing the step budget.
+    fn model_step(
+        &mut self,
+        field: &ScalarField,
+        cloud: &PointCloud,
+        reference: &ScalarField,
+        t: usize,
+        ctx: &ExecCtx,
+    ) -> Result<ModelOutcome, CoreError> {
+        chaos::point("insitu.step");
+
         // Drift probe: the current model's loss on a small sample of this
         // timestep's would-be training rows.
         let probe_cfg = PipelineConfig {
@@ -252,7 +555,7 @@ impl InSituSession {
             prediction_batch: 8192,
         };
         let full_probe = build_training_set(
-            reference.as_ref(),
+            reference,
             &probe_cfg,
             self.pipeline.value_norm(),
             self.config.seed ^ t as u64,
@@ -285,7 +588,7 @@ impl InSituSession {
             // skips poisoned batches and rolls a diverging fine-tune back
             // to healthy weights, and doing it here (rather than on the
             // patched field) keeps interpolated values out of the model.
-            let h = self.pipeline.fine_tune(field, &spec)?;
+            let h = self.pipeline.fine_tune_ctx(field, &spec, ctx)?;
             fine_tune_rolled_back = h.rolled_back();
             poisoned_batches = h.poisoned_batches;
             if fine_tune_rolled_back || poisoned_batches > 0 {
@@ -304,72 +607,51 @@ impl InSituSession {
             self.best_probe_loss = self.best_probe_loss.min(probe_loss);
         }
 
-        let mut recon = self.pipeline.reconstruct(&cloud, field.grid())?;
-        let non_finite = |f: &ScalarField| -> Vec<usize> {
-            f.values()
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| !v.is_finite())
-                .map(|(i, _)| i)
-                .collect()
-        };
-        let mut bad_voxels = non_finite(&recon);
-        if !bad_voxels.is_empty() && !restored_from_checkpoint {
-            // Rung 3 again — non-finite predictions mean the in-memory
-            // model itself is suspect.
-            if let Some(store) = &self.checkpoints {
-                if let Some((_gen, healthy)) = store.load_latest()? {
-                    self.pipeline = healthy;
-                    restored_from_checkpoint = true;
-                    recon = self.pipeline.reconstruct(&cloud, field.grid())?;
-                    bad_voxels = non_finite(&recon);
+        let mut ws = ReconstructWorkspace::default();
+        let (mut recon, status) =
+            self.pipeline
+                .reconstruct_with_ctx(cloud, field.grid(), &mut ws, ctx)?;
+        if status.is_complete() && !restored_from_checkpoint {
+            let has_bad = recon.values().iter().any(|v| !v.is_finite());
+            if has_bad {
+                // Rung 3 again — non-finite predictions from a *complete*
+                // reconstruction mean the in-memory model itself is
+                // suspect. (An interrupted reconstruction's NaNs are just
+                // unvisited voxels; the fallback fills those.)
+                if let Some(store) = &self.checkpoints {
+                    if let Some((_gen, healthy)) = store.load_latest()? {
+                        self.pipeline = healthy;
+                        restored_from_checkpoint = true;
+                        let (r2, _s2) = self.pipeline.reconstruct_with_ctx(
+                            cloud,
+                            field.grid(),
+                            &mut ws,
+                            ctx,
+                        )?;
+                        recon = r2;
+                    }
                 }
             }
         }
-        // Rung 4 — whatever is still non-finite is filled classically.
-        let fallback_voxels = bad_voxels.len();
-        if !bad_voxels.is_empty() {
-            let fb = match &fallback_field {
-                Some(f) => f,
-                None => {
-                    fallback_field = Some(self.fallback_recon(&cloud, field.grid())?);
-                    fallback_field.as_ref().expect("just set")
-                }
-            };
-            for idx in bad_voxels {
-                recon.values_mut()[idx] = fb.values()[idx];
-            }
-        }
-
-        let degraded = poisoned_voxels > 0
-            || dropped_samples > 0
-            || fallback_voxels > 0
-            || poisoned_batches > 0
-            || fine_tune_rolled_back
-            || restored_from_checkpoint;
-        if !degraded {
-            if let Some(store) = &mut self.checkpoints {
-                store.save(&self.pipeline)?;
-            }
-        }
-
-        let snr = self.config.score.then(|| snr_db(reference.as_ref(), &recon));
-        let report = StepReport {
-            step: t,
-            stored_points: cloud.len(),
+        Ok(ModelOutcome {
             probe_loss,
             fine_tuned: should_tune,
-            snr,
-            degraded,
-            poisoned_voxels,
-            dropped_samples,
-            fallback_voxels,
-            poisoned_batches,
             fine_tune_rolled_back,
+            poisoned_batches,
             restored_from_checkpoint,
-        };
-        Ok((cloud, recon, report))
+            recon,
+        })
     }
+}
+
+/// What a successful (possibly partial) model path hands the supervisor.
+struct ModelOutcome {
+    probe_loss: f32,
+    fine_tuned: bool,
+    fine_tune_rolled_back: bool,
+    poisoned_batches: usize,
+    restored_from_checkpoint: bool,
+    recon: ScalarField,
 }
 
 #[cfg(test)]
@@ -478,6 +760,92 @@ mod tests {
         let (gen, restored) = session.checkpoints().unwrap().load_latest().unwrap().unwrap();
         assert_eq!(Some(gen), session.checkpoints().unwrap().latest());
         assert_eq!(restored.mlp(), session.pipeline().mlp());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_panics_trip_the_breaker_and_a_probe_recovers() {
+        use fv_runtime::chaos::{self, FaultPlan};
+        let _serial = crate::CHAOS_TEST_LOCK.lock().unwrap();
+        chaos::silence_chaos_panics();
+        let (sim, mut session) = session(None);
+        session.config.supervision.breaker_threshold = 2;
+        session.config.supervision.breaker_probe_interval = 2;
+        // First three model attempts panic, then the site heals.
+        let _guard = chaos::install(FaultPlan::new(1).panic_first("insitu.step", 3));
+        let field = sim.timestep(0);
+        let mut reports = Vec::new();
+        for _ in 0..8 {
+            let (_, recon, report) = session.step(&field).unwrap();
+            assert!(
+                recon.values().iter().all(|v| v.is_finite()),
+                "every supervised step must answer with a finite field"
+            );
+            assert!(report.degraded || report.breaker == BreakerState::Closed);
+            reports.push(report);
+        }
+        // Steps 0–1: panics caught, whole-step fallback, breaker opens.
+        assert!(reports[0].panic_caught && reports[1].panic_caught);
+        assert!(reports[0].fallback_kind == Some(FallbackKind::Idw));
+        assert_eq!(reports[1].breaker, BreakerState::Open);
+        // Steps 2–3: open breaker skips the model (no panic to catch).
+        assert!(!reports[2].panic_caught && !reports[3].panic_caught);
+        assert!(reports[2].probe_loss.is_nan(), "open breaker skips the probe");
+        assert_eq!(reports[3].breaker, BreakerState::HalfOpen);
+        // Step 4: half-open probe still panics -> breaker reopens.
+        assert!(reports[4].panic_caught);
+        assert_eq!(reports[4].breaker, BreakerState::Open);
+        // Step 7: the next probe finds the site healed -> breaker closes
+        // and the model path (probe + fine-tune) is back.
+        assert!(!reports[7].panic_caught);
+        assert_eq!(reports[7].breaker, BreakerState::Closed);
+        assert!(reports[7].fine_tuned);
+        assert!(reports[7].probe_loss.is_finite());
+    }
+
+    #[test]
+    fn expired_step_deadline_degrades_to_fallback_not_an_error() {
+        let _serial = crate::CHAOS_TEST_LOCK.lock().unwrap();
+        let (sim, mut session) = session(None);
+        session.config.supervision.step_deadline = Some(std::time::Duration::ZERO);
+        let (_, recon, report) = session.step(&sim.timestep(0)).unwrap();
+        assert!(report.deadline_missed);
+        assert!(report.degraded);
+        assert!(report.fallback_voxels > 0, "skipped batches must be filled");
+        assert_eq!(report.fallback_kind, Some(FallbackKind::Idw));
+        assert!(recon.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn persistent_checkpoint_save_failure_degrades_the_step() {
+        use fv_runtime::chaos::{self, FaultPlan};
+        use fv_runtime::retry::Backoff;
+        let _serial = crate::CHAOS_TEST_LOCK.lock().unwrap();
+        let (sim, session0) = session(None);
+        let dir = std::env::temp_dir().join(format!("fv_insitu_ckptfail_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = crate::checkpoint::CheckpointStore::open(&dir, 3).unwrap();
+        let mut session = InSituSession::with_checkpoints(
+            session0.pipeline().clone(),
+            session0.config.clone(),
+            store,
+        );
+        session.config.supervision.io_retry = Backoff {
+            attempts: 2,
+            base: std::time::Duration::from_millis(1),
+            factor: 2,
+            max: std::time::Duration::from_millis(2),
+        };
+        let _guard = chaos::install(FaultPlan::new(9).io_error_at("ckpt.save", 1.0));
+        let (_, recon, report) = session.step(&sim.timestep(0)).unwrap();
+        assert!(report.checkpoint_save_failed);
+        assert!(report.degraded, "a lost recovery point must be auditable");
+        assert!(!report.panic_caught);
+        assert!(recon.values().iter().all(|v| v.is_finite()));
+        assert!(
+            session.checkpoints().unwrap().latest().is_none(),
+            "no generation should have been persisted"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

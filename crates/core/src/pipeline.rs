@@ -20,6 +20,7 @@ use fv_nn::data::Dataset;
 use fv_nn::serialize;
 use fv_nn::train::{History, Trainer, TrainerConfig};
 use fv_nn::{InferWorkspace, Mlp};
+use fv_runtime::{chaos, ExecCtx, StopReason};
 use fv_sampling::{FieldSampler, ImportanceConfig, ImportanceSampler, PointCloud};
 use std::io::{Read, Write};
 use std::path::Path;
@@ -240,6 +241,30 @@ impl Default for ReconstructWorkspace {
     }
 }
 
+/// How a [`FcnnPipeline::reconstruct_with_ctx`] call ended.
+///
+/// When `interrupted` is set, the rows that were *not* predicted hold
+/// `f32::NAN` in the returned field — never a silently wrong zero — so a
+/// downstream non-finite scan (the in-situ session's degradation ladder)
+/// finds and fills exactly the missing voxels. Predicted rows are bitwise
+/// identical to an unbounded run's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconStatus {
+    /// Why the run stopped early, if it did.
+    pub interrupted: Option<StopReason>,
+    /// Query rows actually predicted (or copied from stored samples).
+    pub completed_rows: usize,
+    /// Query rows requested.
+    pub total_rows: usize,
+}
+
+impl ReconStatus {
+    /// `true` when every requested row was predicted.
+    pub fn is_complete(&self) -> bool {
+        self.completed_rows == self.total_rows
+    }
+}
+
 impl FcnnPipeline {
     /// Pretrain on one timestep (the in-situ scenario: `field` is the only
     /// full-resolution data that exists).
@@ -309,6 +334,19 @@ impl FcnnPipeline {
         field: &ScalarField,
         spec: &FineTuneSpec,
     ) -> Result<History, CoreError> {
+        self.fine_tune_ctx(field, spec, &ExecCtx::unbounded())
+    }
+
+    /// [`Self::fine_tune`] under a cancellation context: the minibatch
+    /// loop polls `ctx` at batch boundaries; a cut-short run reports its
+    /// reason in the returned history's `interrupted` field and leaves the
+    /// network at the last completed batch (a valid, usable state).
+    pub fn fine_tune_ctx(
+        &mut self,
+        field: &ScalarField,
+        spec: &FineTuneSpec,
+        ctx: &ExecCtx,
+    ) -> Result<History, CoreError> {
         match spec.case {
             FineTuneCase::FullNetwork => self.mlp.unfreeze_all(),
             FineTuneCase::LastTwoLayers => self.mlp.freeze_all_but_last(2),
@@ -331,7 +369,7 @@ impl FcnnPipeline {
             seed: spec.seed,
             ..self.trainer.clone()
         });
-        let h = trainer.fit(&mut self.mlp, &data)?;
+        let h = trainer.fit_ctx(&mut self.mlp, &data, ctx)?;
         self.history.extend(&h);
         // Leave the network fully trainable for subsequent calls.
         self.mlp.unfreeze_all();
@@ -366,6 +404,25 @@ impl FcnnPipeline {
         target: &Grid3,
         ws: &mut ReconstructWorkspace,
     ) -> Result<ScalarField, CoreError> {
+        let (out, _status) =
+            self.reconstruct_with_ctx(cloud, target, ws, &ExecCtx::unbounded())?;
+        Ok(out)
+    }
+
+    /// [`Self::reconstruct_with`] under a cancellation context.
+    ///
+    /// The context is polled once per prediction batch, so an expired
+    /// deadline is honored within one batch's worth of work. Batches that
+    /// never ran leave their voxels as `f32::NAN` (see [`ReconStatus`]);
+    /// the completed batches are a bitwise-exact prefix of the unbounded
+    /// run.
+    pub fn reconstruct_with_ctx(
+        &self,
+        cloud: &PointCloud,
+        target: &Grid3,
+        ws: &mut ReconstructWorkspace,
+        ctx: &ExecCtx,
+    ) -> Result<(ScalarField, ReconStatus), CoreError> {
         if cloud.is_empty() {
             return Err(CoreError::EmptyCloud);
         }
@@ -383,7 +440,29 @@ impl FcnnPipeline {
             (0..target.num_points()).collect()
         };
 
-        for chunk in queries.chunks(self.prediction_batch) {
+        let mut status = ReconStatus {
+            interrupted: None,
+            completed_rows: 0,
+            total_rows: queries.len(),
+        };
+        let mut chunks = queries.chunks(self.prediction_batch);
+        for chunk in chunks.by_ref() {
+            if let Some(reason) = ctx.stop_reason() {
+                status.interrupted = Some(reason);
+                // NaN-mark this and every remaining chunk's voxels: a NaN
+                // is loud under any downstream finite-scan, a stale zero
+                // would silently pass as data.
+                for &idx in chunk {
+                    out.values_mut()[idx] = f32::NAN;
+                }
+                for rest in chunks.by_ref() {
+                    for &idx in rest {
+                        out.values_mut()[idx] = f32::NAN;
+                    }
+                }
+                break;
+            }
+            chaos::point("recon.batch");
             extractor.features_for_into(
                 target,
                 &frame,
@@ -396,8 +475,13 @@ impl FcnnPipeline {
             for (row, &idx) in chunk.iter().enumerate() {
                 out.values_mut()[idx] = self.value_norm.denormalize(pred[(row, 0)]);
             }
+            status.completed_rows += chunk.len();
         }
-        Ok(out)
+        // Post-reconstruction corruption site: models silent memory/media
+        // corruption of the finished buffer. Injected NaNs are caught by
+        // the session's non-finite scan exactly like real ones would be.
+        chaos::corrupt_f32("recon.output", out.values_mut());
+        Ok((out, status))
     }
 
     /// Serialize the pipeline (model + normalization + feature config).
@@ -693,6 +777,70 @@ mod tests {
         cfg.train_row_fraction = 0.5;
         let half = build_training_set(&f, &cfg, &vn, 1).unwrap();
         assert_eq!(half.len(), data.len().div_ceil(2));
+    }
+
+    #[test]
+    fn expired_deadline_reconstruction_nan_marks_unvisited_voxels() {
+        let f = smooth_field([10, 10, 6]);
+        let cfg = PipelineConfig {
+            // Tiny batches so the run spans several chunks.
+            prediction_batch: 64,
+            ..PipelineConfig::small_for_tests()
+        };
+        let pipeline = FcnnPipeline::train(&f, &cfg, 3).unwrap();
+        let cloud = RandomSampler.sample(&f, 0.05, 11);
+        let mut ws = ReconstructWorkspace::default();
+        let ctx = ExecCtx::unbounded()
+            .with_deadline(fv_runtime::Deadline::after(std::time::Duration::ZERO));
+        let (out, status) = pipeline
+            .reconstruct_with_ctx(&cloud, f.grid(), &mut ws, &ctx)
+            .unwrap();
+        assert_eq!(status.interrupted, Some(StopReason::DeadlineExceeded));
+        assert_eq!(status.completed_rows, 0);
+        assert!(!status.is_complete());
+        // Stored samples keep their exact values; every void is NaN.
+        for (pos, &idx) in cloud.indices().iter().enumerate() {
+            assert_eq!(out.values()[idx], cloud.values()[pos]);
+        }
+        for idx in cloud.void_indices() {
+            assert!(out.values()[idx].is_nan(), "void {idx} must be NaN-marked");
+        }
+    }
+
+    #[test]
+    fn unbounded_ctx_reconstruction_matches_plain_call() {
+        let f = smooth_field([10, 10, 6]);
+        let cfg = PipelineConfig::small_for_tests();
+        let pipeline = FcnnPipeline::train(&f, &cfg, 3).unwrap();
+        let cloud = RandomSampler.sample(&f, 0.05, 11);
+        let plain = pipeline.reconstruct(&cloud, f.grid()).unwrap();
+        let mut ws = ReconstructWorkspace::default();
+        let (ctxed, status) = pipeline
+            .reconstruct_with_ctx(&cloud, f.grid(), &mut ws, &ExecCtx::unbounded())
+            .unwrap();
+        assert!(status.is_complete() && status.interrupted.is_none());
+        assert_eq!(plain, ctxed);
+    }
+
+    #[test]
+    fn cancelled_fine_tune_keeps_the_network_usable() {
+        let f = smooth_field([8, 8, 6]);
+        let cfg = PipelineConfig::small_for_tests();
+        let mut pipeline = FcnnPipeline::train(&f, &cfg, 2).unwrap();
+        let before = pipeline.mlp().clone();
+        let token = fv_runtime::CancelToken::new();
+        token.cancel();
+        let ctx = ExecCtx::unbounded().with_token(token);
+        let h = pipeline
+            .fine_tune_ctx(&f, &FineTuneSpec::case1(), &ctx)
+            .unwrap();
+        assert_eq!(h.interrupted, Some(StopReason::Cancelled));
+        assert_eq!(pipeline.mlp(), &before, "no batch ran, weights unchanged");
+        assert_eq!(
+            pipeline.history().interrupted,
+            Some(StopReason::Cancelled),
+            "session-level history records the interruption"
+        );
     }
 
     #[test]

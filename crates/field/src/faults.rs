@@ -13,9 +13,13 @@
 //!   (a diverged solver handing the sampler garbage).
 //!
 //! Everything is seed- or offset-parameterized, never time- or
-//! environment-dependent, so failures reproduce exactly.
+//! environment-dependent, so failures reproduce exactly. Each injector
+//! also has a `from_plan` constructor that derives its parameters from a
+//! [`fv_runtime::chaos::FaultPlan`] stream, so a whole corruption
+//! scenario reproduces from one seed instead of hand-picked offsets.
 
 use crate::volume::ScalarField;
+use fv_runtime::chaos::FaultPlan;
 use std::io::{Error, Read, Result, Write};
 
 /// A reader that yields `inner`'s bytes but errors once `budget` bytes
@@ -33,6 +37,13 @@ impl<R: Read> FailingReader<R> {
             inner,
             remaining: budget,
         }
+    }
+
+    /// Fail after a plan-derived budget in `[0, max_budget]` — the same
+    /// `(plan seed, site)` always fails at the same byte.
+    pub fn from_plan(inner: R, plan: &FaultPlan, site: &str, max_budget: usize) -> Self {
+        let budget = plan.stream(site).next_range(max_budget as u64 + 1) as usize;
+        Self::new(inner, budget)
     }
 }
 
@@ -63,6 +74,12 @@ impl<W: Write> FailingWriter<W> {
             inner,
             remaining: budget,
         }
+    }
+
+    /// Fail after a plan-derived budget in `[0, max_budget]`.
+    pub fn from_plan(inner: W, plan: &FaultPlan, site: &str, max_budget: usize) -> Self {
+        let budget = plan.stream(site).next_range(max_budget as u64 + 1) as usize;
+        Self::new(inner, budget)
     }
 
     /// The wrapped writer (with whatever partial data got through).
@@ -103,6 +120,12 @@ impl<R: Read> TruncatingReader<R> {
             remaining: keep,
         }
     }
+
+    /// Truncate at a plan-derived point in `[0, max_keep]`.
+    pub fn from_plan(inner: R, plan: &FaultPlan, site: &str, max_keep: usize) -> Self {
+        let keep = plan.stream(site).next_range(max_keep as u64 + 1) as usize;
+        Self::new(inner, keep)
+    }
 }
 
 impl<R: Read> Read for TruncatingReader<R> {
@@ -136,6 +159,16 @@ impl<R: Read> BitFlipReader<R> {
             mask,
             pos: 0,
         }
+    }
+
+    /// Corrupt a plan-derived byte within the first `stream_len` bytes.
+    /// The mask is drawn from the same stream and is always nonzero (a
+    /// zero mask would be a no-op "corruption").
+    pub fn from_plan(inner: R, plan: &FaultPlan, site: &str, stream_len: u64) -> Self {
+        let mut s = plan.stream(site);
+        let offset = s.next_range(stream_len.max(1));
+        let mask = (s.next_range(255) + 1) as u8;
+        Self::new(inner, offset, mask)
     }
 }
 
@@ -171,6 +204,18 @@ pub enum PoisonKind {
 /// pepper noise.
 pub fn poison_field(field: &mut ScalarField, islands: usize, radius: usize, seed: u64) -> usize {
     poison_field_kind(field, islands, radius, seed, PoisonKind::Mixed)
+}
+
+/// [`poison_field`] seeded from a chaos plan's `site` stream: the island
+/// layout is a pure function of `(plan seed, site)`.
+pub fn poison_field_from_plan(
+    field: &mut ScalarField,
+    islands: usize,
+    radius: usize,
+    plan: &FaultPlan,
+    site: &str,
+) -> usize {
+    poison_field(field, islands, radius, plan.stream(site).next_u64())
 }
 
 /// [`poison_field`] with an explicit [`PoisonKind`].
@@ -312,6 +357,69 @@ mod tests {
                 .collect()
         };
         assert_ne!(poisoned_at(&a), poisoned_at(&c));
+    }
+
+    #[test]
+    fn plan_derived_injectors_reproduce_by_seed() {
+        let data: Vec<u8> = (0..=255).collect();
+        let read_all = |plan: &FaultPlan| -> (Vec<u8>, usize) {
+            let mut r = BitFlipReader::from_plan(data.as_slice(), plan, "field.read", 256);
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            let flipped = data
+                .iter()
+                .zip(&out)
+                .filter(|(a, b)| a != b)
+                .count();
+            (out, flipped)
+        };
+        let plan = FaultPlan::new(77);
+        let (a, flips_a) = read_all(&plan);
+        let (b, _) = read_all(&FaultPlan::new(77));
+        assert_eq!(a, b, "same seed, same corruption");
+        assert_eq!(flips_a, 1, "nonzero mask flips exactly one byte");
+        let (c, _) = read_all(&FaultPlan::new(78));
+        assert_ne!(a, c, "different seed, different corruption");
+
+        // Budget-style injectors derive the same budget from the same seed.
+        let budget_of = |plan: &FaultPlan| {
+            let mut r = FailingReader::from_plan(data.as_slice(), plan, "field.read", 128);
+            let mut out = Vec::new();
+            let _ = r.read_to_end(&mut out);
+            out.len()
+        };
+        assert_eq!(budget_of(&plan), budget_of(&FaultPlan::new(77)));
+        assert!(budget_of(&plan) <= 128);
+
+        let mut w = FailingWriter::from_plan(Vec::new(), &plan, "field.write", 64);
+        let _ = w.write(&[0u8; 256]);
+        assert!(w.into_inner().len() <= 64);
+
+        let keep_of = |plan: &FaultPlan| {
+            let mut r = TruncatingReader::from_plan(data.as_slice(), plan, "field.read", 100);
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            out.len()
+        };
+        assert_eq!(keep_of(&plan), keep_of(&FaultPlan::new(77)));
+        assert!(keep_of(&plan) <= 100);
+    }
+
+    #[test]
+    fn plan_derived_poison_matches_stream_seed() {
+        let g = Grid3::new([16, 16, 8]).unwrap();
+        let plan = FaultPlan::new(5);
+        let mut a = ScalarField::filled(g, 1.0);
+        let mut b = ScalarField::filled(g, 1.0);
+        let na = poison_field_from_plan(&mut a, 3, 2, &plan, "field.poison");
+        let nb = poison_field_from_plan(&mut b, 3, 2, &FaultPlan::new(5), "field.poison");
+        assert_eq!(na, nb);
+        let bits = |f: &ScalarField| -> Vec<u32> { f.values().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&a), bits(&b));
+        // A different site label gives an independent layout.
+        let mut c = ScalarField::filled(g, 1.0);
+        poison_field_from_plan(&mut c, 3, 2, &plan, "other.site");
+        assert_ne!(bits(&a), bits(&c));
     }
 
     #[test]

@@ -257,11 +257,17 @@ where
 
 /// Write a field to a file in the compact binary format, crash-safely.
 pub fn save(field: &ScalarField, path: impl AsRef<Path>) -> Result<(), FieldError> {
+    if let Some(e) = fv_runtime::chaos::io_error("field.save") {
+        return Err(e.into());
+    }
     write_file_atomic(path, |w| write_bin(field, w))
 }
 
 /// Read a field from a file in the compact binary format.
 pub fn load(path: impl AsRef<Path>) -> Result<ScalarField, FieldError> {
+    if let Some(e) = fv_runtime::chaos::io_error("field.load") {
+        return Err(e.into());
+    }
     let f = std::fs::File::open(path)?;
     read_bin(BufReader::new(f))
 }

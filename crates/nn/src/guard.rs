@@ -258,6 +258,66 @@ mod tests {
     }
 
     #[test]
+    fn subnormal_gradients_are_finite_not_poison() {
+        // A vanishing gradient (subnormal magnitude) is numerically tiny
+        // but perfectly healthy: the guard must not skip the batch.
+        let tiny = f32::MIN_POSITIVE / 2.0;
+        assert!(tiny > 0.0 && !tiny.is_normal(), "fixture must be subnormal");
+        let grads = vec![DenseGrads {
+            weights: Matrix::from_vec(1, 2, vec![tiny, -tiny]).unwrap(),
+            bias: vec![tiny],
+        }];
+        assert!(grads_are_finite(&grads));
+    }
+
+    #[test]
+    fn infinite_loss_on_first_epoch_counts_as_divergence() {
+        // ±Inf before any healthy snapshot exists: best_loss is still Inf,
+        // and `Inf > factor * Inf` is false — the non-finite check has to
+        // catch it on its own, for both signs.
+        for first_loss in [f32::INFINITY, f32::NEG_INFINITY] {
+            let cfg = GuardConfig {
+                divergence_patience: 2,
+                ..GuardConfig::default()
+            };
+            let mut layers = vec![layer(3.0)];
+            let mut events = Vec::new();
+            let mut guard = GuardState::new(cfg, &layers);
+            layers[0].bias[0] = 42.0;
+            assert_eq!(
+                guard.observe_epoch(0, first_loss, &mut layers, &mut events),
+                EpochVerdict::Continue,
+                "one bad epoch is within patience"
+            );
+            assert_eq!(guard.divergent_streak, 1);
+            assert_eq!(
+                guard.observe_epoch(1, first_loss, &mut layers, &mut events),
+                EpochVerdict::RollBack
+            );
+            assert_eq!(layers[0].bias[0], 3.0, "initial weights restored");
+            assert_eq!(
+                events,
+                vec![GuardEvent::RolledBack {
+                    epoch: 1,
+                    snapshot_epoch: None,
+                }]
+            );
+        }
+    }
+
+    #[test]
+    fn neg_infinity_loss_never_becomes_the_snapshot() {
+        // -Inf is "smaller than best" but must never be treated as a
+        // healthy best loss (is_finite gates the snapshot path).
+        let mut layers = vec![layer(1.0)];
+        let mut events = Vec::new();
+        let mut guard = GuardState::new(GuardConfig::default(), &layers);
+        guard.observe_epoch(0, f32::NEG_INFINITY, &mut layers, &mut events);
+        assert_eq!(guard.snapshot_epoch, None);
+        assert_eq!(guard.best_loss, f32::INFINITY);
+    }
+
+    #[test]
     fn brief_spike_within_patience_is_tolerated() {
         let mut layers = vec![layer(1.0)];
         let mut events = Vec::new();

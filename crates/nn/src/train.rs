@@ -21,6 +21,8 @@ use crate::mlp::Mlp;
 use crate::optim::{Adam, Optimizer};
 use crate::schedule::LrSchedule;
 use crate::workspace::TrainWorkspace;
+use fv_runtime::chaos;
+use fv_runtime::{ExecCtx, StopReason};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -121,6 +123,10 @@ pub struct History {
     pub guard_events: Vec<GuardEvent>,
     /// Wall-clock spent per training phase across the whole run.
     pub timings: StepTimings,
+    /// Why the run stopped before completing all epochs, when it was cut
+    /// short cooperatively (cancellation or a deadline). The recorded
+    /// epochs are a bitwise-exact prefix of the unbounded run.
+    pub interrupted: Option<StopReason>,
 }
 
 impl History {
@@ -146,6 +152,7 @@ impl History {
         self.poisoned_batches += other.poisoned_batches;
         self.guard_events.extend_from_slice(&other.guard_events);
         self.timings.accumulate(&other.timings);
+        self.interrupted = other.interrupted.or(self.interrupted);
     }
 
     /// Whether the guard rolled the network back during this run.
@@ -198,7 +205,16 @@ impl Trainer {
     /// Calling `fit` again continues from the current weights (warm start)
     /// with fresh optimizer state — exactly the paper's fine-tuning setup.
     pub fn fit(&self, mlp: &mut Mlp, data: &Dataset) -> Result<History, NnError> {
-        self.fit_impl(mlp, data, None, None)
+        self.fit_impl(mlp, data, None, None, &ExecCtx::unbounded())
+    }
+
+    /// [`Trainer::fit`] under a cancellation context: the minibatch loop
+    /// polls `ctx` at batch boundaries and winds down cleanly when asked,
+    /// recording the reason in [`History::interrupted`]. Completed epochs
+    /// are a bitwise-exact prefix of the unbounded run (nothing is ever
+    /// interrupted mid-batch).
+    pub fn fit_ctx(&self, mlp: &mut Mlp, data: &Dataset, ctx: &ExecCtx) -> Result<History, NnError> {
+        self.fit_impl(mlp, data, None, None, ctx)
     }
 
     /// Fit with a held-out validation set (and optional early stopping).
@@ -214,7 +230,7 @@ impl Trainer {
         validation: &Dataset,
         early: Option<EarlyStopping>,
     ) -> Result<History, NnError> {
-        self.fit_impl(mlp, train, Some(validation), early)
+        self.fit_impl(mlp, train, Some(validation), early, &ExecCtx::unbounded())
     }
 
     fn fit_impl(
@@ -223,6 +239,7 @@ impl Trainer {
         data: &Dataset,
         validation: Option<&Dataset>,
         early: Option<EarlyStopping>,
+        ctx: &ExecCtx,
     ) -> Result<History, NnError> {
         if data.input_width() != mlp.input_size() {
             return Err(NnError::InputWidthMismatch {
@@ -269,6 +286,13 @@ impl Trainer {
             let mut batches = 0usize;
             let mut skipped = 0usize;
             for batch_rows in order.chunks(bs) {
+                // Cooperative checkpoint: the only place a run stops early,
+                // so the completed work is always a whole number of batches.
+                if let Some(reason) = ctx.stop_reason() {
+                    history.interrupted = Some(reason);
+                    break;
+                }
+                chaos::point("train.step");
                 let t0 = Instant::now();
                 ws.load_batch(data, batch_rows);
                 let t1 = Instant::now();
@@ -296,6 +320,23 @@ impl Trainer {
                 history.timings.backward_s += (t3 - t2).as_secs_f64();
                 optimizer.step(mlp.layers_mut(), ws.grads());
                 history.timings.optim_s += t3.elapsed().as_secs_f64();
+            }
+            if history.interrupted.is_some() {
+                // Mid-epoch stop: record the partial epoch's mean loss when
+                // any batch completed, else drop the learning-rate entry so
+                // `learning_rates` and `epoch_loss` stay parallel arrays.
+                if skipped > 0 {
+                    history.poisoned_batches += skipped;
+                    history
+                        .guard_events
+                        .push(GuardEvent::SkippedBatches { epoch, count: skipped });
+                }
+                if batches > 0 {
+                    history.epoch_loss.push((epoch_loss / batches as f64) as f32);
+                } else {
+                    history.learning_rates.pop();
+                }
+                break;
             }
             // An epoch where every batch was poisoned has no healthy loss:
             // report NaN (not 0) so the divergence monitor sees it.
@@ -637,6 +678,51 @@ mod tests {
     }
 
     #[test]
+    fn guard_stays_consistent_under_a_cancelled_step() {
+        // A fully poisoned dataset under a deadline that lands mid-epoch:
+        // the guard must skip every completed batch without ever observing
+        // an epoch, so no rollback fires and the weights are untouched. A
+        // chaos delay on `train.step` makes the mid-epoch stop
+        // deterministic (the deadline is checked before each batch, and
+        // each batch takes at least the injected delay). This is the only
+        // chaos-installing test in this binary, so no install lock is
+        // needed; the brief delay other concurrent tests may absorb at the
+        // same site is harmless.
+        let _guard = fv_runtime::chaos::install(
+            fv_runtime::chaos::FaultPlan::new(2).delay_at(
+                "train.step",
+                1.0,
+                std::time::Duration::from_millis(3),
+            ),
+        );
+        let data = toy_dataset(512);
+        let y = Matrix::from_fn(512, 1, |_, _| f32::NAN);
+        let poisoned = Dataset::new(data.x().clone(), y).unwrap();
+        let mut mlp = Mlp::regression(2, &[8], 1, 5);
+        let before = mlp.clone();
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 4,
+            batch_size: 16,
+            ..Default::default()
+        });
+        let ctx = ExecCtx::unbounded()
+            .with_deadline(fv_runtime::Deadline::after(std::time::Duration::from_millis(10)));
+        let h = trainer.fit_ctx(&mut mlp, &poisoned, &ctx).unwrap();
+        assert_eq!(h.interrupted, Some(StopReason::DeadlineExceeded));
+        assert!(h.poisoned_batches > 0, "completed batches were all poisoned");
+        assert!(
+            !h.rolled_back(),
+            "an interrupted epoch is not evidence of divergence"
+        );
+        assert_eq!(mlp, before, "skipped batches must not touch the weights");
+        assert_eq!(
+            h.epoch_loss.len(),
+            h.learning_rates.len(),
+            "parallel history arrays must stay parallel through the cut"
+        );
+    }
+
+    #[test]
     fn divergence_rolls_back_to_best_epoch() {
         // An absurd learning rate without clipping blows the loss up; the
         // guard must hand back the best weights instead of garbage.
@@ -680,6 +766,76 @@ mod tests {
         assert_eq!(guarded, unguarded);
         assert_eq!(h.poisoned_batches, 0);
         assert!(h.guard_events.is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_fit_changes_nothing() {
+        let data = toy_dataset(64);
+        let mut mlp = Mlp::regression(2, &[8], 1, 5);
+        let before = mlp.clone();
+        let token = fv_runtime::CancelToken::new();
+        token.cancel();
+        let ctx = ExecCtx::unbounded().with_token(token);
+        let h = Trainer::new(TrainerConfig {
+            epochs: 10,
+            ..Default::default()
+        })
+        .fit_ctx(&mut mlp, &data, &ctx)
+        .unwrap();
+        assert_eq!(h.interrupted, Some(StopReason::Cancelled));
+        assert!(h.epoch_loss.is_empty(), "no batch may run after cancel");
+        assert_eq!(h.learning_rates.len(), h.epoch_loss.len());
+        assert_eq!(mlp, before, "weights untouched");
+        // Guard under a cancelled step: no events, no poisoned batches —
+        // cancellation is not a numerical incident.
+        assert!(h.guard_events.is_empty());
+        assert_eq!(h.poisoned_batches, 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_with_a_clean_prefix() {
+        let data = toy_dataset(256);
+        let cfg = TrainerConfig {
+            epochs: 8,
+            batch_size: 32,
+            learning_rate: 5e-3,
+            ..Default::default()
+        };
+        // Unbounded reference run.
+        let mut full = Mlp::regression(2, &[16], 1, 11);
+        let h_full = Trainer::new(cfg.clone()).fit(&mut full, &data).unwrap();
+        assert!(h_full.interrupted.is_none());
+
+        // An already-expired deadline: the run must stop before the first
+        // batch, and report why.
+        let mut cut = Mlp::regression(2, &[16], 1, 11);
+        let ctx = ExecCtx::unbounded()
+            .with_deadline(fv_runtime::Deadline::after(std::time::Duration::ZERO));
+        let h_cut = Trainer::new(cfg.clone()).fit_ctx(&mut cut, &data, &ctx).unwrap();
+        assert_eq!(h_cut.interrupted, Some(StopReason::DeadlineExceeded));
+        assert!(h_cut.epoch_loss.is_empty());
+
+        // A generous deadline reproduces the unbounded run bit for bit.
+        let mut roomy = Mlp::regression(2, &[16], 1, 11);
+        let ctx = ExecCtx::unbounded()
+            .with_deadline(fv_runtime::Deadline::after(std::time::Duration::from_secs(600)));
+        let h_roomy = Trainer::new(cfg).fit_ctx(&mut roomy, &data, &ctx).unwrap();
+        assert!(h_roomy.interrupted.is_none());
+        assert_eq!(roomy, full, "ctx plumbing must not perturb training");
+        assert_eq!(h_roomy.epoch_loss, h_full.epoch_loss);
+    }
+
+    #[test]
+    fn history_extend_keeps_interrupted_reason() {
+        let mut h = History::default();
+        let h2 = History {
+            interrupted: Some(StopReason::DeadlineExceeded),
+            ..Default::default()
+        };
+        h.extend(&h2);
+        assert_eq!(h.interrupted, Some(StopReason::DeadlineExceeded));
+        h.extend(&History::default());
+        assert_eq!(h.interrupted, Some(StopReason::DeadlineExceeded));
     }
 
     #[test]

@@ -265,6 +265,38 @@ impl KdTree {
         out: &mut Vec<Neighbor>,
         scratch: &mut Vec<KnnScratch>,
     ) -> usize {
+        let (stride, _completed) = self.k_nearest_batch_into_ctx(
+            points,
+            queries,
+            k,
+            out,
+            scratch,
+            &fv_runtime::ExecCtx::unbounded(),
+        );
+        stride
+    }
+
+    /// [`KdTree::k_nearest_batch_into`] under a cancellation context.
+    ///
+    /// The context is polled once per deterministic query chunk; chunks
+    /// that have not started when the context asks to stop are skipped.
+    /// Returns `(stride, completed)` where `completed` is the number of
+    /// query rows actually answered. **Partial-result contract:** when
+    /// `completed < queries.len()`, the unanswered rows keep the sentinel
+    /// fill (`index == usize::MAX`, `dist_sq == ∞`) and — because chunks
+    /// complete in steal order — are not necessarily a suffix. Callers
+    /// consuming a partial batch must test `index != usize::MAX` per row.
+    /// Rows that did complete are bitwise identical to an unbounded run.
+    pub fn k_nearest_batch_into_ctx(
+        &self,
+        points: &[[f64; 3]],
+        queries: &[[f64; 3]],
+        k: usize,
+        out: &mut Vec<Neighbor>,
+        scratch: &mut Vec<KnnScratch>,
+        ctx: &fv_runtime::ExecCtx,
+    ) -> (usize, usize) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let stride = k.min(self.len);
         out.clear();
         out.resize(
@@ -275,7 +307,7 @@ impl KdTree {
             },
         );
         if stride == 0 || queries.is_empty() {
-            return stride;
+            return (stride, 0);
         }
         let n = queries.len();
         let chunk_rows = fv_runtime::chunk_size(n, 1, usize::MAX);
@@ -283,12 +315,17 @@ impl KdTree {
         if scratch.len() < n_chunks {
             scratch.resize_with(n_chunks, KnnScratch::default);
         }
+        let completed = AtomicUsize::new(0);
         let run_chunk = |ci: usize, rows_out: &mut [Neighbor], scr: &mut KnnScratch| {
+            if ctx.should_stop() {
+                return;
+            }
             let q0 = ci * chunk_rows;
             for (r, row) in rows_out.chunks_mut(stride).enumerate() {
                 self.k_nearest_with(points, queries[q0 + r], k, scr);
                 row.copy_from_slice(&scr.sorted);
             }
+            completed.fetch_add(rows_out.len() / stride, Ordering::Relaxed);
         };
         // ~64 node visits per (query, neighbor) is a coarse per-query cost
         // model; it only has to rank batch sizes, not predict runtimes.
@@ -307,7 +344,7 @@ impl KdTree {
                 run_chunk(ci, rows_out, scr);
             }
         }
-        stride
+        (stride, completed.into_inner())
     }
 
     /// All points within `radius` of `query` (unsorted).
@@ -690,6 +727,43 @@ mod tests {
             assert_eq!(a.index, b.index);
             assert_eq!(a.dist_sq.to_bits(), b.dist_sq.to_bits());
         }
+    }
+
+    #[test]
+    fn cancelled_batch_knn_returns_sentinel_rows() {
+        let pts = pseudo_points(500, 17);
+        let t = KdTree::build(&pts);
+        let queries = pseudo_points(64, 23);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let token = fv_runtime::CancelToken::new();
+        token.cancel();
+        let ctx = fv_runtime::ExecCtx::unbounded().with_token(token);
+        let (stride, completed) =
+            t.k_nearest_batch_into_ctx(&pts, &queries, 6, &mut out, &mut scratch, &ctx);
+        assert_eq!(stride, 6);
+        assert_eq!(completed, 0, "pre-cancelled: no chunk may run");
+        assert_eq!(out.len(), queries.len() * stride);
+        assert!(out.iter().all(|n| n.index == usize::MAX));
+    }
+
+    #[test]
+    fn unbounded_ctx_batch_knn_completes_every_row() {
+        let pts = pseudo_points(500, 17);
+        let t = KdTree::build(&pts);
+        let queries = pseudo_points(64, 23);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let (stride, completed) = t.k_nearest_batch_into_ctx(
+            &pts,
+            &queries,
+            6,
+            &mut out,
+            &mut scratch,
+            &fv_runtime::ExecCtx::unbounded(),
+        );
+        assert_eq!((stride, completed), (6, queries.len()));
+        assert!(out.iter().all(|n| n.index != usize::MAX));
     }
 
     #[test]

@@ -26,6 +26,17 @@ FV_THREADS=1 cargo test --workspace -q "${MODE[@]}"
 echo "=== tests (FV_THREADS=4) ==="
 FV_THREADS=4 cargo test --workspace -q "${MODE[@]}"
 
+echo "=== chaos smoke (seeded fault sweeps, 1 and 4 workers) ==="
+# The chaos suite (tests/chaos.rs) sweeps 32 seeds per fault kind through
+# the supervised in-situ session; every step must answer (Ok + finite
+# field, fallback reported) and nothing may hang. The suite has its own
+# per-sweep watchdog; the outer `timeout` is the backstop that fails the
+# gate if the harness itself wedges.
+for t in 1 4; do
+  FV_THREADS=$t timeout 900 cargo test -q "${MODE[@]}" --test chaos \
+    || { echo "chaos smoke failed (FV_THREADS=$t)"; exit 1; }
+done
+
 echo "=== runtime smoke (thread scaling + bitwise determinism) ==="
 # exp_runtime exits non-zero on its own when reconstructions diverge across
 # thread counts; on top of that, gate the two workspace-layer guarantees:

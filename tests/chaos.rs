@@ -1,0 +1,243 @@
+//! Chaos acceptance suite: seeded fault sweeps against the supervised
+//! in-situ session.
+//!
+//! For every fault kind (panic, delay, corruption, I/O error) and 32
+//! seeds, a short session runs with a [`FaultPlan`] armed across the
+//! whole injection-site registry (DESIGN.md §11). The invariants:
+//!
+//! * every step returns `Ok` — no injected fault may escape
+//!   `InSituSession::step` as a panic or an error;
+//! * every reconstruction is finite, and whenever the classical fallback
+//!   produced any voxel, the report says so (`fallback_kind`);
+//! * the sweep actually injected faults (`injected_total > 0`), so a
+//!   green run can't be a no-op plan;
+//! * nothing hangs: each sweep runs under a watchdog thread.
+//!
+//! Chaos plans are process-global, so the sweeps serialize on a local
+//! lock. The suite is also the `chaos-smoke` CI stage, run under
+//! `FV_THREADS=1` and `4`.
+
+use fillvoid::core::checkpoint::CheckpointStore;
+use fillvoid::core::insitu::{InSituConfig, InSituSession, SupervisionConfig};
+use fillvoid::core::pipeline::{FcnnPipeline, FineTuneSpec, PipelineConfig};
+use fillvoid::prelude::*;
+use fillvoid::runtime::chaos::{self, FaultPlan};
+use fillvoid::runtime::retry::Backoff;
+use fillvoid::sims::Hurricane;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+const SEEDS: u64 = 32;
+const STEPS: usize = 2;
+
+/// Chaos state is process-global: one sweep at a time.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn pretrained() -> &'static (Hurricane, FcnnPipeline) {
+    static CELL: OnceLock<(Hurricane, FcnnPipeline)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let sim = Hurricane::builder()
+            .resolution([12, 12, 6])
+            .timesteps(STEPS + 1)
+            .build();
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.trainer.epochs = 6;
+        let pipeline = FcnnPipeline::train(&sim.timestep(0), &cfg, 3).expect("pretrain");
+        (sim, pipeline)
+    })
+}
+
+fn session_config() -> InSituConfig {
+    InSituConfig {
+        fraction: 0.05,
+        drift_threshold: None, // fine-tune every step: exercises train.step
+        fine_tune: FineTuneSpec {
+            epochs: 2,
+            ..FineTuneSpec::case1()
+        },
+        probe_rows: 128,
+        score: false,
+        supervision: SupervisionConfig {
+            step_deadline: None,
+            breaker_threshold: 2,
+            breaker_probe_interval: 1,
+            io_retry: Backoff {
+                attempts: 2,
+                base: Duration::from_millis(1),
+                factor: 2,
+                max: Duration::from_millis(2),
+            },
+        },
+        ..Default::default()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    Panic,
+    Delay,
+    Corruption,
+    IoError,
+}
+
+fn plan_for(kind: Kind, seed: u64) -> FaultPlan {
+    let p = FaultPlan::new(seed);
+    match kind {
+        Kind::Panic => p
+            .panic_at("insitu.step", 0.4)
+            .panic_at("train.step", 0.03)
+            .panic_at("recon.batch", 0.05)
+            .panic_at("pool.worker", 0.001),
+        Kind::Delay => p
+            .delay_at("insitu.step", 0.5, Duration::from_millis(2))
+            .delay_at("train.step", 0.05, Duration::from_millis(1))
+            .delay_at("recon.batch", 0.05, Duration::from_millis(1)),
+        Kind::Corruption => p.corrupt_at("recon.output", 0.6),
+        Kind::IoError => p
+            .io_error_at("ckpt.save", 0.5)
+            .io_error_at("ckpt.load", 0.5),
+    }
+}
+
+/// Run one seeded session under `kind`'s plan; returns faults injected.
+fn run_one(kind: Kind, seed: u64) -> u64 {
+    let (sim, pipeline) = pretrained();
+    let config = session_config();
+    let _guard = chaos::install(plan_for(kind, seed));
+    let ckpt_dir = matches!(kind, Kind::IoError).then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "fv_chaos_{:?}_{seed}_{}",
+            kind,
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    });
+    let mut session = match &ckpt_dir {
+        Some(dir) => {
+            let store = CheckpointStore::open(dir, 2).expect("open store");
+            InSituSession::with_checkpoints(pipeline.clone(), config, store)
+        }
+        None => InSituSession::new(pipeline.clone(), config),
+    };
+    for t in 0..STEPS {
+        let (_, recon, report) = session
+            .step(&sim.timestep(t))
+            .unwrap_or_else(|e| panic!("{kind:?} seed {seed} step {t} errored: {e}"));
+        assert!(
+            recon.values().iter().all(|v| v.is_finite()),
+            "{kind:?} seed {seed} step {t}: non-finite reconstruction"
+        );
+        assert_eq!(
+            report.fallback_kind.is_some(),
+            report.fallback_voxels > 0,
+            "{kind:?} seed {seed} step {t}: fallback use must be reported"
+        );
+        if report.panic_caught || report.model_error.is_some() {
+            assert!(
+                report.degraded,
+                "{kind:?} seed {seed} step {t}: a supervised failure must degrade"
+            );
+        }
+    }
+    let injected = chaos::injected_total();
+    drop(_guard);
+    if let Some(dir) = ckpt_dir {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    injected
+}
+
+fn sweep(kind: Kind) {
+    let _serial = CHAOS_LOCK.lock().unwrap();
+    chaos::silence_chaos_panics();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let mut injected = 0u64;
+        for seed in 0..SEEDS {
+            injected += run_one(kind, seed);
+        }
+        tx.send(injected).ok();
+    });
+    match rx.recv_timeout(Duration::from_secs(300)) {
+        Ok(injected) => {
+            worker.join().expect("sweep worker");
+            assert!(
+                injected > 0,
+                "{kind:?}: the sweep never injected a fault — dead plan?"
+            );
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            // The worker panicked; join propagates the original assertion.
+            worker.join().expect("sweep worker panicked");
+            unreachable!();
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{kind:?} sweep hung past the 300 s watchdog");
+        }
+    }
+}
+
+#[test]
+fn panic_sweep_every_run_answers() {
+    sweep(Kind::Panic);
+}
+
+#[test]
+fn delay_sweep_every_run_answers() {
+    sweep(Kind::Delay);
+}
+
+#[test]
+fn corruption_sweep_every_run_answers() {
+    sweep(Kind::Corruption);
+}
+
+#[test]
+fn io_error_sweep_every_run_answers() {
+    sweep(Kind::IoError);
+}
+
+#[test]
+fn step_deadline_is_honored_with_a_finite_answer() {
+    let _serial = CHAOS_LOCK.lock().unwrap();
+    let (sim, pipeline) = pretrained();
+    let mut config = session_config();
+    config.supervision.step_deadline = Some(Duration::from_millis(1));
+    let mut session = InSituSession::new(pipeline.clone(), config);
+    let t0 = std::time::Instant::now();
+    let (_, recon, report) = session.step(&sim.timestep(0)).expect("budgeted step");
+    // The budget is cooperative (polled at batch boundaries), so assert a
+    // generous-but-hang-catching bound rather than the millisecond itself.
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "budgeted step took {:?}",
+        t0.elapsed()
+    );
+    assert!(report.deadline_missed);
+    assert!(recon.values().iter().all(|v| v.is_finite()));
+    assert_eq!(report.fallback_kind.is_some(), report.fallback_voxels > 0);
+}
+
+#[test]
+fn field_io_sites_surface_injected_errors_cleanly() {
+    let _serial = CHAOS_LOCK.lock().unwrap();
+    let (sim, _) = pretrained();
+    let field = sim.timestep(0);
+    let path = std::env::temp_dir().join(format!("fv_chaos_fieldio_{}.fvf", std::process::id()));
+    {
+        let _guard = chaos::install(FaultPlan::new(5).io_error_at("field.save", 1.0));
+        assert!(
+            fillvoid::field::io::save(&field, &path).is_err(),
+            "injected save error must surface as Err, not panic"
+        );
+    }
+    fillvoid::field::io::save(&field, &path).expect("clean save");
+    {
+        let _guard = chaos::install(FaultPlan::new(5).io_error_at("field.load", 1.0));
+        assert!(fillvoid::field::io::load(&path).is_err());
+    }
+    let restored = fillvoid::field::io::load(&path).expect("clean load");
+    assert_eq!(restored.values(), field.values());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,195 @@
+//! Cooperative cancellation tokens and wall-clock deadlines.
+//!
+//! In-situ reconstruction shares a node with the running simulation, so no
+//! step may hold the CPU past its budget: a hot loop that cannot be asked
+//! to stop is a hang waiting to happen. The primitives here are *advisory*
+//! — compute code polls them at natural checkpoint boundaries (a training
+//! minibatch, a prediction batch, a kNN chunk) and winds down cleanly with
+//! a partial result. Nothing is ever interrupted mid-kernel, which keeps
+//! the determinism contract intact: the work that *does* run is bitwise
+//! identical to an unbounded run's prefix.
+//!
+//! * [`CancelToken`] — a clonable flag an external owner can trip;
+//! * [`Deadline`] — a fixed instant after which work should stop;
+//! * [`ExecCtx`] — the pair of them, threaded through `fv-nn` training,
+//!   `fv-core` reconstruction and `fv-spatial` batched kNN.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A clonable cancellation flag shared between an owner and workers.
+///
+/// Cloning is cheap (one `Arc` bump); every clone observes the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A wall-clock budget: work should stop once the instant has passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Self {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline at an explicit instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at }
+    }
+
+    /// Whether the deadline has passed.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// Why a cooperative loop stopped before finishing its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The owner tripped the [`CancelToken`].
+    Cancelled,
+    /// The [`Deadline`] passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Cancelled => write!(f, "cancelled"),
+            StopReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// The cancellation context threaded through cooperative hot loops.
+///
+/// The default context is unbounded (no token, no deadline) and every
+/// check is a no-op branch, so `fit(..)`-style wrappers can always call
+/// the `_ctx` variant internally.
+#[derive(Debug, Clone, Default)]
+pub struct ExecCtx {
+    token: Option<CancelToken>,
+    deadline: Option<Deadline>,
+}
+
+impl ExecCtx {
+    /// A context with neither token nor deadline: never stops.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Attach a deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The attached token, if any.
+    pub fn token(&self) -> Option<&CancelToken> {
+        self.token.as_ref()
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.deadline
+    }
+
+    /// Why the caller should stop now, if it should. Cancellation wins
+    /// over an expired deadline when both hold (it is the deliberate
+    /// signal; the deadline is the safety net).
+    #[inline]
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = &self.deadline {
+            if deadline.expired() {
+                return Some(StopReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// Shorthand for `self.stop_reason().is_some()`.
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        self.stop_reason().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_trips_every_clone() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(3000));
+        let past = Deadline::after(Duration::ZERO);
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn ctx_reports_reasons_with_cancel_priority() {
+        assert_eq!(ExecCtx::unbounded().stop_reason(), None);
+        let t = CancelToken::new();
+        let ctx = ExecCtx::unbounded()
+            .with_token(t.clone())
+            .with_deadline(Deadline::after(Duration::ZERO));
+        assert_eq!(ctx.stop_reason(), Some(StopReason::DeadlineExceeded));
+        t.cancel();
+        assert_eq!(ctx.stop_reason(), Some(StopReason::Cancelled));
+        assert!(ctx.should_stop());
+    }
+}

@@ -1,0 +1,579 @@
+//! Deterministic chaos engine: seeded fault injection at named sites.
+//!
+//! PR 1 could only inject faults at the `Read`/`Write` boundary; proving
+//! that the *whole* supervised execution layer degrades cleanly needs
+//! failures injectable inside every layer — a panic mid-minibatch, a stall
+//! inside a prediction batch, a corrupted output buffer, an I/O error in a
+//! checkpoint save. This module provides that as a process-wide, seeded
+//! [`FaultPlan`]:
+//!
+//! * **Named injection sites.** Compute code marks its failure surface
+//!   with [`point`] (`chaos::point("train.step")`), [`io_error`] and
+//!   [`corrupt_f32`] calls. The full site registry lives in DESIGN.md §11.
+//! * **Zero-cost when disabled.** Every hook starts with one relaxed
+//!   atomic load of a process-wide flag; with no plan installed that is
+//!   the entire cost, so the sites stay compiled into release builds.
+//! * **Reproducible by seed.** Whether the *n*-th hit of a site fires is a
+//!   pure function of `(seed, site, kind, n)` — re-running a failing seed
+//!   replays exactly the same fault schedule. Hit numbers are claimed with
+//!   an atomic counter, so under a parallel pool the *assignment* of hits
+//!   to threads may vary while the multiset of injected faults per site
+//!   does not.
+//!
+//! Install a plan with [`install`]; the returned [`ChaosGuard`] removes it
+//! on drop, so a panicking test cannot leak chaos into its neighbors.
+//! Injected panics carry a [`ChaosPanic`] payload, which supervisors and
+//! tests can downcast to tell deliberate faults from real bugs (and
+//! [`silence_chaos_panics`] keeps them out of test output).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// The kinds of fault a [`FaultPlan`] can schedule at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Panic with a [`ChaosPanic`] payload (a crashed worker / torn step).
+    Panic,
+    /// Sleep for the configured duration (a stalled filesystem or a noisy
+    /// neighbor stealing the core).
+    Delay,
+    /// Surface an injected [`std::io::Error`] (dying disk, full volume).
+    IoError,
+    /// Stamp NaNs into a caller-supplied `f32` buffer (silent memory or
+    /// media corruption).
+    Corrupt,
+}
+
+impl FaultKind {
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::Panic => 0x50414E49,
+            FaultKind::Delay => 0x44454C41,
+            FaultKind::IoError => 0x494F4552,
+            FaultKind::Corrupt => 0x434F5252,
+        }
+    }
+}
+
+/// Payload of every chaos-injected panic.
+#[derive(Debug)]
+pub struct ChaosPanic {
+    /// The injection site that fired.
+    pub site: String,
+}
+
+/// One scheduled fault at one site.
+#[derive(Debug, Clone, Copy)]
+struct FaultRule {
+    kind: FaultKind,
+    /// Probability (per hit) in `[0, 1]` that this rule fires.
+    rate: f64,
+    /// Sleep length for [`FaultKind::Delay`] rules.
+    delay: Duration,
+    /// The rule is dead for hit indices `>= until_hit` (`u64::MAX` for
+    /// unwindowed rules). Models transient faults that clear up.
+    until_hit: u64,
+}
+
+#[derive(Debug, Default)]
+struct SiteState {
+    rules: Vec<FaultRule>,
+    hits: AtomicU64,
+    injected: AtomicU64,
+}
+
+/// Per-site observation counters, snapshotted by [`stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Site name.
+    pub site: String,
+    /// Times the site was reached while the plan was installed.
+    pub hits: u64,
+    /// Faults actually injected at the site.
+    pub injected: u64,
+}
+
+/// A seeded schedule of faults across named injection sites.
+///
+/// ```
+/// use fv_runtime::chaos::{FaultPlan, FaultKind};
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::new(42)
+///     .panic_at("train.step", 0.05)
+///     .delay_at("recon.batch", 0.10, Duration::from_millis(2))
+///     .io_error_at("ckpt.save", 0.25)
+///     .corrupt_at("recon.output", 0.10);
+/// let _guard = fv_runtime::chaos::install(plan);
+/// // ... run the system; sites fire deterministically by seed ...
+/// ```
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: HashMap<String, SiteState>,
+}
+
+impl FaultPlan {
+    /// An empty plan for `seed` (no sites armed yet).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            sites: HashMap::new(),
+        }
+    }
+
+    /// The seed this plan derives every decision from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn arm(mut self, site: &str, rule: FaultRule) -> Self {
+        self.sites
+            .entry(site.to_string())
+            .or_default()
+            .rules
+            .push(rule);
+        self
+    }
+
+    /// Arm `site` to panic with probability `rate` per hit.
+    pub fn panic_at(self, site: &str, rate: f64) -> Self {
+        self.arm(
+            site,
+            FaultRule {
+                kind: FaultKind::Panic,
+                rate,
+                delay: Duration::ZERO,
+                until_hit: u64::MAX,
+            },
+        )
+    }
+
+    /// Arm `site` to sleep `delay` with probability `rate` per hit.
+    pub fn delay_at(self, site: &str, rate: f64, delay: Duration) -> Self {
+        self.arm(
+            site,
+            FaultRule {
+                kind: FaultKind::Delay,
+                rate,
+                delay,
+                until_hit: u64::MAX,
+            },
+        )
+    }
+
+    /// Arm `site` to yield an injected I/O error with probability `rate`.
+    pub fn io_error_at(self, site: &str, rate: f64) -> Self {
+        self.arm(
+            site,
+            FaultRule {
+                kind: FaultKind::IoError,
+                rate,
+                delay: Duration::ZERO,
+                until_hit: u64::MAX,
+            },
+        )
+    }
+
+    /// Arm `site` to corrupt the caller's buffer with probability `rate`.
+    pub fn corrupt_at(self, site: &str, rate: f64) -> Self {
+        self.arm(
+            site,
+            FaultRule {
+                kind: FaultKind::Corrupt,
+                rate,
+                delay: Duration::ZERO,
+                until_hit: u64::MAX,
+            },
+        )
+    }
+
+    /// Arm `site` to fail its first `n` hits with an injected I/O error
+    /// and then recover — the transient-fault shape that retry policies
+    /// and circuit-breaker probes exist to ride out.
+    pub fn io_error_first(self, site: &str, n: u64) -> Self {
+        self.arm(
+            site,
+            FaultRule {
+                kind: FaultKind::IoError,
+                rate: 1.0,
+                delay: Duration::ZERO,
+                until_hit: n,
+            },
+        )
+    }
+
+    /// Arm `site` to panic on its first `n` hits and then recover.
+    pub fn panic_first(self, site: &str, n: u64) -> Self {
+        self.arm(
+            site,
+            FaultRule {
+                kind: FaultKind::Panic,
+                rate: 1.0,
+                delay: Duration::ZERO,
+                until_hit: n,
+            },
+        )
+    }
+
+    /// A deterministic random stream derived from this plan's seed and a
+    /// label — the hook for seed-driven injectors *outside* the installed
+    /// plan (e.g. `fv_field::faults` readers picking corruption offsets).
+    pub fn stream(&self, label: &str) -> ChaosRng {
+        ChaosRng::new(mix2(self.seed, fnv1a(label)))
+    }
+
+    /// Whether the `n`-th hit (0-based) of `site` fires `kind`, per this
+    /// plan's seed. Pure; the runtime hooks and tests share it.
+    fn scheduled(&self, state: &SiteState, site: &str, n: u64) -> Option<(FaultKind, Duration)> {
+        for rule in &state.rules {
+            if n >= rule.until_hit {
+                continue;
+            }
+            let x = mix2(mix2(self.seed, fnv1a(site)) ^ rule.kind.tag(), n);
+            // Map the top 53 bits to [0, 1).
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            if u < rule.rate {
+                return Some((rule.kind, rule.delay));
+            }
+        }
+        None
+    }
+}
+
+/// SplitMix64 — the workspace's standard tiny deterministic generator.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; returns 0 when `n == 0`.
+    pub fn next_range(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn mix2(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fast-path flag: `true` only while a plan is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Chaos state is process-global; tests anywhere in this crate that
+/// install a plan must hold this lock so they cannot bleed faults into
+/// each other when the harness runs them concurrently.
+#[cfg(test)]
+pub(crate) static INSTALL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn plan_slot() -> &'static RwLock<Option<Arc<FaultPlan>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Install `plan` process-wide; the previous plan (if any) is replaced.
+/// Chaos stays active until the returned guard drops.
+#[must_use = "the plan is uninstalled when the guard drops"]
+pub fn install(plan: FaultPlan) -> ChaosGuard {
+    let mut slot = plan_slot().write().unwrap();
+    *slot = Some(Arc::new(plan));
+    ENABLED.store(true, Ordering::SeqCst);
+    ChaosGuard { _private: () }
+}
+
+/// Uninstalls the active [`FaultPlan`] when dropped.
+#[derive(Debug)]
+pub struct ChaosGuard {
+    _private: (),
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        let mut slot = plan_slot().write().unwrap();
+        *slot = None;
+    }
+}
+
+/// `true` while a plan is installed.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Look up the fault scheduled for this hit of `site`, bumping the site's
+/// hit counter. `None` when chaos is off, the site is unarmed, or the seed
+/// says this hit stays healthy.
+fn decide(site: &str) -> Option<(FaultKind, Duration)> {
+    let slot = plan_slot().read().unwrap();
+    let plan = slot.as_ref()?;
+    let state = plan.sites.get(site)?;
+    let n = state.hits.fetch_add(1, Ordering::Relaxed);
+    let hit = plan.scheduled(state, site, n);
+    if hit.is_some() {
+        state.injected.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
+}
+
+/// A control-flow injection site: may panic (with a [`ChaosPanic`]
+/// payload) or sleep, per the installed plan. No-op (one relaxed atomic
+/// load) when chaos is disabled. `IoError`/`Corrupt` rules never fire
+/// here — those need the caller's cooperation via [`io_error`] /
+/// [`corrupt_f32`].
+#[inline]
+pub fn point(site: &str) {
+    if !enabled() {
+        return;
+    }
+    point_slow(site);
+}
+
+#[cold]
+fn point_slow(site: &str) {
+    match decide(site) {
+        Some((FaultKind::Panic, _)) => std::panic::panic_any(ChaosPanic {
+            site: site.to_string(),
+        }),
+        Some((FaultKind::Delay, delay)) => std::thread::sleep(delay),
+        _ => {}
+    }
+}
+
+/// An I/O injection site: returns the injected error the caller should
+/// surface, if one is scheduled. Panic/Delay rules armed on the same site
+/// also act here (an I/O path can stall or crash too).
+#[inline]
+pub fn io_error(site: &str) -> Option<std::io::Error> {
+    if !enabled() {
+        return None;
+    }
+    match decide(site) {
+        Some((FaultKind::IoError, _)) => Some(std::io::Error::other(format!(
+            "chaos: injected i/o error at {site}"
+        ))),
+        Some((FaultKind::Panic, _)) => std::panic::panic_any(ChaosPanic {
+            site: site.to_string(),
+        }),
+        Some((FaultKind::Delay, delay)) => {
+            std::thread::sleep(delay);
+            None
+        }
+        _ => None,
+    }
+}
+
+/// A buffer-corruption injection site: when a `Corrupt` fault is
+/// scheduled, stamps NaN into up to `1 + len/64` deterministically chosen
+/// positions of `values`. Returns the number of values corrupted.
+#[inline]
+pub fn corrupt_f32(site: &str, values: &mut [f32]) -> usize {
+    if !enabled() || values.is_empty() {
+        return 0;
+    }
+    match decide(site) {
+        Some((FaultKind::Corrupt, _)) => {
+            let slot = plan_slot().read().unwrap();
+            let plan = match slot.as_ref() {
+                Some(p) => p,
+                None => return 0,
+            };
+            let mut rng = plan.stream(site);
+            let n = 1 + values.len() / 64;
+            for _ in 0..n {
+                let idx = rng.next_range(values.len() as u64) as usize;
+                values[idx] = f32::NAN;
+            }
+            n
+        }
+        Some((FaultKind::Panic, _)) => std::panic::panic_any(ChaosPanic {
+            site: site.to_string(),
+        }),
+        Some((FaultKind::Delay, delay)) => {
+            std::thread::sleep(delay);
+            0
+        }
+        _ => 0,
+    }
+}
+
+/// Snapshot per-site hit/injection counters of the installed plan
+/// (empty when chaos is off), sorted by site name.
+pub fn stats() -> Vec<SiteStats> {
+    let slot = plan_slot().read().unwrap();
+    let Some(plan) = slot.as_ref() else {
+        return Vec::new();
+    };
+    let mut out: Vec<SiteStats> = plan
+        .sites
+        .iter()
+        .map(|(site, state)| SiteStats {
+            site: site.clone(),
+            hits: state.hits.load(Ordering::Relaxed),
+            injected: state.injected.load(Ordering::Relaxed),
+        })
+        .collect();
+    out.sort_by(|a, b| a.site.cmp(&b.site));
+    out
+}
+
+/// Total faults injected by the installed plan across all sites.
+pub fn injected_total() -> u64 {
+    stats().iter().map(|s| s.injected).sum()
+}
+
+/// Silence the default panic message for [`ChaosPanic`] payloads (real
+/// panics still print). Chaos suites inject hundreds of deliberate panics;
+/// without this every one would spray a backtrace banner into the output.
+/// Idempotent; the hook chains to the previously installed one.
+pub fn silence_chaos_panics() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ChaosPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hooks_are_noops() {
+        let _l = INSTALL_LOCK.lock().unwrap();
+        assert!(!enabled());
+        point("nowhere");
+        assert!(io_error("nowhere").is_none());
+        let mut buf = [1.0f32; 8];
+        assert_eq!(corrupt_f32("nowhere", &mut buf), 0);
+        assert!(buf.iter().all(|v| *v == 1.0));
+        assert!(stats().is_empty());
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_site_and_hit() {
+        let plan_a = FaultPlan::new(9).panic_at("x", 0.3).io_error_at("x", 0.1);
+        let plan_b = FaultPlan::new(9).panic_at("x", 0.3).io_error_at("x", 0.1);
+        let state_a = &plan_a.sites["x"];
+        let state_b = &plan_b.sites["x"];
+        let seq_a: Vec<_> = (0..256).map(|n| plan_a.scheduled(state_a, "x", n).map(|h| h.0)).collect();
+        let seq_b: Vec<_> = (0..256).map(|n| plan_b.scheduled(state_b, "x", n).map(|h| h.0)).collect();
+        assert_eq!(seq_a, seq_b);
+        let fired = seq_a.iter().filter(|h| h.is_some()).count();
+        assert!(fired > 30 && fired < 200, "≈40% of 256 expected, got {fired}");
+        // A different seed produces a different schedule.
+        let plan_c = FaultPlan::new(10).panic_at("x", 0.3).io_error_at("x", 0.1);
+        let state_c = &plan_c.sites["x"];
+        let seq_c: Vec<_> = (0..256).map(|n| plan_c.scheduled(state_c, "x", n).map(|h| h.0)).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn installed_plan_fires_and_counts() {
+        let _l = INSTALL_LOCK.lock().unwrap();
+        let guard = install(FaultPlan::new(4).io_error_at("io.test", 1.0));
+        assert!(enabled());
+        assert!(io_error("io.test").is_some());
+        assert!(io_error("unarmed.site").is_none());
+        let s = stats();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].site, "io.test");
+        assert_eq!(s[0].hits, 1);
+        assert_eq!(s[0].injected, 1);
+        assert_eq!(injected_total(), 1);
+        drop(guard);
+        assert!(!enabled());
+        assert!(io_error("io.test").is_none());
+    }
+
+    #[test]
+    fn injected_panic_carries_chaos_payload() {
+        let _l = INSTALL_LOCK.lock().unwrap();
+        silence_chaos_panics();
+        let _guard = install(FaultPlan::new(1).panic_at("p.test", 1.0));
+        let err = std::panic::catch_unwind(|| point("p.test")).unwrap_err();
+        let payload = err.downcast_ref::<ChaosPanic>().expect("chaos payload");
+        assert_eq!(payload.site, "p.test");
+    }
+
+    #[test]
+    fn corruption_stamps_nans_deterministically() {
+        let _l = INSTALL_LOCK.lock().unwrap();
+        let run = |seed: u64| -> Vec<u32> {
+            let _guard = install(FaultPlan::new(seed).corrupt_at("c.test", 1.0));
+            let mut buf = vec![1.0f32; 128];
+            let n = corrupt_f32("c.test", &mut buf);
+            assert!(n >= 1);
+            assert!(buf.iter().any(|v| v.is_nan()));
+            buf.iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same corruption");
+    }
+
+    #[test]
+    fn windowed_rules_fire_then_recover() {
+        let _l = INSTALL_LOCK.lock().unwrap();
+        let _guard = install(FaultPlan::new(5).io_error_first("win.test", 2));
+        assert!(io_error("win.test").is_some(), "hit 0 must fail");
+        assert!(io_error("win.test").is_some(), "hit 1 must fail");
+        assert!(io_error("win.test").is_none(), "hit 2 must recover");
+        assert!(io_error("win.test").is_none(), "hit 3 stays healthy");
+        assert_eq!(injected_total(), 2);
+    }
+
+    #[test]
+    fn streams_differ_by_label_and_reproduce_by_seed() {
+        let plan = FaultPlan::new(11);
+        let a: Vec<u64> = (0..8).map(|_| 0).scan(plan.stream("a"), |r, _| Some(r.next_u64())).collect();
+        let a2: Vec<u64> = (0..8).map(|_| 0).scan(plan.stream("a"), |r, _| Some(r.next_u64())).collect();
+        let b: Vec<u64> = (0..8).map(|_| 0).scan(plan.stream("b"), |r, _| Some(r.next_u64())).collect();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        let mut r = plan.stream("a");
+        let x = r.next_f64();
+        assert!((0.0..1.0).contains(&x));
+        assert_eq!(r.next_range(0), 0);
+    }
+}

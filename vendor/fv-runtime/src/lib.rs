@@ -21,6 +21,17 @@
 //!   and benchmarks that need a specific width; everything else uses the
 //!   lazily created global pool.
 //!
+//! ## Supervised execution
+//!
+//! * Workers are supervised: a panic that escapes a worker's run loop is
+//!   caught and the loop restarted on the same thread, so the pool heals
+//!   instead of deadlocking on a lost worker ([`SupervisionStats`]).
+//! * [`cancel`] — cooperative [`CancelToken`] / [`Deadline`] / [`ExecCtx`]
+//!   primitives polled by the workspace's hot loops at batch boundaries.
+//! * [`chaos`] — a seeded, deterministic fault-injection engine with named
+//!   sites across the workspace (zero-cost while disabled).
+//! * [`retry`] — deterministic exponential backoff for transient I/O.
+//!
 //! ## Configuration
 //!
 //! * `FV_THREADS=N` — worker count of the global pool (default: the
@@ -41,16 +52,20 @@
 //! inputs. See DESIGN.md §9 for the full architecture.
 
 pub mod alloc;
+pub mod cancel;
+pub mod chaos;
 pub mod deque;
 pub mod granularity;
 mod job;
 mod latch;
 mod par;
 mod pool;
+pub mod retry;
 mod scope;
 
+pub use cancel::{CancelToken, Deadline, ExecCtx, StopReason};
 pub use par::{chunk_size, par_for, par_map, par_reduce, split_point, SendPtr, DETERMINISTIC_CHUNKS};
-pub use pool::{current_num_threads, join, Pool};
+pub use pool::{current_num_threads, join, supervision_stats, Pool, SupervisionStats};
 pub use scope::{scope, Scope};
 
 use std::sync::OnceLock;

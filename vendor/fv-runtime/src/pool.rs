@@ -1,4 +1,5 @@
-//! The work-stealing pool: worker threads, the global injector, `join`.
+//! The work-stealing pool: worker threads, the global injector, `join`,
+//! and the supervisor that heals workers whose run loop panics.
 
 use crate::deque::{deque, Stealer, Worker};
 use crate::job::{JobRef, StackJob};
@@ -6,7 +7,7 @@ use crate::latch::Latch;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -14,6 +15,28 @@ use std::time::Duration;
 /// Upper bound on worker count — a typo in `FV_THREADS` should not try to
 /// spawn a million threads.
 const MAX_THREADS: usize = 512;
+
+/// Supervisor counters, shared by all of a pool's workers.
+#[derive(Default)]
+struct SupervisionAtomics {
+    panics_caught: AtomicU64,
+    worker_restarts: AtomicU64,
+}
+
+/// Snapshot of a pool's supervision counters.
+///
+/// Panics raised *inside* a job are part of the `join`/`scope` contract
+/// (captured and resumed on the waiter) and do not show up here; these
+/// count panics that escaped a worker's own run loop — the failure mode
+/// that used to take the worker thread down for good.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionStats {
+    /// Panics that unwound out of a worker's run loop and were caught by
+    /// the supervisor instead of killing the thread.
+    pub panics_caught: u64,
+    /// Worker run loops restarted after such a panic (the pool healed).
+    pub worker_restarts: u64,
+}
 
 /// Shared state of one pool, reference-counted between the owning
 /// [`Pool`] handle and its worker threads.
@@ -23,11 +46,18 @@ pub(crate) struct PoolState {
     /// One stealer per worker deque, indexed by worker.
     stealers: Vec<Stealer<JobRef>>,
     n_threads: usize,
-    /// Number of workers currently parked on `sleep_cond`.
+    /// Number of workers currently parked (or about to park) on
+    /// `sleep_cond`. Incremented *before* the final pre-park work check —
+    /// see `worker_loop` for the lost-wakeup protocol.
     sleepers: AtomicUsize,
-    sleep_lock: Mutex<()>,
+    /// Wake epoch: bumped under the lock by every `notify_work` that saw
+    /// sleepers. A parked worker waits for the epoch to move past the
+    /// value it read before its last work check, so a notification can
+    /// never slip into the gap between "queue looked empty" and "parked".
+    sleep_lock: Mutex<u64>,
     sleep_cond: Condvar,
     shutdown: AtomicBool,
+    supervision: SupervisionAtomics,
 }
 
 /// Per-worker context, stack-allocated in `worker_main` and published to the
@@ -69,13 +99,31 @@ impl PoolState {
         self.injector.lock().unwrap().pop_front()
     }
 
-    /// Wake a parked worker if any are sleeping. The `sleepers` fast path
+    /// Wake parked workers if any are sleeping. The `sleepers` fast path
     /// keeps the common push (everyone busy) lock-free.
+    ///
+    /// Ordering argument for the fast path: a parking worker increments
+    /// `sleepers` (SeqCst) *before* its final `find_work` check, and we
+    /// push the job *before* loading `sleepers` (both the queue push and
+    /// this load are SeqCst-ordered). So if we read `sleepers == 0`, the
+    /// worker's increment had not happened yet, which means its final
+    /// work check is still ahead of it — and that check will see our job.
+    /// If we read `sleepers > 0`, we bump the wake epoch under the lock;
+    /// any worker already waiting (or about to wait against an older
+    /// epoch) observes the bump and wakes.
     pub(crate) fn notify_work(&self) {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.sleep_lock.lock().unwrap();
+            let mut epoch = self.sleep_lock.lock().unwrap();
+            *epoch = epoch.wrapping_add(1);
             self.sleep_cond.notify_all();
         }
+    }
+
+    /// Bump the wake epoch unconditionally (shutdown path).
+    fn notify_all_unconditional(&self) {
+        let mut epoch = self.sleep_lock.lock().unwrap();
+        *epoch = epoch.wrapping_add(1);
+        self.sleep_cond.notify_all();
     }
 }
 
@@ -132,6 +180,15 @@ impl WorkerCtx {
     }
 }
 
+/// Worker entry point: a supervisor wrapped around the run loop.
+///
+/// A panic that unwinds out of the run loop (not out of a job — jobs catch
+/// their own panics into their latch) would otherwise silently kill the
+/// thread and shrink the pool until a later `join` deadlocks waiting for a
+/// steal that can never happen. The supervisor catches it, counts it, and
+/// restarts the loop on the same thread. A job dequeued but not yet started
+/// is parked in `pending` so the restart executes it first — its latch is
+/// never stranded.
 fn worker_main(state: Arc<PoolState>, index: usize, local: Worker<JobRef>) {
     let ctx = WorkerCtx {
         state: Arc::clone(&state),
@@ -139,31 +196,77 @@ fn worker_main(state: Arc<PoolState>, index: usize, local: Worker<JobRef>) {
         local,
     };
     CURRENT.with(|c| c.set(&ctx as *const WorkerCtx));
+    let pending: Cell<Option<JobRef>> = Cell::new(None);
+    loop {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(job) = pending.take() {
+                unsafe { job.execute() };
+            }
+            worker_loop(&ctx, &pending)
+        }));
+        match outcome {
+            Ok(()) => break, // clean shutdown
+            Err(_) => {
+                state.supervision.panics_caught.fetch_add(1, Ordering::Relaxed);
+                state
+                    .supervision
+                    .worker_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    CURRENT.with(|c| c.set(std::ptr::null()));
+}
+
+/// The worker run loop: execute, steal, or park until shutdown.
+///
+/// Each job is staged through `pending` before execution so that a panic
+/// raised *between* dequeue and execution (e.g. an injected fault at the
+/// `pool.worker` chaos site) leaves the job recoverable by the supervisor.
+fn worker_loop(ctx: &WorkerCtx, pending: &Cell<Option<JobRef>>) {
+    let state = &ctx.state;
+    let execute_supervised = |job: JobRef| {
+        pending.set(Some(job));
+        crate::chaos::point("pool.worker");
+        let job = pending.take().expect("job staged above");
+        unsafe { job.execute() };
+    };
     loop {
         if let Some(job) = ctx.find_work() {
-            unsafe { job.execute() };
+            execute_supervised(job);
             continue;
         }
         if state.shutdown.load(Ordering::SeqCst) {
-            break;
+            return;
         }
-        // Park. The timeout is a safety net against lost wakeups; the
-        // normal path is an explicit `notify_work` from a push.
+        // Park protocol. Order matters:
+        //   1. advertise intent to sleep (`sleepers += 1`, SeqCst);
+        //   2. read the wake epoch;
+        //   3. re-check for work and shutdown;
+        //   4. wait while the epoch is unchanged.
+        // A push that lands after step 3 sees `sleepers > 0` (step 1
+        // happened first in SeqCst order) and bumps the epoch, so step 4
+        // returns immediately instead of losing the wakeup. A push that
+        // lands before step 3 is found by the re-check. No timeout needed.
         state.sleepers.fetch_add(1, Ordering::SeqCst);
+        let epoch = *state.sleep_lock.lock().unwrap();
+        if let Some(job) = ctx.find_work() {
+            state.sleepers.fetch_sub(1, Ordering::SeqCst);
+            execute_supervised(job);
+            continue;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            state.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
         {
-            let guard = state.sleep_lock.lock().unwrap();
-            // Re-check under the lock so a notify between `find_work` and
-            // here is not lost.
-            if !state.shutdown.load(Ordering::SeqCst) {
-                let _ = state
-                    .sleep_cond
-                    .wait_timeout(guard, Duration::from_millis(10))
-                    .unwrap();
+            let mut guard = state.sleep_lock.lock().unwrap();
+            while *guard == epoch && !state.shutdown.load(Ordering::SeqCst) {
+                guard = state.sleep_cond.wait(guard).unwrap();
             }
         }
         state.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
-    CURRENT.with(|c| c.set(std::ptr::null()));
 }
 
 /// A work-stealing thread pool.
@@ -193,9 +296,10 @@ impl Pool {
             stealers,
             n_threads,
             sleepers: AtomicUsize::new(0),
-            sleep_lock: Mutex::new(()),
+            sleep_lock: Mutex::new(0),
             sleep_cond: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            supervision: SupervisionAtomics::default(),
         });
         let handles = workers
             .into_iter()
@@ -214,6 +318,18 @@ impl Pool {
     /// Number of worker threads in this pool.
     pub fn num_threads(&self) -> usize {
         self.state.n_threads
+    }
+
+    /// Snapshot of this pool's supervision counters.
+    pub fn supervision(&self) -> SupervisionStats {
+        SupervisionStats {
+            panics_caught: self.state.supervision.panics_caught.load(Ordering::Relaxed),
+            worker_restarts: self
+                .state
+                .supervision
+                .worker_restarts
+                .load(Ordering::Relaxed),
+        }
     }
 
     /// Run `f` inside this pool and return its result.
@@ -239,10 +355,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        {
-            let _guard = self.state.sleep_lock.lock().unwrap();
-            self.state.sleep_cond.notify_all();
-        }
+        self.state.notify_all_unconditional();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -299,6 +412,17 @@ pub fn current_num_threads() -> usize {
     match current_ctx() {
         Some(ctx) => ctx.num_threads(),
         None => global().num_threads(),
+    }
+}
+
+/// Supervision counters of the pool the current thread would submit to:
+/// the enclosing [`Pool::install`]'s pool on a worker, else the default
+/// pool (created on demand).
+pub fn supervision_stats() -> SupervisionStats {
+    let state = submit_pool();
+    SupervisionStats {
+        panics_caught: state.supervision.panics_caught.load(Ordering::Relaxed),
+        worker_restarts: state.supervision.worker_restarts.load(Ordering::Relaxed),
     }
 }
 
@@ -415,5 +539,95 @@ pub(crate) fn submit_pool() -> Arc<PoolState> {
     match current_ctx() {
         Some(ctx) => Arc::clone(ctx.pool()),
         None => Arc::clone(&global().state),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{self, FaultPlan};
+    use std::time::Instant;
+
+    /// Regression for the lost-wakeup window the old 10 ms `wait_timeout`
+    /// papered over: park the whole pool, then install work and require it
+    /// to complete promptly. With no timeout net left in the parking path,
+    /// a lost wakeup would hang here forever (the harness's test timeout is
+    /// the enforcement); the elapsed bound catches gross sluggishness.
+    #[test]
+    fn parked_workers_wake_on_install() {
+        let pool = Pool::new(4);
+        for round in 0..50 {
+            // Give the workers a moment to drain and park.
+            if round % 10 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let start = Instant::now();
+            let got = pool.install(|| round * 2);
+            assert_eq!(got, round * 2);
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "wakeup took {:?} on round {round}",
+                start.elapsed()
+            );
+        }
+    }
+
+    /// Hammer the park/notify protocol from many external threads at once:
+    /// any ordering hole between "queue looked empty" and "parked" shows up
+    /// as a hang or a lost result.
+    #[test]
+    fn concurrent_installs_never_lose_a_wakeup() {
+        let pool = Pool::new(2);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let got = pool.install(|| t * 1000 + i);
+                        assert_eq!(got, t * 1000 + i);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn supervisor_heals_worker_panics_and_stays_deterministic() {
+        chaos::silence_chaos_panics();
+        let _l = chaos::INSTALL_LOCK.lock().unwrap();
+
+        let reduce_in = |pool: &Pool| {
+            pool.install(|| {
+                crate::par_reduce(
+                    10_000,
+                    128,
+                    &|start, end| (start..end).map(|i| (i as f32).sqrt() * 1e-3).sum::<f32>(),
+                    &|a, b| a + b,
+                )
+                .unwrap()
+            })
+        };
+
+        let pool = Pool::new(4);
+        let healthy = reduce_in(&pool);
+        {
+            let _guard = chaos::install(FaultPlan::new(3).panic_at("pool.worker", 0.2));
+            // Every dequeue may panic before executing its job; the
+            // supervisor must restart the worker, run the staged job, and
+            // keep the reduction's latches settling.
+            for _ in 0..4 {
+                assert_eq!(reduce_in(&pool).to_bits(), healthy.to_bits());
+            }
+        }
+        let stats = pool.supervision();
+        assert!(
+            stats.panics_caught > 0,
+            "a 20% per-dequeue panic rate over ~4 runs must fire at least once"
+        );
+        assert_eq!(stats.panics_caught, stats.worker_restarts);
+
+        // After healing, the pool still matches a single-thread pool bit
+        // for bit — the determinism contract survived the worker deaths.
+        assert_eq!(reduce_in(&pool).to_bits(), reduce_in(&Pool::new(1)).to_bits());
     }
 }

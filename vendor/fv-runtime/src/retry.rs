@@ -1,0 +1,156 @@
+//! Retry with exponential backoff for transient I/O failures.
+//!
+//! Checkpoint and field I/O in an in-situ session talk to shared scratch
+//! filesystems that fail *transiently* — a metadata server hiccup, a full
+//! quota that a reaper clears seconds later. One failed save must not trip
+//! the session's circuit breaker when simply trying again would succeed.
+//! The policy here is deliberately deterministic (no randomized jitter):
+//! the workspace's reproducibility contract extends to its failure
+//! handling, and a single in-situ session has no thundering-herd problem.
+
+use std::time::Duration;
+
+/// An exponential backoff policy: `attempts` tries, sleeping
+/// `base * factor^i` (capped at `max`) between try `i` and try `i + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Total attempts (including the first); clamped to at least 1.
+    pub attempts: usize,
+    /// Sleep before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per retry.
+    pub factor: u32,
+    /// Ceiling on any single sleep.
+    pub max: Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            base: Duration::from_millis(5),
+            factor: 2,
+            max: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Backoff {
+    /// A policy that never retries (one attempt, no sleeps).
+    pub fn none() -> Self {
+        Self {
+            attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The sleep after failed attempt `attempt` (0-based).
+    pub fn delay_for(&self, attempt: usize) -> Duration {
+        let factor = self.factor.max(1).saturating_pow(attempt.min(16) as u32);
+        (self.base * factor).min(self.max)
+    }
+}
+
+/// A successful [`retry`] outcome: the value plus how many retries it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryOutcome<T> {
+    /// The operation's result.
+    pub value: T,
+    /// Failed attempts before the success (0 = first try succeeded).
+    pub retries: usize,
+}
+
+/// Run `op` until it succeeds or the policy's attempts are exhausted.
+///
+/// `op` receives the 0-based attempt number. On exhaustion the *last*
+/// error is returned; intermediate errors are dropped (they were, by
+/// definition, survivable).
+pub fn retry<T, E>(
+    policy: &Backoff,
+    mut op: impl FnMut(usize) -> Result<T, E>,
+) -> Result<RetryOutcome<T>, E> {
+    let attempts = policy.attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        match op(attempt) {
+            Ok(value) => {
+                return Ok(RetryOutcome {
+                    value,
+                    retries: attempt,
+                })
+            }
+            Err(e) => {
+                last_err = Some(e);
+                if attempt + 1 < attempts {
+                    let delay = policy.delay_for(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_needs_no_retries() {
+        let out = retry(&Backoff::default(), |_| Ok::<_, ()>(42)).unwrap();
+        assert_eq!(out.value, 42);
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn recovers_after_transient_failures() {
+        let policy = Backoff {
+            attempts: 4,
+            base: Duration::ZERO,
+            ..Backoff::default()
+        };
+        let out = retry(&policy, |attempt| {
+            if attempt < 2 {
+                Err("transient")
+            } else {
+                Ok(attempt)
+            }
+        })
+        .unwrap();
+        assert_eq!(out.value, 2);
+        assert_eq!(out.retries, 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_last_error() {
+        let policy = Backoff {
+            attempts: 3,
+            base: Duration::ZERO,
+            ..Backoff::default()
+        };
+        let mut calls = 0;
+        let err = retry(&policy, |attempt| -> Result<(), usize> {
+            calls += 1;
+            Err(attempt)
+        })
+        .unwrap_err();
+        assert_eq!(calls, 3);
+        assert_eq!(err, 2, "last attempt's error surfaces");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = Backoff {
+            attempts: 5,
+            base: Duration::from_millis(10),
+            factor: 2,
+            max: Duration::from_millis(25),
+        };
+        assert_eq!(policy.delay_for(0), Duration::from_millis(10));
+        assert_eq!(policy.delay_for(1), Duration::from_millis(20));
+        assert_eq!(policy.delay_for(2), Duration::from_millis(25), "capped");
+        assert_eq!(Backoff::none().attempts, 1);
+    }
+}
