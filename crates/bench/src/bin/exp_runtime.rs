@@ -15,10 +15,16 @@
 //! per-width dispatch table shows which kernels the granularity policy
 //! kept sequential (small ops that would only pay pool overhead) and
 //! which it fanned out.
+//!
+//! With `FV_TELEMETRY=1` the run additionally exports the structured
+//! telemetry snapshot (pool scheduling, per-phase training spans, kNN and
+//! feature-build sites, reconstruction batches, in-situ supervision) into
+//! the JSON under a `"telemetry"` key and prints the human-readable
+//! summary tree; the numbers themselves are bitwise-unchanged either way.
 
 use fillvoid_core::insitu::{InSituConfig, InSituSession, SupervisionConfig};
 use fillvoid_core::pipeline::{FcnnPipeline, FineTuneSpec, ReconstructWorkspace};
-use fillvoid_core::metrics::snr_db;
+use fillvoid_core::metrics::snr_db_masked;
 use fv_bench::{secs, ExpOpts};
 use fv_runtime::alloc::{allocation_count, CountingAllocator};
 use fv_runtime::granularity::{dispatch_stats, reset_dispatch_stats, DispatchStats};
@@ -35,6 +41,7 @@ struct Row {
     train_s: f64,
     reconstruct_s: f64,
     snr: f64,
+    snr_coverage: f64,
     bits_match: bool,
     feature_s: f64,
     data_s: f64,
@@ -59,6 +66,9 @@ fn main() {
     let mut last_model: Option<FcnnPipeline> = None;
     for threads in [1usize, 2, 4] {
         reset_dispatch_stats();
+        // Per-width telemetry: the snapshot exported at the end covers the
+        // final width plus the in-situ segment, not an accumulated blur.
+        fv_runtime::telemetry::reset();
         let pool = fv_runtime::Pool::new(threads);
         let (train_s, reconstruct_s, model, recon, train_allocs, reconstruct_allocs) = pool
             .install(|| {
@@ -85,11 +95,16 @@ fn main() {
             }
         };
         let t = model.history().timings;
+        // Masked scoring: identical to the plain SNR on the (normal) fully
+        // finite reconstruction, but degrades gracefully — with a coverage
+        // figure — if a run ever emits NaN voxels.
+        let scored = snr_db_masked(&field, &recon);
         rows.push(Row {
             threads,
             train_s,
             reconstruct_s,
-            snr: snr_db(&field, &recon),
+            snr: scored.value,
+            snr_coverage: scored.coverage,
             bits_match,
             feature_s: model.feature_build_seconds(),
             data_s: t.data_s,
@@ -197,11 +212,12 @@ fn main() {
     );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"train_s\": {:.6}, \"reconstruct_s\": {:.6}, \"snr_db\": {:.4}, \"bitwise_match\": {}, \"feature_s\": {:.6}, \"data_s\": {:.6}, \"forward_s\": {:.6}, \"backward_s\": {:.6}, \"optim_s\": {:.6}, \"train_allocs\": {}, \"reconstruct_allocs\": {}}}{}\n",
+            "    {{\"threads\": {}, \"train_s\": {:.6}, \"reconstruct_s\": {:.6}, \"snr_db\": {:.4}, \"snr_coverage\": {:.4}, \"bitwise_match\": {}, \"feature_s\": {:.6}, \"data_s\": {:.6}, \"forward_s\": {:.6}, \"backward_s\": {:.6}, \"optim_s\": {:.6}, \"train_allocs\": {}, \"reconstruct_allocs\": {}}}{}\n",
             r.threads,
             r.train_s,
             r.reconstruct_s,
             r.snr,
+            r.snr_coverage,
             r.bits_match,
             r.feature_s,
             r.data_s,
@@ -225,8 +241,16 @@ fn main() {
         pool_sup.worker_restarts,
     );
 
+    // With FV_TELEMETRY=1 the snapshot (last width + in-situ segment) rides
+    // along in the JSON and a human-readable tree goes to stdout. Disabled,
+    // neither the key nor any timing exists — the sites never recorded.
+    let telemetry_json = if fv_runtime::telemetry::enabled() {
+        format!(",\n  \"telemetry\": {}", fv_runtime::telemetry::snapshot().to_json())
+    } else {
+        String::new()
+    };
     json.push_str(&format!(
-        "  ],\n  \"insitu\": {{\"steps\": {}, \"seconds\": {:.6}, \"deadline_misses\": {}, \"panics_caught\": {}, \"io_retries\": {}, \"fallback_steps\": {}, \"breaker\": \"{}\", \"pool_panics_caught\": {}, \"pool_worker_restarts\": {}}}\n}}\n",
+        "  ],\n  \"insitu\": {{\"steps\": {}, \"seconds\": {:.6}, \"deadline_misses\": {}, \"panics_caught\": {}, \"io_retries\": {}, \"fallback_steps\": {}, \"breaker\": \"{}\", \"pool_panics_caught\": {}, \"pool_worker_restarts\": {}}}{}\n}}\n",
         insitu_steps,
         insitu_s,
         deadline_misses,
@@ -236,7 +260,12 @@ fn main() {
         breaker,
         pool_sup.panics_caught,
         pool_sup.worker_restarts,
+        telemetry_json,
     ));
+    if fv_runtime::telemetry::enabled() {
+        println!("\n# Telemetry (FV_TELEMETRY=1; last width + in-situ segment)");
+        print!("{}", fv_runtime::telemetry::summary());
+    }
     let path = "BENCH_runtime.json";
     std::fs::File::create(path)
         .and_then(|mut f| f.write_all(json.as_bytes()))

@@ -12,8 +12,8 @@
 //! * every checkpoint carries an envelope with an explicit payload length
 //!   and a trailing CRC-32 over the serialized pipeline, validated on
 //!   load;
-//! * the store keeps the last *K* generations and [`load_latest`]
-//!   (`CheckpointStore::load_latest`) walks them newest-first, skipping
+//! * the store keeps the last *K* generations and
+//!   [`CheckpointStore::load_latest`] walks them newest-first, skipping
 //!   corrupt or truncated files, so one bad generation degrades recovery
 //!   by one save interval instead of killing the session.
 //!
@@ -30,6 +30,18 @@ use fv_field::FieldError;
 use fv_nn::serialize::write_file_atomic;
 use std::io::Read;
 use std::path::{Path, PathBuf};
+
+// Checkpoint-I/O telemetry (inert unless FV_TELEMETRY=1): spans around
+// every save/load plus the retry count, so slow or flaky scratch storage
+// shows up in the end-of-run snapshot.
+static TM_SAVE: fv_runtime::telemetry::Site =
+    fv_runtime::telemetry::Site::new("ckpt.save", None);
+static TM_LOAD: fv_runtime::telemetry::Site =
+    fv_runtime::telemetry::Site::new("ckpt.load", None);
+static TM_RETRIES: fv_runtime::telemetry::Counter =
+    fv_runtime::telemetry::Counter::new("ckpt.retries");
+static TM_SAVE_BYTES: fv_runtime::telemetry::Counter =
+    fv_runtime::telemetry::Counter::new("ckpt.saved_bytes");
 
 const MAGIC: &[u8; 4] = b"FVCK";
 /// Ceiling on an envelope payload (4 GiB) — larger lengths are corrupt.
@@ -117,6 +129,7 @@ impl CheckpointStore {
         pipeline: &FcnnPipeline,
         policy: &fv_runtime::retry::Backoff,
     ) -> Result<(u64, usize), CoreError> {
+        let _span = TM_SAVE.span();
         let gen = self.latest().map_or(0, |g| g + 1);
         let mut payload = Vec::new();
         pipeline.write_to(&mut payload)?;
@@ -140,11 +153,14 @@ impl CheckpointStore {
             let old = self.generations.remove(0);
             std::fs::remove_file(self.path_for(old)).ok();
         }
+        TM_RETRIES.add(outcome.retries as u64);
+        TM_SAVE_BYTES.add(payload.len() as u64);
         Ok((gen, outcome.retries))
     }
 
     /// Load a specific generation, validating the envelope checksum.
     pub fn load_generation(&self, gen: u64) -> Result<FcnnPipeline, CoreError> {
+        let _span = TM_LOAD.span();
         if let Some(e) = fv_runtime::chaos::io_error("ckpt.load") {
             return Err(io_err(e));
         }

@@ -14,11 +14,17 @@ use fv_field::gradient::GradientField;
 use fv_field::{Grid3, ScalarField};
 use fv_linalg::granularity::{go_parallel, OpCounter};
 use fv_linalg::Matrix;
+use fv_runtime::telemetry;
 use fv_sampling::PointCloud;
 use fv_spatial::{KdTree, KnnScratch, Neighbor};
 use rayon::prelude::*;
 
 static OP_FEATURE_ROWS: OpCounter = OpCounter::new("core.feature_rows");
+
+// Feature-build telemetry (inert unless FV_TELEMETRY=1): one span per
+// batched extraction plus the number of feature rows produced.
+static TM_FEATURE_BUILD: telemetry::Site = telemetry::Site::new("core.feature_build", None);
+static TM_FEATURE_ROWS: telemetry::Counter = telemetry::Counter::new("core.feature_rows");
 
 /// Reusable buffers for [`FeatureExtractor::features_for_into`]: query
 /// world positions, the flat batched k-nearest results, and the per-chunk
@@ -129,6 +135,8 @@ impl<'a> FeatureExtractor<'a> {
         out: &mut Matrix<f32>,
         scratch: &mut FeatureScratch,
     ) {
+        let _span = TM_FEATURE_BUILD.span();
+        TM_FEATURE_ROWS.add(queries.len() as u64);
         let width = self.config.input_width();
         let k = self.config.k;
         let relative = self.config.relative_coords;

@@ -59,7 +59,7 @@
 
 use crate::checkpoint::CheckpointStore;
 use crate::error::CoreError;
-use crate::metrics::snr_db;
+use crate::metrics::snr_db_masked;
 use crate::pipeline::{
     build_training_set, FcnnPipeline, FineTuneSpec, PipelineConfig, ReconstructWorkspace,
     TrainCorpus,
@@ -70,11 +70,27 @@ use fv_interp::nearest::NearestReconstructor;
 use fv_interp::Reconstructor;
 use fv_nn::train::Trainer;
 use fv_runtime::retry::Backoff;
-use fv_runtime::{chaos, Deadline, ExecCtx, StopReason};
+use fv_runtime::{chaos, telemetry, Deadline, ExecCtx, StopReason};
 use fv_sampling::{FieldSampler, ImportanceConfig, ImportanceSampler, PointCloud};
 use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
+
+// Session telemetry (inert unless FV_TELEMETRY=1): a span per supervised
+// step plus counters for every rung of the degradation ladder and every
+// breaker transition, so a snapshot shows *why* a production-shaped run
+// degraded, not just that it did.
+static TM_STEP: telemetry::Site = telemetry::Site::new("insitu.step", None);
+static TM_DEGRADED: telemetry::Counter = telemetry::Counter::new("insitu.degraded_steps");
+static TM_DROPPED_SAMPLES: telemetry::Counter = telemetry::Counter::new("insitu.dropped_samples");
+static TM_FALLBACK_VOXELS: telemetry::Counter = telemetry::Counter::new("insitu.fallback_voxels");
+static TM_PANICS: telemetry::Counter = telemetry::Counter::new("insitu.panics_caught");
+static TM_DEADLINE_MISSES: telemetry::Counter = telemetry::Counter::new("insitu.deadline_misses");
+static TM_RESTORES: telemetry::Counter = telemetry::Counter::new("insitu.checkpoint_restores");
+static TM_IO_RETRIES: telemetry::Counter = telemetry::Counter::new("insitu.io_retries");
+static TM_BREAKER_OPENS: telemetry::Counter = telemetry::Counter::new("insitu.breaker_opens");
+static TM_BREAKER_PROBES: telemetry::Counter = telemetry::Counter::new("insitu.breaker_probes");
+static TM_BREAKER_CLOSES: telemetry::Counter = telemetry::Counter::new("insitu.breaker_closes");
 
 /// Classical interpolator used when the learned model cannot be trusted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,8 +208,14 @@ pub struct StepReport {
     pub fine_tuned: bool,
     /// Reconstruction SNR (dB), when scoring is enabled. For degraded
     /// steps this is measured against the *sanitized* field (the poisoned
-    /// voxels have no meaningful reference value).
+    /// voxels have no meaningful reference value). Scored with
+    /// [`snr_db_masked`], so a partially answered step still gets a finite
+    /// number over the voxels it did answer (see [`Self::snr_coverage`]).
     pub snr: Option<f64>,
+    /// Fraction of voxels the reported [`Self::snr`] actually scored
+    /// (voxels finite in both the reference and the reconstruction).
+    /// `1.0` for a fully answered step.
+    pub snr_coverage: Option<f64>,
     /// Any rung of the fault ladder fired this step.
     pub degraded: bool,
     /// Non-finite voxels in the incoming field.
@@ -317,6 +339,7 @@ impl InSituSession {
         &mut self,
         field: &ScalarField,
     ) -> Result<(PointCloud, ScalarField, StepReport), CoreError> {
+        let _span = TM_STEP.span();
         let t = self.step;
         self.step += 1;
         let sampler = ImportanceSampler::new(self.config.sampler);
@@ -375,6 +398,9 @@ impl InSituSession {
         if entry_state == BreakerState::Open {
             self.steps_until_probe -= 1;
         }
+        if entry_state == BreakerState::HalfOpen {
+            TM_BREAKER_PROBES.incr();
+        }
 
         let mut panic_caught = false;
         let mut model_error: Option<String> = None;
@@ -423,10 +449,14 @@ impl InSituSession {
                 if entry_state == BreakerState::HalfOpen
                     || self.breaker_failures >= self.config.supervision.breaker_threshold
                 {
+                    TM_BREAKER_OPENS.incr();
                     self.breaker_open = true;
                     self.steps_until_probe = self.config.supervision.breaker_probe_interval;
                 }
             } else {
+                if self.breaker_open {
+                    TM_BREAKER_CLOSES.incr();
+                }
                 self.breaker_open = false;
                 self.breaker_failures = 0;
             }
@@ -505,13 +535,39 @@ impl InSituSession {
             }
         }
 
-        let snr = self.config.score.then(|| snr_db(reference.as_ref(), &recon));
+        // Degradation telemetry, recorded whether or not scoring is on.
+        if degraded || checkpoint_save_failed {
+            TM_DEGRADED.incr();
+        }
+        TM_DROPPED_SAMPLES.add(dropped_samples as u64);
+        TM_FALLBACK_VOXELS.add(fallback_voxels as u64);
+        if panic_caught {
+            TM_PANICS.incr();
+        }
+        if deadline_missed {
+            TM_DEADLINE_MISSES.incr();
+        }
+        if restored_from_checkpoint {
+            TM_RESTORES.incr();
+        }
+        TM_IO_RETRIES.add(io_retries as u64);
+
+        // Score with the masked variant: the rung-4 fill normally leaves a
+        // fully finite answer (coverage 1.0, value bitwise-equal to the
+        // plain snr_db), but if any non-finite voxel survives — e.g. the
+        // classical fallback itself had nothing to say — the step still
+        // reports a finite SNR over what it answered plus the coverage.
+        let scored = self
+            .config
+            .score
+            .then(|| snr_db_masked(reference.as_ref(), &recon));
         let report = StepReport {
             step: t,
             stored_points: cloud.len(),
             probe_loss,
             fine_tuned,
-            snr,
+            snr: scored.map(|s| s.value),
+            snr_coverage: scored.map(|s| s.coverage),
             degraded: degraded || checkpoint_save_failed,
             poisoned_voxels,
             dropped_samples,

@@ -9,6 +9,18 @@
 //! where `σ_raw` is the standard deviation of the original field and
 //! `σ_noise` the standard deviation of the error field (original −
 //! reconstruction). RMSE/MAE/PSNR are provided for the extended analyses.
+//!
+//! # Masked metrics
+//!
+//! A cancelled [`reconstruct_with_ctx`](crate::pipeline::FcnnPipeline::reconstruct_with_ctx)
+//! NaN-marks the voxels it never visited, and a single NaN poisons every
+//! plain metric above into NaN with no indication why. The `*_masked`
+//! variants ([`snr_db_masked`], [`rmse_masked`], [`psnr_db_masked`]) score
+//! **only the voxels where both fields are finite** and report the scored
+//! fraction as [`MaskedScore::coverage`], so a partial reconstruction gets
+//! a finite quality number plus an explicit "how much of the field that
+//! number covers". On fully-finite inputs the masked variants delegate to
+//! the plain ones, so the values agree bitwise and the coverage is `1.0`.
 
 use fv_field::ScalarField;
 
@@ -108,6 +120,163 @@ pub fn pearson(original: &ScalarField, reconstruction: &ScalarField) -> f64 {
     cov / (va.sqrt() * vb.sqrt())
 }
 
+/// A metric restricted to the finite-in-both-fields voxel subset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskedScore {
+    /// The metric over the covered voxels. `NaN` when nothing is covered
+    /// (or when the metric itself is undefined on the subset, e.g. a
+    /// constant masked original for SNR).
+    pub value: f64,
+    /// Fraction of voxels scored: `covered / total`, in `[0, 1]`.
+    pub coverage: f64,
+}
+
+/// Shared masked-moment scan: count, Σe and Σe² of the error plus Σv and
+/// Σv² of the original, over voxels finite in both fields. Chunked
+/// fixed-order f64 accumulation, matching the plain metrics.
+struct MaskedMoments {
+    covered: usize,
+    total: usize,
+    err_sum: f64,
+    err_sq: f64,
+    raw_sum: f64,
+    raw_sq: f64,
+}
+
+fn masked_moments(original: &ScalarField, reconstruction: &ScalarField) -> MaskedMoments {
+    assert_eq!(
+        original.grid(),
+        reconstruction.grid(),
+        "masked metrics require fields on the same grid"
+    );
+    let mut m = MaskedMoments {
+        covered: 0,
+        total: original.len(),
+        err_sum: 0.0,
+        err_sq: 0.0,
+        raw_sum: 0.0,
+        raw_sq: 0.0,
+    };
+    let a = original.values();
+    let b = reconstruction.values();
+    for (ca, cb) in a.chunks(4096).zip(b.chunks(4096)) {
+        let (mut n, mut es, mut eq, mut rs, mut rq) = (0usize, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (&va, &vb) in ca.iter().zip(cb) {
+            if va.is_finite() && vb.is_finite() {
+                let e = va as f64 - vb as f64;
+                n += 1;
+                es += e;
+                eq += e * e;
+                rs += va as f64;
+                rq += (va as f64) * (va as f64);
+            }
+        }
+        m.covered += n;
+        m.err_sum += es;
+        m.err_sq += eq;
+        m.raw_sum += rs;
+        m.raw_sq += rq;
+    }
+    m
+}
+
+fn fully_finite(f: &ScalarField) -> bool {
+    f.values().iter().all(|v| v.is_finite())
+}
+
+/// [`snr_db`] over only the voxels finite in both fields.
+///
+/// σ_raw and σ_noise are the population standard deviations of the masked
+/// subsets. Delegates to [`snr_db`] (bitwise-identical value) when both
+/// fields are fully finite.
+pub fn snr_db_masked(original: &ScalarField, reconstruction: &ScalarField) -> MaskedScore {
+    if fully_finite(original) && fully_finite(reconstruction) {
+        return MaskedScore {
+            value: snr_db(original, reconstruction),
+            coverage: 1.0,
+        };
+    }
+    let m = masked_moments(original, reconstruction);
+    let coverage = m.covered as f64 / m.total.max(1) as f64;
+    if m.covered < 2 {
+        return MaskedScore {
+            value: f64::NAN,
+            coverage,
+        };
+    }
+    let n = m.covered as f64;
+    let var_raw = (m.raw_sq / n - (m.raw_sum / n).powi(2)).max(0.0);
+    let var_noise = (m.err_sq / n - (m.err_sum / n).powi(2)).max(0.0);
+    let value = if var_raw == 0.0 {
+        f64::NAN
+    } else if var_noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (var_raw / var_noise).log10()
+    };
+    MaskedScore { value, coverage }
+}
+
+/// [`rmse`] over only the voxels finite in both fields. Delegates to
+/// [`rmse`] when both fields are fully finite.
+pub fn rmse_masked(original: &ScalarField, reconstruction: &ScalarField) -> MaskedScore {
+    if fully_finite(original) && fully_finite(reconstruction) {
+        return MaskedScore {
+            value: rmse(original, reconstruction),
+            coverage: 1.0,
+        };
+    }
+    let m = masked_moments(original, reconstruction);
+    let coverage = m.covered as f64 / m.total.max(1) as f64;
+    if m.covered == 0 {
+        return MaskedScore {
+            value: f64::NAN,
+            coverage,
+        };
+    }
+    MaskedScore {
+        value: (m.err_sq / m.covered as f64).sqrt(),
+        coverage,
+    }
+}
+
+/// [`psnr_db`] over only the voxels finite in both fields, with the peak
+/// taken from the masked original. Delegates to [`psnr_db`] when both
+/// fields are fully finite.
+pub fn psnr_db_masked(original: &ScalarField, reconstruction: &ScalarField) -> MaskedScore {
+    if fully_finite(original) && fully_finite(reconstruction) {
+        return MaskedScore {
+            value: psnr_db(original, reconstruction),
+            coverage: 1.0,
+        };
+    }
+    let m = masked_moments(original, reconstruction);
+    let coverage = m.covered as f64 / m.total.max(1) as f64;
+    if m.covered == 0 {
+        return MaskedScore {
+            value: f64::NAN,
+            coverage,
+        };
+    }
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for (&va, &vb) in original.values().iter().zip(reconstruction.values()) {
+        if va.is_finite() && vb.is_finite() {
+            lo = lo.min(va);
+            hi = hi.max(va);
+        }
+    }
+    let range = (hi - lo) as f64;
+    let e = (m.err_sq / m.covered as f64).sqrt();
+    let value = if range == 0.0 {
+        f64::NAN
+    } else if e == 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * (range / e).log10()
+    };
+    MaskedScore { value, coverage }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +347,82 @@ mod tests {
         // constant reconstruction: undefined
         let flat = field(&[5.0; 4]);
         assert!(pearson(&f, &flat).is_nan());
+    }
+
+    #[test]
+    fn masked_metrics_score_partial_reconstruction_finitely() {
+        // A cancelled reconstruction NaN-marks unvisited voxels. The plain
+        // metrics poison into NaN; the masked variants must score the
+        // finite prefix and report how much of the field that covers.
+        let f = field(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let partial = field(&[
+            0.1,
+            0.9,
+            2.1,
+            2.9,
+            f32::NAN,
+            f32::NAN,
+            f32::NAN,
+            f32::NAN,
+        ]);
+        assert!(snr_db(&f, &partial).is_nan());
+        assert!(rmse(&f, &partial).is_nan());
+        assert!(psnr_db(&f, &partial).is_nan());
+
+        let s = snr_db_masked(&f, &partial);
+        assert!(s.value.is_finite(), "masked snr {:?}", s);
+        assert!((s.coverage - 0.5).abs() < 1e-12, "coverage {}", s.coverage);
+        let r = rmse_masked(&f, &partial);
+        assert!((r.value - 0.1).abs() < 1e-6, "masked rmse {}", r.value);
+        assert!((r.coverage - 0.5).abs() < 1e-12);
+        let p = psnr_db_masked(&f, &partial);
+        assert!(p.value.is_finite());
+        assert!((p.coverage - 0.5).abs() < 1e-12);
+        // Peak of the masked original is 3 - 0 = 3; e = 0.1.
+        assert!((p.value - 20.0 * (3.0f64 / 0.1).log10()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn masked_matches_unmasked_on_fully_finite_fields() {
+        let f = field(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let r = field(&[0.05, 1.02, 1.98, 3.01, 3.97, 5.03]);
+        let s = snr_db_masked(&f, &r);
+        assert_eq!(s.coverage, 1.0);
+        assert_eq!(s.value.to_bits(), snr_db(&f, &r).to_bits());
+        let e = rmse_masked(&f, &r);
+        assert_eq!(e.value.to_bits(), rmse(&f, &r).to_bits());
+        let p = psnr_db_masked(&f, &r);
+        assert_eq!(p.value.to_bits(), psnr_db(&f, &r).to_bits());
+    }
+
+    #[test]
+    fn masked_metrics_on_all_nan_reconstruction_report_zero_coverage() {
+        let f = field(&[0.0, 1.0, 2.0, 3.0]);
+        let all_nan = field(&[f32::NAN; 4]);
+        let s = snr_db_masked(&f, &all_nan);
+        assert!(s.value.is_nan());
+        assert_eq!(s.coverage, 0.0);
+        let r = rmse_masked(&f, &all_nan);
+        assert!(r.value.is_nan());
+        assert_eq!(r.coverage, 0.0);
+    }
+
+    #[test]
+    fn masked_snr_agrees_with_plain_snr_on_the_covered_subset() {
+        // Masked SNR over {finite voxels} must equal plain SNR computed on
+        // fields holding just that subset.
+        let f = field(&[0.0, 2.0, 4.0, 6.0]);
+        let partial = field(&[-0.1, 2.1, f32::NAN, f32::NAN]);
+        let masked = snr_db_masked(&f, &partial);
+        let f_sub = field(&[0.0, 2.0]);
+        let r_sub = field(&[-0.1, 2.1]);
+        let plain = snr_db(&f_sub, &r_sub);
+        assert!(
+            (masked.value - plain).abs() < 1e-9,
+            "masked {} vs subset {}",
+            masked.value,
+            plain
+        );
     }
 
     #[test]

@@ -20,11 +20,19 @@ use fv_nn::data::Dataset;
 use fv_nn::serialize;
 use fv_nn::train::{History, Trainer, TrainerConfig};
 use fv_nn::{InferWorkspace, Mlp};
-use fv_runtime::{chaos, ExecCtx, StopReason};
+use fv_runtime::{chaos, telemetry, ExecCtx, StopReason};
 use fv_sampling::{FieldSampler, ImportanceConfig, ImportanceSampler, PointCloud};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::time::Instant;
+
+// Reconstruction telemetry (inert unless FV_TELEMETRY=1): one span per
+// prediction batch under a whole-call parent, plus row/interruption
+// counts.
+static TM_RECON: telemetry::Site = telemetry::Site::new("recon", None);
+static TM_RECON_BATCH: telemetry::Site = telemetry::Site::new("recon.batch", Some("recon"));
+static TM_RECON_ROWS: telemetry::Counter = telemetry::Counter::new("recon.rows");
+static TM_RECON_INTERRUPTED: telemetry::Counter = telemetry::Counter::new("recon.interrupted");
 
 /// Rows per forward pass during reconstruction.
 ///
@@ -426,6 +434,7 @@ impl FcnnPipeline {
         if cloud.is_empty() {
             return Err(CoreError::EmptyCloud);
         }
+        let _span = TM_RECON.span();
         let frame = CoordFrame::of_grid(target);
         let extractor = FeatureExtractor::new(cloud, self.features);
         let mut out = ScalarField::zeros(*target);
@@ -449,6 +458,7 @@ impl FcnnPipeline {
         for chunk in chunks.by_ref() {
             if let Some(reason) = ctx.stop_reason() {
                 status.interrupted = Some(reason);
+                TM_RECON_INTERRUPTED.incr();
                 // NaN-mark this and every remaining chunk's voxels: a NaN
                 // is loud under any downstream finite-scan, a stale zero
                 // would silently pass as data.
@@ -463,6 +473,7 @@ impl FcnnPipeline {
                 break;
             }
             chaos::point("recon.batch");
+            let _batch_span = TM_RECON_BATCH.span();
             extractor.features_for_into(
                 target,
                 &frame,
@@ -476,6 +487,7 @@ impl FcnnPipeline {
                 out.values_mut()[idx] = self.value_norm.denormalize(pred[(row, 0)]);
             }
             status.completed_rows += chunk.len();
+            TM_RECON_ROWS.add(chunk.len() as u64);
         }
         // Post-reconstruction corruption site: models silent memory/media
         // corruption of the finished buffer. Injected NaNs are caught by

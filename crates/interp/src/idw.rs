@@ -56,12 +56,25 @@ impl Reconstructor for IdwReconstructor {
                     } else {
                         let mut wsum = 0.0;
                         let mut acc = 0.0;
+                        let mut overflowed = false;
                         for n in &neighbors {
                             let w = n.dist_sq.powf(half_power).recip();
+                            if !w.is_finite() {
+                                overflowed = true;
+                                break;
+                            }
                             wsum += w;
                             acc += w * values[n.index] as f64;
                         }
-                        acc / wsum
+                        if overflowed || wsum <= 0.0 || !wsum.is_finite() {
+                            // `d^p` under/overflowed: an infinite weight means a
+                            // near-coincident sample dominates, a zero weight sum
+                            // means every neighbor is effectively at infinity.
+                            // The nearest sample is the correct limit of both.
+                            values[neighbors[0].index] as f64
+                        } else {
+                            acc / wsum
+                        }
                     };
                     out[i + nx * j] = v as f32;
                 }
@@ -98,6 +111,57 @@ mod tests {
         let f = ScalarField::zeros(g);
         let cloud = PointCloud::from_indices(&f, vec![]);
         assert!(IdwReconstructor::default().reconstruct(&cloud, &g).is_err());
+    }
+
+    #[test]
+    fn query_exactly_on_a_sample_returns_its_value() {
+        let g = Grid3::new([4, 4, 4]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[0] + 2.0 * p[1] - p[2]) as f32);
+        let cloud = PointCloud::from_indices(&f, vec![0, 21, 42, 63]);
+        let recon = IdwReconstructor::default().reconstruct(&cloud, &g).unwrap();
+        for (pos, &idx) in cloud.indices().iter().enumerate() {
+            assert_eq!(recon.values()[idx], cloud.values()[pos]);
+        }
+    }
+
+    #[test]
+    fn coincident_samples_do_not_poison_the_field() {
+        // Sub-guard spacing: every sample pair sits inside the 1e-12
+        // exact-hit radius, i.e. the samples are coincident as far as the
+        // weights are concerned. No voxel may come out non-finite.
+        let g = Grid3::spanning([2, 2, 2], [0.0; 3], [1e-13; 3]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (1.0 + p[0] * 1e12) as f32);
+        let cloud = PointCloud::from_indices(&f, vec![0, 1, 6]);
+        let recon = IdwReconstructor::default().reconstruct(&cloud, &g).unwrap();
+        for &v in recon.values() {
+            assert!(v.is_finite());
+        }
+        for (pos, &idx) in cloud.indices().iter().enumerate() {
+            assert_eq!(recon.values()[idx], cloud.values()[pos]);
+        }
+    }
+
+    #[test]
+    fn extreme_power_on_tiny_grids_stays_finite() {
+        // Regression: with a large exponent and sub-micron spacing,
+        // `dist_sq^(p/2)` underflows to zero for near-coincident samples, so
+        // the weight overflows to infinity and the blend collapses to NaN.
+        let sampled = Grid3::spanning([2, 2, 2], [0.0; 3], [2e-10; 3]).unwrap();
+        let f = ScalarField::from_world_fn(sampled, |p| (1.0 + p[0] * 1e9) as f32);
+        let cloud = PointCloud::from_indices(&f, (0..8).collect());
+        // Query grid offset by 1e-10 in x: nearest sample sits at
+        // dist_sq = 1e-20, past the exact-hit guard but deep in the
+        // underflow regime for power 32.
+        let target =
+            Grid3::with_geometry([2, 2, 2], [1e-10, 0.0, 0.0], [2e-10; 3]).unwrap();
+        let recon = IdwReconstructor { k: 8, power: 32.0 }
+            .reconstruct(&cloud, &target)
+            .unwrap();
+        let (lo, hi) = f.min_max().unwrap();
+        for &v in recon.values() {
+            assert!(v.is_finite(), "IDW produced a non-finite voxel: {v}");
+            assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+        }
     }
 
     #[test]

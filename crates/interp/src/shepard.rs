@@ -132,6 +132,34 @@ mod tests {
     }
 
     #[test]
+    fn query_exactly_on_a_sample_returns_its_value() {
+        let g = Grid3::new([4, 4, 4]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[0] + 2.0 * p[1] - p[2]) as f32);
+        let cloud = PointCloud::from_indices(&f, vec![0, 21, 42, 63]);
+        let recon = ShepardReconstructor::default().reconstruct(&cloud, &g).unwrap();
+        for (pos, &idx) in cloud.indices().iter().enumerate() {
+            assert_eq!(recon.values()[idx], cloud.values()[pos]);
+        }
+    }
+
+    #[test]
+    fn coincident_samples_do_not_poison_the_field() {
+        // Sub-guard spacing: every sample pair sits inside the 1e-12
+        // exact-hit radius, i.e. the samples are coincident as far as the
+        // weights are concerned. No voxel may come out non-finite.
+        let g = Grid3::spanning([2, 2, 2], [0.0; 3], [1e-13; 3]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (1.0 + p[0] * 1e12) as f32);
+        let cloud = PointCloud::from_indices(&f, vec![0, 1, 6]);
+        let recon = ShepardReconstructor::default().reconstruct(&cloud, &g).unwrap();
+        for &v in recon.values() {
+            assert!(v.is_finite());
+        }
+        for (pos, &idx) in cloud.indices().iter().enumerate() {
+            assert_eq!(recon.values()[idx], cloud.values()[pos]);
+        }
+    }
+
+    #[test]
     fn constant_field_reconstructs_exactly() {
         let g = Grid3::new([6, 6, 6]).unwrap();
         let f = ScalarField::filled(g, -3.25);

@@ -324,7 +324,7 @@ impl<T: Scalar> Matrix<T> {
 
     /// Parallel `self^T * rhs`: fixed-size row blocks are reduced through
     /// per-block accumulators summed in block order. Block geometry comes
-    /// from [`row_block`], so in deterministic mode the result is bitwise
+    /// from `row_block`, so in deterministic mode the result is bitwise
     /// identical at any thread count.
     pub fn par_transpose_a_matmul(&self, rhs: &Self) -> Result<Self, LinalgError> {
         if self.rows != rhs.rows {
@@ -578,8 +578,8 @@ impl<T: Scalar> Matrix<T> {
     /// buffer for the per-block partial products.
     ///
     /// The reduction geometry is a pure function of the row count — below
-    /// [`PAR_MIN_ROWS`] rank-1 updates accumulate straight into `out`,
-    /// otherwise [`row_block`]-sized blocks produce partials that are summed
+    /// `PAR_MIN_ROWS` rank-1 updates accumulate straight into `out`,
+    /// otherwise `row_block`-sized blocks produce partials that are summed
     /// in block order — so results are bitwise-identical to
     /// [`Self::par_transpose_a_matmul`] at any thread count, whether the
     /// block loop runs inline or on the pool.
@@ -652,7 +652,7 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Replicates the runtime's deterministic reduction exactly: rows are cut
     /// into the same fixed leaves `fv_runtime::chunk_size` would produce,
-    /// each leaf sums its rows in order, and [`tree_combine`] folds the
+    /// each leaf sums its rows in order, and `tree_combine` folds the
     /// leaves along the facade's split tree — so this is bitwise-identical
     /// to the historical `par_chunks(cols).fold(..).reduce(..)` bias
     /// gradient at any thread count, inline or on the pool.

@@ -22,10 +22,25 @@ use crate::optim::{Adam, Optimizer};
 use crate::schedule::LrSchedule;
 use crate::workspace::TrainWorkspace;
 use fv_runtime::chaos;
-use fv_runtime::{ExecCtx, StopReason};
+use fv_runtime::{telemetry, ExecCtx, StopReason};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
+
+// Per-phase training telemetry (inert unless FV_TELEMETRY=1). The phase
+// sites reuse the stopwatches the loop already keeps for
+// `History::timings`, so enabling telemetry adds no extra clock reads on
+// the phase boundaries — only the whole-step span reads the clock once
+// more per batch, and only while enabled.
+static TM_STEP: telemetry::Site = telemetry::Site::new("train.step", None);
+static TM_DATA: telemetry::Site = telemetry::Site::new("train.step.data", Some("train.step"));
+static TM_FORWARD: telemetry::Site =
+    telemetry::Site::new("train.step.forward", Some("train.step"));
+static TM_BACKWARD: telemetry::Site =
+    telemetry::Site::new("train.step.backward", Some("train.step"));
+static TM_OPTIM: telemetry::Site = telemetry::Site::new("train.step.optim", Some("train.step"));
+static TM_EPOCHS: telemetry::Counter = telemetry::Counter::new("train.epochs");
+static TM_SKIPPED: telemetry::Counter = telemetry::Counter::new("train.skipped_batches");
 
 /// Trainer hyper-parameters.
 #[derive(Debug, Clone)]
@@ -276,6 +291,7 @@ impl Trainer {
             .then(|| GuardState::new(cfg.guard, mlp.layers()));
 
         for epoch in 0..cfg.epochs {
+            TM_EPOCHS.incr();
             let lr = cfg.schedule.rate(cfg.learning_rate, epoch, cfg.epochs);
             optimizer.lr = lr;
             history.learning_rates.push(lr);
@@ -297,12 +313,15 @@ impl Trainer {
                 ws.load_batch(data, batch_rows);
                 let t1 = Instant::now();
                 history.timings.data_s += (t1 - t0).as_secs_f64();
+                TM_DATA.record_duration(t1 - t0);
                 mlp.forward_workspace(&mut ws)?;
                 let t2 = Instant::now();
                 history.timings.forward_s += (t2 - t1).as_secs_f64();
+                TM_FORWARD.record_duration(t2 - t1);
                 let batch_loss = cfg.loss.value(ws.prediction(), ws.target());
                 if guard.is_some() && !batch_loss.is_finite() {
                     skipped += 1;
+                    TM_SKIPPED.incr();
                     continue;
                 }
                 epoch_loss += batch_loss as f64;
@@ -314,12 +333,19 @@ impl Trainer {
                 }
                 if guard.is_some() && !grads_are_finite(ws.grads()) {
                     skipped += 1;
+                    TM_SKIPPED.incr();
                     continue;
                 }
                 let t3 = Instant::now();
                 history.timings.backward_s += (t3 - t2).as_secs_f64();
+                TM_BACKWARD.record_duration(t3 - t2);
                 optimizer.step(mlp.layers_mut(), ws.grads());
-                history.timings.optim_s += t3.elapsed().as_secs_f64();
+                let optim = t3.elapsed();
+                history.timings.optim_s += optim.as_secs_f64();
+                TM_OPTIM.record_duration(optim);
+                if telemetry::enabled() {
+                    TM_STEP.record_duration(t0.elapsed());
+                }
             }
             if history.interrupted.is_some() {
                 // Mid-epoch stop: record the partial epoch's mean loss when

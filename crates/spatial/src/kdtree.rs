@@ -11,10 +11,16 @@
 //! overflow the call stack.
 
 use fv_runtime::granularity::{go_parallel, OpCounter};
+use fv_runtime::telemetry;
 use rayon::prelude::*;
 use std::collections::BinaryHeap;
 
 static OP_KNN_BATCH: OpCounter = OpCounter::new("spatial.knn_batch");
+
+// Batch-query telemetry (inert unless FV_TELEMETRY=1): one span per
+// batched call plus the number of query rows answered.
+static TM_KNN_BATCH: telemetry::Site = telemetry::Site::new("spatial.knn_batch", None);
+static TM_KNN_QUERIES: telemetry::Counter = telemetry::Counter::new("spatial.knn_queries");
 
 /// Index type for points; u32 keeps nodes compact (4 G points is far beyond
 /// any cloud this workspace handles).
@@ -297,6 +303,8 @@ impl KdTree {
         ctx: &fv_runtime::ExecCtx,
     ) -> (usize, usize) {
         use std::sync::atomic::{AtomicUsize, Ordering};
+        let _span = TM_KNN_BATCH.span();
+        TM_KNN_QUERIES.add(queries.len() as u64);
         let stride = k.min(self.len);
         out.clear();
         out.resize(

@@ -20,6 +20,11 @@ fi
 echo "=== clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets "${MODE[@]}" -- -D warnings
 
+echo "=== rustdoc (deny warnings) ==="
+# Broken intra-doc links and malformed doc comments fail the gate: the API
+# docs are the contract surface for every crate in the workspace.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "=== tests (FV_THREADS=1) ==="
 FV_THREADS=1 cargo test --workspace -q "${MODE[@]}"
 
@@ -54,5 +59,41 @@ if t[4] > 1.10 * t[1]:
     sys.exit(f"runtime smoke: 4-thread training regressed: {t[4]:.3f}s vs {t[1]:.3f}s at 1 thread")
 print(f"runtime smoke ok: train 1T={t[1]:.3f}s 4T={t[4]:.3f}s, all rows bitwise-identical")
 EOF
+
+echo "=== telemetry smoke (zero-cost when disabled, bitwise-identical when enabled) ==="
+# Re-run the runtime experiment with FV_TELEMETRY=1 and hold the
+# observability layer to its contract: identical SNR per row (recording
+# must never perturb the numerics), a telemetry section present in the
+# JSON covering the pool / training / kNN / reconstruction / in-situ
+# sites, and a 1-thread training wall-clock within 25% of the disabled
+# run. Measured overhead is ~3%; the generous slack absorbs co-tenant
+# noise on shared CI machines while still catching an accidentally hot
+# always-on path (those cost multiples, not percents).
+cp BENCH_runtime.json BENCH_runtime_disabled.json
+FV_TELEMETRY=1 cargo run --release -q -p fv-bench --bin exp_runtime > /dev/null
+python3 - <<'EOF'
+import json, sys
+off = json.load(open("BENCH_runtime_disabled.json"))
+on = json.load(open("BENCH_runtime.json"))
+if "telemetry" in off:
+    sys.exit("telemetry smoke: disabled run exported a telemetry section")
+if "telemetry" not in on:
+    sys.exit("telemetry smoke: enabled run is missing the telemetry section")
+for a, b in zip(off["rows"], on["rows"]):
+    if a["snr_db"] != b["snr_db"] or not b["bitwise_match"]:
+        sys.exit(f"telemetry smoke: numerics diverged at threads={a['threads']}")
+names = {s["name"] for s in on["telemetry"]["sites"]}
+names |= {c["name"] for c in on["telemetry"]["counters"]}
+want = {"pool.jobs", "train.step", "spatial.knn_batch", "core.feature_build", "recon", "insitu.step"}
+missing = want - names
+if missing:
+    sys.exit(f"telemetry smoke: expected sites missing from snapshot: {sorted(missing)}")
+t_off = {r["threads"]: r["train_s"] for r in off["rows"]}
+t_on = {r["threads"]: r["train_s"] for r in on["rows"]}
+if t_on[1] > 1.25 * t_off[1]:
+    sys.exit(f"telemetry smoke: enabled training too slow: {t_on[1]:.3f}s vs {t_off[1]:.3f}s disabled")
+print(f"telemetry smoke ok: {len(names)} instruments, train 1T {t_off[1]:.3f}s -> {t_on[1]:.3f}s enabled")
+EOF
+rm -f BENCH_runtime_disabled.json
 
 echo "CI gate passed."

@@ -230,6 +230,81 @@ proptest! {
         }
     }
 
+    /// Clouds smaller than `k` must take one consistent padded path
+    /// everywhere. The batched kNN (`k_nearest_batch_into`, stride
+    /// `k.min(len)`) must agree bitwise with per-query `k_nearest`, and the
+    /// `[1×23]` feature rows built on top of it must equal rows hand-built
+    /// from single queries plus the repeat-last-neighbor padding rule.
+    #[test]
+    fn tiny_clouds_pad_knn_and_features_identically(
+        field in arb_field(),
+        n_samples in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use fillvoid::core::features::{FeatureConfig, FeatureExtractor};
+        use fillvoid::core::normalize::{CoordFrame, ValueNorm};
+
+        let grid = *field.grid();
+        let total = grid.num_points();
+        let picks: Vec<usize> = (0..n_samples)
+            .map(|i| ((seed >> (i * 9)) as usize).wrapping_add(i * 37) % total)
+            .collect();
+        let cloud = PointCloud::from_indices(&field, picks);
+        prop_assume!(!cloud.is_empty());
+
+        let config = FeatureConfig::default();
+        let k = config.k;
+        prop_assume!(cloud.len() < k); // the under-filled neighborhood path
+
+        let tree = KdTree::build(cloud.positions());
+        let queries: Vec<usize> = (0..total).step_by(total / 7 + 1).collect();
+        let qpos: Vec<[f64; 3]> = queries.iter().map(|&q| grid.world_linear(q)).collect();
+
+        // Batched kNN agrees bitwise with single queries, at the documented
+        // truncated stride.
+        let mut flat = Vec::new();
+        let mut knn_scratch = Vec::new();
+        let stride = tree.k_nearest_batch_into(
+            cloud.positions(), &qpos, k, &mut flat, &mut knn_scratch,
+        );
+        prop_assert_eq!(stride, k.min(cloud.len()));
+        for (r, &p) in qpos.iter().enumerate() {
+            let single = tree.k_nearest(cloud.positions(), p, k);
+            prop_assert_eq!(single.len(), stride);
+            let batch = &flat[r * stride..(r + 1) * stride];
+            for (s, b) in single.iter().zip(batch) {
+                prop_assert_eq!(s.index, b.index);
+                prop_assert_eq!(s.dist_sq.to_bits(), b.dist_sq.to_bits());
+            }
+        }
+
+        // Feature rows are [1×23] and match a hand-built reference that
+        // repeats the last neighbor into the missing slots.
+        let frame = CoordFrame::of_grid(&grid);
+        let values = ValueNorm::fit(cloud.values());
+        let m = FeatureExtractor::new(&cloud, config)
+            .features_for(&grid, &frame, &values, &queries);
+        prop_assert_eq!(m.cols(), config.input_width());
+        prop_assert_eq!(m.cols(), 23);
+        for (r, &p) in qpos.iter().enumerate() {
+            let row = m.row(r);
+            let single = tree.k_nearest(cloud.positions(), p, k);
+            let up = frame.to_unit(p);
+            for slot in 0..k {
+                let n = single.get(slot).or_else(|| single.last()).unwrap();
+                let un = frame.to_unit(cloud.positions()[n.index]);
+                for a in 0..3 {
+                    prop_assert_eq!(row[slot * 4 + a].to_bits(), un[a].to_bits());
+                }
+                let nv = values.normalize(cloud.values()[n.index]);
+                prop_assert_eq!(row[slot * 4 + 3].to_bits(), nv.to_bits());
+            }
+            for a in 0..3 {
+                prop_assert_eq!(row[k * 4 + a].to_bits(), up[a].to_bits());
+            }
+        }
+    }
+
     #[test]
     fn grid_index_agrees_with_kdtree_on_clouds(field in arb_field(), fraction in 0.05f64..0.5, seed in any::<u64>()) {
         let cloud = ImportanceSampler::default().sample(&field, fraction, seed);

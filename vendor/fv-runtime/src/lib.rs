@@ -31,6 +31,10 @@
 //! * [`chaos`] — a seeded, deterministic fault-injection engine with named
 //!   sites across the workspace (zero-cost while disabled).
 //! * [`retry`] — deterministic exponential backoff for transient I/O.
+//! * [`telemetry`] — zero-dependency structured observability (named
+//!   spans, counters, gauges, log2 latency histograms) across the whole
+//!   workspace; off unless `FV_TELEMETRY=1`, and inert (one relaxed load
+//!   per site) while off.
 //!
 //! ## Configuration
 //!
@@ -62,6 +66,7 @@ mod par;
 mod pool;
 pub mod retry;
 mod scope;
+pub mod telemetry;
 
 pub use cancel::{CancelToken, Deadline, ExecCtx, StopReason};
 pub use par::{chunk_size, par_for, par_map, par_reduce, split_point, SendPtr, DETERMINISTIC_CHUNKS};

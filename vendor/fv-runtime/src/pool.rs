@@ -4,6 +4,7 @@
 use crate::deque::{deque, Stealer, Worker};
 use crate::job::{JobRef, StackJob};
 use crate::latch::Latch;
+use crate::telemetry;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
@@ -15,6 +16,16 @@ use std::time::Duration;
 /// Upper bound on worker count — a typo in `FV_THREADS` should not try to
 /// spawn a million threads.
 const MAX_THREADS: usize = 512;
+
+// Scheduler telemetry (inert unless FV_TELEMETRY=1). `pool.jobs` counts
+// every dequeue (local pop, injector pop, or steal — each dequeued job is
+// executed exactly once); steals and injector pops are also broken out so
+// a snapshot shows how much work actually migrated between workers.
+static TM_JOBS: telemetry::Counter = telemetry::Counter::new("pool.jobs");
+static TM_STEALS: telemetry::Counter = telemetry::Counter::new("pool.steals");
+static TM_INJECTOR_POPS: telemetry::Counter = telemetry::Counter::new("pool.injector_pops");
+static TM_PARKS: telemetry::Counter = telemetry::Counter::new("pool.parks");
+static TM_WORKERS: telemetry::Gauge = telemetry::Gauge::new("pool.workers");
 
 /// Supervisor counters, shared by all of a pool's workers.
 #[derive(Default)]
@@ -140,15 +151,20 @@ impl WorkerCtx {
     /// round-robin from the other workers (FIFO from each).
     fn find_work(&self) -> Option<JobRef> {
         if let Some(job) = self.local.pop() {
+            TM_JOBS.incr();
             return Some(job);
         }
         if let Some(job) = self.state.pop_injected() {
+            TM_JOBS.incr();
+            TM_INJECTOR_POPS.incr();
             return Some(job);
         }
         let n = self.state.stealers.len();
         for k in 1..n {
             let victim = (self.index + k) % n;
             if let Some(job) = self.state.stealers[victim].steal() {
+                TM_JOBS.incr();
+                TM_STEALS.incr();
                 return Some(job);
             }
         }
@@ -260,6 +276,7 @@ fn worker_loop(ctx: &WorkerCtx, pending: &Cell<Option<JobRef>>) {
             return;
         }
         {
+            TM_PARKS.incr();
             let mut guard = state.sleep_lock.lock().unwrap();
             while *guard == epoch && !state.shutdown.load(Ordering::SeqCst) {
                 guard = state.sleep_cond.wait(guard).unwrap();
@@ -312,6 +329,7 @@ impl Pool {
                     .expect("spawn pool worker")
             })
             .collect();
+        TM_WORKERS.set(n_threads as u64);
         Self { state, handles }
     }
 

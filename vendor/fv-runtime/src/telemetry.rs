@@ -1,0 +1,612 @@
+//! Zero-dependency structured observability: named sites, atomic
+//! counters/gauges, and span timings with log2 latency histograms.
+//!
+//! The layer is the runtime's answer to "where did the time go?" without
+//! dragging in `tracing` or `metrics` crates: every instrument is a
+//! `static` declared at its use site, self-registering into a process-wide
+//! registry on first touch (the same idiom as [`crate::granularity`]'s
+//! `OpCounter`). Recording is three relaxed atomic ops on the hot path and
+//! **nothing at all when disabled** — every entry point first checks the
+//! `FV_TELEMETRY` flag (one relaxed load, branch-predicted off), so the
+//! zero-allocation guarantees of the workspace layer hold verbatim with
+//! telemetry compiled in.
+//!
+//! Determinism: instruments only read the monotonic clock and bump
+//! atomics. They never influence chunk geometry, accumulation order, or
+//! any other computed value, so results are bitwise-identical with
+//! telemetry on or off. This is load-bearing for the bench's cross-width
+//! bitwise checks and is asserted by `scripts/ci.sh`.
+//!
+//! # Vocabulary
+//!
+//! * [`Site`] — a named code region timed by [`Site::span`] (an RAII
+//!   guard) or fed pre-measured durations via [`Site::record_duration`].
+//!   Each site keeps count / total / min / max nanoseconds plus a 32-way
+//!   log2 histogram. Sites may name a `parent`, giving the snapshot a
+//!   static hierarchy (e.g. `train.step` → `train.step.forward`).
+//! * [`Counter`] — a monotonically increasing event count.
+//! * [`Gauge`] — a last-value-plus-high-watermark measurement.
+//!
+//! # Export
+//!
+//! [`snapshot`] returns every registered instrument sorted by name;
+//! [`Snapshot::to_json`] renders it machine-readable (merged into
+//! `BENCH_runtime.json` by the runtime bench) and [`summary`] renders a
+//! human-readable table for end-of-run printing under `FV_TELEMETRY=1`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Number of log2 nanosecond buckets per site histogram. Bucket `i` holds
+/// durations in `[2^(i-1), 2^i)` ns (bucket 0 is `< 1` ns); the last
+/// bucket absorbs everything longer (~2.1 s and up).
+pub const HIST_BUCKETS: usize = 32;
+
+// Enablement is a tri-state so tests can override the environment:
+// 0 = undecided (read FV_TELEMETRY on first use), 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether telemetry recording is enabled for this process.
+///
+/// Decided once from the `FV_TELEMETRY` environment variable (`1` or
+/// `true`); afterwards a single relaxed load. Every recording entry point
+/// checks this first, so a disabled process performs no atomic writes, no
+/// clock reads, and no registration on any hot path.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        0 => init_from_env(),
+        s => s == 2,
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = matches!(
+        std::env::var("FV_TELEMETRY").as_deref(),
+        Ok("1") | Ok("true")
+    );
+    // A racing override wins; we only move out of the undecided state.
+    let _ = STATE.compare_exchange(0, if on { 2 } else { 1 }, Ordering::Relaxed, Ordering::Relaxed);
+    STATE.load(Ordering::Relaxed) == 2
+}
+
+/// Force telemetry on or off, overriding `FV_TELEMETRY`. Intended for
+/// tests and benches; takes effect immediately for subsequent recordings.
+#[doc(hidden)]
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+struct Registry {
+    sites: Mutex<Vec<&'static Site>>,
+    counters: Mutex<Vec<&'static Counter>>,
+    gauges: Mutex<Vec<&'static Gauge>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        sites: Mutex::new(Vec::new()),
+        counters: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
+    })
+}
+
+/// A named, timed code region.
+///
+/// Declare as a `static` next to the code it measures:
+///
+/// ```
+/// use fv_runtime::telemetry::Site;
+/// static RECON_BATCH: Site = Site::new("recon.batch", Some("recon"));
+/// fn hot() {
+///     let _span = RECON_BATCH.span();
+///     // ... work ...
+/// }
+/// ```
+pub struct Site {
+    name: &'static str,
+    parent: Option<&'static str>,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    registered: AtomicBool,
+}
+
+impl Site {
+    /// A new site named `name`, optionally nested under `parent` (the
+    /// parent's `name`). Purely declarative — nothing is registered until
+    /// the first recording.
+    pub const fn new(name: &'static str, parent: Option<&'static str>) -> Self {
+        Self {
+            name,
+            parent,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Open a timed span; the elapsed monotonic time is recorded when the
+    /// returned guard drops. When telemetry is disabled the guard is inert
+    /// and the clock is never read.
+    #[inline]
+    pub fn span(&'static self) -> SpanGuard {
+        SpanGuard {
+            site: self,
+            start: if enabled() { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// Record an externally measured duration (for code that already
+    /// times itself, e.g. the trainer's per-phase stopwatches).
+    #[inline]
+    pub fn record_duration(&'static self, d: Duration) {
+        if enabled() {
+            self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        registry().sites.lock().unwrap().push(self);
+    }
+
+    fn record_ns(&'static self, ns: u64) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            self.register();
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let bucket = (64 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&'static self) -> SiteStats {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min_ns.load(Ordering::Relaxed);
+        SiteStats {
+            name: self.name,
+            parent: self.parent,
+            count,
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 { 0 } else { min },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    fn reset(&'static self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// RAII guard returned by [`Site::span`]; records on drop.
+pub struct SpanGuard {
+    site: &'static Site,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.site.record_ns(ns);
+        }
+    }
+}
+
+/// A monotonically increasing event counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new counter named `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Add `n` events. No-op (one relaxed load) when telemetry is off.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if enabled() {
+            if !self.registered.swap(true, Ordering::Relaxed) {
+                registry().counters.lock().unwrap().push(self);
+            }
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+}
+
+/// A last-value measurement that also tracks its high watermark.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A new gauge named `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Record the current value. No-op when telemetry is off.
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if enabled() {
+            if !self.registered.swap(true, Ordering::Relaxed) {
+                registry().gauges.lock().unwrap().push(self);
+            }
+            self.value.store(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time statistics for one [`Site`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Site name (dotted hierarchy by convention, e.g. `train.step`).
+    pub name: &'static str,
+    /// Name of the enclosing site, if the site declared one.
+    pub parent: Option<&'static str>,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Sum of recorded span durations in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest recorded span (0 when nothing was recorded).
+    pub min_ns: u64,
+    /// Longest recorded span.
+    pub max_ns: u64,
+    /// log2 latency histogram; bucket `i` counts spans in
+    /// `[2^(i-1), 2^i)` ns.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+/// Point-in-time value of one [`Counter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterStats {
+    /// Counter name.
+    pub name: &'static str,
+    /// Accumulated event count.
+    pub value: u64,
+}
+
+/// Point-in-time value of one [`Gauge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeStats {
+    /// Gauge name.
+    pub name: &'static str,
+    /// Most recently recorded value.
+    pub value: u64,
+    /// Largest value recorded since the last reset.
+    pub max: u64,
+}
+
+/// A consistent-enough snapshot of every registered instrument (individual
+/// loads are relaxed; recording may race the snapshot, which is fine for
+/// reporting).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All registered sites, sorted by name.
+    pub sites: Vec<SiteStats>,
+    /// All registered counters, sorted by name.
+    pub counters: Vec<CounterStats>,
+    /// All registered gauges, sorted by name.
+    pub gauges: Vec<GaugeStats>,
+}
+
+impl Snapshot {
+    /// Render the snapshot as a self-contained JSON object (no external
+    /// serializer; the runtime is dependency-free by design). Histogram
+    /// buckets are emitted sparsely as `[bucket_index, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"sites\": [");
+        for (i, site) in self.sites.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let hist: Vec<String> = site
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(b, &c)| format!("[{b}, {c}]"))
+                .collect();
+            s.push_str(&format!(
+                "{{\"name\": \"{}\", \"parent\": {}, \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"hist_log2_ns\": [{}]}}",
+                site.name,
+                match site.parent {
+                    Some(p) => format!("\"{p}\""),
+                    None => "null".to_string(),
+                },
+                site.count,
+                site.total_ns,
+                site.min_ns,
+                site.max_ns,
+                hist.join(", "),
+            ));
+        }
+        s.push_str("], \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{{\"name\": \"{}\", \"value\": {}}}", c.name, c.value));
+        }
+        s.push_str("], \"gauges\": [");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"name\": \"{}\", \"value\": {}, \"max\": {}}}",
+                g.name, g.value, g.max
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Collect every registered instrument, sorted by name.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let mut sites: Vec<SiteStats> = reg
+        .sites
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|s| s.stats())
+        .collect();
+    sites.sort_by_key(|s| s.name);
+    let mut counters: Vec<CounterStats> = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| CounterStats {
+            name: c.name,
+            value: c.value.load(Ordering::Relaxed),
+        })
+        .collect();
+    counters.sort_by_key(|c| c.name);
+    let mut gauges: Vec<GaugeStats> = reg
+        .gauges
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|g| GaugeStats {
+            name: g.name,
+            value: g.value.load(Ordering::Relaxed),
+            max: g.max.load(Ordering::Relaxed),
+        })
+        .collect();
+    gauges.sort_by_key(|g| g.name);
+    Snapshot {
+        sites,
+        counters,
+        gauges,
+    }
+}
+
+/// Zero every registered instrument (registration itself is permanent).
+/// Benches call this between runs so each width reports its own numbers.
+pub fn reset() {
+    let reg = registry();
+    for s in reg.sites.lock().unwrap().iter() {
+        s.reset();
+    }
+    for c in reg.counters.lock().unwrap().iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for g in reg.gauges.lock().unwrap().iter() {
+        g.value.store(0, Ordering::Relaxed);
+        g.max.store(0, Ordering::Relaxed);
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Render a human-readable end-of-run summary: sites as an indented tree
+/// (children under their declared parent), then counters and gauges.
+/// Returns an empty string when nothing was recorded.
+pub fn summary() -> String {
+    let snap = snapshot();
+    if snap.sites.is_empty() && snap.counters.is_empty() && snap.gauges.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("# telemetry\n");
+    // Roots first (no parent, or parent never registered), then children.
+    let registered: Vec<&'static str> = snap.sites.iter().map(|s| s.name).collect();
+    let is_root =
+        |s: &SiteStats| s.parent.is_none() || !registered.contains(&s.parent.unwrap());
+    fn emit(out: &mut String, snap: &Snapshot, site: &SiteStats, depth: usize) {
+        let mean = site.total_ns.checked_div(site.count).unwrap_or(0);
+        out.push_str(&format!(
+            "#   {:indent$}{:<28} count {:>8}  total {:>10}  mean {:>9}  min {:>9}  max {:>9}\n",
+            "",
+            site.name,
+            site.count,
+            fmt_ns(site.total_ns),
+            fmt_ns(mean),
+            fmt_ns(site.min_ns),
+            fmt_ns(site.max_ns),
+            indent = depth * 2,
+        ));
+        for child in snap.sites.iter().filter(|c| c.parent == Some(site.name)) {
+            emit(out, snap, child, depth + 1);
+        }
+    }
+    for site in snap.sites.iter().filter(|s| is_root(s)) {
+        emit(&mut out, &snap, site, 0);
+    }
+    for c in &snap.counters {
+        out.push_str(&format!("#   {:<30} {:>10}\n", c.name, c.value));
+    }
+    for g in &snap.gauges {
+        out.push_str(&format!(
+            "#   {:<30} {:>10}  (max {})\n",
+            g.name, g.value, g.max
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests mutate the process-wide enable flag; serialize them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    static T_SITE: Site = Site::new("test.site", None);
+    static T_CHILD: Site = Site::new("test.site.child", Some("test.site"));
+    static T_COUNTER: Counter = Counter::new("test.counter");
+    static T_GAUGE: Gauge = Gauge::new("test.gauge");
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        T_SITE.record_duration(Duration::from_micros(5));
+        T_COUNTER.incr();
+        T_GAUGE.set(7);
+        {
+            let _span = T_SITE.span();
+        }
+        let snap = snapshot();
+        assert!(snap.sites.iter().all(|s| s.name != "test.site" || s.count == 0));
+        assert!(snap
+            .counters
+            .iter()
+            .all(|c| c.name != "test.counter" || c.value == 0));
+    }
+
+    #[test]
+    fn enabled_records_and_resets() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        T_SITE.record_duration(Duration::from_nanos(100));
+        T_SITE.record_duration(Duration::from_nanos(300));
+        T_CHILD.record_duration(Duration::from_nanos(50));
+        T_COUNTER.add(3);
+        T_GAUGE.set(4);
+        T_GAUGE.set(2);
+        let snap = snapshot();
+        let site = snap.sites.iter().find(|s| s.name == "test.site").unwrap();
+        assert_eq!(site.count, 2);
+        assert_eq!(site.total_ns, 400);
+        assert_eq!(site.min_ns, 100);
+        assert_eq!(site.max_ns, 300);
+        assert_eq!(site.buckets.iter().sum::<u64>(), 2);
+        let child = snap
+            .sites
+            .iter()
+            .find(|s| s.name == "test.site.child")
+            .unwrap();
+        assert_eq!(child.parent, Some("test.site"));
+        let c = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "test.counter")
+            .unwrap();
+        assert_eq!(c.value, 3);
+        let g = snap.gauges.iter().find(|g| g.name == "test.gauge").unwrap();
+        assert_eq!(g.value, 2);
+        assert_eq!(g.max, 4);
+
+        let rendered = summary();
+        assert!(rendered.contains("test.site"));
+        assert!(rendered.contains("test.counter"));
+        let json = snap.to_json();
+        assert!(json.contains("\"name\": \"test.site\""));
+        assert!(json.contains("\"parent\": \"test.site\""));
+
+        reset();
+        let snap = snapshot();
+        let site = snap.sites.iter().find(|s| s.name == "test.site").unwrap();
+        assert_eq!(site.count, 0);
+        assert_eq!(site.total_ns, 0);
+        assert_eq!(site.min_ns, 0);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn span_guard_measures_elapsed_time() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        {
+            let _span = T_SITE.span();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = snapshot();
+        let site = snap.sites.iter().find(|s| s.name == "test.site").unwrap();
+        assert_eq!(site.count, 1);
+        assert!(site.total_ns >= 1_000_000, "slept 2ms, saw {}ns", site.total_ns);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        // 1ns -> bucket 1 (64 - 63 leading zeros); 1024ns -> bucket 11.
+        T_SITE.record_duration(Duration::from_nanos(1));
+        T_SITE.record_duration(Duration::from_nanos(1024));
+        let snap = snapshot();
+        let site = snap.sites.iter().find(|s| s.name == "test.site").unwrap();
+        assert_eq!(site.buckets[1], 1);
+        assert_eq!(site.buckets[11], 1);
+        set_enabled(false);
+    }
+}
