@@ -118,6 +118,44 @@ fn main() {
         last_model = Some(model);
     }
 
+    // Out-of-core bricked segment: one streamed pass over the same volume
+    // with the final width's model, so the brick.* telemetry sites (and
+    // their counters) land in the exported snapshot next to the dense-path
+    // instruments, and the bitwise contract is checked one more time
+    // against the whole-grid reference.
+    let brick_dir = std::env::temp_dir().join(format!("fv_exp_runtime_brick_{}", std::process::id()));
+    std::fs::remove_dir_all(&brick_dir).ok();
+    let dims = field.grid().dims();
+    let brick_cfg = fillvoid_core::BrickReconConfig {
+        brick_dims: [
+            dims[0].div_ceil(3).max(1),
+            dims[1].div_ceil(3).max(1),
+            dims[2].div_ceil(3).max(1),
+        ],
+        ..Default::default()
+    };
+    let t_brick = Instant::now();
+    let (brick_store, brick_report) = fillvoid_core::reconstruct_bricked(
+        last_model.as_ref().expect("at least one width ran"),
+        &cloud,
+        field.grid(),
+        &brick_dir,
+        &brick_cfg,
+        &fv_runtime::ExecCtx::unbounded(),
+    )
+    .expect("bricked reconstruction");
+    let brick_s = t_brick.elapsed().as_secs_f64();
+    let brick_bits_match = reference_bits.as_ref().is_some_and(|reference| {
+        let assembled = brick_store.assemble().expect("assemble bricks");
+        assembled
+            .values()
+            .iter()
+            .map(|v| v.to_bits())
+            .eq(reference.iter().copied())
+    });
+    drop(brick_store);
+    std::fs::remove_dir_all(&brick_dir).ok();
+
     // Supervised in-situ segment: a short session under a per-step
     // deadline, so the run reports the supervision counters (deadline
     // misses, caught panics, checkpoint retries, breaker position) next
@@ -229,6 +267,15 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
+    println!("\n# Out-of-core bricked segment ({} bricks of {:?})", brick_report.total_bricks, brick_cfg.brick_dims);
+    println!(
+        "#   {} in {}, peak in-flight {} B, max halo {}, bitwise {}",
+        brick_report.completed,
+        secs(brick_s),
+        brick_report.peak_inflight_bytes,
+        brick_report.max_halo,
+        if brick_bits_match { "match" } else { "DIVERGED" },
+    );
     println!("\n# Supervised in-situ segment ({insitu_steps} steps, 30 s step budget)");
     println!(
         "#   {} deadline misses, {} panics caught, {} checkpoint retries, {} fallback steps, breaker {}, pool: {} panics caught / {} worker restarts",
@@ -250,7 +297,19 @@ fn main() {
         String::new()
     };
     json.push_str(&format!(
-        "  ],\n  \"insitu\": {{\"steps\": {}, \"seconds\": {:.6}, \"deadline_misses\": {}, \"panics_caught\": {}, \"io_retries\": {}, \"fallback_steps\": {}, \"breaker\": \"{}\", \"pool_panics_caught\": {}, \"pool_worker_restarts\": {}}}{}\n}}\n",
+        "  ],\n  \"brick\": {{\"total_bricks\": {}, \"brick_dims\": [{}, {}, {}], \"seconds\": {:.6}, \"peak_inflight_bytes\": {}, \"halo_bytes\": {}, \"max_halo\": {}, \"bitwise_match\": {}}},\n",
+        brick_report.total_bricks,
+        brick_cfg.brick_dims[0],
+        brick_cfg.brick_dims[1],
+        brick_cfg.brick_dims[2],
+        brick_s,
+        brick_report.peak_inflight_bytes,
+        brick_report.halo_bytes,
+        brick_report.max_halo,
+        brick_bits_match,
+    ));
+    json.push_str(&format!(
+        "  \"insitu\": {{\"steps\": {}, \"seconds\": {:.6}, \"deadline_misses\": {}, \"panics_caught\": {}, \"io_retries\": {}, \"fallback_steps\": {}, \"breaker\": \"{}\", \"pool_panics_caught\": {}, \"pool_worker_restarts\": {}}}{}\n}}\n",
         insitu_steps,
         insitu_s,
         deadline_misses,
@@ -272,7 +331,7 @@ fn main() {
         .expect("write BENCH_runtime.json");
     println!("# wrote {path}");
 
-    if rows.iter().any(|r| !r.bits_match) {
+    if rows.iter().any(|r| !r.bits_match) || !brick_bits_match {
         eprintln!("error: reconstruction diverged across thread counts");
         std::process::exit(1);
     }

@@ -69,16 +69,15 @@ impl CheckpointStore {
         }
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(io_err)?;
+        // Interrupted atomic saves leave `*.tmp` debris (the real file was
+        // never renamed); sweep it before indexing, via the shared helper
+        // every crash-safe store in the workspace uses.
+        fv_field::io::sweep_tmp_files(&dir).map_err(io_err)?;
         let mut generations = Vec::new();
         for entry in std::fs::read_dir(&dir).map_err(io_err)? {
             let entry = entry.map_err(io_err)?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if name.ends_with(".tmp") {
-                // an interrupted atomic save; the real file was never renamed
-                std::fs::remove_file(entry.path()).ok();
-                continue;
-            }
             if let Some(gen) = parse_generation(&name) {
                 generations.push(gen);
             }
@@ -317,8 +316,18 @@ mod tests {
         }
         // simulate a crash mid-save: a stray temp file
         std::fs::write(dir.join("ckpt-00000002.fvck.1234.tmp"), b"partial").unwrap();
+        let valid_bytes = std::fs::read(dir.join("ckpt-00000001.fvck")).unwrap();
         let store = CheckpointStore::open(&dir, 4).unwrap();
         assert_eq!(store.generations(), &[0, 1]);
+        assert_eq!(
+            std::fs::read(dir.join("ckpt-00000001.fvck")).unwrap(),
+            valid_bytes,
+            "sweep must not touch valid checkpoints"
+        );
+        assert!(
+            store.load_latest().unwrap().is_some(),
+            "valid generations must still load after the sweep"
+        );
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
             .filter(|e| {

@@ -160,29 +160,9 @@ impl<'a> FeatureExtractor<'a> {
         let fill = |row: &mut [f32], r: usize| {
             let up = frame.to_unit(query_pos[r]);
             let neighbors = &flat[r * stride..(r + 1) * stride];
-            // If the cloud has fewer than k points, repeat the last
-            // neighbor so the width stays fixed.
-            for slot in 0..k {
-                let n = neighbors
-                    .get(slot)
-                    .or_else(|| neighbors.last())
-                    .expect("cloud checked non-empty at pipeline level");
-                let un = frame.to_unit(positions[n.index]);
-                let base = slot * 4;
-                if relative {
-                    row[base] = un[0] - up[0];
-                    row[base + 1] = un[1] - up[1];
-                    row[base + 2] = un[2] - up[2];
-                } else {
-                    row[base] = un[0];
-                    row[base + 1] = un[1];
-                    row[base + 2] = un[2];
-                }
-                row[base + 3] = values.normalize(self.values[n.index]);
-            }
-            row[k * 4] = up[0];
-            row[k * 4 + 1] = up[1];
-            row[k * 4 + 2] = up[2];
+            fill_feature_row(
+                row, k, relative, up, neighbors, positions, self.values, frame, values,
+            );
         };
         // ~4 scalar ops per feature entry; rows are independent, so the
         // parallel and sequential fills are element-identical.
@@ -198,6 +178,51 @@ impl<'a> FeatureExtractor<'a> {
             }
         }
     }
+}
+
+/// Write one `[1×(k·4+3)]` feature row from a resolved neighborhood.
+///
+/// Shared by the whole-grid extractor above and the bricked out-of-core
+/// path in [`crate::brick`]: both produce the *same* neighbor set (global
+/// cloud indices, ascending `(dist², index)`), so routing them through one
+/// fill function makes their feature rows bitwise-identical by
+/// construction rather than by careful duplication.
+///
+/// If the cloud has fewer than `k` points the last neighbor is repeated so
+/// the width stays fixed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_feature_row(
+    row: &mut [f32],
+    k: usize,
+    relative: bool,
+    up: [f32; 3],
+    neighbors: &[Neighbor],
+    positions: &[[f64; 3]],
+    sample_values: &[f32],
+    frame: &CoordFrame,
+    values: &ValueNorm,
+) {
+    for slot in 0..k {
+        let n = neighbors
+            .get(slot)
+            .or_else(|| neighbors.last())
+            .expect("cloud checked non-empty at pipeline level");
+        let un = frame.to_unit(positions[n.index]);
+        let base = slot * 4;
+        if relative {
+            row[base] = un[0] - up[0];
+            row[base + 1] = un[1] - up[1];
+            row[base + 2] = un[2] - up[2];
+        } else {
+            row[base] = un[0];
+            row[base + 1] = un[1];
+            row[base + 2] = un[2];
+        }
+        row[base + 3] = values.normalize(sample_values[n.index]);
+    }
+    row[k * 4] = up[0];
+    row[k * 4 + 1] = up[1];
+    row[k * 4 + 2] = up[2];
 }
 
 /// Build training targets for void locations from the ground-truth field

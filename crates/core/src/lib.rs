@@ -24,6 +24,7 @@
 //! (Experiment 3), [`experiment`] (sweep harnesses shared by the bench
 //! binaries) and [`render`] (qualitative slice dumps, Figs. 2–3).
 
+pub mod brick;
 pub mod checkpoint;
 pub mod error;
 pub mod ensemble;
@@ -44,6 +45,7 @@ pub mod upscale;
 #[cfg(test)]
 pub(crate) static CHAOS_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+pub use brick::{reconstruct_bricked, BrickReconConfig, BrickRunReport};
 pub use error::CoreError;
 pub use features::FeatureScratch;
 pub use pipeline::{FcnnPipeline, PipelineConfig, ReconstructWorkspace, DEFAULT_PREDICTION_BATCH};

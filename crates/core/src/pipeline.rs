@@ -326,6 +326,13 @@ impl FcnnPipeline {
         &self.features
     }
 
+    /// Rows per forward pass during reconstruction (the bricked path
+    /// chunks its per-brick queries by the same size so its batching
+    /// matches the whole-grid path's cadence).
+    pub fn prediction_batch(&self) -> usize {
+        self.prediction_batch
+    }
+
     /// Seconds spent on feature/training-set construction so far (across
     /// pretraining and fine-tuning); pairs with the per-phase timings in
     /// [`History::timings`](fv_nn::train::History) for runtime breakdowns.

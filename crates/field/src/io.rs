@@ -227,9 +227,50 @@ fn read_values<R: Read>(
     Ok(data)
 }
 
+/// Drop guard that deletes an in-flight atomic-write temp file unless the
+/// write was disarmed after a successful rename. Unlike an `is_err()`
+/// check on the result, a guard also fires when the write closure
+/// *panics* (e.g. a chaos-injected fault), so no path out of
+/// [`write_file_atomic`] can leak a `*.tmp`.
+struct TmpGuard<'a> {
+    path: &'a Path,
+    armed: bool,
+}
+
+impl Drop for TmpGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            std::fs::remove_file(self.path).ok();
+        }
+    }
+}
+
+/// Remove stale atomic-write leftovers (`*.tmp` files) from `dir`.
+///
+/// Temp files are only ever transient: a live writer renames its temp away
+/// within one call, so anything still carrying [`TMP_SUFFIX`] when a store
+/// *opens* its directory is debris from a crashed process. Returns the
+/// number of files removed. Regular files only; never touches anything
+/// without the suffix.
+pub fn sweep_tmp_files(dir: impl AsRef<Path>) -> std::io::Result<usize> {
+    let mut removed = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let is_tmp = entry.file_name().to_string_lossy().ends_with(TMP_SUFFIX);
+        let is_file = entry.file_type().map(|t| t.is_file()).unwrap_or(false);
+        if is_tmp && is_file && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
 /// Crash-safe file write: the content goes to a sibling temp file which is
 /// flushed, fsynced and atomically renamed over `path`. Interrupted writes
-/// leave only a `*.tmp` leftover, never a torn destination file.
+/// leave only a `*.tmp` leftover, never a torn destination file; on any
+/// error — or a panic inside `write` — the temp file is removed before
+/// returning, so only a hard process death can leave one (swept by
+/// [`sweep_tmp_files`] on the next open).
 pub fn write_file_atomic<F>(path: impl AsRef<Path>, write: F) -> Result<(), FieldError>
 where
     F: FnOnce(&mut BufWriter<std::fs::File>) -> Result<(), FieldError>,
@@ -241,18 +282,17 @@ where
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(format!(".{}{TMP_SUFFIX}", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
-    let result = (|| {
-        let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
-        write(&mut w)?;
-        w.flush()?;
-        w.get_ref().sync_all()?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
-    })();
-    if result.is_err() {
-        std::fs::remove_file(&tmp).ok();
-    }
-    result
+    let mut guard = TmpGuard {
+        path: &tmp,
+        armed: true,
+    };
+    let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+    write(&mut w)?;
+    w.flush()?;
+    w.get_ref().sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    guard.armed = false;
+    Ok(())
 }
 
 /// Write a field to a file in the compact binary format, crash-safely.
@@ -511,6 +551,52 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().ends_with(TMP_SUFFIX))
             .collect();
         assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panicking_write_closure_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("fvf_panic_tmp_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("field.fvf");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            write_file_atomic(&path, |_w| -> Result<(), FieldError> {
+                panic!("injected mid-write fault");
+            })
+        }));
+        assert!(result.is_err(), "the panic must propagate");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "panic leaked files into the directory: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_removes_stale_tmp_without_touching_valid_files() {
+        let dir = std::env::temp_dir().join(format!("fvf_sweep_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let valid = dir.join("field.fvf");
+        let f = sample_field();
+        save(&f, &valid).unwrap();
+        let before = std::fs::read(&valid).unwrap();
+        std::fs::write(dir.join("field.fvf.1234.tmp"), b"torn half-write").unwrap();
+        std::fs::write(dir.join("other.tmp"), b"also stale").unwrap();
+        let removed = sweep_tmp_files(&dir).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(
+            std::fs::read(&valid).unwrap(),
+            before,
+            "sweep must not touch valid files"
+        );
+        assert_eq!(sweep_tmp_files(&dir).unwrap(), 0, "idempotent");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -17,12 +17,16 @@
 //! * [`resample`] — trilinear sampling and down/up-sampling between
 //!   resolutions (Experiment 3);
 //! * [`io`] — a compact little-endian binary format plus a legacy-VTK ASCII
-//!   writer for inspection in ParaView-like tools.
+//!   writer for inspection in ParaView-like tools;
+//! * [`brick`] — fixed-geometry domain decomposition and a crash-safe
+//!   on-disk brick store with an atomically-updated completion ledger
+//!   (the out-of-core substrate, DESIGN.md §13).
 //!
 //! Conventions: indices are `[i, j, k]` with `i` fastest (x), matching the
 //! `x + nx*(y + ny*z)` linearization used by the VTK structured-points
 //! format the paper's pipeline reads and writes.
 
+pub mod brick;
 pub mod checksum;
 pub mod error;
 pub mod faults;
@@ -33,6 +37,7 @@ pub mod resample;
 pub mod stats;
 pub mod volume;
 
+pub use brick::{BrickLayout, BrickStore};
 pub use error::FieldError;
 pub use grid::Grid3;
 pub use volume::ScalarField;

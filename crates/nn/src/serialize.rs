@@ -236,9 +236,27 @@ fn read_f32s<R: Read>(r: &mut R, out: &mut [f32]) -> Result<(), NnError> {
     Ok(())
 }
 
+/// Drop guard that deletes the in-flight temp file unless disarmed after a
+/// successful rename; fires on error returns *and* on panics inside the
+/// write closure, so no exit path can leak a `*.tmp`.
+struct TmpGuard<'a> {
+    path: &'a Path,
+    armed: bool,
+}
+
+impl Drop for TmpGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            std::fs::remove_file(self.path).ok();
+        }
+    }
+}
+
 /// Atomically write a file: stream through a closure into a same-directory
 /// temp file, fsync, then rename over `path`. A crash mid-write leaves at
-/// worst a stale `*.tmp` — never a torn file under the real name.
+/// worst a stale `*.tmp` — never a torn file under the real name — and an
+/// error or panic inside the closure removes the temp file before
+/// propagating.
 pub fn write_file_atomic(
     path: impl AsRef<Path>,
     write: impl FnOnce(&mut BufWriter<std::fs::File>) -> Result<(), NnError>,
@@ -252,18 +270,17 @@ pub fn write_file_atomic(
         file_name.to_string_lossy(),
         std::process::id()
     ));
-    let result = (|| {
-        let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
-        write(&mut w)?;
-        w.flush()?;
-        w.get_ref().sync_all()?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
-    })();
-    if result.is_err() {
-        std::fs::remove_file(&tmp).ok();
-    }
-    result
+    let mut guard = TmpGuard {
+        path: &tmp,
+        armed: true,
+    };
+    let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+    write(&mut w)?;
+    w.flush()?;
+    w.get_ref().sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    guard.armed = false;
+    Ok(())
 }
 
 /// Save a model to a file (atomic: temp + fsync + rename).

@@ -1,0 +1,214 @@
+//! Subset k-d trees with ghost samples and a certified-exactness kNN query.
+//!
+//! Out-of-core bricked reconstruction cannot hold the whole point cloud's
+//! tree per worker; instead each brick builds a [`GhostTree`] over only the
+//! samples inside its halo-expanded region. A subset tree answers a kNN
+//! query *identically* to the whole-cloud tree whenever all true neighbors
+//! lie inside the subset — which the caller can certify geometrically: if
+//! every excluded sample is at least `border_d2` away from the query
+//! (e.g. beyond the halo boundary), and the kth found neighbor is strictly
+//! closer than that, no outside sample can displace any of the k.
+//!
+//! Two properties make the agreement *bitwise* rather than approximate:
+//!
+//! 1. [`crate::kdtree::KdTree`] selects the k smallest neighbors by
+//!    lexicographic `(dist², index)` — a pure function of the candidate
+//!    set, independent of tree shape and traversal order.
+//! 2. [`GhostTree::gather`] requires ascending global indices, so local
+//!    index order coincides with global index order and tie-breaks agree.
+//!
+//! Distances compare by the *same* floating-point expression on both
+//! sides, so the strict `<` test needs no epsilon: ties (kth distance
+//! equal to the border bound) are conservatively reported inexact, and the
+//! caller regathers with a larger halo.
+
+use crate::kdtree::{KdTree, KnnScratch, Neighbor};
+
+/// A k-d tree over a subset of a point cloud, remembering each kept
+/// point's index in the full cloud.
+#[derive(Debug)]
+pub struct GhostTree {
+    positions: Vec<[f64; 3]>,
+    global: Vec<usize>,
+    tree: KdTree,
+    complete: bool,
+}
+
+impl GhostTree {
+    /// Build a tree over `all[keep[0]], all[keep[1]], …`.
+    ///
+    /// `keep` must be strictly ascending (so tie-breaking by local index
+    /// agrees with tie-breaking by global index). Pass `complete = true`
+    /// when `keep` covers the whole cloud — every query is then exact by
+    /// construction, which is the halo-growth loop's terminal state.
+    pub fn gather(all: &[[f64; 3]], keep: &[usize], complete: bool) -> Self {
+        debug_assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "ghost gather order must be strictly ascending"
+        );
+        debug_assert!(!complete || keep.len() == all.len());
+        let positions: Vec<[f64; 3]> = keep.iter().map(|&i| all[i]).collect();
+        let tree = KdTree::build(&positions);
+        Self {
+            positions,
+            global: keep.to_vec(),
+            tree,
+            complete,
+        }
+    }
+
+    /// Points in the subset.
+    pub fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// `true` when the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+
+    /// `true` when this tree covers the entire cloud.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// kNN against the subset, with global indices and an exactness
+    /// certificate.
+    ///
+    /// `out` receives the neighbors (ascending `(dist², global index)`),
+    /// re-indexed into the full cloud. Returns `true` iff the result is
+    /// guaranteed identical to querying the whole cloud: either the
+    /// subset *is* the whole cloud, or `k` neighbors were found and the
+    /// kth is strictly closer than `border_d2` — the caller's lower bound
+    /// on the squared distance from `query` to any excluded sample. On
+    /// `false` the caller must regather with a larger halo and retry.
+    pub fn k_nearest_exact(
+        &self,
+        query: [f64; 3],
+        k: usize,
+        border_d2: f64,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) -> bool {
+        out.clear();
+        self.tree.k_nearest_with(&self.positions, query, k, scratch);
+        out.extend(scratch.neighbors().iter().map(|n| Neighbor {
+            index: self.global[n.index],
+            dist_sq: n.dist_sq,
+        }));
+        if self.complete {
+            return true;
+        }
+        // Strict inequality: an excluded sample at exactly border_d2
+        // could still displace a tied kth neighbor via its index, so a
+        // tie with the bound is (conservatively) inexact.
+        match out.last() {
+            Some(kth) if out.len() == k => kth.dist_sq < border_d2,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice() -> Vec<[f64; 3]> {
+        let mut pts = Vec::new();
+        for k in 0..4 {
+            for j in 0..4 {
+                for i in 0..6 {
+                    pts.push([i as f64, j as f64, k as f64]);
+                }
+            }
+        }
+        pts
+    }
+
+    fn whole_knn(pts: &[[f64; 3]], q: [f64; 3], k: usize) -> Vec<Neighbor> {
+        KdTree::build(pts).k_nearest(pts, q, k)
+    }
+
+    #[test]
+    fn complete_ghost_matches_whole_tree_bitwise() {
+        let pts = lattice();
+        let keep: Vec<usize> = (0..pts.len()).collect();
+        let ghost = GhostTree::gather(&pts, &keep, true);
+        let mut scratch = KnnScratch::default();
+        let mut out = Vec::new();
+        for q in [[2.0, 2.0, 2.0], [0.3, 3.7, 1.1], [5.0, 0.0, 3.0]] {
+            let exact = ghost.k_nearest_exact(q, 7, 0.0, &mut scratch, &mut out);
+            assert!(exact, "complete ghost is always exact");
+            let want = whole_knn(&pts, q, 7);
+            assert_eq!(out.len(), want.len());
+            for (g, w) in out.iter().zip(&want) {
+                assert_eq!((g.index, g.dist_sq), (w.index, w.dist_sq), "q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn certified_subset_query_is_bitwise_identical_on_lattice_ties() {
+        let pts = lattice();
+        // Subset: everything with x < 3 — the excluded half-space is
+        // x ≥ 3, so (3 − qx)² lower-bounds any excluded sample's d².
+        let keep: Vec<usize> = (0..pts.len()).filter(|&i| pts[i][0] < 3.0).collect();
+        let ghost = GhostTree::gather(&pts, &keep, false);
+        let mut scratch = KnnScratch::default();
+        let mut out = Vec::new();
+        for q in [[0.0, 2.0, 2.0], [1.0, 1.0, 1.0], [0.5, 3.0, 0.5]] {
+            let border = (3.0 - q[0]) * (3.0 - q[0]);
+            let exact = ghost.k_nearest_exact(q, 5, border, &mut scratch, &mut out);
+            assert!(exact, "deep-interior query must certify, q={q:?}");
+            let want = whole_knn(&pts, q, 5);
+            for (g, w) in out.iter().zip(&want) {
+                assert_eq!((g.index, g.dist_sq), (w.index, w.dist_sq), "q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn near_border_query_reports_inexact() {
+        let pts = lattice();
+        let keep: Vec<usize> = (0..pts.len()).filter(|&i| pts[i][0] < 3.0).collect();
+        let ghost = GhostTree::gather(&pts, &keep, false);
+        let mut scratch = KnnScratch::default();
+        let mut out = Vec::new();
+        // Query on the cut plane: kth distance cannot beat the border
+        // bound of 0, so the certificate must refuse.
+        let q = [3.0, 2.0, 2.0];
+        let border = (3.0 - q[0]) * (3.0 - q[0]);
+        assert!(!ghost.k_nearest_exact(q, 5, border, &mut scratch, &mut out));
+        // A tie between kth distance and the bound is also inexact.
+        let q = [2.0, 2.0, 2.0];
+        assert!(!ghost.k_nearest_exact(q, 5, 1.0, &mut scratch, &mut out));
+    }
+
+    #[test]
+    fn too_few_points_without_completeness_is_inexact() {
+        let pts = lattice();
+        let keep = vec![0, 1, 2];
+        let ghost = GhostTree::gather(&pts, &keep, false);
+        let mut scratch = KnnScratch::default();
+        let mut out = Vec::new();
+        assert!(!ghost.k_nearest_exact([0.0; 3], 5, f64::INFINITY, &mut scratch, &mut out));
+        assert_eq!(out.len(), 3, "partial results are still returned");
+        assert_eq!(out[0].index, 0);
+    }
+
+    #[test]
+    fn global_indices_map_back_into_the_full_cloud() {
+        let pts = lattice();
+        let keep: Vec<usize> = (0..pts.len()).step_by(3).collect();
+        let ghost = GhostTree::gather(&pts, &keep, false);
+        let mut scratch = KnnScratch::default();
+        let mut out = Vec::new();
+        ghost.k_nearest_exact([2.5, 1.5, 0.5], 4, f64::INFINITY, &mut scratch, &mut out);
+        for n in &out {
+            assert!(keep.contains(&n.index), "index {} not in keep set", n.index);
+            let p = pts[n.index];
+            let d2 = (p[0] - 2.5).powi(2) + (p[1] - 1.5).powi(2) + (p[2] - 0.5).powi(2);
+            assert_eq!(d2, n.dist_sq);
+        }
+    }
+}

@@ -207,7 +207,14 @@ impl KdTree {
                     index: idx,
                 });
             } else if let Some(top) = heap.peek() {
-                if d2 < top.dist_sq {
+                // Lexicographic (dist², index) eviction: on an exact
+                // distance tie the lower index wins. Without the tie term
+                // the kept set at the kth boundary depends on traversal
+                // order, so a subtree built from a subset of the points
+                // (e.g. a brick's ghost tree) could keep a different
+                // tied neighbor than the whole-cloud tree. With it, the
+                // result is a pure function of the candidate set.
+                if d2 < top.dist_sq || (d2 == top.dist_sq && idx < top.index) {
                     heap.pop();
                     heap.push(HeapItem {
                         dist_sq: d2,
@@ -786,5 +793,46 @@ mod tests {
         let t = KdTree::build(&pts);
         let n = t.nearest(&pts, [2.2, 3.1, 0.0]).unwrap();
         assert_eq!(pts[n.index], [2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn lattice_ties_resolve_by_index_regardless_of_tree_shape() {
+        // Integer-lattice points queried from a lattice node: many
+        // neighbors sit at *exactly* equal distances (4 at d²=1, 8 at
+        // d²=2, …), so the kth boundary is a tie set. The kept subset
+        // must be the lexicographic (dist², index) winner no matter how
+        // the tree was built or traversed — this is what lets a subset
+        // (ghost) tree agree bitwise with the whole-cloud tree.
+        let mut pts = Vec::new();
+        for k in 0..5 {
+            for j in 0..5 {
+                for i in 0..5 {
+                    pts.push([i as f64, j as f64, k as f64]);
+                }
+            }
+        }
+        let whole = KdTree::build(&pts);
+        for k in [1, 3, 5, 7, 13] {
+            for q in [[2.0, 2.0, 2.0], [0.0, 0.0, 0.0], [4.0, 2.0, 1.0]] {
+                let got = whole.k_nearest(&pts, q, k);
+                let want = brute_k_nearest(&pts, q, k);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!((g.index, g.dist_sq), (w.index, w.dist_sq), "k={k} q={q:?}");
+                }
+            }
+        }
+        // A subset containing every point the whole tree selected must
+        // select the identical neighbors (different build → different
+        // traversal order, same candidate-set function).
+        let keep: Vec<usize> = (0..pts.len()).filter(|i| i % 2 == 0 || i % 3 == 0).collect();
+        let sub_pts: Vec<[f64; 3]> = keep.iter().map(|&i| pts[i]).collect();
+        let sub = KdTree::build(&sub_pts);
+        for q in [[2.0, 2.0, 2.0], [1.0, 3.0, 0.0]] {
+            let got = sub.k_nearest(&sub_pts, q, 6);
+            let want = brute_k_nearest(&sub_pts, q, 6);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.index, g.dist_sq), (w.index, w.dist_sq), "q={q:?}");
+            }
+        }
     }
 }

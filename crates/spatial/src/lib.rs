@@ -21,6 +21,7 @@
 //! points).
 
 pub mod delaunay;
+pub mod ghost;
 pub mod gridindex;
 pub mod jitter;
 pub mod kdtree;
@@ -28,4 +29,5 @@ pub mod morton;
 pub mod predicates;
 
 pub use delaunay::Delaunay3;
+pub use ghost::GhostTree;
 pub use kdtree::{KdTree, KnnScratch, Neighbor};

@@ -84,7 +84,7 @@ for a, b in zip(off["rows"], on["rows"]):
         sys.exit(f"telemetry smoke: numerics diverged at threads={a['threads']}")
 names = {s["name"] for s in on["telemetry"]["sites"]}
 names |= {c["name"] for c in on["telemetry"]["counters"]}
-want = {"pool.jobs", "train.step", "spatial.knn_batch", "core.feature_build", "recon", "insitu.step"}
+want = {"pool.jobs", "train.step", "spatial.knn_batch", "core.feature_build", "recon", "insitu.step", "brick.pipeline", "brick.completed"}
 missing = want - names
 if missing:
     sys.exit(f"telemetry smoke: expected sites missing from snapshot: {sorted(missing)}")
@@ -95,5 +95,33 @@ if t_on[1] > 1.25 * t_off[1]:
 print(f"telemetry smoke ok: {len(names)} instruments, train 1T {t_off[1]:.3f}s -> {t_on[1]:.3f}s enabled")
 EOF
 rm -f BENCH_runtime_disabled.json
+
+echo "=== brick resume smoke (out-of-core memory bound + crash-only recovery) ==="
+# exp_brick streams the volume through fixed-size bricks, then injects a
+# seeded mid-volume crash and resumes from the per-brick ledger. The gate
+# holds the ISSUE's acceptance bar: the streamed volume bitwise-matches the
+# whole-grid path, peak in-flight bytes stay within the configured budget,
+# and the resumed run reuses every durable brick (resumed > 0) while
+# recomputing exactly the unfinished remainder, again to identical bits.
+cargo run --release -q -p fv-bench --bin exp_brick > /dev/null
+python3 - <<'EOF'
+import json, sys
+b = json.load(open("BENCH_brick.json"))
+if not b["bitwise_equal"]:
+    sys.exit("brick smoke: bricked volume diverged from whole-grid")
+if not b["inflight_within_budget"]:
+    sys.exit(f"brick smoke: in-flight {b['peak_inflight_bytes']} B exceeded budget {b['budget_bytes']} B")
+if b["volume_bytes"] < 4 * b["budget_bytes"]:
+    sys.exit("brick smoke: volume is not >= 4x the brick budget (not out-of-core)")
+r = b["resume"]
+if not r["bitwise_equal"]:
+    sys.exit("brick smoke: resumed volume diverged from whole-grid")
+if r["resumed"] <= 0 or r["resumed"] >= r["total"]:
+    sys.exit(f"brick smoke: crash was not mid-volume ({r['resumed']}/{r['total']} resumed)")
+if r["resumed"] + r["recomputed"] != r["total"]:
+    sys.exit(f"brick smoke: resume recomputed {r['recomputed']} with {r['resumed']} durable, expected {r['total']} total")
+print(f"brick smoke ok: {b['total_bricks']} bricks, inflight {b['peak_inflight_bytes']}/{b['budget_bytes']} B, "
+      f"resume reused {r['resumed']} + recomputed {r['recomputed']}, bitwise-identical")
+EOF
 
 echo "CI gate passed."

@@ -7,10 +7,12 @@
 //! stays within a small fixed bound (history bookkeeping only), and the
 //! reconstruction batch loop allocates per *call*, not per batch.
 //!
-//! Everything lives in one `#[test]` on purpose: the allocation counter is
-//! process-global, and a single test keeps the libtest harness (which
-//! allocates when reporting results from other threads) out of the
-//! measurement windows.
+//! This suite runs harness-free (`harness = false` in Cargo.toml): the
+//! allocation counter is process-global, and even an idle libtest harness
+//! allocates concurrently with the measured windows — its main thread
+//! builds mpmc waker contexts while waiting on the test-completion
+//! channel, which intermittently leaked 1–2 counts into the strict
+//! zero-alloc assertion. A plain `main` keeps this the only live thread.
 
 use fillvoid::core::pipeline::{FcnnPipeline, PipelineConfig, ReconstructWorkspace};
 use fillvoid::field::{Grid3, ScalarField};
@@ -129,9 +131,9 @@ fn reconstruct_batches_do_not_allocate() {
     );
 }
 
-#[test]
-fn workspace_layer_has_zero_alloc_steady_state() {
+fn main() {
     steady_state_training_step_is_allocation_free();
     fit_epochs_have_bounded_allocations();
     reconstruct_batches_do_not_allocate();
+    println!("alloc_steady_state: ok (3 checks)");
 }

@@ -241,3 +241,153 @@ fn field_io_sites_surface_injected_errors_cleanly() {
     assert_eq!(restored.values(), field.values());
     std::fs::remove_file(&path).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Bricked-pipeline sweeps: the same 32-seed × fault-kind matrix against the
+// out-of-core streaming path's sites (`brick.recon`, `brick.commit`,
+// `brick.load`, `brick.output`). Invariant: whatever a seeded fault does —
+// panic mid-pipeline, I/O error on commit, corrupted payloads — a clean
+// rerun (plus the non-finite repair scan for in-memory corruption) always
+// converges to the exact whole-grid reconstruction, losing nothing that
+// the ledger had flagged durable.
+
+use fillvoid::core::brick::{reconstruct_bricked, BrickReconConfig};
+use fillvoid::field::brick::BrickStore;
+use fillvoid::runtime::ExecCtx;
+
+fn brick_fixture() -> &'static (ScalarField, PointCloud, ScalarField) {
+    static CELL: OnceLock<(ScalarField, PointCloud, ScalarField)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let (sim, pipeline) = pretrained();
+        let field = sim.timestep(0);
+        let sampler = ImportanceSampler::new(ImportanceConfig::default());
+        let cloud = sampler.sample(&field, 0.06, 17);
+        let whole = pipeline.reconstruct(&cloud, field.grid()).expect("reference");
+        (field, cloud, whole)
+    })
+}
+
+fn brick_plan(kind: Kind, seed: u64) -> FaultPlan {
+    let p = FaultPlan::new(seed);
+    match kind {
+        Kind::Panic => p
+            .panic_at("brick.recon", 0.2)
+            .panic_at("brick.commit", 0.1)
+            .panic_at("brick.load", 0.1),
+        Kind::Delay => p
+            .delay_at("brick.recon", 0.3, Duration::from_millis(1))
+            .delay_at("brick.commit", 0.3, Duration::from_millis(1))
+            .delay_at("brick.load", 0.3, Duration::from_millis(1)),
+        Kind::Corruption => p
+            .corrupt_at("brick.output", 0.5)
+            .corrupt_at("brick.load", 0.3),
+        Kind::IoError => p
+            .io_error_at("brick.commit", 0.3)
+            .io_error_at("brick.load", 0.3),
+    }
+}
+
+/// One seeded bricked run under `kind`'s plan; returns faults injected.
+///
+/// Two chaos-armed attempts (the second resumes the first, exercising
+/// `brick.load` against whatever the first left durable), then the repair
+/// protocol: sweep non-finite bricks back to pending and rerun clean. The
+/// final volume must match the whole-grid reference bit for bit.
+fn run_one_brick(kind: Kind, seed: u64) -> u64 {
+    let (field, cloud, whole) = brick_fixture();
+    let (_, pipeline) = pretrained();
+    let cfg = BrickReconConfig {
+        brick_dims: [5, 5, 3],
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "fv_chaos_brick_{kind:?}_{seed}_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let injected = {
+        let _guard = chaos::install(brick_plan(kind, seed));
+        for _attempt in 0..2 {
+            // Panics, injected Errs and clean completions are all legal
+            // outcomes here; the invariant is what the rerun recovers.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                reconstruct_bricked(pipeline, cloud, field.grid(), &dir, &cfg, &ExecCtx::unbounded())
+            }));
+        }
+        chaos::injected_total()
+    };
+    // Repair: in-memory corruption (brick.output) commits poisoned-but-
+    // CRC-consistent payloads; the non-finite scan requeues exactly those.
+    let mut store = BrickStore::open(&dir, *field.grid(), cfg.brick_dims).expect("reopen");
+    store.invalidate_non_finite().expect("repair scan");
+    drop(store);
+    let (store, report) = reconstruct_bricked(
+        pipeline,
+        cloud,
+        field.grid(),
+        &dir,
+        &cfg,
+        &ExecCtx::unbounded(),
+    )
+    .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean resume errored: {e}"));
+    assert!(report.is_complete(), "{kind:?} seed {seed}: {report:?}");
+    let assembled = store.assemble().expect("assemble");
+    for (i, (x, y)) in whole.values().iter().zip(assembled.values()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{kind:?} seed {seed}: voxel {i} diverged after recovery"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    injected
+}
+
+fn brick_sweep(kind: Kind) {
+    let _serial = CHAOS_LOCK.lock().unwrap();
+    chaos::silence_chaos_panics();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let mut injected = 0u64;
+        for seed in 0..SEEDS {
+            injected += run_one_brick(kind, seed);
+        }
+        tx.send(injected).ok();
+    });
+    match rx.recv_timeout(Duration::from_secs(300)) {
+        Ok(injected) => {
+            worker.join().expect("brick sweep worker");
+            assert!(
+                injected > 0,
+                "{kind:?}: the brick sweep never injected a fault — dead plan?"
+            );
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            worker.join().expect("brick sweep worker panicked");
+            unreachable!();
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{kind:?} brick sweep hung past the 300 s watchdog");
+        }
+    }
+}
+
+#[test]
+fn brick_panic_sweep_recovers_bitwise() {
+    brick_sweep(Kind::Panic);
+}
+
+#[test]
+fn brick_delay_sweep_recovers_bitwise() {
+    brick_sweep(Kind::Delay);
+}
+
+#[test]
+fn brick_corruption_sweep_recovers_bitwise() {
+    brick_sweep(Kind::Corruption);
+}
+
+#[test]
+fn brick_io_error_sweep_recovers_bitwise() {
+    brick_sweep(Kind::IoError);
+}
