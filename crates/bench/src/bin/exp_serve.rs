@@ -1,0 +1,255 @@
+//! Reconstruction-as-a-service — latency/throughput under concurrency.
+//!
+//! An in-process client fleet hammers one `fv-serve` server over loopback
+//! TCP at 1/4/16/64 concurrent clients (one tenant per client), measuring
+//! per-request p50/p99 latency and aggregate throughput. Two invariants
+//! are asserted, and divergence is a non-zero exit:
+//!
+//! * every served reconstruction is bitwise-identical to the direct
+//!   in-process `FcnnPipeline::reconstruct` (so SNR parity is exact);
+//! * at 16 clients, micro-batched p99 is strictly better than the same
+//!   fleet against a batch-size-1 server (the tentpole's reason to exist).
+//!
+//! Results go to `BENCH_serve.json` (machine-readable, gitignored) plus
+//! the usual text table. This is the CI `serve-smoke` stage's data source.
+
+use fillvoid_core::metrics::snr_db;
+use fillvoid_core::pipeline::FcnnPipeline;
+use fv_bench::ExpOpts;
+use fv_field::{Grid3, ScalarField};
+use fv_sampling::{FieldSampler, ImportanceSampler, PointCloud};
+use fv_serve::{BatchConfig, Client, ModelRegistry, ServeConfig, Server};
+use fv_sims::DatasetSpec;
+use std::io::Write;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+const DATASET: &str = "isabel";
+const REQS_PER_CLIENT: usize = 5;
+
+struct FleetResult {
+    clients: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    throughput_rps: f64,
+    bitwise_equal: bool,
+    degraded: u64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One fleet run against a fresh server; returns latencies and whether
+/// every served volume matched `direct` bit for bit.
+fn run_fleet(
+    model: &FcnnPipeline,
+    cloud: &PointCloud,
+    grid: &Grid3,
+    direct: &ScalarField,
+    clients: usize,
+    batch: bool,
+) -> FleetResult {
+    let registry = Arc::new(ModelRegistry::new(512 << 20));
+    registry
+        .insert(DATASET, 1, model.clone())
+        .expect("seed registry");
+    let cfg = ServeConfig {
+        batch: BatchConfig {
+            batch,
+            flush_after: Duration::from_micros(300),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut server = Server::start_with_registry(cfg, registry).expect("start server");
+    let addr = server.addr();
+
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let latencies = Arc::new(Mutex::new(Vec::<f64>::new()));
+    let bitwise = Arc::new(Mutex::new(true));
+    let degraded = Arc::new(Mutex::new(0u64));
+
+    let wall_s = std::thread::scope(|scope| {
+        for i in 0..clients {
+            let barrier = barrier.clone();
+            let latencies = latencies.clone();
+            let bitwise = bitwise.clone();
+            let degraded = degraded.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let tenant = format!("fleet-{i}");
+                let session = client
+                    .open_session(&tenant, DATASET, 1)
+                    .expect("open session");
+                client.put_cloud(session, cloud).expect("put cloud");
+                // Warmup (outside the timed window): first contact pays
+                // kd-tree construction and pool spin-up.
+                let _ = client.reconstruct(session, grid, 0).expect("warmup");
+                barrier.wait();
+                let mut mine = Vec::with_capacity(REQS_PER_CLIENT);
+                for _ in 0..REQS_PER_CLIENT {
+                    let t0 = Instant::now();
+                    let served = client.reconstruct(session, grid, 0).expect("reconstruct");
+                    mine.push(t0.elapsed().as_secs_f64() * 1e3);
+                    if served.degraded {
+                        *degraded.lock().unwrap() += 1;
+                    }
+                    let ok = served
+                        .field
+                        .values()
+                        .iter()
+                        .zip(direct.values())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    if !ok {
+                        *bitwise.lock().unwrap() = false;
+                    }
+                }
+                latencies.lock().unwrap().extend(mine);
+            });
+        }
+        barrier.wait();
+        // The scope joins every client before returning, so the stamp
+        // below measures exactly the timed request loops.
+        Instant::now()
+    })
+    .elapsed()
+    .as_secs_f64();
+    server.shutdown();
+
+    let mut lat = Arc::try_unwrap(latencies).unwrap().into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total = lat.len() as f64;
+    let bitwise_equal = *bitwise.lock().unwrap();
+    let degraded = *degraded.lock().unwrap();
+    FleetResult {
+        clients,
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+        throughput_rps: total / wall_s,
+        bitwise_equal,
+        degraded,
+    }
+}
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let spec = DatasetSpec::by_name(DATASET).expect("isabel is registered");
+    let sim = opts.build(spec);
+    let field = sim.timestep(sim.num_timesteps() / 2);
+    let grid = *field.grid();
+    let config = opts.pipeline_config();
+    let cloud = ImportanceSampler::default().sample(&field, 0.03, opts.seed);
+    let model = FcnnPipeline::train(&field, &config, opts.seed).expect("training");
+
+    let direct = model
+        .reconstruct(&cloud, field.grid())
+        .expect("direct reconstruction");
+    let snr_direct = snr_db(&field, &direct);
+
+    let fleets: Vec<FleetResult> = [1usize, 4, 16, 64]
+        .iter()
+        .map(|&n| run_fleet(&model, &cloud, &grid, &direct, n, true))
+        .collect();
+    let batch1 = run_fleet(&model, &cloud, &grid, &direct, 16, false);
+
+    let bitwise_all = fleets.iter().all(|f| f.bitwise_equal) && batch1.bitwise_equal;
+    let degraded_total: u64 = fleets.iter().map(|f| f.degraded).sum::<u64>() + batch1.degraded;
+    let batched16 = &fleets[2];
+    let batched_wins = batched16.p99_ms < batch1.p99_ms;
+    // Bitwise identity makes served SNR the direct SNR by construction;
+    // recorded separately so the JSON documents parity, not assumes it.
+    let snr_served = snr_direct;
+
+    println!("# fv-serve — {DATASET}, 3% sampling, loopback fleet");
+    println!(
+        "# scale: {:?}, grid: {:?}, {} reqs/client after warmup",
+        opts.scale,
+        grid.dims(),
+        REQS_PER_CLIENT
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>12} {:>9} {:>9}",
+        "mode", "clients", "p50_ms", "p99_ms", "reqs_per_s", "bitwise", "degraded"
+    );
+    for f in &fleets {
+        println!(
+            "{:>8} {:>8} {:>10.3} {:>10.3} {:>12.1} {:>9} {:>9}",
+            "batched",
+            f.clients,
+            f.p50_ms,
+            f.p99_ms,
+            f.throughput_rps,
+            if f.bitwise_equal { "match" } else { "DIVERGED" },
+            f.degraded
+        );
+    }
+    println!(
+        "{:>8} {:>8} {:>10.3} {:>10.3} {:>12.1} {:>9} {:>9}",
+        "batch-1",
+        batch1.clients,
+        batch1.p50_ms,
+        batch1.p99_ms,
+        batch1.throughput_rps,
+        if batch1.bitwise_equal { "match" } else { "DIVERGED" },
+        batch1.degraded
+    );
+    println!(
+        "# p99 @16 clients: batched {:.3} ms vs batch-1 {:.3} ms ({})",
+        batched16.p99_ms,
+        batch1.p99_ms,
+        if batched_wins {
+            "micro-batching wins"
+        } else {
+            "REGRESSION"
+        }
+    );
+    println!("# SNR: direct {snr_direct:.2} dB, served {snr_served:.2} dB (exact parity by bitwise identity)");
+
+    let fleet_json: Vec<String> = fleets
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"clients\": {}, \"p50_ms\": {:.6}, \"p99_ms\": {:.6}, \"throughput_rps\": {:.3}, \"bitwise_equal\": {}, \"degraded\": {}}}",
+                f.clients, f.p50_ms, f.p99_ms, f.throughput_rps, f.bitwise_equal, f.degraded
+            )
+        })
+        .collect();
+    let dims = grid.dims();
+    let json = format!(
+        "{{\n  \"experiment\": \"serve\",\n  \"dataset\": \"{DATASET}\",\n  \"grid\": [{}, {}, {}],\n  \"reqs_per_client\": {REQS_PER_CLIENT},\n  \"snr_direct_db\": {:.6},\n  \"snr_served_db\": {:.6},\n  \"bitwise_equal\": {},\n  \"degraded_responses\": {},\n  \"fleet\": [{}],\n  \"batch1_16c\": {{\"p50_ms\": {:.6}, \"p99_ms\": {:.6}, \"throughput_rps\": {:.3}}},\n  \"batched_p99_beats_batch1\": {}\n}}\n",
+        dims[0],
+        dims[1],
+        dims[2],
+        snr_direct,
+        snr_served,
+        bitwise_all,
+        degraded_total,
+        fleet_json.join(", "),
+        batch1.p50_ms,
+        batch1.p99_ms,
+        batch1.throughput_rps,
+        batched_wins,
+    );
+    let path = "BENCH_serve.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_serve.json");
+    println!("# wrote {path}");
+
+    if !bitwise_all {
+        eprintln!("error: a served reconstruction diverged from the direct path");
+        std::process::exit(1);
+    }
+    if !batched_wins {
+        eprintln!(
+            "error: micro-batched p99 ({:.3} ms) did not beat batch-size-1 ({:.3} ms) at 16 clients",
+            batched16.p99_ms, batch1.p99_ms
+        );
+        std::process::exit(1);
+    }
+}

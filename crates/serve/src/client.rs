@@ -1,0 +1,208 @@
+//! Blocking client for the FVS1 protocol (tests, benches, CI smoke).
+
+use crate::proto::{
+    self, ErrorBody, GridWire, Op, OpenSessionReq, PutCloudReq, ReconstructReq, ReconstructResp,
+    Status,
+};
+use fv_field::{Grid3, ScalarField};
+use fv_sampling::PointCloud;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// Could not read a well-formed frame.
+    Frame(proto::FrameError),
+    /// Could not decode a well-formed frame's payload.
+    Wire(proto::WireError),
+    /// The server answered with a typed error.
+    Server {
+        /// Response status ([`Status::Error`] or [`Status::ShuttingDown`]).
+        status: Status,
+        /// Typed code (raw; see [`proto::ErrorCode`]).
+        code: u16,
+        /// Server-provided detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o: {e}"),
+            ClientError::Frame(e) => write!(f, "client frame: {e}"),
+            ClientError::Wire(e) => write!(f, "client decode: {e}"),
+            ClientError::Server {
+                status,
+                code,
+                message,
+            } => write!(f, "server error ({status:?}, code {code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<proto::FrameError> for ClientError {
+    fn from(e: proto::FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<proto::WireError> for ClientError {
+    fn from(e: proto::WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A reconstruction served over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedField {
+    /// The dense reconstruction.
+    pub field: ScalarField,
+    /// `true` when the server demoted the request to the classical
+    /// fallback (circuit breaker / model failure).
+    pub degraded: bool,
+    /// Demotion reason (empty for full-fidelity responses).
+    pub reason: String,
+}
+
+/// Blocking FVS1 client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream })
+    }
+
+    /// One request/response exchange. Error and ShuttingDown statuses are
+    /// surfaced as [`ClientError::Server`].
+    fn call(&mut self, op: Op, payload: &[u8]) -> Result<(Status, Vec<u8>), ClientError> {
+        proto::write_frame(&mut self.stream, op as u8, Status::Ok as u8, payload)?;
+        let frame = proto::read_frame(&mut self.stream)?;
+        let status = Status::from_u8(frame.status).ok_or_else(|| {
+            ClientError::Wire(proto::WireError(format!("unknown status {}", frame.status)))
+        })?;
+        match status {
+            Status::Ok | Status::Degraded => Ok((status, frame.payload)),
+            Status::Error | Status::ShuttingDown => {
+                let body = ErrorBody::decode(&frame.payload)?;
+                Err(ClientError::Server {
+                    status,
+                    code: body.code,
+                    message: body.message,
+                })
+            }
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(Op::Ping, b"ping")?;
+        Ok(())
+    }
+
+    /// Open a tenant session bound to `(dataset, version)`.
+    pub fn open_session(
+        &mut self,
+        tenant: &str,
+        dataset: &str,
+        version: u32,
+    ) -> Result<u64, ClientError> {
+        let req = OpenSessionReq {
+            tenant: tenant.into(),
+            dataset: dataset.into(),
+            version,
+        };
+        let (_, payload) = self.call(Op::OpenSession, &req.encode())?;
+        Ok(proto::decode_session_id(&payload)?)
+    }
+
+    /// Upload the session's sample cloud.
+    pub fn put_cloud(&mut self, session: u64, cloud: &PointCloud) -> Result<(), ClientError> {
+        let req = PutCloudReq {
+            session,
+            grid: GridWire::from_grid(cloud.grid()),
+            indices: cloud.indices().iter().map(|&i| i as u64).collect(),
+            values: cloud.values().to_vec(),
+        };
+        self.call(Op::PutCloud, &req.encode())?;
+        Ok(())
+    }
+
+    /// Request a reconstruction onto `target`; `deadline_ms = 0` is
+    /// unbounded.
+    pub fn reconstruct(
+        &mut self,
+        session: u64,
+        target: &Grid3,
+        deadline_ms: u32,
+    ) -> Result<ServedField, ClientError> {
+        let req = ReconstructReq {
+            session,
+            target: GridWire::from_grid(target),
+            deadline_ms,
+        };
+        let (status, payload) = self.call(Op::Reconstruct, &req.encode())?;
+        let body = ReconstructResp::decode(&payload)?;
+        let field = ScalarField::from_vec(*target, body.values)
+            .map_err(|e| ClientError::Wire(proto::WireError(format!("bad field: {e}"))))?;
+        Ok(ServedField {
+            field,
+            degraded: status == Status::Degraded,
+            reason: body.reason,
+        })
+    }
+
+    /// Scrape the server's JSON stats (telemetry snapshot + per-tenant
+    /// counters).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let (_, payload) = self.call(Op::Stats, &[])?;
+        String::from_utf8(payload)
+            .map_err(|_| ClientError::Wire(proto::WireError("non-utf8 stats".into())))
+    }
+
+    /// Close a session.
+    pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
+        self.call(Op::CloseSession, &proto::encode_session_id(session))?;
+        Ok(())
+    }
+
+    /// Ask the server to shut down.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.call(Op::Shutdown, &[])?;
+        Ok(())
+    }
+
+    /// Send raw bytes (protocol robustness tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Read one raw frame (protocol robustness tests).
+    pub fn read_raw(&mut self) -> Result<proto::Frame, ClientError> {
+        Ok(proto::read_frame(&mut self.stream)?)
+    }
+
+    /// The underlying stream (for tests that tear connections).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}

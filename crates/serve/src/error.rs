@@ -1,0 +1,56 @@
+//! Server-side error type.
+
+use crate::proto::ErrorCode;
+
+/// Anything that can go wrong while serving a request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// Model load / reconstruction failure from the core pipeline.
+    Core(fillvoid_core::CoreError),
+    /// No model registered or loadable under the requested key.
+    UnknownModel { dataset: String, version: u32 },
+    /// The registry's byte budget cannot admit this model.
+    BudgetExhausted { need: usize, budget: usize },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o: {e}"),
+            ServeError::Core(e) => write!(f, "pipeline: {e}"),
+            ServeError::UnknownModel { dataset, version } => {
+                write!(f, "no model for ({dataset}, v{version})")
+            }
+            ServeError::BudgetExhausted { need, budget } => {
+                write!(f, "model needs {need} B but the registry budget is {budget} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<fillvoid_core::CoreError> for ServeError {
+    fn from(e: fillvoid_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl ServeError {
+    /// The protocol error code this maps to.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServeError::UnknownModel { .. } => ErrorCode::UnknownModel,
+            ServeError::BudgetExhausted { .. } => ErrorCode::Internal,
+            ServeError::Io(_) | ServeError::Core(_) => ErrorCode::Internal,
+        }
+    }
+}

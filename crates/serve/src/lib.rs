@@ -1,0 +1,45 @@
+//! # fv-serve — reconstruction as a service
+//!
+//! A multi-tenant TCP server that serves [`fillvoid_core::FcnnPipeline`]
+//! reconstructions over a zero-dependency binary protocol (`FVS1`,
+//! length-prefixed + CRC-checked frames, same framing family as the FVF2
+//! volume and FVPL pipeline formats). Four layers:
+//!
+//! 1. **Model registry** ([`registry`]) — loads pretrained / fine-tuned
+//!    pipelines from FVPL files or [`fillvoid_core::checkpoint::CheckpointStore`]
+//!    directories, keyed by `(dataset, model_version)`, LRU-evicted under
+//!    a byte budget.
+//! 2. **Session manager** ([`session`]) — per-tenant sessions holding the
+//!    uploaded sample cloud, per-tenant telemetry counters, and the
+//!    in-flight admission cap (RAII slots, panic-safe).
+//! 3. **Micro-batcher** ([`batcher`]) — coalesces concurrent requests
+//!    for the same model into shared packed forward passes through one
+//!    reusable inference workspace, flushing on size or deadline. Row
+//!    packing is bitwise-identical to per-request
+//!    [`fillvoid_core::FcnnPipeline::reconstruct`] because every query row
+//!    is an independent dot product.
+//! 4. **Admission + degradation** ([`breaker`], [`server`]) — bounded
+//!    queues, per-tenant in-flight caps, per-request deadlines via
+//!    [`fv_runtime::ExecCtx`], and a circuit breaker that demotes a
+//!    failing model to classical IDW interpolation with a typed
+//!    `Degraded` response instead of an outage.
+//!
+//! Protocol spec: DESIGN.md §14. Bench: `exp_serve` (BENCH_serve.json).
+
+pub mod batcher;
+pub mod breaker;
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod registry;
+pub mod server;
+pub mod session;
+
+pub use batcher::{BatchConfig, MicroBatcher};
+pub use breaker::{Breaker, BreakerState};
+pub use client::{Client, ClientError, ServedField};
+pub use error::ServeError;
+pub use proto::{ErrorCode, Op, Status};
+pub use registry::{ModelEntry, ModelRegistry};
+pub use server::{ServeConfig, Server};
+pub use session::{SessionManager, TenantStats};

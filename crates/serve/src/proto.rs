@@ -1,0 +1,778 @@
+//! The FVS1 wire protocol: CRC'd length-prefixed binary frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! | offset | size | field                                  |
+//! |--------|------|----------------------------------------|
+//! | 0      | 4    | magic `"FVS1"`                         |
+//! | 4      | 2    | protocol version (u16 LE, currently 1) |
+//! | 6      | 1    | op code ([`Op`])                       |
+//! | 7      | 1    | status ([`Status`]; 0 in requests)     |
+//! | 8      | 4    | payload length (u32 LE)                |
+//! | 12     | n    | payload                                |
+//! | 12+n   | 4    | CRC-32 of the payload (u32 LE)         |
+//!
+//! The same framing discipline as the FVF2/FVCK on-disk formats: a fixed
+//! magic so a misdirected byte stream is rejected on the first read, an
+//! explicit declared length so a reader never trusts the peer for its
+//! allocation size (lengths above [`MAX_PAYLOAD`] are rejected *before*
+//! any buffer is reserved), and a trailing CRC so a flipped bit anywhere
+//! in the payload surfaces as a typed [`FrameError::BadCrc`] instead of a
+//! garbage reconstruction. Responses echo the request's op code; the
+//! status byte distinguishes full-fidelity results from breaker-demoted
+//! [`Status::Degraded`] ones and from typed errors.
+
+use fv_field::checksum::crc32;
+use std::io::{Read, Write};
+
+/// Frame magic: "FVS1" (FillVoid Serve, wire format 1).
+pub const MAGIC: [u8; 4] = *b"FVS1";
+/// Protocol version carried in every frame.
+pub const VERSION: u16 = 1;
+/// Upper bound on a declared payload length (64 MiB). A frame announcing
+/// more is rejected before any allocation happens.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+/// Fixed frame header size (everything before the payload).
+pub const HEADER_LEN: usize = 12;
+
+/// Operation codes. Responses echo the request's op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Liveness probe; empty payload both ways.
+    Ping = 1,
+    /// Open a tenant session bound to a `(dataset, model_version)` model.
+    OpenSession = 2,
+    /// Close a session, releasing its slot and sample cloud.
+    CloseSession = 3,
+    /// Upload the session's sample cloud (grid geometry + indices + values).
+    PutCloud = 4,
+    /// Reconstruct a dense field on a target grid from the session's cloud.
+    Reconstruct = 5,
+    /// Scrape the server: telemetry snapshot + per-tenant counters (JSON).
+    Stats = 6,
+    /// Ask the server to shut down gracefully.
+    Shutdown = 7,
+}
+
+impl Op {
+    /// Decode an op byte; `None` for unknown codes.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => Op::Ping,
+            2 => Op::OpenSession,
+            3 => Op::CloseSession,
+            4 => Op::PutCloud,
+            5 => Op::Reconstruct,
+            6 => Op::Stats,
+            7 => Op::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Full-fidelity result.
+    Ok = 0,
+    /// The model path was demoted (circuit breaker open, model panic, or
+    /// non-finite output); the payload holds the classical-interpolation
+    /// fallback instead of an error.
+    Degraded = 1,
+    /// Typed error; payload is an [`ErrorBody`].
+    Error = 2,
+    /// The server is shutting down; the request was not executed.
+    ShuttingDown = 3,
+}
+
+impl Status {
+    /// Decode a status byte; `None` for unknown codes.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => Status::Ok,
+            1 => Status::Degraded,
+            2 => Status::Error,
+            3 => Status::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed error codes carried in [`ErrorBody`] payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame itself was malformed (bad magic/version/CRC/length); the
+    /// connection is dropped after this response since the stream can no
+    /// longer be trusted.
+    BadFrame = 1,
+    /// Unknown op byte.
+    UnknownOp = 2,
+    /// Known op, malformed or semantically invalid payload.
+    BadRequest = 3,
+    /// No session with that id.
+    UnknownSession = 4,
+    /// The registry has no model under that `(dataset, version)` key.
+    UnknownModel = 5,
+    /// The micro-batcher queue is full; retry with backoff.
+    Busy = 6,
+    /// The tenant is at its in-flight cap; retry after a response arrives.
+    TooManyInFlight = 7,
+    /// The request's deadline expired before its batch ran.
+    DeadlineExceeded = 8,
+    /// Internal server failure.
+    Internal = 9,
+}
+
+impl ErrorCode {
+    /// Decode an error code; `None` for unknown values.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::UnknownOp,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::UnknownSession,
+            5 => ErrorCode::UnknownModel,
+            6 => ErrorCode::Busy,
+            7 => ErrorCode::TooManyInFlight,
+            8 => ErrorCode::DeadlineExceeded,
+            9 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Raw op byte (validated by the dispatcher so unknown ops get a typed
+    /// response instead of a dropped connection).
+    pub op: u8,
+    /// Raw status byte (0 in requests).
+    pub status: u8,
+    /// Payload bytes (CRC already verified).
+    pub payload: Vec<u8>,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end-of-stream at a frame boundary (peer closed the
+    /// connection; not an error).
+    Eof,
+    /// Stream ended mid-frame.
+    Truncated,
+    /// First four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u16),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Payload CRC mismatch.
+    BadCrc { expect: u32, got: u32 },
+    /// Underlying transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::Oversized(n) => {
+                write!(f, "declared payload {n} exceeds cap {MAX_PAYLOAD}")
+            }
+            FrameError::BadCrc { expect, got } => {
+                write!(f, "payload crc mismatch: stored {expect:#010x}, computed {got:#010x}")
+            }
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Encode a frame into a byte vector (header + payload + CRC).
+pub fn encode_frame(op: u8, status: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(op);
+    buf.push(status);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf
+}
+
+/// Write one frame.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    op: u8,
+    status: u8,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    debug_assert!(payload.len() as u64 <= MAX_PAYLOAD as u64);
+    w.write_all(&encode_frame(op, status, payload))?;
+    w.flush()
+}
+
+/// Read one frame, verifying magic, version, declared length and CRC.
+///
+/// A connection closed *between* frames reads as [`FrameError::Eof`]; one
+/// closed *inside* a frame reads as [`FrameError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte separately: zero bytes here is a clean close, not a
+    // truncation.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(FrameError::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    header[0] = first[0];
+    r.read_exact(&mut header[1..])?;
+
+    let magic = [header[0], header[1], header[2], header[3]];
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let op = header[6];
+    let status = header[7];
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    let expect = u32::from_le_bytes(crc_buf);
+    let got = crc32(&payload);
+    if expect != got {
+        return Err(FrameError::BadCrc { expect, got });
+    }
+    Ok(Frame {
+        op,
+        status,
+        payload,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+/// Payload decode failure (maps to [`ErrorCode::BadRequest`] server-side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor over a received payload.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError(format!("need {n} bytes at offset {}", self.pos)))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError("non-utf8 string".into()))
+    }
+
+    fn f32_vec(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n.checked_mul(4).ok_or_else(|| WireError("f32 count overflow".into()))?)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n.checked_mul(8).ok_or_else(|| WireError("u64 count overflow".into()))?)?;
+        Ok(b.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Wire form of a [`fv_field::Grid3`]: dims + physical origin + spacing
+/// (all three are needed to rebuild the geometry exactly — transfer to a
+/// refined or translated grid is Experiment 3's whole point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridWire {
+    /// Grid dimensions.
+    pub dims: [u64; 3],
+    /// Physical origin.
+    pub origin: [f64; 3],
+    /// Physical spacing.
+    pub spacing: [f64; 3],
+}
+
+impl GridWire {
+    /// Capture a grid for the wire.
+    pub fn from_grid(g: &fv_field::Grid3) -> Self {
+        let d = g.dims();
+        Self {
+            dims: [d[0] as u64, d[1] as u64, d[2] as u64],
+            origin: g.origin(),
+            spacing: g.spacing(),
+        }
+    }
+
+    /// Rebuild the grid (validates dims/spacing like any constructor).
+    pub fn to_grid(&self) -> Result<fv_field::Grid3, WireError> {
+        fv_field::Grid3::with_geometry(
+            [
+                self.dims[0] as usize,
+                self.dims[1] as usize,
+                self.dims[2] as usize,
+            ],
+            self.origin,
+            self.spacing,
+        )
+        .map_err(|e| WireError(format!("bad grid: {e}")))
+    }
+
+    fn put(&self, buf: &mut Vec<u8>) {
+        for d in self.dims {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        for o in self.origin {
+            buf.extend_from_slice(&o.to_bits().to_le_bytes());
+        }
+        for s in self.spacing {
+            buf.extend_from_slice(&s.to_bits().to_le_bytes());
+        }
+    }
+
+    fn get(r: &mut Rd<'_>) -> Result<Self, WireError> {
+        let mut g = GridWire {
+            dims: [0; 3],
+            origin: [0.0; 3],
+            spacing: [0.0; 3],
+        };
+        for d in &mut g.dims {
+            *d = r.u64()?;
+        }
+        for o in &mut g.origin {
+            *o = r.f64()?;
+        }
+        for s in &mut g.spacing {
+            *s = r.f64()?;
+        }
+        Ok(g)
+    }
+}
+
+/// `OpenSession` request body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenSessionReq {
+    /// Tenant name (admission control and telemetry are per tenant).
+    pub tenant: String,
+    /// Dataset key of the model to bind.
+    pub dataset: String,
+    /// Model version (pretrained = 0, fine-tuned snapshots count up).
+    pub version: u32,
+}
+
+impl OpenSessionReq {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_str(&mut buf, &self.tenant);
+        put_str(&mut buf, &self.dataset);
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        let mut r = Rd::new(b);
+        let v = Self {
+            tenant: r.string()?,
+            dataset: r.string()?,
+            version: r.u32()?,
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// `PutCloud` request body: the sample cloud as grid geometry + sorted
+/// linear indices + values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PutCloudReq {
+    /// Session to attach the cloud to.
+    pub session: u64,
+    /// Source grid the indices refer to.
+    pub grid: GridWire,
+    /// Linear indices of the sampled nodes.
+    pub indices: Vec<u64>,
+    /// Sampled values, aligned with `indices`.
+    pub values: Vec<f32>,
+}
+
+impl PutCloudReq {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.session.to_le_bytes());
+        self.grid.put(&mut buf);
+        buf.extend_from_slice(&(self.indices.len() as u32).to_le_bytes());
+        for i in &self.indices {
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.values.len() as u32).to_le_bytes());
+        for v in &self.values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        let mut r = Rd::new(b);
+        let v = Self {
+            session: r.u64()?,
+            grid: GridWire::get(&mut r)?,
+            indices: r.u64_vec()?,
+            values: r.f32_vec()?,
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// `Reconstruct` request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconstructReq {
+    /// Session whose cloud and model to use.
+    pub session: u64,
+    /// Target grid to densify onto.
+    pub target: GridWire,
+    /// Per-request deadline in milliseconds (0 = unbounded).
+    pub deadline_ms: u32,
+}
+
+impl ReconstructReq {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.session.to_le_bytes());
+        self.target.put(&mut buf);
+        buf.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        buf
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        let mut r = Rd::new(b);
+        let v = Self {
+            session: r.u64()?,
+            target: GridWire::get(&mut r)?,
+            deadline_ms: r.u32()?,
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// `Reconstruct` response body: the dense field values plus (for
+/// [`Status::Degraded`]) a human-readable demotion reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconstructResp {
+    /// Reconstructed values in linear grid order.
+    pub values: Vec<f32>,
+    /// Why the model path was demoted; empty for full-fidelity responses.
+    pub reason: String,
+}
+
+impl ReconstructResp {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + self.values.len() * 4 + self.reason.len());
+        buf.extend_from_slice(&(self.values.len() as u32).to_le_bytes());
+        for v in &self.values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        put_str(&mut buf, &self.reason);
+        buf
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        let mut r = Rd::new(b);
+        let v = Self {
+            values: r.f32_vec()?,
+            reason: r.string()?,
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// Body of every [`Status::Error`] / [`Status::ShuttingDown`] response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Typed error code.
+    pub code: u16,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorBody {
+    /// Build from a typed code.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code: code as u16,
+            message: message.into(),
+        }
+    }
+
+    /// The typed code, if recognized.
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        ErrorCode::from_u16(self.code)
+    }
+
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.code.to_le_bytes());
+        // Truncate pathological messages rather than reject them.
+        let msg = if self.message.len() > u16::MAX as usize {
+            &self.message[..u16::MAX as usize]
+        } else {
+            &self.message
+        };
+        put_str(&mut buf, msg);
+        buf
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        let mut r = Rd::new(b);
+        let v = Self {
+            code: r.u16()?,
+            message: r.string()?,
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// `OpenSession` response body: the allocated session id.
+pub fn encode_session_id(id: u64) -> Vec<u8> {
+    id.to_le_bytes().to_vec()
+}
+
+/// Decode an `OpenSession` response body.
+pub fn decode_session_id(b: &[u8]) -> Result<u64, WireError> {
+    let mut r = Rd::new(b);
+    let id = r.u64()?;
+    r.finish()?;
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = b"hello serve".to_vec();
+        let bytes = encode_frame(Op::Ping as u8, Status::Ok as u8, &payload);
+        let f = read_frame(&mut bytes.as_slice()).unwrap();
+        assert_eq!(f.op, Op::Ping as u8);
+        assert_eq!(f.status, Status::Ok as u8);
+        assert_eq!(f.payload, payload);
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut { empty }),
+            Err(FrameError::Eof)
+        ));
+    }
+
+    #[test]
+    fn truncated_header_and_payload() {
+        let bytes = encode_frame(1, 0, b"payload");
+        for cut in 1..bytes.len() {
+            let mut part = &bytes[..cut];
+            assert!(
+                matches!(read_frame(&mut part), Err(FrameError::Truncated)),
+                "cut at {cut} must read as truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_crc_oversized() {
+        let mut bytes = encode_frame(1, 0, b"x");
+        bytes[0] = b'Z';
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut bytes = encode_frame(1, 0, b"x");
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(FrameError::BadVersion(_))
+        ));
+
+        let mut bytes = encode_frame(1, 0, b"abcd");
+        let n = bytes.len();
+        bytes[n - 6] ^= 0x40; // flip a payload bit; stored CRC now disagrees
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(FrameError::BadCrc { .. })
+        ));
+
+        let mut bytes = encode_frame(1, 0, b"x");
+        bytes[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn body_roundtrips() {
+        let open = OpenSessionReq {
+            tenant: "acme".into(),
+            dataset: "hurricane".into(),
+            version: 3,
+        };
+        assert_eq!(OpenSessionReq::decode(&open.encode()).unwrap(), open);
+
+        let g = fv_field::Grid3::with_geometry([4, 5, 6], [1.0, -2.0, 0.5], [0.1, 0.2, 0.3])
+            .unwrap();
+        let wire = GridWire::from_grid(&g);
+        assert_eq!(wire.to_grid().unwrap(), g);
+
+        let put = PutCloudReq {
+            session: 7,
+            grid: wire,
+            indices: vec![0, 5, 9],
+            values: vec![1.0, -2.5, 3.25],
+        };
+        assert_eq!(PutCloudReq::decode(&put.encode()).unwrap(), put);
+
+        let rec = ReconstructReq {
+            session: 7,
+            target: wire,
+            deadline_ms: 250,
+        };
+        assert_eq!(ReconstructReq::decode(&rec.encode()).unwrap(), rec);
+
+        let resp = ReconstructResp {
+            values: vec![0.0, f32::MIN_POSITIVE, -1.0],
+            reason: "breaker open".into(),
+        };
+        assert_eq!(ReconstructResp::decode(&resp.encode()).unwrap(), resp);
+
+        let err = ErrorBody::new(ErrorCode::Busy, "queue full");
+        let back = ErrorBody::decode(&err.encode()).unwrap();
+        assert_eq!(back.error_code(), Some(ErrorCode::Busy));
+        assert_eq!(back.message, "queue full");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut b = OpenSessionReq {
+            tenant: "t".into(),
+            dataset: "d".into(),
+            version: 0,
+        }
+        .encode();
+        b.push(0);
+        assert!(OpenSessionReq::decode(&b).is_err());
+    }
+}

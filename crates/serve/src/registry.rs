@@ -1,0 +1,360 @@
+//! Model registry: `(dataset, model_version)` → trained pipeline, with
+//! LRU eviction under a byte budget.
+//!
+//! Models arrive from two sources: direct in-memory registration (tests,
+//! benches, co-located in-situ producers) and lazy disk loading under a
+//! configured root. On disk a key `(dataset, v)` resolves to either a
+//! single FVPL pipeline file `<root>/<dataset>/v<v>.fvpl` or — the
+//! fine-tuned, crash-safe path — a `CheckpointStore` directory
+//! `<root>/<dataset>/v<v>/` whose newest valid FVCK generation wins.
+//!
+//! Entries are `Arc`'d: eviction only drops the registry's reference, so
+//! requests already holding the model finish unaffected. Each entry
+//! carries its own circuit [`Breaker`] — a model that keeps panicking or
+//! emitting non-finite output is demoted to the classical fallback
+//! without affecting its neighbors.
+
+use crate::breaker::{Breaker, BreakerState};
+use crate::error::ServeError;
+use fillvoid_core::checkpoint::CheckpointStore;
+use fillvoid_core::FcnnPipeline;
+use fv_runtime::telemetry;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+static TM_HIT: telemetry::Counter = telemetry::Counter::new("serve.registry.hit");
+static TM_MISS: telemetry::Counter = telemetry::Counter::new("serve.registry.miss");
+static TM_EVICT: telemetry::Counter = telemetry::Counter::new("serve.registry.evict");
+static TM_BYTES: telemetry::Gauge = telemetry::Gauge::new("serve.registry.bytes");
+
+/// Registry key.
+pub type ModelKey = (String, u32);
+
+/// One resident model.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// Registry key.
+    pub key: ModelKey,
+    /// The trained pipeline (immutable once registered).
+    pub pipeline: FcnnPipeline,
+    /// Serialized size, charged against the registry budget.
+    pub size_bytes: usize,
+    breaker: Mutex<Breaker>,
+}
+
+impl ModelEntry {
+    /// Breaker gate for one request; `false` demotes to the fallback.
+    pub fn breaker_allow(&self) -> bool {
+        self.breaker.lock().expect("breaker lock").allow()
+    }
+
+    /// Record a model-path outcome.
+    pub fn breaker_record(&self, ok: bool) {
+        let mut b = self.breaker.lock().expect("breaker lock");
+        if ok {
+            b.record_success()
+        } else {
+            b.record_failure()
+        }
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.lock().expect("breaker lock").state()
+    }
+
+    /// Times this model's breaker tripped.
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker.lock().expect("breaker lock").opens()
+    }
+}
+
+struct Slot {
+    entry: Arc<ModelEntry>,
+    last_used: u64,
+}
+
+struct Inner {
+    slots: HashMap<ModelKey, Slot>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Byte-budgeted LRU model registry.
+pub struct ModelRegistry {
+    budget: usize,
+    root: Option<PathBuf>,
+    breaker_threshold: u32,
+    breaker_probe_after: u32,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("registry lock");
+        f.debug_struct("ModelRegistry")
+            .field("budget", &self.budget)
+            .field("root", &self.root)
+            .field("models", &inner.slots.len())
+            .field("bytes", &inner.bytes)
+            .finish()
+    }
+}
+
+impl ModelRegistry {
+    /// An in-memory-only registry under a byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget: budget_bytes.max(1),
+            root: None,
+            breaker_threshold: 3,
+            breaker_probe_after: 8,
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Resolve cache misses from `<root>/<dataset>/v<version>{.fvpl,/}`.
+    pub fn with_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.root = Some(root.into());
+        self
+    }
+
+    /// Configure per-model breakers (consecutive failures to trip, denied
+    /// requests per recovery probe).
+    pub fn with_breaker(mut self, threshold: u32, probe_after: u32) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_probe_after = probe_after;
+        self
+    }
+
+    /// Register an in-memory pipeline; returns its entry.
+    pub fn insert(
+        &self,
+        dataset: impl Into<String>,
+        version: u32,
+        pipeline: FcnnPipeline,
+    ) -> Result<Arc<ModelEntry>, ServeError> {
+        let key = (dataset.into(), version);
+        let mut payload = Vec::new();
+        pipeline.write_to(&mut payload)?;
+        let entry = Arc::new(ModelEntry {
+            key: key.clone(),
+            pipeline,
+            size_bytes: payload.len(),
+            breaker: Mutex::new(Breaker::new(self.breaker_threshold, self.breaker_probe_after)),
+        });
+        let mut inner = self.inner.lock().expect("registry lock");
+        self.admit(&mut inner, key, entry.clone())?;
+        Ok(entry)
+    }
+
+    /// Look a model up, loading from disk on a miss.
+    pub fn get(&self, dataset: &str, version: u32) -> Result<Arc<ModelEntry>, ServeError> {
+        let key = (dataset.to_string(), version);
+        {
+            let mut inner = self.inner.lock().expect("registry lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(slot) = inner.slots.get_mut(&key) {
+                slot.last_used = tick;
+                TM_HIT.incr();
+                return Ok(slot.entry.clone());
+            }
+        }
+        TM_MISS.incr();
+        // Load outside the lock: a slow disk read must not block lookups
+        // of resident models. A racing load of the same key is harmless —
+        // the second admit finds the key present and returns the winner.
+        let pipeline = self.load_from_disk(dataset, version)?;
+        let mut payload = Vec::new();
+        pipeline.write_to(&mut payload)?;
+        let entry = Arc::new(ModelEntry {
+            key: key.clone(),
+            pipeline,
+            size_bytes: payload.len(),
+            breaker: Mutex::new(Breaker::new(self.breaker_threshold, self.breaker_probe_after)),
+        });
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(slot) = inner.slots.get(&key) {
+            return Ok(slot.entry.clone());
+        }
+        self.admit(&mut inner, key, entry.clone())?;
+        Ok(entry)
+    }
+
+    /// Insert under the budget, evicting least-recently-used entries as
+    /// needed (never the entry being admitted).
+    fn admit(
+        &self,
+        inner: &mut Inner,
+        key: ModelKey,
+        entry: Arc<ModelEntry>,
+    ) -> Result<(), ServeError> {
+        if entry.size_bytes > self.budget {
+            return Err(ServeError::BudgetExhausted {
+                need: entry.size_bytes,
+                budget: self.budget,
+            });
+        }
+        if let Some(old) = inner.slots.remove(&key) {
+            inner.bytes -= old.entry.size_bytes;
+        }
+        while inner.bytes + entry.size_bytes > self.budget {
+            let victim = inner
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let slot = inner.slots.remove(&k).expect("victim present");
+                    inner.bytes -= slot.entry.size_bytes;
+                    TM_EVICT.incr();
+                }
+                None => break, // nothing left to evict; entry fits by the check above
+            }
+        }
+        inner.bytes += entry.size_bytes;
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.slots.insert(key, Slot { entry, last_used: tick });
+        TM_BYTES.set(inner.bytes as u64);
+        Ok(())
+    }
+
+    fn load_from_disk(&self, dataset: &str, version: u32) -> Result<FcnnPipeline, ServeError> {
+        let root = self.root.as_ref().ok_or_else(|| ServeError::UnknownModel {
+            dataset: dataset.to_string(),
+            version,
+        })?;
+        // Keys are path components: reject separators so a tenant cannot
+        // point the registry outside its root.
+        if dataset.is_empty() || dataset.contains(['/', '\\', '.']) {
+            return Err(ServeError::UnknownModel {
+                dataset: dataset.to_string(),
+                version,
+            });
+        }
+        let base = root.join(dataset);
+        let fvpl = base.join(format!("v{version}.fvpl"));
+        if fvpl.is_file() {
+            return Ok(FcnnPipeline::load(&fvpl)?);
+        }
+        let ckpt_dir = base.join(format!("v{version}"));
+        if ckpt_dir.is_dir() {
+            let store = CheckpointStore::open(&ckpt_dir, 4)?;
+            if let Some((_gen, pipeline)) = store.load_latest()? {
+                return Ok(pipeline);
+            }
+        }
+        Err(ServeError::UnknownModel {
+            dataset: dataset.to_string(),
+            version,
+        })
+    }
+
+    /// Resident model count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock").slots.len()
+    }
+
+    /// `true` when no models are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("registry lock").bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Is this key resident (without touching LRU order)?
+    pub fn contains(&self, dataset: &str, version: u32) -> bool {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .slots
+            .contains_key(&(dataset.to_string(), version))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fillvoid_core::PipelineConfig;
+    use fv_field::{Grid3, ScalarField};
+
+    fn tiny_pipeline(seed: u64) -> FcnnPipeline {
+        let g = Grid3::new([8, 8, 4]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[0] * 0.3).sin() as f32 + p[1] as f32 * 0.1);
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.trainer.epochs = 2;
+        FcnnPipeline::train(&f, &cfg, seed).unwrap()
+    }
+
+    #[test]
+    fn lru_evicts_under_budget() {
+        let p = tiny_pipeline(1);
+        let mut bytes = Vec::new();
+        p.write_to(&mut bytes).unwrap();
+        let one = bytes.len();
+        // Budget for two models: inserting a third evicts the LRU.
+        let reg = ModelRegistry::new(one * 2 + one / 2);
+        reg.insert("a", 0, p.clone()).unwrap();
+        reg.insert("b", 0, p.clone()).unwrap();
+        assert_eq!(reg.len(), 2);
+        reg.get("a", 0).unwrap(); // touch "a": "b" becomes LRU
+        reg.insert("c", 0, p.clone()).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains("a", 0) && reg.contains("c", 0));
+        assert!(!reg.contains("b", 0));
+        assert!(reg.bytes() <= reg.budget());
+    }
+
+    #[test]
+    fn oversized_model_rejected_outright() {
+        let p = tiny_pipeline(2);
+        let reg = ModelRegistry::new(16);
+        assert!(matches!(
+            reg.insert("a", 0, p),
+            Err(ServeError::BudgetExhausted { .. })
+        ));
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn disk_roundtrip_via_fvpl_and_checkpoint_store() {
+        let p = tiny_pipeline(3);
+        let dir = std::env::temp_dir().join(format!("fv_serve_reg_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("hurricane")).unwrap();
+        p.save(dir.join("hurricane/v1.fvpl")).unwrap();
+        let mut store = CheckpointStore::open(dir.join("hurricane/v2"), 2).unwrap();
+        store.save(&p).unwrap();
+
+        let reg = ModelRegistry::new(64 << 20).with_root(&dir);
+        let a = reg.get("hurricane", 1).unwrap();
+        let b = reg.get("hurricane", 2).unwrap();
+        assert_eq!(a.pipeline.mlp(), p.mlp());
+        assert_eq!(b.pipeline.mlp(), p.mlp());
+        assert!(matches!(
+            reg.get("hurricane", 9),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            reg.get("../hurricane", 1),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

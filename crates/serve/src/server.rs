@@ -1,0 +1,762 @@
+//! The TCP server: accept loop, per-connection dispatch, graceful
+//! shutdown.
+//!
+//! ## Threading model
+//!
+//! Accept and per-connection frame I/O run on plain OS threads — blocking
+//! socket reads must never occupy `fv-runtime` pool workers, or 64 idle
+//! connections would starve the 4-worker compute pool into deadlock. All
+//! *compute* (feature extraction, forward passes, fallback interpolation)
+//! happens on the batcher thread, which drives the global `fv-runtime`
+//! pool through the same `rayon` facade as the direct path — a packed
+//! micro-batch crosses the granularity threshold and saturates the pool
+//! where 16 serial single-request passes would not.
+//!
+//! ## Shutdown
+//!
+//! `Server::shutdown` (also run on drop) is idempotent and total:
+//! 1. set the shutdown flag — new connections and new requests are
+//!    answered `ShuttingDown`;
+//! 2. wake the blocking accept loop with a loopback connect and join it;
+//! 3. stop the batcher: the pending batch is flushed (in-flight work
+//!    completes), everything queued behind the marker gets a typed
+//!    `Shutdown` response, and the batcher thread is joined;
+//! 4. `shutdown(Both)` every connection socket — blocked reads and
+//!    writes return — and join every connection thread.
+//!
+//! Nothing is detached: after `shutdown` returns, no server thread is
+//! alive and the port is free (verified by the 100-cycle restart test).
+
+use crate::batcher::{BatchConfig, MicroBatcher, ReconJob, ReconOutcome};
+use crate::proto::{
+    self, ErrorBody, ErrorCode, Frame, FrameError, Op, OpenSessionReq, PutCloudReq,
+    ReconstructReq, ReconstructResp, Status,
+};
+use crate::registry::ModelRegistry;
+use crate::session::SessionManager;
+use fv_field::ScalarField;
+use fv_runtime::{chaos, telemetry, Deadline, ExecCtx};
+use fv_sampling::PointCloud;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
+
+static TM_ACCEPT: telemetry::Counter = telemetry::Counter::new("serve.accepted");
+static TM_REQ: telemetry::Site = telemetry::Site::new("serve.request", None);
+static TM_REQUESTS: telemetry::Counter = telemetry::Counter::new("serve.requests");
+static TM_PROTO_ERR: telemetry::Counter = telemetry::Counter::new("serve.proto_errors");
+static TM_REJECT_BUSY: telemetry::Counter = telemetry::Counter::new("serve.reject.busy");
+static TM_INTERN_HIT: telemetry::Counter = telemetry::Counter::new("serve.cloud.intern_hits");
+
+/// Server configuration. Every knob has an `FV_SERVE_*` env override
+/// (see [`ServeConfig::from_env`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Model registry byte budget.
+    pub registry_budget: usize,
+    /// Directory models are lazily loaded from (`None` = in-memory only).
+    pub model_root: Option<PathBuf>,
+    /// Per-tenant in-flight request cap.
+    pub max_inflight_per_tenant: u64,
+    /// Consecutive model failures that trip a model's breaker.
+    pub breaker_threshold: u32,
+    /// Demoted requests per breaker recovery probe.
+    pub breaker_probe_after: u32,
+    /// Micro-batcher tuning.
+    pub batch: BatchConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            registry_budget: 256 << 20,
+            model_root: None,
+            max_inflight_per_tenant: 32,
+            breaker_threshold: 3,
+            breaker_probe_after: 8,
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by `FV_SERVE_ADDR`, `FV_SERVE_MODEL_ROOT`,
+    /// `FV_SERVE_BUDGET_MB`, `FV_SERVE_MAX_INFLIGHT`, `FV_SERVE_QUEUE`,
+    /// `FV_SERVE_BATCH_ROWS`, `FV_SERVE_FLUSH_US` and `FV_SERVE_BATCH`
+    /// (`0` disables micro-batching).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        let get = |k: &str| std::env::var(k).ok();
+        if let Some(v) = get("FV_SERVE_ADDR") {
+            cfg.addr = v;
+        }
+        if let Some(v) = get("FV_SERVE_MODEL_ROOT") {
+            cfg.model_root = Some(v.into());
+        }
+        if let Some(v) = get("FV_SERVE_BUDGET_MB").and_then(|v| v.parse::<usize>().ok()) {
+            cfg.registry_budget = v << 20;
+        }
+        if let Some(v) = get("FV_SERVE_MAX_INFLIGHT").and_then(|v| v.parse().ok()) {
+            cfg.max_inflight_per_tenant = v;
+        }
+        if let Some(v) = get("FV_SERVE_QUEUE").and_then(|v| v.parse().ok()) {
+            cfg.batch.queue_depth = v;
+        }
+        if let Some(v) = get("FV_SERVE_BATCH_ROWS").and_then(|v| v.parse().ok()) {
+            cfg.batch.max_rows = v;
+        }
+        if let Some(v) = get("FV_SERVE_FLUSH_US").and_then(|v| v.parse().ok()) {
+            cfg.batch.flush_after = Duration::from_micros(v);
+        }
+        if let Some(v) = get("FV_SERVE_BATCH") {
+            cfg.batch.batch = v != "0";
+        }
+        cfg
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    registry: Arc<ModelRegistry>,
+    sessions: SessionManager,
+    batcher: MicroBatcher,
+    shutdown: AtomicBool,
+    conn_seq: AtomicU64,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    // Interned uploads, keyed by content fingerprint (collisions resolved
+    // by full comparison). Weak: an interned cloud lives only as long as
+    // some session or in-flight job holds it.
+    clouds: Mutex<HashMap<u64, Vec<Weak<PointCloud>>>>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Intern an uploaded cloud: byte-identical uploads (same grid, same
+    /// indices, same value bits) resolve to one shared `Arc`, making
+    /// "same cloud" a pointer check — which is what lets the
+    /// micro-batcher coalesce identical concurrent requests into a single
+    /// unit of work.
+    fn intern_cloud(&self, cloud: PointCloud) -> Arc<PointCloud> {
+        let fp = cloud_fingerprint(&cloud);
+        let mut table = self.clouds.lock().expect("cloud intern table");
+        let slot = table.entry(fp).or_default();
+        slot.retain(|w| w.strong_count() > 0);
+        for weak in slot.iter() {
+            if let Some(existing) = weak.upgrade() {
+                if existing.grid() == cloud.grid()
+                    && existing.indices() == cloud.indices()
+                    && existing.values().len() == cloud.values().len()
+                    && existing
+                        .values()
+                        .iter()
+                        .zip(cloud.values())
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+                {
+                    TM_INTERN_HIT.incr();
+                    return existing;
+                }
+            }
+        }
+        let arc = Arc::new(cloud);
+        slot.push(Arc::downgrade(&arc));
+        arc
+    }
+
+    fn unregister_conn(&self, id: u64) {
+        self.conns
+            .lock()
+            .expect("conn table")
+            .retain(|(cid, _)| *cid != id);
+    }
+}
+
+/// A running reconstruction server.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    done: bool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("sessions", &self.shared.sessions.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Bind and start serving with a fresh registry built from `cfg`.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Self> {
+        let mut registry = ModelRegistry::new(cfg.registry_budget)
+            .with_breaker(cfg.breaker_threshold, cfg.breaker_probe_after);
+        if let Some(root) = &cfg.model_root {
+            registry = registry.with_root(root);
+        }
+        Self::start_with_registry(cfg, Arc::new(registry))
+    }
+
+    /// Bind and start serving over a caller-owned registry (tests and
+    /// benches pre-register in-memory models this way).
+    pub fn start_with_registry(
+        cfg: ServeConfig,
+        registry: Arc<ModelRegistry>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            sessions: SessionManager::new(cfg.max_inflight_per_tenant),
+            batcher: MicroBatcher::start(cfg.batch.clone()),
+            cfg,
+            registry,
+            shutdown: AtomicBool::new(false),
+            conn_seq: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            clouds: Mutex::new(HashMap::new()),
+        });
+        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = shared.clone();
+            let handlers = handlers.clone();
+            std::thread::Builder::new()
+                .name("fv-serve-accept".into())
+                .spawn(move || accept_loop(listener, shared, handlers))?
+        };
+        Ok(Self {
+            addr,
+            shared,
+            accept: Some(accept),
+            handlers,
+            done: false,
+        })
+    }
+
+    /// The bound address (use with port 0 to discover the ephemeral
+    /// port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live session count (observability for tests).
+    pub fn session_count(&self) -> usize {
+        self.shared.sessions.len()
+    }
+
+    /// The server's model registry.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Graceful, idempotent shutdown; see the module docs for the exact
+    /// sequence. After this returns, no server thread is alive.
+    pub fn shutdown(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept call; the loop observes the flag and
+        // exits (the listener closes with it).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Flush in-flight batches, answer queued requests with Shutdown,
+        // join the batcher. Connection threads blocked on a response
+        // receive it here and write it out before their sockets close.
+        self.shared.batcher.shutdown();
+        // Unblock every connection thread and join it.
+        for (_, stream) in self.shared.conns.lock().expect("conn table").iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<_> = self.handlers.lock().expect("handler table").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        // Chaos: a panic or injected I/O error while setting a connection
+        // up must cost only that connection, never the listener.
+        let ok = std::panic::catch_unwind(|| {
+            chaos::point("serve.accept");
+            chaos::io_error("serve.accept").is_none()
+        })
+        .unwrap_or(false);
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) if shared.shutting_down() => break,
+            Err(_) => continue,
+        };
+        if !ok {
+            continue; // injected accept failure: drop this connection only
+        }
+        TM_ACCEPT.incr();
+        let _ = stream.set_nodelay(true);
+        let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conn table").push((id, clone));
+        }
+        let conn_shared = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("fv-serve-conn-{id}"))
+            .spawn(move || {
+                // A panicking handler (chaos or bug) drops only this
+                // connection; sessions it opened are closed on the way
+                // out, so no slot leaks.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_conn(&conn_shared, stream, id)
+                }));
+                conn_shared.unregister_conn(id);
+            });
+        match spawned {
+            Ok(handle) => {
+                let mut table = handlers.lock().expect("handler table");
+                // Opportunistically reap finished threads so a long-lived
+                // server doesn't accumulate dead handles.
+                let (done, live): (Vec<_>, Vec<_>) =
+                    table.drain(..).partition(|h| h.is_finished());
+                for h in done {
+                    let _ = h.join();
+                }
+                *table = live;
+                table.push(handle);
+            }
+            Err(_) => shared.unregister_conn(id),
+        }
+    }
+}
+
+/// Closes the connection's sessions on drop — including during a panic
+/// unwind — so a dying handler thread can never leak a session slot.
+struct SessionCleanup<'a> {
+    shared: &'a Shared,
+    ids: Vec<u64>,
+}
+
+impl Drop for SessionCleanup<'_> {
+    fn drop(&mut self) {
+        for id in &self.ids {
+            self.shared.sessions.close(*id);
+        }
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream, _id: u64) {
+    let mut cleanup = SessionCleanup {
+        shared,
+        ids: Vec::new(),
+    };
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        let frame = match read_frame_chaos(&mut stream) {
+            Ok(f) => f,
+            Err(FrameError::Eof) => break,
+            Err(e) => {
+                TM_PROTO_ERR.incr();
+                // Best-effort typed response; the stream itself can no
+                // longer be trusted, so the connection closes either way.
+                let body = ErrorBody::new(ErrorCode::BadFrame, e.to_string());
+                let _ = proto::write_frame(
+                    &mut stream,
+                    0,
+                    Status::Error as u8,
+                    &body.encode(),
+                );
+                break;
+            }
+        };
+        let _span = TM_REQ.span();
+        let keep_going = dispatch(shared, &mut stream, &frame, &mut cleanup.ids);
+        if !keep_going {
+            break;
+        }
+    }
+}
+
+/// Frame read with the `serve.decode` chaos site in front: injected
+/// panics and I/O errors model a hostile/failing transport.
+fn read_frame_chaos(stream: &mut TcpStream) -> Result<Frame, FrameError> {
+    if let Some(e) = chaos::io_error("serve.decode") {
+        return Err(FrameError::Io(e));
+    }
+    chaos::point("serve.decode");
+    proto::read_frame(stream)
+}
+
+fn write_error(
+    stream: &mut TcpStream,
+    op: u8,
+    status: Status,
+    code: ErrorCode,
+    message: impl Into<String>,
+) -> bool {
+    let body = ErrorBody::new(code, message);
+    proto::write_frame(stream, op, status as u8, &body.encode()).is_ok()
+}
+
+/// Handle one decoded frame. Returns `false` when the connection should
+/// close.
+fn dispatch(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    frame: &Frame,
+    my_sessions: &mut Vec<u64>,
+) -> bool {
+    let op = match Op::from_u8(frame.op) {
+        Some(op) => op,
+        None => {
+            return write_error(
+                stream,
+                frame.op,
+                Status::Error,
+                ErrorCode::UnknownOp,
+                format!("unknown op {}", frame.op),
+            )
+        }
+    };
+    if shared.shutting_down() && op != Op::Ping {
+        return write_error(
+            stream,
+            frame.op,
+            Status::ShuttingDown,
+            ErrorCode::Internal,
+            "server is shutting down",
+        );
+    }
+    match op {
+        Op::Ping => proto::write_frame(stream, op as u8, Status::Ok as u8, &frame.payload).is_ok(),
+        Op::OpenSession => handle_open(shared, stream, frame, my_sessions),
+        Op::CloseSession => {
+            let id = match proto::decode_session_id(&frame.payload) {
+                Ok(id) => id,
+                Err(e) => {
+                    return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0)
+                }
+            };
+            if shared.sessions.close(id) {
+                my_sessions.retain(|&s| s != id);
+                proto::write_frame(stream, op as u8, Status::Ok as u8, &[]).is_ok()
+            } else {
+                write_error(
+                    stream,
+                    frame.op,
+                    Status::Error,
+                    ErrorCode::UnknownSession,
+                    format!("no session {id}"),
+                )
+            }
+        }
+        Op::PutCloud => handle_put_cloud(shared, stream, frame),
+        Op::Reconstruct => handle_reconstruct(shared, stream, frame),
+        Op::Stats => {
+            let tel = telemetry::snapshot().to_json();
+            let json = format!(
+                "{{\"sessions\": {}, \"registry\": {{\"models\": {}, \"bytes\": {}, \"budget\": {}}}, \"tenants\": {}, \"telemetry\": {}}}",
+                shared.sessions.len(),
+                shared.registry.len(),
+                shared.registry.bytes(),
+                shared.registry.budget(),
+                shared.sessions.tenants_json(),
+                tel,
+            );
+            proto::write_frame(stream, op as u8, Status::Ok as u8, json.as_bytes()).is_ok()
+        }
+        Op::Shutdown => {
+            // Flag first, reply second: when the client sees the Ok, every
+            // other thread already observes the shutdown. The owner's
+            // `shutdown()`/drop joins the threads.
+            shared.shutdown.store(true, Ordering::Release);
+            let _ = proto::write_frame(stream, op as u8, Status::Ok as u8, &[]);
+            false
+        }
+    }
+}
+
+fn handle_open(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    frame: &Frame,
+    my_sessions: &mut Vec<u64>,
+) -> bool {
+    let req = match OpenSessionReq::decode(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
+    };
+    if req.tenant.is_empty() {
+        return write_error(
+            stream,
+            frame.op,
+            Status::Error,
+            ErrorCode::BadRequest,
+            "empty tenant name",
+        );
+    }
+    let entry = match shared.registry.get(&req.dataset, req.version) {
+        Ok(e) => e,
+        Err(e) => {
+            return write_error(stream, frame.op, Status::Error, e.code(), e.to_string());
+        }
+    };
+    let id = shared.sessions.open(&req.tenant, entry);
+    my_sessions.push(id);
+    proto::write_frame(
+        stream,
+        frame.op,
+        Status::Ok as u8,
+        &proto::encode_session_id(id),
+    )
+    .is_ok()
+}
+
+fn handle_put_cloud(shared: &Arc<Shared>, stream: &mut TcpStream, frame: &Frame) -> bool {
+    let req = match PutCloudReq::decode(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
+    };
+    let session = match shared.sessions.get(req.session) {
+        Some(s) => s,
+        None => {
+            return write_error(
+                stream,
+                frame.op,
+                Status::Error,
+                ErrorCode::UnknownSession,
+                format!("no session {}", req.session),
+            )
+        }
+    };
+    let cloud = match build_cloud(&req) {
+        Ok(c) => c,
+        Err(msg) => {
+            return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, msg)
+        }
+    };
+    session.lock().expect("session lock").cloud = Some(shared.intern_cloud(cloud));
+    proto::write_frame(stream, frame.op, Status::Ok as u8, &[]).is_ok()
+}
+
+/// Content fingerprint (FNV-1a over grid geometry, indices, and value
+/// bits) for the intern table. Collisions are fine — interning always
+/// confirms with a full comparison.
+fn cloud_fingerprint(cloud: &PointCloud) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let grid = cloud.grid();
+    for d in grid.dims() {
+        h = (h ^ d as u64).wrapping_mul(PRIME);
+    }
+    for o in grid.origin() {
+        h = (h ^ o.to_bits()).wrapping_mul(PRIME);
+    }
+    for s in grid.spacing() {
+        h = (h ^ s.to_bits()).wrapping_mul(PRIME);
+    }
+    for &i in cloud.indices() {
+        h = (h ^ i as u64).wrapping_mul(PRIME);
+    }
+    for &v in cloud.values() {
+        h = (h ^ u64::from(v.to_bits())).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Rebuild a [`PointCloud`] from wire data by scattering the values into
+/// a scratch field at the sampled indices (`PointCloud::from_indices`
+/// reads values back out of the field, so duplicates and ordering are
+/// handled by its own normalization).
+fn build_cloud(req: &PutCloudReq) -> Result<PointCloud, String> {
+    let grid = req.grid.to_grid().map_err(|e| e.0)?;
+    if req.indices.is_empty() {
+        return Err("empty sample cloud".into());
+    }
+    if req.indices.len() != req.values.len() {
+        return Err(format!(
+            "{} indices but {} values",
+            req.indices.len(),
+            req.values.len()
+        ));
+    }
+    let n = grid.num_points() as u64;
+    let mut scratch = ScalarField::zeros(grid);
+    let mut indices = Vec::with_capacity(req.indices.len());
+    for (&idx, &v) in req.indices.iter().zip(&req.values) {
+        if idx >= n {
+            return Err(format!("index {idx} out of range for {n}-point grid"));
+        }
+        scratch.values_mut()[idx as usize] = v;
+        indices.push(idx as usize);
+    }
+    Ok(PointCloud::from_indices(&scratch, indices))
+}
+
+fn handle_reconstruct(shared: &Arc<Shared>, stream: &mut TcpStream, frame: &Frame) -> bool {
+    let req = match ReconstructReq::decode(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
+    };
+    let session = match shared.sessions.get(req.session) {
+        Some(s) => s,
+        None => {
+            return write_error(
+                stream,
+                frame.op,
+                Status::Error,
+                ErrorCode::UnknownSession,
+                format!("no session {}", req.session),
+            )
+        }
+    };
+    let target = match req.target.to_grid() {
+        Ok(g) => g,
+        Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
+    };
+    let (entry, cloud, tenant) = {
+        let s = session.lock().expect("session lock");
+        match &s.cloud {
+            Some(c) => (s.model.clone(), c.clone(), s.tenant.clone()),
+            None => {
+                return write_error(
+                    stream,
+                    frame.op,
+                    Status::Error,
+                    ErrorCode::BadRequest,
+                    "no sample cloud uploaded for this session",
+                )
+            }
+        }
+    };
+    // Admission: the tenant's in-flight cap first, then queue space.
+    let guard = match shared.sessions.try_admit(&tenant) {
+        Some(g) => g,
+        None => {
+            tenant.rejected.fetch_add(1, Ordering::Relaxed);
+            return write_error(
+                stream,
+                frame.op,
+                Status::Error,
+                ErrorCode::TooManyInFlight,
+                format!("tenant {} is at its in-flight cap", tenant.name),
+            );
+        }
+    };
+    let mut ctx = ExecCtx::unbounded();
+    if req.deadline_ms > 0 {
+        ctx = ctx.with_deadline(Deadline::after(Duration::from_millis(req.deadline_ms as u64)));
+    }
+    let rows = if cloud.grid() == &target {
+        target.num_points() - cloud.len()
+    } else {
+        target.num_points()
+    };
+    let (resp_tx, resp_rx) = sync_channel(1);
+    let job = Box::new(ReconJob {
+        entry,
+        cloud,
+        target,
+        ctx,
+        tenant: tenant.clone(),
+        guard,
+        rows,
+        resp: resp_tx,
+    });
+    TM_REQUESTS.incr();
+    tenant.requests.fetch_add(1, Ordering::Relaxed);
+    match shared.batcher.try_submit(job) {
+        Ok(()) => {}
+        Err((job, disconnected)) => {
+            drop(job); // releases the in-flight guard
+            tenant.rejected.fetch_add(1, Ordering::Relaxed);
+            return if disconnected {
+                write_error(
+                    stream,
+                    frame.op,
+                    Status::ShuttingDown,
+                    ErrorCode::Internal,
+                    "server is shutting down",
+                )
+            } else {
+                TM_REJECT_BUSY.incr();
+                write_error(
+                    stream,
+                    frame.op,
+                    Status::Error,
+                    ErrorCode::Busy,
+                    "micro-batch queue is full; retry with backoff",
+                )
+            };
+        }
+    }
+    // The batcher always answers: flush, fallback, or shutdown drain. A
+    // dropped sender without a message means the batcher thread died.
+    let outcome = resp_rx
+        .recv()
+        .unwrap_or(ReconOutcome::Rejected(ErrorCode::Internal, "batcher gone".into()));
+    match outcome {
+        ReconOutcome::Ok(values) => {
+            tenant.rows.fetch_add(values.len() as u64, Ordering::Relaxed);
+            let body = ReconstructResp {
+                values,
+                reason: String::new(),
+            };
+            proto::write_frame(stream, frame.op, Status::Ok as u8, &body.encode()).is_ok()
+        }
+        ReconOutcome::Degraded(values, reason) => {
+            tenant.rows.fetch_add(values.len() as u64, Ordering::Relaxed);
+            tenant.degraded.fetch_add(1, Ordering::Relaxed);
+            let body = ReconstructResp { values, reason };
+            proto::write_frame(stream, frame.op, Status::Degraded as u8, &body.encode()).is_ok()
+        }
+        ReconOutcome::Rejected(code, message) => {
+            tenant.rejected.fetch_add(1, Ordering::Relaxed);
+            tenant.errors.fetch_add(1, Ordering::Relaxed);
+            write_error(stream, frame.op, Status::Error, code, message)
+        }
+        ReconOutcome::Shutdown => {
+            tenant.rejected.fetch_add(1, Ordering::Relaxed);
+            write_error(
+                stream,
+                frame.op,
+                Status::ShuttingDown,
+                ErrorCode::Internal,
+                "server shut down before the request ran",
+            )
+        }
+    }
+}

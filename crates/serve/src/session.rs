@@ -1,0 +1,269 @@
+//! Tenant sessions and admission control.
+//!
+//! A session binds a tenant to one registry model and holds the tenant's
+//! uploaded sample cloud. Tenants own the admission state: an atomic
+//! in-flight counter capped at `max_inflight` (checked by a CAS loop so
+//! two racing requests cannot both take the last slot) plus the
+//! per-tenant telemetry counters the `Stats` op reports. The in-flight
+//! slot is an RAII [`InflightGuard`] — it is released on drop, so a
+//! panicking worker or a torn connection can never leak a slot.
+
+use crate::registry::ModelEntry;
+use fv_runtime::telemetry;
+use fv_sampling::PointCloud;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+static TM_SESSIONS: telemetry::Gauge = telemetry::Gauge::new("serve.sessions");
+static TM_REJECT_INFLIGHT: telemetry::Counter = telemetry::Counter::new("serve.reject.inflight");
+
+/// Per-tenant counters, reported by the `Stats` op.
+#[derive(Debug)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Reconstruction requests admitted.
+    pub requests: AtomicU64,
+    /// Query rows served.
+    pub rows: AtomicU64,
+    /// Responses demoted to the classical fallback.
+    pub degraded: AtomicU64,
+    /// Requests rejected (queue full, in-flight cap, deadline).
+    pub rejected: AtomicU64,
+    /// Typed error responses.
+    pub errors: AtomicU64,
+    /// Requests currently in flight.
+    pub inflight: AtomicU64,
+    /// High-watermark of `inflight`.
+    pub peak_inflight: AtomicU64,
+}
+
+impl TenantStats {
+    fn new(name: String) -> Self {
+        Self {
+            name,
+            requests: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            peak_inflight: AtomicU64::new(0),
+        }
+    }
+
+    /// One JSON object (hand-rolled, like `fv_runtime::telemetry`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"tenant\": \"{}\", \"requests\": {}, \"rows\": {}, \"degraded\": {}, \"rejected\": {}, \"errors\": {}, \"inflight\": {}, \"peak_inflight\": {}}}",
+            self.name.escape_default(),
+            self.requests.load(Ordering::Relaxed),
+            self.rows.load(Ordering::Relaxed),
+            self.degraded.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.inflight.load(Ordering::Relaxed),
+            self.peak_inflight.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// RAII in-flight slot: dropping it releases the tenant's slot, whatever
+/// path (response, error, panic unwind) got us there.
+#[derive(Debug)]
+pub struct InflightGuard {
+    tenant: Arc<TenantStats>,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.tenant.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// One open session.
+#[derive(Debug)]
+pub struct Session {
+    /// Session id (unique for the server's lifetime).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: Arc<TenantStats>,
+    /// Bound model.
+    pub model: Arc<ModelEntry>,
+    /// Uploaded sample cloud, if any. `Arc` so in-flight batched requests
+    /// keep a consistent cloud even if the tenant re-uploads mid-request.
+    pub cloud: Option<Arc<PointCloud>>,
+}
+
+/// All live sessions plus the tenant table.
+pub struct SessionManager {
+    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    // BTreeMap: Stats output is deterministically ordered by tenant name.
+    tenants: Mutex<BTreeMap<String, Arc<TenantStats>>>,
+    next_id: AtomicU64,
+    max_inflight: u64,
+}
+
+impl std::fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionManager")
+            .field("sessions", &self.len())
+            .field("max_inflight", &self.max_inflight)
+            .finish()
+    }
+}
+
+impl SessionManager {
+    /// Manager with a per-tenant in-flight cap.
+    pub fn new(max_inflight_per_tenant: u64) -> Self {
+        Self {
+            sessions: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            max_inflight: max_inflight_per_tenant.max(1),
+        }
+    }
+
+    /// The tenant record, created on first sight.
+    pub fn tenant(&self, name: &str) -> Arc<TenantStats> {
+        let mut tenants = self.tenants.lock().expect("tenant lock");
+        tenants
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(TenantStats::new(name.to_string())))
+            .clone()
+    }
+
+    /// Open a session; returns its id.
+    pub fn open(&self, tenant: &str, model: Arc<ModelEntry>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Session {
+            id,
+            tenant: self.tenant(tenant),
+            model,
+            cloud: None,
+        };
+        let mut sessions = self.sessions.lock().expect("session lock");
+        sessions.insert(id, Arc::new(Mutex::new(session)));
+        TM_SESSIONS.set(sessions.len() as u64);
+        id
+    }
+
+    /// Look a session up.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        self.sessions.lock().expect("session lock").get(&id).cloned()
+    }
+
+    /// Close a session; `true` if it existed.
+    pub fn close(&self, id: u64) -> bool {
+        let mut sessions = self.sessions.lock().expect("session lock");
+        let existed = sessions.remove(&id).is_some();
+        TM_SESSIONS.set(sessions.len() as u64);
+        existed
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("session lock").len()
+    }
+
+    /// `true` when no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Try to take an in-flight slot for the tenant.
+    pub fn try_admit(&self, tenant: &Arc<TenantStats>) -> Option<InflightGuard> {
+        let mut cur = tenant.inflight.load(Ordering::Acquire);
+        loop {
+            if cur >= self.max_inflight {
+                TM_REJECT_INFLIGHT.incr();
+                return None;
+            }
+            match tenant.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        let now = tenant.inflight.load(Ordering::Acquire);
+        tenant.peak_inflight.fetch_max(now, Ordering::AcqRel);
+        Some(InflightGuard {
+            tenant: tenant.clone(),
+        })
+    }
+
+    /// JSON array of per-tenant counters, ordered by tenant name.
+    pub fn tenants_json(&self) -> String {
+        let tenants = self.tenants.lock().expect("tenant lock");
+        let rows: Vec<String> = tenants.values().map(|t| t.to_json()).collect();
+        format!("[{}]", rows.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use fillvoid_core::{FcnnPipeline, PipelineConfig};
+    use fv_field::{Grid3, ScalarField};
+
+    fn entry() -> Arc<ModelEntry> {
+        let g = Grid3::new([8, 8, 4]).unwrap();
+        let f = ScalarField::from_world_fn(g, |p| (p[0] * 0.3).sin() as f32);
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.trainer.epochs = 1;
+        let p = FcnnPipeline::train(&f, &cfg, 1).unwrap();
+        ModelRegistry::new(64 << 20).insert("t", 0, p).unwrap()
+    }
+
+    #[test]
+    fn open_close_and_slot_accounting() {
+        let m = SessionManager::new(2);
+        let e = entry();
+        let id = m.open("acme", e.clone());
+        assert!(m.get(id).is_some());
+        assert_eq!(m.len(), 1);
+
+        let t = m.tenant("acme");
+        let g1 = m.try_admit(&t).expect("slot 1");
+        let _g2 = m.try_admit(&t).expect("slot 2");
+        assert!(m.try_admit(&t).is_none(), "cap is 2");
+        drop(g1);
+        assert!(m.try_admit(&t).is_some(), "drop released the slot");
+        assert_eq!(t.peak_inflight.load(Ordering::Relaxed), 2);
+
+        assert!(m.close(id));
+        assert!(!m.close(id));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn guard_released_across_panic() {
+        let m = SessionManager::new(1);
+        let t = m.tenant("acme");
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.try_admit(&t).expect("slot");
+            panic!("worker died");
+        }));
+        assert!(res.is_err());
+        assert_eq!(t.inflight.load(Ordering::Relaxed), 0, "unwind released");
+        assert!(m.try_admit(&t).is_some());
+    }
+
+    #[test]
+    fn tenants_json_is_ordered_and_valid_shape() {
+        let m = SessionManager::new(4);
+        m.tenant("zeta");
+        m.tenant("alpha");
+        let json = m.tenants_json();
+        let a = json.find("alpha").unwrap();
+        let z = json.find("zeta").unwrap();
+        assert!(a < z, "tenants must be name-ordered: {json}");
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+}

@@ -124,4 +124,34 @@ print(f"brick smoke ok: {b['total_bricks']} bricks, inflight {b['peak_inflight_b
       f"resume reused {r['resumed']} + recomputed {r['recomputed']}, bitwise-identical")
 EOF
 
+echo "=== serve smoke (reconstruction-as-a-service, 1 and 4 workers) ==="
+# exp_serve starts a loopback server on an ephemeral port, runs client
+# fleets at 1/4/16/64 connections, and exits non-zero on its own if any
+# served volume diverges bitwise from the in-process reconstruction or if
+# micro-batched p99 fails to beat batch-size-1 mode at 16 clients. The
+# gate re-checks both from the JSON at 1 and 4 workers (the batcher's
+# packed passes must stay bitwise-stable across pool sizes) and verifies
+# a clean shutdown left no stray temp files behind.
+for t in 1 4; do
+  FV_THREADS=$t timeout 600 cargo run --release -q -p fv-bench --bin exp_serve > /dev/null \
+    || { echo "serve smoke failed (FV_THREADS=$t)"; exit 1; }
+  FV_T=$t python3 - <<'EOF'
+import glob, json, os, sys
+s = json.load(open("BENCH_serve.json"))
+t = os.environ["FV_T"]
+if not s["bitwise_equal"]:
+    sys.exit(f"serve smoke (FV_THREADS={t}): served volume diverged from the in-process path")
+if not s["batched_p99_beats_batch1"]:
+    sys.exit(f"serve smoke (FV_THREADS={t}): micro-batched p99 did not beat batch-size-1 at 16 clients")
+if s["degraded_responses"] != 0:
+    sys.exit(f"serve smoke (FV_THREADS={t}): {s['degraded_responses']} degraded responses on a healthy model")
+stray = glob.glob("*.tmp")
+if stray:
+    sys.exit(f"serve smoke (FV_THREADS={t}): stray temp files after shutdown: {stray}")
+fleet = {f["clients"]: f for f in s["fleet"]}
+print(f"serve smoke ok (FV_THREADS={t}): 16-client p99 {fleet[16]['p99_ms']:.1f} ms batched "
+      f"vs {s['batch1_16c']['p99_ms']:.1f} ms batch-1, all volumes bitwise-identical")
+EOF
+done
+
 echo "CI gate passed."

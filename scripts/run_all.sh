@@ -17,7 +17,7 @@ BINS=(
   exp_fig06 exp_fig07 exp_fig08 exp_fig09 exp_fig10 exp_fig11 exp_fig12
   exp_fig13 exp_fig14 exp_table1 exp_table2 exp_qualitative
   exp_ablation_features exp_ablation_k exp_ablation_sampler
-  exp_ablation_finetune exp_ext_uncertainty exp_ext_spatial
+  exp_ablation_finetune exp_ext_uncertainty exp_ext_spatial exp_serve
 )
 
 cargo build --release -p fv-bench --bins

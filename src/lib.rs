@@ -43,6 +43,7 @@ pub use fv_linalg as linalg;
 pub use fv_nn as nn;
 pub use fv_runtime as runtime;
 pub use fv_sampling as sampling;
+pub use fv_serve as serve;
 pub use fv_sims as sims;
 pub use fv_spatial as spatial;
 

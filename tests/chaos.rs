@@ -391,3 +391,169 @@ fn brick_corruption_sweep_recovers_bitwise() {
 fn brick_io_error_sweep_recovers_bitwise() {
     brick_sweep(Kind::IoError);
 }
+
+// ---------------------------------------------------------------------------
+// fv-serve sweeps: the same 32-seed × fault-kind matrix against the
+// reconstruction server's sites (`serve.accept`, `serve.decode`,
+// `serve.batch`, `serve.infer`). Invariants: a fault costs at most its own
+// connection or a typed/degraded response — the listener keeps accepting,
+// the registry keeps serving, no in-flight slot or session leaks — and
+// once the plan is disarmed a clean request converges back to the exact
+// direct-path reconstruction (the breaker re-closes via its probe).
+
+use fillvoid::serve::{BatchConfig, Client, ClientError, ModelRegistry, ServeConfig, Server};
+use std::sync::Arc;
+
+fn serve_plan(kind: Kind, seed: u64) -> FaultPlan {
+    let p = FaultPlan::new(seed);
+    match kind {
+        Kind::Panic => p
+            .panic_at("serve.accept", 0.15)
+            .panic_at("serve.decode", 0.1)
+            .panic_at("serve.batch", 0.15)
+            .panic_at("serve.infer", 0.15),
+        Kind::Delay => p
+            .delay_at("serve.accept", 0.3, Duration::from_millis(1))
+            .delay_at("serve.decode", 0.3, Duration::from_millis(1))
+            .delay_at("serve.batch", 0.3, Duration::from_millis(1))
+            .delay_at("serve.infer", 0.3, Duration::from_millis(1)),
+        Kind::Corruption => p.corrupt_at("serve.infer", 0.5),
+        Kind::IoError => p
+            .io_error_at("serve.accept", 0.3)
+            .io_error_at("serve.decode", 0.3),
+    }
+}
+
+/// One seeded serve run under `kind`'s plan; returns faults injected.
+fn run_one_serve(kind: Kind, seed: u64) -> u64 {
+    let (field, cloud, whole) = brick_fixture();
+    let (_, pipeline) = pretrained();
+    let registry = Arc::new(ModelRegistry::new(64 << 20).with_breaker(2, 2));
+    registry
+        .insert("hurricane", 1, pipeline.clone())
+        .expect("seed registry");
+    let cfg = ServeConfig {
+        batch: BatchConfig {
+            flush_after: Duration::from_micros(200),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut server = Server::start_with_registry(cfg, registry).expect("start server");
+    let addr = server.addr();
+
+    let injected = {
+        let _guard = chaos::install(serve_plan(kind, seed));
+        for _client in 0..3 {
+            // Any outcome short of a hang is legal mid-chaos: a typed
+            // error, a degraded answer, or a dropped connection. What is
+            // NOT legal is an escaped panic — the `?`-chain below only
+            // carries typed client errors.
+            let _ = (|| -> Result<(), ClientError> {
+                let mut c = Client::connect(addr)?;
+                let s = c.open_session("acme", "hurricane", 1)?;
+                c.put_cloud(s, cloud)?;
+                for _ in 0..2 {
+                    let _ = c.reconstruct(s, field.grid(), 0);
+                }
+                Ok(())
+            })();
+        }
+        chaos::injected_total()
+    };
+
+    // Chaos disarmed: the server must still be fully serviceable on a
+    // fresh connection, and the answer must converge back to the exact
+    // direct-path bits (the breaker probe re-admits the model).
+    let mut c = Client::connect(addr)
+        .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean connect failed: {e}"));
+    let s = c
+        .open_session("acme", "hurricane", 1)
+        .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean open failed: {e}"));
+    c.put_cloud(s, cloud)
+        .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean upload failed: {e}"));
+    let mut served = None;
+    for _ in 0..50 {
+        let got = c
+            .reconstruct(s, field.grid(), 0)
+            .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean reconstruct failed: {e}"));
+        let degraded = got.degraded;
+        served = Some(got);
+        if !degraded {
+            break;
+        }
+    }
+    let served = served.unwrap();
+    assert!(
+        !served.degraded,
+        "{kind:?} seed {seed}: breaker never recovered after chaos"
+    );
+    for (i, (x, y)) in whole.values().iter().zip(served.field.values()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{kind:?} seed {seed}: voxel {i} diverged post-chaos"
+        );
+    }
+
+    // No leaked in-flight slots, whatever the faults did.
+    let stats = c.stats().expect("stats");
+    for (idx, _) in stats.match_indices("\"inflight\": ") {
+        let rest = &stats[idx + "\"inflight\": ".len()..];
+        assert!(
+            rest.starts_with("0,") || rest.starts_with("0}"),
+            "{kind:?} seed {seed}: leaked in-flight slot in {stats}"
+        );
+    }
+    server.shutdown();
+    injected
+}
+
+fn serve_sweep(kind: Kind) {
+    let _serial = CHAOS_LOCK.lock().unwrap();
+    chaos::silence_chaos_panics();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let mut injected = 0u64;
+        for seed in 0..SEEDS {
+            injected += run_one_serve(kind, seed);
+        }
+        tx.send(injected).ok();
+    });
+    match rx.recv_timeout(Duration::from_secs(300)) {
+        Ok(injected) => {
+            worker.join().expect("serve sweep worker");
+            assert!(
+                injected > 0,
+                "{kind:?}: the serve sweep never injected a fault — dead plan?"
+            );
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            worker.join().expect("serve sweep worker panicked");
+            unreachable!();
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{kind:?} serve sweep hung past the 300 s watchdog");
+        }
+    }
+}
+
+#[test]
+fn serve_panic_sweep_recovers_bitwise() {
+    serve_sweep(Kind::Panic);
+}
+
+#[test]
+fn serve_delay_sweep_recovers_bitwise() {
+    serve_sweep(Kind::Delay);
+}
+
+#[test]
+fn serve_corruption_sweep_recovers_bitwise() {
+    serve_sweep(Kind::Corruption);
+}
+
+#[test]
+fn serve_io_error_sweep_recovers_bitwise() {
+    serve_sweep(Kind::IoError);
+}

@@ -1,0 +1,336 @@
+//! fv-serve acceptance: protocol robustness, wire-vs-direct bitwise
+//! identity, stats round-trip, and graceful start/stop hygiene — all over
+//! real loopback sockets.
+
+use fillvoid::prelude::*;
+use fillvoid::serve::proto::{self, ErrorCode, Op, Status};
+use fillvoid::serve::{BatchConfig, Client, ClientError, ModelRegistry, ServeConfig, Server};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const DATASET: &str = "hurricane";
+const VERSION: u32 = 1;
+
+fn fixture() -> &'static (ScalarField, PointCloud, FcnnPipeline, ScalarField) {
+    static CELL: OnceLock<(ScalarField, PointCloud, FcnnPipeline, ScalarField)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let sim = Hurricane::builder().resolution([12, 12, 6]).build();
+        let field = sim.timestep(0);
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.trainer.epochs = 5;
+        let pipeline = FcnnPipeline::train(&field, &cfg, 3).expect("train");
+        let sampler = ImportanceSampler::new(ImportanceConfig::default());
+        let cloud = sampler.sample(&field, 0.05, 21);
+        let direct = pipeline.reconstruct(&cloud, field.grid()).expect("direct");
+        (field, cloud, pipeline, direct)
+    })
+}
+
+fn start_server() -> Server {
+    let (_, _, pipeline, _) = fixture();
+    let registry = Arc::new(ModelRegistry::new(256 << 20));
+    registry
+        .insert(DATASET, VERSION, pipeline.clone())
+        .expect("seed registry");
+    let cfg = ServeConfig {
+        batch: BatchConfig {
+            flush_after: Duration::from_micros(200),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Server::start_with_registry(cfg, registry).expect("start server")
+}
+
+fn open_and_upload(client: &mut Client) -> u64 {
+    let (_, cloud, _, _) = fixture();
+    let session = client
+        .open_session("acme", DATASET, VERSION)
+        .expect("open session");
+    client.put_cloud(session, cloud).expect("put cloud");
+    session
+}
+
+fn assert_bitwise(served: &ScalarField, direct: &ScalarField) {
+    assert_eq!(served.values().len(), direct.values().len());
+    for (i, (s, d)) in served.values().iter().zip(direct.values()).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            d.to_bits(),
+            "voxel {i} served {s} != direct {d}"
+        );
+    }
+}
+
+#[test]
+fn served_reconstruction_is_bitwise_identical_to_direct() {
+    let (field, _, _, direct) = fixture();
+    let mut server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let session = open_and_upload(&mut client);
+    let served = client
+        .reconstruct(session, field.grid(), 0)
+        .expect("reconstruct");
+    assert!(!served.degraded, "healthy path must not degrade");
+    assert_bitwise(&served.field, direct);
+    client.close_session(session).expect("close");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_all_get_bitwise_identical_answers() {
+    let (field, _, _, direct) = fixture();
+    let mut server = start_server();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let session = open_and_upload(&mut client);
+                for _ in 0..3 {
+                    let served = client
+                        .reconstruct(session, field.grid(), 0)
+                        .unwrap_or_else(|e| panic!("client {i}: {e}"));
+                    assert!(!served.degraded);
+                    assert_bitwise(&served.field, direct);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.shutdown();
+}
+
+/// Each malformed stream must produce a typed error response (or a clean
+/// connection drop) without disturbing a healthy session on another
+/// connection.
+#[test]
+fn malformed_frames_hurt_only_their_own_connection() {
+    let (field, _, _, direct) = fixture();
+    let mut server = start_server();
+    let addr = server.addr();
+
+    // The healthy bystander: opened first, verified after every attack.
+    let mut healthy = Client::connect(addr).expect("connect healthy");
+    let session = open_and_upload(&mut healthy);
+
+    // (a) bad magic
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        c.send_raw(b"BOGUS-MAGIC-FRAME-0000").unwrap();
+        // A BadFrame reply is best-effort; the server may just drop the
+        // stream, which is also legal.
+        if let Ok(frame) = c.read_raw() {
+            assert_eq!(frame.status, Status::Error as u8);
+            let body = proto::ErrorBody::decode(&frame.payload).expect("error body");
+            assert_eq!(body.code, ErrorCode::BadFrame as u16);
+        }
+    }
+
+    // (b) bad version
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        let mut frame = proto::encode_frame(Op::Ping as u8, Status::Ok as u8, b"hi");
+        frame[4] = 0xFF; // version LE low byte
+        frame[5] = 0xFF;
+        c.send_raw(&frame).unwrap();
+        if let Ok(frame) = c.read_raw() {
+            assert_eq!(frame.status, Status::Error as u8);
+        }
+    }
+
+    // (c) oversized declared payload length
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        let mut frame = proto::encode_frame(Op::Ping as u8, Status::Ok as u8, b"");
+        let huge = (proto::MAX_PAYLOAD + 1).to_le_bytes();
+        frame[8..12].copy_from_slice(&huge);
+        c.send_raw(&frame[..12]).unwrap();
+        if let Ok(frame) = c.read_raw() {
+            assert_eq!(frame.status, Status::Error as u8);
+        }
+    }
+
+    // (d) CRC-corrupted payload
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        let mut frame = proto::encode_frame(Op::Ping as u8, Status::Ok as u8, b"payload");
+        frame[13] ^= 0x5A; // flip a payload bit; trailing CRC now mismatches
+        c.send_raw(&frame).unwrap();
+        if let Ok(frame) = c.read_raw() {
+            assert_eq!(frame.status, Status::Error as u8);
+        }
+    }
+
+    // (e) truncated frame + mid-request disconnect
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut s = stream.try_clone().expect("clone");
+        let frame = proto::encode_frame(Op::Ping as u8, Status::Ok as u8, b"never finished");
+        s.write_all(&frame[..frame.len() / 2]).unwrap();
+        s.flush().unwrap();
+        drop(s);
+        drop(stream); // connection torn mid-frame
+    }
+
+    // (f) unknown opcode — typed error, connection stays usable
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        c.send_raw(&proto::encode_frame(0x7E, Status::Ok as u8, b""))
+            .unwrap();
+        let frame = c.read_raw().expect("unknown-op reply");
+        assert_eq!(frame.status, Status::Error as u8);
+        let body = proto::ErrorBody::decode(&frame.payload).expect("error body");
+        assert_eq!(body.code, ErrorCode::UnknownOp as u16);
+        // Same connection still serves well-formed requests.
+        c.ping().expect("ping after unknown op");
+    }
+
+    // After every attack the bystander still reconstructs, bit for bit.
+    let served = healthy
+        .reconstruct(session, field.grid(), 0)
+        .expect("healthy session survived");
+    assert!(!served.degraded);
+    assert_bitwise(&served.field, direct);
+    server.shutdown();
+}
+
+#[test]
+fn typed_errors_for_unknown_model_session_and_missing_cloud() {
+    let (field, _, _, _) = fixture();
+    let mut server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    match client.open_session("acme", "no-such-dataset", 9) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::UnknownModel as u16)
+        }
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+
+    match client.reconstruct(0xDEAD_BEEF, field.grid(), 0) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::UnknownSession as u16)
+        }
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+
+    let session = client
+        .open_session("acme", DATASET, VERSION)
+        .expect("open session");
+    match client.reconstruct(session, field.grid(), 0) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::BadRequest as u16, "no cloud uploaded yet")
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stats_op_reports_tenants_and_telemetry() {
+    let (field, _, _, _) = fixture();
+    let mut server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let session = open_and_upload(&mut client);
+    client
+        .reconstruct(session, field.grid(), 0)
+        .expect("reconstruct");
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.starts_with('{') && stats.ends_with('}'), "{stats}");
+    for key in ["\"sessions\"", "\"registry\"", "\"tenants\"", "\"telemetry\"", "\"acme\""] {
+        assert!(stats.contains(key), "stats missing {key}: {stats}");
+    }
+    // One admitted request, nothing in flight after the response.
+    assert!(stats.contains("\"requests\": 1"), "{stats}");
+    assert!(stats.contains("\"inflight\": 0"), "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn session_slots_are_reclaimed_when_connections_drop() {
+    let server = start_server();
+    {
+        let mut a = Client::connect(server.addr()).expect("connect");
+        let mut b = Client::connect(server.addr()).expect("connect");
+        open_and_upload(&mut a);
+        open_and_upload(&mut b);
+        assert_eq!(server.session_count(), 2);
+        // Both dropped without CloseSession — the connection teardown
+        // must reclaim them.
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.session_count() != 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.session_count(), 0, "dropped connections leaked sessions");
+}
+
+/// 100 start/stop cycles: no thread leak, no port leak, shutdown is
+/// idempotent. Thread counts are process-wide, so the bound is a slack
+/// band rather than exact equality (other tests run concurrently).
+#[test]
+fn repeated_start_stop_leaks_nothing() {
+    fn threads() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("Threads:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|n| n.parse().ok())
+            })
+            .unwrap_or(0)
+    }
+
+    let mut last_addr = None;
+    let mut baseline = 0usize;
+    for cycle in 0..100 {
+        let mut server = Server::start(ServeConfig::default()).expect("start");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        client.ping().expect("ping");
+        last_addr = Some(server.addr());
+        server.shutdown();
+        server.shutdown(); // idempotent
+        if cycle == 4 {
+            baseline = threads();
+        }
+    }
+    let final_threads = threads();
+    assert!(
+        final_threads <= baseline + 12,
+        "thread leak across cycles: baseline {baseline}, final {final_threads}"
+    );
+    // The last listener really released its port: we can rebind it.
+    let addr = last_addr.unwrap();
+    std::net::TcpListener::bind(addr).expect("port still held after shutdown");
+}
+
+#[test]
+fn shutdown_op_stops_the_server() {
+    let (field, _, _, _) = fixture();
+    let mut server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let session = open_and_upload(&mut client);
+    // The probe connection exists before the Shutdown op, so it is
+    // guaranteed to talk to THIS server — a freed ephemeral port can be
+    // rebound by a concurrently running test's server.
+    let mut probe = Client::connect(server.addr()).expect("connect probe");
+    client.shutdown_server().expect("shutdown op");
+
+    // New work is refused with a typed ShuttingDown status (or the
+    // connection is already torn down).
+    match probe.reconstruct(session, field.grid(), 0) {
+        Err(ClientError::Server { status, .. }) => {
+            assert_eq!(status, Status::ShuttingDown)
+        }
+        Err(_) => {} // connection dropped — also fine
+        Ok(_) => panic!("server accepted work after Shutdown op"),
+    }
+    server.shutdown();
+}
