@@ -32,6 +32,14 @@ pub const VERSION: u16 = 1;
 /// Upper bound on a declared payload length (64 MiB). A frame announcing
 /// more is rejected before any allocation happens.
 pub const MAX_PAYLOAD: u32 = 64 << 20;
+/// Largest grid a request may name. A dense reconstruction response
+/// carries 4 bytes per point plus codec overhead (row count, demotion
+/// reason), and the whole payload must fit under [`MAX_PAYLOAD`] — so the
+/// bound is enforced at decode time, *before* any point-count-sized
+/// allocation, with checked arithmetic (a huge-dims request must neither
+/// OOM the server nor produce a frame every compliant reader rejects as
+/// oversized).
+pub const MAX_GRID_POINTS: u64 = (MAX_PAYLOAD as u64 - 4096) / 4;
 /// Fixed frame header size (everything before the payload).
 pub const HEADER_LEN: usize = 12;
 
@@ -124,6 +132,10 @@ pub enum ErrorCode {
     DeadlineExceeded = 8,
     /// Internal server failure.
     Internal = 9,
+    /// The op exists but this server refuses it (e.g. the remote
+    /// `Shutdown` op on a multi-tenant deployment that has not enabled
+    /// it).
+    Forbidden = 10,
 }
 
 impl ErrorCode {
@@ -139,6 +151,7 @@ impl ErrorCode {
             7 => ErrorCode::TooManyInFlight,
             8 => ErrorCode::DeadlineExceeded,
             9 => ErrorCode::Internal,
+            10 => ErrorCode::Forbidden,
             _ => return None,
         })
     }
@@ -219,14 +232,22 @@ pub fn encode_frame(op: u8, status: u8, payload: &[u8]) -> Vec<u8> {
     buf
 }
 
-/// Write one frame.
+/// Write one frame. A payload over [`MAX_PAYLOAD`] is a hard error:
+/// emitting it would produce a frame every compliant reader (including
+/// our own [`read_frame`]) rejects as `Oversized`, so it must never
+/// reach the wire.
 pub fn write_frame<W: Write>(
     w: &mut W,
     op: u8,
     status: u8,
     payload: &[u8],
 ) -> std::io::Result<()> {
-    debug_assert!(payload.len() as u64 <= MAX_PAYLOAD as u64);
+    if payload.len() as u64 > MAX_PAYLOAD as u64 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("payload {} exceeds frame cap {MAX_PAYLOAD}", payload.len()),
+        ));
+    }
     w.write_all(&encode_frame(op, status, payload))?;
     w.flush()
 }
@@ -414,6 +435,28 @@ impl GridWire {
             self.spacing,
         )
         .map_err(|e| WireError(format!("bad grid: {e}")))
+    }
+
+    /// Rebuild the grid, rejecting any whose point count does not fit a
+    /// served response ([`MAX_GRID_POINTS`]). The product is computed
+    /// with `checked_mul` over the wire's `u64` dims *before* the `usize`
+    /// casts, so a hostile request can neither wrap the count nor drive a
+    /// point-count-sized allocation. Server-side decode paths must use
+    /// this instead of [`Self::to_grid`].
+    pub fn to_grid_bounded(&self) -> Result<fv_field::Grid3, WireError> {
+        let points = self
+            .dims
+            .iter()
+            .try_fold(1u64, |acc, &d| acc.checked_mul(d))
+            .filter(|&n| n <= MAX_GRID_POINTS)
+            .ok_or_else(|| {
+                WireError(format!(
+                    "grid {:?} exceeds the served-size cap of {MAX_GRID_POINTS} points",
+                    self.dims
+                ))
+            })?;
+        debug_assert!(points <= usize::MAX as u64);
+        self.to_grid()
     }
 
     fn put(&self, buf: &mut Vec<u8>) {
@@ -621,13 +664,15 @@ impl ErrorBody {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         buf.extend_from_slice(&self.code.to_le_bytes());
-        // Truncate pathological messages rather than reject them.
-        let msg = if self.message.len() > u16::MAX as usize {
-            &self.message[..u16::MAX as usize]
-        } else {
-            &self.message
-        };
-        put_str(&mut buf, msg);
+        // Truncate pathological messages rather than reject them. The cut
+        // must land on a char boundary: messages embed client-controlled
+        // strings, and slicing mid-char would panic the connection
+        // handler on a crafted multi-byte message.
+        let mut cut = self.message.len().min(u16::MAX as usize);
+        while cut > 0 && !self.message.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        put_str(&mut buf, &self.message[..cut]);
         buf
     }
 
@@ -762,6 +807,67 @@ mod tests {
         let back = ErrorBody::decode(&err.encode()).unwrap();
         assert_eq!(back.error_code(), Some(ErrorCode::Busy));
         assert_eq!(back.message, "queue full");
+    }
+
+    #[test]
+    fn oversized_error_message_truncates_on_char_boundary() {
+        // 65534 ASCII bytes, then a 3-byte char straddling offset 65535:
+        // a naive byte slice at u16::MAX panics mid-char.
+        let mut msg = "a".repeat(u16::MAX as usize - 1);
+        msg.push('日');
+        let body = ErrorBody::new(ErrorCode::Internal, msg);
+        let back = ErrorBody::decode(&body.encode()).expect("decode truncated");
+        assert_eq!(back.message.len(), u16::MAX as usize - 1);
+        assert!(back.message.bytes().all(|b| b == b'a'));
+
+        // Short messages pass through untouched, multi-byte or not.
+        let body = ErrorBody::new(ErrorCode::Internal, "日本語");
+        assert_eq!(ErrorBody::decode(&body.encode()).unwrap().message, "日本語");
+    }
+
+    #[test]
+    fn write_frame_refuses_oversized_payload() {
+        let huge = vec![0u8; MAX_PAYLOAD as usize + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, 1, 0, &huge).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(sink.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn grid_bound_rejects_huge_and_wrapping_dims() {
+        let ok = GridWire {
+            dims: [8, 8, 4],
+            origin: [0.0; 3],
+            spacing: [1.0; 3],
+        };
+        assert!(ok.to_grid_bounded().is_ok());
+
+        // Over the cap but far from u64 overflow.
+        let big = GridWire {
+            dims: [100_000, 100_000, 100_000],
+            ..ok
+        };
+        assert!(big.to_grid_bounded().is_err());
+
+        // Product wraps u64: must be caught by checked_mul, not wrapped.
+        let wrap = GridWire {
+            dims: [u64::MAX, u64::MAX, u64::MAX],
+            ..ok
+        };
+        assert!(wrap.to_grid_bounded().is_err());
+
+        // Exactly at the cap: the dims themselves are legal.
+        let edge = GridWire {
+            dims: [MAX_GRID_POINTS, 1, 1],
+            ..ok
+        };
+        assert!(edge.to_grid_bounded().is_ok());
+        let over = GridWire {
+            dims: [MAX_GRID_POINTS + 1, 1, 1],
+            ..ok
+        };
+        assert!(over.to_grid_bounded().is_err());
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct ServeConfig {
     pub breaker_threshold: u32,
     /// Demoted requests per breaker recovery probe.
     pub breaker_probe_after: u32,
+    /// Honor the remote `Shutdown` op. Off by default: on a shared
+    /// multi-tenant server any client could otherwise halt service for
+    /// everyone. The embedding process always has [`Server::shutdown`].
+    pub allow_remote_shutdown: bool,
     /// Micro-batcher tuning.
     pub batch: BatchConfig,
 }
@@ -81,6 +85,7 @@ impl Default for ServeConfig {
             max_inflight_per_tenant: 32,
             breaker_threshold: 3,
             breaker_probe_after: 8,
+            allow_remote_shutdown: false,
             batch: BatchConfig::default(),
         }
     }
@@ -89,8 +94,9 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Defaults overridden by `FV_SERVE_ADDR`, `FV_SERVE_MODEL_ROOT`,
     /// `FV_SERVE_BUDGET_MB`, `FV_SERVE_MAX_INFLIGHT`, `FV_SERVE_QUEUE`,
-    /// `FV_SERVE_BATCH_ROWS`, `FV_SERVE_FLUSH_US` and `FV_SERVE_BATCH`
-    /// (`0` disables micro-batching).
+    /// `FV_SERVE_BATCH_ROWS`, `FV_SERVE_FLUSH_US`, `FV_SERVE_BATCH`
+    /// (`0` disables micro-batching) and `FV_SERVE_ALLOW_SHUTDOWN`
+    /// (`1` lets clients issue the `Shutdown` op).
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         let get = |k: &str| std::env::var(k).ok();
@@ -117,6 +123,9 @@ impl ServeConfig {
         }
         if let Some(v) = get("FV_SERVE_BATCH") {
             cfg.batch.batch = v != "0";
+        }
+        if let Some(v) = get("FV_SERVE_ALLOW_SHUTDOWN") {
+            cfg.allow_remote_shutdown = v == "1";
         }
         cfg
     }
@@ -149,8 +158,14 @@ impl Shared {
     fn intern_cloud(&self, cloud: PointCloud) -> Arc<PointCloud> {
         let fp = cloud_fingerprint(&cloud);
         let mut table = self.clouds.lock().expect("cloud intern table");
+        // Sweep dead refs from every bucket and drop buckets that empty
+        // out — distinct uploads over a long-lived server must not grow
+        // the table without bound.
+        table.retain(|_, slot| {
+            slot.retain(|w| w.strong_count() > 0);
+            !slot.is_empty()
+        });
         let slot = table.entry(fp).or_default();
-        slot.retain(|w| w.strong_count() > 0);
         for weak in slot.iter() {
             if let Some(existing) = weak.upgrade() {
                 if existing.grid() == cloud.grid()
@@ -365,20 +380,22 @@ fn accept_loop(
 /// unwind — so a dying handler thread can never leak a session slot.
 struct SessionCleanup<'a> {
     shared: &'a Shared,
+    conn: u64,
     ids: Vec<u64>,
 }
 
 impl Drop for SessionCleanup<'_> {
     fn drop(&mut self) {
         for id in &self.ids {
-            self.shared.sessions.close(*id);
+            self.shared.sessions.close(*id, self.conn);
         }
     }
 }
 
-fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream, _id: u64) {
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream, conn: u64) {
     let mut cleanup = SessionCleanup {
         shared,
+        conn,
         ids: Vec::new(),
     };
     loop {
@@ -403,7 +420,7 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream, _id: u64) {
             }
         };
         let _span = TM_REQ.span();
-        let keep_going = dispatch(shared, &mut stream, &frame, &mut cleanup.ids);
+        let keep_going = dispatch(shared, &mut stream, &frame, conn, &mut cleanup.ids);
         if !keep_going {
             break;
         }
@@ -437,6 +454,7 @@ fn dispatch(
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
     frame: &Frame,
+    conn: u64,
     my_sessions: &mut Vec<u64>,
 ) -> bool {
     let op = match Op::from_u8(frame.op) {
@@ -462,7 +480,7 @@ fn dispatch(
     }
     match op {
         Op::Ping => proto::write_frame(stream, op as u8, Status::Ok as u8, &frame.payload).is_ok(),
-        Op::OpenSession => handle_open(shared, stream, frame, my_sessions),
+        Op::OpenSession => handle_open(shared, stream, frame, conn, my_sessions),
         Op::CloseSession => {
             let id = match proto::decode_session_id(&frame.payload) {
                 Ok(id) => id,
@@ -470,7 +488,7 @@ fn dispatch(
                     return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0)
                 }
             };
-            if shared.sessions.close(id) {
+            if shared.sessions.close(id, conn) {
                 my_sessions.retain(|&s| s != id);
                 proto::write_frame(stream, op as u8, Status::Ok as u8, &[]).is_ok()
             } else {
@@ -483,8 +501,8 @@ fn dispatch(
                 )
             }
         }
-        Op::PutCloud => handle_put_cloud(shared, stream, frame),
-        Op::Reconstruct => handle_reconstruct(shared, stream, frame),
+        Op::PutCloud => handle_put_cloud(shared, stream, frame, conn),
+        Op::Reconstruct => handle_reconstruct(shared, stream, frame, conn),
         Op::Stats => {
             let tel = telemetry::snapshot().to_json();
             let json = format!(
@@ -499,6 +517,18 @@ fn dispatch(
             proto::write_frame(stream, op as u8, Status::Ok as u8, json.as_bytes()).is_ok()
         }
         Op::Shutdown => {
+            // Gated: on a shared multi-tenant server an unauthenticated
+            // Shutdown would let any client halt service for everyone.
+            // The embedding process always has `Server::shutdown`.
+            if !shared.cfg.allow_remote_shutdown {
+                return write_error(
+                    stream,
+                    frame.op,
+                    Status::Error,
+                    ErrorCode::Forbidden,
+                    "remote shutdown is disabled (set FV_SERVE_ALLOW_SHUTDOWN=1 to enable)",
+                );
+            }
             // Flag first, reply second: when the client sees the Ok, every
             // other thread already observes the shutdown. The owner's
             // `shutdown()`/drop joins the threads.
@@ -513,6 +543,7 @@ fn handle_open(
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
     frame: &Frame,
+    conn: u64,
     my_sessions: &mut Vec<u64>,
 ) -> bool {
     let req = match OpenSessionReq::decode(&frame.payload) {
@@ -534,7 +565,7 @@ fn handle_open(
             return write_error(stream, frame.op, Status::Error, e.code(), e.to_string());
         }
     };
-    let id = shared.sessions.open(&req.tenant, entry);
+    let id = shared.sessions.open(&req.tenant, entry, conn);
     my_sessions.push(id);
     proto::write_frame(
         stream,
@@ -545,12 +576,17 @@ fn handle_open(
     .is_ok()
 }
 
-fn handle_put_cloud(shared: &Arc<Shared>, stream: &mut TcpStream, frame: &Frame) -> bool {
+fn handle_put_cloud(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    frame: &Frame,
+    conn: u64,
+) -> bool {
     let req = match PutCloudReq::decode(&frame.payload) {
         Ok(r) => r,
         Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
     };
-    let session = match shared.sessions.get(req.session) {
+    let session = match shared.sessions.get(req.session, conn) {
         Some(s) => s,
         None => {
             return write_error(
@@ -600,9 +636,10 @@ fn cloud_fingerprint(cloud: &PointCloud) -> u64 {
 /// Rebuild a [`PointCloud`] from wire data by scattering the values into
 /// a scratch field at the sampled indices (`PointCloud::from_indices`
 /// reads values back out of the field, so duplicates and ordering are
-/// handled by its own normalization).
+/// handled by its own normalization). The grid is size-bounded *before*
+/// the scratch field allocates: wire dims are attacker-controlled.
 fn build_cloud(req: &PutCloudReq) -> Result<PointCloud, String> {
-    let grid = req.grid.to_grid().map_err(|e| e.0)?;
+    let grid = req.grid.to_grid_bounded().map_err(|e| e.0)?;
     if req.indices.is_empty() {
         return Err("empty sample cloud".into());
     }
@@ -626,12 +663,17 @@ fn build_cloud(req: &PutCloudReq) -> Result<PointCloud, String> {
     Ok(PointCloud::from_indices(&scratch, indices))
 }
 
-fn handle_reconstruct(shared: &Arc<Shared>, stream: &mut TcpStream, frame: &Frame) -> bool {
+fn handle_reconstruct(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    frame: &Frame,
+    conn: u64,
+) -> bool {
     let req = match ReconstructReq::decode(&frame.payload) {
         Ok(r) => r,
         Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
     };
-    let session = match shared.sessions.get(req.session) {
+    let session = match shared.sessions.get(req.session, conn) {
         Some(s) => s,
         None => {
             return write_error(
@@ -643,7 +685,10 @@ fn handle_reconstruct(shared: &Arc<Shared>, stream: &mut TcpStream, frame: &Fram
             )
         }
     };
-    let target = match req.target.to_grid() {
+    // Bounded decode: a huge or u64-wrapping target must be rejected
+    // here, before any num_points-sized buffer exists anywhere (batcher
+    // prep, IDW fallback, response encode).
+    let target = match req.target.to_grid_bounded() {
         Ok(g) => g,
         Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
     };

@@ -7,6 +7,16 @@
 //! per-tenant telemetry counters the `Stats` op reports. The in-flight
 //! slot is an RAII [`InflightGuard`] — it is released on drop, so a
 //! panicking worker or a torn connection can never leak a slot.
+//!
+//! ## Isolation
+//!
+//! Every session is owned by the connection that opened it: `get` and
+//! `close` require the caller's connection id and answer "no such
+//! session" for anyone else's, so one tenant can never read, replace, or
+//! close another tenant's session by guessing its id. Ids are also
+//! randomized (a keyed `splitmix64` over an entropy seed) rather than
+//! sequential, but that is defense in depth — the connection binding is
+//! the enforced boundary.
 
 use crate::registry::ModelEntry;
 use fv_runtime::telemetry;
@@ -87,6 +97,9 @@ impl Drop for InflightGuard {
 pub struct Session {
     /// Session id (unique for the server's lifetime).
     pub id: u64,
+    /// Id of the connection that opened the session; ops arriving over
+    /// any other connection are rejected as "no such session".
+    pub owner_conn: u64,
     /// Owning tenant.
     pub tenant: Arc<TenantStats>,
     /// Bound model.
@@ -96,12 +109,37 @@ pub struct Session {
     pub cloud: Option<Arc<PointCloud>>,
 }
 
+/// `splitmix64` finalizer: a bijective scramble of the id counter so
+/// session ids carry no sequence information on the wire.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Zero-dependency entropy for the id key: wall-clock nanos mixed with
+/// ASLR-influenced heap and stack addresses. Not cryptographic — the
+/// enforced isolation boundary is the per-connection ownership check,
+/// not id secrecy.
+fn entropy_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let heap = Box::new(0u64);
+    let heap_addr = &*heap as *const u64 as u64;
+    let stack_addr = &now as *const u64 as u64;
+    splitmix64(now ^ heap_addr.rotate_left(32) ^ stack_addr.rotate_left(17))
+}
+
 /// All live sessions plus the tenant table.
 pub struct SessionManager {
     sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
     // BTreeMap: Stats output is deterministically ordered by tenant name.
     tenants: Mutex<BTreeMap<String, Arc<TenantStats>>>,
     next_id: AtomicU64,
+    id_key: u64,
     max_inflight: u64,
 }
 
@@ -121,6 +159,7 @@ impl SessionManager {
             sessions: Mutex::new(HashMap::new()),
             tenants: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
+            id_key: entropy_seed(),
             max_inflight: max_inflight_per_tenant.max(1),
         }
     }
@@ -134,31 +173,67 @@ impl SessionManager {
             .clone()
     }
 
-    /// Open a session; returns its id.
-    pub fn open(&self, tenant: &str, model: Arc<ModelEntry>) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+    /// Drop tenant records nothing references anymore: no session and no
+    /// in-flight job holds the `Arc` (each holds a clone, so the map's is
+    /// the last reference exactly when the tenant is idle). Client-chosen
+    /// tenant names must not grow server memory without bound.
+    fn prune_tenants(&self) {
+        self.tenants
+            .lock()
+            .expect("tenant lock")
+            .retain(|_, t| Arc::strong_count(t) > 1);
+    }
+
+    /// Open a session owned by connection `conn`; returns its id.
+    pub fn open(&self, tenant: &str, model: Arc<ModelEntry>, conn: u64) -> u64 {
+        let tenant = self.tenant(tenant);
+        let mut sessions = self.sessions.lock().expect("session lock");
+        // Randomized ids (bijective scramble of a keyed counter); the
+        // collision loop is for paranoia, not expectation.
+        let mut id = splitmix64(self.id_key ^ self.next_id.fetch_add(1, Ordering::Relaxed));
+        while sessions.contains_key(&id) {
+            id = splitmix64(self.id_key ^ self.next_id.fetch_add(1, Ordering::Relaxed));
+        }
         let session = Session {
             id,
-            tenant: self.tenant(tenant),
+            owner_conn: conn,
+            tenant,
             model,
             cloud: None,
         };
-        let mut sessions = self.sessions.lock().expect("session lock");
         sessions.insert(id, Arc::new(Mutex::new(session)));
         TM_SESSIONS.set(sessions.len() as u64);
         id
     }
 
-    /// Look a session up.
-    pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
-        self.sessions.lock().expect("session lock").get(&id).cloned()
+    /// Look a session up on behalf of connection `conn`. A session owned
+    /// by a different connection reads as absent — callers surface the
+    /// same `UnknownSession` either way, so an id probe learns nothing.
+    pub fn get(&self, id: u64, conn: u64) -> Option<Arc<Mutex<Session>>> {
+        let session = self.sessions.lock().expect("session lock").get(&id).cloned()?;
+        if session.lock().expect("session").owner_conn != conn {
+            return None;
+        }
+        Some(session)
     }
 
-    /// Close a session; `true` if it existed.
-    pub fn close(&self, id: u64) -> bool {
-        let mut sessions = self.sessions.lock().expect("session lock");
-        let existed = sessions.remove(&id).is_some();
-        TM_SESSIONS.set(sessions.len() as u64);
+    /// Close a session on behalf of connection `conn`; `true` if it
+    /// existed and `conn` owns it.
+    pub fn close(&self, id: u64, conn: u64) -> bool {
+        let existed = {
+            let mut sessions = self.sessions.lock().expect("session lock");
+            let owned = sessions
+                .get(&id)
+                .is_some_and(|s| s.lock().expect("session").owner_conn == conn);
+            if owned {
+                sessions.remove(&id);
+            }
+            TM_SESSIONS.set(sessions.len() as u64);
+            owned
+        };
+        if existed {
+            self.prune_tenants();
+        }
         existed
     }
 
@@ -225,8 +300,8 @@ mod tests {
     fn open_close_and_slot_accounting() {
         let m = SessionManager::new(2);
         let e = entry();
-        let id = m.open("acme", e.clone());
-        assert!(m.get(id).is_some());
+        let id = m.open("acme", e.clone(), 7);
+        assert!(m.get(id, 7).is_some());
         assert_eq!(m.len(), 1);
 
         let t = m.tenant("acme");
@@ -237,9 +312,44 @@ mod tests {
         assert!(m.try_admit(&t).is_some(), "drop released the slot");
         assert_eq!(t.peak_inflight.load(Ordering::Relaxed), 2);
 
-        assert!(m.close(id));
-        assert!(!m.close(id));
+        assert!(m.close(id, 7));
+        assert!(!m.close(id, 7));
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn sessions_are_invisible_to_other_connections() {
+        let m = SessionManager::new(2);
+        let id = m.open("acme", entry(), 1);
+        // Another connection can neither read nor close the session,
+        // even knowing its id.
+        assert!(m.get(id, 2).is_none());
+        assert!(!m.close(id, 2));
+        assert_eq!(m.len(), 1, "foreign close must not remove the session");
+        // The owner still can.
+        assert!(m.get(id, 1).is_some());
+        assert!(m.close(id, 1));
+    }
+
+    #[test]
+    fn session_ids_are_not_sequential() {
+        let m = SessionManager::new(2);
+        let e = entry();
+        let a = m.open("acme", e.clone(), 1);
+        let b = m.open("acme", e, 1);
+        assert_ne!(b, a.wrapping_add(1), "ids must not be predictable from a neighbor");
+    }
+
+    #[test]
+    fn idle_tenants_are_pruned_on_close() {
+        let m = SessionManager::new(2);
+        let id = m.open("transient-tenant", entry(), 1);
+        assert!(m.tenants_json().contains("transient-tenant"));
+        assert!(m.close(id, 1));
+        assert!(
+            !m.tenants_json().contains("transient-tenant"),
+            "idle tenant record must not outlive its sessions"
+        );
     }
 
     #[test]

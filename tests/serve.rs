@@ -28,13 +28,14 @@ fn fixture() -> &'static (ScalarField, PointCloud, FcnnPipeline, ScalarField) {
     })
 }
 
-fn start_server() -> Server {
+fn start_server_cfg(allow_remote_shutdown: bool) -> Server {
     let (_, _, pipeline, _) = fixture();
     let registry = Arc::new(ModelRegistry::new(256 << 20));
     registry
         .insert(DATASET, VERSION, pipeline.clone())
         .expect("seed registry");
     let cfg = ServeConfig {
+        allow_remote_shutdown,
         batch: BatchConfig {
             flush_after: Duration::from_micros(200),
             ..Default::default()
@@ -42,6 +43,10 @@ fn start_server() -> Server {
         ..Default::default()
     };
     Server::start_with_registry(cfg, registry).expect("start server")
+}
+
+fn start_server() -> Server {
+    start_server_cfg(false)
 }
 
 fn open_and_upload(client: &mut Client) -> u64 {
@@ -314,7 +319,7 @@ fn repeated_start_stop_leaks_nothing() {
 #[test]
 fn shutdown_op_stops_the_server() {
     let (field, _, _, _) = fixture();
-    let mut server = start_server();
+    let mut server = start_server_cfg(true);
     let mut client = Client::connect(server.addr()).expect("connect");
     let session = open_and_upload(&mut client);
     // The probe connection exists before the Shutdown op, so it is
@@ -332,5 +337,139 @@ fn shutdown_op_stops_the_server() {
         Err(_) => {} // connection dropped — also fine
         Ok(_) => panic!("server accepted work after Shutdown op"),
     }
+    server.shutdown();
+}
+
+/// By default (multi-tenant posture) the remote Shutdown op is refused
+/// with a typed Forbidden error and the server keeps serving everyone.
+#[test]
+fn shutdown_op_is_forbidden_by_default() {
+    let (field, _, _, direct) = fixture();
+    let mut server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let session = open_and_upload(&mut client);
+
+    match client.shutdown_server() {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::Forbidden as u16)
+        }
+        other => panic!("expected Forbidden, got {other:?}"),
+    }
+    // Same connection, and a fresh one, still serve full-fidelity work.
+    let served = client
+        .reconstruct(session, field.grid(), 0)
+        .expect("serving continues after refused shutdown");
+    assert_bitwise(&served.field, direct);
+    let mut other = Client::connect(server.addr()).expect("new connections still accepted");
+    other.ping().expect("ping");
+    server.shutdown();
+}
+
+/// Sessions are bound to the connection that opened them: another
+/// connection holding the id can neither use nor close the session.
+#[test]
+fn sessions_are_isolated_per_connection() {
+    let (field, cloud, _, direct) = fixture();
+    let mut server = start_server();
+    let mut owner = Client::connect(server.addr()).expect("connect owner");
+    let session = open_and_upload(&mut owner);
+
+    let mut intruder = Client::connect(server.addr()).expect("connect intruder");
+    let expect_unknown = |r: Result<(), ClientError>, what: &str| match r {
+        Err(ClientError::Server { code, .. }) => assert_eq!(
+            code,
+            ErrorCode::UnknownSession as u16,
+            "{what} must read as unknown session"
+        ),
+        other => panic!("{what}: expected UnknownSession, got {other:?}"),
+    };
+    expect_unknown(
+        intruder
+            .reconstruct(session, field.grid(), 0)
+            .map(|_| ()),
+        "foreign reconstruct",
+    );
+    expect_unknown(intruder.put_cloud(session, cloud), "foreign put_cloud");
+    expect_unknown(intruder.close_session(session), "foreign close");
+
+    // The owner's session is untouched: still registered, still serving
+    // the exact direct-path bits with its original cloud.
+    assert_eq!(server.session_count(), 1);
+    let served = owner
+        .reconstruct(session, field.grid(), 0)
+        .expect("owner reconstruct");
+    assert_bitwise(&served.field, direct);
+    server.shutdown();
+}
+
+/// A request naming a pathologically large target grid (including one
+/// whose point count wraps u64) is refused with a typed BadRequest
+/// before any point-count-sized allocation, and the connection survives.
+#[test]
+fn oversized_target_grids_are_rejected_up_front() {
+    let (field, _, _, direct) = fixture();
+    let mut server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let session = open_and_upload(&mut client);
+
+    // Far over the cap, but constructible client-side (Grid3 itself
+    // allocates nothing).
+    let huge = fillvoid::field::Grid3::new([100_000, 100_000, 100_000]).expect("huge grid");
+    match client.reconstruct(session, &huge, 0) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::BadRequest as u16)
+        }
+        other => panic!("expected BadRequest for huge target, got {other:?}"),
+    }
+
+    // Dims whose product wraps u64 entirely — hand-encoded, since no
+    // honest Grid3 produces them.
+    let wrap = proto::ReconstructReq {
+        session,
+        target: proto::GridWire {
+            dims: [u64::MAX, u64::MAX, u64::MAX],
+            origin: [0.0; 3],
+            spacing: [1.0; 3],
+        },
+        deadline_ms: 0,
+    };
+    client
+        .send_raw(&proto::encode_frame(
+            Op::Reconstruct as u8,
+            Status::Ok as u8,
+            &wrap.encode(),
+        ))
+        .expect("send wrapping dims");
+    let frame = client.read_raw().expect("typed reply");
+    assert_eq!(frame.status, Status::Error as u8);
+    let body = proto::ErrorBody::decode(&frame.payload).expect("error body");
+    assert_eq!(body.code, ErrorCode::BadRequest as u16);
+
+    // A PutCloud naming a huge source grid is bounded the same way.
+    let put = proto::PutCloudReq {
+        session,
+        grid: proto::GridWire {
+            dims: [1 << 40, 1 << 40, 1],
+            origin: [0.0; 3],
+            spacing: [1.0; 3],
+        },
+        indices: vec![0],
+        values: vec![1.0],
+    };
+    client
+        .send_raw(&proto::encode_frame(
+            Op::PutCloud as u8,
+            Status::Ok as u8,
+            &put.encode(),
+        ))
+        .expect("send huge put_cloud");
+    let frame = client.read_raw().expect("typed reply");
+    assert_eq!(frame.status, Status::Error as u8);
+
+    // Same connection still serves a legitimate request, bit for bit.
+    let served = client
+        .reconstruct(session, field.grid(), 0)
+        .expect("legitimate reconstruct after rejections");
+    assert_bitwise(&served.field, direct);
     server.shutdown();
 }
