@@ -26,6 +26,7 @@ use fillvoid_core::insitu::{InSituConfig, InSituSession, SupervisionConfig};
 use fillvoid_core::pipeline::{FcnnPipeline, FineTuneSpec, ReconstructWorkspace};
 use fillvoid_core::metrics::snr_db_masked;
 use fv_bench::{secs, ExpOpts};
+use fv_linalg::{active_kernel_name, detected_kernels, force_kernel, ForcedKernel, GemmScratch};
 use fv_runtime::alloc::{allocation_count, CountingAllocator};
 use fv_runtime::granularity::{dispatch_stats, reset_dispatch_stats, DispatchStats};
 use fv_sampling::{FieldSampler, ImportanceSampler};
@@ -50,7 +51,72 @@ struct Row {
     optim_s: f64,
     train_allocs: u64,
     reconstruct_allocs: u64,
+    /// FNV-1a over the reconstruction's f32 bit patterns: a stable
+    /// fingerprint the CI gate compares across *processes* (the in-process
+    /// `bits_match` flag can only compare widths within one run, not
+    /// `FV_GEMM_KERNEL=portable` vs `auto` runs).
+    recon_fnv: u64,
     dispatch: Vec<DispatchStats>,
+}
+
+fn fnv1a64(bits: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bits {
+        for byte in b.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct GemmBench {
+    forced: &'static str,
+    kernel: &'static str,
+    gflops: f64,
+    pack_calls: u64,
+    pack_grows: u64,
+    pack_reuses: u64,
+}
+
+/// Micro-benchmark the packed-GEMM layer on the paper's forward shape
+/// class (`[batch, in] x [out, in]^T`), once per forceable kernel. The
+/// pack-buffer counters double as the reuse proof: after warm-up every
+/// call reuses the panels, so `grows` stays at 1 per shape.
+fn bench_gemm() -> Vec<GemmBench> {
+    let (m, n, k) = (1024usize, 64usize, 64usize);
+    let a = fv_linalg::Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 97) as f32 * 0.021 - 1.0);
+    let w = fv_linalg::Matrix::from_fn(n, k, |r, c| ((r * 13 + c * 5) % 89) as f32 * 0.023 - 1.0);
+    let iters = 60u64;
+    let mut out = Vec::new();
+    for (label, choice) in [
+        ("portable", ForcedKernel::Portable),
+        ("native", ForcedKernel::Native),
+    ] {
+        force_kernel(Some(choice));
+        let kernel = active_kernel_name::<f32>();
+        let mut scratch = GemmScratch::default();
+        let mut c = fv_linalg::Matrix::zeros(0, 0);
+        // Warm-up sizes the pack buffers; timed calls then only reuse.
+        a.matmul_transpose_b_into_with(&w, &mut c, &mut scratch)
+            .expect("bench shapes agree");
+        let t = Instant::now();
+        for _ in 0..iters {
+            a.matmul_transpose_b_into_with(&w, &mut c, &mut scratch)
+                .expect("bench shapes agree");
+        }
+        let secs = t.elapsed().as_secs_f64();
+        out.push(GemmBench {
+            forced: label,
+            kernel,
+            gflops: (2 * m * n * k) as f64 * iters as f64 / secs / 1e9,
+            pack_calls: scratch.calls(),
+            pack_grows: scratch.grows(),
+            pack_reuses: scratch.reuses(),
+        });
+    }
+    force_kernel(None);
+    out
 }
 
 fn main() {
@@ -87,6 +153,7 @@ fn main() {
                 (train_s, reconstruct_s, model, recon, a1 - a0, a2 - a1)
             });
         let bits: Vec<u32> = recon.values().iter().map(|v| v.to_bits()).collect();
+        let recon_fnv = fnv1a64(&bits);
         let bits_match = match &reference_bits {
             Some(reference) => reference == &bits,
             None => {
@@ -113,10 +180,15 @@ fn main() {
             optim_s: t.optim_s,
             train_allocs,
             reconstruct_allocs,
+            recon_fnv,
             dispatch: dispatch_stats(),
         });
         last_model = Some(model);
     }
+
+    // GEMM kernel micro-benchmark: run after the scaling rows so the
+    // forced-kernel sweep cannot perturb the timed sections above.
+    let gemm_rows = bench_gemm();
 
     // Out-of-core bricked segment: one streamed pass over the same volume
     // with the final width's model, so the brick.* telemetry sites (and
@@ -229,6 +301,22 @@ fn main() {
         );
     }
 
+    println!(
+        "\n# GEMM kernels — active \"{}\", detected {:?} (override with FV_GEMM_KERNEL)",
+        active_kernel_name::<f32>(),
+        detected_kernels::<f32>(),
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>12}",
+        "forced", "kernel", "gflops", "pack_calls", "pack_reuses"
+    );
+    for g in &gemm_rows {
+        println!(
+            "{:>10} {:>10} {:>10.2} {:>12} {:>12}",
+            g.forced, g.kernel, g.gflops, g.pack_calls, g.pack_reuses
+        );
+    }
+
     println!("\n# Granularity dispatch (calls below the min-work threshold run sequentially)");
     for r in &rows {
         let seq_ops: Vec<String> = r
@@ -250,13 +338,14 @@ fn main() {
     );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"train_s\": {:.6}, \"reconstruct_s\": {:.6}, \"snr_db\": {:.4}, \"snr_coverage\": {:.4}, \"bitwise_match\": {}, \"feature_s\": {:.6}, \"data_s\": {:.6}, \"forward_s\": {:.6}, \"backward_s\": {:.6}, \"optim_s\": {:.6}, \"train_allocs\": {}, \"reconstruct_allocs\": {}}}{}\n",
+            "    {{\"threads\": {}, \"train_s\": {:.6}, \"reconstruct_s\": {:.6}, \"snr_db\": {:.4}, \"snr_coverage\": {:.4}, \"bitwise_match\": {}, \"recon_fnv\": \"{:016x}\", \"feature_s\": {:.6}, \"data_s\": {:.6}, \"forward_s\": {:.6}, \"backward_s\": {:.6}, \"optim_s\": {:.6}, \"train_allocs\": {}, \"reconstruct_allocs\": {}}}{}\n",
             r.threads,
             r.train_s,
             r.reconstruct_s,
             r.snr,
             r.snr_coverage,
             r.bits_match,
+            r.recon_fnv,
             r.feature_s,
             r.data_s,
             r.forward_s,
@@ -307,6 +396,25 @@ fn main() {
         brick_report.halo_bytes,
         brick_report.max_halo,
         brick_bits_match,
+    ));
+    let gemm_variants: Vec<String> = gemm_rows
+        .iter()
+        .map(|g| {
+            format!(
+                "{{\"forced\": \"{}\", \"kernel\": \"{}\", \"gflops\": {:.3}, \"pack_calls\": {}, \"pack_grows\": {}, \"pack_reuses\": {}}}",
+                g.forced, g.kernel, g.gflops, g.pack_calls, g.pack_grows, g.pack_reuses
+            )
+        })
+        .collect();
+    json.push_str(&format!(
+        "  \"gemm\": {{\"active_kernel\": \"{}\", \"detected\": [{}], \"shape\": [1024, 64, 64], \"variants\": [{}]}},\n",
+        active_kernel_name::<f32>(),
+        detected_kernels::<f32>()
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        gemm_variants.join(", "),
     ));
     json.push_str(&format!(
         "  \"insitu\": {{\"steps\": {}, \"seconds\": {:.6}, \"deadline_misses\": {}, \"panics_caught\": {}, \"io_retries\": {}, \"fallback_steps\": {}, \"breaker\": \"{}\", \"pool_panics_caught\": {}, \"pool_worker_restarts\": {}}}{}\n}}\n",

@@ -1,0 +1,83 @@
+//! AVX2 microkernels (x86_64).
+//!
+//! Geometry: `f32` 6x16 (twelve 8-lane `__m256` accumulators), `f64` 6x8
+//! (twelve 4-lane `__m256d`). Both deliberately use `_mm256_mul_*` followed
+//! by `_mm256_add_*` rather than FMA: the determinism contract requires the
+//! exact two-rounding mul-then-add chain the portable kernel computes, and
+//! a fused multiply-add rounds once. The cost is at most 2x peak FLOPs on
+//! FMA hardware — still far ahead of the SSE2 baseline the portable kernel
+//! autovectorizes to, and bitwise identity across `FV_GEMM_KERNEL` settings
+//! is what the parity suite and CI gate assert.
+//!
+//! The `#[target_feature(enable = "avx2")]` inner functions are wrapped in
+//! plain `unsafe fn`s so they coerce to [`super::MicroFn`] pointers on any
+//! compile target; `have_avx2` gates dispatch at runtime.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use core::arch::x86_64::*;
+
+/// Runtime CPUID check used by the dispatch table.
+pub(crate) fn have_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn micro_f32_avx2(k: usize, a: *const f32, b: *const f32, acc: *mut f32) {
+    let mut c = [_mm256_setzero_ps(); 12];
+    for p in 0..k {
+        let bp = b.add(p * 16);
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        let ap = a.add(p * 6);
+        for ii in 0..6 {
+            let av = _mm256_set1_ps(*ap.add(ii));
+            c[2 * ii] = _mm256_add_ps(c[2 * ii], _mm256_mul_ps(av, b0));
+            c[2 * ii + 1] = _mm256_add_ps(c[2 * ii + 1], _mm256_mul_ps(av, b1));
+        }
+    }
+    for ii in 0..6 {
+        _mm256_storeu_ps(acc.add(ii * 16), c[2 * ii]);
+        _mm256_storeu_ps(acc.add(ii * 16 + 8), c[2 * ii + 1]);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn micro_f64_avx2(k: usize, a: *const f64, b: *const f64, acc: *mut f64) {
+    let mut c = [_mm256_setzero_pd(); 12];
+    for p in 0..k {
+        let bp = b.add(p * 8);
+        let b0 = _mm256_loadu_pd(bp);
+        let b1 = _mm256_loadu_pd(bp.add(4));
+        let ap = a.add(p * 6);
+        for ii in 0..6 {
+            let av = _mm256_set1_pd(*ap.add(ii));
+            c[2 * ii] = _mm256_add_pd(c[2 * ii], _mm256_mul_pd(av, b0));
+            c[2 * ii + 1] = _mm256_add_pd(c[2 * ii + 1], _mm256_mul_pd(av, b1));
+        }
+    }
+    for ii in 0..6 {
+        _mm256_storeu_pd(acc.add(ii * 8), c[2 * ii]);
+        _mm256_storeu_pd(acc.add(ii * 8 + 4), c[2 * ii + 1]);
+    }
+}
+
+/// 6x16 `f32` tile. See [`super::portable::micro`] for the panel contract.
+///
+/// # Safety
+///
+/// Same panel/tile validity requirements as the portable kernel, plus the
+/// CPU must support AVX2 (callers go through the dispatch table, which
+/// checks [`have_avx2`]).
+pub(crate) unsafe fn micro_f32(k: usize, a: *const f32, b: *const f32, acc: *mut f32) {
+    micro_f32_avx2(k, a, b, acc)
+}
+
+/// 6x8 `f64` tile. See [`super::portable::micro`] for the panel contract.
+///
+/// # Safety
+///
+/// Same requirements as [`micro_f32`].
+pub(crate) unsafe fn micro_f64(k: usize, a: *const f64, b: *const f64, acc: *mut f64) {
+    micro_f64_avx2(k, a, b, acc)
+}

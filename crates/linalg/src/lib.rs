@@ -31,6 +31,7 @@
 
 pub mod cholesky;
 pub mod error;
+pub mod kernel;
 pub mod lu;
 pub mod matrix;
 pub mod scalar;
@@ -43,6 +44,7 @@ pub use fv_runtime::granularity;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
+pub use kernel::{active_kernel_name, detected_kernels, force_kernel, ForcedKernel, GemmScratch};
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use scalar::Scalar;

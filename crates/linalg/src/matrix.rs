@@ -1,23 +1,25 @@
-//! Row-major dense matrix with blocked and parallel multiplication kernels.
+//! Row-major dense matrix; every matrix product routes through the packed
+//! GEMM layer in [`crate::kernel`].
+//!
+//! The methods here own shape checking, output sizing, and the granularity
+//! decision (inline vs. pool); the kernel module owns packing, microkernel
+//! dispatch (`FV_GEMM_KERNEL`), and epilogue fusion. All products share one
+//! canonical accumulation order — each output element sums its `k` terms in
+//! ascending reduction order through a single accumulator, unfused mul then
+//! add — so results are bitwise-identical across kernels, thread widths,
+//! and the packed/fallback path split (DESIGN.md §15).
 
 use crate::error::LinalgError;
+use crate::kernel::{self, GemmScratch, Operand};
 use crate::scalar::Scalar;
 use fv_runtime::granularity::{go_parallel, OpCounter};
 use rayon::prelude::*;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// Minimum number of rows in the output before `par_matmul` fans out to the
+/// Minimum number of rows in the output before a product fans out to the
 /// Rayon pool; below this the parallel overhead dominates.
 const PAR_MIN_ROWS: usize = 32;
-
-/// Number of `rhs` rows (the shared `k` dimension) processed per pass of the
-/// blocked [`matmul_rows`] kernel. 256 rows of a typical ≤512-wide layer keep
-/// the active `rhs` tile within L2 while every output row is revisited once
-/// per tile. The tile loop is the outer loop and `p` ascends within each
-/// tile, so each output element still accumulates its `k` terms in ascending
-/// order — blocking changes locality, never the floating-point result.
-const MM_KC: usize = 256;
 
 static OP_MATMUL: OpCounter = OpCounter::new("linalg.matmul");
 static OP_MATMUL_TB: OpCounter = OpCounter::new("linalg.matmul_transpose_b");
@@ -34,14 +36,6 @@ static OP_ELEMENTWISE: OpCounter = OpCounter::new("linalg.elementwise");
 fn par_dispatch(counter: &'static OpCounter, rows: usize, work: usize) -> bool {
     let big = rows >= PAR_MIN_ROWS;
     go_parallel(counter, if big { work } else { 0 }) && big
-}
-
-/// Row-block size for the blocked parallel kernels. Delegates to the
-/// runtime's chunk geometry, which in deterministic mode depends only on the
-/// row count — never the worker count — so `par_transpose_a_matmul`'s block
-/// reduction sums the same partials in the same order at any `FV_THREADS`.
-fn row_block(rows: usize) -> usize {
-    fv_runtime::chunk_size(rows, 8, usize::MAX)
 }
 
 /// A dense, row-major matrix over an [`Scalar`] element type.
@@ -248,7 +242,8 @@ impl<T: Scalar> Matrix<T> {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses a cache-friendly `ikj` loop over contiguous rows.
+    /// Allocating wrapper over [`Self::matmul_into`]; same packed-GEMM
+    /// route, same bitwise result.
     pub fn matmul(&self, rhs: &Self) -> Result<Self, LinalgError> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -257,14 +252,8 @@ impl<T: Scalar> Matrix<T> {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Self::zeros(self.rows, rhs.cols);
-        matmul_rows(
-            out.data.as_mut_slice(),
-            &self.data,
-            &rhs.data,
-            self.cols,
-            rhs.cols,
-        );
+        let mut out = Self::zeros(0, 0);
+        self.matmul_into(rhs, &mut out)?;
         Ok(out)
     }
 
@@ -285,8 +274,9 @@ impl<T: Scalar> Matrix<T> {
 
     /// Matrix product with the transpose of `rhs`: `self * rhs^T`.
     ///
-    /// Both operands are walked along contiguous rows, which makes this the
-    /// preferred kernel for the neural-network backward pass.
+    /// Allocating wrapper over [`Self::matmul_transpose_b_into`]. The
+    /// transposition is absorbed during panel packing; the microkernel only
+    /// ever sees one layout.
     pub fn matmul_transpose_b(&self, rhs: &Self) -> Result<Self, LinalgError> {
         if self.cols != rhs.cols {
             return Err(LinalgError::ShapeMismatch {
@@ -295,15 +285,8 @@ impl<T: Scalar> Matrix<T> {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Self::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                *o = crate::vector::dot(a_row, b_row);
-            }
-        }
+        let mut out = Self::zeros(0, 0);
+        self.matmul_transpose_b_into(rhs, &mut out)?;
         Ok(out)
     }
 
@@ -322,9 +305,9 @@ impl<T: Scalar> Matrix<T> {
         Ok(out)
     }
 
-    /// Parallel `self^T * rhs`: fixed-size row blocks are reduced through
-    /// per-block accumulators summed in block order. Block geometry comes
-    /// from `row_block`, so in deterministic mode the result is bitwise
+    /// Parallel `self^T * rhs`. Allocating wrapper over
+    /// [`Self::transpose_a_matmul_into`]; parallelism only ever splits
+    /// output rows (never the reduction), so the result is bitwise
     /// identical at any thread count.
     pub fn par_transpose_a_matmul(&self, rhs: &Self) -> Result<Self, LinalgError> {
         if self.rows != rhs.rows {
@@ -335,12 +318,13 @@ impl<T: Scalar> Matrix<T> {
             });
         }
         let mut out = Self::zeros(0, 0);
-        let mut scratch = Vec::new();
+        let mut scratch = GemmScratch::default();
         self.transpose_a_matmul_into(rhs, &mut out, &mut scratch)?;
         Ok(out)
     }
 
     /// Matrix product with the transpose of `self`: `self^T * rhs`.
+    /// Allocating wrapper over [`Self::transpose_a_matmul_into`].
     pub fn transpose_a_matmul(&self, rhs: &Self) -> Result<Self, LinalgError> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -349,22 +333,20 @@ impl<T: Scalar> Matrix<T> {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Self::zeros(self.cols, rhs.cols);
-        // Accumulate rank-1 updates row by row; each pass touches contiguous
-        // memory in both inputs and the output.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let b_row = rhs.row(i);
-            for (r, &a) in a_row.iter().enumerate() {
-                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
-                crate::vector::axpy(a, b_row, out_row);
-            }
-        }
+        let mut out = Self::zeros(0, 0);
+        let mut scratch = GemmScratch::default();
+        self.transpose_a_matmul_into(rhs, &mut out, &mut scratch)?;
         Ok(out)
     }
 
-    /// Matrix-vector product `self * x`.
-    pub fn matvec(&self, x: &[T]) -> Result<Vec<T>, LinalgError> {
+    /// Matrix-vector product `out = self * x`, reusing `out`'s allocation.
+    ///
+    /// Deliberately *not* routed through the GEMM seam: an `n = 1` product
+    /// would pack `k` right-hand values to feed one lane of every tile,
+    /// pure overhead. The historical 4-lane [`crate::vector::dot`] kernel
+    /// is already optimal for this shape and keeps `matvec`'s accumulation
+    /// order unchanged.
+    pub fn matvec_into(&self, x: &[T], out: &mut Vec<T>) -> Result<(), LinalgError> {
         if self.cols != x.len() {
             return Err(LinalgError::ShapeMismatch {
                 op: "matvec",
@@ -372,10 +354,17 @@ impl<T: Scalar> Matrix<T> {
                 rhs: (x.len(), 1),
             });
         }
-        Ok(self
-            .rows_iter()
-            .map(|row| crate::vector::dot(row, x))
-            .collect())
+        out.clear();
+        out.extend(self.rows_iter().map(|row| crate::vector::dot(row, x)));
+        Ok(())
+    }
+
+    /// Matrix-vector product `self * x`. Allocating wrapper over
+    /// [`Self::matvec_into`].
+    pub fn matvec(&self, x: &[T]) -> Result<Vec<T>, LinalgError> {
+        let mut out = Vec::new();
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
     }
 
     /// Maximum absolute element, or zero for an empty matrix.
@@ -397,13 +386,27 @@ impl<T: Scalar> Matrix<T> {
         self.data.resize(rows * cols, T::ZERO);
     }
 
-    /// `out = self * rhs`, reusing `out`'s allocation.
-    ///
-    /// Identical floating-point behaviour to [`Self::matmul`] /
-    /// [`Self::par_matmul`] (the per-element accumulation order is a pure
-    /// function of the shapes); the granularity policy decides whether the
-    /// fixed chunk geometry runs inline or on the pool.
+    /// `out = self * rhs`, reusing `out`'s allocation. Allocates a
+    /// throwaway pack workspace; hot-path callers use
+    /// [`Self::matmul_into_with`] and hold a [`GemmScratch`].
     pub fn matmul_into(&self, rhs: &Self, out: &mut Self) -> Result<(), LinalgError> {
+        self.matmul_into_with(rhs, out, &mut GemmScratch::default())
+    }
+
+    /// `out = self * rhs`, reusing `out`'s allocation and `scratch`'s pack
+    /// buffers (zero allocations once both are warm).
+    ///
+    /// The per-element accumulation order is the canonical ascending-`k`
+    /// chain, a pure function of the shapes — identical across
+    /// [`Self::matmul`] / [`Self::par_matmul`], every `FV_GEMM_KERNEL`
+    /// setting, and any thread count. The granularity policy only decides
+    /// whether the fixed panel geometry runs inline or on the pool.
+    pub fn matmul_into_with(
+        &self,
+        rhs: &Self,
+        out: &mut Self,
+        scratch: &mut GemmScratch<T>,
+    ) -> Result<(), LinalgError> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_into",
@@ -413,29 +416,43 @@ impl<T: Scalar> Matrix<T> {
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         out.resize(m, n);
-        out.fill_zero();
-        if m == 0 || n == 0 || k == 0 {
+        if m == 0 || n == 0 {
             return Ok(());
         }
-        if par_dispatch(&OP_MATMUL, m, m * k * n) {
-            let chunk = row_block(m);
-            out.data
-                .par_chunks_mut(chunk * n)
-                .zip(self.data.par_chunks(chunk * k))
-                .for_each(|(out_rows, lhs_rows)| {
-                    matmul_rows(out_rows, lhs_rows, &rhs.data, k, n);
-                });
-        } else {
-            matmul_rows(&mut out.data, &self.data, &rhs.data, k, n);
+        if k == 0 {
+            out.fill_zero();
+            return Ok(());
         }
+        let parallel = par_dispatch(&OP_MATMUL, m, m * k * n);
+        kernel::gemm(
+            m,
+            n,
+            k,
+            Operand::normal(&self.data, k),
+            Operand::normal(&rhs.data, n),
+            &mut out.data,
+            scratch,
+            parallel,
+        );
         Ok(())
     }
 
-    /// `out = self * rhs^T`, reusing `out`'s allocation.
-    ///
-    /// Each output element is an independent dot product of two contiguous
-    /// rows, so the result is identical however the rows are distributed.
+    /// `out = self * rhs^T`, reusing `out`'s allocation. Allocates a
+    /// throwaway pack workspace; hot-path callers use
+    /// [`Self::matmul_transpose_b_into_with`].
     pub fn matmul_transpose_b_into(&self, rhs: &Self, out: &mut Self) -> Result<(), LinalgError> {
+        self.matmul_transpose_b_into_with(rhs, out, &mut GemmScratch::default())
+    }
+
+    /// `out = self * rhs^T`, reusing `out` and `scratch`. The transposition
+    /// is absorbed while packing `rhs` into column panels; accumulation
+    /// order is the same canonical chain as every other product.
+    pub fn matmul_transpose_b_into_with(
+        &self,
+        rhs: &Self,
+        out: &mut Self,
+        scratch: &mut GemmScratch<T>,
+    ) -> Result<(), LinalgError> {
         if self.cols != rhs.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_transpose_b_into",
@@ -452,33 +469,24 @@ impl<T: Scalar> Matrix<T> {
             out.fill_zero();
             return Ok(());
         }
-        let row_pass = |out_row: &mut [T], a_row: &[T]| {
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                *o = crate::vector::dot(a_row, b_row);
-            }
-        };
-        if par_dispatch(&OP_MATMUL_TB, m, m * k * n) {
-            out.data
-                .par_chunks_mut(n)
-                .zip(self.data.par_chunks(k))
-                .for_each(|(out_row, a_row)| row_pass(out_row, a_row));
-        } else {
-            for i in 0..m {
-                row_pass(&mut out.data[i * n..(i + 1) * n], self.row(i));
-            }
-        }
+        let parallel = par_dispatch(&OP_MATMUL_TB, m, m * k * n);
+        kernel::gemm(
+            m,
+            n,
+            k,
+            Operand::normal(&self.data, k),
+            Operand::transposed(&rhs.data, k),
+            &mut out.data,
+            scratch,
+            parallel,
+        );
         Ok(())
     }
 
     /// Fused layer-forward kernel: `pre = self * rhs^T + bias` (bias
     /// broadcast across rows) and `out = act(pre)`, both into caller-provided
-    /// buffers.
-    ///
-    /// The product is computed first, then a single elementwise pass adds the
-    /// bias and applies the activation — the same value order as the historic
-    /// three-pass `par_matmul_transpose_b` / bias-add / activation-map chain,
-    /// with two fewer sweeps over the batch and zero allocation.
+    /// buffers. Allocates a throwaway pack workspace; hot-path callers use
+    /// [`Self::matmul_bias_act_into_with`].
     pub fn matmul_bias_act_into(
         &self,
         rhs: &Self,
@@ -487,6 +495,36 @@ impl<T: Scalar> Matrix<T> {
         pre: &mut Self,
         out: &mut Self,
     ) -> Result<(), LinalgError> {
+        self.matmul_bias_act_into_with(rhs, bias, act, Some(pre), out, &mut GemmScratch::default())
+    }
+
+    /// Fused forward kernel with the bias+activation epilogue applied during
+    /// GEMM tile write-back (one sweep over the batch, zero allocation once
+    /// warm).
+    ///
+    /// With `pre = Some(p)`, `p` receives the pre-activation `self * rhs^T +
+    /// bias` and `out` receives its activation — training keeps both. With
+    /// `pre = None`, `out` receives the activation directly — the inference
+    /// path, which previously needed a separate product plus an in-place
+    /// bias/act sweep. Values are identical either way (and to the historic
+    /// two-pass form): each element's product is fully summed in canonical
+    /// order, then the bias is added, then the activation applied.
+    pub fn matmul_bias_act_into_with(
+        &self,
+        rhs: &Self,
+        bias: &[T],
+        act: impl Fn(T) -> T + Sync,
+        pre: Option<&mut Self>,
+        out: &mut Self,
+        scratch: &mut GemmScratch<T>,
+    ) -> Result<(), LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_bias_act",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
         if bias.len() != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_bias_act",
@@ -494,26 +532,32 @@ impl<T: Scalar> Matrix<T> {
                 rhs: (bias.len(), 1),
             });
         }
-        self.matmul_transpose_b_into(rhs, pre)?;
-        let (m, n) = pre.shape();
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
         out.resize(m, n);
-        let fuse = |pre_row: &mut [T], out_row: &mut [T]| {
-            for ((p, o), &b) in pre_row.iter_mut().zip(out_row.iter_mut()).zip(bias) {
-                let z = *p + b;
-                *p = z;
-                *o = act(z);
+        let (c, aux) = match pre {
+            Some(p) => {
+                p.resize(m, n);
+                (&mut p.data[..], Some(&mut out.data[..]))
             }
+            None => (&mut out.data[..], None),
         };
-        if par_dispatch(&OP_BIAS_ACT, m, m * n) {
-            pre.data
-                .par_chunks_mut(n)
-                .zip(out.data.par_chunks_mut(n))
-                .for_each(|(p, o)| fuse(p, o));
-        } else {
-            for (p, o) in pre.data.chunks_mut(n).zip(out.data.chunks_mut(n)) {
-                fuse(p, o);
-            }
+        if m == 0 || n == 0 {
+            return Ok(());
         }
+        let parallel = par_dispatch(&OP_BIAS_ACT, m, m * k * n);
+        kernel::gemm_bias_act(
+            m,
+            n,
+            k,
+            Operand::normal(&self.data, k),
+            Operand::transposed(&rhs.data, k),
+            bias,
+            &act,
+            c,
+            aux,
+            scratch,
+            parallel,
+        );
         Ok(())
     }
 
@@ -574,20 +618,21 @@ impl<T: Scalar> Matrix<T> {
         Ok(())
     }
 
-    /// `out = self^T * rhs`, reusing `out` and a caller-provided scratch
-    /// buffer for the per-block partial products.
+    /// `out = self^T * rhs`, reusing `out` and `scratch`'s pack buffers.
     ///
-    /// The reduction geometry is a pure function of the row count — below
-    /// `PAR_MIN_ROWS` rank-1 updates accumulate straight into `out`,
-    /// otherwise `row_block`-sized blocks produce partials that are summed
-    /// in block order — so results are bitwise-identical to
-    /// [`Self::par_transpose_a_matmul`] at any thread count, whether the
-    /// block loop runs inline or on the pool.
+    /// The transposition is absorbed while packing `self` into row panels
+    /// (the packed layout wants `A` column-major anyway, so this variant
+    /// packs *faster* than the untransposed one). Unlike the historical
+    /// blocked implementation there are no per-block partial products to
+    /// recombine: every output element owns a single ascending-order chain
+    /// over the reduction, and parallelism splits output rows only — so
+    /// results are bitwise-identical to [`Self::par_transpose_a_matmul`] at
+    /// any thread count and under every `FV_GEMM_KERNEL` setting.
     pub fn transpose_a_matmul_into(
         &self,
         rhs: &Self,
         out: &mut Self,
-        scratch: &mut Vec<T>,
+        scratch: &mut GemmScratch<T>,
     ) -> Result<(), LinalgError> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -596,54 +641,26 @@ impl<T: Scalar> Matrix<T> {
                 rhs: rhs.shape(),
             });
         }
-        let (ka, kb) = (self.cols, rhs.cols);
-        out.resize(ka, kb);
-        out.fill_zero();
-        if ka == 0 || kb == 0 || self.rows == 0 {
+        let (m, k, n) = (self.cols, self.rows, rhs.cols);
+        out.resize(m, n);
+        if m == 0 || n == 0 {
             return Ok(());
         }
-        let parallel = par_dispatch(&OP_TA_MATMUL, self.rows, self.rows * ka * kb);
-        if self.rows < PAR_MIN_ROWS {
-            for i in 0..self.rows {
-                let a_row = self.row(i);
-                let b_row = rhs.row(i);
-                for (r, &a) in a_row.iter().enumerate() {
-                    let out_row = &mut out.data[r * kb..(r + 1) * kb];
-                    crate::vector::axpy(a, b_row, out_row);
-                }
-            }
+        if k == 0 {
+            out.fill_zero();
             return Ok(());
         }
-        let chunk = row_block(self.rows);
-        let n_blocks = self.rows.div_ceil(chunk);
-        scratch.clear();
-        scratch.resize(n_blocks * ka * kb, T::ZERO);
-        let fill_block = |bi: usize, local: &mut [T]| {
-            let r0 = bi * chunk;
-            let r1 = (r0 + chunk).min(self.rows);
-            for i in r0..r1 {
-                let a_row = &self.data[i * ka..(i + 1) * ka];
-                let b_row = &rhs.data[i * kb..(i + 1) * kb];
-                for (r, &a) in a_row.iter().enumerate() {
-                    crate::vector::axpy(a, b_row, &mut local[r * kb..(r + 1) * kb]);
-                }
-            }
-        };
-        if parallel {
-            scratch
-                .par_chunks_mut(ka * kb)
-                .enumerate()
-                .for_each(|(bi, local)| fill_block(bi, local));
-        } else {
-            for (bi, local) in scratch.chunks_mut(ka * kb).enumerate() {
-                fill_block(bi, local);
-            }
-        }
-        for local in scratch.chunks(ka * kb) {
-            for (o, &p) in out.data.iter_mut().zip(local.iter()) {
-                *o += p;
-            }
-        }
+        let parallel = par_dispatch(&OP_TA_MATMUL, m, m * k * n);
+        kernel::gemm(
+            m,
+            n,
+            k,
+            Operand::transposed(&self.data, self.cols),
+            Operand::normal(&rhs.data, n),
+            &mut out.data,
+            scratch,
+            parallel,
+        );
         Ok(())
     }
 
@@ -688,36 +705,6 @@ impl<T: Scalar> Matrix<T> {
         }
         tree_combine(scratch, 0, n_leaves, cols);
         out.copy_from_slice(&scratch[..cols]);
-    }
-}
-
-/// Multiply a block of `lhs` rows (`lhs_rows.len() / k` of them) by the full
-/// `rhs` (`k x n`, row-major) into `out_rows`, accumulating into whatever the
-/// output already holds (callers zero it first).
-///
-/// This is the shared kernel behind [`Matrix::matmul`],
-/// [`Matrix::matmul_into`] and each parallel chunk of [`Matrix::par_matmul`].
-/// It is cache-blocked along `k` in [`MM_KC`]-row tiles of `rhs`: the tile
-/// loop is outermost so a tile is streamed once for the whole row block
-/// instead of being evicted between rows. Within a tile (and across tiles)
-/// `p` ascends, so every output element sums its terms in the same order as
-/// the unblocked loop — bitwise-identical results.
-fn matmul_rows<T: Scalar>(out_rows: &mut [T], lhs_rows: &[T], rhs: &[T], k: usize, n: usize) {
-    debug_assert_eq!(lhs_rows.len() % k.max(1), 0);
-    debug_assert_eq!(rhs.len(), k * n);
-    let m = lhs_rows.len().checked_div(k).unwrap_or(0);
-    let mut p0 = 0;
-    while p0 < k {
-        let p1 = (p0 + MM_KC).min(k);
-        for i in 0..m {
-            let a_tile = &lhs_rows[i * k + p0..i * k + p1];
-            let out_row = &mut out_rows[i * n..(i + 1) * n];
-            for (dp, &a) in a_tile.iter().enumerate() {
-                let b_row = &rhs[(p0 + dp) * n..(p0 + dp + 1) * n];
-                crate::vector::axpy(a, b_row, out_row);
-            }
-        }
-        p0 = p1;
     }
 }
 
@@ -957,7 +944,7 @@ mod tests {
             let b = Matrix::from_fn(rows, 12, |r, c| ((r * 2 + c) % 5) as f32 * 0.25 - 0.3);
             let reference = a.par_transpose_a_matmul(&b).unwrap();
             let mut out = Matrix::zeros(0, 0);
-            let mut scratch = Vec::new();
+            let mut scratch = GemmScratch::default();
             a.transpose_a_matmul_into(&b, &mut out, &mut scratch).unwrap();
             for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
                 assert_eq!(x.to_bits(), y.to_bits());

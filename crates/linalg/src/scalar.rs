@@ -36,6 +36,10 @@ pub trait Scalar:
     const ONE: Self;
     /// Machine epsilon for the type.
     const EPSILON: Self;
+    /// Packed-GEMM register-tile height (rows per A micro-panel).
+    const GEMM_MR: usize;
+    /// Packed-GEMM register-tile width (columns per B micro-panel).
+    const GEMM_NR: usize;
 
     /// Absolute value.
     fn abs(self) -> Self;
@@ -61,14 +65,20 @@ pub trait Scalar:
     fn from_usize(v: usize) -> Self {
         Self::from_f64(v as f64)
     }
+    /// Native (SIMD) GEMM microkernels compiled for this target, in
+    /// preference order; runtime dispatch takes the first whose CPU check
+    /// passes. Empty on targets with no native kernel.
+    fn gemm_native_kernels() -> &'static [crate::kernel::NativeKernel<Self>];
 }
 
 macro_rules! impl_scalar {
-    ($t:ty) => {
+    ($t:ty, $mr:expr, $nr:expr, $native:ident) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
             const EPSILON: Self = <$t>::EPSILON;
+            const GEMM_MR: usize = $mr;
+            const GEMM_NR: usize = $nr;
 
             #[inline(always)]
             fn abs(self) -> Self {
@@ -110,12 +120,18 @@ macro_rules! impl_scalar {
             fn to_f64(self) -> f64 {
                 self as f64
             }
+            fn gemm_native_kernels() -> &'static [crate::kernel::NativeKernel<Self>] {
+                &crate::kernel::$native
+            }
         }
     };
 }
 
-impl_scalar!(f32);
-impl_scalar!(f64);
+// Tile geometry: 6x16 f32 / 6x8 f64 fills the 16-register SIMD file of
+// AVX2 and NEON (12 accumulators + operand temporaries); the portable
+// kernel shares the geometry so packing is kernel-independent.
+impl_scalar!(f32, 6, 16, F32_NATIVE);
+impl_scalar!(f64, 6, 8, F64_NATIVE);
 
 #[cfg(test)]
 mod tests {

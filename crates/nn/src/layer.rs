@@ -2,7 +2,7 @@
 
 use crate::activation::Activation;
 use crate::init::Init;
-use fv_linalg::Matrix;
+use fv_linalg::{GemmScratch, Matrix};
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -111,30 +111,44 @@ impl Dense {
     }
 
     /// Fused workspace forward: `pre = x Wᵀ + b` and `act = act(pre)`, both
-    /// written into caller-provided buffers. Bitwise-identical to
-    /// [`Self::forward`] (product first, then one bias+activation pass over
-    /// the finished pre-activations) without its three allocations.
+    /// written into caller-provided buffers through the packed-GEMM kernel
+    /// with the bias+activation applied at tile write-back.
+    /// Bitwise-identical to [`Self::forward`] (each element's product is
+    /// fully summed, then biased, then activated) without its allocations.
     pub(crate) fn forward_into(
         &self,
         input: &Matrix<f32>,
         pre: &mut Matrix<f32>,
         act_out: &mut Matrix<f32>,
+        gemm: &mut GemmScratch<f32>,
     ) {
         let act = self.activation;
         input
-            .matmul_bias_act_into(&self.weights, &self.bias, |v| act.apply(v), pre, act_out)
+            .matmul_bias_act_into_with(
+                &self.weights,
+                &self.bias,
+                |v| act.apply(v),
+                Some(pre),
+                act_out,
+                gemm,
+            )
             .expect("layer width checked by Mlp");
     }
 
     /// Inference forward into a caller-provided buffer; the counterpart of
-    /// [`Self::infer`] for the streaming reconstruct path.
-    pub(crate) fn infer_into(&self, input: &Matrix<f32>, out: &mut Matrix<f32>) {
-        input
-            .matmul_transpose_b_into(&self.weights, out)
-            .expect("layer width checked by Mlp");
+    /// [`Self::infer`] for the streaming reconstruct path. The fused
+    /// epilogue writes `act(x Wᵀ + b)` straight out of the GEMM tiles —
+    /// no separate bias/activation sweep, no pre-activation buffer.
+    pub(crate) fn infer_into(
+        &self,
+        input: &Matrix<f32>,
+        out: &mut Matrix<f32>,
+        gemm: &mut GemmScratch<f32>,
+    ) {
         let act = self.activation;
-        out.bias_act_inplace(&self.bias, |v| act.apply(v))
-            .expect("bias length equals layer width");
+        input
+            .matmul_bias_act_into_with(&self.weights, &self.bias, |v| act.apply(v), None, out, gemm)
+            .expect("layer width checked by Mlp");
     }
 
     /// Backward pass: given `dL/d(output)` `[batch, out]` and the forward

@@ -190,7 +190,7 @@ impl Mlp {
         for (i, layer) in self.layers.iter().enumerate() {
             let (done, rest) = ws.act.split_at_mut(i);
             let input = if i == 0 { &ws.x } else { &done[i - 1] };
-            layer.forward_into(input, &mut ws.pre[i], &mut rest[0]);
+            layer.forward_into(input, &mut ws.pre[i], &mut rest[0], &mut ws.gemm);
         }
         Ok(())
     }
@@ -214,14 +214,14 @@ impl Mlp {
             // dW = dZᵀ · X and db = column sums of dZ.
             let input = if i == 0 { &ws.x } else { &ws.act[i - 1] };
             ws.d[i]
-                .transpose_a_matmul_into(input, &mut ws.grads[i].weights, &mut ws.ta_scratch)
+                .transpose_a_matmul_into(input, &mut ws.grads[i].weights, &mut ws.gemm)
                 .expect("shapes match by construction");
             ws.d[i].col_sums_into(&mut ws.grads[i].bias, &mut ws.col_scratch);
             // dX = dZ · W, written straight into the previous layer's delta.
             if i > 0 {
                 let (prev, cur) = ws.d.split_at_mut(i);
                 cur[0]
-                    .matmul_into(&layer.weights, &mut prev[i - 1])
+                    .matmul_into_with(&layer.weights, &mut prev[i - 1], &mut ws.gemm)
                     .expect("shapes match by construction");
             }
         }
@@ -245,7 +245,7 @@ impl Mlp {
         for (i, layer) in self.layers.iter().enumerate() {
             let (done, rest) = ws.act.split_at_mut(i);
             let input = if i == 0 { x } else { &done[i - 1] };
-            layer.infer_into(input, &mut rest[0]);
+            layer.infer_into(input, &mut rest[0], &mut ws.gemm);
         }
         Ok(ws.act.last().expect("non-empty network"))
     }

@@ -24,12 +24,12 @@ use crate::data::Dataset;
 use crate::layer::DenseGrads;
 use crate::loss::Loss;
 use crate::mlp::Mlp;
-use fv_linalg::Matrix;
+use fv_linalg::{GemmScratch, Matrix};
 
 /// All per-batch state of the training inner loop: the gathered batch, each
 /// layer's pre-activations / activations / back-propagated deltas, the
-/// per-layer parameter gradients, and the scratch vectors behind the
-/// deterministic `transpose_a_matmul` / `col_sums` reductions.
+/// per-layer parameter gradients, the packed-GEMM panel buffers, and the
+/// scratch vector behind the deterministic column-sum reduction.
 #[derive(Debug, Clone)]
 pub struct TrainWorkspace {
     /// Gathered batch features `[batch, in]`.
@@ -45,8 +45,10 @@ pub struct TrainWorkspace {
     pub(crate) d: Vec<Matrix<f32>>,
     /// Per-layer parameter gradients, aligned with `Mlp::layers()`.
     pub(crate) grads: Vec<DenseGrads>,
-    /// Block partials for the deterministic `transpose_a_matmul` reduction.
-    pub(crate) ta_scratch: Vec<f32>,
+    /// Packed-GEMM panel buffers shared by every product in the step
+    /// (forward, dW, dX). Sized by the largest product after warm-up, so
+    /// steady-state packing allocates nothing.
+    pub(crate) gemm: GemmScratch<f32>,
     /// Leaf partials for the deterministic column-sum reduction.
     pub(crate) col_scratch: Vec<f32>,
 }
@@ -75,7 +77,7 @@ impl TrainWorkspace {
             d: pre.clone(),
             pre,
             grads,
-            ta_scratch: Vec::new(),
+            gemm: GemmScratch::new(),
             col_scratch: Vec::new(),
         }
     }
@@ -130,6 +132,8 @@ impl TrainWorkspace {
 #[derive(Debug, Clone, Default)]
 pub struct InferWorkspace {
     pub(crate) act: Vec<Matrix<f32>>,
+    /// Packed-GEMM panel buffers shared by every layer's fused product.
+    pub(crate) gemm: GemmScratch<f32>,
 }
 
 impl InferWorkspace {
@@ -142,6 +146,7 @@ impl InferWorkspace {
                 .iter()
                 .map(|l| Matrix::zeros(0, l.output_size()))
                 .collect(),
+            gemm: GemmScratch::new(),
         }
     }
 

@@ -60,6 +60,46 @@ if t[4] > 1.10 * t[1]:
 print(f"runtime smoke ok: train 1T={t[1]:.3f}s 4T={t[4]:.3f}s, all rows bitwise-identical")
 EOF
 
+echo "=== gemm kernel stage (microkernel parity, portable vs auto dispatch) ==="
+# The packed-GEMM layer promises bitwise-identical products no matter which
+# microkernel dispatch picks (DESIGN.md §15). The parity suite pins every
+# product variant against a canonical-order reference under both kernels
+# in-process; on top of that, run the whole training + reconstruction
+# experiment once per FV_GEMM_KERNEL setting and require identical SNR and
+# an identical reconstruction fingerprint across the two processes.
+for kern in portable auto; do
+  FV_GEMM_KERNEL=$kern cargo test -q "${MODE[@]}" --test gemm \
+    || { echo "gemm parity suite failed (FV_GEMM_KERNEL=$kern)"; exit 1; }
+done
+FV_GEMM_KERNEL=portable cargo run --release -q -p fv-bench --bin exp_runtime > /dev/null
+mv BENCH_runtime.json BENCH_runtime_portable.json
+FV_GEMM_KERNEL=auto cargo run --release -q -p fv-bench --bin exp_runtime > /dev/null
+python3 - <<'EOF'
+import json, sys
+p = json.load(open("BENCH_runtime_portable.json"))
+a = json.load(open("BENCH_runtime.json"))
+for rp, ra in zip(p["rows"], a["rows"]):
+    if rp["snr_db"] != ra["snr_db"] or rp["recon_fnv"] != ra["recon_fnv"]:
+        sys.exit(
+            f"gemm stage: portable vs auto diverged at threads={rp['threads']}: "
+            f"snr {rp['snr_db']} vs {ra['snr_db']}, fnv {rp['recon_fnv']} vs {ra['recon_fnv']}"
+        )
+    if not (rp["bitwise_match"] and ra["bitwise_match"]):
+        sys.exit(f"gemm stage: in-run divergence at threads={rp['threads']}")
+g = a["gemm"]
+if g["detected"][-1] != "portable":
+    sys.exit(f"gemm stage: detected-kernel list must end with portable, got {g['detected']}")
+for v in g["variants"]:
+    if v["pack_grows"] != 1 or v["pack_reuses"] != v["pack_calls"] - 1:
+        sys.exit(f"gemm stage: pack buffers not reused in steady state: {v}")
+print(
+    f"gemm stage ok: active={g['active_kernel']} detected={g['detected']}, "
+    + ", ".join(f"{v['kernel']} {v['gflops']:.1f} GF/s" for v in g["variants"])
+    + ", SNR + fingerprint identical across kernels"
+)
+EOF
+rm -f BENCH_runtime_portable.json
+
 echo "=== telemetry smoke (zero-cost when disabled, bitwise-identical when enabled) ==="
 # Re-run the runtime experiment with FV_TELEMETRY=1 and hold the
 # observability layer to its contract: identical SNR per row (recording
@@ -84,7 +124,7 @@ for a, b in zip(off["rows"], on["rows"]):
         sys.exit(f"telemetry smoke: numerics diverged at threads={a['threads']}")
 names = {s["name"] for s in on["telemetry"]["sites"]}
 names |= {c["name"] for c in on["telemetry"]["counters"]}
-want = {"pool.jobs", "train.step", "spatial.knn_batch", "core.feature_build", "recon", "insitu.step", "brick.pipeline", "brick.completed"}
+want = {"pool.jobs", "train.step", "spatial.knn_batch", "core.feature_build", "recon", "insitu.step", "brick.pipeline", "brick.completed", "linalg.gemm.pack", "linalg.gemm.kernel", "linalg.gemm.pack_bytes"}
 missing = want - names
 if missing:
     sys.exit(f"telemetry smoke: expected sites missing from snapshot: {sorted(missing)}")

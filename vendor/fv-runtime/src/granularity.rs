@@ -95,6 +95,23 @@ pub fn go_parallel(counter: &'static OpCounter, work: usize) -> bool {
     }
 }
 
+/// Row-chunk size for kernels whose indivisible work unit is a fixed
+/// multi-row *panel* rather than a single row — the packed GEMM's MR-row
+/// micro-panels being the motivating case. The panel count is chunked with
+/// the same deterministic geometry as [`crate::chunk_size`] (a pure
+/// function of the panel count in deterministic mode), then converted back
+/// to rows, so every chunk boundary lands on a panel boundary and no
+/// micro-tile is ever split across workers. The final chunk may be ragged
+/// (fewer than `panel` rows) exactly as the final panel is.
+///
+/// Returns `rows.max(1)` when `rows` fits in one panel, so callers can
+/// always use the result as a `chunks_mut` size.
+pub fn panel_rows(rows: usize, panel: usize) -> usize {
+    let panel = panel.max(1);
+    let panels = rows.div_ceil(panel).max(1);
+    crate::chunk_size(panels, 1, usize::MAX) * panel
+}
+
 /// A snapshot of one op's dispatch decisions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DispatchStats {
@@ -136,6 +153,21 @@ mod tests {
     use super::*;
 
     static OP_TEST: OpCounter = OpCounter::new("test.granularity_op");
+
+    #[test]
+    fn panel_rows_is_panel_aligned_and_deterministic() {
+        for rows in [0usize, 1, 5, 6, 7, 64, 100, 389, 4096] {
+            for panel in [1usize, 6, 8, 16] {
+                let chunk = panel_rows(rows, panel);
+                assert!(chunk >= 1);
+                assert_eq!(chunk % panel, 0, "chunk {chunk} not aligned to panel {panel}");
+                // Same inputs, same geometry: a pure function of the shape.
+                assert_eq!(chunk, panel_rows(rows, panel));
+            }
+        }
+        // Degenerate panel sizes are clamped, never divide-by-zero.
+        assert_eq!(panel_rows(10, 0), panel_rows(10, 1));
+    }
 
     #[test]
     fn threshold_splits_decisions_and_counts_them() {
