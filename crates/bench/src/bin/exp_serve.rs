@@ -18,14 +18,20 @@ use fillvoid_core::pipeline::FcnnPipeline;
 use fv_bench::ExpOpts;
 use fv_field::{Grid3, ScalarField};
 use fv_sampling::{FieldSampler, ImportanceSampler, PointCloud};
-use fv_serve::{BatchConfig, Client, ModelRegistry, ServeConfig, Server};
+use fv_serve::{
+    fingerprint_f32, BatchConfig, CanarySpec, Client, ClientError, ErrorCode, ModelRegistry,
+    ServeConfig, Server, VERSION_ACTIVE,
+};
 use fv_sims::DatasetSpec;
 use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 const DATASET: &str = "isabel";
 const REQS_PER_CLIENT: usize = 5;
+const SWAPS: u32 = 100;
+const SWAP_CLIENTS: usize = 16;
 
 struct FleetResult {
     clients: usize,
@@ -136,6 +142,161 @@ fn run_fleet(
     }
 }
 
+struct SwapResult {
+    swaps: u64,
+    rejected_canary: u64,
+    dropped: u64,
+    misrouted: u64,
+    p99_during_swap_ms: f64,
+    drain_ms_max: f64,
+    canary_ms_mean: f64,
+    promoted: u64,
+    retired: u64,
+}
+
+/// Hot-swap storm: 16 clients hammer `VERSION_ACTIVE` sessions while an
+/// admin connection promotes 100 successive versions alternating between
+/// two weight sets. Every response must match the direct output of the
+/// version its session was pinned to (odd = `model_a`, even = `model_b`);
+/// anything else is a misroute, any client-visible error is a drop. A
+/// fingerprint canary pinned to v1's bits first proves a wrong-weights
+/// candidate is rejected without disturbing the active version.
+#[allow(clippy::too_many_arguments)]
+fn run_swap_storm(
+    model_a: &FcnnPipeline,
+    model_b: &FcnnPipeline,
+    cloud: &PointCloud,
+    grid: &Grid3,
+    field: &ScalarField,
+    direct_a: &ScalarField,
+    direct_b: &ScalarField,
+) -> SwapResult {
+    let registry = Arc::new(ModelRegistry::new(512 << 20));
+    registry
+        .insert(DATASET, 1, model_a.clone())
+        .expect("seed registry");
+    let cfg = ServeConfig {
+        allow_remote_swap: true,
+        batch: BatchConfig {
+            batch: true,
+            flush_after: Duration::from_micros(300),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut server = Server::start_with_registry(cfg, registry.clone()).expect("start server");
+    let addr = server.addr();
+
+    // Canary pinned to v1's exact output bits: a candidate with different
+    // weights must be rejected and v1 must keep serving.
+    registry.set_canary(
+        DATASET,
+        CanarySpec {
+            cloud: Arc::new(cloud.clone()),
+            reference: direct_a.clone(),
+            snr_floor_db: None,
+            fingerprint: Some(fingerprint_f32(direct_a.values())),
+        },
+    );
+    let mut admin = Client::connect(addr).expect("admin connect");
+    let rejected_canary = match admin.swap_model(DATASET, 2, model_b) {
+        Err(ClientError::Server { code, .. }) if code == ErrorCode::SwapRejected as u16 => 1u64,
+        Ok(()) => 0,
+        Err(e) => panic!("canary rejection surfaced as {e}, not SwapRejected"),
+    };
+    // Relax to an SNR floor both weight sets clear so the storm's
+    // promotions exercise the real canary path and all pass.
+    let floor = snr_db(field, direct_a).min(snr_db(field, direct_b)) - 3.0;
+    registry.set_canary(
+        DATASET,
+        CanarySpec {
+            cloud: Arc::new(cloud.clone()),
+            reference: field.clone(),
+            snr_floor_db: Some(floor),
+            fingerprint: None,
+        },
+    );
+
+    let stop = AtomicBool::new(false);
+    let dropped = AtomicU64::new(0);
+    let misrouted = AtomicU64::new(0);
+    let latencies = Mutex::new(Vec::<f64>::new());
+    let barrier = Barrier::new(SWAP_CLIENTS + 1);
+
+    std::thread::scope(|scope| {
+        for i in 0..SWAP_CLIENTS {
+            let (stop, dropped, misrouted, latencies, barrier) =
+                (&stop, &dropped, &misrouted, &latencies, &barrier);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("fleet connect");
+                let tenant = format!("swap-{i}");
+                barrier.wait();
+                let mut mine = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    let round = (|| -> Result<(), ClientError> {
+                        let (session, version) =
+                            client.open_session_versioned(&tenant, DATASET, VERSION_ACTIVE)?;
+                        client.put_cloud(session, cloud)?;
+                        let served = client.reconstruct(session, grid, 0)?;
+                        client.close_session(session)?;
+                        let expect = if version % 2 == 1 { direct_a } else { direct_b };
+                        let ok = served
+                            .field
+                            .values()
+                            .iter()
+                            .zip(expect.values())
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                        if !ok {
+                            misrouted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(())
+                    })();
+                    mine.push(t0.elapsed().as_secs_f64() * 1e3);
+                    if round.is_err() {
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                latencies.lock().unwrap().extend(mine);
+            });
+        }
+        barrier.wait();
+        for v in 2..2 + SWAPS {
+            let m = if v % 2 == 1 { model_a } else { model_b };
+            if let Err(e) = admin.swap_model(DATASET, v, m) {
+                panic!("promotion of v{v} failed mid-storm: {e}");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    server.shutdown();
+    // All fleet sessions closed their pins; displaced versions must be
+    // fully drained by now (shutdown also polls).
+    registry.poll_drains();
+    let sw = registry.swap_stats();
+    if sw.draining != 0 {
+        panic!("{} displaced versions still draining after shutdown", sw.draining);
+    }
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    SwapResult {
+        swaps: SWAPS as u64,
+        rejected_canary,
+        dropped: dropped.into_inner(),
+        misrouted: misrouted.into_inner(),
+        p99_during_swap_ms: percentile(&lat, 0.99),
+        drain_ms_max: sw.max_drain_ms,
+        canary_ms_mean: if sw.canary_runs > 0 {
+            sw.canary_ms_total / sw.canary_runs as f64
+        } else {
+            0.0
+        },
+        promoted: sw.promoted,
+        retired: sw.retired,
+    }
+}
+
 fn main() {
     let opts = ExpOpts::from_args();
     let spec = DatasetSpec::by_name(DATASET).expect("isabel is registered");
@@ -151,11 +312,28 @@ fn main() {
         .expect("direct reconstruction");
     let snr_direct = snr_db(&field, &direct);
 
+    // Second weight set for the hot-swap storm; a different seed makes
+    // its output bitwise-distinct from the first, so the per-version
+    // parity check below can actually detect misrouting.
+    let model_b = FcnnPipeline::train(&field, &config, opts.seed + 1).expect("training b");
+    let direct_b = model_b
+        .reconstruct(&cloud, field.grid())
+        .expect("direct reconstruction b");
+    assert!(
+        direct
+            .values()
+            .iter()
+            .zip(direct_b.values())
+            .any(|(a, b)| a.to_bits() != b.to_bits()),
+        "swap storm needs bitwise-distinct weight sets"
+    );
+
     let fleets: Vec<FleetResult> = [1usize, 4, 16, 64]
         .iter()
         .map(|&n| run_fleet(&model, &cloud, &grid, &direct, n, true))
         .collect();
     let batch1 = run_fleet(&model, &cloud, &grid, &direct, 16, false);
+    let swap = run_swap_storm(&model, &model_b, &cloud, &grid, &field, &direct, &direct_b);
 
     let bitwise_all = fleets.iter().all(|f| f.bitwise_equal) && batch1.bitwise_equal;
     let degraded_total: u64 = fleets.iter().map(|f| f.degraded).sum::<u64>() + batch1.degraded;
@@ -209,6 +387,14 @@ fn main() {
         }
     );
     println!("# SNR: direct {snr_direct:.2} dB, served {snr_served:.2} dB (exact parity by bitwise identity)");
+    println!(
+        "# hot-swap storm: {} promotions under {} clients — dropped {}, misrouted {}, canary-rejected {}",
+        swap.swaps, SWAP_CLIENTS, swap.dropped, swap.misrouted, swap.rejected_canary
+    );
+    println!(
+        "# hot-swap timing: p99 during swaps {:.3} ms, worst drain {:.3} ms, mean canary cost {:.3} ms ({} promoted, {} retired)",
+        swap.p99_during_swap_ms, swap.drain_ms_max, swap.canary_ms_mean, swap.promoted, swap.retired
+    );
 
     let fleet_json: Vec<String> = fleets
         .iter()
@@ -221,7 +407,7 @@ fn main() {
         .collect();
     let dims = grid.dims();
     let json = format!(
-        "{{\n  \"experiment\": \"serve\",\n  \"dataset\": \"{DATASET}\",\n  \"grid\": [{}, {}, {}],\n  \"reqs_per_client\": {REQS_PER_CLIENT},\n  \"snr_direct_db\": {:.6},\n  \"snr_served_db\": {:.6},\n  \"bitwise_equal\": {},\n  \"degraded_responses\": {},\n  \"fleet\": [{}],\n  \"batch1_16c\": {{\"p50_ms\": {:.6}, \"p99_ms\": {:.6}, \"throughput_rps\": {:.3}}},\n  \"batched_p99_beats_batch1\": {}\n}}\n",
+        "{{\n  \"experiment\": \"serve\",\n  \"dataset\": \"{DATASET}\",\n  \"grid\": [{}, {}, {}],\n  \"reqs_per_client\": {REQS_PER_CLIENT},\n  \"snr_direct_db\": {:.6},\n  \"snr_served_db\": {:.6},\n  \"bitwise_equal\": {},\n  \"degraded_responses\": {},\n  \"fleet\": [{}],\n  \"batch1_16c\": {{\"p50_ms\": {:.6}, \"p99_ms\": {:.6}, \"throughput_rps\": {:.3}}},\n  \"batched_p99_beats_batch1\": {},\n  \"swap\": {{\"swaps\": {}, \"rejected_canary\": {}, \"dropped\": {}, \"misrouted\": {}, \"promoted\": {}, \"retired\": {}, \"p99_during_swap_ms\": {:.6}, \"drain_ms_max\": {:.6}, \"canary_ms_mean\": {:.6}}}\n}}\n",
         dims[0],
         dims[1],
         dims[2],
@@ -234,6 +420,15 @@ fn main() {
         batch1.p99_ms,
         batch1.throughput_rps,
         batched_wins,
+        swap.swaps,
+        swap.rejected_canary,
+        swap.dropped,
+        swap.misrouted,
+        swap.promoted,
+        swap.retired,
+        swap.p99_during_swap_ms,
+        swap.drain_ms_max,
+        swap.canary_ms_mean,
     );
     let path = "BENCH_serve.json";
     std::fs::File::create(path)
@@ -249,6 +444,20 @@ fn main() {
         eprintln!(
             "error: micro-batched p99 ({:.3} ms) did not beat batch-size-1 ({:.3} ms) at 16 clients",
             batched16.p99_ms, batch1.p99_ms
+        );
+        std::process::exit(1);
+    }
+    if swap.dropped > 0 || swap.misrouted > 0 {
+        eprintln!(
+            "error: hot-swap storm dropped {} and misrouted {} requests (both must be 0)",
+            swap.dropped, swap.misrouted
+        );
+        std::process::exit(1);
+    }
+    if swap.rejected_canary != 1 || swap.promoted != swap.swaps {
+        eprintln!(
+            "error: hot-swap lifecycle off-script: rejected_canary {} (want 1), promoted {} (want {})",
+            swap.rejected_canary, swap.promoted, swap.swaps
         );
         std::process::exit(1);
     }

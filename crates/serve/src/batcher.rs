@@ -169,6 +169,13 @@ impl Default for BatchWorkspace {
     }
 }
 
+/// Callback run by the batcher thread after every flush, once the
+/// batch's jobs have been answered and their model `Arc`s dropped. The
+/// server hooks the registry's drain poll here so a retiring model
+/// version whose last pin was an in-flight batch is retired promptly,
+/// not only at the next session close.
+pub type AfterFlush = Arc<dyn Fn() + Send + Sync>;
+
 /// Handle to the batcher thread.
 pub struct MicroBatcher {
     tx: SyncSender<Msg>,
@@ -189,12 +196,17 @@ impl std::fmt::Debug for MicroBatcher {
 impl MicroBatcher {
     /// Spawn the batcher thread.
     pub fn start(cfg: BatchConfig) -> Self {
+        Self::start_with(cfg, None)
+    }
+
+    /// Spawn the batcher thread with an [`AfterFlush`] hook.
+    pub fn start_with(cfg: BatchConfig, after_flush: Option<AfterFlush>) -> Self {
         let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
         let flushes = Arc::new(AtomicU64::new(0));
         let counter = flushes.clone();
         let handle = std::thread::Builder::new()
             .name("fv-serve-batcher".into())
-            .spawn(move || worker(rx, cfg, counter))
+            .spawn(move || worker(rx, cfg, counter, after_flush))
             .expect("spawn batcher");
         Self {
             tx,
@@ -241,11 +253,23 @@ impl Drop for MicroBatcher {
     }
 }
 
-fn worker(rx: Receiver<Msg>, cfg: BatchConfig, flushes: Arc<AtomicU64>) {
+fn worker(
+    rx: Receiver<Msg>,
+    cfg: BatchConfig,
+    flushes: Arc<AtomicU64>,
+    after_flush: Option<AfterFlush>,
+) {
     let mut ws = BatchWorkspace::default();
     let mut pending: Vec<ReconJob> = Vec::new();
     let mut pending_rows = 0usize;
     let mut first_at = Instant::now();
+    // The hook must never kill the worker: it runs third-party-ish code
+    // (the server's drain poll) on the batcher thread.
+    let ran_flush = |hook: &Option<AfterFlush>| {
+        if let Some(h) = hook {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h()));
+        }
+    };
     loop {
         let msg = if pending.is_empty() {
             match rx.recv() {
@@ -258,11 +282,13 @@ fn worker(rx: Receiver<Msg>, cfg: BatchConfig, flushes: Arc<AtomicU64>) {
                 Ok(m) => m,
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                     flush(&mut pending, &mut ws, &flushes);
+                    ran_flush(&after_flush);
                     pending_rows = 0;
                     continue;
                 }
                 Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
                     flush(&mut pending, &mut ws, &flushes);
+                    ran_flush(&after_flush);
                     break;
                 }
             }
@@ -281,6 +307,7 @@ fn worker(rx: Receiver<Msg>, cfg: BatchConfig, flushes: Arc<AtomicU64>) {
                 pending.push(*job);
                 if !cfg.batch || pending_rows >= cap || pending.len() >= cfg.queue_depth {
                     flush(&mut pending, &mut ws, &flushes);
+                    ran_flush(&after_flush);
                     pending_rows = 0;
                 }
             }
@@ -291,6 +318,7 @@ fn worker(rx: Receiver<Msg>, cfg: BatchConfig, flushes: Arc<AtomicU64>) {
                 while let Ok(Msg::Job(job)) = rx.try_recv() {
                     job.respond(ReconOutcome::Shutdown);
                 }
+                ran_flush(&after_flush);
                 break;
             }
         }

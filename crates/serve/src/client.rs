@@ -1,13 +1,31 @@
 //! Blocking client for the FVS1 protocol (tests, benches, CI smoke).
+//!
+//! Two modes share one type:
+//!
+//! - [`Client::connect`] is the raw single-connection client: every
+//!   transport failure surfaces to the caller. Protocol-robustness tests
+//!   depend on these exact semantics.
+//! - [`Client::connect_healing`] layers self-healing on top: a transport
+//!   failure triggers a capped-exponential-backoff reconnect, tracked
+//!   sessions are re-opened (with their *originally requested* version
+//!   spec, so `VERSION_ACTIVE` re-resolves) and their clouds re-uploaded,
+//!   and the failed request is retried with the new session ids. Each
+//!   reconstruction carries a nonzero idempotency id, reused verbatim
+//!   across retries: if the original reply was computed but lost on the
+//!   wire, the server replays it from its reply cache instead of
+//!   recomputing — the retry can never double-count or diverge.
 
 use crate::proto::{
-    self, ErrorBody, GridWire, Op, OpenSessionReq, PutCloudReq, ReconstructReq, ReconstructResp,
-    Status,
+    self, ErrorBody, ErrorCode, GridWire, Op, OpenSessionReq, OpenSessionResp, PutCloudReq,
+    ReconstructReq, ReconstructResp, Status, SwapModelReq,
 };
+use fillvoid_core::FcnnPipeline;
 use fv_field::{Grid3, ScalarField};
 use fv_sampling::PointCloud;
+use std::collections::HashMap;
 use std::io::Write;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -64,6 +82,13 @@ impl From<proto::WireError> for ClientError {
     }
 }
 
+/// `true` for failures of the *connection* (retryable by reconnecting),
+/// `false` for failures of the *request* (the server answered; retrying
+/// the same bytes would get the same answer).
+fn transport(e: &ClientError) -> bool {
+    matches!(e, ClientError::Io(_) | ClientError::Frame(_))
+}
+
 /// A reconstruction served over the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServedField {
@@ -76,89 +101,403 @@ pub struct ServedField {
     pub reason: String,
 }
 
-/// Blocking FVS1 client over one TCP connection.
+/// Reconnect schedule for the self-healing client: up to `attempts`
+/// retries, sleeping `base * 2^n` before the n-th (capped at `max`).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt.
+    pub attempts: u32,
+    /// First backoff sleep.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 5,
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base.saturating_mul(factor).min(self.max)
+    }
+}
+
+/// Everything needed to rebuild one session on a fresh connection.
+#[derive(Debug, Clone)]
+struct Tracked {
+    tenant: String,
+    dataset: String,
+    /// The version the *caller* asked for — may be
+    /// [`proto::VERSION_ACTIVE`], which re-resolves on every re-open.
+    version_spec: u32,
+    /// Concrete version the current server session is pinned to.
+    pinned: u32,
+    /// Server-side session id on the current connection.
+    server_id: u64,
+    /// Last uploaded cloud, replayed after a reconnect.
+    cloud: Option<PointCloud>,
+}
+
+#[derive(Debug)]
+struct Healing {
+    peer: SocketAddr,
+    policy: RetryPolicy,
+    /// Logical id (stable across reconnects, what callers hold) →
+    /// session state. Server-side ids die with their connection.
+    sessions: HashMap<u64, Tracked>,
+    next_logical: u64,
+    reconnects: u64,
+    /// Idempotency-id generator state.
+    id_base: u64,
+    seq: u64,
+}
+
+/// Zero-dependency per-client entropy for idempotency ids: ids from two
+/// client processes retrying against the same tenant must not collide.
+/// Not cryptographic — collisions only risk a stale cached reply within
+/// the cache's few-second TTL.
+fn entropy() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let heap = Box::new(0u64);
+    let addr = &*heap as *const u64 as u64;
+    (now ^ addr.rotate_left(29)).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1
+}
+
+/// One request/response exchange over an established stream. Error and
+/// ShuttingDown statuses are surfaced as [`ClientError::Server`]. A free
+/// function (not a method) so the healing path can drive it while
+/// holding disjoint borrows of the client's session table.
+fn exchange(
+    stream: &mut TcpStream,
+    op: Op,
+    payload: &[u8],
+) -> Result<(Status, Vec<u8>), ClientError> {
+    proto::write_frame(stream, op as u8, Status::Ok as u8, payload)?;
+    let frame = proto::read_frame(stream)?;
+    let status = Status::from_u8(frame.status).ok_or_else(|| {
+        ClientError::Wire(proto::WireError(format!("unknown status {}", frame.status)))
+    })?;
+    match status {
+        Status::Ok | Status::Degraded => Ok((status, frame.payload)),
+        Status::Error | Status::ShuttingDown => {
+            let body = ErrorBody::decode(&frame.payload)?;
+            Err(ClientError::Server {
+                status,
+                code: body.code,
+                message: body.message,
+            })
+        }
+    }
+}
+
+/// Blocking FVS1 client over one TCP connection (plus, in healing mode,
+/// however many reconnects it takes).
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    healing: Option<Healing>,
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server (raw mode: transport failures surface).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            healing: None,
+        })
     }
 
-    /// One request/response exchange. Error and ShuttingDown statuses are
-    /// surfaced as [`ClientError::Server`].
+    /// Connect with self-healing: see the module docs for the retry /
+    /// re-establishment contract. Session ids returned by this client
+    /// are *logical* — stable across reconnects.
+    pub fn connect_healing(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        let peer = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Wire(proto::WireError("address resolved empty".into())))?;
+        let stream = TcpStream::connect(peer)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            healing: Some(Healing {
+                peer,
+                policy,
+                sessions: HashMap::new(),
+                next_logical: 1,
+                reconnects: 0,
+                id_base: entropy(),
+                seq: 0,
+            }),
+        })
+    }
+
+    /// How many times the healing layer has reconnected (0 in raw mode).
+    pub fn reconnects(&self) -> u64 {
+        self.healing.as_ref().map_or(0, |h| h.reconnects)
+    }
+
+    /// Tear the TCP connection under the client (test hook for the
+    /// healing path).
+    pub fn break_connection(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// One exchange in raw mode.
     fn call(&mut self, op: Op, payload: &[u8]) -> Result<(Status, Vec<u8>), ClientError> {
-        proto::write_frame(&mut self.stream, op as u8, Status::Ok as u8, payload)?;
-        let frame = proto::read_frame(&mut self.stream)?;
-        let status = Status::from_u8(frame.status).ok_or_else(|| {
-            ClientError::Wire(proto::WireError(format!("unknown status {}", frame.status)))
-        })?;
-        match status {
-            Status::Ok | Status::Degraded => Ok((status, frame.payload)),
-            Status::Error | Status::ShuttingDown => {
-                let body = ErrorBody::decode(&frame.payload)?;
-                Err(ClientError::Server {
-                    status,
-                    code: body.code,
-                    message: body.message,
-                })
+        exchange(&mut self.stream, op, payload)
+    }
+
+    /// Reconnect and re-establish every tracked session: re-open with the
+    /// originally requested version spec, then re-upload its cloud. The
+    /// session table survives a failure partway through — the next retry
+    /// attempt starts over from a fresh connection.
+    fn reheal(&mut self) -> Result<(), ClientError> {
+        let h = self.healing.as_mut().expect("reheal without healing mode");
+        let stream = TcpStream::connect(h.peer)?;
+        let _ = stream.set_nodelay(true);
+        self.stream = stream;
+        h.reconnects += 1;
+        let mut sessions = std::mem::take(&mut h.sessions);
+        let mut result = Ok(());
+        for t in sessions.values_mut() {
+            let open = OpenSessionReq {
+                tenant: t.tenant.clone(),
+                dataset: t.dataset.clone(),
+                version: t.version_spec,
+            };
+            let reopened = exchange(&mut self.stream, Op::OpenSession, &open.encode())
+                .and_then(|(_, payload)| Ok(OpenSessionResp::decode(&payload)?));
+            let resp = match reopened {
+                Ok(r) => r,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            t.server_id = resp.session;
+            t.pinned = resp.version;
+            if let Some(cloud) = &t.cloud {
+                let put = PutCloudReq {
+                    session: resp.session,
+                    grid: GridWire::from_grid(cloud.grid()),
+                    indices: cloud.indices().iter().map(|&i| i as u64).collect(),
+                    values: cloud.values().to_vec(),
+                };
+                if let Err(e) = exchange(&mut self.stream, Op::PutCloud, &put.encode()) {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        let h = self.healing.as_mut().expect("healing mode");
+        h.sessions = sessions;
+        result
+    }
+
+    /// Healing-mode request loop: rebuild the payload from the current
+    /// session table (retried frames must carry the *new* server-side
+    /// ids), exchange, and on a transport error back off, reconnect,
+    /// re-establish, and try again — up to the policy's attempt cap.
+    fn call_retry(
+        &mut self,
+        op: Op,
+        build: impl Fn(&Healing) -> Result<Vec<u8>, ClientError>,
+    ) -> Result<(Status, Vec<u8>), ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let h = self.healing.as_ref().expect("call_retry without healing");
+            let payload = build(h)?;
+            match exchange(&mut self.stream, op, &payload) {
+                Ok(r) => return Ok(r),
+                Err(e) if transport(&e) => {
+                    attempt += 1;
+                    let policy = &self.healing.as_ref().expect("healing mode").policy;
+                    if attempt > policy.attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.backoff(attempt));
+                    match self.reheal() {
+                        Ok(()) => {}
+                        // Reconnect itself failed: fall through and burn
+                        // another attempt against the dead stream.
+                        Err(e2) if transport(&e2) => {}
+                        Err(e2) => return Err(e2),
+                    }
+                }
+                Err(e) => return Err(e),
             }
         }
     }
 
-    /// Liveness probe.
+    /// Liveness probe (and, server-side, the idle-TTL heartbeat).
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.call(Op::Ping, b"ping")?;
+        if self.healing.is_some() {
+            self.call_retry(Op::Ping, |_| Ok(b"ping".to_vec()))?;
+        } else {
+            self.call(Op::Ping, b"ping")?;
+        }
         Ok(())
     }
 
-    /// Open a tenant session bound to `(dataset, version)`.
+    /// Open a tenant session bound to `(dataset, version)`; pass
+    /// [`proto::VERSION_ACTIVE`] to bind whatever version is promoted at
+    /// open time.
     pub fn open_session(
         &mut self,
         tenant: &str,
         dataset: &str,
         version: u32,
     ) -> Result<u64, ClientError> {
+        self.open_session_versioned(tenant, dataset, version)
+            .map(|(id, _)| id)
+    }
+
+    /// [`Self::open_session`], also returning the concrete model version
+    /// the session was pinned to.
+    pub fn open_session_versioned(
+        &mut self,
+        tenant: &str,
+        dataset: &str,
+        version: u32,
+    ) -> Result<(u64, u32), ClientError> {
         let req = OpenSessionReq {
             tenant: tenant.into(),
             dataset: dataset.into(),
             version,
         };
-        let (_, payload) = self.call(Op::OpenSession, &req.encode())?;
-        Ok(proto::decode_session_id(&payload)?)
+        if self.healing.is_none() {
+            let (_, payload) = self.call(Op::OpenSession, &req.encode())?;
+            let resp = OpenSessionResp::decode(&payload)?;
+            return Ok((resp.session, resp.version));
+        }
+        let (_, payload) = self.call_retry(Op::OpenSession, |_| Ok(req.encode()))?;
+        let resp = OpenSessionResp::decode(&payload)?;
+        let h = self.healing.as_mut().expect("healing mode");
+        let logical = h.next_logical;
+        h.next_logical += 1;
+        h.sessions.insert(
+            logical,
+            Tracked {
+                tenant: tenant.into(),
+                dataset: dataset.into(),
+                version_spec: version,
+                pinned: resp.version,
+                server_id: resp.session,
+                cloud: None,
+            },
+        );
+        Ok((logical, resp.version))
+    }
+
+    /// The concrete model version a healing-mode session is currently
+    /// pinned to (`None` for unknown ids or raw mode).
+    pub fn pinned_version(&self, session: u64) -> Option<u32> {
+        self.healing
+            .as_ref()
+            .and_then(|h| h.sessions.get(&session))
+            .map(|t| t.pinned)
     }
 
     /// Upload the session's sample cloud.
     pub fn put_cloud(&mut self, session: u64, cloud: &PointCloud) -> Result<(), ClientError> {
-        let req = PutCloudReq {
-            session,
-            grid: GridWire::from_grid(cloud.grid()),
-            indices: cloud.indices().iter().map(|&i| i as u64).collect(),
-            values: cloud.values().to_vec(),
-        };
-        self.call(Op::PutCloud, &req.encode())?;
+        if self.healing.is_none() {
+            let req = PutCloudReq {
+                session,
+                grid: GridWire::from_grid(cloud.grid()),
+                indices: cloud.indices().iter().map(|&i| i as u64).collect(),
+                values: cloud.values().to_vec(),
+            };
+            self.call(Op::PutCloud, &req.encode())?;
+            return Ok(());
+        }
+        // Track first: if the exchange dies after the server applied it,
+        // the reconnect replay re-uploads the same bytes (idempotent).
+        {
+            let h = self.healing.as_mut().expect("healing mode");
+            let t = h.sessions.get_mut(&session).ok_or_else(|| {
+                ClientError::Wire(proto::WireError(format!("unknown logical session {session}")))
+            })?;
+            t.cloud = Some(cloud.clone());
+        }
+        let grid = GridWire::from_grid(cloud.grid());
+        let indices: Vec<u64> = cloud.indices().iter().map(|&i| i as u64).collect();
+        let values = cloud.values().to_vec();
+        self.call_retry(Op::PutCloud, move |h| {
+            let t = h.sessions.get(&session).ok_or_else(|| {
+                ClientError::Wire(proto::WireError(format!("unknown logical session {session}")))
+            })?;
+            Ok(PutCloudReq {
+                session: t.server_id,
+                grid,
+                indices: indices.clone(),
+                values: values.clone(),
+            }
+            .encode())
+        })?;
         Ok(())
     }
 
     /// Request a reconstruction onto `target`; `deadline_ms = 0` is
-    /// unbounded.
+    /// unbounded. In healing mode the request carries a nonzero
+    /// idempotency id, identical across retries, so a reply lost on the
+    /// wire is replayed from the server's cache rather than recomputed.
     pub fn reconstruct(
         &mut self,
         session: u64,
         target: &Grid3,
         deadline_ms: u32,
     ) -> Result<ServedField, ClientError> {
-        let req = ReconstructReq {
-            session,
-            target: GridWire::from_grid(target),
-            deadline_ms,
+        let (status, payload) = if self.healing.is_none() {
+            let req = ReconstructReq {
+                session,
+                target: GridWire::from_grid(target),
+                deadline_ms,
+                request_id: 0,
+            };
+            self.call(Op::Reconstruct, &req.encode())?
+        } else {
+            let request_id = {
+                let h = self.healing.as_mut().expect("healing mode");
+                h.seq += 1;
+                let rid = h.id_base ^ h.seq;
+                if rid == 0 {
+                    0x9e37_79b9_7f4a_7c15
+                } else {
+                    rid
+                }
+            };
+            let target = GridWire::from_grid(target);
+            self.call_retry(Op::Reconstruct, move |h| {
+                let t = h.sessions.get(&session).ok_or_else(|| {
+                    ClientError::Wire(proto::WireError(format!(
+                        "unknown logical session {session}"
+                    )))
+                })?;
+                Ok(ReconstructReq {
+                    session: t.server_id,
+                    target,
+                    deadline_ms,
+                    request_id,
+                }
+                .encode())
+            })?
         };
-        let (status, payload) = self.call(Op::Reconstruct, &req.encode())?;
         let body = ReconstructResp::decode(&payload)?;
         let field = ScalarField::from_vec(*target, body.values)
             .map_err(|e| ClientError::Wire(proto::WireError(format!("bad field: {e}"))))?;
@@ -170,16 +509,69 @@ impl Client {
     }
 
     /// Scrape the server's JSON stats (telemetry snapshot + per-tenant
-    /// counters).
+    /// counters + swap/drain/retry-cache lifecycle sections).
     pub fn stats(&mut self) -> Result<String, ClientError> {
-        let (_, payload) = self.call(Op::Stats, &[])?;
+        let (_, payload) = if self.healing.is_none() {
+            self.call(Op::Stats, &[])?
+        } else {
+            self.call_retry(Op::Stats, |_| Ok(Vec::new()))?
+        };
         String::from_utf8(payload)
             .map_err(|_| ClientError::Wire(proto::WireError("non-utf8 stats".into())))
     }
 
-    /// Close a session.
+    /// Close a session. In healing mode the session is untracked before
+    /// the wire call, and "already gone" outcomes (unknown id after a
+    /// reconnect, or a connection drop that closed it server-side) count
+    /// as success — close is idempotent.
     pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
-        self.call(Op::CloseSession, &proto::encode_session_id(session))?;
+        if self.healing.is_none() {
+            self.call(Op::CloseSession, &proto::encode_session_id(session))?;
+            return Ok(());
+        }
+        let tracked = self
+            .healing
+            .as_mut()
+            .expect("healing mode")
+            .sessions
+            .remove(&session);
+        let Some(t) = tracked else {
+            return Ok(()); // double-close: already idempotent-ok
+        };
+        match self.call(Op::CloseSession, &proto::encode_session_id(t.server_id)) {
+            Ok(_) => Ok(()),
+            Err(e) if transport(&e) => Ok(()),
+            Err(ClientError::Server { code, .. })
+                if code == ErrorCode::UnknownSession as u16 =>
+            {
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Push `pipeline` as `(dataset, version)` and ask the server to
+    /// canary-validate and promote it (requires `FV_SERVE_ALLOW_SWAP=1`
+    /// server-side). Never retried, even in healing mode: a swap whose
+    /// reply was lost may have been applied, and blind re-submission
+    /// would be answered `SwapRejected("not newer")` — the caller should
+    /// observe the active version instead.
+    pub fn swap_model(
+        &mut self,
+        dataset: &str,
+        version: u32,
+        pipeline: &FcnnPipeline,
+    ) -> Result<(), ClientError> {
+        let mut bytes = Vec::new();
+        pipeline.write_to(&mut bytes).map_err(|e| {
+            ClientError::Wire(proto::WireError(format!("pipeline serialize: {e}")))
+        })?;
+        let req = SwapModelReq {
+            dataset: dataset.into(),
+            version,
+            pipeline: bytes,
+        };
+        self.call(Op::SwapModel, &req.encode())?;
         Ok(())
     }
 

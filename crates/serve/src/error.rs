@@ -13,6 +13,13 @@ pub enum ServeError {
     UnknownModel { dataset: String, version: u32 },
     /// The registry's byte budget cannot admit this model.
     BudgetExhausted { need: usize, budget: usize },
+    /// A model promotion was refused (stale version, failed canary, or
+    /// inadmissible size); the previously active version keeps serving.
+    SwapRejected {
+        dataset: String,
+        version: u32,
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -25,6 +32,13 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::BudgetExhausted { need, budget } => {
                 write!(f, "model needs {need} B but the registry budget is {budget} B")
+            }
+            ServeError::SwapRejected {
+                dataset,
+                version,
+                reason,
+            } => {
+                write!(f, "promotion of ({dataset}, v{version}) rejected: {reason}")
             }
         }
     }
@@ -49,6 +63,7 @@ impl ServeError {
     pub fn code(&self) -> ErrorCode {
         match self {
             ServeError::UnknownModel { .. } => ErrorCode::UnknownModel,
+            ServeError::SwapRejected { .. } => ErrorCode::SwapRejected,
             ServeError::BudgetExhausted { .. } => ErrorCode::Internal,
             ServeError::Io(_) | ServeError::Core(_) => ErrorCode::Internal,
         }

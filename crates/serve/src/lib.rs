@@ -24,6 +24,14 @@
 //!    failing model to classical IDW interpolation with a typed
 //!    `Degraded` response instead of an outage.
 //!
+//! On top of those, the **model lifecycle** (DESIGN.md §16): hot-swap
+//! promotion with canary validation and session draining
+//! ([`ModelRegistry::promote`]), connection watchdogs (idle reaping,
+//! per-frame I/O deadlines, write budgets — [`server`]), and a
+//! self-healing client ([`Client::connect_healing`]) whose retries ride
+//! idempotent request ids answered from a short-lived server-side reply
+//! cache ([`session::ReplyCache`]).
+//!
 //! Protocol spec: DESIGN.md §14. Bench: `exp_serve` (BENCH_serve.json).
 
 pub mod batcher;
@@ -35,11 +43,11 @@ pub mod registry;
 pub mod server;
 pub mod session;
 
-pub use batcher::{BatchConfig, MicroBatcher};
+pub use batcher::{AfterFlush, BatchConfig, MicroBatcher};
 pub use breaker::{Breaker, BreakerState};
-pub use client::{Client, ClientError, ServedField};
+pub use client::{Client, ClientError, RetryPolicy, ServedField};
 pub use error::ServeError;
-pub use proto::{ErrorCode, Op, Status};
-pub use registry::{ModelEntry, ModelRegistry};
+pub use proto::{ErrorCode, Op, Status, VERSION_ACTIVE};
+pub use registry::{fingerprint_f32, CanarySpec, ModelEntry, ModelRegistry, SwapStats};
 pub use server::{ServeConfig, Server};
-pub use session::{SessionManager, TenantStats};
+pub use session::{ReplyCache, SessionManager, TenantStats};

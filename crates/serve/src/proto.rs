@@ -5,7 +5,7 @@
 //! | offset | size | field                                  |
 //! |--------|------|----------------------------------------|
 //! | 0      | 4    | magic `"FVS1"`                         |
-//! | 4      | 2    | protocol version (u16 LE, currently 1) |
+//! | 4      | 2    | protocol version (u16 LE, currently 2) |
 //! | 6      | 1    | op code ([`Op`])                       |
 //! | 7      | 1    | status ([`Status`]; 0 in requests)     |
 //! | 8      | 4    | payload length (u32 LE)                |
@@ -27,8 +27,18 @@ use std::io::{Read, Write};
 
 /// Frame magic: "FVS1" (FillVoid Serve, wire format 1).
 pub const MAGIC: [u8; 4] = *b"FVS1";
-/// Protocol version carried in every frame.
-pub const VERSION: u16 = 1;
+/// Protocol version carried in every frame. Version 2 added the model
+/// lifecycle surface: `SwapModel`, idempotent `request_id`s on
+/// `Reconstruct`, and the versioned `OpenSession` response. Bodies
+/// changed shape, so version-1 frames are rejected outright rather than
+/// half-understood.
+pub const VERSION: u16 = 2;
+/// `OpenSessionReq::version` sentinel meaning "whatever version is
+/// currently promoted for this dataset". The server resolves it at open
+/// time and echoes the concrete version back in [`OpenSessionResp`];
+/// the session stays pinned to that version even if a newer one is
+/// promoted later.
+pub const VERSION_ACTIVE: u32 = u32::MAX;
 /// Upper bound on a declared payload length (64 MiB). A frame announcing
 /// more is rejected before any allocation happens.
 pub const MAX_PAYLOAD: u32 = 64 << 20;
@@ -61,6 +71,9 @@ pub enum Op {
     Stats = 6,
     /// Ask the server to shut down gracefully.
     Shutdown = 7,
+    /// Promote a new model version for a dataset: canary-validate it,
+    /// route new sessions to it, drain and retire the old version.
+    SwapModel = 8,
 }
 
 impl Op {
@@ -74,6 +87,7 @@ impl Op {
             5 => Op::Reconstruct,
             6 => Op::Stats,
             7 => Op::Shutdown,
+            8 => Op::SwapModel,
             _ => return None,
         })
     }
@@ -136,6 +150,12 @@ pub enum ErrorCode {
     /// `Shutdown` op on a multi-tenant deployment that has not enabled
     /// it).
     Forbidden = 10,
+    /// A `SwapModel` promotion was refused: the candidate failed its
+    /// canary reconstruction (non-finite output, fingerprint mismatch,
+    /// or below the SNR floor), was not newer than the active version,
+    /// or could not be admitted. The previously active version keeps
+    /// serving unchanged.
+    SwapRejected = 11,
 }
 
 impl ErrorCode {
@@ -152,6 +172,7 @@ impl ErrorCode {
             8 => ErrorCode::DeadlineExceeded,
             9 => ErrorCode::Internal,
             10 => ErrorCode::Forbidden,
+            11 => ErrorCode::SwapRejected,
             _ => return None,
         })
     }
@@ -232,6 +253,58 @@ pub fn encode_frame(op: u8, status: u8, payload: &[u8]) -> Vec<u8> {
     buf
 }
 
+/// Fill `buf` completely from `r`, retrying [`ErrorKind::Interrupted`]
+/// and short reads explicitly. Semantically `read_exact`, but spelled
+/// out so the EINTR/short-read contract is local, auditable, and
+/// testable rather than inherited: a stray signal on a healthy socket
+/// must never kill the connection. `Ok(0)` mid-fill is a truncation
+/// (`UnexpectedEof`); a read timeout (`WouldBlock`/`TimedOut`) is
+/// surfaced to the caller — the watchdog decides what a stall means.
+///
+/// [`ErrorKind::Interrupted`]: std::io::ErrorKind::Interrupted
+pub fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Write all of `buf` to `w`, retrying [`ErrorKind::Interrupted`] and
+/// short writes explicitly (the write-side twin of [`read_full`]). A
+/// zero-byte write on a non-empty buffer is reported as `WriteZero`; a
+/// write timeout propagates so the server can classify the peer as a
+/// slow client.
+///
+/// [`ErrorKind::Interrupted`]: std::io::ErrorKind::Interrupted
+pub fn write_full<W: Write>(w: &mut W, buf: &[u8]) -> std::io::Result<()> {
+    let mut written = 0usize;
+    while written < buf.len() {
+        match w.write(&buf[written..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer accepted zero bytes",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Write one frame. A payload over [`MAX_PAYLOAD`] is a hard error:
 /// emitting it would produce a frame every compliant reader (including
 /// our own [`read_frame`]) rejects as `Oversized`, so it must never
@@ -248,7 +321,7 @@ pub fn write_frame<W: Write>(
             format!("payload {} exceeds frame cap {MAX_PAYLOAD}", payload.len()),
         ));
     }
-    w.write_all(&encode_frame(op, status, payload))?;
+    write_full(w, &encode_frame(op, status, payload))?;
     w.flush()
 }
 
@@ -257,7 +330,6 @@ pub fn write_frame<W: Write>(
 /// A connection closed *between* frames reads as [`FrameError::Eof`]; one
 /// closed *inside* a frame reads as [`FrameError::Truncated`].
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
-    let mut header = [0u8; HEADER_LEN];
     // First byte separately: zero bytes here is a clean close, not a
     // truncation.
     let mut first = [0u8; 1];
@@ -269,8 +341,17 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    header[0] = first[0];
-    r.read_exact(&mut header[1..])?;
+    read_frame_rest(r, first[0])
+}
+
+/// Read the remainder of a frame whose first byte has already been
+/// consumed. Split out so the server's watchdog loop can wait for the
+/// first byte under an idle-TTL tick and then read the rest of the
+/// frame under the (stricter) per-frame I/O deadline.
+pub fn read_frame_rest<R: Read>(r: &mut R, first: u8) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    read_full(r, &mut header[1..])?;
 
     let magic = [header[0], header[1], header[2], header[3]];
     if magic != MAGIC {
@@ -287,9 +368,9 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
         return Err(FrameError::Oversized(len));
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    read_full(r, &mut payload)?;
     let mut crc_buf = [0u8; 4];
-    r.read_exact(&mut crc_buf)?;
+    read_full(r, &mut crc_buf)?;
     let expect = u32::from_le_bytes(crc_buf);
     let got = crc32(&payload);
     if expect != got {
@@ -371,6 +452,11 @@ impl<'a> Rd<'a> {
         Ok(b.chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect())
+    }
+
+    fn bytes_vec(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
     }
 
     fn u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
@@ -578,6 +664,11 @@ pub struct ReconstructReq {
     pub target: GridWire,
     /// Per-request deadline in milliseconds (0 = unbounded).
     pub deadline_ms: u32,
+    /// Idempotency key (0 = none). A nonzero id lets the server replay
+    /// the original reply from its short-lived per-tenant cache when a
+    /// client retries after a mid-reply disconnect, instead of
+    /// recomputing the reconstruction or double-counting the request.
+    pub request_id: u64,
 }
 
 impl ReconstructReq {
@@ -587,6 +678,7 @@ impl ReconstructReq {
         buf.extend_from_slice(&self.session.to_le_bytes());
         self.target.put(&mut buf);
         buf.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
         buf
     }
 
@@ -597,6 +689,44 @@ impl ReconstructReq {
             session: r.u64()?,
             target: GridWire::get(&mut r)?,
             deadline_ms: r.u32()?,
+            request_id: r.u64()?,
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// `SwapModel` request body: the candidate pipeline, serialized in the
+/// FVPL checkpoint format, to be canary-validated and promoted as the
+/// dataset's new active version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapModelReq {
+    /// Dataset whose active version to advance.
+    pub dataset: String,
+    /// Candidate version; must be strictly newer than the active one.
+    pub version: u32,
+    /// FVPL bytes of the candidate pipeline.
+    pub pipeline: Vec<u8>,
+}
+
+impl SwapModelReq {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + self.dataset.len() + self.pipeline.len());
+        put_str(&mut buf, &self.dataset);
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf.extend_from_slice(&(self.pipeline.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.pipeline);
+        buf
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        let mut r = Rd::new(b);
+        let v = Self {
+            dataset: r.string()?,
+            version: r.u32()?,
+            pipeline: r.bytes_vec()?,
         };
         r.finish()?;
         Ok(v)
@@ -688,12 +818,44 @@ impl ErrorBody {
     }
 }
 
-/// `OpenSession` response body: the allocated session id.
+/// `OpenSession` response body: the allocated session id plus the
+/// concrete model version the session was pinned to (meaningful when
+/// the request asked for [`VERSION_ACTIVE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenSessionResp {
+    /// Allocated session id.
+    pub session: u64,
+    /// Resolved model version the session is pinned to.
+    pub version: u32,
+}
+
+impl OpenSessionResp {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(12);
+        buf.extend_from_slice(&self.session.to_le_bytes());
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        let mut r = Rd::new(b);
+        let v = Self {
+            session: r.u64()?,
+            version: r.u32()?,
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// `CloseSession` request body: the bare session id.
 pub fn encode_session_id(id: u64) -> Vec<u8> {
     id.to_le_bytes().to_vec()
 }
 
-/// Decode an `OpenSession` response body.
+/// Decode a bare-session-id body.
 pub fn decode_session_id(b: &[u8]) -> Result<u64, WireError> {
     let mut r = Rd::new(b);
     let id = r.u64()?;
@@ -794,8 +956,22 @@ mod tests {
             session: 7,
             target: wire,
             deadline_ms: 250,
+            request_id: 0xDEAD_BEEF_CAFE_F00D,
         };
         assert_eq!(ReconstructReq::decode(&rec.encode()).unwrap(), rec);
+
+        let open_resp = OpenSessionResp {
+            session: 0x1122_3344_5566_7788,
+            version: 42,
+        };
+        assert_eq!(OpenSessionResp::decode(&open_resp.encode()).unwrap(), open_resp);
+
+        let swap = SwapModelReq {
+            dataset: "hurricane".into(),
+            version: 9,
+            pipeline: vec![0xF0, 0x9F, 0x00, 0x7F],
+        };
+        assert_eq!(SwapModelReq::decode(&swap.encode()).unwrap(), swap);
 
         let resp = ReconstructResp {
             values: vec![0.0, f32::MIN_POSITIVE, -1.0],
@@ -868,6 +1044,74 @@ mod tests {
             ..ok
         };
         assert!(over.to_grid_bounded().is_err());
+    }
+
+    /// A reader that delivers at most one byte per call and returns
+    /// `Interrupted` before every other delivery — the worst-case
+    /// signal-storm transport a healthy frame must still survive.
+    struct InterruptedReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        calls: usize,
+    }
+
+    impl std::io::Read for InterruptedReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.calls % 2 == 1 {
+                return Err(std::io::Error::from(std::io::ErrorKind::Interrupted));
+            }
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    /// A writer that accepts at most one byte per call and interleaves
+    /// `Interrupted` errors between accepts.
+    struct InterruptedWriter {
+        out: Vec<u8>,
+        calls: usize,
+    }
+
+    impl std::io::Write for InterruptedWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.calls % 2 == 1 {
+                return Err(std::io::Error::from(std::io::ErrorKind::Interrupted));
+            }
+            self.out.push(buf[0]);
+            Ok(1)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn eintr_and_short_io_do_not_kill_a_healthy_frame() {
+        let payload = b"signal storm".to_vec();
+        let bytes = encode_frame(Op::Reconstruct as u8, Status::Ok as u8, &payload);
+
+        let mut r = InterruptedReader {
+            data: &bytes,
+            pos: 0,
+            calls: 0,
+        };
+        let f = read_frame(&mut r).expect("EINTR + 1-byte reads must still decode");
+        assert_eq!(f.payload, payload);
+
+        let mut w = InterruptedWriter {
+            out: Vec::new(),
+            calls: 0,
+        };
+        write_frame(&mut w, Op::Ping as u8, 0, &payload).expect("EINTR + 1-byte writes");
+        let f = read_frame(&mut w.out.as_slice()).unwrap();
+        assert_eq!(f.payload, payload);
     }
 
     #[test]

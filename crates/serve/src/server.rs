@@ -12,6 +12,20 @@
 //! micro-batch crosses the granularity threshold and saturates the pool
 //! where 16 serial single-request passes would not.
 //!
+//! ## Connection watchdogs
+//!
+//! Every connection socket runs under two deadlines. Between frames the
+//! handler waits for the *first byte* in short ticks, checking the
+//! shutdown flag and the session's idle clock on each expiry — a
+//! connection silent for longer than `idle_ttl` is reaped (typed notice,
+//! then close), so abandoned clients cannot pin session slots forever.
+//! `Ping` counts as activity, making it the heartbeat. Once a frame has
+//! started, the *rest* of it must arrive within `io_timeout`; a peer
+//! that stalls mid-frame is disconnected rather than left holding a
+//! reader thread. Writes run under the same `io_timeout` — a client
+//! that stops draining its socket exhausts its write budget and loses
+//! the connection instead of wedging the handler.
+//!
 //! ## Shutdown
 //!
 //! `Server::shutdown` (also run on drop) is idempotent and total:
@@ -27,23 +41,25 @@
 //! Nothing is detached: after `shutdown` returns, no server thread is
 //! alive and the port is free (verified by the 100-cycle restart test).
 
-use crate::batcher::{BatchConfig, MicroBatcher, ReconJob, ReconOutcome};
+use crate::batcher::{AfterFlush, BatchConfig, MicroBatcher, ReconJob, ReconOutcome};
 use crate::proto::{
-    self, ErrorBody, ErrorCode, Frame, FrameError, Op, OpenSessionReq, PutCloudReq,
-    ReconstructReq, ReconstructResp, Status,
+    self, ErrorBody, ErrorCode, Frame, FrameError, Op, OpenSessionReq, OpenSessionResp,
+    PutCloudReq, ReconstructReq, ReconstructResp, Status, SwapModelReq, VERSION_ACTIVE,
 };
 use crate::registry::ModelRegistry;
-use crate::session::SessionManager;
+use crate::session::{ReplyCache, SessionManager};
+use fillvoid_core::FcnnPipeline;
 use fv_field::ScalarField;
 use fv_runtime::{chaos, telemetry, Deadline, ExecCtx};
 use fv_sampling::PointCloud;
 use std::collections::HashMap;
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 static TM_ACCEPT: telemetry::Counter = telemetry::Counter::new("serve.accepted");
 static TM_REQ: telemetry::Site = telemetry::Site::new("serve.request", None);
@@ -51,6 +67,10 @@ static TM_REQUESTS: telemetry::Counter = telemetry::Counter::new("serve.requests
 static TM_PROTO_ERR: telemetry::Counter = telemetry::Counter::new("serve.proto_errors");
 static TM_REJECT_BUSY: telemetry::Counter = telemetry::Counter::new("serve.reject.busy");
 static TM_INTERN_HIT: telemetry::Counter = telemetry::Counter::new("serve.cloud.intern_hits");
+static TM_REAPED: telemetry::Counter = telemetry::Counter::new("serve.conn.reaped");
+static TM_STALLED: telemetry::Counter = telemetry::Counter::new("serve.conn.stalled");
+static TM_WRITE_TIMEOUT: telemetry::Counter =
+    telemetry::Counter::new("serve.conn.write_timeouts");
 
 /// Server configuration. Every knob has an `FV_SERVE_*` env override
 /// (see [`ServeConfig::from_env`]).
@@ -72,6 +92,27 @@ pub struct ServeConfig {
     /// multi-tenant server any client could otherwise halt service for
     /// everyone. The embedding process always has [`Server::shutdown`].
     pub allow_remote_shutdown: bool,
+    /// Honor the remote `SwapModel` op. Off by default for the same
+    /// reason as `allow_remote_shutdown`: an unauthenticated client
+    /// could otherwise replace the model everyone else is serving from.
+    /// The embedding process always has [`ModelRegistry::promote`].
+    pub allow_remote_swap: bool,
+    /// Reap a connection that has sent no complete frame for this long.
+    /// `Ping` resets the clock, making it the heartbeat op.
+    pub idle_ttl: Duration,
+    /// Per-frame transfer budget: once a frame's first byte has arrived
+    /// the rest must follow within this window, and every response write
+    /// must complete within it. Stalled or non-draining peers are
+    /// disconnected.
+    pub io_timeout: Duration,
+    /// Run the stored canary reconstruction before promoting a swapped
+    /// model (`FV_SERVE_CANARY=0` disables — for tests and airgapped
+    /// reference-free deployments).
+    pub canary: bool,
+    /// TTL of the idempotent-reply cache (see [`ReplyCache`]).
+    pub retry_ttl: Duration,
+    /// Byte budget of the idempotent-reply cache.
+    pub retry_cache_budget: usize,
     /// Micro-batcher tuning.
     pub batch: BatchConfig,
 }
@@ -86,6 +127,12 @@ impl Default for ServeConfig {
             breaker_threshold: 3,
             breaker_probe_after: 8,
             allow_remote_shutdown: false,
+            allow_remote_swap: false,
+            idle_ttl: Duration::from_secs(300),
+            io_timeout: Duration::from_secs(30),
+            canary: true,
+            retry_ttl: Duration::from_secs(5),
+            retry_cache_budget: 32 << 20,
             batch: BatchConfig::default(),
         }
     }
@@ -95,8 +142,13 @@ impl ServeConfig {
     /// Defaults overridden by `FV_SERVE_ADDR`, `FV_SERVE_MODEL_ROOT`,
     /// `FV_SERVE_BUDGET_MB`, `FV_SERVE_MAX_INFLIGHT`, `FV_SERVE_QUEUE`,
     /// `FV_SERVE_BATCH_ROWS`, `FV_SERVE_FLUSH_US`, `FV_SERVE_BATCH`
-    /// (`0` disables micro-batching) and `FV_SERVE_ALLOW_SHUTDOWN`
-    /// (`1` lets clients issue the `Shutdown` op).
+    /// (`0` disables micro-batching), `FV_SERVE_ALLOW_SHUTDOWN`
+    /// (`1` lets clients issue the `Shutdown` op), `FV_SERVE_ALLOW_SWAP`
+    /// (`1` lets clients issue the `SwapModel` op), `FV_SERVE_IDLE_TTL`
+    /// (idle reap threshold, ms), `FV_SERVE_IO_TIMEOUT` (per-frame
+    /// read/write budget, ms), `FV_SERVE_CANARY` (`0` skips canary
+    /// validation on swap), `FV_SERVE_RETRY_TTL_MS` and
+    /// `FV_SERVE_RETRY_CACHE_MB` (idempotent-reply cache tuning).
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         let get = |k: &str| std::env::var(k).ok();
@@ -127,6 +179,24 @@ impl ServeConfig {
         if let Some(v) = get("FV_SERVE_ALLOW_SHUTDOWN") {
             cfg.allow_remote_shutdown = v == "1";
         }
+        if let Some(v) = get("FV_SERVE_ALLOW_SWAP") {
+            cfg.allow_remote_swap = v == "1";
+        }
+        if let Some(v) = get("FV_SERVE_IDLE_TTL").and_then(|v| v.parse::<u64>().ok()) {
+            cfg.idle_ttl = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = get("FV_SERVE_IO_TIMEOUT").and_then(|v| v.parse::<u64>().ok()) {
+            cfg.io_timeout = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = get("FV_SERVE_CANARY") {
+            cfg.canary = v != "0";
+        }
+        if let Some(v) = get("FV_SERVE_RETRY_TTL_MS").and_then(|v| v.parse::<u64>().ok()) {
+            cfg.retry_ttl = Duration::from_millis(v);
+        }
+        if let Some(v) = get("FV_SERVE_RETRY_CACHE_MB").and_then(|v| v.parse::<usize>().ok()) {
+            cfg.retry_cache_budget = v << 20;
+        }
         cfg
     }
 }
@@ -143,6 +213,8 @@ struct Shared {
     // by full comparison). Weak: an interned cloud lives only as long as
     // some session or in-flight job holds it.
     clouds: Mutex<HashMap<u64, Vec<Weak<PointCloud>>>>,
+    // Idempotent-reply cache for client retry healing.
+    replies: ReplyCache,
 }
 
 impl Shared {
@@ -232,9 +304,19 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        // Drain poll after every flushed batch: an in-flight batch is the
+        // one pin on a retiring model that session close can't observe,
+        // so the batcher itself reports when it lets go.
+        let after_flush: AfterFlush = {
+            let registry = registry.clone();
+            Arc::new(move || {
+                registry.poll_drains();
+            })
+        };
         let shared = Arc::new(Shared {
             sessions: SessionManager::new(cfg.max_inflight_per_tenant),
-            batcher: MicroBatcher::start(cfg.batch.clone()),
+            batcher: MicroBatcher::start_with(cfg.batch.clone(), Some(after_flush)),
+            replies: ReplyCache::new(cfg.retry_ttl, cfg.retry_cache_budget),
             cfg,
             registry,
             shutdown: AtomicBool::new(false),
@@ -307,6 +389,9 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        // Every connection thread is joined, so every session (and its
+        // model pin) is closed: any version still draining retires now.
+        self.shared.registry.poll_drains();
     }
 }
 
@@ -389,6 +474,64 @@ impl Drop for SessionCleanup<'_> {
         for id in &self.ids {
             self.shared.sessions.close(*id, self.conn);
         }
+        // Closing sessions may have dropped the last pin on a retiring
+        // model version; let it go while the drain clock is still warm.
+        self.shared.registry.poll_drains();
+    }
+}
+
+/// What the first-byte wait produced.
+enum FirstByte {
+    /// A frame is starting.
+    Byte(u8),
+    /// Peer closed cleanly between frames.
+    Closed,
+    /// Idle longer than the TTL — reap the connection.
+    Reap,
+    /// Server is shutting down.
+    Shutdown,
+    /// Unrecoverable socket error.
+    Dead,
+}
+
+/// Wait for the first byte of the next frame in short ticks so the idle
+/// clock and the shutdown flag are checked even while the socket is
+/// silent. The tick is never longer than the idle TTL or the frame
+/// I/O budget.
+fn await_first_byte(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    idle_since: &Instant,
+) -> FirstByte {
+    let idle_ttl = shared.cfg.idle_ttl;
+    let tick = Duration::from_millis(25)
+        .min(idle_ttl)
+        .min(shared.cfg.io_timeout)
+        .max(Duration::from_millis(1));
+    if stream.set_read_timeout(Some(tick)).is_err() {
+        return FirstByte::Dead;
+    }
+    let mut b = [0u8; 1];
+    loop {
+        if shared.shutting_down() {
+            return FirstByte::Shutdown;
+        }
+        match stream.read(&mut b) {
+            Ok(0) => return FirstByte::Closed,
+            Ok(_) => return FirstByte::Byte(b[0]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if idle_since.elapsed() >= idle_ttl {
+                    return FirstByte::Reap;
+                }
+                // Idle tick: cheap opportunity to retire drained models.
+                shared.registry.poll_drains();
+            }
+            Err(_) => return FirstByte::Dead,
+        }
     }
 }
 
@@ -398,24 +541,60 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream, conn: u64) {
         conn,
         ids: Vec::new(),
     };
+    // Slow-client write budget: every response write must finish inside
+    // the frame I/O window or the connection is dropped.
+    let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
+    let mut idle_since = Instant::now();
     loop {
-        if shared.shutting_down() {
+        let first = match await_first_byte(shared, &mut stream, &idle_since) {
+            FirstByte::Byte(b) => b,
+            FirstByte::Closed | FirstByte::Shutdown | FirstByte::Dead => break,
+            FirstByte::Reap => {
+                TM_REAPED.incr();
+                // Best-effort notice; the peer is probably gone anyway.
+                write_error(
+                    &mut stream,
+                    0,
+                    Status::Error,
+                    ErrorCode::Internal,
+                    "connection idle past FV_SERVE_IDLE_TTL; reaped",
+                );
+                break;
+            }
+        };
+        // A frame has started: the remainder runs under the per-frame
+        // transfer budget, not the idle tick.
+        if stream
+            .set_read_timeout(Some(shared.cfg.io_timeout))
+            .is_err()
+        {
             break;
         }
-        let frame = match read_frame_chaos(&mut stream) {
+        let frame = match read_frame_rest_chaos(&mut stream, first) {
             Ok(f) => f,
             Err(FrameError::Eof) => break,
+            Err(FrameError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Stalled mid-frame: the peer started a frame and went
+                // silent. Holding the reader open would let one slow
+                // client pin a thread indefinitely.
+                TM_STALLED.incr();
+                write_error(
+                    &mut stream,
+                    0,
+                    Status::Error,
+                    ErrorCode::BadFrame,
+                    "frame stalled past FV_SERVE_IO_TIMEOUT",
+                );
+                break;
+            }
             Err(e) => {
                 TM_PROTO_ERR.incr();
                 // Best-effort typed response; the stream itself can no
                 // longer be trusted, so the connection closes either way.
-                let body = ErrorBody::new(ErrorCode::BadFrame, e.to_string());
-                let _ = proto::write_frame(
-                    &mut stream,
-                    0,
-                    Status::Error as u8,
-                    &body.encode(),
-                );
+                write_error(&mut stream, 0, Status::Error, ErrorCode::BadFrame, e.to_string());
                 break;
             }
         };
@@ -424,17 +603,44 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream, conn: u64) {
         if !keep_going {
             break;
         }
+        idle_since = Instant::now();
     }
 }
 
-/// Frame read with the `serve.decode` chaos site in front: injected
-/// panics and I/O errors model a hostile/failing transport.
-fn read_frame_chaos(stream: &mut TcpStream) -> Result<Frame, FrameError> {
+/// Rest-of-frame read with the `serve.conn.read` and `serve.decode`
+/// chaos sites in front: injected panics and I/O errors model a
+/// hostile/failing transport.
+fn read_frame_rest_chaos(stream: &mut TcpStream, first: u8) -> Result<Frame, FrameError> {
+    if let Some(e) = chaos::io_error("serve.conn.read") {
+        return Err(FrameError::Io(e));
+    }
+    chaos::point("serve.conn.read");
     if let Some(e) = chaos::io_error("serve.decode") {
         return Err(FrameError::Io(e));
     }
     chaos::point("serve.decode");
-    proto::read_frame(stream)
+    proto::read_frame_rest(stream, first)
+}
+
+/// Response write with the `serve.conn.write` chaos site in front.
+/// Returns `false` (close the connection) on injected faults, real
+/// socket errors, and exhausted write budgets alike.
+fn write_response(stream: &mut TcpStream, op: u8, status: u8, payload: &[u8]) -> bool {
+    if chaos::io_error("serve.conn.write").is_some() {
+        return false;
+    }
+    chaos::point("serve.conn.write");
+    match proto::write_frame(stream, op, status, payload) {
+        Ok(()) => true,
+        Err(e) => {
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+            {
+                TM_WRITE_TIMEOUT.incr();
+            }
+            false
+        }
+    }
 }
 
 fn write_error(
@@ -445,7 +651,7 @@ fn write_error(
     message: impl Into<String>,
 ) -> bool {
     let body = ErrorBody::new(code, message);
-    proto::write_frame(stream, op, status as u8, &body.encode()).is_ok()
+    write_response(stream, op, status as u8, &body.encode())
 }
 
 /// Handle one decoded frame. Returns `false` when the connection should
@@ -479,7 +685,7 @@ fn dispatch(
         );
     }
     match op {
-        Op::Ping => proto::write_frame(stream, op as u8, Status::Ok as u8, &frame.payload).is_ok(),
+        Op::Ping => write_response(stream, op as u8, Status::Ok as u8, &frame.payload),
         Op::OpenSession => handle_open(shared, stream, frame, conn, my_sessions),
         Op::CloseSession => {
             let id = match proto::decode_session_id(&frame.payload) {
@@ -490,7 +696,10 @@ fn dispatch(
             };
             if shared.sessions.close(id, conn) {
                 my_sessions.retain(|&s| s != id);
-                proto::write_frame(stream, op as u8, Status::Ok as u8, &[]).is_ok()
+                // This may have been the last session pinning a
+                // retiring model version.
+                shared.registry.poll_drains();
+                write_response(stream, op as u8, Status::Ok as u8, &[])
             } else {
                 write_error(
                     stream,
@@ -503,18 +712,36 @@ fn dispatch(
         }
         Op::PutCloud => handle_put_cloud(shared, stream, frame, conn),
         Op::Reconstruct => handle_reconstruct(shared, stream, frame, conn),
+        Op::SwapModel => handle_swap(shared, stream, frame),
         Op::Stats => {
             let tel = telemetry::snapshot().to_json();
+            let sw = shared.registry.swap_stats();
             let json = format!(
-                "{{\"sessions\": {}, \"registry\": {{\"models\": {}, \"bytes\": {}, \"budget\": {}}}, \"tenants\": {}, \"telemetry\": {}}}",
+                "{{\"sessions\": {}, \"registry\": {{\"models\": {}, \"bytes\": {}, \"budget\": {}}}, \
+                 \"swap\": {{\"promoted\": {}, \"rejected\": {}, \"retired\": {}, \"draining\": {}, \
+                 \"last_drain_ms\": {:.3}, \"max_drain_ms\": {:.3}, \"canary_runs\": {}, \"canary_ms_total\": {:.3}}}, \
+                 \"retry_cache\": {{\"entries\": {}, \"bytes\": {}, \"hits\": {}, \"stores\": {}}}, \
+                 \"tenants\": {}, \"telemetry\": {}}}",
                 shared.sessions.len(),
                 shared.registry.len(),
                 shared.registry.bytes(),
                 shared.registry.budget(),
+                sw.promoted,
+                sw.rejected,
+                sw.retired,
+                sw.draining,
+                sw.last_drain_ms,
+                sw.max_drain_ms,
+                sw.canary_runs,
+                sw.canary_ms_total,
+                shared.replies.len(),
+                shared.replies.bytes(),
+                shared.replies.hits(),
+                shared.replies.stores(),
                 shared.sessions.tenants_json(),
                 tel,
             );
-            proto::write_frame(stream, op as u8, Status::Ok as u8, json.as_bytes()).is_ok()
+            write_response(stream, op as u8, Status::Ok as u8, json.as_bytes())
         }
         Op::Shutdown => {
             // Gated: on a shared multi-tenant server an unauthenticated
@@ -533,9 +760,50 @@ fn dispatch(
             // other thread already observes the shutdown. The owner's
             // `shutdown()`/drop joins the threads.
             shared.shutdown.store(true, Ordering::Release);
-            let _ = proto::write_frame(stream, op as u8, Status::Ok as u8, &[]);
+            write_response(stream, op as u8, Status::Ok as u8, &[]);
             false
         }
+    }
+}
+
+/// `SwapModel`: deserialize the candidate, canary-validate, and promote
+/// it as the dataset's new active version. Every failure is a typed
+/// response with the previous version untouched.
+fn handle_swap(shared: &Arc<Shared>, stream: &mut TcpStream, frame: &Frame) -> bool {
+    // Gated like `Shutdown`: on a shared multi-tenant server an
+    // unauthenticated client could otherwise replace the model everyone
+    // else is serving from.
+    if !shared.cfg.allow_remote_swap {
+        return write_error(
+            stream,
+            frame.op,
+            Status::Error,
+            ErrorCode::Forbidden,
+            "remote model swap is disabled (set FV_SERVE_ALLOW_SWAP=1 to enable)",
+        );
+    }
+    let req = match SwapModelReq::decode(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
+    };
+    let pipeline = match FcnnPipeline::read_from(req.pipeline.as_slice()) {
+        Ok(p) => p,
+        Err(e) => {
+            return write_error(
+                stream,
+                frame.op,
+                Status::Error,
+                ErrorCode::BadRequest,
+                format!("candidate pipeline rejected: {e}"),
+            )
+        }
+    };
+    match shared
+        .registry
+        .promote(&req.dataset, req.version, pipeline, shared.cfg.canary)
+    {
+        Ok(_) => write_response(stream, frame.op, Status::Ok as u8, &[]),
+        Err(e) => write_error(stream, frame.op, Status::Error, e.code(), e.to_string()),
     }
 }
 
@@ -559,7 +827,26 @@ fn handle_open(
             "empty tenant name",
         );
     }
-    let entry = match shared.registry.get(&req.dataset, req.version) {
+    // `VERSION_ACTIVE` resolves to the dataset's promoted version *at
+    // open time*; the session then stays pinned to that concrete version
+    // through any later swap, until it closes.
+    let version = if req.version == VERSION_ACTIVE {
+        match shared.registry.active_version(&req.dataset) {
+            Some(v) => v,
+            None => {
+                return write_error(
+                    stream,
+                    frame.op,
+                    Status::Error,
+                    ErrorCode::UnknownModel,
+                    format!("no active version for dataset {}", req.dataset),
+                )
+            }
+        }
+    } else {
+        req.version
+    };
+    let entry = match shared.registry.get(&req.dataset, version) {
         Ok(e) => e,
         Err(e) => {
             return write_error(stream, frame.op, Status::Error, e.code(), e.to_string());
@@ -567,13 +854,11 @@ fn handle_open(
     };
     let id = shared.sessions.open(&req.tenant, entry, conn);
     my_sessions.push(id);
-    proto::write_frame(
-        stream,
-        frame.op,
-        Status::Ok as u8,
-        &proto::encode_session_id(id),
-    )
-    .is_ok()
+    let resp = OpenSessionResp {
+        session: id,
+        version,
+    };
+    write_response(stream, frame.op, Status::Ok as u8, &resp.encode())
 }
 
 fn handle_put_cloud(
@@ -605,7 +890,7 @@ fn handle_put_cloud(
         }
     };
     session.lock().expect("session lock").cloud = Some(shared.intern_cloud(cloud));
-    proto::write_frame(stream, frame.op, Status::Ok as u8, &[]).is_ok()
+    write_response(stream, frame.op, Status::Ok as u8, &[])
 }
 
 /// Content fingerprint (FNV-1a over grid geometry, indices, and value
@@ -685,6 +970,17 @@ fn handle_reconstruct(
             )
         }
     };
+    // Idempotent replay: a retried request id whose original reply is
+    // still cached gets the stored bytes back — no recompute, no second
+    // pass through admission, no double-counted tenant stats. Keyed by
+    // tenant (not session or connection) so the replay works across the
+    // reconnect that motivated the retry.
+    if req.request_id != 0 {
+        let tenant_name = session.lock().expect("session lock").tenant.name.clone();
+        if let Some((status, payload)) = shared.replies.get(&tenant_name, req.request_id) {
+            return write_response(stream, frame.op, status, &payload);
+        }
+    }
     // Bounded decode: a huge or u64-wrapping target must be rejected
     // here, before any num_points-sized buffer exists anywhere (batcher
     // prep, IDW fallback, response encode).
@@ -780,13 +1076,21 @@ fn handle_reconstruct(
                 values,
                 reason: String::new(),
             };
-            proto::write_frame(stream, frame.op, Status::Ok as u8, &body.encode()).is_ok()
+            reply_cached(shared, stream, frame.op, Status::Ok as u8, &tenant.name, &req, body)
         }
         ReconOutcome::Degraded(values, reason) => {
             tenant.rows.fetch_add(values.len() as u64, Ordering::Relaxed);
             tenant.degraded.fetch_add(1, Ordering::Relaxed);
             let body = ReconstructResp { values, reason };
-            proto::write_frame(stream, frame.op, Status::Degraded as u8, &body.encode()).is_ok()
+            reply_cached(
+                shared,
+                stream,
+                frame.op,
+                Status::Degraded as u8,
+                &tenant.name,
+                &req,
+                body,
+            )
         }
         ReconOutcome::Rejected(code, message) => {
             tenant.rejected.fetch_add(1, Ordering::Relaxed);
@@ -804,4 +1108,27 @@ fn handle_reconstruct(
             )
         }
     }
+}
+
+/// Write a successful reconstruction reply, storing the encoded bytes in
+/// the idempotent-reply cache first (for nonzero request ids) so the
+/// *store* happens even when the write that follows is cut off mid-frame
+/// — that cut is exactly the moment a retry will need the cached copy.
+/// Error outcomes are never cached: a retry should re-attempt those.
+fn reply_cached(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    op: u8,
+    status: u8,
+    tenant: &str,
+    req: &ReconstructReq,
+    body: ReconstructResp,
+) -> bool {
+    let payload = Arc::new(body.encode());
+    if req.request_id != 0 {
+        shared
+            .replies
+            .put(tenant, req.request_id, status, payload.clone());
+    }
+    write_response(stream, op, status, &payload)
 }

@@ -17,16 +17,25 @@
 //! randomized (a keyed `splitmix64` over an entropy seed) rather than
 //! sequential, but that is defense in depth — the connection binding is
 //! the enforced boundary.
+//!
+//! This module also hosts the [`ReplyCache`]: the short-lived,
+//! per-tenant-keyed store of computed `Reconstruct` replies that makes
+//! client retries idempotent (see the self-healing `Client`). It lives
+//! here because its keys are tenant-scoped — the cache is part of the
+//! tenant-isolation story, not the transport.
 
 use crate::registry::ModelEntry;
 use fv_runtime::telemetry;
 use fv_sampling::PointCloud;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 static TM_SESSIONS: telemetry::Gauge = telemetry::Gauge::new("serve.sessions");
 static TM_REJECT_INFLIGHT: telemetry::Counter = telemetry::Counter::new("serve.reject.inflight");
+static TM_RETRY_HIT: telemetry::Counter = telemetry::Counter::new("serve.retry.cache_hit");
+static TM_RETRY_STORE: telemetry::Counter = telemetry::Counter::new("serve.retry.cached");
 
 /// Per-tenant counters, reported by the `Stats` op.
 #[derive(Debug)]
@@ -280,6 +289,170 @@ impl SessionManager {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Idempotent-retry reply cache
+// ---------------------------------------------------------------------------
+
+struct CachedReply {
+    status: u8,
+    payload: Arc<Vec<u8>>,
+    at: Instant,
+}
+
+struct ReplyCacheInner {
+    map: HashMap<(String, u64), CachedReply>,
+    /// Insertion order for FIFO eviction under the byte budget.
+    order: VecDeque<(String, u64)>,
+    bytes: usize,
+}
+
+/// Short-lived store of computed `Reconstruct` replies, keyed by
+/// `(tenant, request_id)`.
+///
+/// When a self-healing client's connection dies *after* the server
+/// computed a reply but *before* the client read it, the retried request
+/// (same nonzero `request_id`, possibly over a brand-new connection and
+/// session) is answered from here: the original bytes are replayed, the
+/// reconstruction is not recomputed, and the tenant's request counters
+/// are not incremented a second time. Keying by tenant name means a
+/// replay works across reconnects (sessions die with their connection)
+/// while one tenant can never read another's cached reply.
+///
+/// Entries expire after `ttl` — retries arrive within a backoff window,
+/// not hours later — and the whole cache is bounded by `byte_budget`
+/// with FIFO eviction, so a hostile client cannot grow server memory by
+/// minting request ids.
+pub struct ReplyCache {
+    ttl: Duration,
+    byte_budget: usize,
+    inner: Mutex<ReplyCacheInner>,
+    hits: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl std::fmt::Debug for ReplyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("reply cache lock");
+        f.debug_struct("ReplyCache")
+            .field("entries", &inner.map.len())
+            .field("bytes", &inner.bytes)
+            .field("ttl", &self.ttl)
+            .finish()
+    }
+}
+
+impl ReplyCache {
+    /// A cache bounded by `ttl` per entry and `byte_budget` overall.
+    pub fn new(ttl: Duration, byte_budget: usize) -> Self {
+        Self {
+            ttl,
+            byte_budget: byte_budget.max(1),
+            inner: Mutex::new(ReplyCacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                bytes: 0,
+            }),
+            hits: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// Replay a cached reply for `(tenant, request_id)`, if still fresh.
+    /// Expired entries are dropped on the way.
+    pub fn get(&self, tenant: &str, request_id: u64) -> Option<(u8, Arc<Vec<u8>>)> {
+        if request_id == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("reply cache lock");
+        self.prune_expired(&mut inner);
+        let key = (tenant.to_string(), request_id);
+        let hit = inner
+            .map
+            .get(&key)
+            .map(|c| (c.status, c.payload.clone()))?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        TM_RETRY_HIT.incr();
+        Some(hit)
+    }
+
+    /// Store a computed reply. Oversized payloads (over the whole
+    /// budget) are skipped — a retry of one simply recomputes.
+    pub fn put(&self, tenant: &str, request_id: u64, status: u8, payload: Arc<Vec<u8>>) {
+        if request_id == 0 || payload.len() > self.byte_budget {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("reply cache lock");
+        self.prune_expired(&mut inner);
+        let key = (tenant.to_string(), request_id);
+        while inner.bytes + payload.len() > self.byte_budget {
+            let Some(old_key) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(old) = inner.map.remove(&old_key) {
+                inner.bytes -= old.payload.len();
+            }
+        }
+        inner.bytes += payload.len();
+        let prev = inner.map.insert(
+            key.clone(),
+            CachedReply {
+                status,
+                payload,
+                at: Instant::now(),
+            },
+        );
+        if let Some(prev) = prev {
+            // Same id stored twice (racing duplicate): keep one charge.
+            inner.bytes -= prev.payload.len();
+        } else {
+            inner.order.push_back(key);
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        TM_RETRY_STORE.incr();
+    }
+
+    fn prune_expired(&self, inner: &mut ReplyCacheInner) {
+        while let Some(front) = inner.order.front() {
+            let expired = inner
+                .map
+                .get(front)
+                .is_none_or(|c| c.at.elapsed() >= self.ttl);
+            if !expired {
+                break;
+            }
+            let key = inner.order.pop_front().expect("front present");
+            if let Some(old) = inner.map.remove(&key) {
+                inner.bytes -= old.payload.len();
+            }
+        }
+    }
+
+    /// Cached replies currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("reply cache lock").map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload bytes currently charged.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("reply cache lock").bytes
+    }
+
+    /// Replays served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Replies stored.
+    pub fn stores(&self) -> u64 {
+        self.stores.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +536,40 @@ mod tests {
         assert!(res.is_err());
         assert_eq!(t.inflight.load(Ordering::Relaxed), 0, "unwind released");
         assert!(m.try_admit(&t).is_some());
+    }
+
+    #[test]
+    fn reply_cache_replays_per_tenant_with_ttl_and_budget() {
+        let c = ReplyCache::new(Duration::from_secs(60), 1024);
+        assert!(c.get("acme", 7).is_none());
+        c.put("acme", 7, 0, Arc::new(vec![1, 2, 3]));
+        let (status, payload) = c.get("acme", 7).expect("cached");
+        assert_eq!((status, payload.as_slice()), (0, &[1u8, 2, 3][..]));
+        // Tenant-scoped: another tenant cannot replay the same id.
+        assert!(c.get("evil", 7).is_none());
+        // Id 0 is "not idempotent": never stored, never served.
+        c.put("acme", 0, 0, Arc::new(vec![9]));
+        assert!(c.get("acme", 0).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.stores(), 1);
+
+        // Byte budget: FIFO eviction, oversized payloads skipped.
+        let small = ReplyCache::new(Duration::from_secs(60), 8);
+        small.put("t", 1, 0, Arc::new(vec![0; 6]));
+        small.put("t", 2, 0, Arc::new(vec![0; 6])); // evicts id 1
+        assert!(small.get("t", 1).is_none());
+        assert!(small.get("t", 2).is_some());
+        assert!(small.bytes() <= 8);
+        small.put("t", 3, 0, Arc::new(vec![0; 64])); // over budget: skipped
+        assert!(small.get("t", 3).is_none());
+
+        // TTL expiry.
+        let fast = ReplyCache::new(Duration::from_millis(20), 1024);
+        fast.put("t", 1, 0, Arc::new(vec![1]));
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(fast.get("t", 1).is_none());
+        assert!(fast.is_empty());
+        assert_eq!(fast.bytes(), 0);
     }
 
     #[test]

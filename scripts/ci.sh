@@ -168,10 +168,14 @@ echo "=== serve smoke (reconstruction-as-a-service, 1 and 4 workers) ==="
 # exp_serve starts a loopback server on an ephemeral port, runs client
 # fleets at 1/4/16/64 connections, and exits non-zero on its own if any
 # served volume diverges bitwise from the in-process reconstruction or if
-# micro-batched p99 fails to beat batch-size-1 mode at 16 clients. The
-# gate re-checks both from the JSON at 1 and 4 workers (the batcher's
-# packed passes must stay bitwise-stable across pool sizes) and verifies
-# a clean shutdown left no stray temp files behind.
+# micro-batched p99 fails to beat batch-size-1 mode at 16 clients. It then
+# runs the hot-swap storm: 100 model promotions under a 16-client fleet,
+# preceded by one deliberately canary-rejected candidate. The gate
+# re-checks everything from the JSON at 1 and 4 workers (the batcher's
+# packed passes must stay bitwise-stable across pool sizes): zero dropped
+# or misrouted requests across all 100 swaps, exactly one canary
+# rejection, drain/p99 timing fields present, and a clean shutdown that
+# left no stray temp files behind.
 for t in 1 4; do
   FV_THREADS=$t timeout 600 cargo run --release -q -p fv-bench --bin exp_serve > /dev/null \
     || { echo "serve smoke failed (FV_THREADS=$t)"; exit 1; }
@@ -185,12 +189,23 @@ if not s["batched_p99_beats_batch1"]:
     sys.exit(f"serve smoke (FV_THREADS={t}): micro-batched p99 did not beat batch-size-1 at 16 clients")
 if s["degraded_responses"] != 0:
     sys.exit(f"serve smoke (FV_THREADS={t}): {s['degraded_responses']} degraded responses on a healthy model")
+sw = s["swap"]
+if sw["swaps"] != 100 or sw["promoted"] != 100:
+    sys.exit(f"serve smoke (FV_THREADS={t}): swap storm ran {sw['promoted']}/{sw['swaps']} promotions, expected 100/100")
+if sw["dropped"] != 0 or sw["misrouted"] != 0:
+    sys.exit(f"serve smoke (FV_THREADS={t}): hot-swap dropped {sw['dropped']} / misrouted {sw['misrouted']} requests")
+if sw["rejected_canary"] != 1:
+    sys.exit(f"serve smoke (FV_THREADS={t}): expected exactly 1 canary rejection, saw {sw['rejected_canary']}")
+for k in ("p99_during_swap_ms", "drain_ms_max", "canary_ms_mean"):
+    if not (sw[k] >= 0):
+        sys.exit(f"serve smoke (FV_THREADS={t}): swap timing field {k} is missing or NaN")
 stray = glob.glob("*.tmp")
 if stray:
     sys.exit(f"serve smoke (FV_THREADS={t}): stray temp files after shutdown: {stray}")
 fleet = {f["clients"]: f for f in s["fleet"]}
 print(f"serve smoke ok (FV_THREADS={t}): 16-client p99 {fleet[16]['p99_ms']:.1f} ms batched "
-      f"vs {s['batch1_16c']['p99_ms']:.1f} ms batch-1, all volumes bitwise-identical")
+      f"vs {s['batch1_16c']['p99_ms']:.1f} ms batch-1, all volumes bitwise-identical; "
+      f"{sw['promoted']} hot-swaps, 0 dropped/misrouted, worst drain {sw['drain_ms_max']:.1f} ms")
 EOF
 done
 

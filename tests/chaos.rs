@@ -395,13 +395,20 @@ fn brick_io_error_sweep_recovers_bitwise() {
 // ---------------------------------------------------------------------------
 // fv-serve sweeps: the same 32-seed × fault-kind matrix against the
 // reconstruction server's sites (`serve.accept`, `serve.decode`,
-// `serve.batch`, `serve.infer`). Invariants: a fault costs at most its own
-// connection or a typed/degraded response — the listener keeps accepting,
-// the registry keeps serving, no in-flight slot or session leaks — and
-// once the plan is disarmed a clean request converges back to the exact
-// direct-path reconstruction (the breaker re-closes via its probe).
+// `serve.batch`, `serve.infer`, and the lifecycle sites `serve.swap`,
+// `serve.canary`, `serve.conn.read`, `serve.conn.write`). Invariants: a
+// fault costs at most its own connection, a typed/degraded response, or a
+// rejected (never half-applied) promotion — the listener keeps accepting,
+// the registry keeps serving, no in-flight slot, session, or draining
+// version leaks — and once the plan is disarmed a clean request converges
+// back to the exact direct-path reconstruction (the breaker re-closes via
+// its probe).
 
-use fillvoid::serve::{BatchConfig, Client, ClientError, ModelRegistry, ServeConfig, Server};
+use fillvoid::serve::registry::CanarySpec;
+use fillvoid::serve::{
+    fingerprint_f32, BatchConfig, Client, ClientError, ModelRegistry, ServeConfig, Server,
+    VERSION_ACTIVE,
+};
 use std::sync::Arc;
 
 fn serve_plan(kind: Kind, seed: u64) -> FaultPlan {
@@ -411,16 +418,29 @@ fn serve_plan(kind: Kind, seed: u64) -> FaultPlan {
             .panic_at("serve.accept", 0.15)
             .panic_at("serve.decode", 0.1)
             .panic_at("serve.batch", 0.15)
-            .panic_at("serve.infer", 0.15),
+            .panic_at("serve.infer", 0.15)
+            .panic_at("serve.swap", 0.2)
+            .panic_at("serve.canary", 0.2)
+            .panic_at("serve.conn.read", 0.05)
+            .panic_at("serve.conn.write", 0.05),
         Kind::Delay => p
             .delay_at("serve.accept", 0.3, Duration::from_millis(1))
             .delay_at("serve.decode", 0.3, Duration::from_millis(1))
             .delay_at("serve.batch", 0.3, Duration::from_millis(1))
-            .delay_at("serve.infer", 0.3, Duration::from_millis(1)),
-        Kind::Corruption => p.corrupt_at("serve.infer", 0.5),
+            .delay_at("serve.infer", 0.3, Duration::from_millis(1))
+            .delay_at("serve.swap", 0.3, Duration::from_millis(1))
+            .delay_at("serve.conn.read", 0.3, Duration::from_millis(1))
+            .delay_at("serve.conn.write", 0.3, Duration::from_millis(1)),
+        Kind::Corruption => p
+            .corrupt_at("serve.infer", 0.5)
+            .corrupt_at("serve.canary", 0.5),
         Kind::IoError => p
             .io_error_at("serve.accept", 0.3)
-            .io_error_at("serve.decode", 0.3),
+            .io_error_at("serve.decode", 0.3)
+            .io_error_at("serve.conn.read", 0.2)
+            .io_error_at("serve.conn.write", 0.2)
+            .io_error_at("serve.swap", 0.3)
+            .io_error_at("serve.canary", 0.3),
     }
 }
 
@@ -432,6 +452,19 @@ fn run_one_serve(kind: Kind, seed: u64) -> u64 {
     registry
         .insert("hurricane", 1, pipeline.clone())
         .expect("seed registry");
+    // Canary pinned to the direct-path bits: the mid-chaos promotion
+    // below pushes an identical pipeline, so an *honest* canary always
+    // passes and every rejection is chaos-induced (injected fault or
+    // corrupted canary output) — exactly the rollback path under test.
+    registry.set_canary(
+        "hurricane",
+        CanarySpec {
+            cloud: Arc::new(cloud.clone()),
+            reference: whole.clone(),
+            snr_floor_db: None,
+            fingerprint: Some(fingerprint_f32(whole.values())),
+        },
+    );
     let cfg = ServeConfig {
         batch: BatchConfig {
             flush_after: Duration::from_micros(200),
@@ -439,7 +472,7 @@ fn run_one_serve(kind: Kind, seed: u64) -> u64 {
         },
         ..Default::default()
     };
-    let mut server = Server::start_with_registry(cfg, registry).expect("start server");
+    let mut server = Server::start_with_registry(cfg, registry.clone()).expect("start server");
     let addr = server.addr();
 
     let injected = {
@@ -459,6 +492,13 @@ fn run_one_serve(kind: Kind, seed: u64) -> u64 {
                 Ok(())
             })();
         }
+        // Mid-chaos hot-swap: bit-identical weights as v2, so whichever
+        // of {promoted, rejected, chaos-panicked} happens, the clean
+        // convergence check below is version-agnostic. Half-applied
+        // installs are the bug class this hunts.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            registry.promote("hurricane", 2, pipeline.clone(), true)
+        }));
         chaos::injected_total()
     };
 
@@ -468,7 +508,7 @@ fn run_one_serve(kind: Kind, seed: u64) -> u64 {
     let mut c = Client::connect(addr)
         .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean connect failed: {e}"));
     let s = c
-        .open_session("acme", "hurricane", 1)
+        .open_session("acme", "hurricane", VERSION_ACTIVE)
         .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean open failed: {e}"));
     c.put_cloud(s, cloud)
         .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean upload failed: {e}"));
@@ -506,6 +546,13 @@ fn run_one_serve(kind: Kind, seed: u64) -> u64 {
         );
     }
     server.shutdown();
+    // Whatever the promotion's fate, shutdown must leave no version
+    // stuck draining and no half-installed candidate.
+    let sw = registry.swap_stats();
+    assert_eq!(
+        sw.draining, 0,
+        "{kind:?} seed {seed}: version leaked in draining state: {sw:?}"
+    );
     injected
 }
 

@@ -4,7 +4,11 @@
 
 use fillvoid::prelude::*;
 use fillvoid::serve::proto::{self, ErrorCode, Op, Status};
-use fillvoid::serve::{BatchConfig, Client, ClientError, ModelRegistry, ServeConfig, Server};
+use fillvoid::serve::registry::CanarySpec;
+use fillvoid::serve::{
+    fingerprint_f32, BatchConfig, Client, ClientError, ModelRegistry, RetryPolicy, ServeConfig,
+    Server, VERSION_ACTIVE,
+};
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::{Arc, OnceLock};
@@ -28,21 +32,45 @@ fn fixture() -> &'static (ScalarField, PointCloud, FcnnPipeline, ScalarField) {
     })
 }
 
-fn start_server_cfg(allow_remote_shutdown: bool) -> Server {
+/// A second trained pipeline (different seed) plus its direct-path
+/// output on the shared fixture cloud/grid — the "v2" model for swap
+/// tests. Bitwise distinct from v1's output by construction.
+fn fixture_v2() -> &'static (FcnnPipeline, ScalarField) {
+    static CELL: OnceLock<(FcnnPipeline, ScalarField)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let (field, cloud, _, direct_v1) = fixture();
+        let mut cfg = PipelineConfig::small_for_tests();
+        cfg.trainer.epochs = 5;
+        let pipeline = FcnnPipeline::train(field, &cfg, 4).expect("train v2");
+        let direct = pipeline.reconstruct(cloud, field.grid()).expect("direct v2");
+        assert_ne!(
+            direct.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            direct_v1.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "v1 and v2 must be distinguishable for swap routing checks"
+        );
+        (pipeline, direct)
+    })
+}
+
+fn start_server_with(mutate: impl FnOnce(&mut ServeConfig)) -> Server {
     let (_, _, pipeline, _) = fixture();
     let registry = Arc::new(ModelRegistry::new(256 << 20));
     registry
         .insert(DATASET, VERSION, pipeline.clone())
         .expect("seed registry");
-    let cfg = ServeConfig {
-        allow_remote_shutdown,
+    let mut cfg = ServeConfig {
         batch: BatchConfig {
             flush_after: Duration::from_micros(200),
             ..Default::default()
         },
         ..Default::default()
     };
+    mutate(&mut cfg);
     Server::start_with_registry(cfg, registry).expect("start server")
+}
+
+fn start_server_cfg(allow_remote_shutdown: bool) -> Server {
+    start_server_with(|c| c.allow_remote_shutdown = allow_remote_shutdown)
 }
 
 fn start_server() -> Server {
@@ -432,6 +460,7 @@ fn oversized_target_grids_are_rejected_up_front() {
             spacing: [1.0; 3],
         },
         deadline_ms: 0,
+        request_id: 0,
     };
     client
         .send_raw(&proto::encode_frame(
@@ -470,6 +499,560 @@ fn oversized_target_grids_are_rejected_up_front() {
     let served = client
         .reconstruct(session, field.grid(), 0)
         .expect("legitimate reconstruct after rejections");
+    assert_bitwise(&served.field, direct);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Model lifecycle: hot-swap, canary, drain
+// ---------------------------------------------------------------------------
+
+/// Hot-swap contract: sessions opened before the promotion keep serving
+/// the exact bits of the version they were pinned to; sessions opened
+/// after it get the new version; the displaced version retires once its
+/// last session closes.
+#[test]
+fn hot_swap_pins_old_sessions_and_routes_new_ones() {
+    let (field, _, _, direct_v1) = fixture();
+    let (pipeline_v2, direct_v2) = fixture_v2();
+    let mut server = start_server();
+    let registry = server.registry().clone();
+
+    let mut old = Client::connect(server.addr()).expect("connect old");
+    let (old_session, v) = old
+        .open_session_versioned("acme", DATASET, VERSION_ACTIVE)
+        .expect("open before swap");
+    assert_eq!(v, 1, "ACTIVE resolves to v1 before the swap");
+    let (_, cloud, _, _) = fixture();
+    old.put_cloud(old_session, cloud).expect("put cloud");
+
+    registry
+        .promote(DATASET, 2, pipeline_v2.clone(), false)
+        .expect("promote v2");
+
+    // The pre-swap session still serves v1, bit for bit.
+    let served = old
+        .reconstruct(old_session, field.grid(), 0)
+        .expect("pinned session survives the swap");
+    assert_bitwise(&served.field, direct_v1);
+
+    // A post-swap ACTIVE session gets v2, bit for bit.
+    let mut new = Client::connect(server.addr()).expect("connect new");
+    let (new_session, v) = new
+        .open_session_versioned("acme", DATASET, VERSION_ACTIVE)
+        .expect("open after swap");
+    assert_eq!(v, 2, "ACTIVE resolves to v2 after the swap");
+    new.put_cloud(new_session, cloud).expect("put cloud");
+    let served = new
+        .reconstruct(new_session, field.grid(), 0)
+        .expect("new session");
+    assert_bitwise(&served.field, direct_v2);
+
+    // v1 is draining while the old session lives, retired after it
+    // closes.
+    assert!(registry.swap_stats().draining >= 1, "v1 should be draining");
+    old.close_session(old_session).expect("close old");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while registry.swap_stats().draining != 0 && std::time::Instant::now() < deadline {
+        registry.poll_drains();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = registry.swap_stats();
+    assert_eq!(stats.draining, 0, "v1 never drained");
+    assert!(stats.retired >= 1);
+    assert!(!registry.contains(DATASET, 1), "retired v1 still resident");
+    assert!(registry.contains(DATASET, 2));
+    server.shutdown();
+}
+
+/// A candidate that fails its canary is rejected with a typed error and
+/// zero side effects: the active version keeps serving identical bits.
+/// Covers both the in-process `promote` API and the wire `SwapModel` op
+/// (which also requires `FV_SERVE_ALLOW_SWAP`).
+#[test]
+fn canary_failing_swap_is_rejected_and_old_version_keeps_serving() {
+    let (field, cloud, pipeline_v1, direct_v1) = fixture();
+    let (pipeline_v2, _) = fixture_v2();
+
+    let mut server = start_server_with(|c| c.allow_remote_swap = true);
+    let registry = server.registry().clone();
+
+    // Canary pinned to v1's exact output bits: any v2 candidate with
+    // different weights must fail the fingerprint check.
+    let expect_fp = fingerprint_f32(direct_v1.values());
+    registry.set_canary(
+        DATASET,
+        CanarySpec {
+            cloud: Arc::new(cloud.clone()),
+            reference: field.clone(),
+            snr_floor_db: None,
+            fingerprint: Some(expect_fp),
+        },
+    );
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let session = open_and_upload(&mut client);
+
+    // Wire-level rejection: typed SwapRejected, not a dropped connection.
+    match client.swap_model(DATASET, 2, pipeline_v2) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::SwapRejected as u16)
+        }
+        other => panic!("expected SwapRejected, got {other:?}"),
+    }
+
+    // Rollback = nothing installed: v1 still active, v2 absent, and the
+    // live session still serves v1's exact bits on the same connection.
+    assert_eq!(registry.active_version(DATASET), Some(1));
+    assert!(!registry.contains(DATASET, 2));
+    assert_eq!(registry.swap_stats().draining, 0);
+    let served = client
+        .reconstruct(session, field.grid(), 0)
+        .expect("serving survived the rejected swap");
+    assert_bitwise(&served.field, direct_v1);
+
+    // A candidate that *passes* the canary (identical weights → identical
+    // bits) promotes fine through the same wire path.
+    client
+        .swap_model(DATASET, 2, pipeline_v1)
+        .expect("bit-identical candidate must pass the fingerprint canary");
+    assert_eq!(registry.active_version(DATASET), Some(2));
+    server.shutdown();
+}
+
+/// The wire `SwapModel` op is refused by default (multi-tenant posture),
+/// exactly like remote `Shutdown`.
+#[test]
+fn swap_op_is_forbidden_by_default() {
+    let (_, _, pipeline, _) = fixture();
+    let mut server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    match client.swap_model(DATASET, 2, pipeline) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::Forbidden as u16)
+        }
+        other => panic!("expected Forbidden, got {other:?}"),
+    }
+    assert_eq!(server.registry().active_version(DATASET), Some(1));
+    server.shutdown();
+}
+
+/// Swaps under concurrent load: every response must be bitwise correct
+/// *for the version its session was pinned to* — never a blend, never a
+/// misroute — while versions advance underneath the clients.
+#[test]
+fn hot_swaps_under_load_never_misroute_or_drop() {
+    let (field, cloud, pipeline_v1, direct_v1) = fixture();
+    let (pipeline_v2, direct_v2) = fixture_v2();
+    let mut server = start_server();
+    let registry = server.registry().clone();
+    let addr = server.addr();
+
+    const SWAPS: u32 = 8;
+    const CLIENTS: usize = 4;
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut served = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let (session, version) = client
+                            .open_session_versioned(
+                                &format!("tenant-{i}"),
+                                DATASET,
+                                VERSION_ACTIVE,
+                            )
+                            .expect("open under swap load");
+                        client.put_cloud(session, cloud).expect("put cloud");
+                        let out = client
+                            .reconstruct(session, field.grid(), 0)
+                            .expect("reconstruct under swap load");
+                        // Odd versions carry v1's weights, even carry v2's.
+                        let expect = if version % 2 == 1 { direct_v1 } else { direct_v2 };
+                        assert!(!out.degraded);
+                        assert_bitwise(&out.field, expect);
+                        client.close_session(session).expect("close");
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        // Alternate the two weight sets across versions 2..=SWAPS+1.
+        for v in 2..=(SWAPS + 1) {
+            let p = if v % 2 == 1 { pipeline_v1 } else { pipeline_v2 };
+            registry
+                .promote(DATASET, v, p.clone(), false)
+                .expect("promote under load");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let total: u64 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+        assert!(total > 0, "load generator produced no requests");
+    });
+
+    let stats = registry.swap_stats();
+    assert_eq!(stats.promoted, u64::from(SWAPS));
+    // All sessions are closed: every displaced version must drain.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while registry.swap_stats().draining != 0 && std::time::Instant::now() < deadline {
+        registry.poll_drains();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(registry.swap_stats().draining, 0, "versions stuck draining");
+    server.shutdown();
+}
+
+/// Regression: `Server::shutdown` while a displaced version is still
+/// draining (live pinned sessions) must join every thread, leak no
+/// session slots, and leave the registry consistent (nothing draining).
+#[test]
+fn shutdown_during_swap_drain_is_clean() {
+    let (field, _, _, direct_v1) = fixture();
+    let (pipeline_v2, _) = fixture_v2();
+    let mut server = start_server();
+    let registry = server.registry().clone();
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let session = open_and_upload(&mut client);
+    let served = client
+        .reconstruct(session, field.grid(), 0)
+        .expect("warm request");
+    assert_bitwise(&served.field, direct_v1);
+
+    registry
+        .promote(DATASET, 2, pipeline_v2.clone(), false)
+        .expect("promote v2");
+    assert!(registry.swap_stats().draining >= 1, "v1 should be draining");
+
+    // Session still open and pinned to the draining v1: shut down NOW.
+    server.shutdown();
+
+    assert_eq!(server.session_count(), 0, "shutdown leaked session slots");
+    let stats = registry.swap_stats();
+    assert_eq!(
+        stats.draining, 0,
+        "shutdown left versions draining: {stats:?}"
+    );
+    assert!(!registry.contains(DATASET, 1), "v1 survived its drain");
+}
+
+// ---------------------------------------------------------------------------
+// Connection watchdogs
+// ---------------------------------------------------------------------------
+
+/// Idle connections are reaped after the TTL (their session slots
+/// reclaimed), while a connection that heartbeats with Ping stays up.
+#[test]
+fn idle_connections_are_reaped_but_ping_heartbeat_survives() {
+    let (_, _, _, _) = fixture();
+    let mut server = start_server_with(|c| c.idle_ttl = Duration::from_millis(200));
+
+    let mut idle = Client::connect(server.addr()).expect("connect idle");
+    let _session = open_and_upload(&mut idle);
+    assert_eq!(server.session_count(), 1);
+
+    let mut beating = Client::connect(server.addr()).expect("connect heartbeat");
+    beating.ping().expect("first ping");
+
+    // Heartbeat for ~5 TTLs; the idle peer sends nothing.
+    for _ in 0..10 {
+        std::thread::sleep(Duration::from_millis(100));
+        beating.ping().expect("heartbeat ping must keep the connection");
+    }
+
+    // The idle connection is gone: its session slot was reclaimed and
+    // its next request fails (reap notice or torn connection).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.session_count() != 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(server.session_count(), 0, "idle session was not reaped");
+    assert!(idle.ping().is_err(), "reaped connection still answered");
+    beating.ping().expect("heartbeat connection unaffected by the reap");
+    server.shutdown();
+}
+
+/// A peer that starts a frame and stalls is disconnected once the
+/// per-frame I/O budget expires — it cannot pin a handler thread — and a
+/// healthy bystander is unaffected.
+#[test]
+fn stalled_mid_frame_peers_are_disconnected() {
+    let (field, _, _, direct) = fixture();
+    let mut server = start_server_with(|c| {
+        c.io_timeout = Duration::from_millis(200);
+        c.idle_ttl = Duration::from_secs(60);
+    });
+
+    let mut healthy = Client::connect(server.addr()).expect("connect healthy");
+    let session = open_and_upload(&mut healthy);
+
+    let mut staller = TcpStream::connect(server.addr()).expect("connect staller");
+    let frame = proto::encode_frame(Op::Ping as u8, Status::Ok as u8, b"never finished");
+    staller.write_all(&frame[..6]).expect("send partial frame");
+    staller.flush().unwrap();
+
+    // Server must give up on the stalled frame within the budget (plus
+    // slack) instead of waiting forever.
+    staller
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 256];
+    use std::io::Read;
+    let t0 = std::time::Instant::now();
+    // Drain whatever arrives until EOF; a typed stall notice is optional,
+    // the disconnect is not.
+    loop {
+        match staller.read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) => panic!("expected disconnect, got hang/err after {:?}: {e}", t0.elapsed()),
+        }
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "stalled peer held its handler too long: {:?}",
+        t0.elapsed()
+    );
+
+    let served = healthy
+        .reconstruct(session, field.grid(), 0)
+        .expect("bystander survived the stalled peer");
+    assert_bitwise(&served.field, direct);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Idempotent retry + self-healing client
+// ---------------------------------------------------------------------------
+
+/// Two requests with the same nonzero request id: the second is answered
+/// from the reply cache — bitwise-identical payload, no second admission,
+/// no double-counted tenant stats.
+#[test]
+fn idempotent_request_ids_replay_without_recompute() {
+    let (field, cloud, _, direct) = fixture();
+    let mut server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let (session, _) = client
+        .open_session_versioned("retry-t", DATASET, VERSION)
+        .expect("open");
+    client.put_cloud(session, cloud).expect("put cloud");
+
+    let req = proto::ReconstructReq {
+        session,
+        target: proto::GridWire::from_grid(field.grid()),
+        deadline_ms: 0,
+        request_id: 0x005E_ED1D,
+    };
+    let raw = proto::encode_frame(Op::Reconstruct as u8, Status::Ok as u8, &req.encode());
+
+    client.send_raw(&raw).expect("first send");
+    let first = client.read_raw().expect("first reply");
+    assert_eq!(first.status, Status::Ok as u8);
+
+    // Identical bytes again — as a healing client would after losing the
+    // first reply mid-read.
+    client.send_raw(&raw).expect("retry send");
+    let second = client.read_raw().expect("replayed reply");
+    assert_eq!(second.status, first.status);
+    assert_eq!(second.payload, first.payload, "replay must be byte-identical");
+
+    let body = proto::ReconstructResp::decode(&second.payload).expect("decode");
+    let served = ScalarField::from_vec(*field.grid(), body.values).expect("field");
+    assert_bitwise(&served, direct);
+
+    // Only ONE admitted request for this tenant; one recorded cache hit.
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains("\"tenant\": \"retry-t\", \"requests\": 1,"),
+        "replay was admitted as a second request: {stats}"
+    );
+    assert!(stats.contains("\"retry_cache\""), "{stats}");
+    assert!(stats.contains("\"hits\": 1"), "replay missed the cache: {stats}");
+    server.shutdown();
+}
+
+/// The self-healing client survives a torn connection mid-workload:
+/// reconnects with backoff, re-opens its session (original version
+/// spec), re-uploads its cloud, and the retried reconstruction returns
+/// the exact direct-path bits.
+#[test]
+fn healing_client_recovers_from_torn_connections() {
+    let (field, cloud, _, direct) = fixture();
+    let mut server = start_server();
+
+    let policy = RetryPolicy {
+        attempts: 5,
+        base: Duration::from_millis(10),
+        max: Duration::from_millis(200),
+    };
+    let mut client = Client::connect_healing(server.addr(), policy).expect("connect");
+    let (session, v) = client
+        .open_session_versioned("healer", DATASET, VERSION_ACTIVE)
+        .expect("open");
+    assert_eq!(v, 1);
+    client.put_cloud(session, cloud).expect("put cloud");
+    let served = client.reconstruct(session, field.grid(), 0).expect("warm");
+    assert_bitwise(&served.field, direct);
+
+    // Tear the TCP connection under the client, twice, with work after
+    // each tear. Every op must succeed through the healing layer.
+    for round in 0..2 {
+        client.break_connection();
+        let served = client
+            .reconstruct(session, field.grid(), 0)
+            .unwrap_or_else(|e| panic!("round {round}: healing reconstruct failed: {e}"));
+        assert!(!served.degraded);
+        assert_bitwise(&served.field, direct);
+    }
+    assert!(client.reconnects() >= 2, "healing layer never reconnected");
+    assert_eq!(client.pinned_version(session), Some(1));
+
+    client.close_session(session).expect("close");
+    client.ping().expect("ping after close");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Frame-decoder fuzz
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift for the fuzz tests — no external RNG deps.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Seeded mutation fuzz of the frame decoder, offline: thousands of
+/// corrupted frames through `read_frame` must never panic — every
+/// outcome is a decoded frame or a typed `FrameError`.
+#[test]
+fn frame_decoder_survives_seeded_mutation_fuzz() {
+    let mut rng = Rng(0x5EED_F00D);
+    let bodies: Vec<Vec<u8>> = vec![
+        Vec::new(),
+        b"ping".to_vec(),
+        proto::OpenSessionReq {
+            tenant: "t".into(),
+            dataset: DATASET.into(),
+            version: 1,
+        }
+        .encode(),
+        proto::ReconstructReq {
+            session: 7,
+            target: proto::GridWire {
+                dims: [4, 4, 2],
+                origin: [0.0; 3],
+                spacing: [1.0; 3],
+            },
+            deadline_ms: 5,
+            request_id: 9,
+        }
+        .encode(),
+        proto::SwapModelReq {
+            dataset: DATASET.into(),
+            version: 3,
+            pipeline: vec![0xAB; 64],
+        }
+        .encode(),
+    ];
+    for iter in 0..2_000 {
+        let body = &bodies[(rng.next() as usize) % bodies.len()];
+        let op = (rng.next() % 9) as u8;
+        let mut frame = proto::encode_frame(op, Status::Ok as u8, body);
+        // 1..=4 random byte mutations: flips, overwrites, truncations,
+        // and appends.
+        for _ in 0..=(rng.next() % 4) {
+            match rng.next() % 4 {
+                0 => {
+                    let i = (rng.next() as usize) % frame.len();
+                    frame[i] ^= (rng.next() % 255 + 1) as u8;
+                }
+                1 => {
+                    let i = (rng.next() as usize) % frame.len();
+                    frame[i] = rng.next() as u8;
+                }
+                2 => {
+                    let keep = (rng.next() as usize) % (frame.len() + 1);
+                    frame.truncate(keep);
+                }
+                _ => frame.push(rng.next() as u8),
+            }
+            if frame.is_empty() {
+                frame.push(rng.next() as u8);
+            }
+        }
+        // Must not panic; Ok is legal when mutations cancel out or hit
+        // only trailing appended bytes.
+        let mut cursor = std::io::Cursor::new(frame);
+        match proto::read_frame(&mut cursor) {
+            Ok(_) | Err(_) => {}
+        }
+        // And decoders over arbitrary payload bytes must not panic
+        // either.
+        let junk: Vec<u8> = (0..(rng.next() % 96)).map(|_| rng.next() as u8).collect();
+        let _ = proto::OpenSessionReq::decode(&junk);
+        let _ = proto::PutCloudReq::decode(&junk);
+        let _ = proto::ReconstructReq::decode(&junk);
+        let _ = proto::SwapModelReq::decode(&junk);
+        let _ = proto::ReconstructResp::decode(&junk);
+        let _ = proto::ErrorBody::decode(&junk);
+        let _ = proto::OpenSessionResp::decode(&junk);
+        let _ = iter;
+    }
+}
+
+/// The same mutation generator on the wire: each corrupted frame costs
+/// at most its own connection (typed error or clean drop), and a healthy
+/// bystander session keeps serving exact bits throughout.
+#[test]
+fn on_wire_fuzz_hurts_only_its_own_connection() {
+    let (field, _, _, direct) = fixture();
+    let mut server = start_server();
+    let addr = server.addr();
+    let mut healthy = Client::connect(addr).expect("connect healthy");
+    let session = open_and_upload(&mut healthy);
+
+    let mut rng = Rng(0xF0CC_BEEF);
+    for round in 0..24 {
+        let mut frame = proto::encode_frame(
+            Op::Ping as u8,
+            Status::Ok as u8,
+            b"fuzz-round-payload",
+        );
+        for _ in 0..=(rng.next() % 3) {
+            let i = (rng.next() as usize) % frame.len();
+            frame[i] ^= (rng.next() % 255 + 1) as u8;
+        }
+        let mut c = Client::connect(addr).expect("connect fuzzer");
+        c.send_raw(&frame).expect("send fuzzed frame");
+        // Any reply must be a well-formed frame; no reply (dropped
+        // connection) is equally legal.
+        let _ = c.read_raw();
+
+        if round % 6 == 5 {
+            let served = healthy
+                .reconstruct(session, field.grid(), 0)
+                .expect("bystander mid-fuzz");
+            assert_bitwise(&served.field, direct);
+        }
+    }
+    let served = healthy
+        .reconstruct(session, field.grid(), 0)
+        .expect("bystander after fuzz");
     assert_bitwise(&served.field, direct);
     server.shutdown();
 }
