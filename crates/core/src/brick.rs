@@ -464,6 +464,163 @@ pub fn reconstruct_bricked(
     Ok((store, report))
 }
 
+/// On-demand single-brick reconstruction for serving layers.
+///
+/// [`reconstruct_bricked`] drives a whole volume through a disk-backed
+/// store; a network server instead wants to compute *one brick at a time,
+/// in whatever order its scheduler picks*, and ship each result straight
+/// to a socket. `BrickStreamer` is that seam: it owns the derived state a
+/// brick computation needs (layout, coordinate frame, the cloud's integer
+/// index table, reusable workspaces) and exposes [`BrickStreamer::recon`]
+/// for any brick index.
+///
+/// Every brick goes through the same ghost-gather + certified-kNN +
+/// forward-pass path as the pipelined run, and each brick's value is a
+/// pure function of `(pipeline, cloud, target, brick index)` — halo growth
+/// is geometry-only — so results are **bitwise-identical** to both
+/// [`reconstruct_bricked`] and the whole-grid
+/// [`FcnnPipeline::reconstruct`], regardless of the order bricks are
+/// requested, interleaving with other streams, or thread width.
+///
+/// The `cloud` and `pipeline` handed to [`BrickStreamer::recon`] must be
+/// the ones `new` was called with; the streamer only caches state derived
+/// from them.
+pub struct BrickStreamer {
+    layout: BrickLayout,
+    frame: CoordFrame,
+    same_grid: bool,
+    sample_ijk: Vec<[usize; 3]>,
+    cfg: BrickReconConfig,
+    ws: BrickWorkspace,
+    halo_bytes: AtomicU64,
+    inflight: AtomicUsize,
+    peak_inflight: AtomicUsize,
+    max_halo: usize,
+}
+
+impl BrickStreamer {
+    /// Build the per-volume state for streaming `target` bricked by
+    /// `cfg.brick_dims` from `cloud`. Cost is O(cloud) — no dense
+    /// allocation proportional to the target volume is ever made.
+    pub fn new(
+        cloud: &PointCloud,
+        target: &Grid3,
+        cfg: &BrickReconConfig,
+    ) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        if cloud.is_empty() {
+            return Err(CoreError::EmptyCloud);
+        }
+        let layout = BrickLayout::new(*target, cfg.brick_dims)?;
+        let frame = CoordFrame::of_grid(target);
+        let same_grid = cloud.grid() == target;
+        let sample_ijk: Vec<[usize; 3]> = cloud
+            .indices()
+            .iter()
+            .map(|&idx| cloud.grid().unlinear(idx))
+            .collect();
+        Ok(Self {
+            layout,
+            frame,
+            same_grid,
+            sample_ijk,
+            cfg: *cfg,
+            ws: BrickWorkspace::default(),
+            halo_bytes: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            peak_inflight: AtomicUsize::new(0),
+            max_halo: cfg.halo,
+        })
+    }
+
+    /// The brick decomposition this streamer computes over.
+    pub fn layout(&self) -> &BrickLayout {
+        &self.layout
+    }
+
+    /// Bricks in the decomposition.
+    pub fn num_bricks(&self) -> usize {
+        self.layout.num_bricks()
+    }
+
+    /// Largest halo any brick computed so far needed before its kNN
+    /// certificate held.
+    pub fn max_halo(&self) -> usize {
+        self.max_halo
+    }
+
+    /// Ghost-sample bytes gathered across all bricks and halo retries.
+    pub fn halo_bytes(&self) -> u64 {
+        self.halo_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Reconstruct brick `b` and return its dense payload in the brick's
+    /// x-fastest local order (the order [`BrickLayout::voxels`] yields).
+    ///
+    /// Returns `Ok(None)` when `ctx` stopped the run mid-brick.
+    pub fn recon(
+        &mut self,
+        pipeline: &FcnnPipeline,
+        cloud: &PointCloud,
+        b: usize,
+        ctx: &ExecCtx,
+    ) -> Result<Option<Vec<f32>>, CoreError> {
+        if b >= self.layout.num_bricks() {
+            return Err(CoreError::BadConfig(format!(
+                "brick index {b} out of range ({} bricks)",
+                self.layout.num_bricks()
+            )));
+        }
+        let _span = TM_BRICK_RECON.span();
+        let target = *self.layout.grid();
+        let (lo, hi) = self.layout.brick_range(b);
+        let wlo = target.world(lo);
+        let whi = target.world([hi[0] - 1, hi[1] - 1, hi[2] - 1]);
+        let (ghost, border) = gather_ghost(
+            cloud.positions(),
+            &self.sample_ijk,
+            cloud.grid(),
+            wlo,
+            whi,
+            self.cfg.halo,
+        );
+        self.halo_bytes
+            .fetch_add(ghost.len() as u64 * GHOST_SAMPLE_BYTES, Ordering::Relaxed);
+        TM_BRICK_HALO_BYTES.add(ghost.len() as u64 * GHOST_SAMPLE_BYTES);
+        let job = BrickJob {
+            b,
+            ghost,
+            border,
+            halo: self.cfg.halo,
+        };
+        match recon_brick(
+            pipeline,
+            cloud,
+            &target,
+            &self.frame,
+            &self.layout,
+            self.same_grid,
+            &self.sample_ijk,
+            job,
+            ctx,
+            &mut self.ws,
+            &self.halo_bytes,
+            &self.inflight,
+            &self.peak_inflight,
+        )? {
+            Some((_, values, brick_halo)) => {
+                self.max_halo = self.max_halo.max(brick_halo);
+                // `recon_brick` hands inflight-byte ownership to a commit
+                // stage that doesn't exist here; settle the gauge now.
+                self.inflight.fetch_sub(values.len() * 4, Ordering::Relaxed);
+                TM_BRICK_COMPLETED.incr();
+                Ok(Some(values))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
 /// Reconstruct one brick. Returns `Ok(None)` when the context stopped the
 /// run mid-brick (the brick is abandoned, staying pending in the ledger).
 #[allow(clippy::too_many_arguments)]

@@ -45,7 +45,7 @@ pub mod upscale;
 #[cfg(test)]
 pub(crate) static CHAOS_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
-pub use brick::{reconstruct_bricked, BrickReconConfig, BrickRunReport};
+pub use brick::{reconstruct_bricked, BrickReconConfig, BrickRunReport, BrickStreamer};
 pub use error::CoreError;
 pub use features::FeatureScratch;
 pub use pipeline::{FcnnPipeline, PipelineConfig, ReconstructWorkspace, DEFAULT_PREDICTION_BATCH};

@@ -16,8 +16,9 @@
 //!   recomputing — the retry can never double-count or diverge.
 
 use crate::proto::{
-    self, ErrorBody, ErrorCode, GridWire, Op, OpenSessionReq, OpenSessionResp, PutCloudReq,
-    ReconstructReq, ReconstructResp, Status, SwapModelReq,
+    self, BrickFrame, BrickMsg, BrickSummary, ErrorBody, ErrorCode, GridWire, Op, OpenSessionReq,
+    OpenSessionResp, PutCloudReq, ReconstructBrickedReq, ReconstructReq, ReconstructResp, Status,
+    SwapModelReq,
 };
 use fillvoid_core::FcnnPipeline;
 use fv_field::{Grid3, ScalarField};
@@ -99,6 +100,37 @@ pub struct ServedField {
     pub degraded: bool,
     /// Demotion reason (empty for full-fidelity responses).
     pub reason: String,
+}
+
+/// One brick delivered by a streamed reconstruction, already converted
+/// to host extents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedBrick {
+    /// Brick index in the layout's x-fastest brick order.
+    pub index: u64,
+    /// Inclusive low voxel corner in the target grid.
+    pub start: [usize; 3],
+    /// Brick extent in voxels.
+    pub dims: [usize; 3],
+    /// Dense values, x-fastest within the brick.
+    pub values: Vec<f32>,
+}
+
+/// What a completed brick stream did, including the healing layer's
+/// resume effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Bricks in the full decomposition.
+    pub total_bricks: u64,
+    /// Bricks delivered to the callback across all attempts.
+    pub received: u64,
+    /// Bricks the *final* attempt skipped because an earlier attempt had
+    /// already delivered them — work a torn stream did not redo.
+    pub resumed: u64,
+    /// Largest halo any brick needed (final attempt).
+    pub max_halo: u64,
+    /// Reconnects the healing layer performed during this stream.
+    pub reconnects: u64,
 }
 
 /// Reconnect schedule for the self-healing client: up to `attempts`
@@ -201,6 +233,82 @@ fn exchange(
     }
 }
 
+/// Drive one `ReconstructBricked` exchange: send the request, deliver
+/// brick frames to `on_brick` in ascending index order, and return the
+/// terminating summary. `next` is the caller's contiguous-prefix
+/// watermark (first brick index not yet delivered); it advances as bricks
+/// arrive, so when the stream tears mid-flight the caller knows exactly
+/// where to resume. A free function (like [`exchange`]) so the healing
+/// retry loop can drive it while borrowing the session table.
+fn stream_once(
+    stream: &mut TcpStream,
+    req: &ReconstructBrickedReq,
+    next: &mut u64,
+    on_brick: &mut dyn FnMut(ServedBrick),
+) -> Result<BrickSummary, ClientError> {
+    proto::write_frame(
+        stream,
+        Op::ReconstructBricked as u8,
+        Status::Ok as u8,
+        &req.encode(),
+    )?;
+    loop {
+        let frame = proto::read_frame(stream)?;
+        let status = Status::from_u8(frame.status).ok_or_else(|| {
+            ClientError::Wire(proto::WireError(format!("unknown status {}", frame.status)))
+        })?;
+        if matches!(status, Status::Error | Status::ShuttingDown) {
+            let body = ErrorBody::decode(&frame.payload)?;
+            return Err(ClientError::Server {
+                status,
+                code: body.code,
+                message: body.message,
+            });
+        }
+        match BrickMsg::decode(&frame.payload)? {
+            BrickMsg::Brick(b) => {
+                if b.request_id != req.request_id {
+                    return Err(ClientError::Wire(proto::WireError(format!(
+                        "brick for foreign request {:#x} (stream is {:#x})",
+                        b.request_id, req.request_id
+                    ))));
+                }
+                if b.index != *next {
+                    return Err(ClientError::Wire(proto::WireError(format!(
+                        "brick {} out of order (expected {})",
+                        b.index, *next
+                    ))));
+                }
+                let served = served_brick(b)?;
+                on_brick(served);
+                *next += 1;
+            }
+            BrickMsg::Summary(s) => {
+                if s.request_id != req.request_id {
+                    return Err(ClientError::Wire(proto::WireError(
+                        "summary for foreign request".into(),
+                    )));
+                }
+                return Ok(s);
+            }
+        }
+    }
+}
+
+/// Convert a wire brick to host extents, with checked casts.
+fn served_brick(b: BrickFrame) -> Result<ServedBrick, ClientError> {
+    let cast = |v: u64| -> Result<usize, ClientError> {
+        usize::try_from(v)
+            .map_err(|_| ClientError::Wire(proto::WireError(format!("extent {v} overflows usize"))))
+    };
+    Ok(ServedBrick {
+        index: b.index,
+        start: [cast(b.start[0])?, cast(b.start[1])?, cast(b.start[2])?],
+        dims: [cast(b.dims[0])?, cast(b.dims[1])?, cast(b.dims[2])?],
+        values: b.values,
+    })
+}
+
 /// Blocking FVS1 client over one TCP connection (plus, in healing mode,
 /// however many reconnects it takes).
 #[derive(Debug)]
@@ -281,7 +389,10 @@ impl Client {
                 dataset: t.dataset.clone(),
                 version: t.version_spec,
             };
-            let reopened = exchange(&mut self.stream, Op::OpenSession, &open.encode())
+            let reopened = open
+                .encode()
+                .map_err(ClientError::from)
+                .and_then(|bytes| exchange(&mut self.stream, Op::OpenSession, &bytes))
                 .and_then(|(_, payload)| Ok(OpenSessionResp::decode(&payload)?));
             let resp = match reopened {
                 Ok(r) => r,
@@ -382,11 +493,11 @@ impl Client {
             version,
         };
         if self.healing.is_none() {
-            let (_, payload) = self.call(Op::OpenSession, &req.encode())?;
+            let (_, payload) = self.call(Op::OpenSession, &req.encode()?)?;
             let resp = OpenSessionResp::decode(&payload)?;
             return Ok((resp.session, resp.version));
         }
-        let (_, payload) = self.call_retry(Op::OpenSession, |_| Ok(req.encode()))?;
+        let (_, payload) = self.call_retry(Op::OpenSession, |_| Ok(req.encode()?))?;
         let resp = OpenSessionResp::decode(&payload)?;
         let h = self.healing.as_mut().expect("healing mode");
         let logical = h.next_logical;
@@ -508,6 +619,145 @@ impl Client {
         })
     }
 
+    /// Reconstruct `target` as a stream of bricks, delivering each to
+    /// `on_brick` as it arrives — the dense volume is never materialized
+    /// client-side, so `target` may exceed the dense-response frame cap.
+    ///
+    /// Bricks arrive in ascending index order. In healing mode a torn
+    /// stream reconnects, re-establishes the session, and **resumes at
+    /// the first undelivered brick**: the retry request carries the same
+    /// idempotent request id and a `start_brick` equal to the contiguous
+    /// prefix already delivered, so the server recomputes nothing the
+    /// client already holds and `on_brick` sees every index exactly once.
+    /// Brick values are pure functions of `(model, cloud, target,
+    /// index)`, so the resumed stream is bitwise-identical to an
+    /// uninterrupted one.
+    pub fn reconstruct_bricked(
+        &mut self,
+        session: u64,
+        target: &Grid3,
+        brick_dims: [u32; 3],
+        deadline_ms: u32,
+        mut on_brick: impl FnMut(ServedBrick),
+    ) -> Result<StreamSummary, ClientError> {
+        let wire_target = GridWire::from_grid(target);
+        let reconnects_before = self.reconnects();
+        let mut next = 0u64;
+        if self.healing.is_none() {
+            let req = ReconstructBrickedReq {
+                session,
+                target: wire_target,
+                brick_dims,
+                deadline_ms,
+                request_id: 0,
+                start_brick: 0,
+            };
+            let s = stream_once(&mut self.stream, &req, &mut next, &mut on_brick)?;
+            return Ok(StreamSummary {
+                total_bricks: s.total_bricks,
+                received: next,
+                resumed: s.skipped,
+                max_halo: s.max_halo,
+                reconnects: 0,
+            });
+        }
+        let request_id = {
+            let h = self.healing.as_mut().expect("healing mode");
+            h.seq += 1;
+            let rid = h.id_base ^ h.seq;
+            if rid == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                rid
+            }
+        };
+        let mut attempt = 0u32;
+        loop {
+            let server_id = {
+                let h = self.healing.as_ref().expect("healing mode");
+                h.sessions
+                    .get(&session)
+                    .ok_or_else(|| {
+                        ClientError::Wire(proto::WireError(format!(
+                            "unknown logical session {session}"
+                        )))
+                    })?
+                    .server_id
+            };
+            let req = ReconstructBrickedReq {
+                session: server_id,
+                target: wire_target,
+                brick_dims,
+                deadline_ms,
+                request_id,
+                start_brick: next,
+            };
+            match stream_once(&mut self.stream, &req, &mut next, &mut on_brick) {
+                Ok(s) => {
+                    let h = self.healing.as_ref().expect("healing mode");
+                    return Ok(StreamSummary {
+                        total_bricks: s.total_bricks,
+                        received: next,
+                        resumed: s.skipped,
+                        max_halo: s.max_halo,
+                        reconnects: h.reconnects - reconnects_before,
+                    });
+                }
+                Err(e) if transport(&e) => {
+                    attempt += 1;
+                    let policy = &self.healing.as_ref().expect("healing mode").policy;
+                    if attempt > policy.attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.backoff(attempt));
+                    match self.reheal() {
+                        Ok(()) => {}
+                        // Reconnect itself failed: fall through and burn
+                        // another attempt against the dead stream.
+                        Err(e2) if transport(&e2) => {}
+                        Err(e2) => return Err(e2),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`Self::reconstruct_bricked`] plus client-side reassembly: stream
+    /// every brick and scatter it into one dense [`ScalarField`]. Only
+    /// for targets whose dense volume fits client memory — the server
+    /// never materializes it either way.
+    pub fn reconstruct_bricked_dense(
+        &mut self,
+        session: u64,
+        target: &Grid3,
+        brick_dims: [u32; 3],
+        deadline_ms: u32,
+    ) -> Result<(ScalarField, StreamSummary), ClientError> {
+        let dims = target.dims();
+        let mut dense = vec![0.0f32; target.num_points()];
+        let summary = self.reconstruct_bricked(session, target, brick_dims, deadline_ms, |b| {
+            let mut src = 0usize;
+            for z in 0..b.dims[2] {
+                for y in 0..b.dims[1] {
+                    let row = (b.start[2] + z) * dims[1] + (b.start[1] + y);
+                    let dst = row * dims[0] + b.start[0];
+                    dense[dst..dst + b.dims[0]].copy_from_slice(&b.values[src..src + b.dims[0]]);
+                    src += b.dims[0];
+                }
+            }
+        })?;
+        if summary.received != summary.total_bricks {
+            return Err(ClientError::Wire(proto::WireError(format!(
+                "stream delivered {} of {} bricks",
+                summary.received, summary.total_bricks
+            ))));
+        }
+        let field = ScalarField::from_vec(*target, dense)
+            .map_err(|e| ClientError::Wire(proto::WireError(format!("bad field: {e}"))))?;
+        Ok((field, summary))
+    }
+
     /// Scrape the server's JSON stats (telemetry snapshot + per-tenant
     /// counters + swap/drain/retry-cache lifecycle sections).
     pub fn stats(&mut self) -> Result<String, ClientError> {
@@ -571,7 +821,7 @@ impl Client {
             version,
             pipeline: bytes,
         };
-        self.call(Op::SwapModel, &req.encode())?;
+        self.call(Op::SwapModel, &req.encode()?)?;
         Ok(())
     }
 

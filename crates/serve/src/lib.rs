@@ -42,12 +42,14 @@ pub mod proto;
 pub mod registry;
 pub mod server;
 pub mod session;
+pub mod stream;
 
 pub use batcher::{AfterFlush, BatchConfig, MicroBatcher};
 pub use breaker::{Breaker, BreakerState};
-pub use client::{Client, ClientError, RetryPolicy, ServedField};
+pub use client::{Client, ClientError, RetryPolicy, ServedBrick, ServedField, StreamSummary};
 pub use error::ServeError;
 pub use proto::{ErrorCode, Op, Status, VERSION_ACTIVE};
 pub use registry::{fingerprint_f32, CanarySpec, ModelEntry, ModelRegistry, SwapStats};
 pub use server::{ServeConfig, Server};
 pub use session::{ReplyCache, SessionManager, TenantStats};
+pub use stream::{BrickScheduler, StreamConfig};

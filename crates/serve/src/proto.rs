@@ -50,6 +50,14 @@ pub const MAX_PAYLOAD: u32 = 64 << 20;
 /// OOM the server nor produce a frame every compliant reader rejects as
 /// oversized).
 pub const MAX_GRID_POINTS: u64 = (MAX_PAYLOAD as u64 - 4096) / 4;
+/// Largest grid a *streamed* (`ReconstructBricked`) request may name.
+/// Streamed responses never materialize the dense volume, so the bound is
+/// not the frame cap — it only has to keep the point count inside checked
+/// `usize` arithmetic with comfortable headroom. 2⁴² points is a 16 TiB
+/// dense volume: far beyond anything the paper's campaigns produce, and
+/// small enough that every derived product (bytes, brick counts) stays
+/// exact on 64-bit hosts.
+pub const MAX_STREAM_POINTS: u64 = 1 << 42;
 /// Fixed frame header size (everything before the payload).
 pub const HEADER_LEN: usize = 12;
 
@@ -74,6 +82,12 @@ pub enum Op {
     /// Promote a new model version for a dataset: canary-validate it,
     /// route new sessions to it, drain and retire the old version.
     SwapModel = 8,
+    /// Reconstruct a target grid as a stream of brick frames. One request
+    /// frame; the server answers with any number of [`BrickMsg::Brick`]
+    /// frames (ascending brick index) terminated by a single
+    /// [`BrickMsg::Summary`] frame — or a [`Status::Error`] frame, which
+    /// also terminates the stream.
+    ReconstructBricked = 9,
 }
 
 impl Op {
@@ -88,6 +102,7 @@ impl Op {
             6 => Op::Stats,
             7 => Op::Shutdown,
             8 => Op::SwapModel,
+            9 => Op::ReconstructBricked,
             _ => return None,
         })
     }
@@ -479,10 +494,39 @@ impl<'a> Rd<'a> {
     }
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    debug_assert!(s.len() <= u16::MAX as usize);
+/// Append a u16-length-prefixed string, rejecting strings that do not fit
+/// the prefix. The old `debug_assert!`-only guard silently wrapped
+/// `s.len() as u16` in release builds, emitting a frame whose declared
+/// string length disagreed with its bytes — trailing-garbage decode
+/// failure at best, a truncated name aliasing another tenant at worst.
+/// Identifier-carrying encoders (tenant, dataset) must use this and
+/// surface the error; never truncate an identifier.
+fn try_put_str(buf: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
+    if s.len() > u16::MAX as usize {
+        return Err(WireError(format!(
+            "string of {} bytes exceeds the u16 wire prefix ({} max)",
+            s.len(),
+            u16::MAX
+        )));
+    }
     buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
     buf.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Append a u16-length-prefixed string, truncating pathological inputs on
+/// a char boundary. Only for *descriptive* text (demotion reasons, error
+/// messages) where losing the tail is harmless; identifiers go through
+/// [`try_put_str`]. The cut must land on a char boundary: these strings
+/// can embed client-controlled text, and slicing mid-char would panic the
+/// connection handler on a crafted multi-byte message.
+fn put_str_trunc(buf: &mut Vec<u8>, s: &str) {
+    let mut cut = s.len().min(u16::MAX as usize);
+    while cut > 0 && !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    buf.extend_from_slice(&(cut as u16).to_le_bytes());
+    buf.extend_from_slice(&s.as_bytes()[..cut]);
 }
 
 /// Wire form of a [`fv_field::Grid3`]: dims + physical origin + spacing
@@ -545,6 +589,27 @@ impl GridWire {
         self.to_grid()
     }
 
+    /// Rebuild the grid for a *streamed* reconstruction, whose dense size
+    /// is allowed to exceed the per-frame cap (responses are per-brick).
+    /// Still checked: the point product is computed with `checked_mul`
+    /// over the wire's `u64` dims and bounded by [`MAX_STREAM_POINTS`],
+    /// so a hostile request can neither wrap the count nor overflow any
+    /// byte-size arithmetic derived from it. Nothing proportional to the
+    /// point count is ever allocated on this path.
+    pub fn to_grid_streamed(&self) -> Result<fv_field::Grid3, WireError> {
+        self.dims
+            .iter()
+            .try_fold(1u64, |acc, &d| acc.checked_mul(d))
+            .filter(|&n| n <= MAX_STREAM_POINTS)
+            .ok_or_else(|| {
+                WireError(format!(
+                    "grid {:?} exceeds the streamed-size cap of {MAX_STREAM_POINTS} points",
+                    self.dims
+                ))
+            })?;
+        self.to_grid()
+    }
+
     fn put(&self, buf: &mut Vec<u8>) {
         for d in self.dims {
             buf.extend_from_slice(&d.to_le_bytes());
@@ -588,13 +653,14 @@ pub struct OpenSessionReq {
 }
 
 impl OpenSessionReq {
-    /// Encode to payload bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode to payload bytes. Fails (rather than corrupting the frame)
+    /// when a tenant or dataset name exceeds the u16 wire prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut buf = Vec::new();
-        put_str(&mut buf, &self.tenant);
-        put_str(&mut buf, &self.dataset);
+        try_put_str(&mut buf, &self.tenant)?;
+        try_put_str(&mut buf, &self.dataset)?;
         buf.extend_from_slice(&self.version.to_le_bytes());
-        buf
+        Ok(buf)
     }
 
     /// Decode from payload bytes.
@@ -696,6 +762,205 @@ impl ReconstructReq {
     }
 }
 
+/// `ReconstructBricked` request body: reconstruct `target` from the
+/// session's cloud as a stream of per-brick frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconstructBrickedReq {
+    /// Session whose cloud and model to use.
+    pub session: u64,
+    /// Target grid to densify onto. May exceed [`MAX_GRID_POINTS`] (the
+    /// dense-response cap); bounded by [`MAX_STREAM_POINTS`] instead.
+    pub target: GridWire,
+    /// Voxels per brick along each axis. Every component must be nonzero
+    /// and the brick's dense payload must fit one frame
+    /// (`product · 4 B ≤ ` [`MAX_GRID_POINTS`]` · 4 B`).
+    pub brick_dims: [u32; 3],
+    /// Per-request deadline in milliseconds (0 = unbounded). Applies to
+    /// the whole stream.
+    pub deadline_ms: u32,
+    /// Idempotency key for the stream (0 = none). Echoed in every brick
+    /// and summary frame so a healed client can pair frames with the
+    /// stream it is resuming.
+    pub request_id: u64,
+    /// First brick index to compute and send. A fresh stream asks for 0;
+    /// a client resuming a torn stream asks for its first *uncommitted*
+    /// brick, and the server recomputes nothing below it. Brick values
+    /// are pure functions of `(model, cloud, target, index)`, so a resumed
+    /// stream is bitwise-identical to an uninterrupted one.
+    pub start_brick: u64,
+}
+
+impl ReconstructBrickedReq {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.session.to_le_bytes());
+        self.target.put(&mut buf);
+        for d in self.brick_dims {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        buf.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
+        buf.extend_from_slice(&self.start_brick.to_le_bytes());
+        buf
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        let mut r = Rd::new(b);
+        let session = r.u64()?;
+        let target = GridWire::get(&mut r)?;
+        let mut brick_dims = [0u32; 3];
+        for d in &mut brick_dims {
+            *d = r.u32()?;
+        }
+        let v = Self {
+            session,
+            target,
+            brick_dims,
+            deadline_ms: r.u32()?,
+            request_id: r.u64()?,
+            start_brick: r.u64()?,
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// One frame of a `ReconstructBricked` response stream.
+///
+/// Brick frames arrive in ascending brick-index order starting at the
+/// request's `start_brick`; a single summary frame terminates the stream.
+/// Every frame is independently CRC'd by the frame layer, so a flipped
+/// bit in any brick surfaces as a typed [`FrameError::BadCrc`] on exactly
+/// that frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrickMsg {
+    /// One reconstructed brick.
+    Brick(BrickFrame),
+    /// End of stream: what the server computed and skipped.
+    Summary(BrickSummary),
+}
+
+/// A reconstructed brick: its index, extent in the target grid, and dense
+/// payload in the brick's x-fastest local order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrickFrame {
+    /// Echo of the request's idempotency key.
+    pub request_id: u64,
+    /// Brick index in the layout's x-fastest brick order.
+    pub index: u64,
+    /// Inclusive low voxel corner of the brick in the target grid.
+    pub start: [u64; 3],
+    /// Brick extent in voxels along each axis.
+    pub dims: [u64; 3],
+    /// Dense values, x-fastest within the brick; length is the dims
+    /// product.
+    pub values: Vec<f32>,
+}
+
+/// Terminal frame of a brick stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrickSummary {
+    /// Echo of the request's idempotency key.
+    pub request_id: u64,
+    /// Bricks in the full decomposition.
+    pub total_bricks: u64,
+    /// Bricks computed and sent by *this* stream.
+    pub sent: u64,
+    /// Bricks below `start_brick`, skipped on resume (never recomputed).
+    pub skipped: u64,
+    /// Largest halo any brick needed before its kNN certificate held.
+    pub max_halo: u64,
+}
+
+const BRICK_KIND_BRICK: u8 = 0;
+const BRICK_KIND_SUMMARY: u8 = 1;
+
+impl BrickMsg {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            BrickMsg::Brick(b) => {
+                let mut buf = Vec::with_capacity(69 + b.values.len() * 4);
+                buf.push(BRICK_KIND_BRICK);
+                buf.extend_from_slice(&b.request_id.to_le_bytes());
+                buf.extend_from_slice(&b.index.to_le_bytes());
+                for d in b.start {
+                    buf.extend_from_slice(&d.to_le_bytes());
+                }
+                for d in b.dims {
+                    buf.extend_from_slice(&d.to_le_bytes());
+                }
+                buf.extend_from_slice(&(b.values.len() as u32).to_le_bytes());
+                for v in &b.values {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                buf
+            }
+            BrickMsg::Summary(s) => {
+                let mut buf = Vec::with_capacity(41);
+                buf.push(BRICK_KIND_SUMMARY);
+                buf.extend_from_slice(&s.request_id.to_le_bytes());
+                buf.extend_from_slice(&s.total_bricks.to_le_bytes());
+                buf.extend_from_slice(&s.sent.to_le_bytes());
+                buf.extend_from_slice(&s.skipped.to_le_bytes());
+                buf.extend_from_slice(&s.max_halo.to_le_bytes());
+                buf
+            }
+        }
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        let mut r = Rd::new(b);
+        let kind = r.take(1)?[0];
+        let v = match kind {
+            BRICK_KIND_BRICK => {
+                let request_id = r.u64()?;
+                let index = r.u64()?;
+                let mut start = [0u64; 3];
+                for d in &mut start {
+                    *d = r.u64()?;
+                }
+                let mut dims = [0u64; 3];
+                for d in &mut dims {
+                    *d = r.u64()?;
+                }
+                let values = r.f32_vec()?;
+                let expect = dims
+                    .iter()
+                    .try_fold(1u64, |acc, &d| acc.checked_mul(d))
+                    .ok_or_else(|| WireError("brick dims overflow".into()))?;
+                if values.len() as u64 != expect {
+                    return Err(WireError(format!(
+                        "brick payload has {} values, extent {:?} needs {expect}",
+                        values.len(),
+                        dims
+                    )));
+                }
+                BrickMsg::Brick(BrickFrame {
+                    request_id,
+                    index,
+                    start,
+                    dims,
+                    values,
+                })
+            }
+            BRICK_KIND_SUMMARY => BrickMsg::Summary(BrickSummary {
+                request_id: r.u64()?,
+                total_bricks: r.u64()?,
+                sent: r.u64()?,
+                skipped: r.u64()?,
+                max_halo: r.u64()?,
+            }),
+            k => return Err(WireError(format!("unknown brick frame kind {k}"))),
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
 /// `SwapModel` request body: the candidate pipeline, serialized in the
 /// FVPL checkpoint format, to be canary-validated and promoted as the
 /// dataset's new active version.
@@ -710,14 +975,15 @@ pub struct SwapModelReq {
 }
 
 impl SwapModelReq {
-    /// Encode to payload bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode to payload bytes. Fails (rather than corrupting the frame)
+    /// when the dataset name exceeds the u16 wire prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut buf = Vec::with_capacity(8 + self.dataset.len() + self.pipeline.len());
-        put_str(&mut buf, &self.dataset);
+        try_put_str(&mut buf, &self.dataset)?;
         buf.extend_from_slice(&self.version.to_le_bytes());
         buf.extend_from_slice(&(self.pipeline.len() as u32).to_le_bytes());
         buf.extend_from_slice(&self.pipeline);
-        buf
+        Ok(buf)
     }
 
     /// Decode from payload bytes.
@@ -751,7 +1017,8 @@ impl ReconstructResp {
         for v in &self.values {
             buf.extend_from_slice(&v.to_le_bytes());
         }
-        put_str(&mut buf, &self.reason);
+        // The reason is server-generated prose; truncation is harmless.
+        put_str_trunc(&mut buf, &self.reason);
         buf
     }
 
@@ -790,19 +1057,12 @@ impl ErrorBody {
         ErrorCode::from_u16(self.code)
     }
 
-    /// Encode to payload bytes.
+    /// Encode to payload bytes. Pathological messages are truncated on a
+    /// char boundary rather than rejected.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         buf.extend_from_slice(&self.code.to_le_bytes());
-        // Truncate pathological messages rather than reject them. The cut
-        // must land on a char boundary: messages embed client-controlled
-        // strings, and slicing mid-char would panic the connection
-        // handler on a crafted multi-byte message.
-        let mut cut = self.message.len().min(u16::MAX as usize);
-        while cut > 0 && !self.message.is_char_boundary(cut) {
-            cut -= 1;
-        }
-        put_str(&mut buf, &self.message[..cut]);
+        put_str_trunc(&mut buf, &self.message);
         buf
     }
 
@@ -937,7 +1197,10 @@ mod tests {
             dataset: "hurricane".into(),
             version: 3,
         };
-        assert_eq!(OpenSessionReq::decode(&open.encode()).unwrap(), open);
+        assert_eq!(
+            OpenSessionReq::decode(&open.encode().unwrap()).unwrap(),
+            open
+        );
 
         let g = fv_field::Grid3::with_geometry([4, 5, 6], [1.0, -2.0, 0.5], [0.1, 0.2, 0.3])
             .unwrap();
@@ -971,7 +1234,38 @@ mod tests {
             version: 9,
             pipeline: vec![0xF0, 0x9F, 0x00, 0x7F],
         };
-        assert_eq!(SwapModelReq::decode(&swap.encode()).unwrap(), swap);
+        assert_eq!(SwapModelReq::decode(&swap.encode().unwrap()).unwrap(), swap);
+
+        let bricked = ReconstructBrickedReq {
+            session: 7,
+            target: wire,
+            brick_dims: [16, 8, 4],
+            deadline_ms: 250,
+            request_id: 0xDEAD_BEEF_CAFE_F00D,
+            start_brick: 42,
+        };
+        assert_eq!(
+            ReconstructBrickedReq::decode(&bricked.encode()).unwrap(),
+            bricked
+        );
+
+        let brick = BrickMsg::Brick(BrickFrame {
+            request_id: 99,
+            index: 3,
+            start: [4, 0, 8],
+            dims: [2, 1, 2],
+            values: vec![1.0, -2.5, f32::MIN_POSITIVE, 0.0],
+        });
+        assert_eq!(BrickMsg::decode(&brick.encode()).unwrap(), brick);
+
+        let summary = BrickMsg::Summary(BrickSummary {
+            request_id: 99,
+            total_bricks: 64,
+            sent: 60,
+            skipped: 4,
+            max_halo: 8,
+        });
+        assert_eq!(BrickMsg::decode(&summary.encode()).unwrap(), summary);
 
         let resp = ReconstructResp {
             values: vec![0.0, f32::MIN_POSITIVE, -1.0],
@@ -1121,8 +1415,99 @@ mod tests {
             dataset: "d".into(),
             version: 0,
         }
-        .encode();
+        .encode()
+        .unwrap();
         b.push(0);
         assert!(OpenSessionReq::decode(&b).is_err());
+
+        let mut b = BrickMsg::Summary(BrickSummary {
+            request_id: 1,
+            total_bricks: 2,
+            sent: 2,
+            skipped: 0,
+            max_halo: 2,
+        })
+        .encode();
+        b.push(0);
+        assert!(BrickMsg::decode(&b).is_err());
+    }
+
+    /// Regression for the release-mode `put_str` wrap: a >64 KiB tenant
+    /// name must be a typed encode error, never a frame whose u16 length
+    /// prefix silently wrapped. (The old code debug_assert!'d, so release
+    /// builds emitted a prefix of `len % 65536` followed by the full
+    /// bytes — trailing-garbage decode failure at best, and at worst a
+    /// truncated name that aliases another tenant.)
+    #[test]
+    fn oversized_identifier_is_a_typed_encode_error() {
+        let huge = "t".repeat(u16::MAX as usize + 1);
+        let open = OpenSessionReq {
+            tenant: huge.clone(),
+            dataset: "d".into(),
+            version: 0,
+        };
+        let err = open.encode().expect_err("oversized tenant must not encode");
+        assert!(err.0.contains("u16 wire prefix"), "got: {err}");
+
+        let swap = SwapModelReq {
+            dataset: huge.clone(),
+            version: 1,
+            pipeline: vec![],
+        };
+        assert!(swap.encode().is_err(), "oversized dataset must not encode");
+
+        // Exactly at the prefix limit still round-trips losslessly.
+        let edge = OpenSessionReq {
+            tenant: "t".repeat(u16::MAX as usize),
+            dataset: "d".into(),
+            version: 0,
+        };
+        let back = OpenSessionReq::decode(&edge.encode().unwrap()).unwrap();
+        assert_eq!(back, edge);
+    }
+
+    #[test]
+    fn brick_msg_rejects_malformed_payloads() {
+        // Unknown kind byte.
+        assert!(BrickMsg::decode(&[7]).is_err());
+
+        // Value count disagreeing with the declared extent.
+        let mut frame = BrickFrame {
+            request_id: 1,
+            index: 0,
+            start: [0; 3],
+            dims: [2, 2, 1],
+            values: vec![0.0; 4],
+        };
+        frame.values.pop();
+        assert!(BrickMsg::decode(&BrickMsg::Brick(frame).encode()).is_err());
+    }
+
+    #[test]
+    fn streamed_grid_bound_admits_beyond_frame_cap_but_stays_checked() {
+        let base = GridWire {
+            dims: [8, 8, 4],
+            origin: [0.0; 3],
+            spacing: [1.0; 3],
+        };
+        // Larger than the dense cap, fine for streaming.
+        let big = GridWire {
+            dims: [MAX_GRID_POINTS + 1, 1, 1],
+            ..base
+        };
+        assert!(big.to_grid_bounded().is_err());
+        assert!(big.to_grid_streamed().is_ok());
+
+        // Beyond the stream cap or wrapping u64: rejected.
+        let over = GridWire {
+            dims: [MAX_STREAM_POINTS + 1, 1, 1],
+            ..base
+        };
+        assert!(over.to_grid_streamed().is_err());
+        let wrap = GridWire {
+            dims: [u64::MAX, u64::MAX, u64::MAX],
+            ..base
+        };
+        assert!(wrap.to_grid_streamed().is_err());
     }
 }

@@ -43,20 +43,22 @@
 
 use crate::batcher::{AfterFlush, BatchConfig, MicroBatcher, ReconJob, ReconOutcome};
 use crate::proto::{
-    self, ErrorBody, ErrorCode, Frame, FrameError, Op, OpenSessionReq, OpenSessionResp,
-    PutCloudReq, ReconstructReq, ReconstructResp, Status, SwapModelReq, VERSION_ACTIVE,
+    self, BrickFrame, BrickMsg, BrickSummary, ErrorBody, ErrorCode, Frame, FrameError, Op,
+    OpenSessionReq, OpenSessionResp, PutCloudReq, ReconstructBrickedReq, ReconstructReq,
+    ReconstructResp, Status, SwapModelReq, MAX_GRID_POINTS, VERSION_ACTIVE,
 };
 use crate::registry::ModelRegistry;
 use crate::session::{ReplyCache, SessionManager};
+use crate::stream::{BrickScheduler, StreamConfig, StreamJob, StreamMsg};
 use fillvoid_core::FcnnPipeline;
-use fv_field::ScalarField;
+use fv_field::{BrickLayout, ScalarField};
 use fv_runtime::{chaos, telemetry, Deadline, ExecCtx};
 use fv_sampling::PointCloud;
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
@@ -113,6 +115,13 @@ pub struct ServeConfig {
     pub retry_ttl: Duration,
     /// Byte budget of the idempotent-reply cache.
     pub retry_cache_budget: usize,
+    /// Largest target the dense `Reconstruct` op accepts, in grid
+    /// points. Defaults to the frame cap ([`MAX_GRID_POINTS`]); lowering
+    /// it forces big targets onto the streaming `ReconstructBricked` op
+    /// sooner (benches use this to exercise streaming cheaply).
+    pub max_dense_points: u64,
+    /// Brick-stream scheduler tuning (`ReconstructBricked`).
+    pub stream: StreamConfig,
     /// Micro-batcher tuning.
     pub batch: BatchConfig,
 }
@@ -133,6 +142,8 @@ impl Default for ServeConfig {
             canary: true,
             retry_ttl: Duration::from_secs(5),
             retry_cache_budget: 32 << 20,
+            max_dense_points: MAX_GRID_POINTS,
+            stream: StreamConfig::default(),
             batch: BatchConfig::default(),
         }
     }
@@ -145,10 +156,16 @@ impl ServeConfig {
     /// (`0` disables micro-batching), `FV_SERVE_ALLOW_SHUTDOWN`
     /// (`1` lets clients issue the `Shutdown` op), `FV_SERVE_ALLOW_SWAP`
     /// (`1` lets clients issue the `SwapModel` op), `FV_SERVE_IDLE_TTL`
-    /// (idle reap threshold, ms), `FV_SERVE_IO_TIMEOUT` (per-frame
-    /// read/write budget, ms), `FV_SERVE_CANARY` (`0` skips canary
-    /// validation on swap), `FV_SERVE_RETRY_TTL_MS` and
-    /// `FV_SERVE_RETRY_CACHE_MB` (idempotent-reply cache tuning).
+    /// (idle reap threshold, **seconds** — matching the 300 s default;
+    /// `FV_SERVE_IDLE_TTL_MS` for millisecond granularity, and it wins
+    /// when both are set), `FV_SERVE_IO_TIMEOUT` (per-frame read/write
+    /// budget, ms), `FV_SERVE_CANARY` (`0` skips canary validation on
+    /// swap), `FV_SERVE_RETRY_TTL_MS` and `FV_SERVE_RETRY_CACHE_MB`
+    /// (idempotent-reply cache tuning), `FV_SERVE_MAX_POINTS` (dense
+    /// `Reconstruct` target cap, in grid points), and the brick-stream
+    /// knobs: `FV_SERVE_BRICK_QUEUE` (streams per tenant),
+    /// `FV_SERVE_BRICK_INFLIGHT_MB` (per-stream un-acked byte window),
+    /// `FV_SERVE_BRICK_HALO` (initial ghost-gather halo).
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         let get = |k: &str| std::env::var(k).ok();
@@ -182,7 +199,16 @@ impl ServeConfig {
         if let Some(v) = get("FV_SERVE_ALLOW_SWAP") {
             cfg.allow_remote_swap = v == "1";
         }
+        // Seconds, matching the `from_secs(300)` default and the
+        // unsuffixed knob name. (An earlier revision parsed this as
+        // milliseconds, so `FV_SERVE_IDLE_TTL=300` reaped idle
+        // connections after 300 ms instead of 5 minutes.)
         if let Some(v) = get("FV_SERVE_IDLE_TTL").and_then(|v| v.parse::<u64>().ok()) {
+            cfg.idle_ttl = Duration::from_secs(v.max(1));
+        }
+        // Millisecond override for tests and aggressive deployments;
+        // wins over FV_SERVE_IDLE_TTL when both are set.
+        if let Some(v) = get("FV_SERVE_IDLE_TTL_MS").and_then(|v| v.parse::<u64>().ok()) {
             cfg.idle_ttl = Duration::from_millis(v.max(1));
         }
         if let Some(v) = get("FV_SERVE_IO_TIMEOUT").and_then(|v| v.parse::<u64>().ok()) {
@@ -197,6 +223,18 @@ impl ServeConfig {
         if let Some(v) = get("FV_SERVE_RETRY_CACHE_MB").and_then(|v| v.parse::<usize>().ok()) {
             cfg.retry_cache_budget = v << 20;
         }
+        if let Some(v) = get("FV_SERVE_MAX_POINTS").and_then(|v| v.parse::<u64>().ok()) {
+            cfg.max_dense_points = v.clamp(1, MAX_GRID_POINTS);
+        }
+        if let Some(v) = get("FV_SERVE_BRICK_QUEUE").and_then(|v| v.parse::<usize>().ok()) {
+            cfg.stream.queue_per_tenant = v.max(1);
+        }
+        if let Some(v) = get("FV_SERVE_BRICK_INFLIGHT_MB").and_then(|v| v.parse::<usize>().ok()) {
+            cfg.stream.inflight_budget = (v << 20).max(1);
+        }
+        if let Some(v) = get("FV_SERVE_BRICK_HALO").and_then(|v| v.parse::<usize>().ok()) {
+            cfg.stream.halo = v.max(1);
+        }
         cfg
     }
 }
@@ -206,6 +244,7 @@ struct Shared {
     registry: Arc<ModelRegistry>,
     sessions: SessionManager,
     batcher: MicroBatcher,
+    bricks: BrickScheduler,
     shutdown: AtomicBool,
     conn_seq: AtomicU64,
     conns: Mutex<Vec<(u64, TcpStream)>>,
@@ -316,6 +355,7 @@ impl Server {
         let shared = Arc::new(Shared {
             sessions: SessionManager::new(cfg.max_inflight_per_tenant),
             batcher: MicroBatcher::start_with(cfg.batch.clone(), Some(after_flush)),
+            bricks: BrickScheduler::start(cfg.stream.clone()),
             replies: ReplyCache::new(cfg.retry_ttl, cfg.retry_cache_budget),
             cfg,
             registry,
@@ -381,6 +421,10 @@ impl Server {
         // join the batcher. Connection threads blocked on a response
         // receive it here and write it out before their sockets close.
         self.shared.batcher.shutdown();
+        // Stop the brick-stream worker: queued streams get a terminal
+        // ShuttingDown message, which connection threads blocked on
+        // their stream channel observe and forward.
+        self.shared.bricks.shutdown();
         // Unblock every connection thread and join it.
         for (_, stream) in self.shared.conns.lock().expect("conn table").iter() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -694,11 +738,18 @@ fn dispatch(
                     return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0)
                 }
             };
-            if shared.sessions.close(id, conn) {
+            if let Some(tenant) = shared.sessions.close(id, conn) {
                 my_sessions.retain(|&s| s != id);
                 // This may have been the last session pinning a
                 // retiring model version.
                 shared.registry.poll_drains();
+                // Graceful close of the tenant's last session: drop its
+                // cached replies now instead of letting them ride out
+                // the TTL. Torn-connection cleanup deliberately does NOT
+                // prune — that is when a healing client needs replay.
+                if !shared.sessions.tenant_is_active(&tenant) {
+                    shared.replies.prune_tenant(&tenant);
+                }
                 write_response(stream, op as u8, Status::Ok as u8, &[])
             } else {
                 write_error(
@@ -712,6 +763,7 @@ fn dispatch(
         }
         Op::PutCloud => handle_put_cloud(shared, stream, frame, conn),
         Op::Reconstruct => handle_reconstruct(shared, stream, frame, conn),
+        Op::ReconstructBricked => handle_reconstruct_bricked(shared, stream, frame, conn),
         Op::SwapModel => handle_swap(shared, stream, frame),
         Op::Stats => {
             let tel = telemetry::snapshot().to_json();
@@ -721,7 +773,7 @@ fn dispatch(
                  \"swap\": {{\"promoted\": {}, \"rejected\": {}, \"retired\": {}, \"draining\": {}, \
                  \"last_drain_ms\": {:.3}, \"max_drain_ms\": {:.3}, \"canary_runs\": {}, \"canary_ms_total\": {:.3}}}, \
                  \"retry_cache\": {{\"entries\": {}, \"bytes\": {}, \"hits\": {}, \"stores\": {}}}, \
-                 \"tenants\": {}, \"telemetry\": {}}}",
+                 \"stream\": {}, \"tenants\": {}, \"telemetry\": {}}}",
                 shared.sessions.len(),
                 shared.registry.len(),
                 shared.registry.bytes(),
@@ -738,6 +790,7 @@ fn dispatch(
                 shared.replies.bytes(),
                 shared.replies.hits(),
                 shared.replies.stores(),
+                shared.bricks.stats_json(),
                 shared.sessions.tenants_json(),
                 tel,
             );
@@ -988,6 +1041,20 @@ fn handle_reconstruct(
         Ok(g) => g,
         Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
     };
+    if target.num_points() as u64 > shared.cfg.max_dense_points {
+        return write_error(
+            stream,
+            frame.op,
+            Status::Error,
+            ErrorCode::BadRequest,
+            format!(
+                "target has {} points, over the dense-response cap of {}; \
+                 use ReconstructBricked to stream it",
+                target.num_points(),
+                shared.cfg.max_dense_points
+            ),
+        );
+    }
     let (entry, cloud, tenant) = {
         let s = session.lock().expect("session lock");
         match &s.cloud {
@@ -1131,4 +1198,300 @@ fn reply_cached(
             .put(tenant, req.request_id, status, payload.clone());
     }
     write_response(stream, op, status, &payload)
+}
+
+/// Brick-frame write with its own chaos site (`serve.brick.write`) in
+/// front of the shared `serve.conn.write` one: a mid-stream write fault
+/// tears exactly the stream under test.
+fn write_brick(stream: &mut TcpStream, op: u8, payload: &[u8]) -> bool {
+    if chaos::io_error("serve.brick.write").is_some() {
+        return false;
+    }
+    chaos::point("serve.brick.write");
+    write_response(stream, op, Status::Ok as u8, payload)
+}
+
+/// `ReconstructBricked`: validate, admit, hand the stream to the brick
+/// scheduler, and relay its messages to the socket — brick frames in
+/// ascending index order, then one summary (or typed error) frame.
+///
+/// The connection thread owns the transport half of the back-pressure
+/// loop: after every brick write (delivered or not) it drains the
+/// stream's in-flight byte window and wakes the scheduler. A torn socket
+/// drops the receiver; the scheduler observes the disconnect at its next
+/// send and abandons the stream, releasing the tenant's in-flight slot.
+fn handle_reconstruct_bricked(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    frame: &Frame,
+    conn: u64,
+) -> bool {
+    let req = match ReconstructBrickedReq::decode(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
+    };
+    let session = match shared.sessions.get(req.session, conn) {
+        Some(s) => s,
+        None => {
+            return write_error(
+                stream,
+                frame.op,
+                Status::Error,
+                ErrorCode::UnknownSession,
+                format!("no session {}", req.session),
+            )
+        }
+    };
+    // Streamed bound: the target may exceed the dense frame cap (that is
+    // the op's whole point) but stays overflow-checked.
+    let target = match req.target.to_grid_streamed() {
+        Ok(g) => g,
+        Err(e) => return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0),
+    };
+    // Each brick travels as one frame, so a brick's dense payload must
+    // respect the per-frame cap the dense path lives under.
+    let brick_points = req
+        .brick_dims
+        .iter()
+        .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
+        .filter(|&n| n > 0 && n <= MAX_GRID_POINTS);
+    if brick_points.is_none() {
+        return write_error(
+            stream,
+            frame.op,
+            Status::Error,
+            ErrorCode::BadRequest,
+            format!(
+                "brick dims {:?} must be nonzero and at most {MAX_GRID_POINTS} voxels per brick",
+                req.brick_dims
+            ),
+        );
+    }
+    let brick_dims = [
+        req.brick_dims[0] as usize,
+        req.brick_dims[1] as usize,
+        req.brick_dims[2] as usize,
+    ];
+    // Cheap (counts only): bounds start_brick before admission.
+    let layout = match BrickLayout::new(target, brick_dims) {
+        Ok(l) => l,
+        Err(e) => {
+            return write_error(
+                stream,
+                frame.op,
+                Status::Error,
+                ErrorCode::BadRequest,
+                e.to_string(),
+            )
+        }
+    };
+    if req.start_brick > layout.num_bricks() as u64 {
+        return write_error(
+            stream,
+            frame.op,
+            Status::Error,
+            ErrorCode::BadRequest,
+            format!(
+                "start_brick {} past the {}-brick layout",
+                req.start_brick,
+                layout.num_bricks()
+            ),
+        );
+    }
+    let (entry, cloud, tenant) = {
+        let s = session.lock().expect("session lock");
+        match &s.cloud {
+            Some(c) => (s.model.clone(), c.clone(), s.tenant.clone()),
+            None => {
+                return write_error(
+                    stream,
+                    frame.op,
+                    Status::Error,
+                    ErrorCode::BadRequest,
+                    "no sample cloud uploaded for this session",
+                )
+            }
+        }
+    };
+    let guard = match shared.sessions.try_admit(&tenant) {
+        Some(g) => g,
+        None => {
+            tenant.rejected.fetch_add(1, Ordering::Relaxed);
+            return write_error(
+                stream,
+                frame.op,
+                Status::Error,
+                ErrorCode::TooManyInFlight,
+                format!("tenant {} is at its in-flight cap", tenant.name),
+            );
+        }
+    };
+    let mut ctx = ExecCtx::unbounded();
+    if req.deadline_ms > 0 {
+        ctx = ctx.with_deadline(Deadline::after(Duration::from_millis(req.deadline_ms as u64)));
+    }
+    let inflight_bytes = Arc::new(AtomicUsize::new(0));
+    let (resp_tx, resp_rx) = sync_channel(8);
+    let job = StreamJob {
+        entry,
+        cloud,
+        target,
+        brick_dims,
+        start_brick: req.start_brick,
+        ctx,
+        tenant: tenant.clone(),
+        guard: Some(guard),
+        resp: resp_tx,
+        inflight_bytes: inflight_bytes.clone(),
+    };
+    TM_REQUESTS.incr();
+    tenant.requests.fetch_add(1, Ordering::Relaxed);
+    match shared.bricks.submit(job) {
+        Ok(()) => {}
+        Err((job, shutting_down)) => {
+            drop(job); // releases the in-flight guard
+            tenant.rejected.fetch_add(1, Ordering::Relaxed);
+            return if shutting_down {
+                write_error(
+                    stream,
+                    frame.op,
+                    Status::ShuttingDown,
+                    ErrorCode::Internal,
+                    "server is shutting down",
+                )
+            } else {
+                TM_REJECT_BUSY.incr();
+                write_error(
+                    stream,
+                    frame.op,
+                    Status::Error,
+                    ErrorCode::Busy,
+                    format!(
+                        "tenant {} already has FV_SERVE_BRICK_QUEUE streams queued; retry with backoff",
+                        tenant.name
+                    ),
+                )
+            };
+        }
+    }
+    loop {
+        match resp_rx.recv() {
+            Ok(StreamMsg::Brick {
+                index,
+                start,
+                dims,
+                values,
+            }) => {
+                let nbytes = values.len() * 4;
+                tenant.rows.fetch_add(values.len() as u64, Ordering::Relaxed);
+                let body = BrickMsg::Brick(BrickFrame {
+                    request_id: req.request_id,
+                    index,
+                    start,
+                    dims,
+                    values,
+                });
+                let ok = write_brick(stream, frame.op, &body.encode());
+                // Settle the back-pressure window whether or not the
+                // write landed — the bytes left server memory either way.
+                inflight_bytes.fetch_sub(nbytes, Ordering::AcqRel);
+                shared.bricks.notify();
+                if !ok {
+                    // Dropping the receiver tells the scheduler the
+                    // client is gone at its next send.
+                    return false;
+                }
+            }
+            Ok(StreamMsg::Done {
+                total,
+                sent,
+                skipped,
+                max_halo,
+            }) => {
+                let body = BrickMsg::Summary(BrickSummary {
+                    request_id: req.request_id,
+                    total_bricks: total,
+                    sent,
+                    skipped,
+                    max_halo,
+                });
+                return write_response(stream, frame.op, Status::Ok as u8, &body.encode());
+            }
+            Ok(StreamMsg::Fail {
+                status,
+                code,
+                message,
+            }) => {
+                tenant.rejected.fetch_add(1, Ordering::Relaxed);
+                return write_error(stream, frame.op, status, code, message);
+            }
+            Err(_) => {
+                // Scheduler gone (shutdown drained it) without a
+                // terminal message for us.
+                return write_error(
+                    stream,
+                    frame.op,
+                    Status::ShuttingDown,
+                    ErrorCode::Internal,
+                    "server shut down mid-stream",
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Env mutation is process-global; every test touching `FV_SERVE_*`
+    /// vars serializes here.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Regression: `FV_SERVE_IDLE_TTL` is documented against a
+    /// `from_secs(300)` default, but the parse used `from_millis`, so
+    /// `FV_SERVE_IDLE_TTL=300` reaped connections after 300 ms. The knob
+    /// is seconds; `FV_SERVE_IDLE_TTL_MS` is the millisecond override.
+    #[test]
+    fn idle_ttl_env_is_seconds_with_ms_override() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("FV_SERVE_IDLE_TTL", "300");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(
+            cfg.idle_ttl,
+            Duration::from_secs(300),
+            "FV_SERVE_IDLE_TTL must parse as seconds, matching its documented default"
+        );
+
+        std::env::set_var("FV_SERVE_IDLE_TTL_MS", "250");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(
+            cfg.idle_ttl,
+            Duration::from_millis(250),
+            "FV_SERVE_IDLE_TTL_MS wins when both are set"
+        );
+
+        std::env::remove_var("FV_SERVE_IDLE_TTL");
+        std::env::remove_var("FV_SERVE_IDLE_TTL_MS");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.idle_ttl, Duration::from_secs(300), "default unchanged");
+    }
+
+    #[test]
+    fn stream_knobs_parse_from_env() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("FV_SERVE_BRICK_QUEUE", "5");
+        std::env::set_var("FV_SERVE_BRICK_INFLIGHT_MB", "2");
+        std::env::set_var("FV_SERVE_BRICK_HALO", "3");
+        std::env::set_var("FV_SERVE_MAX_POINTS", "4096");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.stream.queue_per_tenant, 5);
+        assert_eq!(cfg.stream.inflight_budget, 2 << 20);
+        assert_eq!(cfg.stream.halo, 3);
+        assert_eq!(cfg.max_dense_points, 4096);
+        std::env::remove_var("FV_SERVE_BRICK_QUEUE");
+        std::env::remove_var("FV_SERVE_BRICK_INFLIGHT_MB");
+        std::env::remove_var("FV_SERVE_BRICK_HALO");
+        std::env::remove_var("FV_SERVE_MAX_POINTS");
+    }
 }

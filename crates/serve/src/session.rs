@@ -226,24 +226,44 @@ impl SessionManager {
         Some(session)
     }
 
-    /// Close a session on behalf of connection `conn`; `true` if it
-    /// existed and `conn` owns it.
-    pub fn close(&self, id: u64, conn: u64) -> bool {
-        let existed = {
+    /// Close a session on behalf of connection `conn`. Returns the
+    /// closed session's tenant *name* if it existed and `conn` owns it
+    /// (`None` otherwise), so the caller can run tenant-scoped cleanup —
+    /// e.g. dropping the tenant's cached replies once its last session is
+    /// gone. The name (not the `Arc`) is returned deliberately: holding
+    /// the record across the internal prune would keep the tenant
+    /// artificially "active".
+    pub fn close(&self, id: u64, conn: u64) -> Option<String> {
+        let closed = {
             let mut sessions = self.sessions.lock().expect("session lock");
             let owned = sessions
                 .get(&id)
                 .is_some_and(|s| s.lock().expect("session").owner_conn == conn);
-            if owned {
-                sessions.remove(&id);
-            }
+            let closed = if owned {
+                sessions
+                    .remove(&id)
+                    .map(|s| s.lock().expect("session").tenant.name.clone())
+            } else {
+                None
+            };
             TM_SESSIONS.set(sessions.len() as u64);
-            owned
+            closed
         };
-        if existed {
+        if closed.is_some() {
             self.prune_tenants();
         }
-        existed
+        closed
+    }
+
+    /// `true` while the tenant record is referenced by any session or
+    /// in-flight job. Meaningful right after [`Self::close`] (which
+    /// prunes idle records): a `false` answer means the tenant just went
+    /// fully idle.
+    pub fn tenant_is_active(&self, name: &str) -> bool {
+        self.tenants
+            .lock()
+            .expect("tenant lock")
+            .contains_key(name)
     }
 
     /// Live session count.
@@ -411,6 +431,31 @@ impl ReplyCache {
         TM_RETRY_STORE.incr();
     }
 
+    /// Drop every cached reply belonging to `tenant`.
+    ///
+    /// Called when a tenant's last session closes *gracefully* (explicit
+    /// `CloseSession`): the tenant said it is done, so its replies must
+    /// not linger for the TTL — a workload churning through tenant names
+    /// would otherwise hold `O(request rate × TTL)` entries instead of
+    /// `O(active tenants)`. Deliberately **not** called when a torn
+    /// connection reaps sessions: that is exactly the moment a
+    /// self-healing client is about to reconnect and replay, and pruning
+    /// there would defeat the cache's whole purpose (those entries still
+    /// die by TTL/budget).
+    pub fn prune_tenant(&self, tenant: &str) {
+        let mut inner = self.inner.lock().expect("reply cache lock");
+        let mut freed = 0usize;
+        inner.map.retain(|(t, _), c| {
+            let keep = t != tenant;
+            if !keep {
+                freed += c.payload.len();
+            }
+            keep
+        });
+        inner.bytes -= freed;
+        inner.order.retain(|(t, _)| t != tenant);
+    }
+
     fn prune_expired(&self, inner: &mut ReplyCacheInner) {
         while let Some(front) = inner.order.front() {
             let expired = inner
@@ -485,8 +530,8 @@ mod tests {
         assert!(m.try_admit(&t).is_some(), "drop released the slot");
         assert_eq!(t.peak_inflight.load(Ordering::Relaxed), 2);
 
-        assert!(m.close(id, 7));
-        assert!(!m.close(id, 7));
+        assert_eq!(m.close(id, 7).as_deref(), Some("acme"));
+        assert!(m.close(id, 7).is_none());
         assert!(m.is_empty());
     }
 
@@ -497,11 +542,11 @@ mod tests {
         // Another connection can neither read nor close the session,
         // even knowing its id.
         assert!(m.get(id, 2).is_none());
-        assert!(!m.close(id, 2));
+        assert!(m.close(id, 2).is_none());
         assert_eq!(m.len(), 1, "foreign close must not remove the session");
         // The owner still can.
         assert!(m.get(id, 1).is_some());
-        assert!(m.close(id, 1));
+        assert!(m.close(id, 1).is_some());
     }
 
     #[test]
@@ -518,10 +563,15 @@ mod tests {
         let m = SessionManager::new(2);
         let id = m.open("transient-tenant", entry(), 1);
         assert!(m.tenants_json().contains("transient-tenant"));
-        assert!(m.close(id, 1));
+        assert!(m.tenant_is_active("transient-tenant"));
+        assert_eq!(m.close(id, 1).as_deref(), Some("transient-tenant"));
         assert!(
             !m.tenants_json().contains("transient-tenant"),
             "idle tenant record must not outlive its sessions"
+        );
+        assert!(
+            !m.tenant_is_active("transient-tenant"),
+            "close must report the tenant idle (not kept alive by the returned name)"
         );
     }
 
@@ -570,6 +620,36 @@ mod tests {
         assert!(fast.get("t", 1).is_none());
         assert!(fast.is_empty());
         assert_eq!(fast.bytes(), 0);
+    }
+
+    /// Regression for the churned-tenant-name leak: before `prune_tenant`
+    /// existed, a workload cycling through tenant names left every
+    /// tenant's replies resident until TTL/budget pressure — the cache
+    /// grew with *names seen*, not *tenants active*. Graceful last-
+    /// session close must drop the tenant's entries immediately.
+    #[test]
+    fn reply_cache_prunes_closed_tenants_to_active_set() {
+        let c = ReplyCache::new(Duration::from_secs(3600), 1 << 20);
+        for i in 0..64u64 {
+            let name = format!("churn-{i}");
+            c.put(&name, i + 1, 0, Arc::new(vec![0u8; 128]));
+            // The tenant closes its last session; the server prunes.
+            c.prune_tenant(&name);
+        }
+        assert!(
+            c.is_empty(),
+            "churned tenants must not accumulate: {} entries resident",
+            c.len()
+        );
+        assert_eq!(c.bytes(), 0, "byte accounting must drain with the entries");
+
+        // Pruning one tenant must not touch another's replies.
+        c.put("alive", 1, 0, Arc::new(vec![1, 2]));
+        c.put("gone", 1, 0, Arc::new(vec![3, 4]));
+        c.prune_tenant("gone");
+        assert!(c.get("alive", 1).is_some());
+        assert!(c.get("gone", 1).is_none());
+        assert_eq!(c.bytes(), 2);
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! Streaming brick reconstruction: the scheduler behind the
+//! `ReconstructBricked` op.
+//!
+//! ## Why a separate lane
+//!
+//! The micro-batcher answers a request with *one* dense frame, which caps
+//! a response at [`crate::proto::MAX_GRID_POINTS`]. Volumes past that cap
+//! stream instead: the server computes the target brick by brick (through
+//! [`fillvoid_core::BrickStreamer`], the same kernel path as the
+//! checkpointed in-process runner, so payloads are bitwise-identical) and
+//! ships each brick as its own CRC'd frame, never materializing the dense
+//! volume server-side.
+//!
+//! ## Fairness
+//!
+//! One worker thread drains all tenants' streams **round-robin, one brick
+//! per turn**: a tenant streaming a giant volume yields to every other
+//! tenant's stream after each brick, so no stream monopolizes the compute
+//! pool for longer than one brick. Per tenant, at most
+//! `FV_SERVE_BRICK_QUEUE` streams may be queued (`Busy` past that), and
+//! each stream's un-acked bytes are capped by
+//! `FV_SERVE_BRICK_INFLIGHT_MB`: a client that stops reading blocks only
+//! its own stream's compute, never the worker.
+//!
+//! ## Resume
+//!
+//! Brick order is deterministic (ascending layout index), so a torn
+//! stream resumes idempotently: the client re-sends the same
+//! `request_id` with `start_brick` set to its contiguous delivered
+//! prefix, and the server computes *only* the bricks at and above it —
+//! nothing below is recomputed and nothing is served from a cache, so a
+//! resume can never disagree with the original stream.
+//!
+//! Chaos sites: `serve.brick.submit` (admission), `serve.brick.compute`
+//! (per-brick compute; panics fail only their own stream, corruption is
+//! caught by the non-finite scan), `serve.brick.write` (response path, in
+//! `server.rs`).
+
+use crate::proto::{ErrorCode, Status};
+use crate::registry::ModelEntry;
+use crate::session::{InflightGuard, TenantStats};
+use fillvoid_core::{BrickReconConfig, BrickStreamer};
+use fv_field::Grid3;
+use fv_runtime::{chaos, telemetry, ExecCtx};
+use fv_sampling::PointCloud;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+static TM_STREAMS: telemetry::Counter = telemetry::Counter::new("serve.stream.started");
+static TM_BRICKS: telemetry::Counter = telemetry::Counter::new("serve.stream.bricks");
+static TM_DONE: telemetry::Counter = telemetry::Counter::new("serve.stream.completed");
+static TM_FAIL: telemetry::Counter = telemetry::Counter::new("serve.stream.failed");
+static TM_BUSY: telemetry::Counter = telemetry::Counter::new("serve.stream.reject.busy");
+
+/// Scheduler tuning (all `FV_SERVE_BRICK_*` knobs).
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Queued + running streams allowed per tenant before `Busy`.
+    pub queue_per_tenant: usize,
+    /// Computed-but-unacknowledged bytes allowed per stream before its
+    /// compute pauses (the back-pressure window).
+    pub inflight_budget: usize,
+    /// Initial ghost-gather halo, in cloud-grid cells (doubles on kNN
+    /// certificate misses; never changes the result).
+    pub halo: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            queue_per_tenant: 2,
+            inflight_budget: 8 << 20,
+            halo: 2,
+        }
+    }
+}
+
+/// What the scheduler sends the connection thread.
+#[derive(Debug)]
+pub enum StreamMsg {
+    /// One reconstructed brick (x-fastest local order).
+    Brick {
+        /// Brick index in layout order.
+        index: u64,
+        /// Inclusive lower corner in target-grid ijk.
+        start: [u64; 3],
+        /// Brick extent (clipped at the grid boundary).
+        dims: [u64; 3],
+        /// Dense payload.
+        values: Vec<f32>,
+    },
+    /// Stream finished; terminal.
+    Done {
+        /// Bricks in the full decomposition.
+        total: u64,
+        /// Bricks computed and sent this pass.
+        sent: u64,
+        /// Bricks below `start_brick`, skipped on resume.
+        skipped: u64,
+        /// Largest halo any brick needed.
+        max_halo: u64,
+    },
+    /// Stream failed; terminal.
+    Fail {
+        /// Response status (`Error` or `ShuttingDown`).
+        status: Status,
+        /// Typed error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One admitted streaming request.
+pub struct StreamJob {
+    /// Model the session is pinned to.
+    pub entry: Arc<ModelEntry>,
+    /// The session's uploaded sample cloud.
+    pub cloud: Arc<PointCloud>,
+    /// Target grid (may exceed the dense frame cap).
+    pub target: Grid3,
+    /// Voxels per brick along each axis (validated by the handler).
+    pub brick_dims: [usize; 3],
+    /// First brick to compute (resume watermark; 0 = full stream).
+    pub start_brick: u64,
+    /// Deadline context; an expired deadline fails the stream mid-flight.
+    pub ctx: ExecCtx,
+    /// Owning tenant (fairness key and counters).
+    pub tenant: Arc<TenantStats>,
+    /// In-flight admission slot. Released (taken and dropped) just
+    /// *before* the terminal message is queued, so a client that reads
+    /// its summary and immediately asks for `Stats` can never observe
+    /// its own completed stream still counted in flight.
+    pub guard: Option<InflightGuard>,
+    /// Channel to the connection thread.
+    pub resp: SyncSender<StreamMsg>,
+    /// Un-acked payload bytes: incremented here per computed brick,
+    /// decremented by the connection thread after each write (who then
+    /// calls [`BrickScheduler::notify`]).
+    pub inflight_bytes: Arc<AtomicUsize>,
+}
+
+struct ActiveStream {
+    job: StreamJob,
+    streamer: Option<BrickStreamer>,
+    next: u64,
+    total: u64,
+    sent: u64,
+    pending: Option<StreamMsg>,
+    finished: bool,
+}
+
+enum Step {
+    /// Computed a brick or queued a message — worth picking again soon.
+    Progress,
+    /// Budget- or channel-blocked: requeue, but don't spin on it.
+    Blocked,
+    /// Terminal message delivered (or client gone): drop the stream.
+    Finished,
+}
+
+struct SchedState {
+    queues: HashMap<String, VecDeque<ActiveStream>>,
+    /// Round-robin cursor over tenant names (sorted per pick so the
+    /// rotation is deterministic regardless of hash order).
+    cursor: usize,
+}
+
+struct Inner {
+    cfg: StreamConfig,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    started: AtomicU64,
+    bricks: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    resumed_bricks: AtomicU64,
+}
+
+/// The streaming-lane scheduler: one worker thread, per-tenant bounded
+/// queues, brick-granular round-robin.
+pub struct BrickScheduler {
+    inner: Arc<Inner>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for BrickScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrickScheduler")
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl BrickScheduler {
+    /// Start the worker thread.
+    pub fn start(cfg: StreamConfig) -> Self {
+        let inner = Arc::new(Inner {
+            cfg,
+            state: Mutex::new(SchedState {
+                queues: HashMap::new(),
+                cursor: 0,
+            }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            started: AtomicU64::new(0),
+            bricks: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            resumed_bricks: AtomicU64::new(0),
+        });
+        let worker = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("fv-serve-bricks".into())
+                .spawn(move || worker_loop(&inner))
+                .expect("spawn brick scheduler")
+        };
+        Self {
+            inner,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Admit a stream. `Err(true)` means shutting down, `Err(false)`
+    /// means the tenant's stream queue is full (`Busy`). The job rides
+    /// back boxed so the rejected path stays cheap to return.
+    pub fn submit(&self, job: StreamJob) -> Result<(), (Box<StreamJob>, bool)> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err((Box::new(job), true));
+        }
+        if let Some(e) = chaos::io_error("serve.brick.submit") {
+            let _ = e; // modeled as transient queue pressure
+            TM_BUSY.incr();
+            return Err((Box::new(job), false));
+        }
+        chaos::point("serve.brick.submit");
+        let mut st = self.inner.state.lock().expect("stream queues");
+        let q = st.queues.entry(job.tenant.name.clone()).or_default();
+        if q.len() >= self.inner.cfg.queue_per_tenant {
+            TM_BUSY.incr();
+            drop(st);
+            return Err((Box::new(job), false));
+        }
+        self.inner
+            .resumed_bricks
+            .fetch_add(job.start_brick, Ordering::Relaxed);
+        q.push_back(ActiveStream {
+            job,
+            streamer: None,
+            next: 0,
+            total: 0,
+            sent: 0,
+            pending: None,
+            finished: false,
+        });
+        TM_STREAMS.incr();
+        self.inner.started.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+
+    /// Wake the worker (connection threads call this after draining
+    /// bytes from a stream's in-flight window).
+    pub fn notify(&self) {
+        self.inner.cv.notify_all();
+    }
+
+    /// Streams currently queued or running.
+    pub fn queued(&self) -> usize {
+        let st = self.inner.state.lock().expect("stream queues");
+        st.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// Hand-rolled JSON for the `Stats` op.
+    pub fn stats_json(&self) -> String {
+        format!(
+            "{{\"started\": {}, \"bricks\": {}, \"completed\": {}, \"failed\": {}, \"resumed_bricks\": {}, \"queued\": {}}}",
+            self.inner.started.load(Ordering::Relaxed),
+            self.inner.bricks.load(Ordering::Relaxed),
+            self.inner.completed.load(Ordering::Relaxed),
+            self.inner.failed.load(Ordering::Relaxed),
+            self.inner.resumed_bricks.load(Ordering::Relaxed),
+            self.queued(),
+        )
+    }
+
+    /// Stop the worker: queued streams get a `ShuttingDown` terminal
+    /// message (best effort), the thread is joined. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.cv.notify_all();
+        if let Some(h) = self.worker.lock().expect("worker handle").take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BrickScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut blocked_streak = 0usize;
+    loop {
+        let mut s = {
+            let mut st = inner.state.lock().expect("stream queues");
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    drain_shutdown(&mut st);
+                    return;
+                }
+                if let Some(s) = pick(&mut st) {
+                    break s;
+                }
+                blocked_streak = 0;
+                // Empty: sleep until a submit or shutdown. Bounded wait
+                // so a lost notify can never wedge the worker.
+                st = inner
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(50))
+                    .expect("stream queues")
+                    .0;
+            }
+        };
+        match step(inner, &mut s) {
+            Step::Finished => blocked_streak = 0,
+            outcome => {
+                let mut st = inner.state.lock().expect("stream queues");
+                // Front, not back: a stream keeps its queue slot; the
+                // cursor rotation is what moves between tenants.
+                st.queues
+                    .entry(s.job.tenant.name.clone())
+                    .or_default()
+                    .push_front(s);
+                if matches!(outcome, Step::Blocked) {
+                    blocked_streak += 1;
+                    // A whole rotation of blocked streams means nothing
+                    // is runnable until a client drains bytes: sleep on
+                    // the condvar instead of spinning.
+                    let live: usize = st.queues.values().map(|q| q.len()).sum();
+                    if blocked_streak >= live {
+                        let _ = inner
+                            .cv
+                            .wait_timeout(st, Duration::from_millis(10))
+                            .expect("stream queues");
+                        blocked_streak = 0;
+                    }
+                } else {
+                    blocked_streak = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Pop the next stream in tenant round-robin order: one brick per tenant
+/// per rotation, names visited in sorted order for determinism.
+fn pick(st: &mut SchedState) -> Option<ActiveStream> {
+    let mut names: Vec<String> = st.queues.keys().cloned().collect();
+    if names.is_empty() {
+        return None;
+    }
+    names.sort();
+    let n = names.len();
+    for off in 0..n {
+        let name = &names[(st.cursor + off) % n];
+        if let Some(q) = st.queues.get_mut(name) {
+            if let Some(s) = q.pop_front() {
+                if q.is_empty() {
+                    st.queues.remove(name);
+                }
+                // Start the next pick at this tenant's successor.
+                st.cursor = (st.cursor + off + 1) % n;
+                return Some(s);
+            }
+        }
+    }
+    None
+}
+
+fn drain_shutdown(st: &mut SchedState) {
+    for (_, q) in st.queues.drain() {
+        for s in q {
+            let _ = s.job.resp.try_send(StreamMsg::Fail {
+                status: Status::ShuttingDown,
+                code: ErrorCode::Internal,
+                message: "server shut down mid-stream".into(),
+            });
+        }
+    }
+}
+
+/// Queue a terminal message, stashing it if the channel is full so it is
+/// retried on the stream's next turn.
+fn finish(s: &mut ActiveStream, msg: StreamMsg) -> Step {
+    s.finished = true;
+    // The slot frees before the terminal message is observable.
+    drop(s.job.guard.take());
+    match s.job.resp.try_send(msg) {
+        Ok(()) => Step::Finished,
+        Err(TrySendError::Full(m)) => {
+            s.pending = Some(m);
+            Step::Progress
+        }
+        Err(TrySendError::Disconnected(_)) => Step::Finished,
+    }
+}
+
+fn fail(inner: &Inner, s: &mut ActiveStream, code: ErrorCode, message: String) -> Step {
+    TM_FAIL.incr();
+    inner.failed.fetch_add(1, Ordering::Relaxed);
+    s.job.tenant.errors.fetch_add(1, Ordering::Relaxed);
+    finish(
+        s,
+        StreamMsg::Fail {
+            status: Status::Error,
+            code,
+            message,
+        },
+    )
+}
+
+/// One scheduler turn for one stream: flush any stashed message, then
+/// compute at most one brick.
+fn step(inner: &Inner, s: &mut ActiveStream) -> Step {
+    if let Some(msg) = s.pending.take() {
+        match s.job.resp.try_send(msg) {
+            Ok(()) => {}
+            Err(TrySendError::Full(m)) => {
+                s.pending = Some(m);
+                return Step::Blocked;
+            }
+            Err(TrySendError::Disconnected(_)) => return Step::Finished,
+        }
+    }
+    if s.finished {
+        // The stash above was the terminal message; it is delivered now.
+        return Step::Finished;
+    }
+    // Back-pressure: the client hasn't drained its window. Computing
+    // ahead would buffer unbounded bricks server-side.
+    if s.job.inflight_bytes.load(Ordering::Acquire) >= inner.cfg.inflight_budget {
+        return Step::Blocked;
+    }
+    if s.streamer.is_none() {
+        let cfg = BrickReconConfig {
+            brick_dims: s.job.brick_dims,
+            halo: inner.cfg.halo,
+            ..Default::default()
+        };
+        match BrickStreamer::new(&s.job.cloud, &s.job.target, &cfg) {
+            Ok(streamer) => {
+                s.total = streamer.num_bricks() as u64;
+                if s.job.start_brick > s.total {
+                    return fail(
+                        inner,
+                        s,
+                        ErrorCode::BadRequest,
+                        format!(
+                            "start_brick {} past the {}-brick layout",
+                            s.job.start_brick, s.total
+                        ),
+                    );
+                }
+                s.next = s.job.start_brick;
+                s.streamer = Some(streamer);
+            }
+            Err(e) => return fail(inner, s, ErrorCode::BadRequest, e.to_string()),
+        }
+    }
+    if s.next >= s.total {
+        TM_DONE.incr();
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        let max_halo = s.streamer.as_ref().map_or(0, |st| st.max_halo() as u64);
+        return finish(
+            s,
+            StreamMsg::Done {
+                total: s.total,
+                sent: s.sent,
+                skipped: s.job.start_brick,
+                max_halo,
+            },
+        );
+    }
+    let b = s.next as usize;
+    let streamer = s.streamer.as_mut().expect("streamer built above");
+    // A chaos panic (or a kernel bug) must cost this stream only, never
+    // the scheduler thread that every other tenant shares.
+    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        chaos::point("serve.brick.compute");
+        let mut values = streamer.recon(&s.job.entry.pipeline, &s.job.cloud, b, &s.job.ctx)?;
+        if let Some(v) = values.as_mut() {
+            chaos::corrupt_f32("serve.brick.compute", v);
+        }
+        Ok::<_, fillvoid_core::CoreError>(values)
+    }));
+    let values = match computed {
+        Err(_) => {
+            return fail(
+                inner,
+                s,
+                ErrorCode::Internal,
+                format!("brick {b} worker panicked"),
+            )
+        }
+        Ok(Err(e)) => return fail(inner, s, ErrorCode::Internal, format!("brick {b}: {e}")),
+        Ok(Ok(None)) => {
+            return fail(
+                inner,
+                s,
+                ErrorCode::DeadlineExceeded,
+                format!("deadline exceeded at brick {b}/{}", s.total),
+            )
+        }
+        Ok(Ok(Some(v))) => v,
+    };
+    // Never ship a poisoned payload: corruption (injected or real) is a
+    // typed failure, not silently-wrong voxels.
+    if values.iter().any(|v| !v.is_finite()) {
+        return fail(
+            inner,
+            s,
+            ErrorCode::Internal,
+            format!("brick {b} produced non-finite values"),
+        );
+    }
+    let (lo, hi) = streamer.layout().brick_range(b);
+    let msg = StreamMsg::Brick {
+        index: s.next,
+        start: [lo[0] as u64, lo[1] as u64, lo[2] as u64],
+        dims: [
+            (hi[0] - lo[0]) as u64,
+            (hi[1] - lo[1]) as u64,
+            (hi[2] - lo[2]) as u64,
+        ],
+        values,
+    };
+    if let StreamMsg::Brick { ref values, .. } = msg {
+        s.job
+            .inflight_bytes
+            .fetch_add(values.len() * 4, Ordering::AcqRel);
+    }
+    TM_BRICKS.incr();
+    inner.bricks.fetch_add(1, Ordering::Relaxed);
+    s.sent += 1;
+    s.next += 1;
+    match s.job.resp.try_send(msg) {
+        Ok(()) => Step::Progress,
+        Err(TrySendError::Full(m)) => {
+            s.pending = Some(m);
+            Step::Progress // the brick was computed; only delivery waits
+        }
+        Err(TrySendError::Disconnected(_)) => Step::Finished,
+    }
+}

@@ -175,7 +175,11 @@ echo "=== serve smoke (reconstruction-as-a-service, 1 and 4 workers) ==="
 # packed passes must stay bitwise-stable across pool sizes): zero dropped
 # or misrouted requests across all 100 swaps, exactly one canary
 # rejection, drain/p99 timing fields present, and a clean shutdown that
-# left no stray temp files behind.
+# left no stray temp files behind. Finally the brick-stream segment: an
+# over-cap volume must be redirected to ReconstructBricked, stream back
+# bitwise-identical, resume a torn stream without redoing committed
+# bricks, and keep a second tenant's dense p99 within 3x its unloaded
+# baseline while the bulk stream runs.
 for t in 1 4; do
   FV_THREADS=$t timeout 600 cargo run --release -q -p fv-bench --bin exp_serve > /dev/null \
     || { echo "serve smoke failed (FV_THREADS=$t)"; exit 1; }
@@ -199,13 +203,24 @@ if sw["rejected_canary"] != 1:
 for k in ("p99_during_swap_ms", "drain_ms_max", "canary_ms_mean"):
     if not (sw[k] >= 0):
         sys.exit(f"serve smoke (FV_THREADS={t}): swap timing field {k} is missing or NaN")
+st = s["stream"]
+if not st["bitwise_equal"]:
+    sys.exit(f"serve smoke (FV_THREADS={t}): brick stream diverged bitwise from the in-process path")
+if not st["over_cap_rejected"]:
+    sys.exit(f"serve smoke (FV_THREADS={t}): over-cap dense request was served instead of redirected to the stream path")
+if st["fairness_ratio"] > 3.0:
+    sys.exit(f"serve smoke (FV_THREADS={t}): interactive p99 degraded {st['fairness_ratio']:.2f}x under a bulk stream (cap 3x)")
+if st["resume_skipped"] <= 0:
+    sys.exit(f"serve smoke (FV_THREADS={t}): healed stream recomputed every brick instead of resuming")
 stray = glob.glob("*.tmp")
 if stray:
     sys.exit(f"serve smoke (FV_THREADS={t}): stray temp files after shutdown: {stray}")
 fleet = {f["clients"]: f for f in s["fleet"]}
 print(f"serve smoke ok (FV_THREADS={t}): 16-client p99 {fleet[16]['p99_ms']:.1f} ms batched "
       f"vs {s['batch1_16c']['p99_ms']:.1f} ms batch-1, all volumes bitwise-identical; "
-      f"{sw['promoted']} hot-swaps, 0 dropped/misrouted, worst drain {sw['drain_ms_max']:.1f} ms")
+      f"{sw['promoted']} hot-swaps, 0 dropped/misrouted, worst drain {sw['drain_ms_max']:.1f} ms; "
+      f"{st['total_bricks']}-brick stream bitwise, fairness {st['fairness_ratio']:.2f}x, "
+      f"resume skipped {st['resume_skipped']}")
 EOF
 done
 

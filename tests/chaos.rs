@@ -395,8 +395,10 @@ fn brick_io_error_sweep_recovers_bitwise() {
 // ---------------------------------------------------------------------------
 // fv-serve sweeps: the same 32-seed × fault-kind matrix against the
 // reconstruction server's sites (`serve.accept`, `serve.decode`,
-// `serve.batch`, `serve.infer`, and the lifecycle sites `serve.swap`,
-// `serve.canary`, `serve.conn.read`, `serve.conn.write`). Invariants: a
+// `serve.batch`, `serve.infer`, the lifecycle sites `serve.swap`,
+// `serve.canary`, `serve.conn.read`, `serve.conn.write`, and the
+// brick-stream sites `serve.brick.submit`, `serve.brick.compute`,
+// `serve.brick.write`). Invariants: a
 // fault costs at most its own connection, a typed/degraded response, or a
 // rejected (never half-applied) promotion — the listener keeps accepting,
 // the registry keeps serving, no in-flight slot, session, or draining
@@ -422,7 +424,10 @@ fn serve_plan(kind: Kind, seed: u64) -> FaultPlan {
             .panic_at("serve.swap", 0.2)
             .panic_at("serve.canary", 0.2)
             .panic_at("serve.conn.read", 0.05)
-            .panic_at("serve.conn.write", 0.05),
+            .panic_at("serve.conn.write", 0.05)
+            .panic_at("serve.brick.submit", 0.1)
+            .panic_at("serve.brick.compute", 0.1)
+            .panic_at("serve.brick.write", 0.05),
         Kind::Delay => p
             .delay_at("serve.accept", 0.3, Duration::from_millis(1))
             .delay_at("serve.decode", 0.3, Duration::from_millis(1))
@@ -430,17 +435,21 @@ fn serve_plan(kind: Kind, seed: u64) -> FaultPlan {
             .delay_at("serve.infer", 0.3, Duration::from_millis(1))
             .delay_at("serve.swap", 0.3, Duration::from_millis(1))
             .delay_at("serve.conn.read", 0.3, Duration::from_millis(1))
-            .delay_at("serve.conn.write", 0.3, Duration::from_millis(1)),
+            .delay_at("serve.conn.write", 0.3, Duration::from_millis(1))
+            .delay_at("serve.brick.compute", 0.3, Duration::from_millis(1)),
         Kind::Corruption => p
             .corrupt_at("serve.infer", 0.5)
-            .corrupt_at("serve.canary", 0.5),
+            .corrupt_at("serve.canary", 0.5)
+            .corrupt_at("serve.brick.compute", 0.3),
         Kind::IoError => p
             .io_error_at("serve.accept", 0.3)
             .io_error_at("serve.decode", 0.3)
             .io_error_at("serve.conn.read", 0.2)
             .io_error_at("serve.conn.write", 0.2)
             .io_error_at("serve.swap", 0.3)
-            .io_error_at("serve.canary", 0.3),
+            .io_error_at("serve.canary", 0.3)
+            .io_error_at("serve.brick.submit", 0.2)
+            .io_error_at("serve.brick.write", 0.2),
     }
 }
 
@@ -489,6 +498,9 @@ fn run_one_serve(kind: Kind, seed: u64) -> u64 {
                 for _ in 0..2 {
                     let _ = c.reconstruct(s, field.grid(), 0);
                 }
+                // Brick-stream lane under the same faults: any typed
+                // error or torn stream is legal mid-chaos.
+                let _ = c.reconstruct_bricked_dense(s, field.grid(), [4, 4, 2], 0);
                 Ok(())
             })();
         }
@@ -533,6 +545,20 @@ fn run_one_serve(kind: Kind, seed: u64) -> u64 {
             x.to_bits(),
             y.to_bits(),
             "{kind:?} seed {seed}: voxel {i} diverged post-chaos"
+        );
+    }
+
+    // The streaming lane must converge to the same exact bits once the
+    // plan is disarmed — chaos-failed streams cost nothing persistent.
+    let (bricked, summary) = c
+        .reconstruct_bricked_dense(s, field.grid(), [4, 4, 2], 0)
+        .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: clean bricked stream failed: {e}"));
+    assert_eq!(summary.received, summary.total_bricks);
+    for (i, (x, y)) in whole.values().iter().zip(bricked.values()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{kind:?} seed {seed}: brick voxel {i} diverged post-chaos"
         );
     }
 

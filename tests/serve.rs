@@ -950,7 +950,8 @@ fn frame_decoder_survives_seeded_mutation_fuzz() {
             dataset: DATASET.into(),
             version: 1,
         }
-        .encode(),
+        .encode()
+        .unwrap(),
         proto::ReconstructReq {
             session: 7,
             target: proto::GridWire {
@@ -967,7 +968,8 @@ fn frame_decoder_survives_seeded_mutation_fuzz() {
             version: 3,
             pipeline: vec![0xAB; 64],
         }
-        .encode(),
+        .encode()
+        .unwrap(),
     ];
     for iter in 0..2_000 {
         let body = &bodies[(rng.next() as usize) % bodies.len()];
@@ -1054,5 +1056,178 @@ fn on_wire_fuzz_hurts_only_its_own_connection() {
         .reconstruct(session, field.grid(), 0)
         .expect("bystander after fuzz");
     assert_bitwise(&served.field, direct);
+    server.shutdown();
+}
+
+/// Scatter a served brick into a dense x-fastest volume.
+fn scatter(dense: &mut [f32], dims: [usize; 3], b: &fillvoid::serve::ServedBrick) {
+    let mut src = 0usize;
+    for z in 0..b.dims[2] {
+        for y in 0..b.dims[1] {
+            let row = (b.start[2] + z) * dims[1] + (b.start[1] + y);
+            let dst = row * dims[0] + b.start[0];
+            dense[dst..dst + b.dims[0]].copy_from_slice(&b.values[src..src + b.dims[0]]);
+            src += b.dims[0];
+        }
+    }
+}
+
+/// Tentpole acceptance: the streamed brick path is bitwise-identical to
+/// both the dense wire path and the in-process direct reconstruction, at
+/// every brick size — including degenerate 1-voxel bricks and bricks
+/// larger than the whole grid (one-brick layout).
+#[test]
+fn bricked_stream_is_bitwise_identical_across_brick_sizes() {
+    let (field, _, _, direct) = fixture();
+    let mut server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let session = open_and_upload(&mut client);
+    let dense_wire = client
+        .reconstruct(session, field.grid(), 0)
+        .expect("dense wire path")
+        .field;
+    assert_bitwise(&dense_wire, direct);
+    for brick_dims in [[4, 4, 2], [5, 3, 2], [1, 1, 1], [32, 32, 32]] {
+        let (streamed, summary) = client
+            .reconstruct_bricked_dense(session, field.grid(), brick_dims, 0)
+            .unwrap_or_else(|e| panic!("bricks {brick_dims:?}: {e}"));
+        assert_eq!(summary.received, summary.total_bricks, "{brick_dims:?}");
+        assert_eq!(summary.resumed, 0, "fresh stream must skip nothing");
+        assert_bitwise(&streamed, &dense_wire);
+        assert_bitwise(&streamed, direct);
+    }
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains("\"stream\""),
+        "stats must report the stream section: {stats}"
+    );
+    client.close_session(session).expect("close");
+    server.shutdown();
+}
+
+/// A healing client whose socket tears mid-stream must reconnect and
+/// resume at the first undelivered brick — nothing below the watermark
+/// is recomputed or redelivered, and the assembled volume is still
+/// bitwise-identical to the direct path.
+#[test]
+fn bricked_stream_resumes_at_first_uncommitted_brick_after_tear() {
+    let (field, _, _, direct) = fixture();
+    let mut server = start_server();
+    let mut client =
+        Client::connect_healing(server.addr(), RetryPolicy::default()).expect("connect");
+    let session = open_and_upload(&mut client);
+    let sock = client.stream().try_clone().expect("clone socket");
+    let mut bricks: Vec<fillvoid::serve::ServedBrick> = Vec::new();
+    let summary = client
+        .reconstruct_bricked(session, field.grid(), [4, 4, 2], 0, |b| {
+            bricks.push(b);
+            if bricks.len() == 2 {
+                // Tear the original connection after two delivered
+                // bricks; the clone stays dead after the client reheals.
+                let _ = sock.shutdown(std::net::Shutdown::Both);
+            }
+        })
+        .expect("stream must heal through the tear");
+    assert!(summary.reconnects >= 1, "tear must force a reconnect");
+    assert!(
+        summary.resumed >= 2,
+        "resume must skip the delivered prefix (skipped {})",
+        summary.resumed
+    );
+    assert_eq!(summary.received, summary.total_bricks);
+    for (i, b) in bricks.iter().enumerate() {
+        assert_eq!(b.index, i as u64, "every brick exactly once, in order");
+    }
+    let dims = field.grid().dims();
+    let mut dense = vec![0.0f32; field.grid().num_points()];
+    for b in &bricks {
+        scatter(&mut dense, dims, b);
+    }
+    let assembled = ScalarField::from_vec(*field.grid(), dense).expect("assemble");
+    assert_bitwise(&assembled, direct);
+    server.shutdown();
+}
+
+/// Targets over the dense-response cap are turned away from `Reconstruct`
+/// with a typed pointer at the streaming op — and the same volume then
+/// streams to bitwise-exact completion.
+#[test]
+fn over_cap_targets_stream_instead_of_densifying() {
+    let (field, _, _, direct) = fixture();
+    // Cap the dense path below the fixture's 864 points.
+    let mut server = start_server_with(|c| c.max_dense_points = 100);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let session = open_and_upload(&mut client);
+    match client.reconstruct(session, field.grid(), 0) {
+        Err(ClientError::Server { code, message, .. }) => {
+            assert_eq!(code, ErrorCode::BadRequest as u16);
+            assert!(
+                message.contains("ReconstructBricked"),
+                "rejection must point at the streaming op: {message}"
+            );
+        }
+        other => panic!("dense over-cap request must fail typed, got {other:?}"),
+    }
+    let (streamed, summary) = client
+        .reconstruct_bricked_dense(session, field.grid(), [4, 4, 2], 0)
+        .expect("stream the over-cap volume");
+    assert_eq!(summary.received, summary.total_bricks);
+    assert_bitwise(&streamed, direct);
+    server.shutdown();
+}
+
+/// Malformed streaming requests die with typed errors before any compute:
+/// zero brick dims, a start_brick past the layout, and a session with no
+/// uploaded cloud.
+#[test]
+fn bricked_stream_rejects_bad_requests_with_typed_errors() {
+    let (field, _, _, _) = fixture();
+    let mut server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let session = open_and_upload(&mut client);
+
+    match client.reconstruct_bricked(session, field.grid(), [0, 4, 2], 0, |_| {}) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::BadRequest as u16, "zero brick dim")
+        }
+        other => panic!("zero brick dim must fail typed, got {other:?}"),
+    }
+
+    // start_brick past the layout (raw frame; the client API never
+    // produces one).
+    let req = proto::ReconstructBrickedReq {
+        session,
+        target: proto::GridWire {
+            dims: [12, 12, 6],
+            origin: [0.0; 3],
+            spacing: [1.0; 3],
+        },
+        brick_dims: [4, 4, 2],
+        deadline_ms: 0,
+        request_id: 0,
+        start_brick: 9_999,
+    };
+    client
+        .send_raw(&proto::encode_frame(
+            Op::ReconstructBricked as u8,
+            Status::Ok as u8,
+            &req.encode(),
+        ))
+        .expect("send raw");
+    let frame = client.read_raw().expect("typed reply");
+    assert_eq!(frame.status, Status::Error as u8);
+    let body = proto::ErrorBody::decode(&frame.payload).expect("error body");
+    assert_eq!(body.code, ErrorCode::BadRequest as u16);
+
+    // No cloud uploaded yet on a fresh session.
+    let bare = client
+        .open_session("acme", DATASET, VERSION)
+        .expect("open bare session");
+    match client.reconstruct_bricked(bare, field.grid(), [4, 4, 2], 0, |_| {}) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::BadRequest as u16, "cloudless session")
+        }
+        other => panic!("cloudless stream must fail typed, got {other:?}"),
+    }
     server.shutdown();
 }
