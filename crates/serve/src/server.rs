@@ -202,8 +202,11 @@ impl ServeConfig {
         // Seconds, matching the `from_secs(300)` default and the
         // unsuffixed knob name. (An earlier revision parsed this as
         // milliseconds, so `FV_SERVE_IDLE_TTL=300` reaped idle
-        // connections after 300 ms instead of 5 minutes.)
+        // connections after 300 ms instead of 5 minutes.) Because that
+        // fix silently changes what existing deployments' values mean,
+        // setting the knob always earns a startup notice.
         if let Some(v) = get("FV_SERVE_IDLE_TTL").and_then(|v| v.parse::<u64>().ok()) {
+            eprintln!("{}", idle_ttl_notice(v));
             cfg.idle_ttl = Duration::from_secs(v.max(1));
         }
         // Millisecond override for tests and aggressive deployments;
@@ -237,6 +240,27 @@ impl ServeConfig {
         }
         cfg
     }
+}
+
+/// Startup notice for `FV_SERVE_IDLE_TTL`: the knob's parsing changed
+/// from milliseconds to its documented seconds, so a deployment that set
+/// it under the old interpretation now gets a 1000× longer reap window.
+/// The notice names the unit and the `FV_SERVE_IDLE_TTL_MS` override,
+/// and calls out implausibly large values (a day or more) as likely
+/// leftover millisecond settings.
+fn idle_ttl_notice(secs: u64) -> String {
+    let mut msg = format!(
+        "fv-serve: FV_SERVE_IDLE_TTL={secs} is interpreted as seconds \
+         (earlier releases parsed it as milliseconds); set \
+         FV_SERVE_IDLE_TTL_MS for millisecond granularity"
+    );
+    if secs >= 86_400 {
+        msg.push_str(&format!(
+            " — {secs} s is {:.1} hours, which looks like a leftover millisecond value",
+            secs as f64 / 3600.0
+        ));
+    }
+    msg
 }
 
 struct Shared {
@@ -738,18 +762,21 @@ fn dispatch(
                     return write_error(stream, frame.op, Status::Error, ErrorCode::BadRequest, e.0)
                 }
             };
-            if let Some(tenant) = shared.sessions.close(id, conn) {
+            // Graceful close of the tenant's last session drops its
+            // cached replies now instead of letting them ride out the
+            // TTL — inside the session manager's tenant critical
+            // section, so a racing OpenSession for the same name cannot
+            // store a reply between the idle check and the prune and
+            // lose it. Torn-connection cleanup deliberately does NOT
+            // prune — that is when a healing client needs replay.
+            let closed = shared
+                .sessions
+                .close_and_then(id, conn, |t| shared.replies.prune_tenant(t));
+            if closed.is_some() {
                 my_sessions.retain(|&s| s != id);
                 // This may have been the last session pinning a
                 // retiring model version.
                 shared.registry.poll_drains();
-                // Graceful close of the tenant's last session: drop its
-                // cached replies now instead of letting them ride out
-                // the TTL. Torn-connection cleanup deliberately does NOT
-                // prune — that is when a healing client needs replay.
-                if !shared.sessions.tenant_is_active(&tenant) {
-                    shared.replies.prune_tenant(&tenant);
-                }
                 write_response(stream, op as u8, Status::Ok as u8, &[])
             } else {
                 write_error(
@@ -1217,9 +1244,12 @@ fn write_brick(stream: &mut TcpStream, op: u8, payload: &[u8]) -> bool {
 ///
 /// The connection thread owns the transport half of the back-pressure
 /// loop: after every brick write (delivered or not) it drains the
-/// stream's in-flight byte window and wakes the scheduler. A torn socket
-/// drops the receiver; the scheduler observes the disconnect at its next
-/// send and abandons the stream, releasing the tenant's in-flight slot.
+/// stream's in-flight byte window and wakes the scheduler. On exit it
+/// sets the stream's client-gone flag (and drops the receiver): the
+/// scheduler abandons the stream at its next turn, releasing the
+/// tenant's queue slot and in-flight guard — even when bytes stranded
+/// in the channel would otherwise keep the stream budget-blocked and
+/// it would never reach a send that could observe the disconnect.
 fn handle_reconstruct_bricked(
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
@@ -1331,6 +1361,7 @@ fn handle_reconstruct_bricked(
         ctx = ctx.with_deadline(Deadline::after(Duration::from_millis(req.deadline_ms as u64)));
     }
     let inflight_bytes = Arc::new(AtomicUsize::new(0));
+    let client_gone = Arc::new(AtomicBool::new(false));
     let (resp_tx, resp_rx) = sync_channel(8);
     let job = StreamJob {
         entry,
@@ -1343,6 +1374,7 @@ fn handle_reconstruct_bricked(
         guard: Some(guard),
         resp: resp_tx,
         inflight_bytes: inflight_bytes.clone(),
+        client_gone: client_gone.clone(),
     };
     TM_REQUESTS.incr();
     tenant.requests.fetch_add(1, Ordering::Relaxed);
@@ -1374,6 +1406,27 @@ fn handle_reconstruct_bricked(
             };
         }
     }
+    // Every exit from here on — summary written, typed failure, torn
+    // socket mid-stream — must mark the client gone and wake the worker.
+    // Dropping `resp_rx` alone is not enough: bricks already queued in
+    // the channel keep their bytes charged to the in-flight window, and
+    // once those orphaned bytes reach the budget the scheduler would
+    // block *before* the `try_send` that could observe the disconnect,
+    // requeuing the stream forever.
+    struct Abandon<'a> {
+        gone: &'a AtomicBool,
+        bricks: &'a BrickScheduler,
+    }
+    impl Drop for Abandon<'_> {
+        fn drop(&mut self) {
+            self.gone.store(true, Ordering::Release);
+            self.bricks.notify();
+        }
+    }
+    let _abandon = Abandon {
+        gone: &client_gone,
+        bricks: &shared.bricks,
+    };
     loop {
         match resp_rx.recv() {
             Ok(StreamMsg::Brick {
@@ -1475,6 +1528,31 @@ mod tests {
         std::env::remove_var("FV_SERVE_IDLE_TTL_MS");
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.idle_ttl, Duration::from_secs(300), "default unchanged");
+    }
+
+    /// The seconds fix is a breaking config change for deployments that
+    /// set the knob under the old millisecond parsing, so the startup
+    /// notice must name the unit, point at the `_MS` override, and flag
+    /// day-plus values as likely leftover milliseconds.
+    #[test]
+    fn idle_ttl_notice_names_unit_change_and_suspect_values() {
+        let plain = idle_ttl_notice(300);
+        assert!(plain.contains("seconds"), "must state the unit: {plain}");
+        assert!(
+            plain.contains("FV_SERVE_IDLE_TTL_MS"),
+            "must point at the millisecond override: {plain}"
+        );
+        assert!(
+            !plain.contains("leftover"),
+            "a plausible value earns no suspicion: {plain}"
+        );
+        // 300_000 was "5 minutes" under the old parsing; as seconds it
+        // is ~83 hours — exactly the silent-breakage case to flag.
+        let suspect = idle_ttl_notice(300_000);
+        assert!(
+            suspect.contains("leftover millisecond value"),
+            "implausibly large values must be called out: {suspect}"
+        );
     }
 
     #[test]

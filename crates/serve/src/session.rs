@@ -182,17 +182,6 @@ impl SessionManager {
             .clone()
     }
 
-    /// Drop tenant records nothing references anymore: no session and no
-    /// in-flight job holds the `Arc` (each holds a clone, so the map's is
-    /// the last reference exactly when the tenant is idle). Client-chosen
-    /// tenant names must not grow server memory without bound.
-    fn prune_tenants(&self) {
-        self.tenants
-            .lock()
-            .expect("tenant lock")
-            .retain(|_, t| Arc::strong_count(t) > 1);
-    }
-
     /// Open a session owned by connection `conn`; returns its id.
     pub fn open(&self, tenant: &str, model: Arc<ModelEntry>, conn: u64) -> u64 {
         let tenant = self.tenant(tenant);
@@ -234,6 +223,26 @@ impl SessionManager {
     /// the record across the internal prune would keep the tenant
     /// artificially "active".
     pub fn close(&self, id: u64, conn: u64) -> Option<String> {
+        self.close_and_then(id, conn, |_| {})
+    }
+
+    /// [`Self::close`], plus tenant-idle cleanup that cannot race with a
+    /// concurrent open: when the closed session was the last reference
+    /// to its tenant, `on_idle(&tenant_name)` runs *inside* the tenant
+    /// table's critical section. Because [`Self::tenant`] registers a
+    /// tenant under the same lock, a racing open for the same name
+    /// either lands before the idle check (the tenant reads active, no
+    /// cleanup) or blocks until `on_idle` returns (anything it stores —
+    /// e.g. a cached reply — postdates the cleanup). Checking
+    /// [`Self::tenant_is_active`] *after* `close` returns leaves a
+    /// window between check and cleanup where exactly that interleaving
+    /// destroys a fresh tenant's state.
+    pub fn close_and_then(
+        &self,
+        id: u64,
+        conn: u64,
+        on_idle: impl FnOnce(&str),
+    ) -> Option<String> {
         let closed = {
             let mut sessions = self.sessions.lock().expect("session lock");
             let owned = sessions
@@ -249,8 +258,17 @@ impl SessionManager {
             TM_SESSIONS.set(sessions.len() as u64);
             closed
         };
-        if closed.is_some() {
-            self.prune_tenants();
+        if let Some(name) = &closed {
+            let mut tenants = self.tenants.lock().expect("tenant lock");
+            // Drop tenant records nothing references anymore: every
+            // session and in-flight job holds a clone of the `Arc`, so
+            // the map's is the last reference exactly when the tenant is
+            // idle. Client-chosen tenant names must not grow server
+            // memory without bound.
+            tenants.retain(|_, t| Arc::strong_count(t) > 1);
+            if !tenants.contains_key(name) {
+                on_idle(name);
+            }
         }
         closed
     }
@@ -573,6 +591,37 @@ mod tests {
             !m.tenant_is_active("transient-tenant"),
             "close must report the tenant idle (not kept alive by the returned name)"
         );
+    }
+
+    /// `close_and_then` runs its idle cleanup inside the tenant critical
+    /// section, and only when the closed session was the tenant's last
+    /// reference — an open session or an in-flight guard defers it.
+    #[test]
+    fn close_and_then_fires_only_on_last_reference() {
+        let m = SessionManager::new(2);
+        let e = entry();
+        let a = m.open("acme", e.clone(), 1);
+        let b = m.open("acme", e.clone(), 1);
+        let mut fired: Vec<String> = Vec::new();
+        assert!(m.close_and_then(a, 1, |t| fired.push(t.into())).is_some());
+        assert!(fired.is_empty(), "a second session keeps the tenant active");
+        assert!(m.close_and_then(b, 1, |t| fired.push(t.into())).is_some());
+        assert_eq!(fired, ["acme"], "last close must run the idle cleanup");
+
+        // An in-flight job (its guard clones the tenant Arc) defers the
+        // cleanup even when no session remains.
+        let c = m.open("acme", e, 1);
+        let t = m.tenant("acme");
+        let guard = m.try_admit(&t).expect("slot");
+        drop(t); // only the guard may pin the tenant for this check
+        assert!(m.close_and_then(c, 1, |t| fired.push(t.into())).is_some());
+        assert_eq!(fired.len(), 1, "in-flight guard must defer the cleanup");
+        drop(guard);
+
+        // A close that doesn't own the session never fires the cleanup.
+        let d = m.open("other", entry(), 1);
+        assert!(m.close_and_then(d, 99, |t| fired.push(t.into())).is_none());
+        assert_eq!(fired.len(), 1, "foreign close must not run cleanup");
     }
 
     #[test]

@@ -31,6 +31,14 @@
 //! nothing below is recomputed and nothing is served from a cache, so a
 //! resume can never disagree with the original stream.
 //!
+//! The server side of a tear is the `client_gone` flag: the connection
+//! thread sets it on *every* exit from the streaming handler. The worker
+//! checks it before the back-pressure gate, because a dead client's
+//! undrained bricks hold the in-flight window at its budget forever — a
+//! disconnect observed only at `try_send` would never be observed at
+//! all for a budget-blocked stream, which would then requeue as a
+//! permanent zombie (queue slot, in-flight guard, and model pin leaked).
+//!
 //! Chaos sites: `serve.brick.submit` (admission), `serve.brick.compute`
 //! (per-brick compute; panics fail only their own stream, corruption is
 //! caught by the non-finite scan), `serve.brick.write` (response path, in
@@ -141,6 +149,12 @@ pub struct StreamJob {
     /// decremented by the connection thread after each write (who then
     /// calls [`BrickScheduler::notify`]).
     pub inflight_bytes: Arc<AtomicUsize>,
+    /// Set by the connection thread when it abandons the stream (any
+    /// handler exit: summary written, typed failure, torn socket). The
+    /// worker drops the stream at its next turn — bytes stranded in the
+    /// response channel can never be drained once the receiver is gone,
+    /// so the back-pressure gate alone would block such a stream forever.
+    pub client_gone: Arc<AtomicBool>,
 }
 
 struct ActiveStream {
@@ -164,9 +178,25 @@ enum Step {
 
 struct SchedState {
     queues: HashMap<String, VecDeque<ActiveStream>>,
+    /// Streams admitted and not yet finished, per tenant. This — not the
+    /// queue length — is what admission caps against: a stream the
+    /// worker has popped for a step is absent from its queue, and
+    /// judging capacity by `queues` alone would let a racing submit
+    /// admit one stream over the cap during that window.
+    live: HashMap<String, usize>,
     /// Round-robin cursor over tenant names (sorted per pick so the
     /// rotation is deterministic regardless of hash order).
     cursor: usize,
+}
+
+impl SchedState {
+    fn new() -> Self {
+        Self {
+            queues: HashMap::new(),
+            live: HashMap::new(),
+            cursor: 0,
+        }
+    }
 }
 
 struct Inner {
@@ -201,10 +231,7 @@ impl BrickScheduler {
     pub fn start(cfg: StreamConfig) -> Self {
         let inner = Arc::new(Inner {
             cfg,
-            state: Mutex::new(SchedState {
-                queues: HashMap::new(),
-                cursor: 0,
-            }),
+            state: Mutex::new(SchedState::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             started: AtomicU64::new(0),
@@ -230,39 +257,11 @@ impl BrickScheduler {
     /// means the tenant's stream queue is full (`Busy`). The job rides
     /// back boxed so the rejected path stays cheap to return.
     pub fn submit(&self, job: StreamJob) -> Result<(), (Box<StreamJob>, bool)> {
-        if self.inner.shutdown.load(Ordering::Acquire) {
-            return Err((Box::new(job), true));
+        let r = admit(&self.inner, job);
+        if r.is_ok() {
+            self.inner.cv.notify_all();
         }
-        if let Some(e) = chaos::io_error("serve.brick.submit") {
-            let _ = e; // modeled as transient queue pressure
-            TM_BUSY.incr();
-            return Err((Box::new(job), false));
-        }
-        chaos::point("serve.brick.submit");
-        let mut st = self.inner.state.lock().expect("stream queues");
-        let q = st.queues.entry(job.tenant.name.clone()).or_default();
-        if q.len() >= self.inner.cfg.queue_per_tenant {
-            TM_BUSY.incr();
-            drop(st);
-            return Err((Box::new(job), false));
-        }
-        self.inner
-            .resumed_bricks
-            .fetch_add(job.start_brick, Ordering::Relaxed);
-        q.push_back(ActiveStream {
-            job,
-            streamer: None,
-            next: 0,
-            total: 0,
-            sent: 0,
-            pending: None,
-            finished: false,
-        });
-        TM_STREAMS.incr();
-        self.inner.started.fetch_add(1, Ordering::Relaxed);
-        drop(st);
-        self.inner.cv.notify_all();
-        Ok(())
+        r
     }
 
     /// Wake the worker (connection threads call this after draining
@@ -271,10 +270,11 @@ impl BrickScheduler {
         self.inner.cv.notify_all();
     }
 
-    /// Streams currently queued or running.
+    /// Streams currently queued or running (admitted, not yet finished —
+    /// including one the worker holds mid-step).
     pub fn queued(&self) -> usize {
         let st = self.inner.state.lock().expect("stream queues");
-        st.queues.values().map(|q| q.len()).sum()
+        st.live.values().sum()
     }
 
     /// Hand-rolled JSON for the `Stats` op.
@@ -331,7 +331,11 @@ fn worker_loop(inner: &Inner) {
             }
         };
         match step(inner, &mut s) {
-            Step::Finished => blocked_streak = 0,
+            Step::Finished => {
+                blocked_streak = 0;
+                let mut st = inner.state.lock().expect("stream queues");
+                release_slot(&mut st, &s.job.tenant.name);
+            }
             outcome => {
                 let mut st = inner.state.lock().expect("stream queues");
                 // Front, not back: a stream keeps its queue slot; the
@@ -345,8 +349,8 @@ fn worker_loop(inner: &Inner) {
                     // A whole rotation of blocked streams means nothing
                     // is runnable until a client drains bytes: sleep on
                     // the condvar instead of spinning.
-                    let live: usize = st.queues.values().map(|q| q.len()).sum();
-                    if blocked_streak >= live {
+                    let queued: usize = st.queues.values().map(|q| q.len()).sum();
+                    if blocked_streak >= queued {
                         let _ = inner
                             .cv
                             .wait_timeout(st, Duration::from_millis(10))
@@ -386,7 +390,58 @@ fn pick(st: &mut SchedState) -> Option<ActiveStream> {
     None
 }
 
+/// Admission, capped against the tenant's live count (see
+/// [`SchedState::live`]). The watermark is *not* validated here — that
+/// needs the brick layout, built lazily on the stream's first turn — so
+/// nothing watermark-derived (e.g. the resumed-bricks stat) may be
+/// recorded at admission either.
+fn admit(inner: &Inner, job: StreamJob) -> Result<(), (Box<StreamJob>, bool)> {
+    if inner.shutdown.load(Ordering::Acquire) {
+        return Err((Box::new(job), true));
+    }
+    if let Some(e) = chaos::io_error("serve.brick.submit") {
+        let _ = e; // modeled as transient queue pressure
+        TM_BUSY.incr();
+        return Err((Box::new(job), false));
+    }
+    chaos::point("serve.brick.submit");
+    let mut st = inner.state.lock().expect("stream queues");
+    let live = st.live.get(&job.tenant.name).copied().unwrap_or(0);
+    if live >= inner.cfg.queue_per_tenant {
+        TM_BUSY.incr();
+        drop(st);
+        return Err((Box::new(job), false));
+    }
+    st.live.insert(job.tenant.name.clone(), live + 1);
+    st.queues
+        .entry(job.tenant.name.clone())
+        .or_default()
+        .push_back(ActiveStream {
+            job,
+            streamer: None,
+            next: 0,
+            total: 0,
+            sent: 0,
+            pending: None,
+            finished: false,
+        });
+    TM_STREAMS.incr();
+    inner.started.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Release a finished stream's admission slot.
+fn release_slot(st: &mut SchedState, tenant: &str) {
+    if let Some(c) = st.live.get_mut(tenant) {
+        *c = c.saturating_sub(1);
+        if *c == 0 {
+            st.live.remove(tenant);
+        }
+    }
+}
+
 fn drain_shutdown(st: &mut SchedState) {
+    st.live.clear();
     for (_, q) in st.queues.drain() {
         for s in q {
             let _ = s.job.resp.try_send(StreamMsg::Fail {
@@ -431,6 +486,14 @@ fn fail(inner: &Inner, s: &mut ActiveStream, code: ErrorCode, message: String) -
 /// One scheduler turn for one stream: flush any stashed message, then
 /// compute at most one brick.
 fn step(inner: &Inner, s: &mut ActiveStream) -> Step {
+    // Checked before the back-pressure gate, deliberately: a dead
+    // client's undrained bricks hold `inflight_bytes` at the budget with
+    // no one left to subtract them, so a stream gated only on the budget
+    // would return `Blocked` forever without ever reaching a `try_send`
+    // that could observe the disconnect.
+    if s.job.client_gone.load(Ordering::Acquire) {
+        return Step::Finished;
+    }
     if let Some(msg) = s.pending.take() {
         match s.job.resp.try_send(msg) {
             Ok(()) => {}
@@ -471,6 +534,12 @@ fn step(inner: &Inner, s: &mut ActiveStream) -> Step {
                     );
                 }
                 s.next = s.job.start_brick;
+                // The stat counts only here — once the watermark has
+                // been validated against a successfully built layout —
+                // so a rejected resume cannot inflate it.
+                inner
+                    .resumed_bricks
+                    .fetch_add(s.job.start_brick, Ordering::Relaxed);
                 s.streamer = Some(streamer);
             }
             Err(e) => return fail(inner, s, ErrorCode::BadRequest, e.to_string()),
@@ -559,5 +628,198 @@ fn step(inner: &Inner, s: &mut ActiveStream) -> Step {
             Step::Progress // the brick was computed; only delivery waits
         }
         Err(TrySendError::Disconnected(_)) => Step::Finished,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use crate::session::SessionManager;
+    use fillvoid_core::{FcnnPipeline, PipelineConfig};
+    use fv_field::ScalarField;
+    use std::sync::mpsc::{sync_channel, Receiver};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    /// One tiny trained model + cloud + 8×8×4 target, shared across
+    /// tests (training dominates test time even at the small config).
+    fn fixture() -> &'static (Arc<ModelEntry>, Arc<PointCloud>, Grid3) {
+        static CELL: OnceLock<(Arc<ModelEntry>, Arc<PointCloud>, Grid3)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let g = Grid3::new([8, 8, 4]).unwrap();
+            let f = ScalarField::from_world_fn(g, |p| (p[0] * 0.3).sin() as f32);
+            let mut cfg = PipelineConfig::small_for_tests();
+            cfg.trainer.epochs = 1;
+            let p = FcnnPipeline::train(&f, &cfg, 1).unwrap();
+            let entry = ModelRegistry::new(64 << 20).insert("t", 0, p).unwrap();
+            let idx: Vec<usize> = (0..g.num_points()).step_by(3).collect();
+            let cloud = Arc::new(PointCloud::from_indices(&f, idx));
+            (entry, cloud, g)
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn mk_job(
+        tenant: &Arc<TenantStats>,
+        start_brick: u64,
+    ) -> (
+        StreamJob,
+        Receiver<StreamMsg>,
+        Arc<AtomicUsize>,
+        Arc<AtomicBool>,
+    ) {
+        let (entry, cloud, g) = fixture();
+        let (tx, rx) = sync_channel(64);
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let gone = Arc::new(AtomicBool::new(false));
+        let job = StreamJob {
+            entry: entry.clone(),
+            cloud: cloud.clone(),
+            target: *g,
+            brick_dims: [4, 4, 2],
+            start_brick,
+            ctx: ExecCtx::unbounded(),
+            tenant: tenant.clone(),
+            guard: None,
+            resp: tx,
+            inflight_bytes: inflight.clone(),
+            client_gone: gone.clone(),
+        };
+        (job, rx, inflight, gone)
+    }
+
+    fn bare_inner(cfg: StreamConfig) -> Inner {
+        Inner {
+            cfg,
+            state: Mutex::new(SchedState::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            started: AtomicU64::new(0),
+            bricks: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            resumed_bricks: AtomicU64::new(0),
+        }
+    }
+
+    /// Regression: a torn connection whose computed bricks still sit in
+    /// the response channel leaves `inflight_bytes` at the budget with
+    /// nobody left to drain it. The worker must observe the client-gone
+    /// flag and drop the stream; gating only on the budget requeued it
+    /// as `Blocked` forever — leaking the tenant's queue slot and
+    /// in-flight guard and pinning the model entry.
+    #[test]
+    fn abandoned_budget_blocked_stream_is_dropped() {
+        let mgr = SessionManager::new(4);
+        let tenant = mgr.tenant("zombie");
+        let sched = BrickScheduler::start(StreamConfig {
+            queue_per_tenant: 1,
+            inflight_budget: 1, // any undrained brick saturates the window
+            halo: 2,
+        });
+        let (mut job, rx, inflight, gone) = mk_job(&tenant, 0);
+        job.guard = mgr.try_admit(&tenant);
+        // The connection died with one brick's bytes still charged.
+        inflight.store(1, Ordering::Release);
+        assert!(sched.submit(job).is_ok(), "admitted");
+        drop(rx);
+        // What the connection thread's exit guard does on every path.
+        gone.store(true, Ordering::Release);
+        sched.notify();
+        let t0 = Instant::now();
+        while sched.queued() != 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "abandoned stream still queued: permanent zombie"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Give the dropped job's guard a beat to run its Drop.
+        let t0 = Instant::now();
+        while tenant.inflight.load(Ordering::Acquire) != 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "in-flight guard leaked with the zombie stream"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The freed slot admits the tenant's next stream.
+        let (job2, _rx2, _, _) = mk_job(&tenant, 0);
+        assert!(
+            sched.submit(job2).is_ok(),
+            "queue slot must free with the stream"
+        );
+    }
+
+    /// A stream the worker holds mid-step is absent from its tenant's
+    /// queue; admission must still count it against the cap, or a racing
+    /// submit lands `queue_per_tenant + 1` streams.
+    #[test]
+    fn worker_held_stream_counts_toward_cap() {
+        let tenant = SessionManager::new(4).tenant("cap");
+        let inner = bare_inner(StreamConfig {
+            queue_per_tenant: 1,
+            ..Default::default()
+        });
+        let (j1, _rx1, _, _) = mk_job(&tenant, 0);
+        assert!(admit(&inner, j1).is_ok(), "first stream fits the cap");
+        // Simulate the worker popping the stream for a step: the queue
+        // momentarily reads empty for this tenant.
+        let held = pick(&mut inner.state.lock().unwrap()).expect("stream queued");
+        let (j2, _rx2, _, _) = mk_job(&tenant, 0);
+        assert!(
+            matches!(admit(&inner, j2), Err((_, false))),
+            "the held stream must still occupy the tenant's only slot"
+        );
+        // Finishing the stream is what releases the slot.
+        release_slot(&mut inner.state.lock().unwrap(), &held.job.tenant.name);
+        drop(held);
+        let (j3, _rx3, _, _) = mk_job(&tenant, 0);
+        assert!(admit(&inner, j3).is_ok(), "slot released on finish");
+    }
+
+    /// `resumed_bricks` must count a resume's skipped prefix only after
+    /// the watermark is validated against a built layout: a stream
+    /// rejected for `start_brick` past the layout contributes nothing.
+    #[test]
+    fn resumed_bricks_counts_only_validated_resumes() {
+        let tenant = SessionManager::new(4).tenant("resume");
+        let inner = bare_inner(StreamConfig::default());
+
+        let (bad, rx, _, _) = mk_job(&tenant, u64::MAX);
+        assert!(admit(&inner, bad).is_ok(), "admission is watermark-blind");
+        assert_eq!(
+            inner.resumed_bricks.load(Ordering::Relaxed),
+            0,
+            "admission must not count the watermark"
+        );
+        let mut s = pick(&mut inner.state.lock().unwrap()).unwrap();
+        assert!(matches!(step(&inner, &mut s), Step::Finished));
+        assert!(matches!(
+            rx.try_recv(),
+            Ok(StreamMsg::Fail {
+                code: ErrorCode::BadRequest,
+                ..
+            })
+        ));
+        assert_eq!(
+            inner.resumed_bricks.load(Ordering::Relaxed),
+            0,
+            "a rejected resume must not inflate the stat"
+        );
+
+        // A valid watermark counts exactly once, on the first turn.
+        let (good, _rx2, _, _) = mk_job(&tenant, 2);
+        assert!(admit(&inner, good).is_ok());
+        let mut s = pick(&mut inner.state.lock().unwrap()).unwrap();
+        let _ = step(&inner, &mut s);
+        assert_eq!(inner.resumed_bricks.load(Ordering::Relaxed), 2);
+        let _ = step(&inner, &mut s);
+        assert_eq!(
+            inner.resumed_bricks.load(Ordering::Relaxed),
+            2,
+            "later turns must not recount"
+        );
     }
 }
